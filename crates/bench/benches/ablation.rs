@@ -1,0 +1,93 @@
+//! Ablation bench for the design choices called out in `DESIGN.md`:
+//!
+//! * **direct-only vs. address-form-robust register allocation** — the
+//!   paper's documented `k`-after-`s` constraint vs. a dataflow-based
+//!   allocator. The robust allocator collapses most of the leaf
+//!   code-size spread (the phase-order sensitivity the paper studies).
+//! * **the Figure 2 shortcut** (`skip_just_applied`) — not re-attempting
+//!   the phase that just ran, measured as attempted-phase savings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phase_order::enumerate::{enumerate, Config};
+use vpo_opt::Target;
+
+fn ablation_targets() -> Vec<(&'static str, vpo_rtl::Function)> {
+    let mut out = Vec::new();
+    for b in mibench::all() {
+        let p = b.compile().unwrap();
+        for f in p.functions {
+            if (20..=60).contains(&f.inst_count()) {
+                out.push((Box::leak(format!("{}_{}", b.name, f.name).into_boxed_str()) as &str, f));
+            }
+        }
+    }
+    out.truncate(6);
+    out
+}
+
+fn bench_allocator_strictness(c: &mut Criterion) {
+    let strict = Target::default();
+    let robust = Target { regalloc_requires_direct: false, ..Target::default() };
+    let mut group = c.benchmark_group("allocator_ablation");
+    group.sample_size(10);
+    for (name, f) in ablation_targets() {
+        group.bench_function(format!("{name}/direct_only"), |b| {
+            b.iter(|| enumerate(std::hint::black_box(&f), &strict, &Config::default()).space.len())
+        });
+        group.bench_function(format!("{name}/robust"), |b| {
+            b.iter(|| enumerate(std::hint::black_box(&f), &robust, &Config::default()).space.len())
+        });
+    }
+    group.finish();
+
+    // Report the qualitative effect once (criterion benches may print).
+    let spread = |t: &Target| {
+        let mut total = 0.0;
+        let mut n = 0;
+        for (_, f) in ablation_targets() {
+            let e = enumerate(&f, t, &Config::default());
+            if let Some((lo, hi)) = e.space.leaf_code_size_range() {
+                if lo > 0 {
+                    total += (hi - lo) as f64 * 100.0 / lo as f64;
+                    n += 1;
+                }
+            }
+        }
+        total / n.max(1) as f64
+    };
+    eprintln!(
+        "[ablation] leaf code-size spread: direct-only {:.1}% vs robust {:.1}%",
+        spread(&strict),
+        spread(&robust)
+    );
+}
+
+fn bench_skip_shortcut(c: &mut Criterion) {
+    let target = Target::default();
+    let mut group = c.benchmark_group("figure2_shortcut");
+    group.sample_size(10);
+    for (name, f) in ablation_targets().into_iter().take(3) {
+        group.bench_function(format!("{name}/attempt_all"), |b| {
+            b.iter(|| {
+                enumerate(std::hint::black_box(&f), &target, &Config::default())
+                    .stats
+                    .attempted_phases
+            })
+        });
+        group.bench_function(format!("{name}/skip_just_applied"), |b| {
+            b.iter(|| {
+                enumerate(
+                    std::hint::black_box(&f),
+                    &target,
+                    &Config { skip_just_applied: true, ..Config::default() },
+                )
+                .stats
+                .attempted_phases
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator_strictness, bench_skip_shortcut);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Table 7 claim: probabilistic compilation takes
+//! roughly a third of the conventional batch loop's time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phase_order::enumerate::{enumerate, Config};
+use phase_order::interaction::InteractionAnalysis;
+use phase_order::prob::{probabilistic_compile, ProbTables};
+use vpo_opt::batch::batch_compile;
+use vpo_opt::Target;
+
+fn bench_compilers(c: &mut Criterion) {
+    let target = Target::default();
+    let b = mibench::bitcount::benchmark();
+    let prog = b.compile().unwrap();
+    // Tables mined once, outside the timed region (as in the paper).
+    let mut ia = InteractionAnalysis::new();
+    for f in &prog.functions {
+        let e = enumerate(f, &target, &Config::default());
+        if e.outcome.is_complete() {
+            ia.add_space(&e.space);
+        }
+    }
+    let tables = ProbTables::from_analysis(&ia);
+
+    let mut group = c.benchmark_group("table7_bitcount");
+    group.bench_function("old_batch", |bch| {
+        bch.iter(|| {
+            for f in &prog.functions {
+                let mut g = f.clone();
+                std::hint::black_box(batch_compile(&mut g, &target));
+            }
+        })
+    });
+    group.bench_function("probabilistic", |bch| {
+        bch.iter(|| {
+            for f in &prog.functions {
+                let mut g = f.clone();
+                std::hint::black_box(probabilistic_compile(&mut g, &target, &tables));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compilers);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: exhaustive enumeration throughput on representative
+//! suite functions (the engine behind Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phase_order::enumerate::{enumerate, Config};
+use vpo_opt::Target;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let target = Target::default();
+    let mut group = c.benchmark_group("enumerate");
+    group.sample_size(10);
+    for (name, src) in [
+        ("square", "int square(int x) { return x * x; }"),
+        (
+            "sumloop",
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+        ),
+        (
+            "clamp",
+            "int clamp(int x, int lo, int hi) { if (x < lo) return lo; if (x > hi) return hi; return x; }",
+        ),
+    ] {
+        let p = vpo_frontend::compile(src).unwrap();
+        let f = &p.functions[0];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let e = enumerate(std::hint::black_box(f), &target, &Config::default());
+                std::hint::black_box(e.space.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

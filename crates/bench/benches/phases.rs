@@ -1,0 +1,26 @@
+//! Criterion bench: cost of each optimization phase on naive code (one
+//! attempt each, cloning the input per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vpo_opt::{attempt, PhaseId, Target};
+
+fn bench_phases(c: &mut Criterion) {
+    let target = Target::default();
+    let b = mibench::sha::benchmark();
+    let prog = b.compile().unwrap();
+    let f = prog.function("sha_transform").unwrap();
+    let mut group = c.benchmark_group("phase_on_sha_transform");
+    group.sample_size(20);
+    for p in PhaseId::ALL {
+        group.bench_function(p.name().replace(' ', "_"), |bch| {
+            bch.iter(|| {
+                let mut g = f.clone();
+                std::hint::black_box(attempt(&mut g, p, &target))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Shared harness for the table/figure regeneration binaries and the
+//! criterion benches.
+//!
+//! See `DESIGN.md` (experiment index) for which binary regenerates which
+//! table or figure of the paper.
+
+use std::time::Duration;
+
+use phase_order::enumerate::{enumerate, Config, Enumeration};
+use phase_order::interaction::InteractionAnalysis;
+use phase_order::prob::{probabilistic_compile, ProbTables};
+use phase_order::stats::FunctionRow;
+use vpo_opt::batch::{batch_compile, BatchStats};
+use vpo_opt::Target;
+use vpo_rtl::Function;
+use vpo_sim::Machine;
+
+/// One function of the suite, tagged as in the paper (`name(tag)`).
+pub struct SuiteFunction {
+    /// `function_name(b)`-style display name.
+    pub display: String,
+    /// The benchmark it came from.
+    pub benchmark: &'static str,
+    /// The unoptimized function.
+    pub function: Function,
+    /// The whole program (for simulation).
+    pub program: vpo_rtl::Program,
+    /// Simulator workloads that drive this function.
+    pub workloads: Vec<mibench::Workload>,
+}
+
+/// Compiles the whole MiBench suite into per-function records.
+pub fn suite_functions() -> Vec<SuiteFunction> {
+    let mut out = Vec::new();
+    for b in mibench::all() {
+        let program = b.compile().expect("suite compiles");
+        for f in &program.functions {
+            out.push(SuiteFunction {
+                display: format!("{}({})", f.name, b.tag),
+                benchmark: b.name,
+                function: f.clone(),
+                program: program.clone(),
+                workloads: b
+                    .workloads_for(&f.name)
+                    .into_iter()
+                    .cloned()
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Enumerates every suite function in parallel. `config` is shared;
+/// results come back in suite order.
+pub fn enumerate_suite(config: &Config) -> Vec<(SuiteFunction, Enumeration)> {
+    let funcs = suite_functions();
+    let target = Target::default();
+    let mut results: Vec<Option<Enumeration>> = Vec::new();
+    results.resize_with(funcs.len(), || None);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let work = std::sync::Mutex::new((0..funcs.len()).collect::<Vec<_>>());
+    let slots = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut w = work.lock().unwrap();
+                    match w.pop() {
+                        Some(i) => i,
+                        None => return,
+                    }
+                };
+                let e = enumerate(&funcs[idx].function, &target, config);
+                slots.lock().unwrap()[idx] = Some(e);
+            });
+        }
+    })
+    .expect("enumeration threads");
+    funcs
+        .into_iter()
+        .zip(results.into_iter().map(|r| r.expect("enumerated")))
+        .collect()
+}
+
+/// Default enumeration budget for the harness binaries: generous enough
+/// for almost every suite function, while keeping the heavyweights
+/// (the fft butterfly nest) reported as "too big", as in the paper.
+pub fn harness_config() -> Config {
+    let max_nodes = std::env::var("PHASE_ORDER_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400_000);
+    Config { max_nodes, max_level_width: 200_000, ..Config::default() }
+}
+
+/// Builds Table-3 rows for the whole suite.
+pub fn table3_rows(config: &Config) -> Vec<(FunctionRow, Enumeration)> {
+    enumerate_suite(config)
+        .into_iter()
+        .map(|(sf, e)| (FunctionRow::new(sf.display.clone(), &sf.function, &e), e))
+        .collect()
+}
+
+/// Accumulates the interaction analysis over every completed space.
+pub fn suite_interaction(config: &Config) -> InteractionAnalysis {
+    let mut ia = InteractionAnalysis::new();
+    for (_, e) in enumerate_suite(config) {
+        if e.outcome.is_complete() {
+            ia.add_space(&e.space);
+        }
+    }
+    ia
+}
+
+/// Result of comparing batch vs probabilistic compilation on one function
+/// (one row of Table 7).
+pub struct Table7Row {
+    /// `name(tag)` display name.
+    pub display: String,
+    /// Conventional batch statistics.
+    pub old: BatchStats,
+    /// Batch wall time.
+    pub old_time: Duration,
+    /// Probabilistic statistics.
+    pub prob: BatchStats,
+    /// Probabilistic wall time.
+    pub prob_time: Duration,
+    /// Code size ratio prob/old.
+    pub size_ratio: f64,
+    /// Dynamic instruction count ratio prob/old, if a workload exists.
+    pub speed_ratio: Option<f64>,
+}
+
+/// Runs the Table 7 comparison over the whole suite with the given
+/// probability tables.
+pub fn table7_rows(tables: &ProbTables) -> Vec<Table7Row> {
+    let target = Target::default();
+    let mut rows = Vec::new();
+    for sf in suite_functions() {
+        let mut f_old = sf.function.clone();
+        let t0 = std::time::Instant::now();
+        let old = batch_compile(&mut f_old, &target);
+        let old_time = t0.elapsed();
+
+        let mut f_prob = sf.function.clone();
+        let t1 = std::time::Instant::now();
+        let prob = probabilistic_compile(&mut f_prob, &target, tables);
+        let prob_time = t1.elapsed();
+
+        let size_ratio = f_prob.inst_count() as f64 / f_old.inst_count() as f64;
+        let speed_ratio = dynamic_ratio(&sf, &f_old, &f_prob);
+        rows.push(Table7Row {
+            display: sf.display,
+            old,
+            old_time,
+            prob,
+            prob_time,
+            size_ratio,
+            speed_ratio,
+        });
+    }
+    rows
+}
+
+/// Dynamic-count ratio prob/old over the function's workloads, verifying
+/// that both versions produce identical results.
+fn dynamic_ratio(sf: &SuiteFunction, f_old: &Function, f_prob: &Function) -> Option<f64> {
+    if sf.workloads.is_empty() {
+        return None;
+    }
+    let mut old_count = 0u64;
+    let mut prob_count = 0u64;
+    for w in &sf.workloads {
+        let mut m1 = Machine::new(&sf.program);
+        let r1 = m1.call_instance(f_old, &w.args).ok()?;
+        let c1 = m1.dynamic_insts();
+        let mut m2 = Machine::new(&sf.program);
+        let r2 = m2.call_instance(f_prob, &w.args).ok()?;
+        let c2 = m2.dynamic_insts();
+        assert_eq!(
+            r1, r2,
+            "{}: batch and probabilistic compilations disagree",
+            sf.display
+        );
+        old_count += c1;
+        prob_count += c2;
+    }
+    if old_count == 0 {
+        return None;
+    }
+    Some(prob_count as f64 / old_count as f64)
+}
+
+/// Formats a probability like the paper's tables: blank under 0.005,
+/// otherwise two decimals.
+pub fn fmt_prob(p: Option<f64>, blank_under: f64) -> String {
+    match p {
+        Some(v) if v >= blank_under => format!("{v:.2}"),
+        _ => "    ".to_owned(),
+    }
+}

@@ -1,0 +1,210 @@
+//! `vpoc` — command-line driver for the VPO-style compiler and the
+//! phase-order exploration engine.
+//!
+//! ```text
+//! vpoc compile  <file.mc> [--seq LETTERS | --batch | --naive] [--finalize | --emit-asm]
+//! vpoc run      <file.mc> <function> [args...]        # compile (batch) and execute
+//! vpoc explore  <file.mc> [function]                  # enumerate the space(s)
+//! vpoc dot      <file.mc> <function>                  # space as Graphviz
+//! vpoc phases                                         # list the 15 phases
+//! ```
+//!
+//! `--seq LETTERS` applies an explicit phase ordering, e.g. `--seq skcshu`
+//! (the letter designations of Table 1).
+
+use std::process::ExitCode;
+
+use phase_order::enumerate::{enumerate, Config};
+use phase_order::stats::FunctionRow;
+use vpo_opt::batch::batch_compile;
+use vpo_opt::{attempt, PhaseId, Target};
+use vpo_sim::Machine;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("vpoc: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  vpoc compile <file.mc> [--seq LETTERS | --batch]");
+            eprintln!("  vpoc run     <file.mc> <function> [int args...]");
+            eprintln!("  vpoc explore <file.mc> [function]");
+            eprintln!("  vpoc dot     <file.mc> <function>");
+            eprintln!("  vpoc phases");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+    match cmd {
+        "phases" => {
+            for p in PhaseId::ALL {
+                println!("{}  {}", p.letter(), p.name());
+            }
+            Ok(())
+        }
+        "compile" => compile_cmd(&args[1..]),
+        "run" => run_cmd(&args[1..]),
+        "explore" => explore_cmd(&args[1..]),
+        "dot" => dot_cmd(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load(path: &str) -> Result<vpo_rtl::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    vpo_frontend::compile(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_seq(letters: &str) -> Result<Vec<PhaseId>, String> {
+    letters
+        .chars()
+        .map(|c| PhaseId::from_letter(c).ok_or(format!("unknown phase letter `{c}`")))
+        .collect()
+}
+
+fn compile_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("compile: missing file")?;
+    let mut program = load(path)?;
+    let target = Target::default();
+    let finalize = args.iter().any(|a| a == "--finalize");
+    let emit_asm = args.iter().any(|a| a == "--emit-asm");
+    let mode = args
+        .get(1)
+        .map(String::as_str)
+        .filter(|m| *m != "--finalize" && *m != "--emit-asm")
+        .unwrap_or("--batch");
+    for f in &mut program.functions {
+        match mode {
+            "--batch" => {
+                let stats = batch_compile(f, &target);
+                eprintln!(
+                    "; {}: {} attempted, {} active: {}",
+                    f.name,
+                    stats.attempted,
+                    stats.active,
+                    stats.sequence.iter().map(|p| p.letter()).collect::<String>()
+                );
+            }
+            "--naive" => {}
+            "--seq" => {
+                let letters = args.get(2).ok_or("compile: --seq needs letters")?;
+                for p in parse_seq(letters)? {
+                    attempt(f, p, &target);
+                }
+            }
+            other => return Err(format!("compile: unknown mode `{other}`")),
+        }
+        if !emit_asm {
+            if finalize {
+                println!("{}", vpo_opt::finalize::fix_entry_exit(f, &target));
+            } else {
+                println!("{f}");
+            }
+        }
+    }
+    if emit_asm {
+        let asm = vpo_opt::emit::emit_program(&program, &target)
+            .map_err(|e| e.to_string())?;
+        println!("{asm}");
+    }
+    Ok(())
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run: missing file")?;
+    let func = args.get(1).ok_or("run: missing function name")?;
+    let call_args: Vec<i32> = args[2..]
+        .iter()
+        .map(|a| a.parse().map_err(|_| format!("bad integer argument `{a}`")))
+        .collect::<Result<_, _>>()?;
+    let program = load(path)?;
+    let target = Target::default();
+    let mut optimized = program
+        .function(func)
+        .ok_or(format!("no function `{func}`"))?
+        .clone();
+    batch_compile(&mut optimized, &target);
+
+    let mut naive = Machine::new(&program);
+    let expected = naive.call(func, &call_args).map_err(|e| e.to_string())?;
+    let mut opt = Machine::new(&program);
+    let got = opt.call_instance(&optimized, &call_args).map_err(|e| e.to_string())?;
+    if expected != got {
+        return Err(format!(
+            "MISCOMPILATION: naive={expected}, optimized={got}"
+        ));
+    }
+    println!("{func}({call_args:?}) = {got}");
+    println!(
+        "dynamic instructions: naive {} -> optimized {}",
+        naive.dynamic_insts(),
+        opt.dynamic_insts()
+    );
+    Ok(())
+}
+
+fn explore_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("explore: missing file")?;
+    let program = load(path)?;
+    let target = Target::default();
+    let filter = args.get(1);
+    println!("{}", FunctionRow::header());
+    for f in &program.functions {
+        if let Some(name) = filter {
+            if &f.name != name {
+                continue;
+            }
+        }
+        let e = enumerate(f, &target, &Config::default());
+        println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
+    }
+    Ok(())
+}
+
+fn dot_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("dot: missing file")?;
+    let func = args.get(1).ok_or("dot: missing function name")?;
+    let program = load(path)?;
+    let f = program.function(func).ok_or(format!("no function `{func}`"))?;
+    let e = enumerate(f, &Target::default(), &Config::default());
+    println!("{}", e.space.to_dot());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_seq_round_trips() {
+        let seq = parse_seq("skch").unwrap();
+        assert_eq!(
+            seq,
+            vec![PhaseId::InsnSelect, PhaseId::RegAlloc, PhaseId::Cse, PhaseId::DeadAssign]
+        );
+        assert!(parse_seq("xyz").is_err());
+    }
+
+    #[test]
+    fn end_to_end_commands() {
+        let dir = std::env::temp_dir().join("vpoc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.mc");
+        std::fs::write(&file, "int triple(int x) { return x * 3; }").unwrap();
+        let path = file.to_str().unwrap().to_owned();
+        run(&["compile".into(), path.clone()]).unwrap();
+        run(&["compile".into(), path.clone(), "--batch".into(), "--finalize".into()]).unwrap();
+        run(&["compile".into(), path.clone(), "--batch".into(), "--emit-asm".into()]).unwrap();
+        run(&["compile".into(), path.clone(), "--seq".into(), "sqk".into()]).unwrap();
+        run(&["run".into(), path.clone(), "triple".into(), "14".into()]).unwrap();
+        run(&["explore".into(), path.clone()]).unwrap();
+        run(&["dot".into(), path, "triple".into()]).unwrap();
+        run(&["phases".into()]).unwrap();
+        assert!(run(&["bogus".into()]).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! `bitcount` (MiBench *auto*) — "test processor bit manipulation
+//! abilities". Re-implements the benchmark's counting strategies.
+
+use crate::{Benchmark, Workload};
+
+/// MiniC source of the kernels.
+pub const SOURCE: &str = r#"
+// Kernighan's counter: one iteration per set bit.
+int bit_count(int x) {
+    int n = 0;
+    if (x) do n++; while (0 != (x = x & (x - 1)));
+    return n;
+}
+
+// Parallel (tree) counter with masks.
+int bitcount_parallel(int b) {
+    b = ((b >>> 1) & 0x55555555) + (b & 0x55555555);
+    b = ((b >>> 2) & 0x33333333) + (b & 0x33333333);
+    b = ((b >>> 4) & 0x0F0F0F0F) + (b & 0x0F0F0F0F);
+    b = ((b >>> 8) & 0x00FF00FF) + (b & 0x00FF00FF);
+    b = ((b >>> 16) & 0x0000FFFF) + (b & 0x0000FFFF);
+    return b;
+}
+
+// Nibble-table counter.
+int ntbl[16] = { 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4 };
+
+int ntbl_bitcount(int x) {
+    return ntbl[x & 15]
+        + ntbl[(x >>> 4) & 15]
+        + ntbl[(x >>> 8) & 15]
+        + ntbl[(x >>> 12) & 15]
+        + ntbl[(x >>> 16) & 15]
+        + ntbl[(x >>> 20) & 15]
+        + ntbl[(x >>> 24) & 15]
+        + ntbl[(x >>> 28) & 15];
+}
+
+// Shift-and-test counter.
+int bit_shifter(int x) {
+    int n = 0;
+    int i = 0;
+    while (x != 0 && i < 32) {
+        n += x & 1;
+        x = x >>> 1;
+        i++;
+    }
+    return n;
+}
+
+// Byte-table counter (the benchmark's btbl_bitcnt).
+int btbl[256] = {
+    0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5,
+    1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5,
+    2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6,
+    1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5,
+    2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6,
+    2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6,
+    3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7,
+    1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5,
+    2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6,
+    2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6,
+    3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7,
+    2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6,
+    3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7,
+    3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7,
+    4, 5, 5, 6, 5, 6, 6, 7, 5, 6, 6, 7, 6, 7, 7, 8
+};
+
+int btbl_bitcount(int x) {
+    return btbl[x & 255]
+        + btbl[(x >>> 8) & 255]
+        + btbl[(x >>> 16) & 255]
+        + btbl[(x >>> 24) & 255];
+}
+
+// Parity of the population count.
+int bit_parity(int x) {
+    x = x ^ (x >>> 16);
+    x = x ^ (x >>> 8);
+    x = x ^ (x >>> 4);
+    x = x ^ (x >>> 2);
+    x = x ^ (x >>> 1);
+    return x & 1;
+}
+
+// Leading-zero count by halving.
+int count_leading_zeros(int x) {
+    int n = 32;
+    int c = 16;
+    if (x == 0) return 32;
+    while (c != 0) {
+        int y = x >>> c;
+        if (y != 0) {
+            n = n - c;
+            x = y;
+        }
+        c = c >> 1;
+    }
+    return n - 1;
+}
+
+// Recursive divide-and-conquer count (exercises calls in the space).
+int bit_count_rec(int x, int bits) {
+    if (bits == 1) return x & 1;
+    return bit_count_rec(x & ((1 << (bits >> 1)) - 1), bits >> 1)
+        + bit_count_rec(x >>> (bits >> 1), bits - (bits >> 1));
+}
+
+// Driver mirroring the benchmark's main loop: a linear-congruential seed
+// stream pushed through every counter.
+int bitcnt_main(int iterations) {
+    int seed = 1;
+    int total = 0;
+    int i;
+    for (i = 0; i < iterations; i++) {
+        total += bit_count(seed);
+        total += bitcount_parallel(seed);
+        total += ntbl_bitcount(seed);
+        total += bit_shifter(seed);
+        total += btbl_bitcount(seed);
+        seed = seed * 1103515245 + 12345;
+    }
+    return total;
+}
+"#;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "bitcount",
+        category: "auto",
+        tag: 'b',
+        description: "test processor bit manipulation abilities",
+        source: SOURCE,
+        workloads: vec![
+            Workload {
+                function: "bit_count",
+                args: vec![0x12345678],
+                description: "Kernighan count of a mixed word",
+            },
+            Workload {
+                function: "bitcount_parallel",
+                args: vec![-1],
+                description: "parallel count of all-ones",
+            },
+            Workload {
+                function: "ntbl_bitcount",
+                args: vec![0x0F0F0F0F],
+                description: "table count of alternating nibbles",
+            },
+            Workload {
+                function: "bit_shifter",
+                args: vec![0x00FF00FF],
+                description: "shift count of alternating bytes",
+            },
+            Workload {
+                function: "bitcnt_main",
+                args: vec![50],
+                description: "full driver, 50 seeds",
+            },
+            Workload {
+                function: "btbl_bitcount",
+                args: vec![0x13579BDF],
+                description: "byte-table count",
+            },
+            Workload {
+                function: "bit_parity",
+                args: vec![0x7FFFFFFF],
+                description: "parity of 31 ones",
+            },
+            Workload {
+                function: "count_leading_zeros",
+                args: vec![0x00010000],
+                description: "clz of bit 16",
+            },
+            Workload {
+                function: "bit_count_rec",
+                args: vec![-1, 32],
+                description: "recursive count of all ones",
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_sim::Machine;
+
+    fn machine_call(func: &str, args: &[i32]) -> i32 {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.call(func, args).unwrap()
+    }
+
+    #[test]
+    fn counters_agree_with_reference() {
+        for x in [0i32, 1, -1, 0x12345678, 0x0F0F0F0F, i32::MIN, 7, 0x40000000] {
+            let expect = x.count_ones() as i32;
+            assert_eq!(machine_call("bit_count", &[x]), expect, "bit_count({x})");
+            assert_eq!(
+                machine_call("bitcount_parallel", &[x]),
+                expect,
+                "bitcount_parallel({x})"
+            );
+            assert_eq!(machine_call("ntbl_bitcount", &[x]), expect, "ntbl({x})");
+            assert_eq!(machine_call("bit_shifter", &[x]), expect, "shifter({x})");
+            assert_eq!(machine_call("btbl_bitcount", &[x]), expect, "btbl({x})");
+            assert_eq!(machine_call("bit_count_rec", &[x, 32]), expect, "rec({x})");
+            assert_eq!(
+                machine_call("bit_parity", &[x]),
+                (expect & 1),
+                "parity({x})"
+            );
+            assert_eq!(
+                machine_call("count_leading_zeros", &[x]),
+                x.leading_zeros() as i32,
+                "clz({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_matches_reference() {
+        let mut seed: i32 = 1;
+        let mut total: i64 = 0;
+        for _ in 0..50 {
+            total += 5 * seed.count_ones() as i64;
+            seed = seed.wrapping_mul(1103515245).wrapping_add(12345);
+        }
+        assert_eq!(machine_call("bitcnt_main", &[50]) as i64, total);
+    }
+}

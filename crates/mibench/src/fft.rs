@@ -1,0 +1,360 @@
+//! `fft` (MiBench *telecomm*) — "fast fourier transform".
+//!
+//! The MiBench program uses floating point; the modelled embedded target
+//! (like the StrongARM SA-100) has no FPU, so this is the classic
+//! **fixed-point** integer FFT (Q14 arithmetic, 16 points) — the same code
+//! paths (butterfly loop nest, twiddle lookups, bit-reversal shuffle) in
+//! integer RTL. As in the paper, where `fft_float` and `main` were the two
+//! functions whose spaces were too big to enumerate, the butterfly nest
+//! here is the suite's heavyweight.
+
+use crate::{Benchmark, Workload};
+
+/// MiniC source of the kernels.
+pub const SOURCE: &str = r#"
+// sin(i * pi / 16) in Q14, i = 0..16.
+int sine_tab[17] = {
+    0, 3196, 6270, 9102, 11585, 13623, 15137, 16069,
+    16384, 16069, 15137, 13623, 11585, 9102, 6270, 3196, 0
+};
+
+int re[16];
+int im[16];
+
+// Q14 multiply.
+int fix_mpy(int a, int b) {
+    return (a * b) >> 14;
+}
+
+// sin of table index i (full circle is 32 indices).
+int fix_sin(int i) {
+    i = i & 31;
+    if (i < 16) return sine_tab[i];
+    return -sine_tab[i - 16];
+}
+
+int fix_cos(int i) {
+    return fix_sin(i + 8);
+}
+
+int reverse_bits(int x, int bits) {
+    int r = 0;
+    int i;
+    for (i = 0; i < bits; i++) {
+        r = (r << 1) | (x & 1);
+        x = x >>> 1;
+    }
+    return r;
+}
+
+// Bit-reversal permutation of the 16-point buffers.
+void fft_shuffle() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        int j = reverse_bits(i, 4);
+        if (j > i) {
+            int t = re[i];
+            re[i] = re[j];
+            re[j] = t;
+            t = im[i];
+            im[i] = im[j];
+            im[j] = t;
+        }
+    }
+}
+
+// The decimation-in-time butterfly nest.
+int fft_butterflies() {
+    int size;
+    for (size = 2; size <= 16; size = size << 1) {
+        int half = size >> 1;
+        int step = 32 / size;
+        int i;
+        for (i = 0; i < 16; i += size) {
+            int k = 0;
+            int j;
+            for (j = i; j < i + half; j++) {
+                int c = fix_cos(k);
+                int s = fix_sin(k);
+                int tr = fix_mpy(re[j + half], c) + fix_mpy(im[j + half], s);
+                int ti = fix_mpy(im[j + half], c) - fix_mpy(re[j + half], s);
+                re[j + half] = re[j] - tr;
+                im[j + half] = im[j] - ti;
+                re[j] = re[j] + tr;
+                im[j] = im[j] + ti;
+                k += step;
+            }
+        }
+    }
+    return re[0];
+}
+
+// Load a test wave: re[i] = amp * sin(i * freq * 2), im = 0.
+void fft_load_wave(int freq, int amp) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        re[i] = fix_mpy(amp, fix_sin(i * freq * 2));
+        im[i] = 0;
+    }
+}
+
+// Spectral energy; inputs are pre-scaled so the squares cannot overflow
+// 32 bits (|re|,|im| can reach 16 * 16384 after the transform).
+int fft_energy() {
+    int e = 0;
+    int i;
+    for (i = 0; i < 16; i++) {
+        int r = re[i] >> 8;
+        int m = im[i] >> 8;
+        e += r * r + m * m;
+    }
+    return e;
+}
+
+// Index of the strongest bin in the first half of the spectrum.
+int fft_peak_bin() {
+    int best = 0;
+    int besti = 0;
+    int i;
+    for (i = 0; i < 8; i++) {
+        int r = re[i] >> 8;
+        int m = im[i] >> 8;
+        int mag = r * r + m * m;
+        if (mag > best) {
+            best = mag;
+            besti = i;
+        }
+    }
+    return besti;
+}
+
+// Full pipeline: load, shuffle, transform; returns the peak bin.
+int fft_main(int freq, int amp) {
+    fft_load_wave(freq, amp);
+    fft_shuffle();
+    fft_butterflies();
+    return fft_peak_bin();
+}
+
+// Triangular window applied in place (fixed-point Bartlett).
+void fft_window() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        int w;
+        if (i < 8) w = i * 2048;
+        else w = (15 - i) * 2048;
+        re[i] = fix_mpy(re[i], w);
+        im[i] = fix_mpy(im[i], w);
+    }
+}
+
+// Mean squared sample value of the loaded wave (time domain).
+int signal_power() {
+    int p = 0;
+    int i;
+    for (i = 0; i < 16; i++) {
+        int r = re[i] >> 4;
+        p += (r * r) >> 8;
+    }
+    return p >> 4;
+}
+
+// The whole transform inlined into one function — the suite's
+// heavyweight, standing in for the paper's `fft_float`/`main(f)` (their
+// spaces were too big for VPO to enumerate; ours stays within reach).
+int fft_inlined(int freq, int amp) {
+    int i;
+    int size;
+    for (i = 0; i < 16; i++) {
+        int idx = (i * freq * 2) & 31;
+        int sv;
+        if (idx < 16) sv = sine_tab[idx];
+        else sv = -sine_tab[idx - 16];
+        re[i] = (amp * sv) >> 14;
+        im[i] = 0;
+    }
+    for (i = 0; i < 16; i++) {
+        int r = ((i & 1) << 3) | ((i & 2) << 1) | ((i & 4) >> 1) | ((i & 8) >> 3);
+        if (r > i) {
+            int t = re[i];
+            re[i] = re[r];
+            re[r] = t;
+            t = im[i];
+            im[i] = im[r];
+            im[r] = t;
+        }
+    }
+    for (size = 2; size <= 16; size = size << 1) {
+        int half = size >> 1;
+        int step = 32 / size;
+        for (i = 0; i < 16; i += size) {
+            int k = 0;
+            int j;
+            for (j = i; j < i + half; j++) {
+                int ci = (k + 8) & 31;
+                int c;
+                int sv;
+                if (ci < 16) c = sine_tab[ci];
+                else c = -sine_tab[ci - 16];
+                if (k < 16) sv = sine_tab[k];
+                else sv = -sine_tab[k - 16];
+                {
+                    int tr = ((re[j + half] * c) >> 14) + ((im[j + half] * sv) >> 14);
+                    int ti = ((im[j + half] * c) >> 14) - ((re[j + half] * sv) >> 14);
+                    re[j + half] = re[j] - tr;
+                    im[j + half] = im[j] - ti;
+                    re[j] = re[j] + tr;
+                    im[j] = im[j] + ti;
+                }
+                k += step;
+            }
+        }
+    }
+    {
+        int best = 0;
+        int besti = 0;
+        for (i = 0; i < 8; i++) {
+            int r = re[i] >> 8;
+            int m = im[i] >> 8;
+            int mag = r * r + m * m;
+            if (mag > best) {
+                best = mag;
+                besti = i;
+            }
+        }
+        return besti;
+    }
+}
+"#;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "fft",
+        category: "telecomm",
+        tag: 'f',
+        description: "fast fourier transform (fixed point)",
+        source: SOURCE,
+        workloads: vec![
+            Workload {
+                function: "fix_mpy",
+                args: vec![16384, 8192],
+                description: "Q14 multiply of 1.0 * 0.5",
+            },
+            Workload {
+                function: "reverse_bits",
+                args: vec![0b0110, 4],
+                description: "4-bit reversal",
+            },
+            Workload {
+                function: "fft_main",
+                args: vec![2, 16000],
+                description: "full 16-point FFT of a 2-cycle wave",
+            },
+            Workload {
+                function: "fft_energy",
+                args: vec![],
+                description: "spectral energy after a run",
+            },
+            Workload {
+                function: "fft_inlined",
+                args: vec![3, 15000],
+                description: "fully inlined pipeline (the heavyweight)",
+            },
+            Workload {
+                function: "signal_power",
+                args: vec![],
+                description: "time-domain power",
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_sim::Machine;
+
+    #[test]
+    fn fix_mpy_is_q14() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("fix_mpy", &[16384, 16384]).unwrap(), 16384); // 1*1
+        assert_eq!(m.call("fix_mpy", &[16384, 8192]).unwrap(), 8192); // 1*0.5
+        assert_eq!(m.call("fix_mpy", &[-16384, 8192]).unwrap(), -8192);
+    }
+
+    #[test]
+    fn bit_reversal() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("reverse_bits", &[0b0001, 4]).unwrap(), 0b1000);
+        assert_eq!(m.call("reverse_bits", &[0b0110, 4]).unwrap(), 0b0110);
+        assert_eq!(m.call("reverse_bits", &[0b1011, 4]).unwrap(), 0b1101);
+    }
+
+    #[test]
+    fn sin_cos_symmetry() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        // sin(i) == -sin(i + 16); cos(0) == sin(8) == 16384.
+        for i in 0..16 {
+            let s = m.call("fix_sin", &[i]).unwrap();
+            let s2 = m.call("fix_sin", &[i + 16]).unwrap();
+            assert_eq!(s, -s2, "sin({i})");
+        }
+        assert_eq!(m.call("fix_cos", &[0]).unwrap(), 16384);
+    }
+
+    #[test]
+    fn fft_finds_the_tone() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.set_fuel(50_000_000);
+        // A wave with `freq` cycles across the 16 samples peaks in bin
+        // `freq`.
+        for freq in [1, 2, 3] {
+            m.reset();
+            let bin = m.call("fft_main", &[freq, 16000]).unwrap();
+            assert_eq!(bin, freq, "peak bin for freq {freq}");
+        }
+    }
+
+    #[test]
+    fn inlined_pipeline_agrees_with_composed() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.set_fuel(100_000_000);
+        for freq in [1, 2, 3] {
+            m.reset();
+            let composed = m.call("fft_main", &[freq, 15000]).unwrap();
+            m.reset();
+            let inlined = m.call("fft_inlined", &[freq, 15000]).unwrap();
+            assert_eq!(composed, inlined, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn window_keeps_magnitudes_bounded() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.call("fft_load_wave", &[2, 16000]).unwrap();
+        let before: Vec<i32> = (0..16).map(|i| m.read_global_word("re", i)).collect();
+        m.call("fft_window", &[]).unwrap();
+        for (i, &b) in before.iter().enumerate() {
+            let after = m.read_global_word("re", i);
+            assert!(after.abs() <= b.abs().max(1), "window grew sample {i}");
+        }
+    }
+
+    #[test]
+    fn energy_is_nonnegative_and_stable() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.call("fft_main", &[2, 16000]).unwrap();
+        let e1 = m.call("fft_energy", &[]).unwrap();
+        let e2 = m.call("fft_energy", &[]).unwrap();
+        assert!(e1 > 0);
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,423 @@
+//! `jpeg` (MiBench *consumer*) — "image compression / decompression".
+//!
+//! The benchmark's hot kernels re-implemented over an 8×8 work block:
+//! color conversion, a DCT-style butterfly transform, quantization,
+//! zigzag scanning, and run-length encoding — the paper's many small
+//! `jpeg`-tagged functions (`get_8bit_row`, `read_quant_tables`, ...)
+//! have exactly this flavor of table-driven loop code.
+
+use crate::{Benchmark, Workload};
+
+/// MiniC source of the kernels.
+pub const SOURCE: &str = r#"
+int blk[64];
+int out[64];
+int qtab[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99
+};
+int zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+
+// ITU-R BT.601 luma in 16-bit fixed point.
+int ycc_y(int r, int g, int b) {
+    return (19595 * r + 38470 * g + 7471 * b + 32768) >> 16;
+}
+
+int ycc_cb(int r, int g, int b) {
+    return ((0 - 11059) * r - 21709 * g + 32768 * b + 8421376) >> 16;
+}
+
+int ycc_cr(int r, int g, int b) {
+    return (32768 * r - 27439 * g - 5329 * b + 8421376) >> 16;
+}
+
+// Clamp to the 8-bit sample range.
+int range_limit(int x) {
+    if (x < 0) return 0;
+    if (x > 255) return 255;
+    return x;
+}
+
+// Descale with rounding, as in the library's DCT.
+int descale(int x, int n) {
+    return (x + (1 << (n - 1))) >> n;
+}
+
+// A 1-D butterfly pass over every row of the block (DCT-flavoured:
+// sums/differences plus scaled rotations).
+void dct_rows() {
+    int r;
+    for (r = 0; r < 8; r++) {
+        int base = r * 8;
+        int s07 = blk[base] + blk[base + 7];
+        int d07 = blk[base] - blk[base + 7];
+        int s16 = blk[base + 1] + blk[base + 6];
+        int d16 = blk[base + 1] - blk[base + 6];
+        int s25 = blk[base + 2] + blk[base + 5];
+        int d25 = blk[base + 2] - blk[base + 5];
+        int s34 = blk[base + 3] + blk[base + 4];
+        int d34 = blk[base + 3] - blk[base + 4];
+        blk[base] = s07 + s34 + s16 + s25;
+        blk[base + 4] = s07 + s34 - s16 - s25;
+        blk[base + 2] = descale((s07 - s34) * 17734 + (s16 - s25) * 7344, 13);
+        blk[base + 6] = descale((s07 - s34) * 7344 - (s16 - s25) * 17734, 13);
+        blk[base + 1] = descale(d07 * 16819 + d16 * 14251 + d25 * 9517 + d34 * 3342, 13);
+        blk[base + 3] = descale(d07 * 14251 - d16 * 3342 - d25 * 16819 - d34 * 9517, 13);
+        blk[base + 5] = descale(d07 * 9517 - d16 * 16819 + d25 * 3342 + d34 * 14251, 13);
+        blk[base + 7] = descale(d07 * 3342 - d16 * 9517 + d25 * 14251 - d34 * 16819, 13);
+    }
+}
+
+// Quantize the block in place.
+void quantize_block() {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int v = blk[i];
+        int q = qtab[i];
+        if (v < 0) {
+            blk[i] = -((q / 2 - v) / q);
+        } else {
+            blk[i] = (v + q / 2) / q;
+        }
+    }
+}
+
+// Zigzag reorder into `out`; returns the index of the last nonzero
+// coefficient.
+int zigzag_scan() {
+    int last = -1;
+    int i;
+    for (i = 0; i < 64; i++) {
+        out[i] = blk[zigzag[i]];
+        if (out[i] != 0) last = i;
+    }
+    return last;
+}
+
+// Run-length encode `out` in place as (run, value) pairs; returns the
+// number of pairs (the entropy-coding front half).
+int rle_encode(int limit) {
+    int pairs = 0;
+    int run = 0;
+    int i;
+    for (i = 1; i <= limit; i++) {
+        if (out[i] == 0 && run < 15) {
+            run++;
+        } else {
+            pairs++;
+            run = 0;
+        }
+    }
+    return pairs;
+}
+
+// Number of bits needed to encode magnitude v (jpeg's "nbits").
+int jpeg_nbits(int v) {
+    int n = 0;
+    if (v < 0) v = -v;
+    while (v != 0) {
+        n++;
+        v = v >>> 1;
+    }
+    return n;
+}
+
+// Inverse of the row transform's butterfly skeleton (structure only —
+// exercises the same add/shift patterns in the opposite direction).
+void idct_rows() {
+    int r;
+    for (r = 0; r < 8; r++) {
+        int base = r * 8;
+        int e0 = blk[base] + blk[base + 4];
+        int e1 = blk[base] - blk[base + 4];
+        int e2 = descale(blk[base + 2] * 17734 - blk[base + 6] * 7344, 13);
+        int e3 = descale(blk[base + 2] * 7344 + blk[base + 6] * 17734, 13);
+        int o0 = descale(blk[base + 1] * 16819 + blk[base + 7] * 3342, 13);
+        int o1 = descale(blk[base + 3] * 14251 - blk[base + 5] * 9517, 13);
+        int o2 = descale(blk[base + 5] * 14251 + blk[base + 3] * 9517, 13);
+        int o3 = descale(blk[base + 7] * 16819 - blk[base + 1] * 3342, 13);
+        blk[base] = (e0 + e3 + o0 + o1) >> 3;
+        blk[base + 1] = (e1 + e2 + o2 - o3) >> 3;
+        blk[base + 2] = (e1 - e2 + o2 + o3) >> 3;
+        blk[base + 3] = (e0 - e3 + o0 - o1) >> 3;
+        blk[base + 4] = (e0 - e3 - o0 + o1) >> 3;
+        blk[base + 5] = (e1 - e2 - o2 - o3) >> 3;
+        blk[base + 6] = (e1 + e2 - o2 + o3) >> 3;
+        blk[base + 7] = (e0 + e3 - o0 - o1) >> 3;
+    }
+}
+
+// 2x2 chroma downsampling of the block into out[0..16].
+void downsample_2x2() {
+    int r;
+    for (r = 0; r < 4; r++) {
+        int c;
+        for (c = 0; c < 4; c++) {
+            int base = r * 16 + c * 2;
+            out[r * 4 + c] =
+                (blk[base] + blk[base + 1] + blk[base + 8] + blk[base + 9] + 2) >> 2;
+        }
+    }
+}
+
+// The column pass of the 2-D transform: the same butterfly skeleton as
+// dct_rows but striding by 8 (a different memory access pattern).
+void dct_cols() {
+    int c;
+    for (c = 0; c < 8; c++) {
+        int s07 = blk[c] + blk[c + 56];
+        int d07 = blk[c] - blk[c + 56];
+        int s16 = blk[c + 8] + blk[c + 48];
+        int d16 = blk[c + 8] - blk[c + 48];
+        int s25 = blk[c + 16] + blk[c + 40];
+        int d25 = blk[c + 16] - blk[c + 40];
+        int s34 = blk[c + 24] + blk[c + 32];
+        int d34 = blk[c + 24] - blk[c + 32];
+        blk[c] = descale(s07 + s34 + s16 + s25 + 2, 2);
+        blk[c + 32] = descale(s07 + s34 - s16 - s25 + 2, 2);
+        blk[c + 16] = descale((s07 - s34) * 17734 + (s16 - s25) * 7344, 15);
+        blk[c + 48] = descale((s07 - s34) * 7344 - (s16 - s25) * 17734, 15);
+        blk[c + 8] = descale(d07 * 16819 + d16 * 14251 + d25 * 9517 + d34 * 3342, 15);
+        blk[c + 24] = descale(d07 * 14251 - d16 * 3342 - d25 * 16819 - d34 * 9517, 15);
+        blk[c + 40] = descale(d07 * 9517 - d16 * 16819 + d25 * 3342 + d34 * 14251, 15);
+        blk[c + 56] = descale(d07 * 3342 - d16 * 9517 + d25 * 14251 - d34 * 16819, 15);
+    }
+}
+
+int last_dc = 0;
+
+// DC prediction: returns the delta to encode and updates the predictor.
+int dc_predict(int dc) {
+    int delta = dc - last_dc;
+    last_dc = dc;
+    return delta;
+}
+
+// Mean sample value of the block (arithmetic shift floors toward
+// negative infinity, which is what the library's scaled means use).
+int block_mean() {
+    int s = 0;
+    int i;
+    for (i = 0; i < 64; i++) s += blk[i];
+    return (s + 32) >> 6;
+}
+
+// Fill the block with a synthetic gradient image patch.
+void load_patch(int seed) {
+    int r;
+    int c;
+    for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+            int red = range_limit((r * 32 + seed) & 255);
+            int green = range_limit((c * 32 + seed * 3) & 255);
+            int blue = range_limit(((r + c) * 16 + seed * 5) & 255);
+            blk[r * 8 + c] = ycc_y(red, green, blue) - 128;
+        }
+    }
+}
+
+// Whole pipeline: returns a checksum of the RLE stats.
+int jpeg_main(int seed) {
+    int last;
+    load_patch(seed);
+    dct_rows();
+    dct_cols();
+    quantize_block();
+    last = zigzag_scan();
+    if (last < 0) return 0;
+    return rle_encode(last) * 256 + jpeg_nbits(out[0]);
+}
+"#;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "jpeg",
+        category: "consumer",
+        tag: 'j',
+        description: "image compression / decompression",
+        source: SOURCE,
+        workloads: vec![
+            Workload {
+                function: "ycc_y",
+                args: vec![200, 100, 50],
+                description: "luma conversion",
+            },
+            Workload {
+                function: "range_limit",
+                args: vec![300],
+                description: "sample clamping",
+            },
+            Workload {
+                function: "jpeg_nbits",
+                args: vec![-1000],
+                description: "magnitude bits",
+            },
+            Workload {
+                function: "jpeg_main",
+                args: vec![11],
+                description: "full block pipeline",
+            },
+            Workload {
+                function: "idct_rows",
+                args: vec![],
+                description: "inverse transform skeleton",
+            },
+            Workload {
+                function: "downsample_2x2",
+                args: vec![],
+                description: "chroma subsampling",
+            },
+            Workload {
+                function: "dc_predict",
+                args: vec![57],
+                description: "DC delta encoding",
+            },
+            Workload {
+                function: "block_mean",
+                args: vec![],
+                description: "block statistics",
+            },
+            Workload {
+                function: "dct_cols",
+                args: vec![],
+                description: "column transform pass",
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_sim::Machine;
+
+    #[test]
+    fn luma_matches_reference() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        for (r, g, b) in [(0, 0, 0), (255, 255, 255), (200, 100, 50), (1, 2, 3)] {
+            let expect = (19595 * r + 38470 * g + 7471 * b + 32768) >> 16;
+            assert_eq!(m.call("ycc_y", &[r, g, b]).unwrap(), expect);
+        }
+        // White is neutral chroma (128 after bias).
+        assert_eq!(m.call("ycc_cb", &[255, 255, 255]).unwrap(), 128);
+        assert_eq!(m.call("ycc_cr", &[255, 255, 255]).unwrap(), 128);
+    }
+
+    #[test]
+    fn range_limit_clamps() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("range_limit", &[-5]).unwrap(), 0);
+        assert_eq!(m.call("range_limit", &[300]).unwrap(), 255);
+        assert_eq!(m.call("range_limit", &[128]).unwrap(), 128);
+    }
+
+    #[test]
+    fn nbits_matches_reference() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        for v in [0i32, 1, -1, 2, 3, 255, -256, 1023, i32::MAX] {
+            let expect = (32 - (v.unsigned_abs()).leading_zeros()) as i32;
+            assert_eq!(m.call("jpeg_nbits", &[v]).unwrap(), expect, "nbits({v})");
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_and_plausible() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.set_fuel(50_000_000);
+        let a = m.call("jpeg_main", &[11]).unwrap();
+        m.reset();
+        let b = m.call("jpeg_main", &[11]).unwrap();
+        assert_eq!(a, b);
+        // DC coefficient should dominate: some pairs and nonzero bits.
+        assert!(a > 0, "pipeline checksum was {a}");
+    }
+
+    #[test]
+    fn dc_predict_is_a_running_delta() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("dc_predict", &[10]).unwrap(), 10);
+        assert_eq!(m.call("dc_predict", &[25]).unwrap(), 15);
+        assert_eq!(m.call("dc_predict", &[5]).unwrap(), -20);
+    }
+
+    #[test]
+    fn downsample_averages_quads() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        for i in 0..64 {
+            m.write_global_word("blk", i, (i as i32) * 4);
+        }
+        m.call("downsample_2x2", &[]).unwrap();
+        // Quad (0,1,8,9)*4 = (0+4+32+36+2)/4 = 18 (rounded).
+        assert_eq!(m.read_global_word("out", 0), 18);
+        // Values strictly increase along each row of the downsample.
+        for r in 0..4 {
+            for c in 1..4 {
+                assert!(
+                    m.read_global_word("out", r * 4 + c)
+                        > m.read_global_word("out", r * 4 + c - 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_mean_matches_reference() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        for i in 0..64 {
+            m.write_global_word("blk", i, i as i32 - 20);
+        }
+        let s: i32 = (0..64).map(|i| i - 20).sum();
+        assert_eq!(m.call("block_mean", &[]).unwrap(), (s + 32) >> 6);
+    }
+
+    #[test]
+    fn idct_runs_and_is_deterministic() {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        m.call("load_patch", &[3]).unwrap();
+        m.call("dct_rows", &[]).unwrap();
+        m.call("idct_rows", &[]).unwrap();
+        let a: Vec<i32> = (0..64).map(|i| m.read_global_word("blk", i)).collect();
+        m.reset();
+        m.call("load_patch", &[3]).unwrap();
+        m.call("dct_rows", &[]).unwrap();
+        m.call("idct_rows", &[]).unwrap();
+        let b: Vec<i32> = (0..64).map(|i| m.read_global_word("blk", i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let p = benchmark().compile().unwrap();
+        let m = Machine::new(&p);
+        let mut seen = [false; 64];
+        for i in 0..64 {
+            let v = m.read_global_word("zigzag", i) as usize;
+            assert!(v < 64 && !seen[v], "zigzag[{i}]={v}");
+            seen[v] = true;
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! `stringsearch` (MiBench *office*) — "searches for given words in
+//! phrases" with the Boyer–Moore–Horspool family, exactly the function
+//! set of the paper's Table 3 (`bmh_init`, `bmh_search`, `bmhi_init`,
+//! `bmhi_search`, ...).
+
+use crate::{Benchmark, Workload};
+
+/// MiniC source of the kernels.
+pub const SOURCE: &str = r#"
+char text[] = "The quick brown Fox jumps over the lazy dog while the CASE of letters Varies across THE phrases we search";
+char pat_the[] = "the";
+char pat_fox[] = "Fox";
+char pat_case[] = "case";
+char pat_missing[] = "zebra";
+
+int skip_tab[256];
+
+int slen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int lower(int c) {
+    if (c >= 'A' && c <= 'Z') return c + 32;
+    return c;
+}
+
+// Case-sensitive Horspool bad-character table.
+void bmh_init(char *pat) {
+    int len = slen(pat);
+    int i;
+    for (i = 0; i < 256; i++) skip_tab[i] = len;
+    for (i = 0; i < len - 1; i++) skip_tab[pat[i]] = len - 1 - i;
+}
+
+// Case-sensitive Horspool search; returns the match offset or -1.
+int bmh_search(char *s, char *pat) {
+    int n = slen(s);
+    int m = slen(pat);
+    int i;
+    if (m == 0 || m > n) return -1;
+    i = m - 1;
+    while (i < n) {
+        int j = m - 1;
+        int k = i;
+        while (j >= 0 && s[k] == pat[j]) {
+            j--;
+            k--;
+        }
+        if (j < 0) return k + 1;
+        i += skip_tab[s[i]];
+    }
+    return -1;
+}
+
+// Case-insensitive variants (bmhi in the benchmark).
+void bmhi_init(char *pat) {
+    int len = slen(pat);
+    int i;
+    for (i = 0; i < 256; i++) skip_tab[i] = len;
+    for (i = 0; i < len - 1; i++) {
+        skip_tab[lower(pat[i])] = len - 1 - i;
+        skip_tab[lower(pat[i]) - 32] = len - 1 - i;
+    }
+}
+
+int bmhi_search(char *s, char *pat) {
+    int n = slen(s);
+    int m = slen(pat);
+    int i;
+    if (m == 0 || m > n) return -1;
+    i = m - 1;
+    while (i < n) {
+        int j = m - 1;
+        int k = i;
+        while (j >= 0 && lower(s[k]) == lower(pat[j])) {
+            j--;
+            k--;
+        }
+        if (j < 0) return k + 1;
+        i += skip_tab[s[i]];
+    }
+    return -1;
+}
+
+// Plain strcmp for completeness (the benchmark links one in).
+int str_cmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] != 0 && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+// Count case-insensitive occurrences of `pat` in the text.
+int count_matches(char *pat) {
+    int count = 0;
+    int from = 0;
+    int n = slen(text);
+    bmhi_init(pat);
+    while (from < n) {
+        int pos;
+        int i;
+        // Search the suffix text[from..] by shifting through a window.
+        pos = -1;
+        i = from + slen(pat) - 1;
+        while (i < n) {
+            int j = slen(pat) - 1;
+            int k = i;
+            while (j >= 0 && lower(text[k]) == lower(pat[j])) {
+                j--;
+                k--;
+            }
+            if (j < 0) {
+                pos = k + 1;
+                break;
+            }
+            i += skip_tab[text[i]];
+        }
+        if (pos < 0) break;
+        count++;
+        from = pos + 1;
+    }
+    return count;
+}
+
+int upper(int c) {
+    if (c >= 'a' && c <= 'z') return c - 32;
+    return c;
+}
+
+// The benchmark's simple shift-table pair (init_search / strsearch).
+void init_search(char *pat) {
+    int len = slen(pat);
+    int i;
+    for (i = 0; i < 256; i++) skip_tab[i] = len + 1;
+    for (i = 0; i < len; i++) skip_tab[pat[i]] = len - i;
+}
+
+int strsearch(char *s, char *pat) {
+    int n = slen(s);
+    int m = slen(pat);
+    int i = 0;
+    if (m == 0 || m > n) return -1;
+    while (i + m <= n) {
+        int j = 0;
+        while (j < m && s[i + j] == pat[j]) j++;
+        if (j == m) return i;
+        if (i + m < n) i += skip_tab[s[i + m]];
+        else break;
+    }
+    return -1;
+}
+
+// Brute-force baseline.
+int brute_search(char *s, char *pat) {
+    int n = slen(s);
+    int m = slen(pat);
+    int i;
+    if (m == 0 || m > n) return -1;
+    for (i = 0; i + m <= n; i++) {
+        int j = 0;
+        while (j < m && s[i + j] == pat[j]) j++;
+        if (j == m) return i;
+    }
+    return -1;
+}
+
+// Driver: searches the text for each pattern, combining the offsets.
+int search_main() {
+    int total = 0;
+    bmh_init(pat_fox);
+    total += bmh_search(text, pat_fox);
+    bmh_init(pat_the);
+    total += bmh_search(text, pat_the) * 3;
+    bmhi_init(pat_case);
+    total += bmhi_search(text, pat_case) * 5;
+    bmh_init(pat_missing);
+    total += bmh_search(text, pat_missing); // not found: -1
+    init_search(pat_fox);
+    total += strsearch(text, pat_fox) * 7;
+    total += brute_search(text, pat_the) * 11;
+    total += count_matches(pat_the) * 1000;
+    return total;
+}
+"#;
+
+/// The benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "stringsearch",
+        category: "office",
+        tag: 's',
+        description: "searches for given words in phrases",
+        source: SOURCE,
+        workloads: vec![Workload {
+            function: "search_main",
+            args: vec![],
+            description: "all patterns against the text",
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_sim::Machine;
+
+    const TEXT: &str = "The quick brown Fox jumps over the lazy dog while the CASE of letters Varies across THE phrases we search";
+
+    fn with_machine<R>(f: impl FnOnce(&mut Machine) -> R) -> R {
+        let p = benchmark().compile().unwrap();
+        let mut m = Machine::new(&p);
+        f(&mut m)
+    }
+
+    #[test]
+    fn search_finds_reference_offsets() {
+        with_machine(|m| {
+            // bmh is case-sensitive: "Fox" at the byte offset Rust finds.
+            let fox = TEXT.find("Fox").unwrap() as i32;
+            let pat_addr =
+                |m: &Machine, name: &str| m.global_address(
+                    // resolve through the program to pass the pointer
+                    // arguments; globals decay to addresses.
+                    {
+                        let p = benchmark().compile().unwrap();
+                        p.global_by_name(name).unwrap()
+                    },
+                ) as i32;
+            let text_a = pat_addr(m, "text");
+            let fox_a = pat_addr(m, "pat_fox");
+            m.call("bmh_init", &[fox_a]).unwrap();
+            assert_eq!(m.call("bmh_search", &[text_a, fox_a]).unwrap(), fox);
+        });
+    }
+
+    #[test]
+    fn case_insensitive_search_differs_from_sensitive() {
+        with_machine(|m| {
+            let p = benchmark().compile().unwrap();
+            let text_a = m.global_address(p.global_by_name("text").unwrap()) as i32;
+            let case_a = m.global_address(p.global_by_name("pat_case").unwrap()) as i32;
+            m.call("bmh_init", &[case_a]).unwrap();
+            let sensitive = m.call("bmh_search", &[text_a, case_a]).unwrap();
+            m.call("bmhi_init", &[case_a]).unwrap();
+            let insensitive = m.call("bmhi_search", &[text_a, case_a]).unwrap();
+            // "case" (lowercase) does not occur; "CASE" does.
+            assert_eq!(sensitive, -1);
+            assert_eq!(insensitive, TEXT.find("CASE").unwrap() as i32);
+        });
+    }
+
+    #[test]
+    fn count_matches_counts_all_the() {
+        with_machine(|m| {
+            let p = benchmark().compile().unwrap();
+            let the_a = m.global_address(p.global_by_name("pat_the").unwrap()) as i32;
+            let expect = TEXT.to_lowercase().matches("the").count() as i32;
+            assert_eq!(m.call("count_matches", &[the_a]).unwrap(), expect);
+        });
+    }
+
+    #[test]
+    fn driver_runs_and_is_deterministic() {
+        let a = with_machine(|m| m.call("search_main", &[]).unwrap());
+        let b = with_machine(|m| m.call("search_main", &[]).unwrap());
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn all_search_variants_agree() {
+        with_machine(|m| {
+            let p = benchmark().compile().unwrap();
+            let text_a = m.global_address(p.global_by_name("text").unwrap()) as i32;
+            for pat in ["pat_the", "pat_fox", "pat_missing"] {
+                let pa = m.global_address(p.global_by_name(pat).unwrap()) as i32;
+                let brute = m.call("brute_search", &[text_a, pa]).unwrap();
+                m.call("bmh_init", &[pa]).unwrap();
+                let bmh = m.call("bmh_search", &[text_a, pa]).unwrap();
+                m.call("init_search", &[pa]).unwrap();
+                let simple = m.call("strsearch", &[text_a, pa]).unwrap();
+                assert_eq!(brute, bmh, "{pat}: brute vs bmh");
+                assert_eq!(brute, simple, "{pat}: brute vs strsearch");
+            }
+        });
+    }
+
+    #[test]
+    fn upper_and_lower_are_inverse_on_letters() {
+        with_machine(|m| {
+            for c in b'a'..=b'z' {
+                let u = m.call("upper", &[c as i32]).unwrap();
+                assert_eq!(u, (c as i32) - 32);
+                assert_eq!(m.call("lower", &[u]).unwrap(), c as i32);
+            }
+            assert_eq!(m.call("upper", &['!' as i32]).unwrap(), '!' as i32);
+        });
+    }
+
+    #[test]
+    fn str_cmp_semantics() {
+        with_machine(|m| {
+            let p = benchmark().compile().unwrap();
+            let the_a = m.global_address(p.global_by_name("pat_the").unwrap()) as i32;
+            let fox_a = m.global_address(p.global_by_name("pat_fox").unwrap()) as i32;
+            assert_eq!(m.call("str_cmp", &[the_a, the_a]).unwrap(), 0);
+            assert_ne!(m.call("str_cmp", &[the_a, fox_a]).unwrap(), 0);
+        });
+    }
+}

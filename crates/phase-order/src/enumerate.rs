@@ -1,0 +1,377 @@
+//! The exhaustive enumeration algorithm of Section 4.
+//!
+//! The space of *attempted* phase sequences is astronomically large (15^n
+//! for sequences of length n), but the space of *distinct function
+//! instances* is tiny by comparison. The algorithm explores level by level
+//! (level n holds the instances whose shortest active sequence has length
+//! n), pruning with:
+//!
+//! 1. **Dormant phase detection** (Section 4.1) — attempts that do not
+//!    change the representation create no new sequence prefix; a phase
+//!    that was just active is not re-attempted (no phase in this compiler
+//!    can be successfully applied twice in a row — each runs to its own
+//!    fixpoint).
+//! 2. **Identical instance detection** (Section 4.2) — every produced
+//!    instance is canonicalized (registers and labels renumbered in
+//!    first-encounter order) and fingerprinted with (instruction count,
+//!    byte sum, CRC-32); known instances merge the tree into a DAG.
+//!
+//! The **prefix-sharing** evaluation strategy of Section 4.3 keeps each
+//! frontier instance materialized so a child costs exactly one phase
+//! application; the naive strategy (kept for the Figure 6 experiment)
+//! replays the whole active sequence from the unoptimized function for
+//! every attempt.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use vpo_opt::{attempt, PhaseId, Target};
+use vpo_rtl::canon;
+use vpo_rtl::cfg::control_flow_signature;
+use vpo_rtl::Function;
+
+use crate::space::{Node, NodeId, SearchSpace};
+
+/// How child instances are produced from their parents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReplayMode {
+    /// Keep frontier instances in memory; apply exactly one phase per
+    /// attempt (the Section 4.3 enhancement).
+    #[default]
+    PrefixSharing,
+    /// Rebuild every instance from the unoptimized function by replaying
+    /// its discovery sequence (the naive strategy of Figure 6(a)).
+    NaiveReplay,
+}
+
+/// Enumeration limits and options.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Abort when the number of instances awaiting expansion at one level
+    /// exceeds this bound (the paper used one million).
+    pub max_level_width: usize,
+    /// Abort when the total number of distinct instances exceeds this.
+    pub max_nodes: usize,
+    /// Evaluation strategy (see [`ReplayMode`]).
+    pub replay: ReplayMode,
+    /// Verify fingerprint hits by full canonical-byte comparison and
+    /// record any collision (none have ever been observed, matching the
+    /// paper).
+    pub paranoid: bool,
+    /// Do not re-attempt the phase that produced an instance (the paper's
+    /// Figure 2 shortcut). VPO guarantees a phase is never successful twice
+    /// in a row; in this compiler the implicit block normalization can
+    /// occasionally re-enable the very phase that just ran, so the shortcut
+    /// is off by default and exists for fidelity experiments.
+    pub skip_just_applied: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_level_width: 1_000_000,
+            max_nodes: 4_000_000,
+            replay: ReplayMode::PrefixSharing,
+            paranoid: false,
+            skip_just_applied: false,
+        }
+    }
+}
+
+/// Whether the enumeration ran to completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchOutcome {
+    /// Every reachable instance was expanded.
+    Complete,
+    /// The space exceeded a configured bound at the given level.
+    TooBig {
+        /// Level at which the bound was hit.
+        level: u32,
+    },
+}
+
+impl SearchOutcome {
+    /// Whether the search completed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SearchOutcome::Complete)
+    }
+}
+
+/// Evaluation-cost counters (the Figure 6 comparison) and search totals.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Optimization phases attempted, including dormant ones (`Attempt
+    /// Phases` in Table 3).
+    pub attempted_phases: u64,
+    /// Attempts that were active.
+    pub active_attempts: u64,
+    /// Total phase *applications* performed, including replay overhead —
+    /// equals `attempted_phases` under prefix sharing, and is 5–10× larger
+    /// under naive replay (Section 4.3).
+    pub phases_applied: u64,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+    /// Fingerprint collisions detected in paranoid mode (expected 0).
+    pub collisions: u64,
+}
+
+/// The result of enumerating one function's phase-order space.
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    /// The weighted DAG of distinct instances.
+    pub space: SearchSpace,
+    /// Whether the search completed.
+    pub outcome: SearchOutcome,
+    /// Cost counters.
+    pub stats: SearchStats,
+}
+
+/// Exhaustively enumerates the phase-order space of `f`.
+///
+/// `f` is the *unoptimized* function as produced by the front end; the
+/// root instance is `f` itself. On [`SearchOutcome::TooBig`] the returned
+/// space holds the levels enumerated so far (weights are still computed
+/// over the partial DAG).
+pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration {
+    let start = std::time::Instant::now();
+    let mut space = SearchSpace::new();
+    let mut stats = SearchStats::default();
+    let mut paranoid_bytes: HashMap<NodeId, Vec<u8>> = HashMap::new();
+
+    let root_fp = canon::fingerprint(f);
+    let root = space.insert(Node {
+        fp: root_fp,
+        flags: f.flags,
+        level: 0,
+        inst_count: f.inst_count() as u32,
+        cf_sig: control_flow_signature(f),
+        active_mask: 0,
+        children: Vec::new(),
+        discovered_from: None,
+        weight: 0,
+    });
+    if config.paranoid {
+        paranoid_bytes.insert(root, canon::canonical_bytes(f));
+    }
+
+    // Frontier of instances to expand, with their materialized functions
+    // (prefix sharing) or discovery sequences (naive replay).
+    let mut frontier: Vec<(NodeId, Function, Vec<PhaseId>)> =
+        vec![(root, f.clone(), Vec::new())];
+    let mut outcome = SearchOutcome::Complete;
+    let mut level = 0u32;
+
+    'search: while !frontier.is_empty() {
+        level += 1;
+        let mut next: Vec<(NodeId, Function, Vec<PhaseId>)> = Vec::new();
+        for (node_id, node_fn, node_seq) in std::mem::take(&mut frontier) {
+            let skip = if config.skip_just_applied {
+                space.node(node_id).discovered_from.map(|(_, p)| p)
+            } else {
+                None
+            };
+            let mut active_mask = 0u16;
+            let mut children = Vec::new();
+            for phase in PhaseId::ALL {
+                // Optional Figure 2 shortcut: the phase that just produced
+                // this instance is not re-attempted.
+                if Some(phase) == skip {
+                    continue;
+                }
+                let mut candidate = match config.replay {
+                    ReplayMode::PrefixSharing => node_fn.clone(),
+                    ReplayMode::NaiveReplay => {
+                        // Rebuild from the unoptimized function.
+                        let mut g = f.clone();
+                        for &p in &node_seq {
+                            attempt(&mut g, p, target);
+                            stats.phases_applied += 1;
+                        }
+                        g
+                    }
+                };
+                stats.attempted_phases += 1;
+                stats.phases_applied += 1;
+                let outcome_attempt = attempt(&mut candidate, phase, target);
+                if !outcome_attempt.active {
+                    continue;
+                }
+                stats.active_attempts += 1;
+                active_mask |= 1 << phase.index();
+                let fp = canon::fingerprint(&candidate);
+                let flags = candidate.flags;
+                let child_id = match space.find(fp, flags) {
+                    Some(existing) => {
+                        if config.paranoid {
+                            let bytes = canon::canonical_bytes(&candidate);
+                            if paranoid_bytes.get(&existing).map(|b| b != &bytes).unwrap_or(false)
+                            {
+                                stats.collisions += 1;
+                            }
+                        }
+                        existing
+                    }
+                    None => {
+                        let id = space.insert(Node {
+                            fp,
+                            flags,
+                            level,
+                            inst_count: candidate.inst_count() as u32,
+                            cf_sig: control_flow_signature(&candidate),
+                            active_mask: 0,
+                            children: Vec::new(),
+                            discovered_from: Some((node_id, phase)),
+                            weight: 0,
+                        });
+                        if config.paranoid {
+                            paranoid_bytes.insert(id, canon::canonical_bytes(&candidate));
+                        }
+                        let mut seq = Vec::new();
+                        if config.replay == ReplayMode::NaiveReplay {
+                            seq = node_seq.clone();
+                            seq.push(phase);
+                        }
+                        next.push((id, candidate, seq));
+                        id
+                    }
+                };
+                children.push((phase, child_id));
+            }
+            {
+                let n = space.node_mut(node_id);
+                n.active_mask = active_mask;
+                n.children = children;
+            }
+            if next.len() > config.max_level_width || space.len() > config.max_nodes {
+                outcome = SearchOutcome::TooBig { level };
+                break 'search;
+            }
+        }
+        frontier = next;
+    }
+
+    // Weights over the (possibly partial) DAG. The space is acyclic
+    // because no phase in this compiler undoes the effect of another; the
+    // assertion defends the interaction analyses against regressions.
+    space
+        .compute_weights()
+        .expect("phase-order space must be acyclic");
+
+    stats.elapsed = start.elapsed();
+    Enumeration { space, outcome, stats }
+}
+
+/// Convenience: renders an active phase sequence as its letter string
+/// (e.g. `"scks"`), the notation used throughout the paper.
+pub fn sequence_letters(seq: &[PhaseId]) -> String {
+    seq.iter().map(|p| p.letter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_fn(src: &str) -> Function {
+        vpo_frontend::compile(src).unwrap().functions.remove(0)
+    }
+
+    #[test]
+    fn trivial_function_space() {
+        let f = compile_fn("int one() { return 1; }");
+        let e = enumerate(&f, &Target::default(), &Config::default());
+        assert!(e.outcome.is_complete());
+        // `return 1` emits t0=1; RET t0 — instruction selection folds it,
+        // and a couple of phases interact; the space stays tiny.
+        assert!(e.space.len() >= 2);
+        assert!(e.space.len() < 20, "space unexpectedly large: {}", e.space.len());
+        assert!(e.space.leaf_count() >= 1);
+    }
+
+    #[test]
+    fn space_is_deterministic() {
+        let f = compile_fn("int f(int a, int b) { return a * b + a; }");
+        let t = Target::default();
+        let e1 = enumerate(&f, &t, &Config::default());
+        let e2 = enumerate(&f, &t, &Config::default());
+        assert_eq!(e1.space.len(), e2.space.len());
+        assert_eq!(e1.stats.attempted_phases, e2.stats.attempted_phases);
+        assert_eq!(e1.space.leaf_count(), e2.space.leaf_count());
+    }
+
+    #[test]
+    fn attempted_far_exceeds_instances() {
+        let f = compile_fn(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+        );
+        let e = enumerate(&f, &Target::default(), &Config::default());
+        assert!(e.outcome.is_complete());
+        // The central observation of the paper: attempts dwarf instances.
+        assert!(e.stats.attempted_phases as usize > 3 * e.space.len());
+        assert!(e.space.leaf_count() >= 1);
+        assert!(e.space.max_active_sequence_length() >= 3);
+    }
+
+    #[test]
+    fn naive_replay_explores_identical_space_at_higher_cost() {
+        let f = compile_fn("int f(int a) { return a * 4 + 2; }");
+        let t = Target::default();
+        let fast = enumerate(&f, &t, &Config::default());
+        let slow = enumerate(
+            &f,
+            &t,
+            &Config { replay: ReplayMode::NaiveReplay, ..Config::default() },
+        );
+        assert_eq!(fast.space.len(), slow.space.len());
+        assert_eq!(fast.stats.attempted_phases, slow.stats.attempted_phases);
+        assert!(
+            slow.stats.phases_applied > fast.stats.phases_applied,
+            "naive replay must apply more phases: {} vs {}",
+            slow.stats.phases_applied,
+            fast.stats.phases_applied
+        );
+    }
+
+    #[test]
+    fn paranoid_mode_sees_no_collisions() {
+        let f = compile_fn(
+            "int f(int a, int b) { if (a > b) return a - b; return b - a; }",
+        );
+        let e = enumerate(
+            &f,
+            &Target::default(),
+            &Config { paranoid: true, ..Config::default() },
+        );
+        assert_eq!(e.stats.collisions, 0);
+    }
+
+    #[test]
+    fn level_cap_reports_too_big() {
+        let f = compile_fn(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i * i; return s; }",
+        );
+        let e = enumerate(
+            &f,
+            &Target::default(),
+            &Config { max_level_width: 1, ..Config::default() },
+        );
+        assert!(matches!(e.outcome, SearchOutcome::TooBig { .. }));
+    }
+
+    #[test]
+    fn root_weight_counts_distinct_sequences() {
+        let f = compile_fn("int f(int a) { return a + 0 + a; }");
+        let e = enumerate(&f, &Target::default(), &Config::default());
+        let root_w = e.space.node(e.space.root()).weight;
+        assert!(root_w >= 1);
+        // Weight of the root cannot be smaller than the number of leaves.
+        assert!(root_w >= e.space.leaf_count() as u64);
+    }
+
+    #[test]
+    fn sequence_letters_renders() {
+        assert_eq!(
+            sequence_letters(&[PhaseId::InsnSelect, PhaseId::RegAlloc, PhaseId::Cse]),
+            "skc"
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! Phase-interaction analysis over enumerated spaces (Section 5).
+//!
+//! The DAG's node weights (distinct active sequences through each node)
+//! weight every observation, exactly as the paper prescribes:
+//!
+//! * **Enabling** (Table 4) — phase `x` enables `y` when `y` was dormant
+//!   before `x` and active after. The probability is the weighted ratio of
+//!   dormant→active transitions to all transitions out of dormancy.
+//! * **Disabling** (Table 5) — the weighted ratio of active→dormant
+//!   transitions to all transitions out of activity. Phases always disable
+//!   themselves (each runs to its own fixpoint), giving the table's 1.00
+//!   diagonal.
+//! * **Independence** (Table 6) — two phases active at the same instance
+//!   are independent there when applying them in either order yields the
+//!   identical instance; the probability is the weighted fraction of such
+//!   situations. Independence is symmetric.
+
+use vpo_opt::PhaseId;
+
+use crate::space::SearchSpace;
+
+const N: usize = PhaseId::COUNT;
+
+/// Accumulates weighted interaction counts over one or more enumerated
+/// spaces; convert to probabilities with the `*_probability` methods.
+#[derive(Clone, Debug)]
+pub struct InteractionAnalysis {
+    /// `enable[y][x]`: weight of dormant→active transitions of `y` over
+    /// edges labelled `x`.
+    enable: Vec<[f64; N]>,
+    /// `enable_denied[y][x]`: weight of dormant→dormant transitions.
+    enable_denied: Vec<[f64; N]>,
+    /// `disable[y][x]`: weight of active→dormant transitions.
+    disable: Vec<[f64; N]>,
+    /// `disable_denied[y][x]`: weight of active→active transitions.
+    disable_denied: Vec<[f64; N]>,
+    /// `indep[p][q]` / `dep[p][q]`: weighted same-code / different-code
+    /// counts for consecutively-active unordered pairs.
+    indep: Vec<[f64; N]>,
+    dep: Vec<[f64; N]>,
+    /// Weight of roots where each phase was active (for the `St` column),
+    /// and the total root weight analyzed. Weighting by the root's weight
+    /// (its count of distinct active sequences) follows the paper's
+    /// weighted-transition methodology: trivial functions contribute
+    /// little.
+    start_active: [f64; N],
+    start_total: f64,
+    /// Weighted activity of each phase across all nodes (used by the
+    /// probabilistic compiler to break ties between equally probable
+    /// phases).
+    node_active: [f64; N],
+    node_total: f64,
+    functions: usize,
+}
+
+impl Default for InteractionAnalysis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InteractionAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        InteractionAnalysis {
+            enable: vec![[0.0; N]; N],
+            enable_denied: vec![[0.0; N]; N],
+            disable: vec![[0.0; N]; N],
+            disable_denied: vec![[0.0; N]; N],
+            indep: vec![[0.0; N]; N],
+            dep: vec![[0.0; N]; N],
+            start_active: [0.0; N],
+            start_total: 0.0,
+            node_active: [0.0; N],
+            node_total: 0.0,
+            functions: 0,
+        }
+    }
+
+    /// Number of functions accumulated.
+    pub fn function_count(&self) -> usize {
+        self.functions
+    }
+
+    /// Accumulates one enumerated space (weights must be computed, which
+    /// [`enumerate`](crate::enumerate::enumerate) always does).
+    pub fn add_space(&mut self, space: &SearchSpace) {
+        self.functions += 1;
+        let root = space.node(space.root());
+        let root_w = root.weight as f64;
+        self.start_total += root_w;
+        for p in PhaseId::ALL {
+            if root.is_active(p) {
+                self.start_active[p.index()] += root_w;
+            }
+        }
+        for (_, n) in space.iter() {
+            let w = n.weight as f64;
+            self.node_total += w;
+            for p in PhaseId::ALL {
+                if n.is_active(p) {
+                    self.node_active[p.index()] += w;
+                }
+            }
+        }
+        // Enabling / disabling transitions along every edge.
+        for (_, u) in space.iter() {
+            for &(x, v_id) in &u.children {
+                let v = space.node(v_id);
+                let w = v.weight as f64;
+                for y in PhaseId::ALL {
+                    if y == x {
+                        continue;
+                    }
+                    let (yi, xi) = (y.index(), x.index());
+                    match (u.is_active(y), v.is_active(y)) {
+                        (false, true) => self.enable[yi][xi] += w,
+                        (false, false) => self.enable_denied[yi][xi] += w,
+                        (true, false) => self.disable[yi][xi] += w,
+                        (true, true) => self.disable_denied[yi][xi] += w,
+                    }
+                }
+                // Self-disabling: x was active at u by construction.
+                let xi = x.index();
+                if v.is_active(x) {
+                    self.disable_denied[xi][xi] += w;
+                } else {
+                    self.disable[xi][xi] += w;
+                }
+            }
+        }
+        // Independence of consecutively active pairs.
+        for (_, u) in space.iter() {
+            let w = u.weight as f64;
+            for p in PhaseId::ALL {
+                for q in PhaseId::ALL {
+                    if p.index() >= q.index() {
+                        continue;
+                    }
+                    let (Some(a), Some(b)) = (u.child(p), u.child(q)) else { continue };
+                    let (an, bn) = (space.node(a), space.node(b));
+                    // Both orders must be consecutively active.
+                    let (Some(pq), Some(qp)) = (an.child(q), bn.child(p)) else { continue };
+                    let (pi, qi) = (p.index(), q.index());
+                    if pq == qp {
+                        self.indep[pi][qi] += w;
+                        self.indep[qi][pi] += w;
+                    } else {
+                        self.dep[pi][qi] += w;
+                        self.dep[qi][pi] += w;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probability that `x` enables `y` (Table 4 cell `[row y, col x]`);
+    /// `None` when `y` was never dormant ahead of an `x` application.
+    pub fn enabling_probability(&self, y: PhaseId, x: PhaseId) -> Option<f64> {
+        let (yi, xi) = (y.index(), x.index());
+        ratio(self.enable[yi][xi], self.enable_denied[yi][xi])
+    }
+
+    /// Probability that `y` is active on the unoptimized function (the
+    /// `St` column of Table 4), weighted by the root's sequence count.
+    pub fn start_probability(&self, y: PhaseId) -> Option<f64> {
+        if self.start_total == 0.0 {
+            None
+        } else {
+            Some(self.start_active[y.index()] / self.start_total)
+        }
+    }
+
+    /// Weighted fraction of all instances on which `y` is active — a
+    /// measure of how often the phase has work overall, used to break
+    /// probability ties in the probabilistic compiler.
+    pub fn overall_activity(&self, y: PhaseId) -> f64 {
+        if self.node_total == 0.0 {
+            0.0
+        } else {
+            self.node_active[y.index()] / self.node_total
+        }
+    }
+
+    /// Probability that `x` disables `y` (Table 5 cell `[row y, col x]`).
+    pub fn disabling_probability(&self, y: PhaseId, x: PhaseId) -> Option<f64> {
+        let (yi, xi) = (y.index(), x.index());
+        ratio(self.disable[yi][xi], self.disable_denied[yi][xi])
+    }
+
+    /// Probability that `p` and `q` are independent when consecutively
+    /// active (Table 6; symmetric).
+    pub fn independence_probability(&self, p: PhaseId, q: PhaseId) -> Option<f64> {
+        let (pi, qi) = (p.index(), q.index());
+        ratio(self.indep[pi][qi], self.dep[pi][qi])
+    }
+}
+
+fn ratio(hit: f64, miss: f64) -> Option<f64> {
+    let total = hit + miss;
+    if total == 0.0 {
+        None
+    } else {
+        Some(hit / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate, Config};
+    use vpo_opt::Target;
+
+    fn analyze(src: &str) -> InteractionAnalysis {
+        let p = vpo_frontend::compile(src).unwrap();
+        let mut ia = InteractionAnalysis::new();
+        for f in &p.functions {
+            let e = enumerate(f, &Target::default(), &Config::default());
+            assert!(e.outcome.is_complete());
+            ia.add_space(&e.space);
+        }
+        ia
+    }
+
+    #[test]
+    fn s_and_c_active_at_start() {
+        // Matches the paper: instruction selection and CSE are always
+        // active on unoptimized code.
+        let ia = analyze(
+            r#"
+            int f(int a, int b) { return a + b * 2; }
+            int g(int x) { int y = x; return y * y; }
+        "#,
+        );
+        assert_eq!(ia.start_probability(PhaseId::InsnSelect), Some(1.0));
+        assert_eq!(ia.start_probability(PhaseId::Cse), Some(1.0));
+        // Remove unreachable code is never active (also as in the paper).
+        assert_eq!(ia.start_probability(PhaseId::Unreachable), Some(0.0));
+    }
+
+    #[test]
+    fn s_enables_k() {
+        // Register allocation needs instruction selection to form direct
+        // scalar addresses: Table 4 reports this enabling at 1.00.
+        let ia = analyze("int f(int a) { int x = a + 1; return x * x; }");
+        let p = ia
+            .enabling_probability(PhaseId::RegAlloc, PhaseId::InsnSelect)
+            .expect("s->k transitions observed");
+        assert!(p > 0.5, "s should usually enable k, got {p}");
+    }
+
+    #[test]
+    fn phases_disable_themselves() {
+        let ia = analyze("int f(int a) { int x = a + 1; return x * x; }");
+        for p in [PhaseId::InsnSelect, PhaseId::Cse, PhaseId::DeadAssign] {
+            if let Some(d) = ia.disabling_probability(p, p) {
+                assert!(
+                    d > 0.9,
+                    "{p:?} should almost always disable itself, got {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn independence_is_symmetric() {
+        let ia = analyze(
+            "int f(int a, int b) { int x = a + 1; int y = b + 2; return x * y; }",
+        );
+        for p in PhaseId::ALL {
+            for q in PhaseId::ALL {
+                assert_eq!(
+                    ia.independence_probability(p, q),
+                    ia.independence_probability(q, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_flow_phases_often_independent_of_allocation() {
+        let ia = analyze(
+            r#"
+            int f(int a, int n) {
+                int s = 0;
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (a > i) s += i;
+                }
+                return s;
+            }
+        "#,
+        );
+        // Some pair involving a control-flow phase and a register phase
+        // should be observed independent somewhere.
+        let mut any_indep = false;
+        for p in [PhaseId::BranchChain, PhaseId::BlockReorder, PhaseId::UselessJump] {
+            for q in [PhaseId::Cse, PhaseId::RegAlloc, PhaseId::DeadAssign] {
+                if let Some(v) = ia.independence_probability(p, q) {
+                    if v > 0.9 {
+                        any_indep = true;
+                    }
+                }
+            }
+        }
+        assert!(any_indep, "expected high independence somewhere");
+    }
+}

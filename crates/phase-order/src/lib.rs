@@ -1,0 +1,55 @@
+//! Exhaustive optimization phase order space exploration.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*Exhaustive Optimization Phase Order Space Exploration*, Kulkarni,
+//! Whalley, Tyson, Davidson — CGO 2006): it enumerates **all function
+//! instances** a compiler can produce by reordering its optimization
+//! phases, then mines the resulting space.
+//!
+//! * [`mod@enumerate`] — the level-order search of Section 4, with the two
+//!   pruning techniques that make it tractable: *dormant phase detection*
+//!   (Section 4.1) and *identical function instance detection* via
+//!   canonical fingerprints (Section 4.2), plus the prefix-sharing
+//!   evaluation enhancements of Section 4.3 (Figure 6).
+//! * [`space`] — the resulting weighted DAG of distinct function instances
+//!   (Figure 7), with node weights counting the distinct active sequences
+//!   through each node.
+//! * [`stats`] — the per-function search-space statistics of Table 3.
+//! * [`interaction`] — the enabling / disabling / independence probability
+//!   analyses of Tables 4, 5 and 6 (Section 5).
+//! * [`prob`] — the probabilistic batch compiler of Section 6 (Figure 8),
+//!   which uses those probabilities to dynamically choose the next phase
+//!   and cuts compilation time to roughly a third of the conventional
+//!   batch loop at comparable code quality (Table 7).
+//! * [`search`] — the non-exhaustive searches of the surrounding
+//!   literature (random, hill climbing, genetic), with the fingerprint
+//!   redundancy detection of the authors' companion work, evaluated here
+//!   against exhaustive ground truth.
+//!
+//! # Example
+//!
+//! Exhaustively enumerate a small function's phase-order space:
+//!
+//! ```
+//! use phase_order::enumerate::{enumerate, Config};
+//! use vpo_opt::Target;
+//!
+//! let program = vpo_frontend::compile(
+//!     "int square(int x) { return x * x; }",
+//! ).unwrap();
+//! let e = enumerate(&program.functions[0], &Target::default(), &Config::default());
+//! assert!(e.outcome.is_complete());
+//! // Several distinct function instances exist, far fewer than the 15^n
+//! // attempted orderings.
+//! assert!(e.space.len() > 1);
+//! ```
+
+pub mod enumerate;
+pub mod interaction;
+pub mod prob;
+pub mod search;
+pub mod space;
+pub mod stats;
+
+pub use enumerate::{enumerate, Config, Enumeration, ReplayMode, SearchOutcome};
+pub use space::{NodeId, SearchSpace};

@@ -1,0 +1,340 @@
+//! The enumerated search space: a weighted DAG of distinct function
+//! instances (Figure 7 of the paper).
+//!
+//! Nodes are distinct function instances (identified by canonical
+//! fingerprint plus phase-legality flags); an edge `u --p--> v` records
+//! that phase `p` was *active* on `u` and produced `v`. Dormant attempts
+//! leave no edge — they are recorded in the node's masks instead, which is
+//! what the interaction analyses consume.
+
+use std::collections::HashMap;
+
+use vpo_opt::PhaseId;
+use vpo_rtl::canon::Fingerprint;
+use vpo_rtl::FuncFlags;
+
+/// Index of a node in a [`SearchSpace`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One distinct function instance.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Canonical fingerprint of the instance.
+    pub fp: Fingerprint,
+    /// Phase-legality milestone flags of the instance.
+    pub flags: FuncFlags,
+    /// Level = length of the shortest active phase sequence producing it.
+    pub level: u32,
+    /// Static instruction count (the code-size measure of Table 3).
+    pub inst_count: u32,
+    /// Control-flow shape signature (for the `CF` statistic).
+    pub cf_sig: u64,
+    /// Bit `i` set iff `PhaseId::from_index(i)` is active on this instance.
+    pub active_mask: u16,
+    /// Outgoing edges: `(phase, child)` for each active phase.
+    pub children: Vec<(PhaseId, NodeId)>,
+    /// Discovery edge: the parent and phase that first produced this node
+    /// (`None` for the root). Used to rematerialize instances on demand.
+    pub discovered_from: Option<(NodeId, PhaseId)>,
+    /// Number of distinct active sequences continuing through this node
+    /// (leaf = 1, interior = sum of children); filled by
+    /// [`SearchSpace::compute_weights`].
+    pub weight: u64,
+}
+
+impl Node {
+    /// Whether the node is a leaf: no phase is active on it.
+    pub fn is_leaf(&self) -> bool {
+        self.active_mask == 0
+    }
+
+    /// Whether `phase` is active on this instance.
+    pub fn is_active(&self, phase: PhaseId) -> bool {
+        self.active_mask >> phase.index() & 1 == 1
+    }
+
+    /// The child produced by `phase`, if that phase is active here.
+    pub fn child(&self, phase: PhaseId) -> Option<NodeId> {
+        self.children.iter().find(|(p, _)| *p == phase).map(|&(_, c)| c)
+    }
+}
+
+/// The weighted DAG of distinct function instances.
+#[derive(Clone, Debug, Default)]
+pub struct SearchSpace {
+    nodes: Vec<Node>,
+    index: HashMap<(Fingerprint, FuncFlags), NodeId>,
+}
+
+impl SearchSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct function instances.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the space is empty (no root inserted yet).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node id (the unoptimized instance).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutably borrows a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Looks up an instance by identity.
+    pub fn find(&self, fp: Fingerprint, flags: FuncFlags) -> Option<NodeId> {
+        self.index.get(&(fp, flags)).copied()
+    }
+
+    /// Inserts a new node, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instance with the same identity already exists.
+    pub fn insert(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let prev = self.index.insert((node.fp, node.flags), id);
+        assert!(prev.is_none(), "duplicate instance insertion");
+        self.nodes.push(node);
+        id
+    }
+
+    /// Number of leaf instances (no further phase active — the `Leaf`
+    /// column of Table 3).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Minimum and maximum instruction counts over leaf instances (the
+    /// code-size spread of Table 3). Returns `None` if there are no
+    /// leaves.
+    pub fn leaf_code_size_range(&self) -> Option<(u32, u32)> {
+        let mut it = self.nodes.iter().filter(|n| n.is_leaf()).map(|n| n.inst_count);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Minimum and maximum instruction counts over **all** instances.
+    /// Note the minimum can sit at an interior node: code-growing phases
+    /// (loop unrolling, loop rotation) may still be active on the smallest
+    /// instance, so the best *leaf* is not necessarily the best instance.
+    pub fn code_size_range(&self) -> Option<(u32, u32)> {
+        let mut it = self.nodes.iter().map(|n| n.inst_count);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Number of distinct control flows among all instances (the `CF`
+    /// column of Table 3).
+    pub fn distinct_control_flows(&self) -> usize {
+        let mut sigs: Vec<u64> = self.nodes.iter().map(|n| n.cf_sig).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        sigs.len()
+    }
+
+    /// The maximum level of any node — the largest active phase sequence
+    /// length (`Len` in Table 3).
+    pub fn max_active_sequence_length(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Computes node weights: leaves weigh 1, interior nodes the sum of
+    /// their children (Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns the id of a node on a cycle if the space is not acyclic
+    /// (which the paper — and this compiler — rule out: no phase undoes
+    /// the effect of another).
+    pub fn compute_weights(&mut self) -> Result<(), NodeId> {
+        let n = self.nodes.len();
+        let mut state = vec![0u8; n]; // 0 new, 1 in progress, 2 done
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        // Iterative DFS from every node (the DAG may have several
+        // components only in theory; the root reaches everything).
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(u32, usize)> = vec![(start as u32, 0)];
+            state[start] = 1;
+            while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+                let children = &self.nodes[v as usize].children;
+                if *next < children.len() {
+                    let (_, c) = children[*next];
+                    *next += 1;
+                    match state[c.0 as usize] {
+                        0 => {
+                            state[c.0 as usize] = 1;
+                            stack.push((c.0, 0));
+                        }
+                        1 => return Err(c),
+                        _ => {}
+                    }
+                } else {
+                    state[v as usize] = 2;
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        // `order` is a postorder: children come before parents.
+        for &v in &order {
+            let node = &self.nodes[v as usize];
+            let w = if node.children.is_empty() {
+                1
+            } else {
+                node.children
+                    .iter()
+                    .map(|&(_, c)| self.nodes[c.0 as usize].weight)
+                    .sum()
+            };
+            self.nodes[v as usize].weight = w;
+        }
+        Ok(())
+    }
+
+    /// Renders the space in Graphviz `dot` syntax (nodes annotated with
+    /// weight and size; edges with phase letters). Useful for inspecting
+    /// small spaces like the paper's Figure 7.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph phase_order_space {\n  rankdir=TB;\n");
+        for (id, n) in self.iter() {
+            out.push_str(&format!(
+                "  {id} [label=\"{id}\\nw={} insts={}\"{}];\n",
+                n.weight,
+                n.inst_count,
+                if n.is_leaf() { " shape=doublecircle" } else { "" }
+            ));
+        }
+        for (id, n) in self.iter() {
+            for (p, c) in &n.children {
+                out.push_str(&format!("  {id} -> {c} [label=\"{}\"];\n", p.letter()));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_node(fp_seed: u32) -> Node {
+        Node {
+            fp: Fingerprint { inst_count: fp_seed, byte_sum: fp_seed as u64, crc: fp_seed },
+            flags: FuncFlags::default(),
+            level: 0,
+            inst_count: fp_seed,
+            cf_sig: 0,
+            active_mask: 0,
+            children: Vec::new(),
+            discovered_from: None,
+            weight: 0,
+        }
+    }
+
+    #[test]
+    fn figure7_weights() {
+        // Reconstruct the weighted DAG of Figure 7:
+        // root(5) -> a:2, b:2, c:1 ... simplified shape:
+        //   root --a--> A(2), root --b--> B(2), root --c--> C(1)
+        //   A --b--> AB(1), A --c--> AC(1)  (leaves)
+        //   B --a--> AB, B --c--> BC(1)
+        //   wait: keep it simple — a diamond plus a leaf.
+        let mut s = SearchSpace::new();
+        let root = s.insert(mk_node(0));
+        let a = s.insert(mk_node(1));
+        let b = s.insert(mk_node(2));
+        let join = s.insert(mk_node(3));
+        let leaf = s.insert(mk_node(4));
+        s.node_mut(root).children = vec![(PhaseId::Cse, a), (PhaseId::DeadAssign, b)];
+        s.node_mut(root).active_mask = 0b11;
+        s.node_mut(a).children = vec![(PhaseId::DeadAssign, join)];
+        s.node_mut(a).active_mask = 1;
+        s.node_mut(b).children = vec![(PhaseId::Cse, join)];
+        s.node_mut(b).active_mask = 1;
+        s.node_mut(join).children = vec![(PhaseId::InsnSelect, leaf)];
+        s.node_mut(join).active_mask = 1;
+        s.compute_weights().unwrap();
+        assert_eq!(s.node(leaf).weight, 1);
+        assert_eq!(s.node(join).weight, 1);
+        assert_eq!(s.node(a).weight, 1);
+        assert_eq!(s.node(b).weight, 1);
+        assert_eq!(s.node(root).weight, 2); // two distinct sequences
+        assert_eq!(s.leaf_count(), 1);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut s = SearchSpace::new();
+        let a = s.insert(mk_node(0));
+        let b = s.insert(mk_node(1));
+        s.node_mut(a).children = vec![(PhaseId::Cse, b)];
+        s.node_mut(b).children = vec![(PhaseId::DeadAssign, a)];
+        assert!(s.compute_weights().is_err());
+    }
+
+    #[test]
+    fn lookup_by_identity() {
+        let mut s = SearchSpace::new();
+        let n = mk_node(7);
+        let fp = n.fp;
+        let id = s.insert(n);
+        assert_eq!(s.find(fp, FuncFlags::default()), Some(id));
+        let assigned = FuncFlags { regs_assigned: true, reg_allocated: false };
+        assert_eq!(s.find(fp, assigned), None);
+    }
+
+    #[test]
+    fn dot_rendering_mentions_every_node() {
+        let mut s = SearchSpace::new();
+        let root = s.insert(mk_node(0));
+        let child = s.insert(mk_node(1));
+        s.node_mut(root).children = vec![(PhaseId::InsnSelect, child)];
+        s.compute_weights().unwrap();
+        let dot = s.to_dot();
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("label=\"s\""));
+    }
+}

@@ -1,0 +1,149 @@
+//! Checks the weighted interaction formulas on a hand-built DAG with
+//! known expected probabilities (the Figure 7 example, extended with
+//! dormant-phase annotations).
+
+use phase_order::interaction::InteractionAnalysis;
+use phase_order::space::{Node, SearchSpace};
+use vpo_opt::PhaseId;
+use vpo_rtl::canon::Fingerprint;
+use vpo_rtl::FuncFlags;
+
+const A: PhaseId = PhaseId::BranchChain; // 'b', index 0 — call it "a"
+const B: PhaseId = PhaseId::Cse; // 'c', index 1 — call it "b"
+const C: PhaseId = PhaseId::Unreachable; // 'd', index 2 — call it "c"
+
+fn node(seed: u32) -> Node {
+    Node {
+        fp: Fingerprint { inst_count: seed, byte_sum: seed as u64, crc: seed },
+        flags: FuncFlags::default(),
+        level: 0,
+        inst_count: seed + 10,
+        cf_sig: seed as u64,
+        active_mask: 0,
+        children: Vec::new(),
+        discovered_from: None,
+        weight: 0,
+    }
+}
+
+fn mask(phases: &[PhaseId]) -> u16 {
+    phases.iter().map(|p| 1u16 << p.index()).sum()
+}
+
+/// Build:
+///   root --A--> x (B active)      x --B--> leaf1
+///   root --B--> y (nothing)      (leaf)
+/// with A,B active at root; C dormant everywhere.
+///
+/// Weights: leaf1 = 1, x = 1, y = 1, root = 2.
+fn build() -> SearchSpace {
+    let mut s = SearchSpace::new();
+    let root = s.insert(node(0));
+    let x = s.insert(node(1));
+    let y = s.insert(node(2));
+    let leaf1 = s.insert(node(3));
+    s.node_mut(root).active_mask = mask(&[A, B]);
+    s.node_mut(root).children = vec![(A, x), (B, y)];
+    s.node_mut(x).active_mask = mask(&[B]);
+    s.node_mut(x).children = vec![(B, leaf1)];
+    s.node_mut(x).discovered_from = Some((root, A));
+    s.node_mut(y).discovered_from = Some((root, B));
+    s.node_mut(leaf1).discovered_from = Some((x, B));
+    s.compute_weights().unwrap();
+    s
+}
+
+#[test]
+fn enabling_probabilities_match_hand_computation() {
+    let s = build();
+    let mut ia = InteractionAnalysis::new();
+    ia.add_space(&s);
+    // C is dormant at root and stays dormant over every edge:
+    // dormant->dormant transitions on edges A (w=1), B (w=1), and x--B (w=1).
+    assert_eq!(ia.enabling_probability(C, A), Some(0.0));
+    assert_eq!(ia.enabling_probability(C, B), Some(0.0));
+    // B is active at root, so edge root--A--x sees B active->active
+    // (x has B active): not an enabling sample. On edge x--B--leaf1 the
+    // phase B is the edge label itself (skipped). So A never *enables* B
+    // anywhere — but B was never dormant before A either: no samples.
+    assert_eq!(ia.enabling_probability(B, A), None);
+    // A is active at root; on edge root--B--y (w=1) A transitions
+    // active->dormant (y has nothing active): disabling, probability 1.
+    assert_eq!(ia.disabling_probability(A, B), Some(1.0));
+    // Self-disabling: edge root--A--x has A dormant at x => 1.0;
+    // root--B--y and x--B--leaf1 both have B dormant after => 1.0.
+    assert_eq!(ia.disabling_probability(A, A), Some(1.0));
+    assert_eq!(ia.disabling_probability(B, B), Some(1.0));
+}
+
+#[test]
+fn start_probability_is_root_weighted() {
+    let s = build();
+    let mut ia = InteractionAnalysis::new();
+    ia.add_space(&s);
+    // Root weight 2; A and B active at root, C not.
+    assert_eq!(ia.start_probability(A), Some(1.0));
+    assert_eq!(ia.start_probability(B), Some(1.0));
+    assert_eq!(ia.start_probability(C), Some(0.0));
+
+    // Adding a second space (weight 1 root, only A active) shifts the
+    // weighted average: A stays 1.0, B drops to 2/3.
+    let mut s2 = SearchSpace::new();
+    let root = s2.insert(node(0));
+    let x = s2.insert(node(1));
+    s2.node_mut(root).active_mask = mask(&[A]);
+    s2.node_mut(root).children = vec![(A, x)];
+    s2.node_mut(x).discovered_from = Some((root, A));
+    s2.compute_weights().unwrap();
+    ia.add_space(&s2);
+    assert_eq!(ia.start_probability(A), Some(1.0));
+    assert!((ia.start_probability(B).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn independence_requires_both_orders() {
+    // Diamond where A and B commute: root--A--x--B--z and root--B--y--A--z.
+    let mut s = SearchSpace::new();
+    let root = s.insert(node(0));
+    let x = s.insert(node(1));
+    let y = s.insert(node(2));
+    let z = s.insert(node(3));
+    s.node_mut(root).active_mask = mask(&[A, B]);
+    s.node_mut(root).children = vec![(A, x), (B, y)];
+    s.node_mut(x).active_mask = mask(&[B]);
+    s.node_mut(x).children = vec![(B, z)];
+    s.node_mut(y).active_mask = mask(&[A]);
+    s.node_mut(y).children = vec![(A, z)];
+    s.node_mut(x).discovered_from = Some((root, A));
+    s.node_mut(y).discovered_from = Some((root, B));
+    s.node_mut(z).discovered_from = Some((x, B));
+    s.compute_weights().unwrap();
+    let mut ia = InteractionAnalysis::new();
+    ia.add_space(&s);
+    assert_eq!(ia.independence_probability(A, B), Some(1.0));
+    assert_eq!(ia.independence_probability(B, A), Some(1.0));
+    // A pair never consecutively active has no samples.
+    assert_eq!(ia.independence_probability(A, C), None);
+
+    // A non-commuting diamond: two different grandchildren.
+    let mut s2 = SearchSpace::new();
+    let root = s2.insert(node(0));
+    let x = s2.insert(node(1));
+    let y = s2.insert(node(2));
+    let z1 = s2.insert(node(3));
+    let z2 = s2.insert(node(4));
+    s2.node_mut(root).active_mask = mask(&[A, B]);
+    s2.node_mut(root).children = vec![(A, x), (B, y)];
+    s2.node_mut(x).active_mask = mask(&[B]);
+    s2.node_mut(x).children = vec![(B, z1)];
+    s2.node_mut(y).active_mask = mask(&[A]);
+    s2.node_mut(y).children = vec![(A, z2)];
+    s2.node_mut(x).discovered_from = Some((root, A));
+    s2.node_mut(y).discovered_from = Some((root, B));
+    s2.node_mut(z1).discovered_from = Some((x, B));
+    s2.node_mut(z2).discovered_from = Some((y, A));
+    s2.compute_weights().unwrap();
+    let mut ia2 = InteractionAnalysis::new();
+    ia2.add_space(&s2);
+    assert_eq!(ia2.independence_probability(A, B), Some(0.0));
+}

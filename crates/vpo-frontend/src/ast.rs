@@ -1,0 +1,244 @@
+//! The MiniC abstract syntax tree.
+
+/// Element type of a variable or array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemType {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned character (zero-extended on load).
+    Char,
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    /// Global variable definitions, in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub functions: Vec<FunctionDecl>,
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: ElemType,
+    /// Array length in elements (`None` for a scalar).
+    pub array_len: Option<usize>,
+    /// Initializer.
+    pub init: GlobalInit,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Global initializers.
+#[derive(Clone, Debug)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// A single scalar value.
+    Scalar(i64),
+    /// A brace list of values.
+    List(Vec<i64>),
+    /// A string literal (for `char` arrays); implicitly NUL-terminated.
+    Str(Vec<u8>),
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Whether the function returns a value (`int`) or `void`.
+    pub returns_value: bool,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element type.
+    pub ty: ElemType,
+    /// Whether the parameter is an array/pointer (`int a[]` or `int *a`).
+    pub is_array: bool,
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// A local variable declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        ty: ElemType,
+        /// Array length (`None` for scalars).
+        array_len: Option<usize>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initialization expression, if any.
+        init: Option<Expr>,
+        /// Condition, if any (absent means `true`).
+        cond: Option<Expr>,
+        /// Step expression, if any.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// A nested block.
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators (arithmetic/bitwise only; comparisons and short-circuit
+/// logic are separate because they generate control flow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Ushr,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq, Ne, Lt, Le, Gt, Ge,
+}
+
+/// Expressions. Every node carries its source line for diagnostics.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, u32),
+    /// Variable reference.
+    Var(String, u32),
+    /// Array indexing `base[index]`.
+    Index {
+        /// Array variable name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Arithmetic or bitwise binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Comparison producing 0 or 1.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Short-circuit logical and/or.
+    Logical {
+        /// `true` for `&&`, `false` for `||`.
+        is_and: bool,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary negation `-x`.
+    Neg(Box<Expr>, u32),
+    /// Bitwise complement `~x`.
+    Not(Box<Expr>, u32),
+    /// Logical not `!x` (produces 0 or 1).
+    LogicalNot(Box<Expr>, u32),
+    /// Assignment `lvalue = value` (value of the expression is `value`).
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line of the expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Var(_, l)
+            | Expr::Index { line: l, .. }
+            | Expr::Binary { line: l, .. }
+            | Expr::Cmp { line: l, .. }
+            | Expr::Logical { line: l, .. }
+            | Expr::Neg(_, l)
+            | Expr::Not(_, l)
+            | Expr::LogicalNot(_, l)
+            | Expr::Assign { line: l, .. }
+            | Expr::Call { line: l, .. } => *l,
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! Naive RTL code generation.
+//!
+//! Every emitted instruction is a single legal machine instruction of the
+//! StrongARM-like target, and no optimization whatsoever is performed:
+//! locals live in the activation record, every intermediate value gets a
+//! fresh pseudo register, and addresses and wide constants are formed step
+//! by step. The optimizer of `vpo-opt` is responsible for everything else.
+
+use std::collections::HashMap;
+
+use vpo_rtl::{
+    BinOp, Block, Cond, Expr as R, Function, GlobalDef, Inst, Label, LocalId, Program, Reg,
+    SymId, UnOp, Width,
+};
+
+use crate::ast::*;
+
+/// Generates an RTL [`Program`] from a checked [`Unit`].
+///
+/// The unit must have passed [`sema::check`](crate::sema::check); code
+/// generation assumes all names resolve and arities match.
+pub fn generate(unit: &Unit) -> Program {
+    let mut program = Program::new();
+    let mut global_ids: HashMap<String, (SymId, ElemType, bool)> = HashMap::new();
+    for g in &unit.globals {
+        let (size, init, init_bytes) = match (&g.init, g.ty, g.array_len) {
+            (GlobalInit::Str(s), _, len) => {
+                let n = len.unwrap_or(s.len() + 1).max(s.len() + 1);
+                let mut bytes = s.clone();
+                bytes.resize(n, 0);
+                (n as u32, Vec::new(), bytes)
+            }
+            (GlobalInit::List(v), ElemType::Char, len) => {
+                let n = len.unwrap_or(v.len());
+                let mut bytes: Vec<u8> = v.iter().map(|&x| x as u8).collect();
+                bytes.resize(n, 0);
+                (n as u32, Vec::new(), bytes)
+            }
+            (GlobalInit::List(v), ElemType::Int, len) => {
+                let n = len.unwrap_or(v.len());
+                let mut words: Vec<i32> = v.iter().map(|&x| x as i32).collect();
+                words.resize(n, 0);
+                ((n * 4) as u32, words, Vec::new())
+            }
+            (GlobalInit::Scalar(v), _, _) => (4, vec![*v as i32], Vec::new()),
+            (GlobalInit::Zero, ElemType::Char, Some(n)) => (n as u32, Vec::new(), Vec::new()),
+            (GlobalInit::Zero, _, Some(n)) => ((n * 4) as u32, Vec::new(), Vec::new()),
+            (GlobalInit::Zero, _, None) => (4, Vec::new(), Vec::new()),
+        };
+        let id = program.add_global(GlobalDef { name: g.name.clone(), size, init, init_bytes });
+        global_ids.insert(g.name.clone(), (id, g.ty, g.array_len.is_some()));
+    }
+    let fn_returns: HashMap<&str, bool> =
+        unit.functions.iter().map(|f| (f.name.as_str(), f.returns_value)).collect();
+    for f in &unit.functions {
+        program.functions.push(gen_function(f, &global_ids, &fn_returns));
+    }
+    program
+}
+
+/// Where a name's storage lives and how to access it.
+#[derive(Clone, Copy, Debug)]
+enum Place {
+    /// Scalar in a local slot.
+    LocalScalar(LocalId),
+    /// Array allocated in a local slot.
+    LocalArray(LocalId, ElemType),
+    /// Pointer (array parameter) held in a local slot.
+    PtrSlot(LocalId, ElemType),
+    /// Global scalar.
+    GlobalScalar(SymId),
+    /// Global array.
+    GlobalArray(SymId, ElemType),
+}
+
+struct Emitter<'a> {
+    f: Function,
+    cur: usize,
+    scopes: Vec<HashMap<String, Place>>,
+    globals: &'a HashMap<String, (SymId, ElemType, bool)>,
+    fn_returns: &'a HashMap<&'a str, bool>,
+    returns_value: bool,
+    /// (continue_target, break_target) stack.
+    loop_stack: Vec<(Label, Label)>,
+}
+
+impl<'a> Emitter<'a> {
+    fn emit(&mut self, i: Inst) {
+        self.f.blocks[self.cur].insts.push(i);
+    }
+
+    fn start_block(&mut self, l: Label) {
+        self.f.blocks.push(Block::new(l));
+        self.cur = self.f.blocks.len() - 1;
+    }
+
+    /// Emits a conditional branch and *ends the basic block*: every
+    /// conditional branch is a block terminator so that all control-flow
+    /// edges leave at block boundaries (the dataflow analyses of `vpo-opt`
+    /// rely on this invariant).
+    fn emit_cond_branch(&mut self, cond: Cond, target: Label) {
+        self.emit(Inst::CondBranch { cond, target });
+        let cont = self.label();
+        self.start_block(cont);
+    }
+
+    fn reg(&mut self) -> Reg {
+        self.f.new_pseudo()
+    }
+
+    fn label(&mut self) -> Label {
+        self.f.new_label()
+    }
+
+    fn lookup(&self, name: &str) -> Place {
+        for s in self.scopes.iter().rev() {
+            if let Some(&p) = s.get(name) {
+                return p;
+            }
+        }
+        let (id, ty, is_array) = self.globals[name];
+        if is_array {
+            Place::GlobalArray(id, ty)
+        } else {
+            Place::GlobalScalar(id)
+        }
+    }
+
+    /// Materializes a 32-bit constant into a fresh register, building wide
+    /// values bytewise (`MOV` + up to three `ORR`s, each a legal rotated
+    /// immediate).
+    fn const_reg(&mut self, v: i64) -> Reg {
+        let t = self.reg();
+        let bits = v as i32 as u32;
+        if legal_imm(bits as i64) || legal_imm(v) {
+            self.emit(Inst::Assign { dst: t, src: R::Const(v as i32 as i64) });
+            return t;
+        }
+        let chunks: Vec<u32> =
+            (0..4).map(|k| bits & (0xFFu32 << (8 * k))).filter(|&c| c != 0).collect();
+        let mut first = true;
+        for c in chunks {
+            if first {
+                self.emit(Inst::Assign { dst: t, src: R::Const(c as i64) });
+                first = false;
+            } else {
+                self.emit(Inst::Assign {
+                    dst: t,
+                    src: R::bin(BinOp::Or, R::Reg(t), R::Const(c as i64)),
+                });
+            }
+        }
+        if first {
+            self.emit(Inst::Assign { dst: t, src: R::Const(0) });
+        }
+        t
+    }
+
+    /// Loads the address of a global into a register (`HI`/`LO` pair).
+    fn global_addr(&mut self, sym: SymId) -> Reg {
+        let t = self.reg();
+        self.emit(Inst::Assign { dst: t, src: R::Hi(sym) });
+        self.emit(Inst::Assign { dst: t, src: R::bin(BinOp::Add, R::Reg(t), R::Lo(sym)) });
+        t
+    }
+
+    /// Loads the address of a local slot into a register.
+    fn local_addr(&mut self, slot: LocalId) -> Reg {
+        let t = self.reg();
+        self.emit(Inst::Assign { dst: t, src: R::LocalAddr(slot) });
+        t
+    }
+
+    /// Computes the address (and element width) of an lvalue.
+    fn lvalue_addr(&mut self, e: &Expr) -> (Reg, Width) {
+        match e {
+            Expr::Var(name, _) => match self.lookup(name) {
+                Place::LocalScalar(slot) => (self.local_addr(slot), Width::Word),
+                Place::GlobalScalar(sym) => (self.global_addr(sym), Width::Word),
+                other => panic!("assignment to array {other:?} rejected by sema"),
+            },
+            Expr::Index { base, index, .. } => self.element_addr(base, index),
+            _ => panic!("invalid lvalue survived sema"),
+        }
+    }
+
+    /// Computes `&base[index]` naively.
+    fn element_addr(&mut self, base: &str, index: &Expr) -> (Reg, Width) {
+        let (base_reg, ty) = match self.lookup(base) {
+            Place::LocalArray(slot, ty) => (self.local_addr(slot), ty),
+            Place::GlobalArray(sym, ty) => (self.global_addr(sym), ty),
+            Place::PtrSlot(slot, ty) => {
+                // Load the pointer value from its slot.
+                let a = self.local_addr(slot);
+                let p = self.reg();
+                self.emit(Inst::Assign { dst: p, src: R::load(Width::Word, R::Reg(a)) });
+                (p, ty)
+            }
+            other => panic!("indexing non-array {other:?} survived sema"),
+        };
+        let idx = self.expr(index);
+        let offset = match ty {
+            ElemType::Char => idx,
+            ElemType::Int => {
+                let four = self.const_reg(4);
+                let off = self.reg();
+                self.emit(Inst::Assign {
+                    dst: off,
+                    src: R::bin(BinOp::Mul, R::Reg(idx), R::Reg(four)),
+                });
+                off
+            }
+        };
+        let addr = self.reg();
+        self.emit(Inst::Assign {
+            dst: addr,
+            src: R::bin(BinOp::Add, R::Reg(base_reg), R::Reg(offset)),
+        });
+        let width = match ty {
+            ElemType::Char => Width::Byte,
+            ElemType::Int => Width::Word,
+        };
+        (addr, width)
+    }
+
+    /// Generates code computing `e` into a fresh register.
+    fn expr(&mut self, e: &Expr) -> Reg {
+        match e {
+            Expr::Int(v, _) => self.const_reg(*v),
+            Expr::Var(name, _) => match self.lookup(name) {
+                Place::LocalScalar(slot) => {
+                    let a = self.local_addr(slot);
+                    let t = self.reg();
+                    self.emit(Inst::Assign { dst: t, src: R::load(Width::Word, R::Reg(a)) });
+                    t
+                }
+                Place::GlobalScalar(sym) => {
+                    let a = self.global_addr(sym);
+                    let t = self.reg();
+                    self.emit(Inst::Assign { dst: t, src: R::load(Width::Word, R::Reg(a)) });
+                    t
+                }
+                // An array name used as a value decays to its address.
+                Place::LocalArray(slot, _) => self.local_addr(slot),
+                Place::GlobalArray(sym, _) => self.global_addr(sym),
+                Place::PtrSlot(slot, _) => {
+                    let a = self.local_addr(slot);
+                    let t = self.reg();
+                    self.emit(Inst::Assign { dst: t, src: R::load(Width::Word, R::Reg(a)) });
+                    t
+                }
+            },
+            Expr::Index { base, index, .. } => {
+                let (addr, width) = self.element_addr(base, index);
+                let t = self.reg();
+                self.emit(Inst::Assign { dst: t, src: R::load(width, R::Reg(addr)) });
+                t
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.expr(lhs);
+                let b = self.expr(rhs);
+                let t = self.reg();
+                let op = match op {
+                    BinaryOp::Add => BinOp::Add,
+                    BinaryOp::Sub => BinOp::Sub,
+                    BinaryOp::Mul => BinOp::Mul,
+                    BinaryOp::Div => BinOp::Div,
+                    BinaryOp::Rem => BinOp::Rem,
+                    BinaryOp::And => BinOp::And,
+                    BinaryOp::Or => BinOp::Or,
+                    BinaryOp::Xor => BinOp::Xor,
+                    BinaryOp::Shl => BinOp::Shl,
+                    BinaryOp::Shr => BinOp::AShr,
+                    BinaryOp::Ushr => BinOp::LShr,
+                };
+                self.emit(Inst::Assign { dst: t, src: R::bin(op, R::Reg(a), R::Reg(b)) });
+                t
+            }
+            Expr::Neg(a, _) => {
+                let r = self.expr(a);
+                let t = self.reg();
+                self.emit(Inst::Assign { dst: t, src: R::un(UnOp::Neg, R::Reg(r)) });
+                t
+            }
+            Expr::Not(a, _) => {
+                let r = self.expr(a);
+                let t = self.reg();
+                self.emit(Inst::Assign { dst: t, src: R::un(UnOp::Not, R::Reg(r)) });
+                t
+            }
+            Expr::Cmp { .. } | Expr::Logical { .. } | Expr::LogicalNot(..) => {
+                // Materialize a boolean: t=1; if cond goto done; t=0; done:
+                let t = self.reg();
+                self.emit(Inst::Assign { dst: t, src: R::Const(1) });
+                let done = self.label();
+                self.branch_cond(e, done, true);
+                self.emit(Inst::Assign { dst: t, src: R::Const(0) });
+                self.start_block(done);
+                t
+            }
+            Expr::Assign { target, value, .. } => {
+                let v = self.expr(value);
+                let (addr, width) = self.lvalue_addr(target);
+                self.emit(Inst::Store { width, addr: R::Reg(addr), src: R::Reg(v) });
+                v
+            }
+            Expr::Call { callee, args, .. } => {
+                let arg_regs: Vec<R> =
+                    args.iter().map(|a| R::Reg(self.expr(a))).collect();
+                let returns = self.fn_returns.get(callee.as_str()).copied().unwrap_or(true);
+                let dst = if returns { Some(self.reg()) } else { None };
+                self.emit(Inst::Call { callee: callee.clone(), args: arg_regs, dst });
+                dst.unwrap_or_else(|| {
+                    // A void call used as a value would be a sema bug; any
+                    // placeholder register works for statement position.
+                    Reg::pseudo(0)
+                })
+            }
+        }
+    }
+
+    /// Emits a branch to `target` taken iff `e` evaluates truthy
+    /// (`when_true`) or falsy (`!when_true`). Always falls through
+    /// otherwise; may start new blocks for short-circuit arms.
+    fn branch_cond(&mut self, e: &Expr, target: Label, when_true: bool) {
+        match e {
+            Expr::Cmp { op, lhs, rhs, .. } => {
+                let a = self.expr(lhs);
+                let b = self.expr(rhs);
+                let cond = match op {
+                    CmpOp::Eq => Cond::Eq,
+                    CmpOp::Ne => Cond::Ne,
+                    CmpOp::Lt => Cond::Lt,
+                    CmpOp::Le => Cond::Le,
+                    CmpOp::Gt => Cond::Gt,
+                    CmpOp::Ge => Cond::Ge,
+                };
+                let cond = if when_true { cond } else { cond.negate() };
+                self.emit(Inst::Compare { lhs: R::Reg(a), rhs: R::Reg(b) });
+                self.emit_cond_branch(cond, target);
+            }
+            Expr::Logical { is_and, lhs, rhs, .. } => {
+                match (is_and, when_true) {
+                    (true, true) => {
+                        // (a && b) true → target: if !a skip, if b goto.
+                        let skip = self.label();
+                        self.branch_cond(lhs, skip, false);
+                        self.branch_cond(rhs, target, true);
+                        self.start_block(skip);
+                    }
+                    (true, false) => {
+                        // (a && b) false → target.
+                        self.branch_cond(lhs, target, false);
+                        self.branch_cond(rhs, target, false);
+                    }
+                    (false, true) => {
+                        self.branch_cond(lhs, target, true);
+                        self.branch_cond(rhs, target, true);
+                    }
+                    (false, false) => {
+                        let skip = self.label();
+                        self.branch_cond(lhs, skip, true);
+                        self.branch_cond(rhs, target, false);
+                        self.start_block(skip);
+                    }
+                }
+            }
+            Expr::LogicalNot(inner, _) => self.branch_cond(inner, target, !when_true),
+            _ => {
+                let r = self.expr(e);
+                let zero = self.const_reg(0);
+                self.emit(Inst::Compare { lhs: R::Reg(r), rhs: R::Reg(zero) });
+                let cond = if when_true { Cond::Ne } else { Cond::Eq };
+                self.emit_cond_branch(cond, target);
+            }
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        self.scopes.push(HashMap::new());
+        for s in body {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, ty, array_len, init, .. } => {
+                let place = match array_len {
+                    Some(n) => {
+                        let bytes = match ty {
+                            ElemType::Char => *n as u32,
+                            ElemType::Int => (*n * 4) as u32,
+                        };
+                        let slot = self.f.new_local(name.clone(), bytes.max(1));
+                        Place::LocalArray(slot, *ty)
+                    }
+                    None => {
+                        let slot = self.f.new_local(name.clone(), 4);
+                        Place::LocalScalar(slot)
+                    }
+                };
+                self.scopes.last_mut().unwrap().insert(name.clone(), place);
+                if let Some(e) = init {
+                    let v = self.expr(e);
+                    if let Place::LocalScalar(slot) = place {
+                        let a = self.local_addr(slot);
+                        self.emit(Inst::Store {
+                            width: Width::Word,
+                            addr: R::Reg(a),
+                            src: R::Reg(v),
+                        });
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                let _ = self.expr(e);
+            }
+            Stmt::If { cond, then, els } => {
+                if els.is_empty() {
+                    let end = self.label();
+                    self.branch_cond(cond, end, false);
+                    self.stmts(then);
+                    self.start_block(end);
+                } else {
+                    let else_l = self.label();
+                    let end = self.label();
+                    self.branch_cond(cond, else_l, false);
+                    self.stmts(then);
+                    self.emit(Inst::Jump { target: end });
+                    self.start_block(else_l);
+                    self.stmts(els);
+                    self.start_block(end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let header = self.label();
+                let exit = self.label();
+                self.start_block(header);
+                self.branch_cond(cond, exit, false);
+                self.loop_stack.push((header, exit));
+                self.stmts(body);
+                self.loop_stack.pop();
+                self.emit(Inst::Jump { target: header });
+                self.start_block(exit);
+            }
+            Stmt::DoWhile { body, cond } => {
+                let top = self.label();
+                let check = self.label();
+                let exit = self.label();
+                self.start_block(top);
+                self.loop_stack.push((check, exit));
+                self.stmts(body);
+                self.loop_stack.pop();
+                self.start_block(check);
+                self.branch_cond(cond, top, true);
+                self.start_block(exit);
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(e) = init {
+                    let _ = self.expr(e);
+                }
+                let header = self.label();
+                let step_l = self.label();
+                let exit = self.label();
+                self.start_block(header);
+                if let Some(c) = cond {
+                    self.branch_cond(c, exit, false);
+                }
+                self.loop_stack.push((step_l, exit));
+                self.stmts(body);
+                self.loop_stack.pop();
+                self.start_block(step_l);
+                if let Some(e) = step {
+                    let _ = self.expr(e);
+                }
+                self.emit(Inst::Jump { target: header });
+                self.start_block(exit);
+            }
+            Stmt::Return(v) => {
+                let value = match (v, self.returns_value) {
+                    (Some(e), _) => {
+                        let r = self.expr(e);
+                        Some(R::Reg(r))
+                    }
+                    (None, true) => Some(R::Const(0)),
+                    (None, false) => None,
+                };
+                self.emit(Inst::Return { value });
+                // Anything that follows in this source block is unreachable;
+                // give it its own (unreferenced) block.
+                let after = self.label();
+                self.start_block(after);
+            }
+            Stmt::Break(_) => {
+                let (_, brk) = *self.loop_stack.last().expect("checked by sema");
+                self.emit(Inst::Jump { target: brk });
+                let after = self.label();
+                self.start_block(after);
+            }
+            Stmt::Continue(_) => {
+                let (cont, _) = *self.loop_stack.last().expect("checked by sema");
+                self.emit(Inst::Jump { target: cont });
+                let after = self.label();
+                self.start_block(after);
+            }
+            Stmt::Block(inner) => self.stmts(inner),
+        }
+    }
+}
+
+fn gen_function(
+    decl: &FunctionDecl,
+    globals: &HashMap<String, (SymId, ElemType, bool)>,
+    fn_returns: &HashMap<&str, bool>,
+) -> Function {
+    let mut e = Emitter {
+        f: Function::new(decl.name.clone()),
+        cur: 0,
+        scopes: vec![HashMap::new()],
+        globals,
+        fn_returns,
+        returns_value: decl.returns_value,
+        loop_stack: Vec::new(),
+    };
+    // Parameters: arrive in registers, stored to slots like any local.
+    for p in &decl.params {
+        let preg = e.f.new_pseudo();
+        e.f.params.push(preg);
+        let slot = e.f.new_local(p.name.clone(), 4);
+        let place = if p.is_array {
+            Place::PtrSlot(slot, p.ty)
+        } else {
+            Place::LocalScalar(slot)
+        };
+        e.scopes[0].insert(p.name.clone(), place);
+        let a = e.local_addr(slot);
+        e.emit(Inst::Store { width: Width::Word, addr: R::Reg(a), src: R::Reg(preg) });
+    }
+    e.stmts(&decl.body);
+    let mut f = e.f;
+    // Remove the empty blocks that branch targets, `return` and `break`
+    // leave behind: an empty block simply falls through, so references to
+    // its label are redirected to the next block. A trailing empty block is
+    // dropped once unreferenced.
+    while let Some(i) = f.blocks.iter().position(|b| b.insts.is_empty()) {
+        if i + 1 < f.blocks.len() {
+            let dead = f.blocks[i].label;
+            let succ = f.blocks[i + 1].label;
+            f.blocks.remove(i);
+            for b in &mut f.blocks {
+                for inst in &mut b.insts {
+                    inst.retarget(|t| if t == dead { succ } else { t });
+                }
+            }
+        } else {
+            let label = f.blocks[i].label;
+            let referenced =
+                f.iter_insts().any(|(_, _, inst)| inst.target() == Some(label));
+            if referenced || f.blocks.len() == 1 {
+                break;
+            }
+            f.blocks.pop();
+        }
+    }
+    // Guarantee a terminator.
+    if f.blocks.last().map(|b| b.falls_through()).unwrap_or(true) {
+        let value = if decl.returns_value { Some(R::Const(0)) } else { None };
+        f.blocks.last_mut().unwrap().insts.push(Inst::Return { value });
+    }
+    f.recompute_addr_taken();
+    f
+}
+
+/// Local copy of the ARM rotated-immediate test (the front end must not
+/// depend on `vpo-opt`, which would be a dependency cycle).
+fn legal_imm(c: i64) -> bool {
+    if !(i32::MIN as i64..=u32::MAX as i64).contains(&c) {
+        return false;
+    }
+    let v = c as u32;
+    let rot = |x: u32| (0..32).step_by(2).any(|r| x.rotate_left(r) & !0xFF == 0);
+    rot(v) || rot(!v) || rot(v.wrapping_neg())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn straightline_codegen() {
+        let p = compile("int f(int a, int b) { return a + b; }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 2);
+        // param stores (2×2) + two loads (2×2) + add + ret = 10.
+        assert_eq!(f.inst_count(), 10);
+    }
+
+    #[test]
+    fn wide_constants_are_built_bytewise() {
+        let p = compile("int f() { return 305419896; }").unwrap(); // 0x12345678
+        let f = &p.functions[0];
+        // MOV + 3 ORRs + RET.
+        assert_eq!(f.inst_count(), 5);
+    }
+
+    #[test]
+    fn loops_have_expected_shape() {
+        let p = compile(
+            "int sum(int a[], int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a[i]; return s; }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let cfg = vpo_rtl::cfg::Cfg::build(f);
+        assert_eq!(vpo_rtl::loops::loop_count(&cfg), 1);
+    }
+
+    #[test]
+    fn char_arrays_use_byte_accesses() {
+        let p = compile(
+            "char buf[16]; int first() { return buf[0]; }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let has_byte_load = f.iter_insts().any(|(_, _, i)| {
+            let mut found = false;
+            i.visit_exprs(&mut |e| {
+                e.visit(&mut |x| {
+                    if matches!(x, R::Load(Width::Byte, _)) {
+                        found = true;
+                    }
+                });
+            });
+            found
+        });
+        assert!(has_byte_load);
+    }
+
+    #[test]
+    fn short_circuit_generates_branches() {
+        let p = compile("int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }")
+            .unwrap();
+        let f = &p.functions[0];
+        assert!(f.branch_count() >= 2);
+    }
+
+    #[test]
+    fn global_initializers() {
+        let p = compile(
+            r#"
+            int words[3] = { 10, 20, 30 };
+            char text[] = "ab";
+            int counter = 5;
+            int zero[4];
+            int f() { return counter; }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[0].init, vec![10, 20, 30]);
+        assert_eq!(p.globals[1].init_bytes, vec![b'a', b'b', 0]);
+        assert_eq!(p.globals[1].size, 3);
+        assert_eq!(p.globals[2].init, vec![5]);
+        assert_eq!(p.globals[3].size, 16);
+    }
+
+    #[test]
+    fn break_and_continue_target_correct_labels() {
+        let p = compile(
+            r#"
+            int f(int n) {
+                int s = 0;
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (i == 3) continue;
+                    if (i == 7) break;
+                    s += i;
+                }
+                return s;
+            }
+        "#,
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        // All branch targets must resolve to blocks.
+        let cfg = vpo_rtl::cfg::Cfg::build(f);
+        assert!(cfg.len() > 4);
+    }
+
+    #[test]
+    fn every_generated_instruction_is_atomic() {
+        // The naive generator only emits single-operator RTLs; expression
+        // trees deeper than one operator never appear.
+        let p = compile(
+            "int f(int a, int b, int c) { return (a + b * c) / (a - 1 + (b ^ c)); }",
+        )
+        .unwrap();
+        for (_, _, inst) in p.functions[0].iter_insts() {
+            inst.visit_exprs(&mut |e| {
+                let depth_ok = match e {
+                    R::Bin(_, a, b) => {
+                        matches!(**a, R::Reg(_) | R::Const(_) | R::Hi(_) | R::LocalAddr(_))
+                            && matches!(**b, R::Reg(_) | R::Const(_) | R::Lo(_))
+                    }
+                    R::Load(_, a) => matches!(**a, R::Reg(_)),
+                    R::Un(_, a) => matches!(**a, R::Reg(_)),
+                    _ => true,
+                };
+                assert!(depth_ok, "non-atomic RTL emitted: {e:?}");
+            });
+        }
+    }
+}

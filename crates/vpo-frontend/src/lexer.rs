@@ -1,0 +1,319 @@
+//! The MiniC lexer.
+
+use crate::CompileError;
+
+/// A lexical token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds of MiniC.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (decimal, hex `0x...`, or character literal).
+    Int(i64),
+    /// String literal (without quotes, escapes resolved).
+    Str(Vec<u8>),
+    /// A keyword.
+    Kw(Kw),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// MiniC keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    Int,
+    Char,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Do,
+    Return,
+    Break,
+    Continue,
+}
+
+/// MiniC punctuation and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr, Shr3,
+    Lt, Le, Gt, Ge, EqEq, Ne,
+    AndAnd, OrOr,
+    Assign,
+    PlusEq, MinusEq, StarEq, SlashEq, PercentEq, AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+    PlusPlus, MinusMinus,
+}
+
+/// Tokenizes MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated literals or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "int" => TokenKind::Kw(Kw::Int),
+                    "char" => TokenKind::Kw(Kw::Char),
+                    "void" => TokenKind::Kw(Kw::Void),
+                    "if" => TokenKind::Kw(Kw::If),
+                    "else" => TokenKind::Kw(Kw::Else),
+                    "while" => TokenKind::Kw(Kw::While),
+                    "for" => TokenKind::Kw(Kw::For),
+                    "do" => TokenKind::Kw(Kw::Do),
+                    "return" => TokenKind::Kw(Kw::Return),
+                    "break" => TokenKind::Kw(Kw::Break),
+                    "continue" => TokenKind::Kw(Kw::Continue),
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                push!(kind);
+            }
+            '0'..='9' => {
+                let start = i;
+                if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                    push!(TokenKind::Int(v));
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| CompileError::new(line, "bad integer literal"))?;
+                    push!(TokenKind::Int(v));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let (v, consumed) = unescape(bytes, i, line)?;
+                i += consumed;
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(CompileError::new(line, "unterminated char literal"));
+                }
+                i += 1;
+                push!(TokenKind::Int(v as i64));
+            }
+            '"' => {
+                i += 1;
+                let mut s = Vec::new();
+                while bytes.get(i) != Some(&b'"') {
+                    if i >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated string literal"));
+                    }
+                    let (v, consumed) = unescape(bytes, i, line)?;
+                    s.push(v);
+                    i += consumed;
+                }
+                i += 1;
+                push!(TokenKind::Str(s));
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (p, len) = match two {
+                    ">>" if bytes.get(i + 2) == Some(&b'>') => (Punct::Shr3, 3),
+                    "<<" if bytes.get(i + 2) == Some(&b'=') => (Punct::ShlEq, 3),
+                    ">>" if bytes.get(i + 2) == Some(&b'=') => (Punct::ShrEq, 3),
+                    "<<" => (Punct::Shl, 2),
+                    ">>" => (Punct::Shr, 2),
+                    "<=" => (Punct::Le, 2),
+                    ">=" => (Punct::Ge, 2),
+                    "==" => (Punct::EqEq, 2),
+                    "!=" => (Punct::Ne, 2),
+                    "&&" => (Punct::AndAnd, 2),
+                    "||" => (Punct::OrOr, 2),
+                    "+=" => (Punct::PlusEq, 2),
+                    "-=" => (Punct::MinusEq, 2),
+                    "*=" => (Punct::StarEq, 2),
+                    "/=" => (Punct::SlashEq, 2),
+                    "%=" => (Punct::PercentEq, 2),
+                    "&=" => (Punct::AmpEq, 2),
+                    "|=" => (Punct::PipeEq, 2),
+                    "^=" => (Punct::CaretEq, 2),
+                    "++" => (Punct::PlusPlus, 2),
+                    "--" => (Punct::MinusMinus, 2),
+                    _ => {
+                        let p = match c {
+                            '(' => Punct::LParen,
+                            ')' => Punct::RParen,
+                            '{' => Punct::LBrace,
+                            '}' => Punct::RBrace,
+                            '[' => Punct::LBracket,
+                            ']' => Punct::RBracket,
+                            ',' => Punct::Comma,
+                            ';' => Punct::Semi,
+                            '+' => Punct::Plus,
+                            '-' => Punct::Minus,
+                            '*' => Punct::Star,
+                            '/' => Punct::Slash,
+                            '%' => Punct::Percent,
+                            '&' => Punct::Amp,
+                            '|' => Punct::Pipe,
+                            '^' => Punct::Caret,
+                            '~' => Punct::Tilde,
+                            '!' => Punct::Bang,
+                            '<' => Punct::Lt,
+                            '>' => Punct::Gt,
+                            '=' => Punct::Assign,
+                            _ => {
+                                return Err(CompileError::new(
+                                    line,
+                                    format!("unexpected character {c:?}"),
+                                ))
+                            }
+                        };
+                        (p, 1)
+                    }
+                };
+                push!(TokenKind::Punct(p));
+                i += len;
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+/// Decodes one (possibly escaped) character starting at `i`; returns the
+/// byte value and the number of input bytes consumed.
+fn unescape(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CompileError> {
+    match bytes.get(i) {
+        Some(b'\\') => {
+            let v = match bytes.get(i + 1) {
+                Some(b'n') => b'\n',
+                Some(b't') => b'\t',
+                Some(b'r') => b'\r',
+                Some(b'0') => 0,
+                Some(b'\\') => b'\\',
+                Some(b'\'') => b'\'',
+                Some(b'"') => b'"',
+                _ => return Err(CompileError::new(line, "bad escape sequence")),
+            };
+            Ok((v, 2))
+        }
+        Some(&b) => Ok((b, 1)),
+        None => Err(CompileError::new(line, "unexpected end of input")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_idents_numbers() {
+        let ks = kinds("int foo 42 0x2A while");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Kw(Kw::Int),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Int(42),
+                TokenKind::Int(42),
+                TokenKind::Kw(Kw::While),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let ks = kinds("<<= >>= << >> <= >= == != && || += ++");
+        use Punct::*;
+        let expect = [ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AndAnd, OrOr, PlusEq, PlusPlus];
+        for (k, e) in ks.iter().zip(expect) {
+            assert_eq!(*k, TokenKind::Punct(e));
+        }
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        let ks = kinds(r#"'a' '\n' "hi\0""#);
+        assert_eq!(ks[0], TokenKind::Int(97));
+        assert_eq!(ks[1], TokenKind::Int(10));
+        assert_eq!(ks[2], TokenKind::Str(vec![b'h', b'i', 0]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int $x;").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

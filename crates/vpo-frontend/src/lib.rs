@@ -1,0 +1,91 @@
+//! MiniC — the front end of the VPO-style compiler.
+//!
+//! MiniC is the C subset in which the MiBench benchmark kernels of the
+//! `mibench` crate are written: `int`/`char` scalars, arrays, array
+//! parameters, the usual expression operators with C precedence
+//! (including short-circuit `&&`/`||`), `if`/`else`, `while`, `for`,
+//! `break`/`continue`, `return`, function calls, and global variables with
+//! initializers (including string initializers for `char` arrays).
+//!
+//! Code generation is deliberately **naive**: every local variable lives
+//! in the activation record, every intermediate value gets a fresh pseudo
+//! register, addresses are formed in single steps, and constants that do
+//! not fit an ARM rotated immediate are built bytewise. Every emitted RTL
+//! is a single legal machine instruction, and *all* optimization is left
+//! to the fifteen phases of `vpo-opt` — that is precisely what gives the
+//! phase-order search space its shape.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     int square(int x) { return x * x; }
+//! "#;
+//! let program = vpo_frontend::compile(src)?;
+//! assert_eq!(program.functions.len(), 1);
+//! assert_eq!(program.functions[0].name, "square");
+//! # Ok::<(), vpo_frontend::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+use vpo_rtl::Program;
+
+/// A front-end diagnostic: lexical, syntactic, or semantic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line the error was detected on.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a MiniC translation unit into an RTL [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] encountered during lexing, parsing,
+/// or semantic analysis.
+pub fn compile(source: &str) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(&tokens)?;
+    sema::check(&unit)?;
+    Ok(codegen::generate(&unit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let p = compile("int f(int a, int b) { return a + b * 2; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert!(p.functions[0].inst_count() > 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = compile("int f() {\n  return x;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('x'));
+    }
+}

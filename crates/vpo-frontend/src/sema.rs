@@ -1,0 +1,285 @@
+//! Semantic analysis for MiniC: scope/definition checking, arity checking,
+//! lvalue validation, and array/scalar usage consistency.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::CompileError;
+
+/// What a name refers to within a scope.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Binding {
+    Scalar,
+    Array,
+}
+
+/// Checks a whole translation unit.
+///
+/// # Errors
+///
+/// Returns the first semantic error: duplicate definitions, use of
+/// undeclared names, indexing a scalar, assigning to an array, calling an
+/// unknown function (external intrinsics are allowed), or wrong arity.
+pub fn check(unit: &Unit) -> Result<(), CompileError> {
+    let mut globals: HashMap<&str, Binding> = HashMap::new();
+    for g in &unit.globals {
+        let b = if g.array_len.is_some() { Binding::Array } else { Binding::Scalar };
+        if globals.insert(&g.name, b).is_some() {
+            return Err(CompileError::new(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        if let (Some(n), GlobalInit::List(v)) = (g.array_len, &g.init) {
+            if v.len() > n {
+                return Err(CompileError::new(
+                    g.line,
+                    format!("initializer longer than array `{}`", g.name),
+                ));
+            }
+        }
+    }
+    let mut fns: HashMap<&str, usize> = HashMap::new();
+    for f in &unit.functions {
+        if fns.insert(&f.name, f.params.len()).is_some() {
+            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        if globals.contains_key(f.name.as_str()) {
+            return Err(CompileError::new(
+                f.line,
+                format!("`{}` defined as both global and function", f.name),
+            ));
+        }
+    }
+    for f in &unit.functions {
+        let mut scopes: Vec<HashMap<String, Binding>> = vec![HashMap::new()];
+        let mut seen = HashSet::new();
+        for p in &f.params {
+            if !seen.insert(&p.name) {
+                return Err(CompileError::new(f.line, format!("duplicate parameter `{}`", p.name)));
+            }
+            let b = if p.is_array { Binding::Array } else { Binding::Scalar };
+            scopes[0].insert(p.name.clone(), b);
+        }
+        let cx = Cx { globals: &globals, fns: &fns };
+        check_stmts(&f.body, &mut scopes, &cx, 0)?;
+    }
+    Ok(())
+}
+
+struct Cx<'a> {
+    globals: &'a HashMap<&'a str, Binding>,
+    fns: &'a HashMap<&'a str, usize>,
+}
+
+fn lookup(name: &str, scopes: &[HashMap<String, Binding>], cx: &Cx) -> Option<Binding> {
+    for s in scopes.iter().rev() {
+        if let Some(&b) = s.get(name) {
+            return Some(b);
+        }
+    }
+    cx.globals.get(name).copied()
+}
+
+fn check_stmts(
+    stmts: &[Stmt],
+    scopes: &mut Vec<HashMap<String, Binding>>,
+    cx: &Cx,
+    loop_depth: usize,
+) -> Result<(), CompileError> {
+    scopes.push(HashMap::new());
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, array_len, init, line, .. } => {
+                if let Some(e) = init {
+                    if array_len.is_some() {
+                        return Err(CompileError::new(
+                            *line,
+                            "local arrays cannot have initializers",
+                        ));
+                    }
+                    check_expr(e, scopes, cx)?;
+                }
+                let b = if array_len.is_some() { Binding::Array } else { Binding::Scalar };
+                if scopes.last_mut().unwrap().insert(name.clone(), b).is_some() {
+                    return Err(CompileError::new(*line, format!("duplicate local `{name}`")));
+                }
+            }
+            Stmt::Expr(e) => check_expr(e, scopes, cx)?,
+            Stmt::If { cond, then, els } => {
+                check_expr(cond, scopes, cx)?;
+                check_stmts(then, scopes, cx, loop_depth)?;
+                check_stmts(els, scopes, cx, loop_depth)?;
+            }
+            Stmt::While { cond, body } => {
+                check_expr(cond, scopes, cx)?;
+                check_stmts(body, scopes, cx, loop_depth + 1)?;
+            }
+            Stmt::DoWhile { body, cond } => {
+                check_stmts(body, scopes, cx, loop_depth + 1)?;
+                check_expr(cond, scopes, cx)?;
+            }
+            Stmt::For { init, cond, step, body } => {
+                for e in [init, cond, step].into_iter().flatten() {
+                    check_expr(e, scopes, cx)?;
+                }
+                check_stmts(body, scopes, cx, loop_depth + 1)?;
+            }
+            Stmt::Return(v) => {
+                if let Some(e) = v {
+                    check_expr(e, scopes, cx)?;
+                }
+            }
+            Stmt::Break(line) | Stmt::Continue(line) => {
+                if loop_depth == 0 {
+                    return Err(CompileError::new(*line, "break/continue outside of a loop"));
+                }
+            }
+            Stmt::Block(inner) => check_stmts(inner, scopes, cx, loop_depth)?,
+        }
+    }
+    scopes.pop();
+    Ok(())
+}
+
+fn check_expr(
+    e: &Expr,
+    scopes: &[HashMap<String, Binding>],
+    cx: &Cx,
+) -> Result<(), CompileError> {
+    match e {
+        Expr::Int(..) => Ok(()),
+        Expr::Var(name, line) => match lookup(name, scopes, cx) {
+            Some(_) => Ok(()),
+            None => Err(CompileError::new(*line, format!("use of undeclared `{name}`"))),
+        },
+        Expr::Index { base, index, line } => {
+            match lookup(base, scopes, cx) {
+                Some(Binding::Array) => {}
+                Some(Binding::Scalar) => {
+                    return Err(CompileError::new(*line, format!("`{base}` is not an array")))
+                }
+                None => {
+                    return Err(CompileError::new(*line, format!("use of undeclared `{base}`")))
+                }
+            }
+            check_expr(index, scopes, cx)
+        }
+        Expr::Binary { lhs, rhs, .. }
+        | Expr::Cmp { lhs, rhs, .. }
+        | Expr::Logical { lhs, rhs, .. } => {
+            check_expr(lhs, scopes, cx)?;
+            check_expr(rhs, scopes, cx)
+        }
+        Expr::Neg(a, _) | Expr::Not(a, _) | Expr::LogicalNot(a, _) => check_expr(a, scopes, cx),
+        Expr::Assign { target, value, line } => {
+            match &**target {
+                Expr::Var(name, _) => match lookup(name, scopes, cx) {
+                    Some(Binding::Scalar) => {}
+                    Some(Binding::Array) => {
+                        return Err(CompileError::new(
+                            *line,
+                            format!("cannot assign to array `{name}`"),
+                        ))
+                    }
+                    None => {
+                        return Err(CompileError::new(
+                            *line,
+                            format!("use of undeclared `{name}`"),
+                        ))
+                    }
+                },
+                Expr::Index { .. } => check_expr(target, scopes, cx)?,
+                _ => return Err(CompileError::new(*line, "invalid assignment target")),
+            }
+            check_expr(value, scopes, cx)
+        }
+        Expr::Call { callee, args, line } => {
+            if let Some(&arity) = cx.fns.get(callee.as_str()) {
+                if arity != args.len() {
+                    return Err(CompileError::new(
+                        *line,
+                        format!(
+                            "`{callee}` expects {arity} argument(s), got {}",
+                            args.len()
+                        ),
+                    ));
+                }
+            }
+            // Unknown callees are permitted: they become external calls
+            // resolved by the simulator (or trapped at run time).
+            for a in args {
+                check_expr(a, scopes, cx)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), CompileError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check_src(
+            r#"
+            int table[8];
+            int sum(int a[], int n) {
+                int s = 0;
+                int i;
+                for (i = 0; i < n; i++) s += a[i];
+                return s;
+            }
+            int main() { return sum(table, 8); }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let e = check_src("int f() { return x; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        let e = check_src("int f(int x) { return x[0]; }").unwrap_err();
+        assert!(e.message.contains("not an array"));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let e = check_src("int g(int a) { return a; } int f() { return g(1, 2); }").unwrap_err();
+        assert!(e.message.contains("argument"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check_src("void f() { break; }").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(check_src("int f() { return 0; } int f() { return 1; }").is_err());
+        assert!(check_src("int x; int x;").is_err());
+        assert!(check_src("int f(int a, int a) { return a; }").is_err());
+        assert!(check_src("int f() { int y; int y; return y; }").is_err());
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_is_fine() {
+        check_src("int f() { int y = 1; { int y = 2; y = y + 1; } return y; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_assignment_to_array() {
+        let e = check_src("int a[3]; void f() { a = 1; }").unwrap_err();
+        assert!(e.message.contains("array"));
+    }
+}

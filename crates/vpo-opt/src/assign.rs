@@ -1,0 +1,291 @@
+//! Compulsory register assignment.
+//!
+//! VPO implicitly performs register assignment — mapping pseudo registers
+//! (compiler temporaries) to hardware registers — before the first
+//! code-improving phase in a sequence that requires it. This module
+//! implements that phase as interference-graph coloring with a simple
+//! spill-and-retry fallback.
+//!
+//! Spilling is exceedingly rare in practice because the front end keeps
+//! source variables in memory (that is register *allocation*'s job, phase
+//! `k`) and temporaries are short-lived, but it keeps the compiler total:
+//! any function can be assigned.
+
+use std::collections::{HashMap, HashSet};
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::liveness::{Item, Liveness};
+use vpo_rtl::{Expr, Function, Inst, Reg, RegClass, Width};
+
+use crate::target::Target;
+
+/// Maps every pseudo register of `f` to a hard register, spilling to fresh
+/// stack slots when the pressure exceeds the target's usable registers.
+/// Sets [`FuncFlags::regs_assigned`](vpo_rtl::FuncFlags) on completion.
+///
+/// Calling this on an already-assigned function is a no-op.
+pub fn assign_registers(f: &mut Function, target: &Target) {
+    if f.flags.regs_assigned {
+        return;
+    }
+    // Spill-and-retry loop; each retry only ever introduces shorter live
+    // ranges, so it terminates.
+    for _round in 0..64 {
+        match try_color(f, target) {
+            Ok(coloring) => {
+                apply_coloring(f, &coloring);
+                f.flags.regs_assigned = true;
+                return;
+            }
+            Err(victim) => spill(f, victim),
+        }
+    }
+    panic!("register assignment failed to converge for {}", f.name);
+}
+
+/// Attempts to color all pseudos; on failure returns a spill victim.
+fn try_color(f: &Function, target: &Target) -> Result<HashMap<Reg, u16>, Reg> {
+    let cfg = Cfg::build(f);
+    let lv = Liveness::compute(f, &cfg);
+
+    // Interference graph over pseudo registers.
+    let pseudos: Vec<Reg> = lv
+        .universe
+        .iter()
+        .filter_map(|it| match it {
+            Item::Reg(r) if r.class == RegClass::Pseudo => Some(*r),
+            _ => None,
+        })
+        .collect();
+    let mut adj: HashMap<Reg, HashSet<Reg>> = pseudos.iter().map(|&p| (p, HashSet::new())).collect();
+    let edge = |a: Reg, b: Reg, adj: &mut HashMap<Reg, HashSet<Reg>>| {
+        if a != b {
+            adj.get_mut(&a).unwrap().insert(b);
+            adj.get_mut(&b).unwrap().insert(a);
+        }
+    };
+    // Parameters are all live simultaneously at entry.
+    for (i, &p) in f.params.iter().enumerate() {
+        for &q in &f.params[i + 1..] {
+            if p.class == RegClass::Pseudo && q.class == RegClass::Pseudo {
+                edge(p, q, &mut adj);
+            }
+        }
+    }
+    for bi in 0..f.blocks.len() {
+        lv.for_each_inst_backward(f, bi, |_ii, inst, live_after| {
+            if let Some(d) = inst.def() {
+                if d.class == RegClass::Pseudo {
+                    for idx in live_after.iter() {
+                        if let Item::Reg(r) = lv.universe[idx] {
+                            if r.class == RegClass::Pseudo {
+                                edge(d, r, &mut adj);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Greedy coloring in pseudo-index order (deterministic). Parameters are
+    // colored first so that argument registers get the lowest numbers, like
+    // a real calling convention.
+    let mut order: Vec<Reg> = f
+        .params
+        .iter()
+        .copied()
+        .filter(|p| p.class == RegClass::Pseudo)
+        .collect();
+    for &p in &pseudos {
+        if !order.contains(&p) {
+            order.push(p);
+        }
+    }
+    order.sort_by_key(|r| {
+        let is_param = f.params.contains(r);
+        (if is_param { 0 } else { 1 }, r.index)
+    });
+    let mut coloring: HashMap<Reg, u16> = HashMap::new();
+    for &p in &order {
+        let mut used = HashSet::new();
+        if let Some(ns) = adj.get(&p) {
+            for n in ns {
+                if let Some(&c) = coloring.get(n) {
+                    used.insert(c);
+                }
+            }
+        }
+        match (0..target.usable_regs).find(|c| !used.contains(c)) {
+            Some(c) => {
+                coloring.insert(p, c);
+            }
+            None => {
+                // Spill the neighbor with the most interference (excluding
+                // parameters, which must stay in registers at entry), or
+                // this pseudo itself.
+                let victim = adj[&p]
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(p))
+                    .filter(|v| !f.params.contains(v))
+                    .max_by_key(|v| (adj[v].len(), v.index));
+                return Err(victim.unwrap_or(p));
+            }
+        }
+    }
+    Ok(coloring)
+}
+
+/// Rewrites every register reference through the coloring.
+fn apply_coloring(f: &mut Function, coloring: &HashMap<Reg, u16>) {
+    let map = |r: Reg| -> Reg {
+        match coloring.get(&r) {
+            Some(&c) => Reg::hard(c),
+            None => r, // unreferenced pseudo or already hard
+        }
+    };
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Assign { dst, .. } = inst {
+                *dst = map(*dst);
+            }
+            if let Inst::Call { dst: Some(d), .. } = inst {
+                *d = map(*d);
+            }
+            inst.visit_exprs_mut(&mut |e| {
+                e.visit_mut(&mut |sub| {
+                    if let Expr::Reg(r) = sub {
+                        *r = map(*r);
+                    }
+                });
+            });
+        }
+    }
+    for p in &mut f.params {
+        *p = map(*p);
+    }
+}
+
+/// Spills pseudo `victim` to a fresh (non-allocatable) stack slot:
+/// every definition is followed by a store, every use loads into a fresh
+/// short-lived pseudo.
+fn spill(f: &mut Function, victim: Reg) {
+    let slot = f.new_local(format!("spill_{}", victim.index), 4);
+    // The slot must not later be register-allocated by phase `k`, which
+    // would undo the spill; taking its address marks it ineligible.
+    f.locals[slot.0 as usize].addr_taken = true;
+
+    let nblocks = f.blocks.len();
+    for bi in 0..nblocks {
+        let mut ii = 0;
+        while ii < f.blocks[bi].insts.len() {
+            let mut inserted_after = 0;
+            // Uses: load into a fresh temp first.
+            if f.blocks[bi].insts[ii].uses_reg(victim) {
+                let tmp = f.new_pseudo();
+                f.blocks[bi].insts[ii].substitute_reg_uses(victim, &Expr::Reg(tmp));
+                f.blocks[bi].insts.insert(
+                    ii,
+                    Inst::Assign { dst: tmp, src: Expr::load(Width::Word, Expr::LocalAddr(slot)) },
+                );
+                ii += 1; // skip the inserted load
+            }
+            // Defs: store right after.
+            if f.blocks[bi].insts[ii].def() == Some(victim) {
+                f.blocks[bi].insts.insert(
+                    ii + 1,
+                    Inst::Store {
+                        width: Width::Word,
+                        addr: Expr::LocalAddr(slot),
+                        src: Expr::Reg(victim),
+                    },
+                );
+                inserted_after = 1;
+            }
+            ii += 1 + inserted_after;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::BinOp;
+
+    #[test]
+    fn assigns_all_pseudos_to_hard_regs() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t = b.reg();
+        b.assign(t, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Const(1)));
+        b.ret(Some(Expr::Reg(t)));
+        let mut f = b.finish();
+        assign_registers(&mut f, &Target::default());
+        assert!(f.flags.regs_assigned);
+        for r in f.all_regs() {
+            assert!(r.is_hard(), "{r} left unassigned");
+        }
+        assert!(f.params[0].is_hard());
+    }
+
+    #[test]
+    fn non_interfering_temps_share_registers() {
+        let mut b = FunctionBuilder::new("f");
+        let t1 = b.reg();
+        let t2 = b.reg();
+        let out = b.reg();
+        b.assign(t1, Expr::Const(1));
+        b.assign(out, Expr::Reg(t1));
+        b.assign(t2, Expr::Const(2));
+        b.assign(out, Expr::bin(BinOp::Add, Expr::Reg(out), Expr::Reg(t2)));
+        b.ret(Some(Expr::Reg(out)));
+        let mut f = b.finish();
+        assign_registers(&mut f, &Target::default());
+        // t1 and t2 never live simultaneously: they can share a color.
+        let regs = f.all_regs();
+        let distinct: std::collections::HashSet<_> = regs.iter().collect();
+        assert!(distinct.len() <= 2, "expected register reuse, got {distinct:?}");
+    }
+
+    #[test]
+    fn spills_when_pressure_exceeds_registers() {
+        // Create 20 simultaneously-live temporaries on a 4-register target.
+        let mut b = FunctionBuilder::new("hot");
+        let temps: Vec<_> = (0..20).map(|_| b.reg()).collect();
+        for (i, &t) in temps.iter().enumerate() {
+            b.assign(t, Expr::Const(i as i64 % 7)); // keep immediates legal
+        }
+        let acc = b.reg();
+        b.assign(acc, Expr::Const(0));
+        for &t in &temps {
+            b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(acc), Expr::Reg(t)));
+        }
+        b.ret(Some(Expr::Reg(acc)));
+        let mut f = b.finish();
+        let target = Target { usable_regs: 4, ..Target::default() };
+        assign_registers(&mut f, &target);
+        assert!(f.flags.regs_assigned);
+        // Every register is hard and within range.
+        for r in f.all_regs() {
+            assert!(r.is_hard() && r.index < 4, "bad register {r}");
+        }
+        // Spill slots were created and are not allocatable.
+        assert!(f.locals.iter().any(|l| l.name.starts_with("spill_")));
+        assert!(f.allocatable_locals().is_empty());
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.reg();
+        b.assign(t, Expr::Const(1));
+        b.ret(Some(Expr::Reg(t)));
+        let mut f = b.finish();
+        assign_registers(&mut f, &Target::default());
+        let snapshot = f.clone();
+        assign_registers(&mut f, &Target::default());
+        assert_eq!(f, snapshot);
+    }
+}

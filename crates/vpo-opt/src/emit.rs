@@ -1,0 +1,379 @@
+//! ARM-flavoured assembly emission from finalized RTL.
+//!
+//! Every legal RTL corresponds to one machine instruction of the
+//! StrongARM-like target (that is precisely what the
+//! [`Target`](crate::Target) legality model enforces), so emission is a
+//! 1:1 pretty-printing pass. The output uses GNU-style syntax with a few
+//! assembler pseudo-ops (`=HI(sym)`/`=LO(sym)` address pieces, `bl` with
+//! an argument comment), since the simulator — not an assembler — is this
+//! reproduction's execution substrate.
+//!
+//! Run [`finalize::fix_entry_exit`](crate::finalize::fix_entry_exit)
+//! first; emission rejects functions that still contain symbolic local
+//! addresses.
+
+use std::fmt::Write as _;
+
+use vpo_rtl::{BinOp, Cond, Expr, Function, Inst, Label, Program, UnOp, Width};
+
+/// Emission failure: the function is not in emittable (finalized, legal)
+/// form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmitError {
+    /// Human-readable description of the offending RTL.
+    pub message: String,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot emit: {}", self.message)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+fn err(msg: impl Into<String>) -> EmitError {
+    EmitError { message: msg.into() }
+}
+
+fn reg(r: vpo_rtl::Reg) -> Result<String, EmitError> {
+    if r.is_hard() {
+        Ok(format!("r{}", r.index))
+    } else {
+        Err(err(format!("pseudo register {r} survives; run a register-requiring phase first")))
+    }
+}
+
+fn label(name: &str, l: Label) -> String {
+    format!(".L{}_{}", name, l.0)
+}
+
+/// The flexible second operand of a data-processing instruction.
+fn operand2(e: &Expr) -> Result<String, EmitError> {
+    match e {
+        Expr::Reg(r) => reg(*r),
+        Expr::Const(c) => Ok(format!("#{c}")),
+        Expr::Bin(op @ (BinOp::Shl | BinOp::AShr | BinOp::LShr), a, b) => {
+            let (Expr::Reg(r), Expr::Const(k)) = (&**a, &**b) else {
+                return Err(err(format!("unsupported shifted operand {e}")));
+            };
+            let mn = match op {
+                BinOp::Shl => "lsl",
+                BinOp::AShr => "asr",
+                _ => "lsr",
+            };
+            Ok(format!("{}, {mn} #{k}", reg(*r)?))
+        }
+        other => Err(err(format!("unsupported operand {other}"))),
+    }
+}
+
+fn address(e: &Expr) -> Result<String, EmitError> {
+    match e {
+        Expr::Reg(r) => Ok(format!("[{}]", reg(*r)?)),
+        Expr::Bin(BinOp::Add, a, b) => match (&**a, &**b) {
+            (Expr::Reg(r), Expr::Const(c)) => Ok(format!("[{}, #{c}]", reg(*r)?)),
+            (Expr::Reg(r), Expr::Reg(i)) => Ok(format!("[{}, {}]", reg(*r)?, reg(*i)?)),
+            (Expr::Reg(r), Expr::Bin(BinOp::Shl, i, k)) => {
+                let (Expr::Reg(i), Expr::Const(k)) = (&**i, &**k) else {
+                    return Err(err(format!("unsupported address {e}")));
+                };
+                Ok(format!("[{}, {}, lsl #{k}]", reg(*r)?, reg(*i)?))
+            }
+            _ => Err(err(format!("unsupported address {e}"))),
+        },
+        Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (Expr::Reg(r), Expr::Const(c)) => Ok(format!("[{}, #-{c}]", reg(*r)?)),
+            _ => Err(err(format!("unsupported address {e}"))),
+        },
+        Expr::LocalAddr(_) => Err(err("symbolic local address; run fix_entry_exit first")),
+        other => Err(err(format!("unsupported address {other}"))),
+    }
+}
+
+fn data_op(op: BinOp) -> Option<&'static str> {
+    Some(match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::And => "and",
+        BinOp::Or => "orr",
+        BinOp::Xor => "eor",
+        _ => return None,
+    })
+}
+
+fn emit_assign(out: &mut String, dst: vpo_rtl::Reg, src: &Expr, prog: &Program) -> Result<(), EmitError> {
+    let d = reg(dst)?;
+    match src {
+        Expr::Reg(r) => writeln!(out, "\tmov\t{d}, {}", reg(*r)?).unwrap(),
+        Expr::Const(c) => writeln!(out, "\tmov\t{d}, #{c}").unwrap(),
+        Expr::Hi(s) => {
+            let name = &prog.globals[s.0 as usize].name;
+            writeln!(out, "\tmov\t{d}, #:hi:{name}").unwrap()
+        }
+        Expr::LocalAddr(_) => {
+            return Err(err("symbolic local address; run fix_entry_exit first"))
+        }
+        Expr::Load(w, a) => {
+            let mn = if *w == Width::Byte { "ldrb" } else { "ldr" };
+            writeln!(out, "\t{mn}\t{d}, {}", address(a)?).unwrap()
+        }
+        Expr::Un(op, a) => {
+            let a = match &**a {
+                Expr::Reg(r) => reg(*r)?,
+                other => return Err(err(format!("unsupported unary operand {other}"))),
+            };
+            match op {
+                UnOp::Neg => writeln!(out, "\trsb\t{d}, {a}, #0").unwrap(),
+                UnOp::Not => writeln!(out, "\tmvn\t{d}, {a}").unwrap(),
+            }
+        }
+        Expr::Bin(BinOp::Add, a, b) if matches!(&**b, Expr::Lo(_)) => {
+            let Expr::Lo(s) = &**b else { unreachable!() };
+            let name = &prog.globals[s.0 as usize].name;
+            writeln!(out, "\tadd\t{d}, {}, #:lo:{name}", operand2(a)?).unwrap()
+        }
+        Expr::Bin(op, a, b) => match (op, &**a, &**b) {
+            (BinOp::Mul, Expr::Reg(x), Expr::Reg(y)) => {
+                writeln!(out, "\tmul\t{d}, {}, {}", reg(*x)?, reg(*y)?).unwrap()
+            }
+            (BinOp::Div, Expr::Reg(x), Expr::Reg(y)) => {
+                // Runtime-support operation on the SA-100.
+                writeln!(out, "\tbl\t__divsi3\t@ {d} = {} / {}", reg(*x)?, reg(*y)?)
+                    .unwrap()
+            }
+            (BinOp::Rem, Expr::Reg(x), Expr::Reg(y)) => {
+                writeln!(out, "\tbl\t__modsi3\t@ {d} = {} % {}", reg(*x)?, reg(*y)?)
+                    .unwrap()
+            }
+            (BinOp::Shl | BinOp::AShr | BinOp::LShr, Expr::Reg(x), rhs) => {
+                let mn = match op {
+                    BinOp::Shl => "lsl",
+                    BinOp::AShr => "asr",
+                    _ => "lsr",
+                };
+                let rhs = match rhs {
+                    Expr::Reg(r) => reg(*r)?,
+                    Expr::Const(k) => format!("#{k}"),
+                    other => return Err(err(format!("unsupported shift amount {other}"))),
+                };
+                writeln!(out, "\t{mn}\t{d}, {}, {rhs}", reg(*x)?).unwrap()
+            }
+            (_, Expr::Reg(x), _) => {
+                let mn = data_op(*op)
+                    .ok_or_else(|| err(format!("unsupported operation {op}")))?;
+                writeln!(out, "\t{mn}\t{d}, {}, {}", reg(*x)?, operand2(b)?).unwrap()
+            }
+            (BinOp::Sub, Expr::Const(c), Expr::Reg(y)) => {
+                writeln!(out, "\trsb\t{d}, {}, #{c}", reg(*y)?).unwrap()
+            }
+            (_, Expr::Const(c), Expr::Reg(y)) if op.is_commutative() => {
+                let mn = data_op(*op)
+                    .ok_or_else(|| err(format!("unsupported operation {op}")))?;
+                writeln!(out, "\t{mn}\t{d}, {}, #{c}", reg(*y)?).unwrap()
+            }
+            (BinOp::Sub, Expr::Bin(..), Expr::Reg(y)) => {
+                writeln!(out, "\trsb\t{d}, {}, {}", reg(*y)?, operand2(a)?).unwrap()
+            }
+            (_, Expr::Bin(..), Expr::Reg(y)) if op.is_commutative() => {
+                let mn = data_op(*op)
+                    .ok_or_else(|| err(format!("unsupported operation {op}")))?;
+                writeln!(out, "\t{mn}\t{d}, {}, {}", reg(*y)?, operand2(a)?).unwrap()
+            }
+            _ => return Err(err(format!("unsupported binary form {src}"))),
+        },
+        Expr::Lo(_) => return Err(err("bare LO[] operand")),
+    }
+    Ok(())
+}
+
+fn cond_suffix(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Lt => "lt",
+        Cond::Le => "le",
+        Cond::Gt => "gt",
+        Cond::Ge => "ge",
+    }
+}
+
+/// Emits one function as assembly text.
+///
+/// # Errors
+///
+/// Returns [`EmitError`] if the function contains pseudo registers,
+/// symbolic local addresses (run
+/// [`fix_entry_exit`](crate::finalize::fix_entry_exit) first), or RTL
+/// shapes outside the target model.
+pub fn emit_function(f: &Function, prog: &Program) -> Result<String, EmitError> {
+    let mut out = String::new();
+    writeln!(out, "\t.text\n\t.global\t{}\n{}:", f.name, f.name).unwrap();
+    for b in &f.blocks {
+        writeln!(out, "{}:", label(&f.name, b.label)).unwrap();
+        for inst in &b.insts {
+            match inst {
+                Inst::Assign { dst, src } => emit_assign(&mut out, *dst, src, prog)?,
+                Inst::Store { width, addr, src } => {
+                    let Expr::Reg(r) = src else {
+                        return Err(err("store source must be a register"));
+                    };
+                    let mn = if *width == Width::Byte { "strb" } else { "str" };
+                    writeln!(out, "\t{mn}\t{}, {}", reg(*r)?, address(addr)?).unwrap();
+                }
+                Inst::Compare { lhs, rhs } => {
+                    let Expr::Reg(l) = lhs else {
+                        return Err(err("compare lhs must be a register"));
+                    };
+                    writeln!(out, "\tcmp\t{}, {}", reg(*l)?, operand2(rhs)?).unwrap();
+                }
+                Inst::CondBranch { cond, target } => {
+                    writeln!(out, "\tb{}\t{}", cond_suffix(*cond), label(&f.name, *target))
+                        .unwrap();
+                }
+                Inst::Jump { target } => {
+                    writeln!(out, "\tb\t{}", label(&f.name, *target)).unwrap();
+                }
+                Inst::Call { callee, args, dst } => {
+                    let mut note = String::new();
+                    for (i, a) in args.iter().enumerate() {
+                        let Expr::Reg(r) = a else {
+                            return Err(err("call argument must be a register"));
+                        };
+                        if i > 0 {
+                            note.push_str(", ");
+                        }
+                        note.push_str(&reg(*r)?);
+                    }
+                    write!(out, "\tbl\t{callee}").unwrap();
+                    if !note.is_empty() {
+                        write!(out, "\t@ args: {note}").unwrap();
+                    }
+                    if let Some(d) = dst {
+                        write!(out, " -> {}", reg(*d)?).unwrap();
+                    }
+                    out.push('\n');
+                }
+                Inst::Return { value } => {
+                    match value {
+                        Some(Expr::Reg(r)) => {
+                            let r = reg(*r)?;
+                            if r != "r0" {
+                                writeln!(out, "\tmov\tr0, {r}").unwrap();
+                            }
+                        }
+                        Some(Expr::Const(c)) => writeln!(out, "\tmov\tr0, #{c}").unwrap(),
+                        Some(other) => {
+                            return Err(err(format!("unsupported return value {other}")))
+                        }
+                        None => {}
+                    }
+                    writeln!(out, "\tbx\tlr").unwrap();
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Emits the whole program: globals as `.data`/`.bss`, then every
+/// function (finalizing each first).
+///
+/// # Errors
+///
+/// Propagates the first per-function [`EmitError`].
+pub fn emit_program(prog: &Program, target: &crate::Target) -> Result<String, EmitError> {
+    let mut out = String::new();
+    for g in &prog.globals {
+        if g.init.is_empty() && g.init_bytes.is_empty() {
+            writeln!(out, "\t.bss\n\t.align\t2\n{}:\n\t.space\t{}", g.name, g.size.max(1))
+                .unwrap();
+        } else {
+            writeln!(out, "\t.data\n\t.align\t2\n{}:", g.name).unwrap();
+            if !g.init_bytes.is_empty() {
+                let bytes: Vec<String> =
+                    g.init_bytes.iter().map(|b| b.to_string()).collect();
+                writeln!(out, "\t.byte\t{}", bytes.join(", ")).unwrap();
+            } else {
+                for w in &g.init {
+                    writeln!(out, "\t.word\t{w}").unwrap();
+                }
+            }
+        }
+    }
+    for f in &prog.functions {
+        let finalized = crate::finalize::fix_entry_exit(f, target);
+        out.push('\n');
+        out.push_str(&emit_function(&finalized, prog)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::batch_compile;
+    use crate::Target;
+
+    fn emit_batch(src: &str) -> String {
+        let mut p = vpo_frontend::compile(src).unwrap();
+        let target = Target::default();
+        for f in &mut p.functions {
+            batch_compile(f, &target);
+        }
+        emit_program(&p, &target).unwrap()
+    }
+
+    #[test]
+    fn emits_straightline_function() {
+        let asm = emit_batch("int triple(int x) { return x * 3; }");
+        assert!(asm.contains(".global\ttriple"), "{asm}");
+        assert!(asm.contains("bx\tlr"), "{asm}");
+        // Strength-reduced multiply: x*3 = (x<<2) - x via rsb.
+        assert!(asm.contains("lsl #") || asm.contains("mul"), "{asm}");
+    }
+
+    #[test]
+    fn emits_loops_with_branches() {
+        let asm = emit_batch(
+            "int sum(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+        );
+        assert!(asm.contains("cmp\t"), "{asm}");
+        assert!(asm.contains("blt\t") || asm.contains("bge\t"), "{asm}");
+    }
+
+    #[test]
+    fn emits_globals_and_memory_accesses() {
+        let asm = emit_batch(
+            r#"
+            int table[3] = { 5, 6, 7 };
+            char text[] = "ab";
+            int get(int i) { return table[i]; }
+        "#,
+        );
+        assert!(asm.contains(".word\t5"), "{asm}");
+        assert!(asm.contains(".byte\t97, 98, 0"), "{asm}");
+        assert!(asm.contains("#:hi:table"), "{asm}");
+        assert!(asm.contains("ldr\t"), "{asm}");
+    }
+
+    #[test]
+    fn every_batch_compiled_suite_function_emits() {
+        let target = Target::default();
+        for b in mibench::all() {
+            let mut p = b.compile().unwrap();
+            for f in &mut p.functions {
+                batch_compile(f, &target);
+            }
+            emit_program(&p, &target)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn rejects_unfinalized_functions() {
+        let p = vpo_frontend::compile("int f(int x) { int y = x; return y; }").unwrap();
+        // Naive code still holds pseudo registers and local addresses.
+        assert!(emit_function(&p.functions[0], &p).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The compulsory *fix entry exit* phase.
+//!
+//! "After applying the last code-improving phase in a sequence, VPO
+//! performs another compulsory phase that inserts instructions at the
+//! entry and exit of the function to manage the activation record on the
+//! runtime stack." (Section 3.)
+//!
+//! This phase runs at **emission time**, after the search is over — it is
+//! not part of the explored phase set. It lowers the symbolic
+//! [`LocalAddr`](vpo_rtl::Expr::LocalAddr) leaves to stack-pointer
+//! relative addresses and inserts the frame push/pop:
+//!
+//! ```text
+//! entry:   r[13] = r[13] - frame_size;
+//! ...      &locN ==> (r[13] + offset_N)
+//! exits:   r[13] = r[13] + frame_size;   (before every return)
+//! ```
+//!
+//! The stack pointer is the target's register 13, outside the usable
+//! allocation range, exactly like ARM's `sp`.
+
+use vpo_rtl::{BinOp, Expr, Function, Inst, Reg};
+
+use crate::target::Target;
+
+/// The stack-pointer register (ARM's r13).
+pub const SP: Reg = Reg { class: vpo_rtl::RegClass::Hard, index: 13 };
+
+/// Lowers local slots to stack-pointer addressing and inserts the frame
+/// management instructions. Returns the finalized function (the input is
+/// the search-space representation and is left untouched).
+///
+/// Functions with no locals come back unchanged except for the guarantee
+/// that no [`Expr::LocalAddr`] remains.
+pub fn fix_entry_exit(f: &Function, _target: &Target) -> Function {
+    let mut g = f.clone();
+    // Only slots the optimized code still references occupy frame space
+    // (register allocation and dead-assignment elimination typically
+    // remove every access to promoted scalars).
+    let mut referenced = vec![false; g.locals.len()];
+    for (_, _, inst) in g.iter_insts() {
+        inst.visit_exprs(&mut |e| {
+            e.visit(&mut |sub| {
+                if let Expr::LocalAddr(id) = sub {
+                    referenced[id.0 as usize] = true;
+                }
+            });
+        });
+    }
+    if !referenced.iter().any(|&r| r) {
+        return g;
+    }
+    // Word-aligned slot offsets from the new stack pointer.
+    let mut offsets = Vec::with_capacity(g.locals.len());
+    let mut frame: i64 = 0;
+    for (slot, &used) in g.locals.iter().zip(&referenced) {
+        offsets.push(frame);
+        if used {
+            frame += ((slot.size + 3) & !3) as i64;
+        }
+    }
+    // Lower LocalAddr leaves.
+    for b in &mut g.blocks {
+        for inst in &mut b.insts {
+            inst.visit_exprs_mut(&mut |e| {
+                e.visit_mut(&mut |sub| {
+                    if let Expr::LocalAddr(id) = sub {
+                        let off = offsets[id.0 as usize];
+                        *sub = if off == 0 {
+                            Expr::Reg(SP)
+                        } else {
+                            Expr::bin(BinOp::Add, Expr::Reg(SP), Expr::Const(off))
+                        };
+                    }
+                });
+            });
+        }
+    }
+    // Frame push at entry.
+    g.blocks[0].insts.insert(
+        0,
+        Inst::Assign { dst: SP, src: Expr::bin(BinOp::Sub, Expr::Reg(SP), Expr::Const(frame)) },
+    );
+    // Frame pop before every return.
+    for b in &mut g.blocks {
+        let mut i = 0;
+        while i < b.insts.len() {
+            if matches!(b.insts[i], Inst::Return { .. }) {
+                b.insts.insert(
+                    i,
+                    Inst::Assign {
+                        dst: SP,
+                        src: Expr::bin(BinOp::Add, Expr::Reg(SP), Expr::Const(frame)),
+                    },
+                );
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+    g
+}
+
+/// Total activation-record size in bytes (word-aligned slots).
+pub fn frame_size(f: &Function) -> i64 {
+    f.locals.iter().map(|s| ((s.size + 3) & !3) as i64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn has_local_addr(f: &Function) -> bool {
+        let mut found = false;
+        for (_, _, inst) in f.iter_insts() {
+            inst.visit_exprs(&mut |e| {
+                e.visit(&mut |sub| {
+                    if matches!(sub, Expr::LocalAddr(_)) {
+                        found = true;
+                    }
+                });
+            });
+        }
+        found
+    }
+
+    #[test]
+    fn lowers_all_local_addresses() {
+        let p = vpo_frontend::compile(
+            "int f(int x) { int a[3]; a[0] = x; a[1] = x + 1; a[2] = a[0] + a[1]; return a[2]; }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert!(has_local_addr(f));
+        let g = fix_entry_exit(f, &Target::default());
+        assert!(!has_local_addr(&g));
+        // Entry push + one pop per return.
+        assert!(matches!(
+            &g.blocks[0].insts[0],
+            Inst::Assign { dst, src: Expr::Bin(BinOp::Sub, a, _) }
+                if *dst == SP && matches!(&**a, Expr::Reg(r) if *r == SP)
+        ));
+        assert_eq!(g.inst_count(), f.inst_count() + 2);
+    }
+
+    #[test]
+    fn optimized_away_slots_need_no_frame() {
+        // After batch compilation, the parameter's home slot is promoted to
+        // a register and never referenced — no frame instructions appear.
+        let p = vpo_frontend::compile("int f(int x) { return x + 1; }").unwrap();
+        let mut f = p.functions[0].clone();
+        let target = Target::default();
+        crate::batch::batch_compile(&mut f, &target);
+        let g = fix_entry_exit(&f, &target);
+        target.check_function(&g).unwrap();
+        assert!(!has_local_addr(&g));
+        assert_eq!(
+            g.inst_count(),
+            f.inst_count(),
+            "dead slots must not cost frame instructions:
+{g}"
+        );
+    }
+
+    #[test]
+    fn frame_sizes_are_word_aligned() {
+        let p = vpo_frontend::compile(
+            "int f() { char b[5]; int w; b[0] = 1; w = b[0]; return w; }",
+        )
+        .unwrap();
+        // 5 bytes round to 8, plus 4 for the scalar.
+        assert_eq!(frame_size(&p.functions[0]), 12);
+    }
+
+    #[test]
+    fn finalized_code_is_legal_machine_code() {
+        let target = Target::default();
+        for b in [
+            "int f(int x) { int y = x * 3; return y + 2; }",
+            "int g(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+        ] {
+            let p = vpo_frontend::compile(b).unwrap();
+            let g = fix_entry_exit(&p.functions[0], &target);
+            target.check_function(&g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Compulsory basic-block normalization.
+//!
+//! The paper removes *merge basic blocks* and *eliminate empty blocks* from
+//! the candidate phase list "since these phases only change the internal
+//! control-flow representation as seen by the compiler and do not directly
+//! affect the final generated code. These phases are now implicitly
+//! performed after any transformation that has the potential of enabling
+//! them."
+//!
+//! Accordingly, [`normalize`] is run after every *active* phase
+//! application. It never adds or removes real instructions (explicit jumps
+//! are real code and are the business of phases `u`, `i`, `r`): it only
+//! deletes empty blocks and concatenates a block with its fall-through
+//! successor when that successor's label is not a branch target.
+
+use std::collections::HashMap;
+
+use vpo_rtl::{Function, Label};
+
+/// Runs empty-block elimination and block merging to a fixpoint.
+/// Returns `true` if the representation changed (useful for tests; the
+/// result is *not* an optimization-phase activity signal).
+pub fn normalize(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let step = eliminate_empty_blocks(f) | merge_blocks(f);
+        if !step {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Counts how many branch or jump instructions reference each label.
+pub fn label_refs(f: &Function) -> HashMap<Label, usize> {
+    let mut refs: HashMap<Label, usize> = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Some(t) = i.target() {
+                *refs.entry(t).or_insert(0) += 1;
+            }
+        }
+    }
+    refs
+}
+
+/// Removes blocks with no instructions, redirecting references to their
+/// fall-through successor. Returns whether anything changed.
+fn eliminate_empty_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Find an empty block that is not the last (the last block must end the
+    // function; an empty trailing block can only be unreferenced garbage).
+    loop {
+        let pos = f.blocks.iter().position(|b| b.insts.is_empty());
+        let Some(i) = pos else { break };
+        if i + 1 < f.blocks.len() {
+            let dead = f.blocks[i].label;
+            let succ = f.blocks[i + 1].label;
+            f.blocks.remove(i);
+            for b in &mut f.blocks {
+                for inst in &mut b.insts {
+                    inst.retarget(|t| if t == dead { succ } else { t });
+                }
+            }
+            changed = true;
+        } else {
+            // Trailing empty block: remove only if unreferenced.
+            let dead = f.blocks[i].label;
+            if label_refs(f).get(&dead).copied().unwrap_or(0) == 0 && f.blocks.len() > 1 {
+                f.blocks.remove(i);
+                changed = true;
+            } else {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+/// Concatenates `B` and its positional successor `C` when `B` falls through
+/// into `C` and no instruction anywhere references `C`'s label. Returns
+/// whether anything changed.
+fn merge_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i + 1 < f.blocks.len() {
+        let refs = label_refs(f);
+        let c_label = f.blocks[i + 1].label;
+        // B must have a *single* successor (pure fall-through): a trailing
+        // conditional branch marks a real block boundary and merging across
+        // it would create extended blocks.
+        let pure_fallthrough = match f.blocks[i].insts.last() {
+            None => true,
+            Some(last) => !last.is_control(),
+        };
+        if pure_fallthrough && refs.get(&c_label).copied().unwrap_or(0) == 0 {
+            let mut tail = f.blocks.remove(i + 1);
+            f.blocks[i].insts.append(&mut tail.insts);
+            changed = true;
+            // Re-check the same index: the merged block may fall into the
+            // next one as well.
+        } else {
+            i += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{Cond, Expr, Inst};
+
+    #[test]
+    fn removes_empty_block_and_retargets() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let empty = b.new_label();
+        let tail = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, empty);
+        b.jump(tail);
+        b.start_block(empty); // stays empty, falls through to tail
+        b.start_block(tail);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(normalize(&mut f));
+        // The empty block is gone; the branch now targets `tail` directly,
+        // and since nothing else separates the blocks they merge.
+        assert!(f.blocks.iter().all(|blk| !blk.insts.is_empty()));
+        let retargeted = f
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.insts.iter())
+            .any(|i| matches!(i, Inst::CondBranch { target, .. } if *target == tail));
+        assert!(retargeted);
+    }
+
+    #[test]
+    fn merges_fallthrough_chain() {
+        let mut b = FunctionBuilder::new("f");
+        let l1 = b.new_label();
+        let l2 = b.new_label();
+        let r0 = b.reg();
+        b.assign(r0, Expr::Const(1));
+        b.start_block(l1);
+        b.assign(r0, Expr::Const(2));
+        b.start_block(l2);
+        b.ret(Some(Expr::Reg(r0)));
+        let mut f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert!(normalize(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.inst_count(), 3);
+    }
+
+    #[test]
+    fn does_not_merge_branch_targets() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let loop_l = b.new_label();
+        b.start_block(loop_l);
+        b.assign(x, Expr::bin(vpo_rtl::BinOp::Sub, Expr::Reg(x), Expr::Const(1)));
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Gt, loop_l);
+        b.ret(None);
+        let mut f = b.finish();
+        // Entry block is empty -> removed; loop body must remain intact and
+        // separate (its label is referenced).
+        normalize(&mut f);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].label, loop_l);
+        assert_eq!(f.inst_count(), 4);
+    }
+
+    #[test]
+    fn idempotent_when_clean() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!normalize(&mut f));
+    }
+}

@@ -1,0 +1,146 @@
+//! Phase `i` — block reordering.
+//!
+//! "Removes a jump by reordering blocks when the target of the jump has
+//! only a single predecessor." If block `B` ends in `PC=L;` and the block
+//! `C` labelled `L` is entered *only* through that jump, the fall-through
+//! chain starting at `C` is relocated to sit directly after `B` and the
+//! jump is deleted.
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::{Function, Inst};
+
+use crate::target::Target;
+
+/// Runs block reordering; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    loop {
+        if !reorder_once(f) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Performs at most one relocation; returns whether one happened.
+fn reorder_once(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let n = f.blocks.len();
+    for b in 0..n {
+        let Some(Inst::Jump { target }) = f.blocks[b].insts.last() else { continue };
+        let Some(&c) = cfg.index_of.get(target) else { continue };
+        if c == b || c == b + 1 {
+            continue; // self loop, or u's job (jump to fallthrough)
+        }
+        if cfg.preds[c].len() != 1 || cfg.preds[c][0] != b {
+            continue;
+        }
+        if c == 0 {
+            continue; // never displace the entry block
+        }
+        // Collect the fall-through chain starting at C. Every block in the
+        // chain moves together so no fall-through edge is broken. The chain
+        // ends at the first barrier-terminated block.
+        let mut chain = vec![c];
+        let mut last = c;
+        while f.blocks[last].falls_through() {
+            let next = last + 1;
+            if next >= n || chain.contains(&next) || next == b {
+                break;
+            }
+            chain.push(next);
+            last = next;
+        }
+        if !f.blocks[*chain.last().unwrap()].falls_through() && !chain.contains(&b) {
+            // Move the chain to sit after B and delete the jump. The chain
+            // is a contiguous range starting at C, so B's index shifts by
+            // the chain length exactly when the chain sits before B.
+            let mut moved: Vec<_> = Vec::with_capacity(chain.len());
+            for &idx in chain.iter().rev() {
+                moved.push(f.blocks.remove(idx));
+            }
+            moved.reverse();
+            let b_idx = if c < b { b - chain.len() } else { b };
+            f.blocks[b_idx].insts.pop(); // the jump
+            for (k, blk) in moved.into_iter().enumerate() {
+                f.blocks.insert(b_idx + 1 + k, blk);
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{Cond, Expr};
+
+    #[test]
+    fn moves_single_pred_target_after_jump() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let over = b.new_label();
+        let tail = b.new_label();
+        // entry: branch to over or fall to middle; middle jumps to tail;
+        // tail has only that one predecessor.
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, over);
+        b.jump(tail);
+        b.start_block(over);
+        b.ret(Some(Expr::Const(1)));
+        b.start_block(tail);
+        b.ret(Some(Expr::Const(2)));
+        let mut f = b.finish();
+        let before = f.inst_count();
+        assert!(run(&mut f, &Target::default()));
+        assert_eq!(f.inst_count(), before - 1);
+        // tail moved to directly after entry.
+        assert_eq!(f.blocks[1].label, tail);
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn dormant_when_target_has_multiple_preds() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let shared = b.new_label();
+        let second = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, second);
+        b.jump(shared);
+        b.start_block(second);
+        b.jump(shared);
+        b.start_block(shared);
+        b.ret(Some(Expr::Const(1)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn does_not_break_fallthrough_chains() {
+        // The moved chain drags its fall-through successors along.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let a = b.new_label();
+        let c1 = b.new_label();
+        let c2 = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, a);
+        b.jump(c1);
+        b.start_block(a);
+        b.ret(Some(Expr::Const(1)));
+        b.start_block(c1);
+        b.assign(x, Expr::Const(5)); // falls through to c2
+        b.start_block(c2);
+        b.ret(Some(Expr::Reg(x)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        // c1 and c2 moved together right after entry.
+        assert_eq!(f.blocks[1].label, c1);
+        assert_eq!(f.blocks[2].label, c2);
+        assert_eq!(f.blocks[3].label, a);
+    }
+}

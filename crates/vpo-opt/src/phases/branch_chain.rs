@@ -1,0 +1,122 @@
+//! Phase `b` — branch chaining.
+//!
+//! "Replaces a branch or jump target with the target of the last jump in
+//! the jump chain." A *chain element* is a block consisting of exactly one
+//! unconditional jump. Following the paper's remark, unreachable code left
+//! behind by the retargeting is removed by this phase itself (which is why
+//! phase `d` is almost never active).
+
+use std::collections::HashSet;
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::{Function, Label};
+
+use crate::target::Target;
+
+/// Runs branch chaining; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+
+    // Resolve each label through trivial-jump blocks, with a cycle guard.
+    let resolve = |f: &Function, start: Label| -> Label {
+        let mut seen = HashSet::new();
+        let mut cur = start;
+        loop {
+            if !seen.insert(cur) {
+                return start; // infinite jump cycle: leave untouched
+            }
+            let Some(bi) = f.block_index(cur) else { return cur };
+            match f.blocks[bi].as_trivial_jump() {
+                Some(next) if next != cur => cur = next,
+                _ => return cur,
+            }
+        }
+    };
+
+    // Retarget every branch/jump through the chain.
+    let nblocks = f.blocks.len();
+    for bi in 0..nblocks {
+        for ii in 0..f.blocks[bi].insts.len() {
+            if let Some(t) = f.blocks[bi].insts[ii].target() {
+                let final_t = resolve(f, t);
+                if final_t != t {
+                    f.blocks[bi].insts[ii].retarget(|_| final_t);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Remove code made unreachable by the retargeting (the chain blocks).
+    if changed {
+        let cfg = Cfg::build(f);
+        let mut keep = cfg.reachable().into_iter();
+        f.blocks.retain(|_| keep.next().unwrap_or(true));
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{Cond, Expr, Inst};
+
+    #[test]
+    fn follows_jump_chains_and_removes_dead_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let hop1 = b.new_label();
+        let hop2 = b.new_label();
+        let dest = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, hop1);
+        b.ret(None);
+        b.start_block(hop1);
+        b.jump(hop2);
+        b.start_block(hop2);
+        b.jump(dest);
+        b.start_block(dest);
+        b.ret(Some(Expr::Reg(x)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        // Branch goes straight to dest; the two hop blocks are gone.
+        let br = f
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.insts.iter())
+            .find_map(|i| match i {
+                Inst::CondBranch { target, .. } => Some(*target),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(br, dest);
+        assert_eq!(f.blocks.len(), 2);
+        // Dormant on a second application.
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn jump_cycle_is_left_alone() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.new_label();
+        let c = b.new_label();
+        b.jump(a);
+        b.start_block(a);
+        b.jump(c);
+        b.start_block(c);
+        b.jump(a);
+        let mut f = b.finish();
+        // a -> c -> a is a cycle; chaining must not loop forever. The entry
+        // jump to `a` resolves into the cycle and is left as-is.
+        let _ = run(&mut f, &Target::default());
+    }
+
+    #[test]
+    fn dormant_on_straightline_code() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+}

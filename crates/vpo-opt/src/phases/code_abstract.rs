@@ -1,0 +1,237 @@
+//! Phase `n` — code abstraction.
+//!
+//! "Performs cross-jumping and code-hoisting to move identical
+//! instructions from basic blocks to their common predecessor or
+//! successor."
+//!
+//! * **Cross-jumping**: when every predecessor of a block ends with an
+//!   explicit jump to it and all of them execute the same instruction just
+//!   before jumping, one copy of that instruction is moved to the head of
+//!   the successor and the duplicates are deleted.
+//! * **Code hoisting**: when a two-way branch's successors both start with
+//!   the same instruction (and each is reached only through that branch),
+//!   one copy is hoisted above the compare/branch pair in the predecessor.
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::{Function, Inst};
+
+use crate::target::Target;
+
+/// Runs code abstraction; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    loop {
+        let step = cross_jump_once(f) || hoist_once(f);
+        if !step {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// A candidate instruction for abstraction: straight-line, and not a
+/// compare (moving a CC definition across a block boundary is only legal in
+/// the cross-jump direction, which preserves the position relative to the
+/// consumer — hoisting checks separately).
+fn movable(i: &Inst) -> bool {
+    !i.is_control()
+}
+
+fn cross_jump_once(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    for c in 0..f.blocks.len() {
+        let preds = &cfg.preds[c];
+        if preds.len() < 2 {
+            continue;
+        }
+        // Every predecessor must end with an explicit jump to C (no
+        // fall-through or conditional entries) and have an instruction to
+        // contribute.
+        let label = f.blocks[c].label;
+        let all_jump = preds.iter().all(|&p| {
+            matches!(
+                f.blocks[p].insts.last(),
+                Some(Inst::Jump { target }) if *target == label
+            ) && f.blocks[p].insts.len() >= 2
+        });
+        if !all_jump {
+            continue;
+        }
+        let candidate = {
+            let p0 = preds[0];
+            let n0 = f.blocks[p0].insts.len();
+            f.blocks[p0].insts[n0 - 2].clone()
+        };
+        if !movable(&candidate) {
+            continue;
+        }
+        let all_same = preds.iter().all(|&p| {
+            let n = f.blocks[p].insts.len();
+            f.blocks[p].insts[n - 2] == candidate
+        });
+        if !all_same {
+            continue;
+        }
+        // Move: delete from each predecessor, insert at the head of C.
+        for &p in preds {
+            let n = f.blocks[p].insts.len();
+            f.blocks[p].insts.remove(n - 2);
+        }
+        f.blocks[c].insts.insert(0, candidate);
+        return true;
+    }
+    false
+}
+
+fn hoist_once(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    for p in 0..f.blocks.len() {
+        // P must end with [Compare, CondBranch] and fall through.
+        let np = f.blocks[p].insts.len();
+        if np < 2 {
+            continue;
+        }
+        let (Inst::Compare { lhs, rhs }, Inst::CondBranch { target, .. }) =
+            (&f.blocks[p].insts[np - 2], &f.blocks[p].insts[np - 1])
+        else {
+            continue;
+        };
+        let Some(&t_idx) = cfg.index_of.get(target) else { continue };
+        if p + 1 >= f.blocks.len() {
+            continue;
+        }
+        let f_idx = p + 1; // fall-through block
+        if t_idx == f_idx || t_idx == p {
+            continue;
+        }
+        // Both successors reached only through this branch.
+        if cfg.preds[t_idx] != vec![p] || cfg.preds[f_idx] != vec![p] {
+            continue;
+        }
+        let (Some(first_t), Some(first_f)) =
+            (f.blocks[t_idx].insts.first(), f.blocks[f_idx].insts.first())
+        else {
+            continue;
+        };
+        if first_t != first_f || !movable(first_t) {
+            continue;
+        }
+        let inst = first_t.clone();
+        // The hoisted instruction executes before the compare/branch now:
+        // it must not clobber the condition code or anything the compare
+        // reads.
+        if inst.defs_cc() {
+            continue;
+        }
+        if let Some(d) = inst.def() {
+            if lhs.uses_reg(d) || rhs.uses_reg(d) {
+                continue;
+            }
+        }
+        f.blocks[t_idx].insts.remove(0);
+        f.blocks[f_idx].insts.remove(0);
+        f.blocks[p].insts.insert(np - 2, inst);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Cond, Expr};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    #[test]
+    fn cross_jumps_identical_tails() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let other = b.new_label();
+        let join = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, other);
+        b.assign(y, Expr::bin(BinOp::Add, Expr::Reg(y), Expr::Const(1)));
+        b.jump(join);
+        b.start_block(other);
+        b.assign(y, Expr::bin(BinOp::Add, Expr::Reg(y), Expr::Const(1)));
+        b.jump(join);
+        b.start_block(join);
+        b.ret(Some(Expr::Reg(y)));
+        let mut f = b.finish();
+        let before = f.inst_count();
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), before - 1);
+        // The join block now starts with the abstracted instruction.
+        let join_block = f.blocks.iter().find(|blk| blk.label == join).unwrap();
+        assert!(matches!(join_block.insts[0], Inst::Assign { .. }));
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn hoists_identical_heads() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let z = b.param();
+        let other = b.new_label();
+        let fall = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, other);
+        b.start_block(fall);
+        b.assign(z, Expr::bin(BinOp::Mul, Expr::Reg(y), Expr::Reg(y)));
+        b.ret(Some(Expr::Reg(z)));
+        b.start_block(other);
+        b.assign(z, Expr::bin(BinOp::Mul, Expr::Reg(y), Expr::Reg(y)));
+        b.ret(Some(Expr::Const(0)));
+        let mut f = b.finish();
+        let before = f.inst_count();
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), before - 1);
+        // Entry now computes z before the branch.
+        assert!(matches!(f.blocks[0].insts[0], Inst::Assign { .. }));
+    }
+
+    #[test]
+    fn no_hoist_when_branch_depends_on_it() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let other = b.new_label();
+        let fall = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, other);
+        b.start_block(fall);
+        b.assign(x, Expr::Const(1)); // would clobber the compared register
+        b.ret(Some(Expr::Reg(x)));
+        b.start_block(other);
+        b.assign(x, Expr::Const(1));
+        b.ret(Some(Expr::Const(9)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn no_cross_jump_with_different_tails() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let other = b.new_label();
+        let join = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, other);
+        b.assign(y, Expr::Const(1));
+        b.jump(join);
+        b.start_block(other);
+        b.assign(y, Expr::Const(2));
+        b.jump(join);
+        b.start_block(join);
+        b.ret(Some(Expr::Reg(y)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()));
+    }
+}

@@ -1,0 +1,399 @@
+//! Phase `c` — common subexpression elimination.
+//!
+//! "Performs global analysis to eliminate fully redundant calculations,
+//! which also includes global constant and copy propagation."
+//!
+//! The implementation has two cooperating parts, iterated to a fixpoint:
+//!
+//! 1. **Global constant and copy propagation** — a forward must-dataflow
+//!    over `register → (constant | copy-of-register)` facts. Uses are
+//!    rewritten to the constant or the copy source whenever the rewritten
+//!    instruction is still a legal machine instruction, and assignments
+//!    that recompute a value the destination already holds are deleted.
+//! 2. **Redundant-computation elimination** — value numbering over each
+//!    extended block: a non-trivial right-hand side already held by another
+//!    register is replaced by a register copy (Figure 3 of the paper shows
+//!    how this makes `c` produce the same code as other phases), and a
+//!    recomputation into the *same* register is deleted outright.
+//!
+//! Note that `c` does **not** fold constants — `r=1+2` stays put until
+//! instruction selection (`s`) folds it — which is one of the sources of
+//! interaction between the two phases.
+
+use std::collections::BTreeMap;
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::{Expr, Function, Inst, Reg};
+
+use crate::target::Target;
+
+/// A propagated fact about a register's content.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Val {
+    Const(i64),
+    Copy(Reg),
+}
+
+type State = BTreeMap<Reg, Val>;
+
+/// Runs CSE (constant/copy propagation + value numbering); returns whether
+/// anything changed.
+pub fn run(f: &mut Function, target: &Target) -> bool {
+    let mut changed = false;
+    for _round in 0..100 {
+        let step = const_copy_prop(f, target) | value_numbering(f, target);
+        if !step {
+            return changed;
+        }
+        changed = true;
+    }
+    debug_assert!(false, "cse failed to reach a fixpoint in {}", f.name);
+    changed
+}
+
+/// Removes every fact invalidated by a definition of `d`.
+fn invalidate(state: &mut State, d: Reg) {
+    state.remove(&d);
+    state.retain(|_, v| !matches!(v, Val::Copy(r) if *r == d));
+}
+
+/// Applies one instruction's effect to the fact state.
+fn transfer(state: &mut State, inst: &Inst) {
+    match inst {
+        Inst::Assign { dst, src } => {
+            // Compute the new fact *before* invalidating (src may use dst).
+            let fact = match src {
+                Expr::Const(c) => Some(Val::Const(*c)),
+                Expr::Reg(r) if r != dst => match state.get(r) {
+                    Some(Val::Const(c)) => Some(Val::Const(*c)),
+                    Some(Val::Copy(root)) if root != dst => Some(Val::Copy(*root)),
+                    Some(Val::Copy(_)) => None,
+                    None => Some(Val::Copy(*r)),
+                },
+                _ => None,
+            };
+            invalidate(state, *dst);
+            if let Some(v) = fact {
+                state.insert(*dst, v);
+            }
+        }
+        Inst::Call { dst: Some(d), .. } => invalidate(state, *d),
+        _ => {}
+    }
+}
+
+/// Meet (intersection of equal facts) for the must-analysis.
+fn meet(a: &State, b: &State) -> State {
+    a.iter()
+        .filter(|(k, v)| b.get(*k) == Some(*v))
+        .map(|(k, v)| (*k, *v))
+        .collect()
+}
+
+/// Global constant and copy propagation. Returns whether code changed.
+fn const_copy_prop(f: &mut Function, target: &Target) -> bool {
+    let cfg = Cfg::build(f);
+    let nb = f.blocks.len();
+    // Optimistic fixpoint: unvisited predecessors are ignored by the meet.
+    let mut out: Vec<Option<State>> = vec![None; nb];
+    let rpo = cfg.reverse_postorder();
+    let mut stable = false;
+    while !stable {
+        stable = true;
+        for &bi in &rpo {
+            let mut state = in_state(&cfg, &out, bi);
+            for inst in &f.blocks[bi].insts {
+                transfer(&mut state, inst);
+            }
+            if out[bi].as_ref() != Some(&state) {
+                out[bi] = Some(state);
+                stable = false;
+            }
+        }
+    }
+
+    // Rewrite walk.
+    let mut changed = false;
+    for bi in 0..nb {
+        let mut state = in_state(&cfg, &out, bi);
+        let insts = std::mem::take(&mut f.blocks[bi].insts);
+        let mut rewritten = Vec::with_capacity(insts.len());
+        for mut inst in insts {
+            // Delete assignments that recompute the destination's value.
+            if let Inst::Assign { dst, src } = &inst {
+                let already = match src {
+                    Expr::Const(c) => state.get(dst) == Some(&Val::Const(*c)),
+                    Expr::Reg(r) => {
+                        r == dst
+                            || state.get(dst) == Some(&Val::Copy(*r))
+                            || (matches!(state.get(r), Some(Val::Const(_)))
+                                && state.get(r) == state.get(dst))
+                            || state.get(r) == Some(&Val::Copy(*dst))
+                    }
+                    _ => false,
+                };
+                if already {
+                    changed = true;
+                    continue; // drop the redundant assignment
+                }
+            }
+            // Substitute facts into uses, one register at a time, keeping
+            // only legal results.
+            let mut used = Vec::new();
+            inst.collect_uses(&mut used);
+            used.sort_unstable();
+            used.dedup();
+            for r in used {
+                let Some(v) = state.get(&r) else { continue };
+                let replacement = match v {
+                    Val::Const(c) => Expr::Const(*c),
+                    Val::Copy(src) => Expr::Reg(*src),
+                };
+                let mut candidate = inst.clone();
+                candidate.substitute_reg_uses(r, &replacement);
+                if target.legal_inst(&candidate) && candidate != inst {
+                    inst = candidate;
+                    changed = true;
+                }
+            }
+            transfer(&mut state, &inst);
+            rewritten.push(inst);
+        }
+        f.blocks[bi].insts = rewritten;
+    }
+    changed
+}
+
+fn in_state(cfg: &Cfg, out: &[Option<State>], bi: usize) -> State {
+    let mut acc: Option<State> = None;
+    for &p in &cfg.preds[bi] {
+        if let Some(s) = &out[p] {
+            acc = Some(match acc {
+                None => s.clone(),
+                Some(a) => meet(&a, s),
+            });
+        }
+    }
+    acc.unwrap_or_default()
+}
+
+/// Right-hand sides value numbering considers: computations, loads, and
+/// the address-forming leaves the front end emits repeatedly (`&local`,
+/// `HI[sym]`). Registers and plain constants are the business of copy and
+/// constant propagation instead.
+fn numberable(src: &Expr) -> bool {
+    matches!(
+        src,
+        Expr::Bin(..) | Expr::Un(..) | Expr::Load(..) | Expr::LocalAddr(_) | Expr::Hi(_)
+    )
+}
+
+/// Per-block value numbering of non-trivial right-hand sides. Returns
+/// whether code changed.
+fn value_numbering(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let mut table: Vec<(Expr, Reg)> = Vec::new();
+        let insts = std::mem::take(&mut b.insts);
+        let mut out = Vec::with_capacity(insts.len());
+        for mut inst in insts {
+            let mut drop_inst = false;
+            if let Inst::Assign { dst, src } = &inst {
+                if numberable(src) {
+                    if let Some((_, holder)) = table.iter().find(|(e, _)| e == src) {
+                        if holder == dst {
+                            drop_inst = true; // recomputation into same register
+                        } else {
+                            inst = Inst::Assign { dst: *dst, src: Expr::Reg(*holder) };
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            if drop_inst {
+                continue;
+            }
+            // Kills.
+            if let Some(d) = inst.def() {
+                table.retain(|(e, holder)| *holder != d && !e.uses_reg(d));
+            }
+            if inst.writes_memory() {
+                table.retain(|(e, _)| !e.reads_memory());
+            }
+            // Insert the new availability fact.
+            if let Inst::Assign { dst, src } = &inst {
+                if numberable(src)
+                    && !src.uses_reg(*dst)
+                    && !table.iter().any(|(e, _)| e == src)
+                {
+                    table.push((src.clone(), *dst));
+                }
+            }
+            out.push(inst);
+        }
+        b.insts = out;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Cond, Width};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    #[test]
+    fn paper_figure3_constant_propagation() {
+        // r[2]=1; r[3]=r[4]+r[2]  =(c)=>  r[2]=1; r[3]=r[4]+1
+        let mut b = FunctionBuilder::new("f");
+        let r4 = b.param();
+        let r2 = b.reg();
+        let r3 = b.reg();
+        b.assign(r2, Expr::Const(1));
+        b.assign(r3, Expr::bin(BinOp::Add, Expr::Reg(r4), Expr::Reg(r2)));
+        b.ret(Some(Expr::Reg(r3)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        // The dead r[2]=1 remains — removing it is h's job (Figure 3).
+        assert_eq!(f.inst_count(), 3);
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::Assign { src: Expr::Bin(BinOp::Add, _, c), .. }
+                if matches!(&**c, Expr::Const(1))
+        ));
+    }
+
+    #[test]
+    fn copy_propagation() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::Reg(x));
+        b.assign(t1, Expr::bin(BinOp::Mul, Expr::Reg(t0), Expr::Reg(t0)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::Assign { src: Expr::Bin(BinOp::Mul, a, b2), .. }
+                if matches!(&**a, Expr::Reg(r) if *r == x)
+                    && matches!(&**b2, Expr::Reg(r) if *r == x)
+        ));
+    }
+
+    #[test]
+    fn global_propagation_across_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let l = b.new_label();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::Const(7));
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, l);
+        b.start_block(l);
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Reg(t0)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        let last_block = f.blocks.last().unwrap();
+        assert!(matches!(
+            &last_block.insts[0],
+            Inst::Assign { src: Expr::Bin(BinOp::Add, _, c), .. }
+                if matches!(&**c, Expr::Const(7))
+        ));
+    }
+
+    #[test]
+    fn no_propagation_through_conflicting_paths() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        let l = b.new_label();
+        let j = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, l);
+        b.assign(t0, Expr::Const(1));
+        b.jump(j);
+        b.start_block(l);
+        b.assign(t0, Expr::Const(2));
+        b.start_block(j);
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Reg(t0)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()), "t0 is 1 or 2 at the join; nothing to do");
+    }
+
+    #[test]
+    fn value_numbering_reuses_common_subexpression() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        let out = b.reg();
+        b.assign(t0, Expr::bin(BinOp::Mul, Expr::Reg(x), Expr::Reg(y)));
+        b.assign(t1, Expr::bin(BinOp::Mul, Expr::Reg(x), Expr::Reg(y)));
+        b.assign(out, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Reg(t1)));
+        b.ret(Some(Expr::Reg(out)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::Assign { src: Expr::Reg(r), .. } if *r == t0
+        ));
+    }
+
+    #[test]
+    fn redundant_loads_killed_by_stores() {
+        let mut b = FunctionBuilder::new("f");
+        let p = b.param();
+        let z = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        let out = b.reg();
+        b.assign(t0, Expr::load(Width::Word, Expr::Reg(p)));
+        b.store(Width::Word, Expr::Reg(p), Expr::Reg(z));
+        b.assign(t1, Expr::load(Width::Word, Expr::Reg(p)));
+        b.assign(out, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Reg(t1)));
+        b.ret(Some(Expr::Reg(out)));
+        let mut f = b.finish();
+        // The second load must NOT be replaced: the store intervenes.
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn deletes_recomputation_into_same_register() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t0 = b.reg();
+        b.assign(t0, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Const(1)));
+        b.assign(t0, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Const(1)));
+        b.ret(Some(Expr::Reg(t0)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn fixpoint_is_reached() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        let t2 = b.reg();
+        b.assign(t0, Expr::Reg(x));
+        b.assign(t1, Expr::Reg(t0));
+        b.assign(t2, Expr::Reg(t1));
+        b.ret(Some(Expr::Reg(t2)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert!(!run(&mut f, &t()), "second application must be dormant");
+    }
+}

@@ -1,0 +1,150 @@
+//! Phase `h` — dead assignment elimination.
+//!
+//! "Uses global analysis to remove assignments when the assigned value is
+//! never used." Three kinds of dead code are removed, all driven by the
+//! same liveness analysis:
+//!
+//! * register assignments whose destination is dead afterwards (the source
+//!   may read memory — discarding a read is harmless);
+//! * compares whose condition code is dead (e.g. after phase `u` removed
+//!   the branch);
+//! * stores to register-allocatable local slots whose value is never
+//!   loaded again (sound because such slots provably do not escape).
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::liveness::{Item, Liveness};
+use vpo_rtl::{Expr, Function, Inst};
+
+use crate::target::Target;
+
+/// Runs dead-assignment elimination; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    loop {
+        // Removing one dead assignment can make the instructions feeding it
+        // dead as well, so iterate the analysis to a fixpoint.
+        let cfg = Cfg::build(f);
+        let lv = Liveness::compute(f, &cfg);
+        let mut dead: Vec<(usize, usize)> = Vec::new();
+        for bi in 0..f.blocks.len() {
+            lv.for_each_inst_backward(f, bi, |ii, inst, live_after| {
+                let is_dead = match inst {
+                    Inst::Assign { dst, .. } => lv
+                        .index_of(Item::Reg(*dst))
+                        .map(|d| !live_after.contains(d))
+                        .unwrap_or(false),
+                    Inst::Compare { .. } => lv
+                        .index_of(Item::Cc)
+                        .map(|c| !live_after.contains(c))
+                        .unwrap_or(false),
+                    Inst::Store { addr: Expr::LocalAddr(l), .. } => lv
+                        .index_of(Item::Local(*l))
+                        .map(|x| !live_after.contains(x))
+                        .unwrap_or(false),
+                    _ => false,
+                };
+                if is_dead {
+                    dead.push((bi, ii));
+                }
+            });
+        }
+        if dead.is_empty() {
+            break;
+        }
+        // Delete from the back of each block so indices stay valid.
+        dead.sort_unstable_by(|a, b| b.cmp(a));
+        for (bi, ii) in dead {
+            f.blocks[bi].insts.remove(ii);
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Cond, Width};
+
+    #[test]
+    fn removes_transitively_dead_chain() {
+        let mut b = FunctionBuilder::new("f");
+        let t0 = b.reg();
+        let t1 = b.reg();
+        let t2 = b.reg();
+        b.assign(t0, Expr::Const(1));
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Const(2)));
+        b.assign(t2, Expr::Const(9));
+        b.ret(Some(Expr::Reg(t2)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        // t1's chain is gone entirely (t1 dead, making t0 dead).
+        assert_eq!(f.inst_count(), 2);
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn keeps_live_values_and_side_effects() {
+        let mut b = FunctionBuilder::new("f");
+        let t0 = b.reg();
+        b.assign(t0, Expr::Const(1));
+        b.store(Width::Word, Expr::Reg(t0), Expr::Reg(t0)); // store: side effect
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn removes_dead_compare() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        b.compare(Expr::Reg(x), Expr::Const(0)); // CC never used
+        b.ret(Some(Expr::Reg(x)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        assert_eq!(f.inst_count(), 1);
+    }
+
+    #[test]
+    fn keeps_compare_feeding_branch() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let l = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, l);
+        b.ret(Some(Expr::Const(0)));
+        b.start_block(l);
+        b.ret(Some(Expr::Const(1)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn removes_store_to_never_loaded_local() {
+        let mut b = FunctionBuilder::new("f");
+        let v = b.local("v", 4);
+        let t = b.reg();
+        b.assign(t, Expr::Const(3));
+        b.store(Width::Word, Expr::LocalAddr(v), Expr::Reg(t));
+        b.ret(Some(Expr::Const(0)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        // Store removed, then t became dead and was removed too.
+        assert_eq!(f.inst_count(), 1);
+    }
+
+    #[test]
+    fn keeps_store_to_loaded_local() {
+        let mut b = FunctionBuilder::new("f");
+        let v = b.local("v", 4);
+        let t = b.reg();
+        let u = b.reg();
+        b.assign(t, Expr::Const(3));
+        b.store(Width::Word, Expr::LocalAddr(v), Expr::Reg(t));
+        b.assign(u, Expr::load(Width::Word, Expr::LocalAddr(v)));
+        b.ret(Some(Expr::Reg(u)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+}

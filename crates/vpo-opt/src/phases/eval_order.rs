@@ -1,0 +1,282 @@
+//! Phase `o` — evaluation order determination.
+//!
+//! "Reorders instructions within a single basic block in an attempt to use
+//! fewer registers." This phase is legal only *before* register
+//! assignment: it list-schedules each block's instructions so that pseudo
+//! temporaries die as early as possible, reducing the number of hardware
+//! registers the compulsory assignment will need.
+//!
+//! The scheduler is deterministic and — crucially for the enumeration
+//! engine — *idempotent*: scheduling an already-scheduled block reproduces
+//! it, because ties are broken by current position and the dependence
+//! graph is position-independent.
+
+use std::collections::HashMap;
+
+use vpo_rtl::liveness::Item;
+use vpo_rtl::{Function, Inst, Reg, RegClass};
+
+use crate::target::Target;
+
+/// Runs evaluation-order determination; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    let params = f.params.clone();
+    for bi in 0..f.blocks.len() {
+        let order = schedule(&f.blocks[bi].insts, &params);
+        if order.iter().enumerate().any(|(pos, &old)| pos != old) {
+            let insts = std::mem::take(&mut f.blocks[bi].insts);
+            let mut slots: Vec<Option<Inst>> = insts.into_iter().map(Some).collect();
+            f.blocks[bi].insts =
+                order.iter().map(|&i| slots[i].take().expect("each index once")).collect();
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Computes a pressure-minimizing topological order of one block's
+/// instructions; returns the permutation as original indices.
+fn schedule(insts: &[Inst], params: &[Reg]) -> Vec<usize> {
+    let n = insts.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    // Dependence edges i -> j (i must precede j).
+    let mut preds_count = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let add_edge = |a: usize, b: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<usize>| {
+        if a != b && !succs[a].contains(&b) {
+            succs[a].push(b);
+            preds[b] += 1;
+        }
+    };
+    let uses_defs: Vec<(Vec<Item>, Vec<Item>)> = insts.iter().map(items_of).collect();
+    for j in 0..n {
+        for i in 0..j {
+            let (ui, di) = &uses_defs[i];
+            let (uj, dj) = &uses_defs[j];
+            let conflict =
+                // flow: i defs something j uses
+                di.iter().any(|d| uj.contains(d))
+                // anti: i uses something j defs
+                || ui.iter().any(|u| dj.contains(u))
+                // output: both define the same item
+                || di.iter().any(|d| dj.contains(d))
+                // memory order
+                || (insts[i].writes_memory() && (insts[j].reads_memory() || insts[j].writes_memory()))
+                || (insts[i].reads_memory() && insts[j].writes_memory())
+                // control instructions are fences
+                || insts[i].is_control()
+                || insts[j].is_control();
+            if conflict {
+                add_edge(i, j, &mut succs, &mut preds_count);
+            }
+        }
+    }
+    // Remaining-use counts per pseudo temporary (parameters are live from
+    // entry regardless, so they do not count as freeable temporaries).
+    let is_temp = |r: Reg| r.class == RegClass::Pseudo && !params.contains(&r);
+    let mut remaining_uses: HashMap<Reg, usize> = HashMap::new();
+    for inst in insts {
+        let mut uses = Vec::new();
+        inst.collect_uses(&mut uses);
+        for u in uses {
+            if is_temp(u) {
+                *remaining_uses.entry(u).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| preds_count[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut scheduled = vec![false; n];
+    while let Some(pick) = pick_best(&ready, insts, &remaining_uses, &is_temp) {
+        ready.retain(|&r| r != pick);
+        scheduled[pick] = true;
+        order.push(pick);
+        // Update remaining uses.
+        let mut uses = Vec::new();
+        insts[pick].collect_uses(&mut uses);
+        for u in uses {
+            if is_temp(u) {
+                if let Some(c) = remaining_uses.get_mut(&u) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+        for &s in &succs[pick] {
+            preds_count[s] -= 1;
+            if preds_count[s] == 0 && !scheduled[s] {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "dependence graph must be acyclic");
+    order
+}
+
+/// Chooses the ready instruction that frees the most pseudo temporaries
+/// (uses whose remaining count drops to zero) net of the pseudo it
+/// defines; ties go to the earliest current position, which makes the
+/// schedule idempotent.
+fn pick_best<F: Fn(Reg) -> bool>(
+    ready: &[usize],
+    insts: &[Inst],
+    remaining: &HashMap<Reg, usize>,
+    is_temp: &F,
+) -> Option<usize> {
+    ready
+        .iter()
+        .copied()
+        .map(|i| {
+            let mut uses = Vec::new();
+            insts[i].collect_uses(&mut uses);
+            uses.sort_unstable();
+            uses.dedup();
+            let frees = uses
+                .iter()
+                .filter(|u| {
+                    is_temp(**u)
+                        && remaining.get(u).copied().unwrap_or(0)
+                            == insts[i].uses_count(**u)
+                })
+                .count() as i64;
+            let creates = match insts[i].def() {
+                Some(d) if is_temp(d) => 1i64,
+                _ => 0,
+            };
+            (frees - creates, i)
+        })
+        .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+        .map(|(_, i)| i)
+}
+
+/// Items used and defined by an instruction, for dependence edges.
+fn items_of(inst: &Inst) -> (Vec<Item>, Vec<Item>) {
+    let mut uses = Vec::new();
+    let mut regs = Vec::new();
+    inst.collect_uses(&mut regs);
+    for r in regs {
+        uses.push(Item::Reg(r));
+    }
+    if inst.uses_cc() {
+        uses.push(Item::Cc);
+    }
+    let mut defs = Vec::new();
+    if let Some(d) = inst.def() {
+        defs.push(Item::Reg(d));
+    }
+    if inst.defs_cc() {
+        defs.push(Item::Cc);
+    }
+    (uses, defs)
+}
+
+/// Extension: occurrence count of a register in an instruction's uses.
+trait UsesCount {
+    fn uses_count(&self, r: Reg) -> usize;
+}
+
+impl UsesCount for Inst {
+    fn uses_count(&self, r: Reg) -> usize {
+        let mut regs = Vec::new();
+        self.collect_uses(&mut regs);
+        regs.into_iter().filter(|&x| x == r).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Expr};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    /// Max pseudo-temporary pressure (parameters excluded — they occupy
+    /// registers from entry no matter the schedule).
+    fn pressure(f: &Function) -> usize {
+        let cfg = vpo_rtl::cfg::Cfg::build(f);
+        let lv = vpo_rtl::liveness::Liveness::compute(f, &cfg);
+        let mut max = 0;
+        for bi in 0..f.blocks.len() {
+            lv.for_each_inst_backward(f, bi, |_i, _inst, live| {
+                let pseudos = live
+                    .iter()
+                    .filter(|&x| {
+                        matches!(lv.universe[x], Item::Reg(r)
+                            if r.class == RegClass::Pseudo && !f.params.contains(&r))
+                    })
+                    .count();
+                max = max.max(pseudos);
+            });
+        }
+        max
+    }
+
+    #[test]
+    fn interleaving_reduces_pressure() {
+        // Compute four independent sums; the naive order computes all four
+        // lhs temps first, the scheduler interleaves.
+        let mut b = FunctionBuilder::new("f");
+        let xs: Vec<_> = (0..4).map(|_| b.param()).collect();
+        let temps: Vec<_> = (0..4).map(|_| b.reg()).collect();
+        let sums: Vec<_> = (0..4).map(|_| b.reg()).collect();
+        for i in 0..4 {
+            b.assign(temps[i], Expr::bin(BinOp::Add, Expr::Reg(xs[i]), Expr::Const(1)));
+        }
+        for i in 0..4 {
+            b.assign(sums[i], Expr::bin(BinOp::Mul, Expr::Reg(temps[i]), Expr::Reg(temps[i])));
+        }
+        let acc = b.reg();
+        b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(sums[0]), Expr::Reg(sums[1])));
+        b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(acc), Expr::Reg(sums[2])));
+        b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(acc), Expr::Reg(sums[3])));
+        b.ret(Some(Expr::Reg(acc)));
+        let mut f = b.finish();
+        let before = pressure(&f);
+        assert!(run(&mut f, &t()));
+        let after = pressure(&f);
+        assert!(after < before, "pressure {before} -> {after}");
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut b = FunctionBuilder::new("f");
+        let xs: Vec<_> = (0..3).map(|_| b.param()).collect();
+        let temps: Vec<_> = (0..3).map(|_| b.reg()).collect();
+        for i in 0..3 {
+            b.assign(temps[i], Expr::bin(BinOp::Add, Expr::Reg(xs[i]), Expr::Const(1)));
+        }
+        let acc = b.reg();
+        b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(temps[0]), Expr::Reg(temps[1])));
+        b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(acc), Expr::Reg(temps[2])));
+        b.ret(Some(Expr::Reg(acc)));
+        let mut f = b.finish();
+        run(&mut f, &t());
+        let snapshot = f.clone();
+        assert!(!run(&mut f, &t()), "second run must be dormant");
+        assert_eq!(f, snapshot);
+    }
+
+    #[test]
+    fn preserves_memory_and_control_order() {
+        let mut b = FunctionBuilder::new("f");
+        let p = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::load(vpo_rtl::Width::Word, Expr::Reg(p)));
+        b.store(vpo_rtl::Width::Word, Expr::Reg(p), Expr::Reg(t0));
+        b.assign(t1, Expr::load(vpo_rtl::Width::Word, Expr::Reg(p)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        let snapshot = f.clone();
+        run(&mut f, &t());
+        // Memory operations must keep their relative order; the return
+        // stays last. Since every instruction participates in that chain,
+        // nothing may move at all.
+        assert_eq!(f, snapshot);
+    }
+}

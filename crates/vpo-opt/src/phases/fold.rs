@@ -1,0 +1,157 @@
+//! Shared constant-folding and algebraic simplification over RTL
+//! expressions, used by instruction selection and CSE.
+
+use vpo_rtl::{BinOp, Expr, UnOp};
+
+/// Folds constants and applies simple algebraic identities bottom-up.
+/// Returns the (possibly unchanged) expression and whether it changed.
+///
+/// Folding never introduces operations: it only evaluates constant
+/// subtrees (`1+2` → `3`), removes identities (`x+0` → `x`, `x*1` → `x`,
+/// `x&-1` → `x`, `x^0` → `x`, `x<<0` → `x`), and collapses annihilators
+/// (`x*0` → `0` only when `x` is a pure register expression, so no memory
+/// read is discarded).
+pub fn fold_expr(e: &Expr) -> (Expr, bool) {
+    let mut out = e.clone();
+    let changed = fold_in_place(&mut out);
+    (out, changed)
+}
+
+/// In-place version of [`fold_expr`].
+pub fn fold_in_place(e: &mut Expr) -> bool {
+    let mut changed = false;
+    if let Expr::Bin(op, a, b) = e {
+        changed |= fold_in_place(a);
+        changed |= fold_in_place(b);
+        let op = *op;
+        match (a.as_const(), b.as_const()) {
+            (Some(ca), Some(cb)) => {
+                if let Some(v) = op.eval(ca as i32, cb as i32) {
+                    *e = Expr::Const(v as i64);
+                    return true;
+                }
+            }
+            (_, Some(cb)) => {
+                if let Some(simpl) = identity_right(op, a, cb) {
+                    *e = simpl;
+                    return true;
+                }
+            }
+            (Some(ca), _) => {
+                if let Some(simpl) = identity_left(op, ca, b) {
+                    *e = simpl;
+                    return true;
+                }
+            }
+            _ => {}
+        }
+        return changed;
+    }
+    match e {
+        Expr::Un(op, a) => {
+            changed |= fold_in_place(a);
+            if let Some(c) = a.as_const() {
+                *e = Expr::Const(op.eval(c as i32) as i64);
+                return true;
+            }
+            // --x → x, ~~x → x
+            if let Expr::Un(inner_op, inner) = &**a {
+                if *inner_op == *op {
+                    *e = (**inner).clone();
+                    return true;
+                }
+            }
+            changed
+        }
+        Expr::Load(_, a) => fold_in_place(a) || changed,
+        _ => changed,
+    }
+}
+
+fn identity_right(op: BinOp, a: &Expr, cb: i64) -> Option<Expr> {
+    match (op, cb) {
+        (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, 0) => Some(a.clone()),
+        (BinOp::Shl | BinOp::AShr | BinOp::LShr, 0) => Some(a.clone()),
+        (BinOp::Mul | BinOp::Div, 1) => Some(a.clone()),
+        (BinOp::And, -1) => Some(a.clone()),
+        (BinOp::Mul, 0) if a.is_pure_of_memory() => Some(Expr::Const(0)),
+        (BinOp::And, 0) if a.is_pure_of_memory() => Some(Expr::Const(0)),
+        (BinOp::Mul, -1) => Some(Expr::un(UnOp::Neg, a.clone())),
+        _ => None,
+    }
+}
+
+fn identity_left(op: BinOp, ca: i64, b: &Expr) -> Option<Expr> {
+    match (op, ca) {
+        (BinOp::Add | BinOp::Or | BinOp::Xor, 0) => Some(b.clone()),
+        (BinOp::Mul, 1) => Some(b.clone()),
+        (BinOp::Mul, 0) if b.is_pure_of_memory() => Some(Expr::Const(0)),
+        (BinOp::Sub, 0) => Some(Expr::un(UnOp::Neg, b.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::{Reg, Width};
+
+    fn r() -> Expr {
+        Expr::Reg(Reg::pseudo(0))
+    }
+
+    #[test]
+    fn folds_constant_trees() {
+        let e = Expr::bin(BinOp::Add, Expr::Const(1), Expr::bin(BinOp::Mul, Expr::Const(3), Expr::Const(4)));
+        let (out, changed) = fold_expr(&e);
+        assert!(changed);
+        assert_eq!(out, Expr::Const(13));
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Add, r(), Expr::Const(0))).0, r());
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Mul, r(), Expr::Const(1))).0, r());
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Mul, r(), Expr::Const(0))).0, Expr::Const(0));
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Add, Expr::Const(0), r())).0, r());
+        assert_eq!(
+            fold_expr(&Expr::bin(BinOp::Sub, Expr::Const(0), r())).0,
+            Expr::un(UnOp::Neg, r())
+        );
+    }
+
+    #[test]
+    fn does_not_discard_memory_reads() {
+        let load = Expr::load(Width::Word, r());
+        let e = Expr::bin(BinOp::Mul, load.clone(), Expr::Const(0));
+        let (out, _) = fold_expr(&e);
+        assert_eq!(out, e, "x*0 with memory read must not fold");
+    }
+
+    #[test]
+    fn preserves_undefined_operations() {
+        let e = Expr::bin(BinOp::Div, Expr::Const(1), Expr::Const(0));
+        let (out, changed) = fold_expr(&e);
+        assert!(!changed);
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn double_negation() {
+        let e = Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, r()));
+        assert_eq!(fold_expr(&e).0, r());
+    }
+
+    #[test]
+    fn fold_is_idempotent() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, r(), Expr::Const(1)),
+            Expr::Const(0),
+        );
+        let (once, _) = fold_expr(&e);
+        let (twice, changed) = fold_expr(&once);
+        assert!(!changed);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,327 @@
+//! Phase `s` — instruction selection.
+//!
+//! "Combines pairs or triples of instructions together where the
+//! instructions are linked by set/use dependencies. After combining the
+//! effects of the instructions, it also performs constant folding and
+//! checks if the resulting effect is a legal instruction before committing
+//! to the transformation."
+//!
+//! The combiner works within basic blocks: a definition `t = e` whose value
+//! is consumed exactly once later in the same block (with `t` dead
+//! afterwards and no interfering definitions or memory writes in between)
+//! is symbolically substituted into its consumer; the merged RTL is
+//! constant-folded and committed only if the target accepts it as one
+//! machine instruction. Triples and longer chains fall out of running the
+//! pair rule to a fixpoint.
+//!
+//! This phase is always active on unoptimized code (naive code generation
+//! emits maximally simple RTLs), and it is re-enabled by register
+//! allocation, which turns loads and stores into collapsible
+//! register-to-register moves — both observations from the paper.
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::liveness::{Item, Liveness};
+use vpo_rtl::{Function, Inst};
+
+use super::fold;
+use crate::target::Target;
+
+/// Runs instruction selection; returns whether anything changed.
+pub fn run(f: &mut Function, target: &Target) -> bool {
+    let mut changed = false;
+    // Standalone constant folding first (part of this phase in VPO).
+    changed |= fold_pass(f, target);
+    loop {
+        if !combine_once(f, target) {
+            break;
+        }
+        changed = true;
+        // Folding opportunities may appear after combining.
+        fold_pass(f, target);
+    }
+    changed
+}
+
+/// Constant-folds every instruction whose folded form is still legal.
+fn fold_pass(f: &mut Function, target: &Target) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            let mut candidate = inst.clone();
+            let mut any = false;
+            candidate.visit_exprs_mut(&mut |e| {
+                any |= fold::fold_in_place(e);
+            });
+            if any && target.legal_inst(&candidate) {
+                *inst = candidate;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Attempts one combine anywhere in the function; returns whether one
+/// happened.
+fn combine_once(f: &mut Function, target: &Target) -> bool {
+    let cfg = Cfg::build(f);
+    let lv = Liveness::compute(f, &cfg);
+    for bi in 0..f.blocks.len() {
+        let n = f.blocks[bi].insts.len();
+        'def: for ii in 0..n {
+            let Inst::Assign { dst: t, src: e } = f.blocks[bi].insts[ii].clone() else {
+                continue;
+            };
+            // Find the consumers of t after ii, stopping at a redefinition.
+            let mut use_site: Option<usize> = None;
+            let mut occurrences = 0usize;
+            let mut redefined_at: Option<usize> = None;
+            for jj in ii + 1..n {
+                let inst = &f.blocks[bi].insts[jj];
+                let mut regs = Vec::new();
+                inst.collect_uses(&mut regs);
+                let occ_here = regs.iter().filter(|&&r| r == t).count();
+                if occ_here > 0 {
+                    occurrences += occ_here;
+                    if use_site.is_none() {
+                        use_site = Some(jj);
+                    } else if use_site != Some(jj) {
+                        continue 'def; // multiple consumer instructions
+                    }
+                }
+                if inst.def() == Some(t) {
+                    redefined_at = Some(jj);
+                    break;
+                }
+            }
+            let Some(jj) = use_site else { continue };
+            if occurrences != 1 {
+                continue;
+            }
+            // t must be dead after the consumer.
+            let dead_after = match redefined_at {
+                Some(_) => true, // no further uses before the redefinition
+                None => {
+                    let ti = lv.index_of(Item::Reg(t));
+                    ti.map(|x| !lv.live_out[bi].contains(x)).unwrap_or(true)
+                }
+            };
+            if !dead_after {
+                continue;
+            }
+            // Interference between def and use: nothing may redefine e's
+            // operands, and if e reads memory nothing may write memory.
+            let mut e_regs = Vec::new();
+            e.collect_regs(&mut e_regs);
+            let e_reads_mem = e.reads_memory();
+            for inst in &f.blocks[bi].insts[ii + 1..jj] {
+                if let Some(d) = inst.def() {
+                    if e_regs.contains(&d) {
+                        continue 'def;
+                    }
+                }
+                if e_reads_mem && inst.writes_memory() {
+                    continue 'def;
+                }
+            }
+            // The consumer itself may also not redefine e's operands before
+            // using them... RTL semantics evaluate the RHS before the
+            // write-back, so a consumer like `x = t + x` is fine even when
+            // x ∈ e_regs.
+            // Build and legality-check the merged instruction.
+            let mut merged = f.blocks[bi].insts[jj].clone();
+            let replaced = merged.substitute_reg_uses(t, &e);
+            debug_assert_eq!(replaced, 1);
+            merged.visit_exprs_mut(&mut |x| {
+                fold::fold_in_place(x);
+            });
+            if target.legal_inst(&merged) {
+                f.blocks[bi].insts[jj] = merged;
+                f.blocks[bi].insts.remove(ii);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Cond, Expr, Reg, Width};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    #[test]
+    fn paper_figure3_merge() {
+        // r[2]=1; r[3]=r[4]+r[2]  =>  r[3]=r[4]+1
+        let mut b = FunctionBuilder::new("f");
+        let r2 = b.reg();
+        let r3 = b.reg();
+        let r4 = b.param();
+        b.assign(r2, Expr::Const(1));
+        b.assign(r3, Expr::bin(BinOp::Add, Expr::Reg(r4), Expr::Reg(r2)));
+        b.ret(Some(Expr::Reg(r3)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        // r[3]=r[4]+1; RET r[3] — merging r3 into RET would produce an
+        // illegal return operand, so exactly the Figure 3 pair merges.
+        assert_eq!(f.inst_count(), 2);
+        assert!(matches!(
+            &f.blocks[0].insts[0],
+            Inst::Assign { src: Expr::Bin(BinOp::Add, a, c), .. }
+                if matches!(&**a, Expr::Reg(x) if *x == r4)
+                    && matches!(&**c, Expr::Const(1))
+        ));
+    }
+
+    #[test]
+    fn address_formation_for_locals() {
+        // t0=&loc; t1=M[t0]  =>  t1=M[&loc]   (enables register allocation)
+        let mut b = FunctionBuilder::new("f");
+        let v = b.local("v", 4);
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::LocalAddr(v));
+        b.assign(t1, Expr::load(Width::Word, Expr::Reg(t0)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert!(matches!(
+            &f.blocks[0].insts[0],
+            Inst::Assign { src: Expr::Load(_, a), .. } if matches!(&**a, Expr::LocalAddr(_))
+        ));
+    }
+
+    #[test]
+    fn collapses_register_moves() {
+        // t0 = x; t1 = t0 + 1  =>  t1 = x + 1
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::Reg(x));
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Const(1)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn refuses_illegal_merges() {
+        // t0=M[a]; t1=t0+r — merging would nest a load inside an add.
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param();
+        let r = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::load(Width::Word, Expr::Reg(a)));
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Reg(r)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()));
+        assert_eq!(f.inst_count(), 3);
+    }
+
+    #[test]
+    fn respects_memory_interference() {
+        // t0=M[a]; M[a]=z; t1=t0+1 — the load must not move past the store.
+        let mut b = FunctionBuilder::new("f");
+        let a = b.param();
+        let z = b.param();
+        let t0 = b.reg();
+        let t1 = b.reg();
+        b.assign(t0, Expr::load(Width::Word, Expr::Reg(a)));
+        b.store(Width::Word, Expr::Reg(a), Expr::Reg(z));
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Const(1)));
+        b.ret(Some(Expr::Reg(t1)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn respects_operand_redefinition() {
+        // t0=x+1; x=y+1; IC=t0?5 — merging t0 into the compare would move
+        // the read of x past its redefinition.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let t0 = b.reg();
+        b.assign(t0, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Const(1)));
+        b.assign(x, Expr::bin(BinOp::Add, Expr::Reg(y), Expr::Const(1)));
+        b.compare(Expr::Reg(t0), Expr::Const(5));
+        let l = b.new_label();
+        b.cond_branch(Cond::Lt, l);
+        b.ret(Some(Expr::Reg(x)));
+        b.start_block(l);
+        b.ret(Some(Expr::Const(0)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn combines_into_compare() {
+        // t0 = x + 4; IC = t0 ? 0  =>  illegal (compare lhs must be reg)...
+        // but t0 = x; IC = t0 ? 4000 => IC = x ? 4000 is legal.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let t0 = b.reg();
+        let l = b.new_label();
+        b.assign(t0, Expr::Reg(x));
+        b.compare(Expr::Reg(t0), Expr::Const(4000));
+        b.cond_branch(Cond::Lt, l);
+        b.ret(Some(Expr::Const(0)));
+        b.start_block(l);
+        b.ret(Some(Expr::Const(1)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        assert!(matches!(
+            &f.blocks[0].insts[0],
+            Inst::Compare { lhs: Expr::Reg(r), .. } if *r == x
+        ));
+    }
+
+    #[test]
+    fn triple_chain_collapses() {
+        // t0=1; t1=t0+2; t2=t1+3; ret t2  =>  t2=6 (two merges + folds)
+        let mut b = FunctionBuilder::new("f");
+        let t0 = b.reg();
+        let t1 = b.reg();
+        let t2 = b.reg();
+        b.assign(t0, Expr::Const(1));
+        b.assign(t1, Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Const(2)));
+        b.assign(t2, Expr::bin(BinOp::Add, Expr::Reg(t1), Expr::Const(3)));
+        b.ret(Some(Expr::Reg(t2)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &t()));
+        // The whole chain folds into `RET 6` (a legal immediate return).
+        assert_eq!(f.inst_count(), 1);
+        assert!(matches!(
+            &f.blocks[0].insts[0],
+            Inst::Return { value: Some(Expr::Const(6)) }
+        ));
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn hard_registers_combine_after_assignment() {
+        // Mirrors the post-regalloc situation: r1 = r2; r3 = r1 + 1.
+        let mut f = vpo_rtl::Function::new("f");
+        f.flags.regs_assigned = true;
+        let r1 = Reg::hard(1);
+        let r2 = Reg::hard(2);
+        let r3 = Reg::hard(3);
+        f.params.push(r2);
+        f.blocks[0].insts = vec![
+            Inst::Assign { dst: r1, src: Expr::Reg(r2) },
+            Inst::Assign { dst: r3, src: Expr::bin(BinOp::Add, Expr::Reg(r1), Expr::Const(1)) },
+            Inst::Return { value: Some(Expr::Reg(r3)) },
+        ];
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), 2);
+    }
+}

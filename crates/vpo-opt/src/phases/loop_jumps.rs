@@ -1,0 +1,180 @@
+//! Phase `j` — minimize loop jumps.
+//!
+//! "Removes a jump associated with a loop by duplicating a portion of the
+//! loop." The implementation performs the classic *loop inversion*
+//! (rotation): a top-test loop
+//!
+//! ```text
+//! H:    IC = i ? n;  PC = IC>=0, EXIT;   (falls into body)
+//!       ...body...
+//! latch: PC = H;
+//! EXIT: ...
+//! ```
+//!
+//! becomes, by duplicating the header's test into the latch,
+//!
+//! ```text
+//! H:    IC = i ? n;  PC = IC>=0, EXIT;
+//!       ...body...
+//! latch: IC = i ? n;  PC = IC<0, BODY;   (falls into EXIT)
+//! EXIT: ...
+//! ```
+//!
+//! The loop's back path now executes two instructions instead of three
+//! (jump + compare + branch), at the cost of one extra static instruction —
+//! exactly the code-size/speed trade the paper describes.
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::loops::find_loops;
+use vpo_rtl::{Function, Inst};
+
+use crate::target::Target;
+
+/// Runs loop-jump minimization; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    loop {
+        if !invert_once(f) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn invert_once(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let loops = find_loops(&cfg);
+    for l in &loops {
+        let h = l.header;
+        // Header must be exactly the test: [Compare, CondBranch(exit)].
+        let (cmp, cond, exit_label) = match f.blocks[h].insts.as_slice() {
+            [Inst::Compare { lhs, rhs }, Inst::CondBranch { cond, target }] => {
+                ((lhs.clone(), rhs.clone()), *cond, *target)
+            }
+            _ => continue,
+        };
+        let Some(&exit_idx) = cfg.index_of.get(&exit_label) else { continue };
+        if l.contains(exit_idx) {
+            continue; // branch target must leave the loop
+        }
+        // Body start: the header's fall-through, inside the loop.
+        if h + 1 >= f.blocks.len() || !l.contains(h + 1) {
+            continue;
+        }
+        let body_label = f.blocks[h + 1].label;
+        // Find a latch that ends with `PC = H` and whose positional
+        // successor is the exit block (so the inverted branch can fall
+        // through into the exit).
+        let header_label = f.blocks[h].label;
+        for &latch in &l.latches {
+            let ends_with_jump = matches!(
+                f.blocks[latch].insts.last(),
+                Some(Inst::Jump { target }) if *target == header_label
+            );
+            if !ends_with_jump {
+                continue;
+            }
+            if latch + 1 != exit_idx {
+                continue;
+            }
+            let insts = &mut f.blocks[latch].insts;
+            insts.pop();
+            insts.push(Inst::Compare { lhs: cmp.0.clone(), rhs: cmp.1.clone() });
+            insts.push(Inst::CondBranch { cond: cond.negate(), target: body_label });
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Cond, Expr};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    /// A canonical while loop: `while (i < n) i += 1; return i;`
+    fn while_loop() -> Function {
+        let mut b = FunctionBuilder::new("w");
+        let i = b.param();
+        let n = b.param();
+        let header = b.new_label();
+        let body = b.new_label();
+        let exit = b.new_label();
+        b.start_block(header);
+        b.compare(Expr::Reg(i), Expr::Reg(n));
+        b.cond_branch(Cond::Ge, exit);
+        b.start_block(body);
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.jump(header);
+        b.start_block(exit);
+        b.ret(Some(Expr::Reg(i)));
+        b.finish()
+    }
+
+    #[test]
+    fn inverts_top_test_loop() {
+        let mut f = while_loop();
+        // Drop the builder's empty entry block the way normalization would.
+        crate::normalize::normalize(&mut f);
+        let before = f.inst_count();
+        assert!(run(&mut f, &t()));
+        // Net: -1 jump +2 test instructions.
+        assert_eq!(f.inst_count(), before + 1);
+        // The latch now ends with an inverted conditional branch to the body.
+        let latch = f
+            .blocks
+            .iter()
+            .find(|blk| {
+                matches!(blk.insts.last(), Some(Inst::CondBranch { cond: Cond::Lt, .. }))
+            })
+            .expect("inverted latch");
+        assert!(matches!(
+            &latch.insts[latch.insts.len() - 2],
+            Inst::Compare { .. }
+        ));
+        assert!(!run(&mut f, &t()), "second application dormant");
+    }
+
+    #[test]
+    fn dormant_on_rotated_loop() {
+        // A bottom-test loop has no jump to remove.
+        let mut b = FunctionBuilder::new("r");
+        let i = b.param();
+        let n = b.param();
+        let body = b.new_label();
+        b.start_block(body);
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.compare(Expr::Reg(i), Expr::Reg(n));
+        b.cond_branch(Cond::Lt, body);
+        b.ret(Some(Expr::Reg(i)));
+        let mut f = b.finish();
+        crate::normalize::normalize(&mut f);
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn dormant_when_header_is_not_pure_test() {
+        // Header contains body work: cannot safely duplicate.
+        let mut b = FunctionBuilder::new("x");
+        let i = b.param();
+        let n = b.param();
+        let header = b.new_label();
+        let exit = b.new_label();
+        b.start_block(header);
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.compare(Expr::Reg(i), Expr::Reg(n));
+        b.cond_branch(Cond::Ge, exit);
+        b.jump(header);
+        b.start_block(exit);
+        b.ret(Some(Expr::Reg(i)));
+        let mut f = b.finish();
+        crate::normalize::normalize(&mut f);
+        assert!(!run(&mut f, &t()));
+    }
+}

@@ -1,0 +1,269 @@
+//! Phase `g` — loop unrolling.
+//!
+//! "Loop unrolling to potentially reduce the number of comparisons and
+//! branches at runtime and to aid scheduling at the cost of code size
+//! increase." Following the paper, the unroll factor is always **two**
+//! (code size matters on the embedded target), and the phase is legal only
+//! after register allocation because it analyzes values in registers.
+//!
+//! An innermost loop qualifies when its blocks are positionally contiguous,
+//! it has a single back edge, and its body is within the target's
+//! [`unroll_limit`](crate::Target::unroll_limit). Both loop shapes are
+//! handled:
+//!
+//! * **bottom-test** (latch ends `PC=IC<c>,H`): the original latch's branch
+//!   is inverted to exit over the copy, and the copy's latch branches back
+//!   to the original header;
+//! * **top-test** (latch ends `PC=H`): the original latch jumps into the
+//!   copy, whose own latch jumps back to the original header. The copy sits
+//!   directly after the original latch, so the first jump becomes a useless
+//!   jump — one of the ways `g` enables phase `u`.
+//!
+//! The exit test is retained in both copies (no trip-count analysis), so
+//! the transformation is unconditionally sound. Each loop is unrolled **at
+//! most once** — a previously unrolled loop is recognized by its two exit
+//! edges to the same outside block and left alone, mirroring VPO's fixed
+//! unroll factor of two.
+
+use std::collections::HashMap;
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::loops::find_loops;
+use vpo_rtl::{Block, Function, Inst, Label};
+
+use crate::target::Target;
+
+/// Runs loop unrolling; returns whether anything changed.
+pub fn run(f: &mut Function, target: &Target) -> bool {
+    // Snapshot qualifying headers once: each loop is unrolled at most once
+    // per phase application (factor two, as in the paper).
+    let mut changed = false;
+    let mut done: Vec<Label> = Vec::new();
+    while let Some(header) = unroll_one(f, target, &done) {
+        done.push(header);
+        changed = true;
+    }
+    changed
+}
+
+fn unroll_one(f: &mut Function, target: &Target, done: &[Label]) -> Option<Label> {
+    let cfg = Cfg::build(f);
+    let loops = find_loops(&cfg);
+    'outer: for l in &loops {
+        let header_label = f.blocks[l.header].label;
+        if done.contains(&header_label) {
+            continue;
+        }
+        // Innermost: no other loop header inside this loop.
+        for other in &loops {
+            if other.header != l.header && l.contains(other.header) {
+                continue 'outer;
+            }
+        }
+        if l.latches.len() != 1 {
+            continue;
+        }
+        // Contiguous positional range.
+        let lo = *l.body.first().unwrap();
+        let hi = *l.body.last().unwrap();
+        if l.body.len() != hi - lo + 1 || l.header != lo {
+            continue;
+        }
+        let latch = l.latches[0];
+        if latch != hi {
+            continue; // the back edge must come from the last block
+        }
+        let size: usize = l.body.iter().map(|&b| f.blocks[b].insts.len()).sum();
+        if size > target.unroll_limit {
+            continue;
+        }
+        // Unroll each loop only once (the paper's fixed factor of two): a
+        // factor-2 unrolled loop is recognizable by having two distinct
+        // exit edges to the same outside block — the original test and its
+        // copy. Loops with multiple breaks share the signature and are
+        // conservatively left alone.
+        let mut exit_edges: HashMap<usize, usize> = HashMap::new();
+        for &b in &l.body {
+            for &succ in &cfg.succs[b] {
+                if !l.contains(succ) {
+                    *exit_edges.entry(succ).or_insert(0) += 1;
+                }
+            }
+        }
+        if exit_edges.values().any(|&n| n >= 2) {
+            continue;
+        }
+        // Classify the back edge.
+        enum Shape {
+            BottomTest,
+            TopTest,
+        }
+        let shape = match f.blocks[latch].insts.last() {
+            Some(Inst::CondBranch { target: t, .. }) if *t == header_label => {
+                // The inverted branch must be able to fall through to the
+                // positional successor (the loop exit).
+                if hi + 1 >= f.blocks.len() {
+                    continue;
+                }
+                Shape::BottomTest
+            }
+            Some(Inst::Jump { target: t }) if *t == header_label => Shape::TopTest,
+            _ => continue,
+        };
+
+        // Build the copy with fresh labels.
+        let mut label_map: HashMap<Label, Label> = HashMap::new();
+        for &b in &l.body {
+            label_map.insert(f.blocks[b].label, f.new_label());
+        }
+        let mut copies: Vec<Block> = Vec::with_capacity(l.body.len());
+        for &b in &l.body {
+            let mut blk = f.blocks[b].clone();
+            blk.label = label_map[&blk.label];
+            for inst in &mut blk.insts {
+                inst.retarget(|t| label_map.get(&t).copied().unwrap_or(t));
+            }
+            copies.push(blk);
+        }
+        let copy_header = label_map[&header_label];
+        // The copy's back edge must return to the ORIGINAL header.
+        {
+            let last = copies.last_mut().unwrap().insts.last_mut().unwrap();
+            last.retarget(|_| header_label);
+        }
+        // Rewire the original latch into the copy.
+        match shape {
+            Shape::BottomTest => {
+                let exit_label = f.blocks[hi + 1].label;
+                let last = f.blocks[latch].insts.last_mut().unwrap();
+                if let Inst::CondBranch { cond, target: t } = last {
+                    *cond = cond.negate();
+                    *t = exit_label;
+                }
+            }
+            Shape::TopTest => {
+                let last = f.blocks[latch].insts.last_mut().unwrap();
+                if let Inst::Jump { target: t } = last {
+                    *t = copy_header;
+                }
+            }
+        }
+        // Insert copies directly after the original loop.
+        for (k, blk) in copies.into_iter().enumerate() {
+            f.blocks.insert(hi + 1 + k, blk);
+        }
+        return Some(header_label);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{BinOp, Cond, Expr};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    /// Rotated (bottom-test) countdown loop.
+    fn rotated() -> Function {
+        let mut b = FunctionBuilder::new("r");
+        let i = b.param();
+        let acc = b.param();
+        let body = b.new_label();
+        let exit = b.new_label();
+        b.start_block(body);
+        b.assign(acc, Expr::bin(BinOp::Add, Expr::Reg(acc), Expr::Reg(i)));
+        b.assign(i, Expr::bin(BinOp::Sub, Expr::Reg(i), Expr::Const(1)));
+        b.compare(Expr::Reg(i), Expr::Const(0));
+        b.cond_branch(Cond::Gt, body);
+        b.start_block(exit);
+        b.ret(Some(Expr::Reg(acc)));
+        let mut f = b.finish();
+        crate::normalize::normalize(&mut f);
+        f
+    }
+
+    #[test]
+    fn unrolls_bottom_test_loop() {
+        let mut f = rotated();
+        // Builder entry merged: [body-with-ret?] — the exit must be a
+        // separate block for bottom-test unrolling; check structure first.
+        let before_blocks = f.blocks.len();
+        let before_insts = f.inst_count();
+        assert!(run(&mut f, &t()));
+        assert!(f.blocks.len() > before_blocks);
+        assert!(f.inst_count() > before_insts);
+        // A second application recognizes the unrolled shape and is dormant.
+        assert!(!run(&mut f, &t()), "loops are unrolled at most once");
+    }
+
+    #[test]
+    fn respects_size_limit() {
+        let mut f = rotated();
+        let target = Target { unroll_limit: 2, ..Target::default() };
+        assert!(!run(&mut f, &target));
+    }
+
+    #[test]
+    fn unrolls_top_test_loop_and_creates_useless_jump() {
+        let mut b = FunctionBuilder::new("w");
+        let i = b.param();
+        let n = b.param();
+        let header = b.new_label();
+        let body = b.new_label();
+        let exit = b.new_label();
+        b.start_block(header);
+        b.compare(Expr::Reg(i), Expr::Reg(n));
+        b.cond_branch(Cond::Ge, exit);
+        b.start_block(body);
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.jump(header);
+        b.start_block(exit);
+        b.ret(Some(Expr::Reg(i)));
+        let mut f = b.finish();
+        crate::normalize::normalize(&mut f);
+        let before = f.inst_count();
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), before * 2 - 1, "loop body duplicated");
+        // The original latch now jumps to the copy header, which directly
+        // follows it: phase u has new work (g enables u).
+        assert!(crate::phases::useless_jump::run(&mut f, &t()));
+    }
+
+    #[test]
+    fn does_not_unroll_outer_loops() {
+        // Nested loops: only the inner one qualifies.
+        let mut b = FunctionBuilder::new("n");
+        let i = b.param();
+        let j = b.param();
+        let outer = b.new_label();
+        let inner = b.new_label();
+        let after = b.new_label();
+        let exit = b.new_label();
+        b.start_block(outer);
+        b.assign(j, Expr::Const(4));
+        b.start_block(inner);
+        b.assign(j, Expr::bin(BinOp::Sub, Expr::Reg(j), Expr::Const(1)));
+        b.compare(Expr::Reg(j), Expr::Const(0));
+        b.cond_branch(Cond::Gt, inner);
+        b.start_block(after);
+        b.assign(i, Expr::bin(BinOp::Sub, Expr::Reg(i), Expr::Const(1)));
+        b.compare(Expr::Reg(i), Expr::Const(0));
+        b.cond_branch(Cond::Gt, outer);
+        b.start_block(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        crate::normalize::normalize(&mut f);
+        assert!(run(&mut f, &t()));
+        // Exactly one loop got unrolled (the inner): count inner-body
+        // subtraction patterns.
+        let subs = f
+            .iter_insts()
+            .filter(|(_, _, i)| matches!(i, Inst::Assign { src: Expr::Bin(BinOp::Sub, ..), .. }))
+            .count();
+        assert_eq!(subs, 3, "inner decrement duplicated, outer left alone");
+    }
+}

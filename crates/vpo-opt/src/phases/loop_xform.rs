@@ -1,0 +1,504 @@
+//! Phase `l` — loop transformations.
+//!
+//! "Performs loop-invariant code motion, recurrence elimination, loop
+//! strength reduction, and induction variable elimination on each loop
+//! ordered by loop nesting level." Legal only after register allocation
+//! (`k`), because the analyses reason about values held in registers.
+//!
+//! Implemented transformations, applied innermost-first:
+//!
+//! * **Loop-invariant code motion** — a single-definition register
+//!   assignment whose operands are unchanged in the loop (and which cannot
+//!   alias a loop store) moves to the preheader, provided the value is
+//!   consumed only inside the loop (so hoisting past a zero-trip loop is
+//!   harmless). A dedicated preheader block is created on demand.
+//! * **Loop strength reduction** — `t = i * m` / `t = i << k` with basic
+//!   induction variable `i` (single in-loop step `i = i ± c`) is replaced
+//!   by an addition of a precomputed step, with the initial value hoisted
+//!   to the preheader. This trades the in-loop multiply for an add, the
+//!   classic recurrence form.
+//!
+//! Induction-variable *elimination* is subsumed in this compiler by the
+//! combination of strength reduction, CSE and dead assignment elimination
+//! (a fully reduced IV's remaining uses disappear through `c` and `h`).
+
+use std::collections::HashSet;
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::liveness::{Item, Liveness};
+use vpo_rtl::loops::{find_loops, NaturalLoop};
+use vpo_rtl::{BinOp, Block, Expr, Function, Inst, Reg};
+
+use crate::target::Target;
+
+/// Runs loop transformations; returns whether anything changed.
+pub fn run(f: &mut Function, target: &Target) -> bool {
+    let mut changed = false;
+    // Each motion invalidates block indices, so re-discover loops after
+    // every successful step; terminate at a fixpoint.
+    loop {
+        if !step(f, target) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn step(f: &mut Function, target: &Target) -> bool {
+    let cfg = Cfg::build(f);
+    let loops = find_loops(&cfg); // innermost (deepest) first
+    for l in &loops {
+        if licm_once(f, &cfg, l) {
+            return true;
+        }
+        if strength_reduce_once(f, &cfg, l, target) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Registers defined anywhere inside the loop.
+fn loop_defs(f: &Function, l: &NaturalLoop) -> HashSet<Reg> {
+    let mut defs = HashSet::new();
+    for &bi in &l.body {
+        for inst in &f.blocks[bi].insts {
+            if let Some(d) = inst.def() {
+                defs.insert(d);
+            }
+        }
+    }
+    defs
+}
+
+/// Whether any instruction in the loop may write memory.
+fn loop_writes_memory(f: &Function, l: &NaturalLoop) -> bool {
+    l.body
+        .iter()
+        .any(|&bi| f.blocks[bi].insts.iter().any(|i| i.writes_memory()))
+}
+
+/// Finds or creates the loop preheader: the unique block through which the
+/// loop is entered. Returns its block index, or `None` if creating one is
+/// impossible (header is the function entry with no outside predecessor).
+fn ensure_preheader(f: &mut Function, l: &NaturalLoop) -> Option<usize> {
+    let cfg = Cfg::build(f);
+    let h = l.header;
+    let outside: Vec<usize> =
+        cfg.preds[h].iter().copied().filter(|p| !l.contains(*p)).collect();
+    if outside.is_empty() {
+        return None;
+    }
+    if let [p] = outside.as_slice() {
+        // A dedicated preheader must have the header as its only successor.
+        if cfg.succs[*p].len() == 1 && cfg.succs[*p][0] == h {
+            return Some(*p);
+        }
+    }
+    // Create one directly before the header: fall-through preds reach it
+    // naturally; branch preds from outside the loop are retargeted.
+    if h == 0 {
+        return None;
+    }
+    let header_label = f.blocks[h].label;
+    let pre_label = f.new_label();
+    // Retarget: outside branches to the header go to the preheader; the
+    // loop's own back edges keep targeting the header.
+    let body_labels: HashSet<_> = l.body.iter().map(|&b| f.blocks[b].label).collect();
+    for b in &mut f.blocks {
+        let from_inside = body_labels.contains(&b.label);
+        if from_inside {
+            continue;
+        }
+        for inst in &mut b.insts {
+            inst.retarget(|t| if t == header_label { pre_label } else { t });
+        }
+    }
+    f.blocks.insert(h, Block::new(pre_label));
+    Some(h)
+}
+
+/// Appends an instruction to a preheader, before its trailing jump if any.
+fn append_to_preheader(blk: &mut Block, inst: Inst) {
+    match blk.insts.last() {
+        Some(Inst::Jump { .. }) => {
+            let at = blk.insts.len() - 1;
+            blk.insts.insert(at, inst);
+        }
+        _ => blk.insts.push(inst),
+    }
+}
+
+/// Attempts one invariant code motion in loop `l`.
+fn licm_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop) -> bool {
+    let defs = loop_defs(f, l);
+    let mem_written = loop_writes_memory(f, l);
+    let lv = Liveness::compute(f, cfg);
+
+    // Registers live at loop exits (conservatively: live-in of every
+    // outside successor of a loop block).
+    let mut live_at_exit: HashSet<Reg> = HashSet::new();
+    for &bi in &l.body {
+        for &s in &cfg.succs[bi] {
+            if !l.contains(s) {
+                for idx in lv.live_in[s].iter() {
+                    if let Item::Reg(r) = lv.universe[idx] {
+                        live_at_exit.insert(r);
+                    }
+                }
+            }
+        }
+    }
+    // Registers live into the header from outside (use-before-def in loop).
+    let mut live_in_header: HashSet<Reg> = HashSet::new();
+    for idx in lv.live_in[l.header].iter() {
+        if let Item::Reg(r) = lv.universe[idx] {
+            live_in_header.insert(r);
+        }
+    }
+
+    for &bi in &l.body {
+        for ii in 0..f.blocks[bi].insts.len() {
+            let Inst::Assign { dst, src } = &f.blocks[bi].insts[ii] else { continue };
+            let dst = *dst;
+            // Candidate tests.
+            if src.reads_memory() && mem_written {
+                continue;
+            }
+            let mut operands = Vec::new();
+            src.collect_regs(&mut operands);
+            if operands.iter().any(|r| defs.contains(r)) {
+                continue; // operands vary within the loop
+            }
+            if matches!(src, Expr::Reg(_) | Expr::Const(_)) {
+                continue; // moving trivial copies is not profitable
+            }
+            // A division may trap; executing it when the loop would not
+            // have run at all would change behaviour.
+            let mut may_trap = false;
+            src.visit(&mut |e| {
+                if matches!(e, Expr::Bin(BinOp::Div | BinOp::Rem, ..)) {
+                    may_trap = true;
+                }
+            });
+            if may_trap {
+                continue;
+            }
+            // Single definition of dst in the loop.
+            let def_count = l
+                .body
+                .iter()
+                .flat_map(|&b| f.blocks[b].insts.iter())
+                .filter(|i| i.def() == Some(dst))
+                .count();
+            if def_count != 1 {
+                continue;
+            }
+            if live_at_exit.contains(&dst) || live_in_header.contains(&dst) {
+                continue;
+            }
+            // Move it.
+            let inst = f.blocks[bi].insts.remove(ii);
+            let Some(pre) = ensure_preheader(f, l) else {
+                // No preheader possible: put the instruction back.
+                f.blocks[bi].insts.insert(ii, inst);
+                return false;
+            };
+            append_to_preheader(&mut f.blocks[pre], inst);
+            return true;
+        }
+    }
+    false
+}
+
+/// A basic induction variable: its single in-loop definition is
+/// `i = i + c` (or `i = i - c`). Returns `(block, index, step)`.
+fn basic_ivs(f: &Function, l: &NaturalLoop) -> Vec<(Reg, usize, usize, i64)> {
+    let mut candidates = Vec::new();
+    let mut def_counts: std::collections::HashMap<Reg, usize> = Default::default();
+    for &bi in &l.body {
+        for inst in &f.blocks[bi].insts {
+            if let Some(d) = inst.def() {
+                *def_counts.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    for &bi in &l.body {
+        for (ii, inst) in f.blocks[bi].insts.iter().enumerate() {
+            let Inst::Assign { dst, src } = inst else { continue };
+            if def_counts.get(dst) != Some(&1) {
+                continue;
+            }
+            let step = match src {
+                Expr::Bin(BinOp::Add, a, b) => match (&**a, &**b) {
+                    (Expr::Reg(r), Expr::Const(c)) if r == dst => Some(*c),
+                    (Expr::Const(c), Expr::Reg(r)) if r == dst => Some(*c),
+                    _ => None,
+                },
+                Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
+                    (Expr::Reg(r), Expr::Const(c)) if r == dst => Some(-*c),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(c) = step {
+                candidates.push((*dst, bi, ii, c));
+            }
+        }
+    }
+    candidates
+}
+
+/// Attempts one strength reduction of `t = i * m` or `t = i << k` in loop
+/// `l`, where `i` is a basic IV whose step instruction follows the
+/// definition of `t` in the same block.
+fn strength_reduce_once(
+    f: &mut Function,
+    cfg: &Cfg,
+    l: &NaturalLoop,
+    target: &Target,
+) -> bool {
+    let ivs = basic_ivs(f, l);
+    if ivs.is_empty() {
+        return false;
+    }
+    let defs = loop_defs(f, l);
+    let lv = Liveness::compute(f, cfg);
+    let mut live_outside: HashSet<Reg> = HashSet::new();
+    for &bi in &l.body {
+        for &s in &cfg.succs[bi] {
+            if !l.contains(s) {
+                for idx in lv.live_in[s].iter() {
+                    if let Item::Reg(r) = lv.universe[idx] {
+                        live_outside.insert(r);
+                    }
+                }
+            }
+        }
+    }
+    for idx in lv.live_in[l.header].iter() {
+        if let Item::Reg(r) = lv.universe[idx] {
+            live_outside.insert(r);
+        }
+    }
+
+    for &(iv, iv_bi, iv_ii, step) in &ivs {
+        for &bi in &l.body {
+            for ii in 0..f.blocks[bi].insts.len() {
+                let Inst::Assign { dst, src } = &f.blocks[bi].insts[ii] else { continue };
+                let dst = *dst;
+                if dst == iv {
+                    continue;
+                }
+                // Recognize t = i * m (m an invariant register) and
+                // t = i << k (constant k): step' = step*m or step<<k.
+                let (derived_src, step_expr) = match src {
+                    Expr::Bin(BinOp::Shl, a, b) => match (&**a, &**b) {
+                        (Expr::Reg(r), Expr::Const(k))
+                            if *r == iv && (0..31).contains(k) =>
+                        {
+                            let s = step << k;
+                            if !target.legal_imm(s) {
+                                continue;
+                            }
+                            (src.clone(), Expr::Const(s))
+                        }
+                        _ => continue,
+                    },
+                    Expr::Bin(BinOp::Mul, a, b) => match (&**a, &**b) {
+                        (Expr::Reg(r), Expr::Reg(m)) | (Expr::Reg(m), Expr::Reg(r))
+                            if *r == iv && !defs.contains(m) && *m != iv =>
+                        {
+                            // step' = m * step needs a register; only the
+                            // power-of-two steps stay single-instruction.
+                            if step.abs() != 1 {
+                                continue;
+                            }
+                            let se = if step == 1 {
+                                Expr::Reg(*m)
+                            } else {
+                                Expr::un(vpo_rtl::UnOp::Neg, Expr::Reg(*m))
+                            };
+                            (src.clone(), se)
+                        }
+                        _ => continue,
+                    },
+                    _ => continue,
+                };
+                // t single def in loop, dead outside, and the IV step must
+                // come after t's definition in the same block (so inserting
+                // the recurrence update right after the step keeps
+                // t == f(i) at t's use point).
+                let def_count = l
+                    .body
+                    .iter()
+                    .flat_map(|&b| f.blocks[b].insts.iter())
+                    .filter(|i| i.def() == Some(dst))
+                    .count();
+                if def_count != 1 || live_outside.contains(&dst) {
+                    continue;
+                }
+                if !(bi == iv_bi && ii < iv_ii) {
+                    continue;
+                }
+                // The update uses `dst = dst + step_expr`; if step_expr is
+                // a negation we need Sub instead.
+                let update = match &step_expr {
+                    Expr::Un(vpo_rtl::UnOp::Neg, inner) => Inst::Assign {
+                        dst,
+                        src: Expr::bin(BinOp::Sub, Expr::Reg(dst), (**inner).clone()),
+                    },
+                    other => Inst::Assign {
+                        dst,
+                        src: Expr::bin(BinOp::Add, Expr::Reg(dst), other.clone()),
+                    },
+                };
+                if !target.legal_inst(&update) {
+                    continue;
+                }
+                // Commit: replace the in-loop computation with the
+                // recurrence, hoist the initial computation.
+                let init = Inst::Assign { dst, src: derived_src };
+                f.blocks[bi].insts.remove(ii);
+                // Indices shift: the IV step was after ii in the same block.
+                let iv_ii = iv_ii - 1;
+                f.blocks[bi].insts.insert(iv_ii + 1, update);
+                let Some(pre) = ensure_preheader(f, l) else { return false };
+                append_to_preheader(&mut f.blocks[pre], init);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use vpo_rtl::{Cond, Width};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    /// `while (i < n) { t = a + b; s += t; i += 1 }` with hard registers
+    /// (post-assignment form), invariant `a+b`.
+    fn licm_candidate() -> Function {
+        let mut f = Function::new("f");
+        f.flags.regs_assigned = true;
+        f.flags.reg_allocated = true;
+        let [i, n, a, b, tt, s] = [0, 1, 2, 3, 4, 5].map(Reg::hard);
+        f.params = vec![i, n, a, b];
+        let header = f.new_label();
+        let body = f.new_label();
+        let exit = f.new_label();
+        f.blocks[0].insts = vec![Inst::Assign { dst: s, src: Expr::Const(0) }];
+        f.blocks.push(Block::new(header));
+        f.blocks[1].insts = vec![
+            Inst::Compare { lhs: Expr::Reg(i), rhs: Expr::Reg(n) },
+            Inst::CondBranch { cond: Cond::Ge, target: exit },
+        ];
+        f.blocks.push(Block::new(body));
+        f.blocks[2].insts = vec![
+            Inst::Assign { dst: tt, src: Expr::bin(BinOp::Add, Expr::Reg(a), Expr::Reg(b)) },
+            Inst::Assign { dst: s, src: Expr::bin(BinOp::Add, Expr::Reg(s), Expr::Reg(tt)) },
+            Inst::Assign { dst: i, src: Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)) },
+            Inst::Jump { target: header },
+        ];
+        f.blocks.push(Block::new(exit));
+        f.blocks[3].insts = vec![Inst::Return { value: Some(Expr::Reg(s)) }];
+        f
+    }
+
+    #[test]
+    fn hoists_invariant_computation() {
+        let mut f = licm_candidate();
+        assert!(run(&mut f, &t()));
+        // The a+b computation now sits outside the loop (entry block, which
+        // is the natural preheader).
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Assign { src: Expr::Bin(BinOp::Add, ..), .. })));
+        // Loop body shrank.
+        let body = &f.blocks[2].insts;
+        assert_eq!(body.len(), 3);
+        assert!(!run(&mut f, &t()), "dormant after fixpoint");
+    }
+
+    #[test]
+    fn does_not_hoist_varying_computation() {
+        let mut f = licm_candidate();
+        // Make `a` vary inside the loop.
+        f.blocks[2].insts.insert(
+            2,
+            Inst::Assign {
+                dst: Reg::hard(2),
+                src: Expr::bin(BinOp::Add, Expr::Reg(Reg::hard(2)), Expr::Const(1)),
+            },
+        );
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn does_not_hoist_loads_past_stores() {
+        let mut f = licm_candidate();
+        // Replace the invariant add with a load, and add a store to the loop.
+        f.blocks[2].insts[0] = Inst::Assign {
+            dst: Reg::hard(4),
+            src: Expr::load(Width::Word, Expr::Reg(Reg::hard(3))),
+        };
+        f.blocks[2].insts.insert(
+            1,
+            Inst::Store {
+                width: Width::Word,
+                addr: Expr::Reg(Reg::hard(3)),
+                src: Expr::Reg(Reg::hard(4)),
+            },
+        );
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn strength_reduces_shifted_iv() {
+        // t = i << 2 inside a loop stepping i by 1 becomes t += 4.
+        let mut f = Function::new("f");
+        f.flags.regs_assigned = true;
+        f.flags.reg_allocated = true;
+        let [i, n, tt, s] = [0, 1, 2, 3].map(Reg::hard);
+        f.params = vec![n];
+        let body = f.new_label();
+        let exit = f.new_label();
+        f.blocks[0].insts = vec![
+            Inst::Assign { dst: i, src: Expr::Const(0) },
+            Inst::Assign { dst: s, src: Expr::Const(0) },
+        ];
+        f.blocks.push(Block::new(body));
+        f.blocks[1].insts = vec![
+            Inst::Assign { dst: tt, src: Expr::bin(BinOp::Shl, Expr::Reg(i), Expr::Const(2)) },
+            Inst::Assign { dst: s, src: Expr::bin(BinOp::Add, Expr::Reg(s), Expr::Reg(tt)) },
+            Inst::Assign { dst: i, src: Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)) },
+            Inst::Compare { lhs: Expr::Reg(i), rhs: Expr::Reg(n) },
+            Inst::CondBranch { cond: Cond::Lt, target: body },
+        ];
+        f.blocks.push(Block::new(exit));
+        f.blocks[2].insts = vec![Inst::Return { value: Some(Expr::Reg(s)) }];
+        let mut f2 = f.clone();
+        assert!(run(&mut f2, &t()));
+        // The shift left the loop; an addition by 4 appears after the step.
+        let body_insts = &f2.blocks[f2.block_index(body).unwrap()].insts;
+        assert!(body_insts.iter().all(|i| !matches!(
+            i,
+            Inst::Assign { src: Expr::Bin(BinOp::Shl, ..), .. }
+        )));
+        assert!(body_insts.iter().any(|inst| matches!(
+            inst,
+            Inst::Assign { dst, src: Expr::Bin(BinOp::Add, a, c) }
+                if *dst == tt
+                    && matches!(&**a, Expr::Reg(r) if *r == tt)
+                    && matches!(&**c, Expr::Const(4))
+        )));
+    }
+}

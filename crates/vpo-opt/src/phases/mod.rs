@@ -1,0 +1,52 @@
+//! One module per optimization phase of Table 1.
+//!
+//! Every phase exposes a single `run(f, target) -> bool` entry point that
+//! applies the transformation to an internal fixpoint and reports whether
+//! the program representation changed — the paper's *active* / *dormant*
+//! distinction. Running a phase to its own fixpoint guarantees the paper's
+//! observation that "no phase in our compiler can be applied successfully
+//! more than once consecutively" (idempotence), which the enumeration
+//! engine relies on; a property test in `phase-order` validates it for all
+//! phases over the benchmark suite.
+
+pub mod block_reorder;
+pub mod branch_chain;
+pub mod code_abstract;
+pub mod cse;
+pub mod dead_assign;
+pub mod eval_order;
+pub mod fold;
+pub mod insn_select;
+pub mod loop_jumps;
+pub mod loop_unroll;
+pub mod loop_xform;
+pub mod regalloc;
+pub mod reverse_branch;
+pub mod strength_reduce;
+pub mod unreachable;
+pub mod useless_jump;
+
+use crate::{PhaseId, Target};
+use vpo_rtl::Function;
+
+/// Dispatches to the phase implementation. Returns `true` if the phase was
+/// *active* (changed the representation).
+pub fn run(phase: PhaseId, f: &mut Function, target: &Target) -> bool {
+    match phase {
+        PhaseId::BranchChain => branch_chain::run(f, target),
+        PhaseId::Cse => cse::run(f, target),
+        PhaseId::Unreachable => unreachable::run(f, target),
+        PhaseId::LoopUnroll => loop_unroll::run(f, target),
+        PhaseId::DeadAssign => dead_assign::run(f, target),
+        PhaseId::BlockReorder => block_reorder::run(f, target),
+        PhaseId::LoopJumps => loop_jumps::run(f, target),
+        PhaseId::RegAlloc => regalloc::run(f, target),
+        PhaseId::LoopXform => loop_xform::run(f, target),
+        PhaseId::CodeAbstract => code_abstract::run(f, target),
+        PhaseId::EvalOrder => eval_order::run(f, target),
+        PhaseId::StrengthReduce => strength_reduce::run(f, target),
+        PhaseId::ReverseBranch => reverse_branch::run(f, target),
+        PhaseId::InsnSelect => insn_select::run(f, target),
+        PhaseId::UselessJump => useless_jump::run(f, target),
+    }
+}

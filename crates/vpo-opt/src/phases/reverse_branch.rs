@@ -1,0 +1,173 @@
+//! Phase `r` — reverse branches.
+//!
+//! "Removes an unconditional jump by reversing a conditional branch
+//! branching over the jump." In canonical block form (a conditional branch
+//! always terminates its block) the pattern spans three positional blocks:
+//!
+//! ```text
+//! A: ...; PC=IC<c>,L1;      (falls into B)
+//! B: PC=L2;                 (entered only by fall-through)
+//! C: L1 ...
+//! ```
+//!
+//! which becomes `A: ...; PC=IC<!c>,L2;` with `B` deleted.
+
+use vpo_rtl::{Function, Inst};
+
+use crate::normalize::label_refs;
+use crate::target::Target;
+
+/// Runs branch reversal; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    loop {
+        if !reverse_once(f) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn reverse_once(f: &mut Function) -> bool {
+    let refs = label_refs(f);
+    for a in 0..f.blocks.len() {
+        // Cross-block shape: A ends in CondBranch to the block after B,
+        // B is a fall-through-only trivial jump.
+        if a + 2 < f.blocks.len() {
+            let b = a + 1;
+            let (cond, t1) = match f.blocks[a].insts.last() {
+                Some(Inst::CondBranch { cond, target }) => (*cond, *target),
+                _ => (vpo_rtl::Cond::Eq, vpo_rtl::Label(u32::MAX)),
+            };
+            if t1 == f.blocks[a + 2].label
+                && refs.get(&f.blocks[b].label).copied().unwrap_or(0) == 0
+            {
+                if let Some(t2) = f.blocks[b].as_trivial_jump() {
+                    if t2 != t1 {
+                        let n = f.blocks[a].insts.len();
+                        f.blocks[a].insts[n - 1] =
+                            Inst::CondBranch { cond: cond.negate(), target: t2 };
+                        f.blocks.remove(b);
+                        return true;
+                    }
+                }
+            }
+        }
+        // Legacy in-block shape: [..., CondBranch(c, next), Jump t2].
+        if a + 1 < f.blocks.len() {
+            let next_label = f.blocks[a + 1].label;
+            let insts = &mut f.blocks[a].insts;
+            let n = insts.len();
+            if n >= 2 {
+                if let (Inst::CondBranch { cond, target: t1 }, Inst::Jump { target: t2 }) =
+                    (&insts[n - 2], &insts[n - 1])
+                {
+                    let (cond, t1, t2) = (*cond, *t1, *t2);
+                    if t1 == next_label && t2 != next_label {
+                        insts[n - 2] =
+                            Inst::CondBranch { cond: cond.negate(), target: t2 };
+                        insts.pop();
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{Cond, Expr};
+
+    #[test]
+    fn reverses_branch_over_jump_block() {
+        // The canonical-form pattern produced by `if (cond) break;`-style
+        // code: a conditional branch over a jump-only block.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let near = b.new_label();
+        let far = b.new_label();
+        let jump_blk = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, near);
+        b.start_block(jump_blk);
+        b.jump(far);
+        b.start_block(near);
+        b.ret(Some(Expr::Const(1)));
+        b.start_block(far);
+        b.ret(Some(Expr::Const(2)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        assert_eq!(f.inst_count(), 4);
+        match f.blocks[0].insts.last().unwrap() {
+            Inst::CondBranch { cond, target } => {
+                assert_eq!(*cond, Cond::Ge);
+                assert_eq!(*target, far);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // The jump-only block is gone; `near` now falls through.
+        assert_eq!(f.blocks[1].label, near);
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn keeps_jump_block_that_is_a_branch_target() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let near = b.new_label();
+        let far = b.new_label();
+        let jump_blk = b.new_label();
+        let cont = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, near);
+        b.start_block(jump_blk);
+        b.jump(far);
+        b.start_block(near);
+        // Another branch targets the jump block: reversing would lose it.
+        b.compare(Expr::Reg(x), Expr::Const(5));
+        b.cond_branch(Cond::Gt, jump_blk);
+        b.start_block(cont);
+        b.ret(Some(Expr::Const(1)));
+        b.start_block(far);
+        b.ret(Some(Expr::Const(2)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn dormant_when_branch_is_already_good() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let far = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, far);
+        b.ret(None);
+        b.start_block(far);
+        b.ret(Some(Expr::Const(2)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn legacy_in_block_shape_still_handled() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let near = b.new_label();
+        let far = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, near);
+        b.jump(far);
+        b.start_block(near);
+        b.ret(Some(Expr::Const(1)));
+        b.start_block(far);
+        b.ret(Some(Expr::Const(2)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        assert_eq!(f.inst_count(), 4);
+    }
+}

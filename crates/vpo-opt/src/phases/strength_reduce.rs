@@ -1,0 +1,241 @@
+//! Phase `q` — strength reduction.
+//!
+//! "Replaces an expensive instruction with one or more cheaper ones. For
+//! this version of the compiler, this means changing a multiply by a
+//! constant into a series of shift, adds, and subtracts."
+//!
+//! Because multiplication takes registers only on the target, a source
+//! expression `x * 4` reaches this phase as the pair `t=4; r=x*t`. The
+//! phase tracks register constants within each block and rewrites the
+//! multiply when the constant has one of the supported shapes
+//! `±(2^k) · 2^j` or `±(2^k ± 1) · 2^j`:
+//!
+//! * `r = x << k` (power of two),
+//! * `r = (x << k) + x` / `r = (x << k) - x` (2^k ± 1), optionally followed
+//!   by `r = r << j` and/or `r = -r`.
+//!
+//! The constant-producing instruction is left in place; if the rewrite was
+//! its last use it becomes dead, which is one of the ways `q` enables dead
+//! assignment elimination (`h`).
+
+use std::collections::HashMap;
+
+use vpo_rtl::{BinOp, Expr, Function, Inst, Reg, UnOp};
+
+use crate::target::Target;
+
+/// Runs strength reduction; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let mut consts: HashMap<Reg, i64> = HashMap::new();
+        let mut ii = 0;
+        while ii < b.insts.len() {
+            // Try to rewrite a multiply whose one operand is a known const.
+            let rewrite = match &b.insts[ii] {
+                Inst::Assign { dst, src: Expr::Bin(BinOp::Mul, a, bb) } => {
+                    match (&**a, &**bb) {
+                        (Expr::Reg(x), Expr::Reg(c)) if consts.contains_key(c) => {
+                            plan(*dst, *x, consts[c])
+                        }
+                        (Expr::Reg(c), Expr::Reg(x)) if consts.contains_key(c) => {
+                            plan(*dst, *x, consts[c])
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(seq) = rewrite {
+                let n = seq.len();
+                b.insts.splice(ii..=ii, seq);
+                changed = true;
+                // The rewritten instructions redefine dst; fall through to
+                // normal tracking from the first of them.
+                let _ = n;
+            }
+            // Track constants.
+            match &b.insts[ii] {
+                Inst::Assign { dst, src: Expr::Const(c) } => {
+                    consts.insert(*dst, *c);
+                }
+                other => {
+                    if let Some(d) = other.def() {
+                        consts.remove(&d);
+                    }
+                }
+            }
+            ii += 1;
+        }
+    }
+    changed
+}
+
+/// Builds the replacement sequence for `dst = x * c`, or `None` when the
+/// constant shape is unsupported (the multiply is cheaper then).
+fn plan(dst: Reg, x: Reg, c: i64) -> Option<Vec<Inst>> {
+    // dst and x may alias: every plan reads x exactly once, first.
+    let negative = c < 0;
+    let m = c.unsigned_abs();
+    if c == 0 || m > u32::MAX as u64 {
+        return None; // x*0 is constant folding's business, not ours
+    }
+    let j = m.trailing_zeros();
+    let odd = m >> j;
+    let first: Expr = if odd == 1 {
+        if j == 0 {
+            return None; // multiply by ±1: nothing to reduce
+        }
+        Expr::bin(BinOp::Shl, Expr::Reg(x), Expr::Const(j as i64))
+    } else if (odd + 1).is_power_of_two() {
+        // odd = 2^k - 1: dst = (x << k) - x
+        let k = (odd + 1).trailing_zeros();
+        Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Shl, Expr::Reg(x), Expr::Const(k as i64)),
+            Expr::Reg(x),
+        )
+    } else if (odd - 1).is_power_of_two() {
+        // odd = 2^k + 1: dst = (x << k) + x
+        let k = (odd - 1).trailing_zeros();
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Shl, Expr::Reg(x), Expr::Const(k as i64)),
+            Expr::Reg(x),
+        )
+    } else {
+        return None;
+    };
+    let mut seq = vec![Inst::Assign { dst, src: first }];
+    if odd != 1 && j > 0 {
+        seq.push(Inst::Assign {
+            dst,
+            src: Expr::bin(BinOp::Shl, Expr::Reg(dst), Expr::Const(j as i64)),
+        });
+    }
+    if negative {
+        seq.push(Inst::Assign { dst, src: Expr::un(UnOp::Neg, Expr::Reg(dst)) });
+    }
+    Some(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    fn build_mul(c: i64) -> (Function, Reg) {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let tc = b.reg();
+        let r = b.reg();
+        b.assign(tc, Expr::Const(c));
+        b.assign(r, Expr::bin(BinOp::Mul, Expr::Reg(x), Expr::Reg(tc)));
+        b.ret(Some(Expr::Reg(r)));
+        (b.finish(), r)
+    }
+
+    #[test]
+    fn power_of_two_becomes_shift() {
+        let (mut f, r) = build_mul(4);
+        assert!(run(&mut f, &t()));
+        assert!(matches!(
+            &f.blocks[0].insts[1],
+            Inst::Assign { dst, src: Expr::Bin(BinOp::Shl, _, k) }
+                if *dst == r && matches!(&**k, Expr::Const(2))
+        ));
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn times_ten_becomes_shift_add_shift() {
+        // 10 = (4+1)*2: dst = (x<<2)+x; dst = dst<<1
+        let (mut f, _) = build_mul(10);
+        let before = f.inst_count();
+        assert!(run(&mut f, &t()));
+        assert_eq!(f.inst_count(), before + 1);
+        let legal = t();
+        legal.check_function(&f).unwrap();
+    }
+
+    #[test]
+    fn times_seven_uses_subtract() {
+        let (mut f, _) = build_mul(7);
+        assert!(run(&mut f, &t()));
+        assert!(f
+            .blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Assign { src: Expr::Bin(BinOp::Sub, ..), .. })));
+        t().check_function(&f).unwrap();
+    }
+
+    #[test]
+    fn negative_constant_appends_negation() {
+        let (mut f, _) = build_mul(-8);
+        assert!(run(&mut f, &t()));
+        assert!(f
+            .blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Assign { src: Expr::Un(UnOp::Neg, _), .. })));
+        t().check_function(&f).unwrap();
+    }
+
+    #[test]
+    fn unsupported_constants_stay_multiplies() {
+        for c in [0, 1, 100, 11, -1] {
+            let (mut f, _) = build_mul(c);
+            assert!(!run(&mut f, &t()), "c = {c} should be left alone");
+        }
+    }
+
+    #[test]
+    fn constant_invalidated_by_redefinition() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let tc = b.reg();
+        let r = b.reg();
+        b.assign(tc, Expr::Const(4));
+        b.assign(tc, Expr::Reg(x)); // tc no longer constant
+        b.assign(r, Expr::bin(BinOp::Mul, Expr::Reg(x), Expr::Reg(tc)));
+        b.ret(Some(Expr::Reg(r)));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &t()));
+    }
+
+    #[test]
+    fn semantics_of_plans() {
+        // Check the generated sequences compute x*c for many (x, c).
+        for c in [2i64, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 15, 16, 24, 31, 33, -2, -3, -12] {
+            let seq = plan(Reg::hard(1), Reg::hard(0), c);
+            let Some(seq) = seq else { continue };
+            for x in [-17i64, -1, 0, 1, 5, 1000] {
+                let mut regs = [x, 0i64];
+                for inst in &seq {
+                    if let Inst::Assign { dst, src } = inst {
+                        let v = eval(src, &regs);
+                        regs[dst.index as usize] = v;
+                    }
+                }
+                assert_eq!(regs[1], (x as i32).wrapping_mul(c as i32) as i64, "x={x} c={c}");
+            }
+        }
+    }
+
+    fn eval(e: &Expr, regs: &[i64; 2]) -> i64 {
+        match e {
+            Expr::Reg(r) => regs[r.index as usize],
+            Expr::Const(c) => *c,
+            Expr::Bin(op, a, b) => {
+                op.eval(eval(a, regs) as i32, eval(b, regs) as i32).unwrap() as i64
+            }
+            Expr::Un(op, a) => op.eval(eval(a, regs) as i32) as i64,
+            _ => unreachable!(),
+        }
+    }
+}

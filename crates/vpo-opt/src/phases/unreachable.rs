@@ -1,0 +1,54 @@
+//! Phase `d` — remove unreachable code.
+//!
+//! "Removes basic blocks that cannot be reached from the function entry
+//! block." The paper notes this phase was never active for their benchmark
+//! suite because branch chaining cleans up after itself; the same holds
+//! here, but the phase is implemented faithfully regardless.
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::Function;
+
+use crate::target::Target;
+
+/// Runs unreachable-code removal; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let cfg = Cfg::build(f);
+    let reach = cfg.reachable();
+    if reach.iter().all(|&r| r) {
+        return false;
+    }
+    let mut keep = reach.into_iter();
+    f.blocks.retain(|_| keep.next().unwrap_or(true));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::Expr;
+
+    #[test]
+    fn removes_orphan_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        let orphan = b.new_label();
+        b.ret(Some(Expr::Const(1)));
+        b.start_block(orphan);
+        b.ret(Some(Expr::Const(2)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        assert_eq!(f.blocks.len(), 1);
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn dormant_when_everything_reachable() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        b.jump(l);
+        b.start_block(l);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+    }
+}

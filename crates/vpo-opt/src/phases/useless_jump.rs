@@ -1,0 +1,107 @@
+//! Phase `u` — remove useless jumps.
+//!
+//! "Removes jumps and branches whose target is the following positional
+//! block." Explicit control transfers are real instructions in this IR, so
+//! removing one is a genuine code-size improvement.
+
+use vpo_rtl::{Function, Inst};
+
+use crate::target::Target;
+
+/// Runs useless-jump removal; returns whether anything changed.
+pub fn run(f: &mut Function, _target: &Target) -> bool {
+    let mut changed = false;
+    loop {
+        let mut step = false;
+        for i in 0..f.blocks.len().saturating_sub(1) {
+            let next_label = f.blocks[i + 1].label;
+            let insts = &mut f.blocks[i].insts;
+            if let Some(last) = insts.last() {
+                let useless = match last {
+                    Inst::Jump { target } => *target == next_label,
+                    Inst::CondBranch { target, .. } => *target == next_label,
+                    _ => false,
+                };
+                if useless {
+                    insts.pop();
+                    step = true;
+                }
+            }
+        }
+        if !step {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::{Cond, Expr};
+
+    #[test]
+    fn removes_jump_to_next_block() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_label();
+        let r0 = b.reg();
+        b.assign(r0, Expr::Const(1));
+        b.jump(l);
+        b.start_block(l);
+        b.ret(Some(Expr::Reg(r0)));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        assert_eq!(f.inst_count(), 2);
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn removes_branch_to_fallthrough() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let l = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, l);
+        b.start_block(l);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f, &Target::default()));
+        // The compare remains (dead-CC removal is phase h's business).
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // Removing a trailing branch can expose another useless jump in the
+        // same block; the phase iterates to its own fixpoint.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let l = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.inst(vpo_rtl::Inst::Jump { target: l });
+        b.start_block(l);
+        b.ret(None);
+        let mut f = b.finish();
+        // Manually craft [.., CondBranch l] after the jump is impossible
+        // (jump is a barrier), so simply verify single removal + fixpoint.
+        assert!(run(&mut f, &Target::default()));
+        assert!(!run(&mut f, &Target::default()));
+    }
+
+    #[test]
+    fn keeps_meaningful_jumps() {
+        let mut b = FunctionBuilder::new("f");
+        let far = b.new_label();
+        let mid = b.new_label();
+        b.jump(far);
+        b.start_block(mid);
+        b.ret(None);
+        b.start_block(far);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Target::default()));
+        assert_eq!(f.inst_count(), 3);
+    }
+}

@@ -1,0 +1,325 @@
+//! The StrongARM-like target legality model.
+//!
+//! The paper generates code for the StrongARM SA-100. For the purposes of
+//! phase-order exploration the only target property that matters is *which
+//! RTLs constitute a single legal machine instruction*: instruction
+//! selection (`s`) may only combine RTLs whose merged effect is still legal,
+//! and naive code generation must emit only legal RTLs.
+//!
+//! The model captures the essentials of the ARM ISA:
+//!
+//! * a load/store architecture — memory is accessed only by whole `load`
+//!   and `store` instructions with simple addressing modes
+//!   (`[r]`, `[r, #imm]`, `[r, r]`, `[r, r LSL #k]`, and local-slot forms);
+//! * data-processing instructions take a register and a *flexible second
+//!   operand*: a register, an immediate expressible as an 8-bit value
+//!   rotated by an even amount, or a register shifted by a small constant;
+//! * `MUL` takes registers only (no multiply-by-immediate), which is what
+//!   makes strength reduction (`q`) an enabling phase for instruction
+//!   selection;
+//! * 16 integer registers of which a few are reserved (sp/lr/pc), leaving
+//!   [`Target::usable_regs`] available for assignment and allocation.
+
+use vpo_rtl::{BinOp, Expr, Inst};
+
+/// Target machine description.
+#[derive(Clone, Debug)]
+pub struct Target {
+    /// Number of hard registers usable by register assignment and register
+    /// allocation (the remaining registers model sp/lr/pc).
+    pub usable_regs: u16,
+    /// Maximum loop-body size (in instructions) that loop unrolling will
+    /// still duplicate. The paper always unrolls with factor two because
+    /// code size matters on embedded targets; the size bound plays the same
+    /// role here.
+    pub unroll_limit: usize,
+    /// Whether register allocation (`k`) only considers variables whose
+    /// every access is a *direct* load/store of the slot address. This is
+    /// VPO's documented behaviour ("register allocation can only be
+    /// performed after instruction selection so that candidate load and
+    /// store instructions can contain the addresses of arguments or local
+    /// scalars") and the source of much of the paper's phase-order
+    /// sensitivity. Setting it to `false` enables the address-form-robust
+    /// allocator — an ablation that collapses most of the code-size spread
+    /// between phase orderings (see the `ablation` bench).
+    pub regalloc_requires_direct: bool,
+}
+
+impl Default for Target {
+    fn default() -> Self {
+        // 16 ARM registers minus sp, lr, pc and the assembler temporary.
+        Target { usable_regs: 12, unroll_limit: 24, regalloc_requires_direct: true }
+    }
+}
+
+impl Target {
+    /// Whether `c` is encodable as an ARM data-processing immediate: an
+    /// 8-bit value rotated right by an even amount (or the bitwise
+    /// complement of one, via `MVN`/`SUB` aliasing).
+    pub fn legal_imm(&self, c: i64) -> bool {
+        if !(i32::MIN as i64..=u32::MAX as i64).contains(&c) {
+            return false;
+        }
+        let v = c as u32;
+        arm_rotated_imm(v) || arm_rotated_imm(!v) || arm_rotated_imm(v.wrapping_neg())
+    }
+
+    /// Whether `c` is a legal load/store offset (±4095, like ARM).
+    pub fn legal_offset(&self, c: i64) -> bool {
+        (-4095..=4095).contains(&c)
+    }
+
+    /// Whether `e` is a legal *flexible second operand*: a register, a
+    /// legal immediate, or a register shifted left/right by a constant in
+    /// `0..32`.
+    pub fn legal_operand2(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Reg(_) => true,
+            Expr::Const(c) => self.legal_imm(*c),
+            Expr::Bin(BinOp::Shl | BinOp::AShr | BinOp::LShr, a, b) => {
+                matches!(**a, Expr::Reg(_))
+                    && matches!(&**b, Expr::Const(k) if (0..32).contains(k))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `a` is a legal memory address expression.
+    pub fn legal_addr(&self, a: &Expr) -> bool {
+        match a {
+            Expr::Reg(_) | Expr::LocalAddr(_) => true,
+            Expr::Bin(BinOp::Add, x, y) => match (&**x, &**y) {
+                (Expr::Reg(_), Expr::Const(c)) => self.legal_offset(*c),
+                (Expr::LocalAddr(_), Expr::Const(c)) => self.legal_offset(*c),
+                (Expr::Reg(_), Expr::Reg(_)) => true,
+                (Expr::LocalAddr(_), Expr::Reg(_)) => true,
+                (Expr::Reg(_), Expr::Bin(BinOp::Shl, r, k)) => {
+                    matches!(**r, Expr::Reg(_))
+                        && matches!(&**k, Expr::Const(c) if (0..=3).contains(c))
+                }
+                _ => false,
+            },
+            Expr::Bin(BinOp::Sub, x, y) => {
+                matches!(**x, Expr::Reg(_))
+                    && matches!(&**y, Expr::Const(c) if self.legal_offset(*c))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `e` is legal as the right-hand side of a register
+    /// assignment (one machine instruction).
+    pub fn legal_rhs(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Reg(_) => true,
+            Expr::Const(c) => self.legal_imm(*c),
+            Expr::Hi(_) => true,
+            Expr::Lo(_) => false, // only legal inside reg + LO[sym]
+            Expr::LocalAddr(_) => true, // add rd, sp, #off
+            Expr::Load(_, a) => self.legal_addr(a),
+            Expr::Un(_, a) => matches!(**a, Expr::Reg(_)),
+            Expr::Bin(op, a, b) => match op {
+                BinOp::Mul => {
+                    matches!(**a, Expr::Reg(_)) && matches!(**b, Expr::Reg(_))
+                }
+                // Division is a runtime-support operation (the SA-100 has no
+                // divide instruction); we model the `__divsi3` call as a
+                // single legal RTL over registers.
+                BinOp::Div | BinOp::Rem => {
+                    matches!(**a, Expr::Reg(_)) && matches!(**b, Expr::Reg(_))
+                }
+                BinOp::Shl | BinOp::AShr | BinOp::LShr => {
+                    matches!(**a, Expr::Reg(_))
+                        && match &**b {
+                            Expr::Reg(_) => true,
+                            Expr::Const(k) => (0..32).contains(k),
+                            _ => false,
+                        }
+                }
+                _ => {
+                    // add/sub/and/or/xor: rd = rn op operand2, plus the
+                    // reversed-operand forms (RSB / commutativity), plus the
+                    // global-address idiom rd = rn + LO[sym].
+                    match (&**a, &**b) {
+                        (Expr::Reg(_), Expr::Lo(_)) if *op == BinOp::Add => true,
+                        (Expr::Reg(_), _) => self.legal_operand2(b),
+                        (Expr::Const(c), Expr::Reg(_)) => {
+                            (*op == BinOp::Sub || op.is_commutative()) && self.legal_imm(*c)
+                        }
+                        // RSB covers reversed subtraction of a shifted
+                        // operand: rd = (rn LSL #k) - rm.
+                        (Expr::Bin(..), Expr::Reg(_))
+                            if op.is_commutative() || *op == BinOp::Sub =>
+                        {
+                            self.legal_operand2(a)
+                        }
+                        _ => false,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Whether `i` is a single legal machine instruction. This is the
+    /// legality check applied by instruction selection before committing a
+    /// combination, and an invariant of all code the front end emits.
+    pub fn legal_inst(&self, i: &Inst) -> bool {
+        match i {
+            Inst::Assign { src, .. } => self.legal_rhs(src),
+            Inst::Store { addr, src, .. } => {
+                // ARM stores a register; no store-immediate exists.
+                self.legal_addr(addr) && matches!(src, Expr::Reg(_))
+            }
+            Inst::Compare { lhs, rhs } => {
+                matches!(lhs, Expr::Reg(_)) && self.legal_operand2(rhs)
+            }
+            Inst::CondBranch { .. } | Inst::Jump { .. } => true,
+            Inst::Call { args, .. } => {
+                args.iter().all(|a| matches!(a, Expr::Reg(_)))
+            }
+            Inst::Return { value } => match value {
+                None => true,
+                Some(Expr::Reg(_)) => true,
+                Some(Expr::Const(c)) => self.legal_imm(*c),
+                _ => false,
+            },
+        }
+    }
+
+    /// Checks that every instruction of `f` is legal; returns the first
+    /// offender for diagnostics.
+    pub fn check_function(&self, f: &vpo_rtl::Function) -> Result<(), String> {
+        for (bi, ii, inst) in f.iter_insts() {
+            if !self.legal_inst(inst) {
+                return Err(format!(
+                    "illegal instruction in {} block {} index {}: {}",
+                    f.name, bi, ii, inst
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ARM rotated-immediate test: an 8-bit value rotated right by an even
+/// amount within a 32-bit word.
+fn arm_rotated_imm(v: u32) -> bool {
+    if v & !0xFF == 0 {
+        return true;
+    }
+    for rot in (2..32).step_by(2) {
+        if v.rotate_left(rot) & !0xFF == 0 {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::{Reg, Width};
+
+    fn t() -> Target {
+        Target::default()
+    }
+
+    fn r(i: u16) -> Expr {
+        Expr::Reg(Reg::hard(i))
+    }
+
+    #[test]
+    fn immediates() {
+        let t = t();
+        assert!(t.legal_imm(0));
+        assert!(t.legal_imm(255));
+        assert!(t.legal_imm(256)); // 1 rotated
+        assert!(t.legal_imm(4000)); // 0xFA << 4
+        assert!(t.legal_imm(-1)); // MVN 0
+        assert!(t.legal_imm(-255));
+        assert!(t.legal_imm(0xFF00_0000));
+        assert!(!t.legal_imm(4097)); // 0x1001
+        assert!(!t.legal_imm(65535)); // 0xFFFF needs MOVW
+    }
+
+    #[test]
+    fn paper_examples_are_legal() {
+        let t = t();
+        // r[3]=r[4]+1;
+        assert!(t.legal_rhs(&Expr::bin(BinOp::Add, r(4), Expr::Const(1))));
+        // r[9]=4000+r[12];
+        assert!(t.legal_rhs(&Expr::bin(BinOp::Add, Expr::Const(4000), r(12))));
+        // r[8]=M[r[1]];
+        assert!(t.legal_rhs(&Expr::load(Width::Word, r(1))));
+        // r[12]=HI[a]; r[12]=r[12]+LO[a];
+        assert!(t.legal_rhs(&Expr::Hi(vpo_rtl::SymId(0))));
+        assert!(t.legal_rhs(&Expr::bin(BinOp::Add, r(12), Expr::Lo(vpo_rtl::SymId(0)))));
+    }
+
+    #[test]
+    fn load_store_architecture() {
+        let t = t();
+        // Loads cannot be nested inside arithmetic.
+        assert!(!t.legal_rhs(&Expr::bin(
+            BinOp::Add,
+            r(1),
+            Expr::load(Width::Word, r(2))
+        )));
+        // Stores take registers only.
+        let bad = Inst::Store { width: Width::Word, addr: r(1), src: Expr::Const(0) };
+        assert!(!t.legal_inst(&bad));
+        let good = Inst::Store { width: Width::Word, addr: r(1), src: r(2) };
+        assert!(t.legal_inst(&good));
+    }
+
+    #[test]
+    fn shifted_operand_and_scaled_addressing() {
+        let t = t();
+        // add rd, rn, rm LSL #2
+        assert!(t.legal_rhs(&Expr::bin(
+            BinOp::Add,
+            r(1),
+            Expr::bin(BinOp::Shl, r(2), Expr::Const(2)),
+        )));
+        // ldr rd, [rn, rm LSL #2]
+        assert!(t.legal_addr(&Expr::bin(
+            BinOp::Add,
+            r(1),
+            Expr::bin(BinOp::Shl, r(2), Expr::Const(2)),
+        )));
+        // ...but not LSL #5 in an address.
+        assert!(!t.legal_addr(&Expr::bin(
+            BinOp::Add,
+            r(1),
+            Expr::bin(BinOp::Shl, r(2), Expr::Const(5)),
+        )));
+    }
+
+    #[test]
+    fn multiply_needs_registers() {
+        let t = t();
+        assert!(t.legal_rhs(&Expr::bin(BinOp::Mul, r(1), r(2))));
+        assert!(!t.legal_rhs(&Expr::bin(BinOp::Mul, r(1), Expr::Const(4))));
+    }
+
+    #[test]
+    fn local_slot_addressing() {
+        let t = t();
+        use vpo_rtl::LocalId;
+        assert!(t.legal_addr(&Expr::LocalAddr(LocalId(0))));
+        assert!(t.legal_addr(&Expr::bin(
+            BinOp::Add,
+            Expr::LocalAddr(LocalId(0)),
+            Expr::Const(8)
+        )));
+        assert!(t.legal_rhs(&Expr::LocalAddr(LocalId(0))));
+    }
+
+    #[test]
+    fn offsets() {
+        let t = t();
+        assert!(t.legal_addr(&Expr::bin(BinOp::Add, r(0), Expr::Const(4095))));
+        assert!(!t.legal_addr(&Expr::bin(BinOp::Add, r(0), Expr::Const(4096))));
+        assert!(t.legal_addr(&Expr::bin(BinOp::Sub, r(0), Expr::Const(4))));
+    }
+}

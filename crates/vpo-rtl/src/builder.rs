@@ -1,0 +1,165 @@
+//! A small convenience layer for constructing [`Function`]s in tests,
+//! examples, and the front end's code generator.
+
+use crate::expr::{Cond, Expr, SymId, Width};
+use crate::function::{Block, Function, Label, LocalId};
+use crate::inst::Inst;
+use crate::Reg;
+
+/// Incrementally builds a [`Function`], appending instructions to the
+/// *current* block.
+///
+/// # Example
+///
+/// ```
+/// use vpo_rtl::builder::FunctionBuilder;
+/// use vpo_rtl::Expr;
+///
+/// let mut b = FunctionBuilder::new("answer");
+/// b.ret(Some(Expr::Const(42)));
+/// let f = b.finish();
+/// assert_eq!(f.inst_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+    globals: Vec<String>,
+    current: usize,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder { f: Function::new(name), globals: Vec::new(), current: 0 }
+    }
+
+    /// Declares (or reuses) a global symbol by name. Builders used outside a
+    /// full [`Program`](crate::Program) context maintain their own symbol
+    /// numbering; the front end supplies real ids instead.
+    pub fn global(&mut self, name: &str) -> SymId {
+        if let Some(i) = self.globals.iter().position(|g| g == name) {
+            SymId(i as u32)
+        } else {
+            self.globals.push(name.to_owned());
+            SymId((self.globals.len() - 1) as u32)
+        }
+    }
+
+    /// Names of globals declared through [`FunctionBuilder::global`].
+    pub fn global_names(&self) -> &[String] {
+        &self.globals
+    }
+
+    /// Allocates a fresh pseudo register.
+    pub fn reg(&mut self) -> Reg {
+        self.f.new_pseudo()
+    }
+
+    /// Declares a parameter arriving in a fresh pseudo register.
+    pub fn param(&mut self) -> Reg {
+        let r = self.f.new_pseudo();
+        self.f.params.push(r);
+        r
+    }
+
+    /// Allocates a local stack slot.
+    pub fn local(&mut self, name: &str, size: u32) -> LocalId {
+        self.f.new_local(name, size)
+    }
+
+    /// Allocates a fresh label for use with [`FunctionBuilder::start_block`].
+    pub fn new_label(&mut self) -> Label {
+        self.f.new_label()
+    }
+
+    /// Begins a new block with the given label; subsequent instructions are
+    /// appended to it. The previous block falls through unless it ended in a
+    /// barrier.
+    pub fn start_block(&mut self, label: Label) {
+        self.f.blocks.push(Block::new(label));
+        self.current = self.f.blocks.len() - 1;
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn inst(&mut self, i: Inst) {
+        self.f.blocks[self.current].insts.push(i);
+    }
+
+    /// Appends `dst = src`.
+    pub fn assign(&mut self, dst: Reg, src: Expr) {
+        self.inst(Inst::Assign { dst, src });
+    }
+
+    /// Appends `M[addr] = src`.
+    pub fn store(&mut self, width: Width, addr: Expr, src: Expr) {
+        self.inst(Inst::Store { width, addr, src });
+    }
+
+    /// Appends `IC = lhs ? rhs`.
+    pub fn compare(&mut self, lhs: Expr, rhs: Expr) {
+        self.inst(Inst::Compare { lhs, rhs });
+    }
+
+    /// Appends `PC = IC <cond>, target`.
+    pub fn cond_branch(&mut self, cond: Cond, target: Label) {
+        self.inst(Inst::CondBranch { cond, target });
+    }
+
+    /// Appends `PC = target`.
+    pub fn jump(&mut self, target: Label) {
+        self.inst(Inst::Jump { target });
+    }
+
+    /// Appends a call.
+    pub fn call(&mut self, callee: &str, args: Vec<Expr>, dst: Option<Reg>) {
+        self.inst(Inst::Call { callee: callee.to_owned(), args, dst });
+    }
+
+    /// Appends a return.
+    pub fn ret(&mut self, value: Option<Expr>) {
+        self.inst(Inst::Return { value });
+    }
+
+    /// Finishes the function, recomputing derived local-slot flags.
+    pub fn finish(mut self) -> Function {
+        self.f.recompute_addr_taken();
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn builds_multi_block_function() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let then = b.new_label();
+        let done = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Ge, then);
+        b.assign(x, Expr::un(crate::expr::UnOp::Neg, Expr::Reg(x)));
+        b.jump(done);
+        b.start_block(then);
+        b.assign(x, Expr::bin(BinOp::Add, Expr::Reg(x), Expr::Const(1)));
+        b.start_block(done);
+        b.ret(Some(Expr::Reg(x)));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.inst_count(), 6);
+    }
+
+    #[test]
+    fn global_interning() {
+        let mut b = FunctionBuilder::new("f");
+        let a1 = b.global("a");
+        let b1 = b.global("b");
+        let a2 = b.global("a");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b1);
+        assert_eq!(b.global_names(), &["a".to_owned(), "b".to_owned()]);
+    }
+}

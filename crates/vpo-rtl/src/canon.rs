@@ -1,0 +1,365 @@
+//! Canonical form and fingerprinting of function instances
+//! (Section 4.2.1 of the paper).
+//!
+//! Two function instances produced by different phase orderings may differ
+//! only in register numbers or block labels (Figure 5 of the paper). To
+//! detect them as identical, the function is scanned from the top basic
+//! block; each register and each label is remapped to a fresh ordinal at
+//! its first encounter. The canonical byte serialization over the remapped
+//! ids is then summarized by three values — instruction count, byte sum,
+//! and CRC-32 — forming a [`Fingerprint`].
+//!
+//! The register *class* (pseudo vs. hard) is preserved in the byte stream,
+//! so code before and after register assignment never collides. This
+//! remapping is deliberately more naive than live-range remapping, exactly
+//! as the paper prescribes (live-range remapping at intermediate points
+//! would be unsafe because it changes register pressure).
+
+use crate::expr::Expr;
+use crate::function::{Function, Label};
+use crate::inst::Inst;
+use crate::{crc, Reg, RegClass};
+use std::collections::HashMap;
+
+/// The three-part function-instance fingerprint of the paper: a count of
+/// instructions, a byte-sum of the canonical serialization, and its CRC-32
+/// checksum.
+///
+/// The paper verified that using all three checks in combination makes it
+/// "extremely rare" for distinct instances to collide; this crate's tests
+/// additionally verify no collisions occur across entire enumerations by
+/// structural comparison in paranoid mode.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fingerprint {
+    /// Number of instructions.
+    pub inst_count: u32,
+    /// Sum of all bytes of the canonical serialization.
+    pub byte_sum: u64,
+    /// CRC-32 of the canonical serialization.
+    pub crc: u32,
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}i/{:016x}/{:08x}", self.inst_count, self.byte_sum, self.crc)
+    }
+}
+
+struct Canonicalizer {
+    regs: HashMap<Reg, u32>,
+    labels: HashMap<Label, u32>,
+    bytes: Vec<u8>,
+    insts: u32,
+}
+
+impl Canonicalizer {
+    fn new() -> Self {
+        Canonicalizer {
+            regs: HashMap::new(),
+            labels: HashMap::new(),
+            bytes: Vec::with_capacity(512),
+            insts: 0,
+        }
+    }
+
+    fn reg(&mut self, r: Reg) {
+        let next = self.regs.len() as u32;
+        let id = *self.regs.entry(r).or_insert(next);
+        self.bytes.push(match r.class {
+            RegClass::Pseudo => 0x01,
+            RegClass::Hard => 0x02,
+        });
+        self.varint(id as u64);
+    }
+
+    fn label(&mut self, l: Label) {
+        let next = self.labels.len() as u32;
+        let id = *self.labels.entry(l).or_insert(next);
+        self.bytes.push(0x03);
+        self.varint(id as u64);
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.bytes.push(b);
+                break;
+            }
+            self.bytes.push(b | 0x80);
+        }
+    }
+
+    fn signed(&mut self, v: i64) {
+        // ZigZag encoding.
+        self.varint(((v << 1) ^ (v >> 63)) as u64)
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Reg(r) => self.reg(*r),
+            Expr::Const(c) => {
+                self.bytes.push(0x10);
+                self.signed(*c);
+            }
+            Expr::Hi(s) => {
+                self.bytes.push(0x11);
+                self.varint(s.0 as u64);
+            }
+            Expr::Lo(s) => {
+                self.bytes.push(0x12);
+                self.varint(s.0 as u64);
+            }
+            Expr::LocalAddr(l) => {
+                self.bytes.push(0x13);
+                self.varint(l.0 as u64);
+            }
+            Expr::Bin(op, a, b) => {
+                self.bytes.push(0x20);
+                self.bytes.push(*op as u8);
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Un(op, a) => {
+                self.bytes.push(0x21);
+                self.bytes.push(*op as u8);
+                self.expr(a);
+            }
+            Expr::Load(w, a) => {
+                self.bytes.push(0x22);
+                self.bytes.push(*w as u8);
+                self.expr(a);
+            }
+        }
+    }
+
+    fn inst(&mut self, i: &Inst) {
+        self.insts += 1;
+        match i {
+            Inst::Assign { dst, src } => {
+                self.bytes.push(0x40);
+                self.reg(*dst);
+                self.expr(src);
+            }
+            Inst::Store { width, addr, src } => {
+                self.bytes.push(0x41);
+                self.bytes.push(*width as u8);
+                self.expr(addr);
+                self.expr(src);
+            }
+            Inst::Compare { lhs, rhs } => {
+                self.bytes.push(0x42);
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Inst::CondBranch { cond, target } => {
+                self.bytes.push(0x43);
+                self.bytes.push(*cond as u8);
+                self.label(*target);
+            }
+            Inst::Jump { target } => {
+                self.bytes.push(0x44);
+                self.label(*target);
+            }
+            Inst::Call { callee, args, dst } => {
+                self.bytes.push(0x45);
+                self.varint(callee.len() as u64);
+                self.bytes.extend_from_slice(callee.as_bytes());
+                self.varint(args.len() as u64);
+                for a in args {
+                    self.expr(a);
+                }
+                match dst {
+                    Some(d) => {
+                        self.bytes.push(1);
+                        self.reg(*d);
+                    }
+                    None => self.bytes.push(0),
+                }
+            }
+            Inst::Return { value } => {
+                self.bytes.push(0x46);
+                match value {
+                    Some(v) => {
+                        self.bytes.push(1);
+                        self.expr(v);
+                    }
+                    None => self.bytes.push(0),
+                }
+            }
+        }
+    }
+}
+
+/// Serializes `f` into its canonical byte form: blocks in layout order,
+/// registers and labels remapped at first encounter from the top block
+/// (Figure 5(d) of the paper).
+pub fn canonical_bytes(f: &Function) -> Vec<u8> {
+    let mut c = Canonicalizer::new();
+    // Parameters participate in remapping first so the calling convention
+    // is part of the canonical form.
+    for &p in &f.params {
+        c.reg(p);
+    }
+    for b in &f.blocks {
+        // Every block boundary is marked and its label registered, so that
+        // identical instruction streams split into different blocks remain
+        // distinguishable only when control flow actually differs.
+        c.bytes.push(0xF0);
+        c.label(b.label);
+        for i in &b.insts {
+            c.inst(i);
+        }
+    }
+    // Flag milestones so that legality-relevant state is part of identity.
+    c.bytes.push(0xF1);
+    c.bytes.push(f.flags.regs_assigned as u8);
+    c.bytes.push(f.flags.reg_allocated as u8);
+    c.bytes
+}
+
+/// Computes the three-part [`Fingerprint`] of a function instance.
+pub fn fingerprint(f: &Function) -> Fingerprint {
+    let bytes = canonical_bytes(f);
+    let inst_count = f.inst_count() as u32;
+    let byte_sum: u64 = bytes.iter().map(|&b| b as u64).sum();
+    Fingerprint { inst_count, byte_sum, crc: crc::crc32(&bytes) }
+}
+
+/// Structural equality *after* canonical remapping: true iff the two
+/// functions serialize to identical canonical bytes. Used by paranoid
+/// enumeration mode to prove the absence of fingerprint collisions.
+pub fn canonically_equal(a: &Function, b: &Function) -> bool {
+    canonical_bytes(a) == canonical_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::expr::{BinOp, Cond, Width};
+
+    /// Builds the Figure 5 loop with a configurable register numbering,
+    /// mimicking "register allocation before code motion" vs. "code motion
+    /// before register allocation".
+    fn figure5(regs: [u16; 5], label_seed: u32) -> Function {
+        let mut b = FunctionBuilder::new("sum");
+        let a = b.global("a");
+        // Consume some label numbers to shift the loop label, like L3 vs L5.
+        for _ in 0..label_seed {
+            let _ = b.new_label();
+        }
+        let [sum, base, ptr, bound, tmp] = regs.map(Reg::hard);
+        let l = b.new_label();
+        b.assign(sum, Expr::Const(0));
+        b.assign(base, Expr::Hi(a));
+        b.assign(base, Expr::bin(BinOp::Add, Expr::Reg(base), Expr::Lo(a)));
+        b.assign(ptr, Expr::Reg(base));
+        b.assign(bound, Expr::bin(BinOp::Add, Expr::Const(4000), Expr::Reg(base)));
+        b.start_block(l);
+        b.assign(tmp, Expr::load(Width::Word, Expr::Reg(ptr)));
+        b.assign(sum, Expr::bin(BinOp::Add, Expr::Reg(sum), Expr::Reg(tmp)));
+        b.assign(ptr, Expr::bin(BinOp::Add, Expr::Reg(ptr), Expr::Const(4)));
+        b.compare(Expr::Reg(ptr), Expr::Reg(bound));
+        b.cond_branch(Cond::Lt, l);
+        b.ret(Some(Expr::Reg(sum)));
+        let mut f = b.finish();
+        f.flags.regs_assigned = true;
+        f
+    }
+
+    #[test]
+    fn figure5_renamings_are_identical_after_remapping() {
+        // Figure 5(b): r10, r12, r1, r9, r8 / L3.
+        let fb = figure5([10, 12, 1, 9, 8], 2);
+        // Figure 5(c): r11, r10, r1, r9, r8 / L5.
+        let fc = figure5([11, 10, 1, 9, 8], 4);
+        assert_ne!(fb, fc, "functions differ textually");
+        assert_eq!(fingerprint(&fb), fingerprint(&fc));
+        assert!(canonically_equal(&fb, &fc));
+    }
+
+    #[test]
+    fn different_code_fingerprints_differently() {
+        let f1 = figure5([10, 12, 1, 9, 8], 0);
+        let mut f2 = figure5([10, 12, 1, 9, 8], 0);
+        // Change one constant.
+        if let Inst::Assign { src, .. } = &mut f2.blocks[0].insts[0] {
+            *src = Expr::Const(1);
+        }
+        assert_ne!(fingerprint(&f1), fingerprint(&f2));
+    }
+
+    #[test]
+    fn reordered_instructions_fingerprint_differently() {
+        // The CRC property: same bytes, different order → different CRC.
+        let mut b1 = FunctionBuilder::new("x");
+        let r1 = b1.reg();
+        let r2 = b1.reg();
+        b1.assign(r1, Expr::Const(1));
+        b1.assign(r2, Expr::Const(2));
+        b1.ret(None);
+        let f1 = b1.finish();
+
+        let mut b2 = FunctionBuilder::new("x");
+        let r1 = b2.reg();
+        let r2 = b2.reg();
+        b2.assign(r2, Expr::Const(2));
+        b2.assign(r1, Expr::Const(1));
+        b2.ret(None);
+        let f2 = b2.finish();
+
+        // Remapping renames registers by first encounter, but the constant
+        // operands still appear in a different order, so these are distinct
+        // function instances — canonicalization must NOT confuse reordered
+        // code (the CRC order-sensitivity property from the paper).
+        assert_ne!(fingerprint(&f1), fingerprint(&f2));
+
+        // But genuinely order-sensitive cases (same register) differ:
+        let mut b3 = FunctionBuilder::new("x");
+        let r = b3.reg();
+        b3.assign(r, Expr::Const(1));
+        b3.assign(r, Expr::Const(2));
+        b3.ret(None);
+        let f3 = b3.finish();
+        let mut b4 = FunctionBuilder::new("x");
+        let r = b4.reg();
+        b4.assign(r, Expr::Const(2));
+        b4.assign(r, Expr::Const(1));
+        b4.ret(None);
+        let f4 = b4.finish();
+        assert_ne!(fingerprint(&f3), fingerprint(&f4));
+    }
+
+    #[test]
+    fn flags_distinguish_instances() {
+        let f1 = figure5([1, 2, 3, 4, 5], 0);
+        let mut f2 = f1.clone();
+        f2.flags.reg_allocated = true;
+        assert_ne!(fingerprint(&f1), fingerprint(&f2));
+    }
+
+    #[test]
+    fn pseudo_and_hard_classes_never_collide() {
+        let mut b1 = FunctionBuilder::new("x");
+        let t = b1.reg(); // pseudo
+        b1.assign(t, Expr::Const(5));
+        b1.ret(Some(Expr::Reg(t)));
+        let f1 = b1.finish();
+
+        let mut f2 = Function::new("x");
+        let h = Reg::hard(0);
+        f2.blocks[0].insts = vec![
+            Inst::Assign { dst: h, src: Expr::Const(5) },
+            Inst::Return { value: Some(Expr::Reg(h)) },
+        ];
+        assert_ne!(fingerprint(&f1), fingerprint(&f2));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let f = figure5([10, 12, 1, 9, 8], 2);
+        assert_eq!(canonical_bytes(&f), canonical_bytes(&f));
+    }
+}

@@ -1,0 +1,100 @@
+//! Table-driven CRC-32 (IEEE 802.3 polynomial), as used by the paper to
+//! detect identical function instances.
+//!
+//! The paper cites Peterson & Brown (1961) and notes the property that makes
+//! CRC preferable to a plain checksum here: *the order of the bytes affects
+//! the result*, so instruction reorderings are not falsely identified.
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Example
+///
+/// ```
+/// // The standard CRC-32 check value.
+/// assert_eq!(vpo_rtl::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An incremental CRC-32 hasher.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finishes and returns the CRC value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"hello, phase ordering world";
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // The property the paper relies on: byte order matters.
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

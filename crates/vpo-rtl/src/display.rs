@@ -1,0 +1,140 @@
+//! Paper-style textual rendering of RTL.
+//!
+//! Output mirrors the notation of the paper: `r[3]=r[4]+1;`,
+//! `IC=r[1]?r[9];`, `PC=IC<0,L3;`, `M[r[1]]=r[2];`.
+
+use crate::expr::Expr;
+use crate::function::Function;
+use crate::inst::Inst;
+
+/// Renders an expression in paper syntax.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Reg(r) => r.to_string(),
+        Expr::Const(c) => c.to_string(),
+        Expr::Hi(s) => format!("HI[{s}]"),
+        Expr::Lo(s) => format!("LO[{s}]"),
+        Expr::LocalAddr(l) => format!("&{l}"),
+        Expr::Bin(op, a, b) => {
+            format!("({}{}{})", expr_to_string(a), op, expr_to_string(b))
+        }
+        Expr::Un(op, a) => format!("({}{})", op, expr_to_string(a)),
+        Expr::Load(w, a) => match w {
+            crate::expr::Width::Word => format!("M[{}]", expr_to_string(a)),
+            crate::expr::Width::Byte => format!("B[{}]", expr_to_string(a)),
+        },
+    }
+}
+
+/// Renders one instruction in paper syntax (no trailing newline).
+pub fn inst_to_string(i: &Inst) -> String {
+    match i {
+        Inst::Assign { dst, src } => format!("{}={};", dst, expr_to_string(src)),
+        Inst::Store { width, addr, src } => {
+            let m = match width {
+                crate::expr::Width::Word => "M",
+                crate::expr::Width::Byte => "B",
+            };
+            format!("{m}[{}]={};", expr_to_string(addr), expr_to_string(src))
+        }
+        Inst::Compare { lhs, rhs } => {
+            format!("IC={}?{};", expr_to_string(lhs), expr_to_string(rhs))
+        }
+        Inst::CondBranch { cond, target } => format!("PC=IC{cond}0,{target};"),
+        Inst::Jump { target } => format!("PC={target};"),
+        Inst::Call { callee, args, dst } => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            match dst {
+                Some(d) => format!("{d}=CALL {callee}({});", args.join(",")),
+                None => format!("CALL {callee}({});", args.join(",")),
+            }
+        }
+        Inst::Return { value } => match value {
+            Some(v) => format!("RET {};", expr_to_string(v)),
+            None => "RET;".to_owned(),
+        },
+    }
+}
+
+/// Renders a whole function, one instruction per line, block labels flush
+/// left.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("function {}(", f.name));
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&p.to_string());
+    }
+    out.push_str(")\n");
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if bi > 0 || !b.insts.is_empty() {
+            out.push_str(&format!("{}:\n", b.label));
+        }
+        for i in &b.insts {
+            out.push_str("  ");
+            out.push_str(&inst_to_string(i));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+impl std::fmt::Display for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&function_to_string(self))
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&inst_to_string(self))
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&expr_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::expr::{BinOp, Cond, Width};
+    use crate::Reg;
+
+    #[test]
+    fn paper_like_rendering() {
+        let r3 = Reg::hard(3);
+        let r4 = Reg::hard(4);
+        let i = Inst::Assign {
+            dst: r3,
+            src: Expr::bin(BinOp::Add, Expr::Reg(r4), Expr::Const(1)),
+        };
+        assert_eq!(inst_to_string(&i), "r[3]=(r[4]+1);");
+        let c = Inst::Compare { lhs: Expr::Reg(r3), rhs: Expr::Reg(r4) };
+        assert_eq!(inst_to_string(&c), "IC=r[3]?r[4];");
+    }
+
+    #[test]
+    fn function_rendering_includes_labels() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let l = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, l);
+        b.store(Width::Word, Expr::Reg(x), Expr::Const(0));
+        b.start_block(l);
+        b.ret(None);
+        let f = b.finish();
+        let s = f.to_string();
+        assert!(s.contains("function f(t[0])"));
+        assert!(s.contains("PC=IC<0,L1;"));
+        assert!(s.contains("M[t[0]]=0;"));
+        assert!(s.contains("L1:"));
+        assert!(s.contains("RET;"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+
+/// Immediate-dominator tree over block indices.
+///
+/// `idom[0] == 0` for the entry; unreachable blocks have `idom == usize::MAX`.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<usize>,
+    #[allow(dead_code)]
+    rpo_number: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for the given CFG.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_number[b] = i;
+        }
+        let mut idom = vec![usize::MAX; n];
+        if n == 0 {
+            return Dominators { idom, rpo_number };
+        }
+        idom[0] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &cfg.preds[b] {
+                    if idom[p] == usize::MAX {
+                        continue; // predecessor not yet processed/reachable
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_number, p, new_idom)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, rpo_number }
+    }
+
+    /// The immediate dominator of `b` (the entry dominates itself).
+    /// Returns `None` for unreachable blocks.
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        match self.idom.get(b) {
+            Some(&d) if d != usize::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom.get(b).copied().unwrap_or(usize::MAX) == usize::MAX {
+            return false;
+        }
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            if x == 0 {
+                return a == 0;
+            }
+            x = self.idom[x];
+        }
+    }
+}
+
+fn intersect(idom: &[usize], rpo_number: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_number[a] > rpo_number[b] {
+            a = idom[a];
+        }
+        while rpo_number[b] > rpo_number[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::expr::{Cond, Expr};
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1, 2}; 1 -> 3; 2 -> 3.
+        let mut b = FunctionBuilder::new("d");
+        let x = b.param();
+        let t = b.new_label();
+        let j = b.new_label();
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Lt, t);
+        b.jump(j);
+        b.start_block(t);
+        b.start_block(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(0), Some(0));
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert!(dom.dominates(0, 2));
+        assert!(!dom.dominates(1, 2));
+        assert!(dom.dominates(2, 2));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // 0 -> 1 (header); 1 -> {2 (body), 3 (exit)}; 2 -> 1.
+        let mut b = FunctionBuilder::new("l");
+        let x = b.param();
+        let header = b.new_label();
+        let body = b.new_label();
+        let exit = b.new_label();
+        b.start_block(header);
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Le, exit);
+        b.start_block(body);
+        b.assign(
+            x,
+            Expr::bin(crate::expr::BinOp::Sub, Expr::Reg(x), Expr::Const(1)),
+        );
+        b.jump(header);
+        b.start_block(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        let h = cfg.index_of[&header];
+        let bo = cfg.index_of[&body];
+        assert!(dom.dominates(h, bo));
+        assert!(!dom.dominates(bo, h));
+    }
+}

@@ -1,0 +1,308 @@
+//! RTL instructions.
+//!
+//! Every instruction is a *register transfer list*: one or more effects on
+//! registers, memory, the condition code `IC`, or the program counter. The
+//! textual forms mirror the paper, e.g. `r[3]=r[4]+1;`, `IC=r[1]?r[9];`,
+//! `PC=IC<0,L3;`.
+
+use crate::expr::{Cond, Expr, Width};
+use crate::function::Label;
+use crate::Reg;
+
+/// A single RTL instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `reg = expr` — evaluate `src` and write it to `dst`.
+    Assign {
+        /// Destination register.
+        dst: Reg,
+        /// Source expression.
+        src: Expr,
+    },
+    /// `M[addr] = src` — store to memory.
+    Store {
+        /// Access width.
+        width: Width,
+        /// Address expression.
+        addr: Expr,
+        /// Stored value.
+        src: Expr,
+    },
+    /// `IC = lhs ? rhs` — set the condition code from a signed comparison.
+    Compare {
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// `PC = IC <cond> 0, target` — conditional branch on the condition
+    /// code; falls through to the next positional block otherwise.
+    CondBranch {
+        /// Branch condition over the last comparison.
+        cond: Cond,
+        /// Branch target.
+        target: Label,
+    },
+    /// `PC = target` — unconditional jump.
+    Jump {
+        /// Jump target.
+        target: Label,
+    },
+    /// A call to a named function. Arguments are evaluated left to right;
+    /// the result, if any, is written to `dst`.
+    ///
+    /// Register state is per-activation in this model (see the crate
+    /// documentation of `vpo-sim`), so a call *defines* `dst`, *uses* the
+    /// argument expressions, and may read and write any global memory.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions (registers or constants once legalized).
+        args: Vec<Expr>,
+        /// Result register, if the callee's value is used.
+        dst: Option<Reg>,
+    },
+    /// Return from the function, optionally with a value.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Assign { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction writes the condition code `IC`.
+    pub fn defs_cc(&self) -> bool {
+        matches!(self, Inst::Compare { .. })
+    }
+
+    /// Whether this instruction reads the condition code `IC`.
+    pub fn uses_cc(&self) -> bool {
+        matches!(self, Inst::CondBranch { .. })
+    }
+
+    /// Collects every register read by this instruction into `out`.
+    pub fn collect_uses(&self, out: &mut Vec<Reg>) {
+        match self {
+            Inst::Assign { src, .. } => src.collect_regs(out),
+            Inst::Store { addr, src, .. } => {
+                addr.collect_regs(out);
+                src.collect_regs(out);
+            }
+            Inst::Compare { lhs, rhs } => {
+                lhs.collect_regs(out);
+                rhs.collect_regs(out);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    a.collect_regs(out);
+                }
+            }
+            Inst::Return { value } => {
+                if let Some(v) = value {
+                    v.collect_regs(out);
+                }
+            }
+            Inst::CondBranch { .. } | Inst::Jump { .. } => {}
+        }
+    }
+
+    /// Calls `f` on every expression operand of the instruction.
+    pub fn visit_exprs<F: FnMut(&Expr)>(&self, f: &mut F) {
+        match self {
+            Inst::Assign { src, .. } => f(src),
+            Inst::Store { addr, src, .. } => {
+                f(addr);
+                f(src);
+            }
+            Inst::Compare { lhs, rhs } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Inst::Return { value } => {
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+            Inst::CondBranch { .. } | Inst::Jump { .. } => {}
+        }
+    }
+
+    /// Calls `f` on every expression operand of the instruction, mutably.
+    pub fn visit_exprs_mut<F: FnMut(&mut Expr)>(&mut self, f: &mut F) {
+        match self {
+            Inst::Assign { src, .. } => f(src),
+            Inst::Store { addr, src, .. } => {
+                f(addr);
+                f(src);
+            }
+            Inst::Compare { lhs, rhs } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Inst::Return { value } => {
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+            Inst::CondBranch { .. } | Inst::Jump { .. } => {}
+        }
+    }
+
+    /// Whether this instruction uses register `r` (in any operand).
+    pub fn uses_reg(&self, r: Reg) -> bool {
+        let mut used = false;
+        self.visit_exprs(&mut |e| {
+            if e.uses_reg(r) {
+                used = true;
+            }
+        });
+        used
+    }
+
+    /// Replaces every use of register `from` with the expression `to`,
+    /// returning the number of replacements.
+    pub fn substitute_reg_uses(&mut self, from: Reg, to: &Expr) -> usize {
+        let mut n = 0;
+        self.visit_exprs_mut(&mut |e| n += e.substitute_reg(from, to));
+        n
+    }
+
+    /// Whether this instruction may write to memory.
+    pub fn writes_memory(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Call { .. })
+    }
+
+    /// Whether this instruction may read from memory.
+    pub fn reads_memory(&self) -> bool {
+        let mut reads = matches!(self, Inst::Call { .. });
+        self.visit_exprs(&mut |e| {
+            if e.reads_memory() {
+                reads = true;
+            }
+        });
+        reads
+    }
+
+    /// Whether the instruction is a control transfer (ends or redirects the
+    /// instruction stream).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::CondBranch { .. } | Inst::Jump { .. } | Inst::Return { .. }
+        )
+    }
+
+    /// Whether the instruction is a *barrier*: control never falls through
+    /// to the instruction after it.
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, Inst::Jump { .. } | Inst::Return { .. })
+    }
+
+    /// The branch/jump target, if the instruction has one.
+    pub fn target(&self) -> Option<Label> {
+        match self {
+            Inst::CondBranch { target, .. } | Inst::Jump { target } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch/jump target through `f`.
+    pub fn retarget<F: FnOnce(Label) -> Label>(&mut self, f: F) {
+        match self {
+            Inst::CondBranch { target, .. } | Inst::Jump { target } => *target = f(*target),
+            _ => {}
+        }
+    }
+
+    /// Whether the instruction has an observable side effect even if its
+    /// result is unused (stores, calls, control transfers, compares that
+    /// feed a live branch are handled separately by liveness).
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::Call { .. }
+                | Inst::CondBranch { .. }
+                | Inst::Jump { .. }
+                | Inst::Return { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn r(i: u16) -> Reg {
+        Reg::pseudo(i)
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Inst::Assign {
+            dst: r(0),
+            src: Expr::bin(BinOp::Add, Expr::Reg(r(1)), Expr::Reg(r(2))),
+        };
+        assert_eq!(i.def(), Some(r(0)));
+        let mut uses = Vec::new();
+        i.collect_uses(&mut uses);
+        assert_eq!(uses, vec![r(1), r(2)]);
+        assert!(!i.has_side_effect());
+    }
+
+    #[test]
+    fn cc_def_use() {
+        let cmp = Inst::Compare { lhs: Expr::Reg(r(0)), rhs: Expr::Const(0) };
+        let br = Inst::CondBranch { cond: Cond::Lt, target: Label(3) };
+        assert!(cmp.defs_cc() && !cmp.uses_cc());
+        assert!(br.uses_cc() && !br.defs_cc());
+        assert_eq!(br.target(), Some(Label(3)));
+    }
+
+    #[test]
+    fn substitution_rewrites_store_operands() {
+        let mut st = Inst::Store {
+            width: Width::Word,
+            addr: Expr::Reg(r(5)),
+            src: Expr::Reg(r(5)),
+        };
+        let n = st.substitute_reg_uses(r(5), &Expr::Const(64));
+        assert_eq!(n, 2);
+        assert!(!st.uses_reg(r(5)));
+    }
+
+    #[test]
+    fn barrier_classification() {
+        assert!(Inst::Jump { target: Label(0) }.is_barrier());
+        assert!(Inst::Return { value: None }.is_barrier());
+        assert!(!Inst::CondBranch { cond: Cond::Eq, target: Label(0) }.is_barrier());
+        assert!(Inst::CondBranch { cond: Cond::Eq, target: Label(0) }.is_control());
+    }
+
+    #[test]
+    fn call_reads_and_writes_memory() {
+        let c = Inst::Call { callee: "f".into(), args: vec![], dst: None };
+        assert!(c.reads_memory());
+        assert!(c.writes_memory());
+    }
+}

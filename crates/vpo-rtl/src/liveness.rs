@@ -1,0 +1,336 @@
+//! Backward liveness dataflow over registers, the condition code, and
+//! register-allocatable local slots.
+//!
+//! A single *universe* of trackable items is built per function so one
+//! analysis serves dead-assignment elimination (`h`), register allocation
+//! (`k`), code motion legality checks, and the evaluation-order phase (`o`).
+
+use std::collections::HashMap;
+
+use crate::cfg::Cfg;
+use crate::expr::Expr;
+use crate::function::{Function, LocalId};
+use crate::inst::Inst;
+use crate::Reg;
+
+/// A dataflow item: a register, the condition code, or a local slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Item {
+    /// A machine register (pseudo or hard).
+    Reg(Reg),
+    /// The condition code `IC` written by compares, read by branches.
+    Cc,
+    /// A local stack slot, tracked only when its accesses are all direct
+    /// (see [`Function::allocatable_locals`]).
+    Local(LocalId),
+}
+
+/// A fixed-universe bit set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `n` items.
+    pub fn new(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts bit `i`; returns whether the set changed.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        self.words[w] != old
+    }
+
+    /// Removes bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set bit indices, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| (w >> b) & 1 == 1).map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Result of the liveness analysis.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Item universe in index order.
+    pub universe: Vec<Item>,
+    index: HashMap<Item, usize>,
+    /// Per-block live-in sets.
+    pub live_in: Vec<BitSet>,
+    /// Per-block live-out sets.
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Runs the analysis on `f` with the given CFG.
+    ///
+    /// The universe contains every register mentioned in the function, the
+    /// condition code, and every *allocatable* local (others are treated as
+    /// memory, invisible to this analysis).
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let mut universe: Vec<Item> = Vec::new();
+        let mut index: HashMap<Item, usize> = HashMap::new();
+        let add = |it: Item, universe: &mut Vec<Item>, index: &mut HashMap<Item, usize>| {
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(it) {
+                e.insert(universe.len());
+                universe.push(it);
+            }
+        };
+        for r in f.all_regs() {
+            add(Item::Reg(r), &mut universe, &mut index);
+        }
+        for &p in &f.params {
+            add(Item::Reg(p), &mut universe, &mut index);
+        }
+        add(Item::Cc, &mut universe, &mut index);
+        for l in f.allocatable_locals() {
+            add(Item::Local(l), &mut universe, &mut index);
+        }
+        let n = universe.len();
+        let nb = f.blocks.len();
+        let mut live_in = vec![BitSet::new(n); nb];
+        let mut live_out = vec![BitSet::new(n); nb];
+
+        // Precompute per-block gen/kill.
+        let mut gen = vec![BitSet::new(n); nb];
+        let mut kill = vec![BitSet::new(n); nb];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                let (uses, defs) = inst_uses_defs(inst, &index);
+                for u in uses {
+                    if !kill[bi].contains(u) {
+                        gen[bi].insert(u);
+                    }
+                }
+                for d in defs {
+                    kill[bi].insert(d);
+                }
+            }
+        }
+
+        // Iterate to fixpoint, backward.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..nb).rev() {
+                let mut out = BitSet::new(n);
+                for &s in &cfg.succs[bi] {
+                    out.union_with(&live_in[s]);
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                }
+                let mut inn = live_out[bi].clone();
+                for k in kill[bi].iter() {
+                    inn.remove(k);
+                }
+                inn.union_with(&gen[bi]);
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { universe, index, live_in, live_out }
+    }
+
+    /// Index of an item in the universe, if tracked.
+    pub fn index_of(&self, it: Item) -> Option<usize> {
+        self.index.get(&it).copied()
+    }
+
+    /// Walks block `bi` of `f` backwards, yielding for each instruction the
+    /// set of items live *after* it executes. The callback receives
+    /// `(inst_index, &inst, live_after)`.
+    pub fn for_each_inst_backward<F>(&self, f: &Function, bi: usize, mut cb: F)
+    where
+        F: FnMut(usize, &Inst, &BitSet),
+    {
+        let mut live = self.live_out[bi].clone();
+        for (ii, inst) in f.blocks[bi].insts.iter().enumerate().rev() {
+            cb(ii, inst, &live);
+            let (uses, defs) = inst_uses_defs(inst, &self.index);
+            for d in defs {
+                live.remove(d);
+            }
+            for u in uses {
+                live.insert(u);
+            }
+        }
+    }
+
+    /// Computes, for block `bi`, the live-after set at each instruction
+    /// position (index `i` holds the set live after `insts[i]`).
+    pub fn live_after_sets(&self, f: &Function, bi: usize) -> Vec<BitSet> {
+        let nb = f.blocks[bi].insts.len();
+        let mut out = vec![BitSet::new(self.universe.len()); nb];
+        self.for_each_inst_backward(f, bi, |ii, _inst, live| {
+            out[ii] = live.clone();
+        });
+        out
+    }
+}
+
+/// Extracts the (uses, defs) item indices of one instruction. Items not in
+/// the universe (e.g. non-allocatable locals) are ignored.
+pub fn inst_uses_defs(inst: &Inst, index: &HashMap<Item, usize>) -> (Vec<usize>, Vec<usize>) {
+    let mut uses = Vec::new();
+    let mut defs = Vec::new();
+    let use_item = |it: Item, uses: &mut Vec<usize>| {
+        if let Some(&i) = index.get(&it) {
+            uses.push(i);
+        }
+    };
+    // Register uses, plus direct local loads.
+    let mut regs = Vec::new();
+    inst.collect_uses(&mut regs);
+    for r in regs {
+        use_item(Item::Reg(r), &mut uses);
+    }
+    inst.visit_exprs(&mut |e| {
+        e.visit(&mut |sub| {
+            if let Expr::Load(_, a) = sub {
+                if let Expr::LocalAddr(id) = &**a {
+                    if let Some(&i) = index.get(&Item::Local(*id)) {
+                        uses.push(i);
+                    }
+                }
+            }
+        });
+    });
+    if inst.uses_cc() {
+        use_item(Item::Cc, &mut uses);
+    }
+    if let Some(d) = inst.def() {
+        if let Some(&i) = index.get(&Item::Reg(d)) {
+            defs.push(i);
+        }
+    }
+    if inst.defs_cc() {
+        if let Some(&i) = index.get(&Item::Cc) {
+            defs.push(i);
+        }
+    }
+    if let Inst::Store { addr: Expr::LocalAddr(id), .. } = inst {
+        if let Some(&i) = index.get(&Item::Local(*id)) {
+            defs.push(i);
+        }
+    }
+    (uses, defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::expr::{BinOp, Cond, Width};
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(64));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn loop_variable_is_live_around_backedge() {
+        let mut b = FunctionBuilder::new("l");
+        let i = b.reg();
+        let body = b.new_label();
+        b.assign(i, Expr::Const(0));
+        b.start_block(body);
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.compare(Expr::Reg(i), Expr::Const(10));
+        b.cond_branch(Cond::Lt, body);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let bi = cfg.index_of[&body];
+        let ri = lv.index_of(Item::Reg(i)).unwrap();
+        assert!(lv.live_in[bi].contains(ri));
+        assert!(lv.live_out[bi].contains(ri));
+        // CC is not live across the back edge (defined before use in-block).
+        let cc = lv.index_of(Item::Cc).unwrap();
+        assert!(!lv.live_in[bi].contains(cc));
+    }
+
+    #[test]
+    fn dead_def_is_not_live() {
+        let mut b = FunctionBuilder::new("d");
+        let x = b.reg();
+        let y = b.reg();
+        b.assign(x, Expr::Const(1));
+        b.assign(y, Expr::Const(2));
+        b.ret(Some(Expr::Reg(y)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let after = lv.live_after_sets(&f, 0);
+        let xi = lv.index_of(Item::Reg(x)).unwrap();
+        let yi = lv.index_of(Item::Reg(y)).unwrap();
+        // After inst 0 (x=1): x is dead (never used), y not yet defined.
+        assert!(!after[0].contains(xi));
+        // After inst 1 (y=2): y is live (used by return).
+        assert!(after[1].contains(yi));
+    }
+
+    #[test]
+    fn local_slot_liveness() {
+        let mut b = FunctionBuilder::new("s");
+        let v = b.local("v", 4);
+        let r = b.reg();
+        let out = b.reg();
+        b.store(Width::Word, Expr::LocalAddr(v), Expr::Const(3));
+        b.assign(r, Expr::load(Width::Word, Expr::LocalAddr(v)));
+        b.assign(out, Expr::bin(BinOp::Add, Expr::Reg(r), Expr::Const(1)));
+        b.ret(Some(Expr::Reg(out)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let li = lv.index_of(Item::Local(v)).expect("local tracked");
+        let after = lv.live_after_sets(&f, 0);
+        // Live between the store and the load.
+        assert!(after[0].contains(li));
+        assert!(!after[1].contains(li));
+    }
+}

@@ -1,0 +1,183 @@
+//! Natural-loop detection via back edges in the dominator tree.
+//!
+//! Loop structure drives the paper's `Loop` statistic (Table 3) and the
+//! loop-oriented phases: unrolling (`g`), loop transformations (`l`), and
+//! minimize loop jumps (`j`).
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+
+/// A natural loop: the header block plus every block that can reach the
+/// back edge without passing through the header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Header block index (the target of the back edge).
+    pub header: usize,
+    /// Source blocks of back edges into `header` that belong to this loop.
+    pub latches: Vec<usize>,
+    /// All member block indices, including the header, ascending.
+    pub body: Vec<usize>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: usize,
+}
+
+impl NaturalLoop {
+    /// Whether the loop contains block `b`.
+    pub fn contains(&self, b: usize) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// Finds all natural loops of the function's CFG. Back edges with the same
+/// header are merged into a single loop, following the usual convention.
+/// Loops are returned ordered by descending depth (innermost first), which
+/// is the application order the paper prescribes for loop transformations.
+pub fn find_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let dom = Dominators::compute(cfg);
+    let reachable = cfg.reachable();
+    // Collect back edges grouped by header.
+    let mut by_header: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (b, reached) in reachable.iter().enumerate() {
+        if !reached {
+            continue;
+        }
+        for &s in &cfg.succs[b] {
+            if dom.dominates(s, b) {
+                by_header.entry(s).or_default().push(b);
+            }
+        }
+    }
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for (header, latches) in by_header {
+        let mut body: BTreeSet<usize> = BTreeSet::new();
+        body.insert(header);
+        let mut stack: Vec<usize> = Vec::new();
+        for &l in &latches {
+            // Seed the body walk from every latch except a self-looping
+            // header (whose predecessors are explored like anyone else's).
+            body.insert(l);
+            if l != header {
+                stack.push(l);
+            }
+        }
+        while let Some(b) = stack.pop() {
+            if b == header {
+                continue;
+            }
+            for &p in &cfg.preds[b] {
+                if reachable[p] && body.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        loops.push(NaturalLoop {
+            header,
+            latches,
+            body: body.into_iter().collect(),
+            depth: 0,
+        });
+    }
+    // Nesting depth: a loop's depth is 1 + number of other loops strictly
+    // containing its header and body.
+    let snapshots: Vec<(usize, Vec<usize>)> =
+        loops.iter().map(|l| (l.header, l.body.clone())).collect();
+    for l in &mut loops {
+        let mut depth = 1;
+        for (h, body) in &snapshots {
+            if *h != l.header
+                && body.binary_search(&l.header).is_ok()
+                && l.body.iter().all(|b| body.binary_search(b).is_ok())
+            {
+                depth += 1;
+            }
+        }
+        l.depth = depth;
+    }
+    loops.sort_by(|a, b| b.depth.cmp(&a.depth).then(a.header.cmp(&b.header)));
+    loops
+}
+
+/// The number of loops in a function (the paper's `Loop` column).
+pub fn loop_count(cfg: &Cfg) -> usize {
+    find_loops(cfg).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::expr::{BinOp, Cond, Expr};
+    use crate::function::Function;
+
+    fn nested_loops() -> Function {
+        // for i { for j { } }
+        let mut b = FunctionBuilder::new("n");
+        let i = b.reg();
+        let j = b.reg();
+        let outer = b.new_label();
+        let inner = b.new_label();
+        let inner_exit = b.new_label();
+        let exit = b.new_label();
+        b.assign(i, Expr::Const(0));
+        b.start_block(outer);
+        b.compare(Expr::Reg(i), Expr::Const(10));
+        b.cond_branch(Cond::Ge, exit);
+        b.assign(j, Expr::Const(0));
+        b.start_block(inner);
+        b.compare(Expr::Reg(j), Expr::Const(10));
+        b.cond_branch(Cond::Ge, inner_exit);
+        b.assign(j, Expr::bin(BinOp::Add, Expr::Reg(j), Expr::Const(1)));
+        b.jump(inner);
+        b.start_block(inner_exit);
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.jump(outer);
+        b.start_block(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_nested_loops_with_depths() {
+        let f = nested_loops();
+        let cfg = Cfg::build(&f);
+        let loops = find_loops(&cfg);
+        assert_eq!(loops.len(), 2);
+        // Innermost first.
+        assert_eq!(loops[0].depth, 2);
+        assert_eq!(loops[1].depth, 1);
+        // Inner loop body is contained in outer loop body.
+        for b in &loops[0].body {
+            assert!(loops[1].contains(*b));
+        }
+        assert_eq!(loop_count(&cfg), 2);
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut b = FunctionBuilder::new("s");
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        assert!(find_loops(&cfg).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.param();
+        let l = b.new_label();
+        b.start_block(l);
+        b.assign(x, Expr::bin(BinOp::Sub, Expr::Reg(x), Expr::Const(1)));
+        b.compare(Expr::Reg(x), Expr::Const(0));
+        b.cond_branch(Cond::Gt, l);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let loops = find_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].body.len(), 1);
+        assert_eq!(loops[0].latches, vec![loops[0].header]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the vpo-rtl core data structures: the liveness
+//! bitset against a HashSet model, and the CRC against incremental
+//! composition over arbitrary splits.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use vpo_rtl::crc::{crc32, Crc32};
+use vpo_rtl::liveness::BitSet;
+
+proptest! {
+    #[test]
+    fn bitset_matches_hashset_model(
+        ops in proptest::collection::vec((0usize..200, proptest::bool::ANY), 0..200),
+    ) {
+        let mut bs = BitSet::new(200);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (i, insert) in ops {
+            if insert {
+                let changed = bs.insert(i);
+                prop_assert_eq!(changed, model.insert(i));
+            } else {
+                bs.remove(i);
+                model.remove(&i);
+            }
+            prop_assert_eq!(bs.count(), model.len());
+        }
+        for i in 0..200 {
+            prop_assert_eq!(bs.contains(i), model.contains(&i), "bit {}", i);
+        }
+        let mut listed: Vec<usize> = bs.iter().collect();
+        let mut expect: Vec<usize> = model.into_iter().collect();
+        listed.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(listed, expect);
+    }
+
+    #[test]
+    fn bitset_union_matches_model(
+        a in proptest::collection::hash_set(0usize..128, 0..60),
+        b in proptest::collection::hash_set(0usize..128, 0..60),
+    ) {
+        let mut ba = BitSet::new(128);
+        let mut bb = BitSet::new(128);
+        for &i in &a { ba.insert(i); }
+        for &i in &b { bb.insert(i); }
+        let should_change = !b.is_subset(&a);
+        let changed = ba.union_with(&bb);
+        prop_assert_eq!(changed, should_change);
+        let union: HashSet<usize> = a.union(&b).copied().collect();
+        for i in 0..128 {
+            prop_assert_eq!(ba.contains(i), union.contains(&i));
+        }
+    }
+
+    #[test]
+    fn crc_incremental_equals_oneshot(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Crc32::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn crc_detects_single_byte_changes(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 1..256),
+        pos in 0usize..256,
+        delta in 1u8..=255,
+    ) {
+        let pos = pos % data.len();
+        let mut tweaked = data.clone();
+        tweaked[pos] = tweaked[pos].wrapping_add(delta);
+        prop_assert_ne!(crc32(&data), crc32(&tweaked));
+    }
+
+    #[test]
+    fn crc_detects_adjacent_swaps(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 2..256),
+        pos in 0usize..256,
+    ) {
+        let pos = pos % (data.len() - 1);
+        prop_assume!(data[pos] != data[pos + 1]);
+        let mut swapped = data.clone();
+        swapped.swap(pos, pos + 1);
+        // The order-sensitivity the paper relies on.
+        prop_assert_ne!(crc32(&data), crc32(&swapped));
+    }
+}

@@ -1,0 +1,747 @@
+//! RTL interpreter with dynamic instruction counting.
+//!
+//! The paper's eventual measure of execution efficiency is the *dynamic
+//! instruction count* ("Dynamic instruction counts, unlike cycle counts,
+//! are a crude approximation of execution efficiency", Section 7) — this
+//! crate provides exactly that substrate: a deterministic interpreter for
+//! RTL [`Program`]s that executes function instances produced by **any**
+//! phase ordering and counts every executed instruction.
+//!
+//! Two modelling choices are worth knowing:
+//!
+//! * **Per-activation register state.** Each call frame has its own
+//!   register file, so a call defines only its result register in the
+//!   caller. This matches how the optimizer models calls and sidesteps
+//!   caller-/callee-save conventions without weakening any phase
+//!   interaction (calls still clobber memory).
+//! * **Flat little-endian memory.** Globals are laid out from a fixed
+//!   base; each frame's locals are carved from a downward-growing stack.
+//!   `HI[sym]`/`LO[sym]` split the global's address exactly like the
+//!   ARM idiom the paper shows in Figure 5.
+//!
+//! # Example
+//!
+//! ```
+//! let program = vpo_frontend::compile(
+//!     "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }",
+//! ).unwrap();
+//! let mut m = vpo_sim::Machine::new(&program);
+//! assert_eq!(m.call("fact", &[5]).unwrap(), 120);
+//! assert!(m.dynamic_insts() > 0);
+//! ```
+
+use std::collections::HashMap;
+
+use vpo_rtl::{BinOp, Expr, Function, Inst, Program, Reg, SymId, Width};
+
+/// Simulator errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Integer division or remainder by zero (or `INT_MIN / -1`).
+    DivideByZero {
+        /// Function in which the trap occurred.
+        function: String,
+    },
+    /// A memory access outside the allocated address space.
+    BadAddress {
+        /// The offending address.
+        addr: u32,
+        /// Function in which the access occurred.
+        function: String,
+    },
+    /// Shift amount outside `0..32` (undefined on the modelled target).
+    BadShift {
+        /// The offending shift amount.
+        amount: i32,
+    },
+    /// Call to a function not present in the program.
+    UnknownFunction(String),
+    /// The configured instruction budget was exhausted (runaway loop).
+    OutOfFuel,
+    /// Call stack exceeded the configured depth.
+    StackOverflow,
+    /// The stack region was exhausted by local allocations.
+    OutOfStack,
+    /// A function fell off its last block without returning.
+    MissingReturn(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::DivideByZero { function } => {
+                write!(f, "division by zero in `{function}`")
+            }
+            SimError::BadAddress { addr, function } => {
+                write!(f, "bad memory access at {addr:#x} in `{function}`")
+            }
+            SimError::BadShift { amount } => write!(f, "shift by {amount} is undefined"),
+            SimError::UnknownFunction(n) => write!(f, "call to unknown function `{n}`"),
+            SimError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            SimError::StackOverflow => write!(f, "call stack overflow"),
+            SimError::OutOfStack => write!(f, "stack region exhausted"),
+            SimError::MissingReturn(n) => write!(f, "function `{n}` fell off the end"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Address where the globals segment starts.
+const GLOBAL_BASE: u32 = 0x1000;
+/// Default memory size (globals + heap-less stack).
+const DEFAULT_MEM: usize = 1 << 20;
+/// Default dynamic-instruction budget.
+const DEFAULT_FUEL: u64 = 200_000_000;
+/// Default maximum call depth.
+const MAX_DEPTH: usize = 256;
+
+/// An RTL machine: memory, globals layout, and instruction counters.
+#[derive(Clone)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    mem: Vec<u8>,
+    global_addr: Vec<u32>,
+    stack_top: u32,
+    dynamic: u64,
+    fuel: u64,
+    functions: HashMap<&'p str, &'p Function>,
+    /// Per-block entry counters for the *outermost* frame of
+    /// [`Machine::call_instance_counted`], if one is active.
+    block_counts: Option<Vec<u64>>,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine for `program` with default memory and fuel, and
+    /// initializes global storage.
+    pub fn new(program: &'p Program) -> Self {
+        let mut m = Machine {
+            program,
+            mem: vec![0; DEFAULT_MEM],
+            global_addr: Vec::new(),
+            stack_top: DEFAULT_MEM as u32,
+            dynamic: 0,
+            fuel: DEFAULT_FUEL,
+            functions: program.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
+            block_counts: None,
+        };
+        m.layout_globals();
+        m
+    }
+
+    /// Replaces the instruction budget (default 200M).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn dynamic_insts(&self) -> u64 {
+        self.dynamic
+    }
+
+    /// Resets memory (re-initializing globals) and the dynamic counter.
+    pub fn reset(&mut self) {
+        self.mem.iter_mut().for_each(|b| *b = 0);
+        self.layout_globals();
+        self.dynamic = 0;
+    }
+
+    fn layout_globals(&mut self) {
+        self.global_addr.clear();
+        let mut addr = GLOBAL_BASE;
+        for g in &self.program.globals {
+            // Word-align each global.
+            addr = (addr + 3) & !3;
+            self.global_addr.push(addr);
+            let base = addr as usize;
+            if !g.init_bytes.is_empty() {
+                self.mem[base..base + g.init_bytes.len()].copy_from_slice(&g.init_bytes);
+            } else {
+                for (i, w) in g.init.iter().enumerate() {
+                    self.mem[base + 4 * i..base + 4 * i + 4]
+                        .copy_from_slice(&w.to_le_bytes());
+                }
+            }
+            addr += g.size.max(1);
+        }
+        assert!(
+            (addr as usize) < self.mem.len() / 2,
+            "globals overflow the memory image"
+        );
+    }
+
+    /// Address of a global by symbol id.
+    pub fn global_address(&self, sym: SymId) -> u32 {
+        self.global_addr[sym.0 as usize]
+    }
+
+    /// Reads word `index` of the named global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist or the access is out of range.
+    pub fn read_global_word(&self, name: &str, index: usize) -> i32 {
+        let sym = self.program.global_by_name(name).expect("global exists");
+        let base = self.global_addr[sym.0 as usize] as usize + 4 * index;
+        i32::from_le_bytes(self.mem[base..base + 4].try_into().unwrap())
+    }
+
+    /// Writes word `index` of the named global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist or the access is out of range.
+    pub fn write_global_word(&mut self, name: &str, index: usize, value: i32) {
+        let sym = self.program.global_by_name(name).expect("global exists");
+        let base = self.global_addr[sym.0 as usize] as usize + 4 * index;
+        self.mem[base..base + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads byte `index` of the named global (for `char` arrays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist or the access is out of range.
+    pub fn read_global_byte(&self, name: &str, index: usize) -> u8 {
+        let sym = self.program.global_by_name(name).expect("global exists");
+        self.mem[self.global_addr[sym.0 as usize] as usize + index]
+    }
+
+    /// Writes raw bytes into the named global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist or the data does not fit.
+    pub fn write_global_bytes(&mut self, name: &str, data: &[u8]) {
+        let sym = self.program.global_by_name(name).expect("global exists");
+        let base = self.global_addr[sym.0 as usize] as usize;
+        self.mem[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Calls function `name` with `args`, returning its value (functions
+    /// without an explicit value return 0).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution; memory contents at that
+    /// point are left as they were (useful for debugging).
+    pub fn call(&mut self, name: &str, args: &[i32]) -> Result<i32, SimError> {
+        let stack_top = self.stack_top;
+        let r = self.call_inner(name, args, 0);
+        self.stack_top = stack_top;
+        r
+    }
+
+    /// Calls a specific function *instance* (e.g. one produced by a custom
+    /// phase ordering) instead of the program's own copy. Other functions
+    /// called by `f` still resolve through the program.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::call`].
+    pub fn call_instance(&mut self, f: &Function, args: &[i32]) -> Result<i32, SimError> {
+        let stack_top = self.stack_top;
+        let r = self.exec(f, args, 0);
+        self.stack_top = stack_top;
+        r
+    }
+
+    /// Like [`Machine::call_instance`], but additionally returns how many
+    /// times each basic block of `f` was *entered* (indexed by block
+    /// position). This is the measurement behind the paper's Section 7
+    /// idea: instances sharing a control flow execute their corresponding
+    /// blocks the same number of times, so one execution per distinct
+    /// control flow suffices to infer every instance's dynamic count as
+    /// `Σ entries(block) × len(block)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::call`].
+    pub fn call_instance_counted(
+        &mut self,
+        f: &Function,
+        args: &[i32],
+    ) -> Result<(i32, Vec<u64>), SimError> {
+        let stack_top = self.stack_top;
+        let mut counts = vec![0u64; f.blocks.len()];
+        self.block_counts = Some(std::mem::take(&mut counts));
+        let r = self.exec(f, args, 0);
+        let counts = self.block_counts.take().unwrap_or_default();
+        self.stack_top = stack_top;
+        Ok((r?, counts))
+    }
+
+    fn call_inner(&mut self, name: &str, args: &[i32], depth: usize) -> Result<i32, SimError> {
+        let Some(&f) = self.functions.get(name) else {
+            return Err(SimError::UnknownFunction(name.to_owned()));
+        };
+        self.exec(f, args, depth)
+    }
+
+    fn exec(&mut self, f: &Function, args: &[i32], depth: usize) -> Result<i32, SimError> {
+        if depth > MAX_DEPTH {
+            return Err(SimError::StackOverflow);
+        }
+        // Frame layout: locals carved from the stack.
+        let frame_size: u32 = f.locals.iter().map(|l| (l.size + 3) & !3).sum();
+        if frame_size + 64 > self.stack_top {
+            return Err(SimError::OutOfStack);
+        }
+        let frame_base = self.stack_top - frame_size;
+        let saved_top = self.stack_top;
+        self.stack_top = frame_base;
+        let mut local_addr = Vec::with_capacity(f.locals.len());
+        {
+            let mut a = frame_base;
+            for l in &f.locals {
+                local_addr.push(a);
+                a += (l.size + 3) & !3;
+            }
+        }
+
+        let mut frame = Frame {
+            regs: HashMap::new(),
+            cc: (0, 0),
+            local_addr,
+        };
+        // The stack pointer convention for *finalized* code (the fix
+        // entry/exit phase): register 13 starts at the frame's upper bound,
+        // so `r13 - frame_size` addresses exactly the region this
+        // interpreter reserved for the locals. Unfinalized code never
+        // touches r13 (it is outside the allocatable range).
+        frame.regs.insert(Reg::hard(13), saved_top as i32);
+        for (i, &p) in f.params.iter().enumerate() {
+            frame.regs.insert(p, args.get(i).copied().unwrap_or(0));
+        }
+
+        let mut bi = 0usize;
+        let mut ii = 0usize;
+        let counting = depth == 0 && self.block_counts.is_some();
+        if counting {
+            if let Some(c) = self.block_counts.as_mut() {
+                if let Some(slot) = c.get_mut(0) {
+                    *slot += 1;
+                }
+            }
+        }
+        let result = loop {
+            let Some(block) = f.blocks.get(bi) else {
+                break Err(SimError::MissingReturn(f.name.clone()));
+            };
+            let Some(inst) = block.insts.get(ii) else {
+                // Fall through to the next positional block.
+                bi += 1;
+                ii = 0;
+                if counting {
+                    if let Some(c) = self.block_counts.as_mut() {
+                        if let Some(slot) = c.get_mut(bi) {
+                            *slot += 1;
+                        }
+                    }
+                }
+                continue;
+            };
+            if self.dynamic >= self.fuel {
+                break Err(SimError::OutOfFuel);
+            }
+            self.dynamic += 1;
+            ii += 1;
+            match inst {
+                Inst::Assign { dst, src } => {
+                    let v = self.eval(src, &frame, f)?;
+                    frame.regs.insert(*dst, v);
+                }
+                Inst::Store { width, addr, src } => {
+                    let a = self.eval(addr, &frame, f)? as u32;
+                    let v = self.eval(src, &frame, f)?;
+                    self.write(a, v, *width, f)?;
+                }
+                Inst::Compare { lhs, rhs } => {
+                    let a = self.eval(lhs, &frame, f)?;
+                    let b = self.eval(rhs, &frame, f)?;
+                    frame.cc = (a, b);
+                }
+                Inst::CondBranch { cond, target } => {
+                    if cond.eval(frame.cc.0, frame.cc.1) {
+                        bi = f.block_index(*target).expect("dangling branch target");
+                        ii = 0;
+                        if counting {
+                            if let Some(c) = self.block_counts.as_mut() {
+                                c[bi] += 1;
+                            }
+                        }
+                    }
+                }
+                Inst::Jump { target } => {
+                    bi = f.block_index(*target).expect("dangling jump target");
+                    ii = 0;
+                    if counting {
+                        if let Some(c) = self.block_counts.as_mut() {
+                            c[bi] += 1;
+                        }
+                    }
+                }
+                Inst::Call { callee, args: call_args, dst } => {
+                    let mut vals = Vec::with_capacity(call_args.len());
+                    for a in call_args {
+                        vals.push(self.eval(a, &frame, f)?);
+                    }
+                    let r = self.call_inner(callee, &vals, depth + 1)?;
+                    if let Some(d) = dst {
+                        frame.regs.insert(*d, r);
+                    }
+                }
+                Inst::Return { value } => {
+                    let v = match value {
+                        Some(e) => self.eval(e, &frame, f)?,
+                        None => 0,
+                    };
+                    break Ok(v);
+                }
+            }
+        };
+        self.stack_top = saved_top;
+        result
+    }
+
+    fn eval(&self, e: &Expr, frame: &Frame, f: &Function) -> Result<i32, SimError> {
+        Ok(match e {
+            Expr::Reg(r) => frame.regs.get(r).copied().unwrap_or(0),
+            Expr::Const(c) => *c as i32,
+            Expr::Hi(sym) => (self.global_addr[sym.0 as usize] & !0xFFF) as i32,
+            Expr::Lo(sym) => (self.global_addr[sym.0 as usize] & 0xFFF) as i32,
+            Expr::LocalAddr(l) => frame.local_addr[l.0 as usize] as i32,
+            Expr::Un(op, a) => op.eval(self.eval(a, frame, f)?),
+            Expr::Bin(op, a, b) => {
+                let x = self.eval(a, frame, f)?;
+                let y = self.eval(b, frame, f)?;
+                match op.eval(x, y) {
+                    Some(v) => v,
+                    None => {
+                        return Err(match op {
+                            BinOp::Div | BinOp::Rem => {
+                                SimError::DivideByZero { function: f.name.clone() }
+                            }
+                            _ => SimError::BadShift { amount: y },
+                        })
+                    }
+                }
+            }
+            Expr::Load(width, a) => {
+                let addr = self.eval(a, frame, f)? as u32;
+                self.read(addr, *width, f)?
+            }
+        })
+    }
+
+    fn read(&self, addr: u32, width: Width, f: &Function) -> Result<i32, SimError> {
+        let a = addr as usize;
+        match width {
+            Width::Byte => self
+                .mem
+                .get(a)
+                .map(|&b| b as i32)
+                .ok_or(SimError::BadAddress { addr, function: f.name.clone() }),
+            Width::Word => {
+                if a + 4 <= self.mem.len() {
+                    Ok(i32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
+                } else {
+                    Err(SimError::BadAddress { addr, function: f.name.clone() })
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, addr: u32, v: i32, width: Width, f: &Function) -> Result<(), SimError> {
+        let a = addr as usize;
+        match width {
+            Width::Byte => match self.mem.get_mut(a) {
+                Some(b) => {
+                    *b = v as u8;
+                    Ok(())
+                }
+                None => Err(SimError::BadAddress { addr, function: f.name.clone() }),
+            },
+            Width::Word => {
+                if a + 4 <= self.mem.len() {
+                    self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes());
+                    Ok(())
+                } else {
+                    Err(SimError::BadAddress { addr, function: f.name.clone() })
+                }
+            }
+        }
+    }
+}
+
+struct Frame {
+    regs: HashMap<Reg, i32>,
+    cc: (i32, i32),
+    local_addr: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_frontend::compile;
+
+    fn run(src: &str, func: &str, args: &[i32]) -> i32 {
+        let p = compile(src).unwrap();
+        let mut m = Machine::new(&p);
+        m.call(func, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let src = r#"
+            int add(int a, int b) { return a + b; }
+            int twice(int x) { return add(x, x); }
+        "#;
+        assert_eq!(run(src, "twice", &[21]), 42);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = r#"
+            int data[5] = { 3, 1, 4, 1, 5 };
+            int sum() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 5; i++) s += data[i];
+                return s;
+            }
+        "#;
+        assert_eq!(run(src, "sum", &[]), 14);
+    }
+
+    #[test]
+    fn char_arrays_and_strings() {
+        let src = r#"
+            char text[] = "hello";
+            int length() {
+                int n = 0;
+                while (text[n] != 0) n++;
+                return n;
+            }
+        "#;
+        assert_eq!(run(src, "length", &[]), 5);
+    }
+
+    #[test]
+    fn local_arrays_and_pointers() {
+        let src = r#"
+            int fill(int a[], int n) {
+                int i;
+                for (i = 0; i < n; i++) a[i] = i * i;
+                return a[n - 1];
+            }
+            int driver() {
+                int buf[8];
+                return fill(buf, 8);
+            }
+        "#;
+        assert_eq!(run(src, "driver", &[]), 49);
+    }
+
+    #[test]
+    fn recursion_uses_fresh_frames() {
+        let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
+        assert_eq!(run(src, "fib", &[10]), 55);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let p = compile("int f(int a) { return 10 / a; }").unwrap();
+        let mut m = Machine::new(&p);
+        assert!(matches!(m.call("f", &[0]), Err(SimError::DivideByZero { .. })));
+        assert_eq!(m.call("f", &[2]).unwrap(), 5);
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let p = compile("int f() { while (1) ; return 0; }").unwrap();
+        let mut m = Machine::new(&p);
+        m.set_fuel(10_000);
+        assert_eq!(m.call("f", &[]), Err(SimError::OutOfFuel));
+    }
+
+    #[test]
+    fn dynamic_counts_scale_with_work() {
+        let p = compile(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        m.call("f", &[10]).unwrap();
+        let c10 = m.dynamic_insts();
+        m.reset();
+        m.call("f", &[100]).unwrap();
+        let c100 = m.dynamic_insts();
+        assert!(c100 > 5 * c10);
+    }
+
+    #[test]
+    fn globals_persist_between_calls() {
+        let src = r#"
+            int counter = 0;
+            int bump() { counter = counter + 1; return counter; }
+        "#;
+        let p = compile(src).unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("bump", &[]).unwrap(), 1);
+        assert_eq!(m.call("bump", &[]).unwrap(), 2);
+        assert_eq!(m.read_global_word("counter", 0), 2);
+        m.reset();
+        assert_eq!(m.call("bump", &[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn hi_lo_reconstruct_addresses() {
+        let src = r#"
+            int x = 77;
+            int get() { return x; }
+        "#;
+        let p = compile(src).unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("get", &[]).unwrap(), 77);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let p = compile("int f() { return g(); }").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(
+            m.call("f", &[]),
+            Err(SimError::UnknownFunction("g".to_owned()))
+        );
+    }
+
+    #[test]
+    fn finalized_code_executes_identically() {
+        let src = r#"
+            int f(int n) {
+                int acc = 0;
+                int i;
+                int tmp[4];
+                for (i = 0; i < 4; i++) tmp[i] = n * (i + 1);
+                for (i = 0; i < 4; i++) acc += tmp[i];
+                return acc;
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let target = vpo_opt::Target::default();
+        for stage in 0..2 {
+            let mut f = p.functions[0].clone();
+            if stage == 1 {
+                vpo_opt::batch::batch_compile(&mut f, &target);
+            }
+            let finalized = vpo_opt::finalize::fix_entry_exit(&f, &target);
+            let mut m1 = Machine::new(&p);
+            let a = m1.call_instance(&f, &[7]).unwrap();
+            let mut m2 = Machine::new(&p);
+            let b = m2.call_instance(&finalized, &[7]).unwrap();
+            assert_eq!(a, b, "stage {stage}");
+            assert_eq!(a, 7 * (1 + 2 + 3 + 4));
+        }
+    }
+
+    #[test]
+    fn deep_recursion_overflows_cleanly() {
+        let p = compile("int f(int n) { return f(n + 1); }").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("f", &[0]), Err(SimError::StackOverflow));
+    }
+
+    #[test]
+    fn bad_address_is_reported() {
+        // Index far outside the array: the flat memory model catches the
+        // wild address (negative index on the first global).
+        let p = compile(
+            "int a[4]; int f(int i) { return a[i]; }",
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        assert!(matches!(
+            m.call("f", &[-100_000_000]),
+            Err(SimError::BadAddress { .. })
+        ));
+        assert_eq!(m.call("f", &[2]).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_shift_traps() {
+        let p = compile("int f(int a, int n) { return a << n; }").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("f", &[1, 40]), Err(SimError::BadShift { amount: 40 }));
+        assert_eq!(m.call("f", &[1, 4]).unwrap(), 16);
+    }
+
+    #[test]
+    fn block_counts_reflect_loop_trips() {
+        let p = compile(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        let (r, counts) = m.call_instance_counted(&p.functions[0], &[5]).unwrap();
+        assert_eq!(r, 10);
+        // Entry executes once; some block executes once per iteration.
+        assert_eq!(counts[0], 1);
+        assert!(counts.contains(&5), "no block ran 5 times: {counts:?}");
+        // Total dynamic = sum over blocks of entries * size.
+        let total: u64 = p.functions[0]
+            .blocks
+            .iter()
+            .zip(&counts)
+            .map(|(b, &n)| b.insts.len() as u64 * n)
+            .sum();
+        assert_eq!(total, m.dynamic_insts());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            SimError::DivideByZero { function: "f".into() },
+            SimError::BadAddress { addr: 0xFF, function: "g".into() },
+            SimError::BadShift { amount: 99 },
+            SimError::UnknownFunction("h".into()),
+            SimError::OutOfFuel,
+            SimError::StackOverflow,
+            SimError::OutOfStack,
+            SimError::MissingReturn("k".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_under_batch_optimization() {
+        let src = r#"
+            int data[8] = { 9, 2, 7, 4, 5, 6, 3, 8 };
+            int max() {
+                int best = data[0];
+                int i;
+                for (i = 1; i < 8; i++) {
+                    if (data[i] > best) best = data[i];
+                }
+                return best;
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let mut m = Machine::new(&p);
+        let naive = m.call("max", &[]).unwrap();
+        let naive_count = m.dynamic_insts();
+
+        let mut opt = p.functions[0].clone();
+        let target = vpo_opt::Target::default();
+        vpo_opt::batch::batch_compile(&mut opt, &target);
+        let mut m2 = Machine::new(&p);
+        let fast = m2.call_instance(&opt, &[]).unwrap();
+        assert_eq!(naive, fast);
+        assert!(
+            m2.dynamic_insts() < naive_count / 2,
+            "optimized code should execute far fewer instructions: {} vs {naive_count}",
+            m2.dynamic_insts()
+        );
+    }
+}

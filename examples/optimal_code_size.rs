@@ -1,0 +1,88 @@
+//! "It is now possible to find the optimal phase ordering for some
+//! characteristics. For instance, we are able to find the minimal code
+//! size for most of the functions in our benchmark suite." (Section 8.)
+//!
+//! This example does exactly that for one MiBench benchmark: it compares
+//! the batch compiler's code size against the true optimum found by
+//! exhaustive enumeration, and verifies the optimal instance still
+//! computes the right answers.
+//!
+//! ```text
+//! cargo run --release --example optimal_code_size [benchmark]
+//! ```
+
+use exhaustive_phase_order as epo;
+
+use epo::explore::enumerate::{enumerate, Config};
+use epo::opt::{attempt, batch::batch_compile, Target};
+use epo::sim::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "bitcount".into());
+    let bench = epo::benchmarks::all()
+        .into_iter()
+        .find(|b| b.name == which)
+        .unwrap_or_else(|| panic!("unknown benchmark {which}"));
+    let program = bench.compile()?;
+    let target = Target::default();
+
+    println!(
+        "{:<20} {:>6} {:>6} {:>7} {:>9}",
+        "function", "batch", "best", "worst", "batch-gap"
+    );
+    for f in &program.functions {
+        let e = enumerate(f, &target, &Config::default());
+        if !e.outcome.is_complete() {
+            println!("{:<20} search space too big", f.name);
+            continue;
+        }
+        let mut batch = f.clone();
+        batch_compile(&mut batch, &target);
+        let (best, worst) = e.space.leaf_code_size_range().expect("leaves exist");
+        let gap = batch.inst_count() as i64 - best as i64;
+        println!(
+            "{:<20} {:>6} {:>6} {:>7} {:>8}{}",
+            f.name,
+            batch.inst_count(),
+            best,
+            worst,
+            gap,
+            if gap == 0 { " (optimal!)" } else { "" }
+        );
+
+        // Materialize the optimal instance and check semantics on the
+        // benchmark's workloads.
+        let best_id = e
+            .space
+            .iter()
+            .filter(|(_, n)| n.is_leaf())
+            .min_by_key(|(_, n)| n.inst_count)
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut seq = Vec::new();
+        let mut cur = best_id;
+        while let Some((parent, phase)) = e.space.node(cur).discovered_from {
+            seq.push(phase);
+            cur = parent;
+        }
+        seq.reverse();
+        let mut optimal = f.clone();
+        for &p in &seq {
+            attempt(&mut optimal, p, &target);
+        }
+        for w in bench.workloads_for(&f.name) {
+            let mut m1 = Machine::new(&program);
+            let expected = m1.call(w.function, &w.args)?;
+            let mut m2 = Machine::new(&program);
+            let got = m2.call_instance(&optimal, &w.args)?;
+            assert_eq!(expected, got, "optimal instance of {} misbehaves", f.name);
+            println!(
+                "    verified {}({:?}) = {got} via `{}`",
+                w.function,
+                w.args,
+                seq.iter().map(|p| p.letter()).collect::<String>()
+            );
+        }
+    }
+    Ok(())
+}

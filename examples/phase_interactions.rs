@@ -1,0 +1,72 @@
+//! Mine phase-interaction probabilities (the paper's Section 5) from a
+//! benchmark's exhaustively enumerated spaces and show the strongest
+//! enabling/disabling relationships.
+//!
+//! ```text
+//! cargo run --release --example phase_interactions [benchmark]
+//! ```
+//! `benchmark` defaults to `bitcount`; any of the six suite names works.
+
+use exhaustive_phase_order as epo;
+
+use epo::explore::enumerate::{enumerate, Config};
+use epo::explore::interaction::InteractionAnalysis;
+use epo::opt::{PhaseId, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "bitcount".into());
+    let bench = epo::benchmarks::all()
+        .into_iter()
+        .find(|b| b.name == which)
+        .unwrap_or_else(|| panic!("unknown benchmark {which}"));
+    println!("mining {} ({} category)...", bench.name, bench.category);
+
+    let program = bench.compile()?;
+    let target = Target::default();
+    let mut ia = InteractionAnalysis::new();
+    for f in &program.functions {
+        let e = enumerate(f, &target, &Config::default());
+        if e.outcome.is_complete() {
+            ia.add_space(&e.space);
+            println!("  {}: {} instances", f.name, e.space.len());
+        } else {
+            println!("  {}: too big, skipped", f.name);
+        }
+    }
+
+    println!("\nphases active on unoptimized code:");
+    for p in PhaseId::ALL {
+        if let Some(v) = ia.start_probability(p) {
+            if v > 0.0 {
+                println!("  {} ({:<32}) {v:.2}", p.letter(), p.name());
+            }
+        }
+    }
+
+    println!("\nstrongest enabling relationships (x enables y):");
+    let mut enabling: Vec<(f64, PhaseId, PhaseId)> = Vec::new();
+    for y in PhaseId::ALL {
+        for x in PhaseId::ALL {
+            if x == y {
+                continue;
+            }
+            if let Some(v) = ia.enabling_probability(y, x) {
+                if v >= 0.05 {
+                    enabling.push((v, x, y));
+                }
+            }
+        }
+    }
+    enabling.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (v, x, y) in enabling.iter().take(12) {
+        println!("  {} --enables--> {}  p = {v:.2}", x.letter(), y.letter());
+    }
+
+    println!("\nphases that always disable themselves (each runs to fixpoint):");
+    for p in PhaseId::ALL {
+        if let Some(v) = ia.disabling_probability(p, p) {
+            println!("  d[{}][{}] = {v:.2}", p.letter(), p.letter());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The Section 6 case study as a runnable demo: train the probabilistic
+//! batch compiler on one benchmark's exhaustive enumerations, then compile
+//! another benchmark with it and compare against the conventional batch
+//! loop (attempted phases, code size, dynamic instruction counts).
+//!
+//! ```text
+//! cargo run --release --example probabilistic_compiler
+//! ```
+
+use exhaustive_phase_order as epo;
+
+use epo::explore::enumerate::{enumerate, sequence_letters, Config};
+use epo::explore::interaction::InteractionAnalysis;
+use epo::explore::prob::{probabilistic_compile, ProbTables};
+use epo::opt::batch::batch_compile;
+use epo::opt::Target;
+use epo::sim::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = Target::default();
+
+    // Train on bitcount + stringsearch.
+    let mut ia = InteractionAnalysis::new();
+    for name in ["bitcount", "stringsearch"] {
+        let b = epo::benchmarks::all().into_iter().find(|b| b.name == name).unwrap();
+        let program = b.compile()?;
+        for f in &program.functions {
+            let e = enumerate(f, &target, &Config::default());
+            if e.outcome.is_complete() {
+                ia.add_space(&e.space);
+            }
+        }
+    }
+    let tables = ProbTables::from_analysis(&ia);
+    println!("trained on {} functions\n", ia.function_count());
+
+    // Evaluate on dijkstra (unseen during training).
+    let bench = epo::benchmarks::all().into_iter().find(|b| b.name == "dijkstra").unwrap();
+    let program = bench.compile()?;
+    println!(
+        "{:<16} {:>7} {:>7} {:>6} {:>6}  sequences",
+        "function", "oldAtt", "prAtt", "oldSz", "prSz"
+    );
+    for f in &program.functions {
+        let mut f_old = f.clone();
+        let old = batch_compile(&mut f_old, &target);
+        let mut f_prob = f.clone();
+        let prob = probabilistic_compile(&mut f_prob, &target, &tables);
+        println!(
+            "{:<16} {:>7} {:>7} {:>6} {:>6}  {} | {}",
+            f.name,
+            old.attempted,
+            prob.attempted,
+            f_old.inst_count(),
+            f_prob.inst_count(),
+            sequence_letters(&old.sequence),
+            sequence_letters(&prob.sequence),
+        );
+    }
+
+    // Dynamic check on the benchmark's workloads.
+    for w in &bench.workloads {
+        let f = program.function(w.function).unwrap();
+        let mut f_old = f.clone();
+        batch_compile(&mut f_old, &target);
+        let mut f_prob = f.clone();
+        probabilistic_compile(&mut f_prob, &target, &tables);
+        let mut m1 = Machine::new(&program);
+        let r1 = m1.call_instance(&f_old, &w.args)?;
+        let mut m2 = Machine::new(&program);
+        let r2 = m2.call_instance(&f_prob, &w.args)?;
+        assert_eq!(r1, r2, "semantic mismatch on {}", w.function);
+        println!(
+            "\n{}({:?}) = {r1}; dynamic counts: batch {} vs probabilistic {} ({:.3}x)",
+            w.function,
+            w.args,
+            m1.dynamic_insts(),
+            m2.dynamic_insts(),
+            m2.dynamic_insts() as f64 / m1.dynamic_insts() as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: compile a small C function, exhaustively enumerate its
+//! optimization phase order space, and report what the space looks like.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use exhaustive_phase_order as epo;
+
+use epo::explore::enumerate::{enumerate, Config};
+use epo::opt::Target;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        int sum_squares(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) s += i * i;
+            return s;
+        }
+    "#;
+    println!("source:\n{source}");
+
+    // Compile with the MiniC front end: naive, unoptimized RTL.
+    let program = epo::frontend::compile(source)?;
+    let function = &program.functions[0];
+    println!("unoptimized RTL ({} instructions):\n{function}", function.inst_count());
+
+    // Exhaustively enumerate every function instance any ordering of the
+    // 15 optimization phases can produce.
+    let target = Target::default();
+    let result = enumerate(function, &target, &Config::default());
+    let space = &result.space;
+    println!("search outcome: {:?}", result.outcome);
+    println!("distinct function instances: {}", space.len());
+    println!("phases attempted:            {}", result.stats.attempted_phases);
+    println!("active applications:         {}", result.stats.active_attempts);
+    println!("leaf instances:              {}", space.leaf_count());
+    println!(
+        "longest active sequence:     {}",
+        space.max_active_sequence_length()
+    );
+    if let Some((best, worst)) = space.leaf_code_size_range() {
+        println!(
+            "leaf code size range:        {best}..{worst} instructions ({:.1}% spread)",
+            (worst - best) as f64 * 100.0 / best as f64
+        );
+    }
+    println!(
+        "distinct control flows:      {}",
+        space.distinct_control_flows()
+    );
+
+    // The conventional batch compiler reaches *one* of those instances.
+    let mut batch = function.clone();
+    let stats = epo::opt::batch::batch_compile(&mut batch, &target);
+    println!(
+        "\nbatch compiler: sequence {} -> {} instructions",
+        epo::explore::enumerate::sequence_letters(&stats.sequence),
+        batch.inst_count()
+    );
+
+    // Check it against the simulator: every ordering preserves semantics.
+    let mut m = epo::sim::Machine::new(&program);
+    let naive = m.call("sum_squares", &[10])?;
+    let mut m2 = epo::sim::Machine::new(&program);
+    let optimized = m2.call_instance(&batch, &[10])?;
+    assert_eq!(naive, optimized);
+    println!(
+        "sum_squares(10) = {naive} under both; dynamic counts {} -> {}",
+        m.dynamic_insts(),
+        m2.dynamic_insts()
+    );
+    Ok(())
+}

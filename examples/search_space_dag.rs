@@ -1,0 +1,62 @@
+//! Emit a function's phase-order space as Graphviz `dot` (the weighted
+//! DAG of Figure 7) plus the best and worst leaf instances it contains.
+//!
+//! ```text
+//! cargo run --release --example search_space_dag > space.dot
+//! dot -Tsvg space.dot -o space.svg
+//! ```
+//! Pass MiniC source on the command line to explore your own function:
+//!
+//! ```text
+//! cargo run --release --example search_space_dag -- 'int f(int a){return a*6;}'
+//! ```
+
+use exhaustive_phase_order as epo;
+
+use epo::explore::enumerate::{enumerate, Config};
+use epo::opt::{attempt, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "int f(int a) { int x = a + 1; return x * 4; }".into());
+    let program = epo::frontend::compile(&source)?;
+    let f = &program.functions[0];
+    let target = Target::default();
+    let e = enumerate(f, &target, &Config::default());
+
+    // The DAG itself, on stdout (pipe into graphviz).
+    println!("{}", e.space.to_dot());
+
+    // Best and worst leaves, on stderr, reached by replaying discovery
+    // edges from the root.
+    eprintln!(
+        "space: {} instances, {} leaves, root weight {} (distinct active sequences)",
+        e.space.len(),
+        e.space.leaf_count(),
+        e.space.node(e.space.root()).weight
+    );
+    let mut leaves: Vec<_> = e.space.iter().filter(|(_, n)| n.is_leaf()).collect();
+    leaves.sort_by_key(|(_, n)| n.inst_count);
+    for (label, pick) in [("best", leaves.first()), ("worst", leaves.last())] {
+        let Some(&(id, node)) = pick else { continue };
+        // Reconstruct the discovery sequence.
+        let mut seq = Vec::new();
+        let mut cur = id;
+        while let Some((parent, phase)) = e.space.node(cur).discovered_from {
+            seq.push(phase);
+            cur = parent;
+        }
+        seq.reverse();
+        let mut g = f.clone();
+        for &p in &seq {
+            attempt(&mut g, p, &target);
+        }
+        eprintln!(
+            "\n{label} leaf ({} instructions) via sequence `{}`:\n{g}",
+            node.inst_count,
+            seq.iter().map(|p| p.letter()).collect::<String>()
+        );
+    }
+    Ok(())
+}

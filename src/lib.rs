@@ -1,0 +1,74 @@
+//! # Exhaustive Optimization Phase Order Space Exploration
+//!
+//! A complete reproduction of Kulkarni, Whalley, Tyson & Davidson,
+//! *"Exhaustive Optimization Phase Order Space Exploration"* (CGO 2006),
+//! as a Rust workspace. This facade crate re-exports the member crates:
+//!
+//! * [`rtl`] — the RTL intermediate representation, CFG and dataflow
+//!   analyses, and the canonical fingerprinting of Section 4.2.1;
+//! * [`frontend`] — the MiniC front end producing naive, unoptimized RTL;
+//! * [`opt`] — the fifteen optimization phases of Table 1, the compulsory
+//!   phases, the StrongARM-like target model, and the conventional batch
+//!   compiler;
+//! * [`sim`] — an RTL interpreter with dynamic instruction counting;
+//! * [`explore`] — the paper's core contribution: exhaustive phase-order
+//!   enumeration, the weighted instance DAG, phase-interaction analysis
+//!   (Tables 4–6), and the probabilistic batch compiler (Figure 8);
+//! * [`benchmarks`] — MiniC re-implementations of the MiBench subset of
+//!   Table 2 with simulator workloads.
+//!
+//! # Quick start
+//!
+//! ```
+//! use exhaustive_phase_order as epo;
+//! use epo::explore::enumerate::{enumerate, Config};
+//!
+//! // 1. Compile a function to naive RTL.
+//! let program = epo::frontend::compile(
+//!     "int square(int x) { return x * x; }",
+//! )?;
+//!
+//! // 2. Exhaustively enumerate its phase-order space.
+//! let target = epo::opt::Target::default();
+//! let result = enumerate(&program.functions[0], &target, &Config::default());
+//! assert!(result.outcome.is_complete());
+//!
+//! // 3. Inspect the space: every distinct function instance any phase
+//! //    ordering can produce, as a weighted DAG.
+//! let space = &result.space;
+//! println!(
+//!     "{} instances, {} leaves, best code size {:?}",
+//!     space.len(),
+//!     space.leaf_count(),
+//!     space.leaf_code_size_range().map(|(lo, _)| lo),
+//! );
+//! # Ok::<(), epo::frontend::CompileError>(())
+//! ```
+//!
+//! The facade also hosts [`cf_infer`], the Section 7 extension that
+//! infers every instance's dynamic instruction count from one execution
+//! per distinct control flow.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every table and figure.
+
+pub mod cf_infer;
+
+/// The RTL intermediate representation (`vpo-rtl`).
+pub use vpo_rtl as rtl;
+
+/// The MiniC front end (`vpo-frontend`).
+pub use vpo_frontend as frontend;
+
+/// The optimization phases and target model (`vpo-opt`).
+pub use vpo_opt as opt;
+
+/// The RTL interpreter (`vpo-sim`).
+pub use vpo_sim as sim;
+
+/// The exhaustive exploration engine (`phase-order`).
+pub use phase_order as explore;
+
+/// The MiBench kernel suite (`mibench`).
+pub use mibench as benchmarks;

@@ -1,0 +1,117 @@
+//! Checks of the documented ablation claims (`DESIGN.md` §2): what the
+//! configurable design choices actually do to the space.
+
+use exhaustive_phase_order as epo;
+
+use epo::explore::enumerate::{enumerate, Config};
+use epo::opt::Target;
+
+fn sample() -> Vec<(String, epo::rtl::Function)> {
+    let mut out = Vec::new();
+    for b in epo::benchmarks::all() {
+        let p = b.compile().unwrap();
+        for f in p.functions {
+            if (15..=70).contains(&f.inst_count()) {
+                out.push((f.name.clone(), f));
+            }
+        }
+    }
+    out
+}
+
+/// The address-form-robust allocator makes phase orderings more
+/// confluent: leaf code-size spreads shrink or stay equal, never grow.
+#[test]
+fn robust_allocator_reduces_spread() {
+    let strict = Target::default();
+    let robust = Target { regalloc_requires_direct: false, ..Target::default() };
+    let mut strict_sum = 0.0;
+    let mut robust_sum = 0.0;
+    let mut n = 0;
+    for (name, f) in sample() {
+        let e1 = enumerate(&f, &strict, &Config::default());
+        let e2 = enumerate(&f, &robust, &Config::default());
+        if !(e1.outcome.is_complete() && e2.outcome.is_complete()) {
+            continue;
+        }
+        let spread = |e: &epo::explore::Enumeration| {
+            e.space
+                .leaf_code_size_range()
+                .map(|(lo, hi)| (hi - lo) as f64 * 100.0 / lo.max(1) as f64)
+                .unwrap_or(0.0)
+        };
+        strict_sum += spread(&e1);
+        robust_sum += spread(&e2);
+        n += 1;
+        // The robust allocator's *best* leaf is never worse.
+        let best = |e: &epo::explore::Enumeration| e.space.leaf_code_size_range().unwrap().0;
+        assert!(
+            best(&e2) <= best(&e1),
+            "{name}: robust allocation worsened the optimum"
+        );
+    }
+    assert!(n >= 10, "too few functions compared");
+    assert!(
+        robust_sum < strict_sum,
+        "robust allocator should reduce aggregate spread: {robust_sum:.1} vs {strict_sum:.1}"
+    );
+}
+
+/// The Figure 2 shortcut saves attempts and never *adds* instances.
+#[test]
+fn skip_just_applied_saves_attempts() {
+    let target = Target::default();
+    for (name, f) in sample().into_iter().take(10) {
+        let full = enumerate(&f, &target, &Config::default());
+        let skip = enumerate(
+            &f,
+            &target,
+            &Config { skip_just_applied: true, ..Config::default() },
+        );
+        assert!(
+            skip.stats.attempted_phases < full.stats.attempted_phases,
+            "{name}: shortcut did not save attempts"
+        );
+        assert!(
+            skip.space.len() <= full.space.len(),
+            "{name}: shortcut found instances the full search missed?!"
+        );
+        // In practice the spaces coincide (the paper's claim); tolerate the
+        // rare divergence our block normalization can cause, but it must
+        // stay small.
+        let diff = full.space.len() - skip.space.len();
+        assert!(
+            diff * 20 <= full.space.len(),
+            "{name}: shortcut lost {diff} of {} instances",
+            full.space.len()
+        );
+    }
+}
+
+/// Lowering the unroll limit shrinks spaces (fewer code-growing edges).
+#[test]
+fn unroll_limit_bounds_growth() {
+    let no_unroll = Target { unroll_limit: 0, ..Target::default() };
+    let default = Target::default();
+    let mut shrunk = 0;
+    let mut total = 0;
+    for (_, f) in sample().into_iter().take(12) {
+        let e_no = enumerate(&f, &no_unroll, &Config::default());
+        let e_yes = enumerate(&f, &default, &Config::default());
+        if !(e_no.outcome.is_complete() && e_yes.outcome.is_complete()) {
+            continue;
+        }
+        total += 1;
+        if e_no.space.len() < e_yes.space.len() {
+            shrunk += 1;
+        }
+        // Without unrolling, the largest leaf can only get smaller.
+        if let (Some((_, hi_no)), Some((_, hi_yes))) =
+            (e_no.space.leaf_code_size_range(), e_yes.space.leaf_code_size_range())
+        {
+            assert!(hi_no <= hi_yes, "disabling unrolling grew worst-case code");
+        }
+    }
+    assert!(total >= 5);
+    assert!(shrunk >= 1, "unrolling never affected any sampled space");
+}

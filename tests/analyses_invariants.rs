@@ -1,0 +1,179 @@
+//! Invariants of the control-flow and dataflow analyses, checked on the
+//! benchmark kernels at every stage of optimization (the analyses must
+//! stay correct on *any* intermediate code the phases can produce).
+
+use exhaustive_phase_order as epo;
+
+use epo::opt::{attempt, PhaseId, Target};
+use epo::rtl::cfg::Cfg;
+use epo::rtl::dom::Dominators;
+use epo::rtl::liveness::{Item, Liveness};
+use epo::rtl::loops::find_loops;
+use epo::rtl::Function;
+
+/// Every suite function, naive and after several distinct phase prefixes.
+fn stages() -> Vec<(String, Function)> {
+    let target = Target::default();
+    let prefixes: [&[PhaseId]; 4] = [
+        &[],
+        &[PhaseId::InsnSelect, PhaseId::RegAlloc],
+        &[PhaseId::Cse, PhaseId::InsnSelect, PhaseId::DeadAssign],
+        &[
+            PhaseId::InsnSelect,
+            PhaseId::RegAlloc,
+            PhaseId::Cse,
+            PhaseId::LoopJumps,
+            PhaseId::LoopUnroll,
+            PhaseId::UselessJump,
+        ],
+    ];
+    let mut out = Vec::new();
+    for b in epo::benchmarks::all() {
+        let p = b.compile().unwrap();
+        for f in &p.functions {
+            if f.inst_count() > 150 {
+                continue;
+            }
+            for (i, prefix) in prefixes.iter().enumerate() {
+                let mut g = f.clone();
+                for &ph in *prefix {
+                    attempt(&mut g, ph, &target);
+                }
+                out.push((format!("{}::{}@{}", b.name, f.name, i), g));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn dominator_invariants() {
+    for (name, f) in stages() {
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        let reach = cfg.reachable();
+        for b in 0..cfg.len() {
+            if !reach[b] {
+                continue;
+            }
+            // The entry dominates every reachable block.
+            assert!(dom.dominates(0, b), "{name}: entry !dom {b}");
+            // Every block dominates itself.
+            assert!(dom.dominates(b, b), "{name}: {b} !dom itself");
+            // The immediate dominator is a strict dominator (except entry).
+            if b != 0 {
+                let id = dom.idom(b).unwrap_or_else(|| panic!("{name}: no idom for {b}"));
+                assert!(dom.dominates(id, b), "{name}: idom({b}) !dom {b}");
+                // Every predecessor path passes through the idom.
+                for &p in &cfg.preds[b] {
+                    if reach[p] {
+                        assert!(
+                            dom.dominates(id, p) || id == b,
+                            "{name}: pred {p} of {b} bypasses idom {id}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn loop_invariants() {
+    for (name, f) in stages() {
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        for l in find_loops(&cfg) {
+            // The header dominates every loop block.
+            for &b in &l.body {
+                assert!(dom.dominates(l.header, b), "{name}: header !dom body {b}");
+            }
+            // Every latch is in the body and branches to the header.
+            for &latch in &l.latches {
+                assert!(l.contains(latch), "{name}: latch outside body");
+                assert!(
+                    cfg.succs[latch].contains(&l.header),
+                    "{name}: latch {latch} has no back edge"
+                );
+            }
+            assert!(l.depth >= 1, "{name}: bad nesting depth");
+        }
+    }
+}
+
+#[test]
+fn liveness_soundness() {
+    // Every use of a register is covered: walking any block, each used
+    // register is either defined earlier in the block or live-in.
+    for (name, f) in stages() {
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let reach = cfg.reachable();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            if !reach[bi] {
+                continue;
+            }
+            let mut defined: Vec<epo::rtl::Reg> = Vec::new();
+            for inst in &b.insts {
+                let mut uses = Vec::new();
+                inst.collect_uses(&mut uses);
+                for u in uses {
+                    let covered = defined.contains(&u)
+                        || lv
+                            .index_of(Item::Reg(u))
+                            .map(|i| lv.live_in[bi].contains(i))
+                            .unwrap_or(false)
+                        // Parameters are defined at entry.
+                        || (bi == 0 && f.params.contains(&u));
+                    assert!(
+                        covered,
+                        "{name}: use of {u} in block {bi} not covered by liveness"
+                    );
+                }
+                if let Some(d) = inst.def() {
+                    defined.push(d);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cfg_successor_predecessor_duality() {
+    for (name, f) in stages() {
+        let cfg = Cfg::build(&f);
+        for b in 0..cfg.len() {
+            for &s in &cfg.succs[b] {
+                assert!(
+                    cfg.preds[s].contains(&b),
+                    "{name}: edge {b}->{s} missing reverse"
+                );
+            }
+            for &p in &cfg.preds[b] {
+                assert!(
+                    cfg.succs[p].contains(&b),
+                    "{name}: edge {p}->{b} missing forward"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conditional_branches_terminate_blocks() {
+    // The canonical-form invariant the forward dataflow analyses rely on:
+    // a conditional branch is always the last instruction of its block.
+    for (name, f) in stages() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if matches!(inst, epo::rtl::Inst::CondBranch { .. }) {
+                    assert_eq!(
+                        ii,
+                        b.insts.len() - 1,
+                        "{name}: mid-block conditional branch in block {bi}"
+                    );
+                }
+            }
+        }
+    }
+}

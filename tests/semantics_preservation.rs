@@ -1,0 +1,141 @@
+//! The bedrock invariant of the whole study: **any** legal ordering of
+//! optimization phases preserves program semantics. Random phase
+//! sequences are applied to real benchmark kernels and checked against
+//! the naive code's behaviour in the simulator.
+
+use proptest::prelude::*;
+
+use exhaustive_phase_order as epo;
+use epo::opt::{attempt, PhaseId, Target};
+use epo::sim::Machine;
+
+/// Applies a sequence of phase indices (mod 15) to a clone of `f`.
+fn apply_sequence(
+    f: &epo::rtl::Function,
+    seq: &[u8],
+    target: &Target,
+) -> (epo::rtl::Function, usize) {
+    let mut g = f.clone();
+    let mut active = 0;
+    for &s in seq {
+        let phase = PhaseId::from_index(s as usize % PhaseId::COUNT);
+        if attempt(&mut g, phase, target).active {
+            active += 1;
+        }
+    }
+    (g, active)
+}
+
+/// Workloads with small dynamic footprints, to keep the property fast.
+fn quick_workloads() -> Vec<(&'static str, &'static str, Vec<i32>)> {
+    vec![
+        ("bitcount", "bit_count", vec![0x12345678]),
+        ("bitcount", "bitcount_parallel", vec![-559038737]),
+        ("bitcount", "ntbl_bitcount", vec![0x0F0F1234]),
+        ("bitcount", "bit_shifter", vec![0x00FF00FF]),
+        ("dijkstra", "dijkstra", vec![0, 4]),
+        ("fft", "fix_mpy", vec![12345, -6789]),
+        ("fft", "reverse_bits", vec![0b1011, 4]),
+        ("jpeg", "ycc_y", vec![200, 100, 50]),
+        ("jpeg", "range_limit", vec![300]),
+        ("jpeg", "jpeg_nbits", vec![-100000]),
+        ("sha", "rotl", vec![0x40000001u32 as i32, 13]),
+        ("sha", "byte_reverse", vec![0x11223344]),
+        ("stringsearch", "lower", vec!['Q' as i32]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random phase orders never change observable behaviour.
+    #[test]
+    fn random_phase_orders_preserve_semantics(
+        seq in proptest::collection::vec(0u8..15, 1..12),
+        pick in 0usize..13,
+    ) {
+        let (bench_name, func, args) = quick_workloads().swap_remove(pick);
+        let bench = epo::benchmarks::all()
+            .into_iter()
+            .find(|b| b.name == bench_name)
+            .unwrap();
+        let program = bench.compile().unwrap();
+        let f = program.function(func).unwrap();
+        let target = Target::default();
+        let (optimized, _) = apply_sequence(f, &seq, &target);
+
+        // The optimized instance must still be legal machine code.
+        target.check_function(&optimized).unwrap();
+
+        let mut m1 = Machine::new(&program);
+        let expected = m1.call(func, &args).unwrap();
+        let mut m2 = Machine::new(&program);
+        let got = m2.call_instance(&optimized, &args).unwrap();
+        prop_assert_eq!(expected, got,
+            "sequence {:?} broke {}::{}", seq, bench_name, func);
+    }
+
+    /// Optimization never increases the dynamic instruction count by much
+    /// (loop rotation may add a couple of static instructions but the
+    /// dynamic count should never blow up), and often reduces it.
+    #[test]
+    fn random_phase_orders_do_not_pessimize_wildly(
+        seq in proptest::collection::vec(0u8..15, 1..10),
+    ) {
+        let bench = epo::benchmarks::all()
+            .into_iter()
+            .find(|b| b.name == "bitcount")
+            .unwrap();
+        let program = bench.compile().unwrap();
+        let f = program.function("bit_count").unwrap();
+        let target = Target::default();
+        let (optimized, _) = apply_sequence(f, &seq, &target);
+
+        let mut m1 = Machine::new(&program);
+        m1.call("bit_count", &[0x5555]).unwrap();
+        let naive = m1.dynamic_insts();
+        let mut m2 = Machine::new(&program);
+        m2.call_instance(&optimized, &[0x5555]).unwrap();
+        let opt = m2.dynamic_insts();
+        prop_assert!(opt <= naive * 2,
+            "dynamic count exploded: {naive} -> {opt} via {:?}", seq);
+    }
+}
+
+/// Deterministic exhaustive variant for small sequences: all pairs of
+/// phases over a tiny function.
+#[test]
+fn all_phase_pairs_preserve_semantics() {
+    let program = epo::frontend::compile(
+        "int f(int a, int b) { int x = a * 4; if (x > b) return x - b; return b - x; }",
+    )
+    .unwrap();
+    let f = &program.functions[0];
+    let target = Target::default();
+    let mut m = Machine::new(&program);
+    let expected: Vec<i32> = [(3, 5), (100, 7), (-4, 12), (0, 0)]
+        .iter()
+        .map(|&(a, b)| m.call("f", &[a, b]).unwrap())
+        .collect();
+    for p in PhaseId::ALL {
+        for q in PhaseId::ALL {
+            let mut g = f.clone();
+            attempt(&mut g, p, &target);
+            attempt(&mut g, q, &target);
+            target.check_function(&g).unwrap();
+            for (i, &(a, b)) in [(3, 5), (100, 7), (-4, 12), (0, 0)].iter().enumerate() {
+                let mut m2 = Machine::new(&program);
+                let got = m2.call_instance(&g, &[a, b]).unwrap();
+                assert_eq!(
+                    got, expected[i],
+                    "pair {}{} broke f({a},{b})",
+                    p.letter(),
+                    q.letter()
+                );
+            }
+        }
+    }
+}
