@@ -7,17 +7,17 @@
 //! * **the Figure 2 shortcut** (`skip_just_applied`) — not re-attempting
 //!   the phase that just ran, measured as attempted-phase savings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use phase_order::enumerate::{enumerate, Config};
 use vpo_opt::Target;
 
-fn ablation_targets() -> Vec<(&'static str, vpo_rtl::Function)> {
+fn ablation_targets() -> Vec<(String, vpo_rtl::Function)> {
     let mut out = Vec::new();
     for b in mibench::all() {
         let p = b.compile().unwrap();
         for f in p.functions {
             if (20..=60).contains(&f.inst_count()) {
-                out.push((Box::leak(format!("{}_{}", b.name, f.name).into_boxed_str()) as &str, f));
+                out.push((format!("{}_{}", b.name, f.name), f));
             }
         }
     }
@@ -25,10 +25,10 @@ fn ablation_targets() -> Vec<(&'static str, vpo_rtl::Function)> {
     out
 }
 
-fn bench_allocator_strictness(c: &mut Criterion) {
+fn bench_allocator_strictness(h: &Harness) {
     let strict = Target::default();
     let robust = Target { regalloc_requires_direct: false, ..Target::default() };
-    let mut group = c.benchmark_group("allocator_ablation");
+    let mut group = h.group("allocator_ablation");
     group.sample_size(10);
     for (name, f) in ablation_targets() {
         group.bench_function(format!("{name}/direct_only"), |b| {
@@ -40,7 +40,7 @@ fn bench_allocator_strictness(c: &mut Criterion) {
     }
     group.finish();
 
-    // Report the qualitative effect once (criterion benches may print).
+    // Report the qualitative effect once.
     let spread = |t: &Target| {
         let mut total = 0.0;
         let mut n = 0;
@@ -62,9 +62,9 @@ fn bench_allocator_strictness(c: &mut Criterion) {
     );
 }
 
-fn bench_skip_shortcut(c: &mut Criterion) {
+fn bench_skip_shortcut(h: &Harness) {
     let target = Target::default();
-    let mut group = c.benchmark_group("figure2_shortcut");
+    let mut group = h.group("figure2_shortcut");
     group.sample_size(10);
     for (name, f) in ablation_targets().into_iter().take(3) {
         group.bench_function(format!("{name}/attempt_all"), |b| {
@@ -89,5 +89,8 @@ fn bench_skip_shortcut(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allocator_strictness, bench_skip_shortcut);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_allocator_strictness(&h);
+    bench_skip_shortcut(&h);
+}

@@ -1,14 +1,14 @@
-//! Criterion bench for the Table 7 claim: probabilistic compilation takes
-//! roughly a third of the conventional batch loop's time.
+//! Bench for the Table 7 claim: probabilistic compilation takes roughly
+//! a third of the conventional batch loop's time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use phase_order::enumerate::{enumerate, Config};
 use phase_order::interaction::InteractionAnalysis;
 use phase_order::prob::{probabilistic_compile, ProbTables};
 use vpo_opt::batch::batch_compile;
 use vpo_opt::Target;
 
-fn bench_compilers(c: &mut Criterion) {
+fn main() {
     let target = Target::default();
     let b = mibench::bitcount::benchmark();
     let prog = b.compile().unwrap();
@@ -22,7 +22,8 @@ fn bench_compilers(c: &mut Criterion) {
     }
     let tables = ProbTables::from_analysis(&ia);
 
-    let mut group = c.benchmark_group("table7_bitcount");
+    let h = Harness::from_args();
+    let mut group = h.group("table7_bitcount");
     group.bench_function("old_batch", |bch| {
         bch.iter(|| {
             for f in &prog.functions {
@@ -41,6 +42,3 @@ fn bench_compilers(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_compilers);
-criterion_main!(benches);

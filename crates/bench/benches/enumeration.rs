@@ -1,13 +1,14 @@
-//! Criterion bench: exhaustive enumeration throughput on representative
-//! suite functions (the engine behind Table 3).
+//! Bench: exhaustive enumeration throughput on representative suite
+//! functions (the engine behind Table 3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use phase_order::enumerate::{enumerate, Config};
 use vpo_opt::Target;
 
-fn bench_enumeration(c: &mut Criterion) {
+fn main() {
     let target = Target::default();
-    let mut group = c.benchmark_group("enumerate");
+    let h = Harness::from_args();
+    let mut group = h.group("enumerate");
     group.sample_size(10);
     for (name, src) in [
         ("square", "int square(int x) { return x * x; }"),
@@ -31,6 +32,3 @@ fn bench_enumeration(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_enumeration);
-criterion_main!(benches);

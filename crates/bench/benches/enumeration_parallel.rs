@@ -1,0 +1,73 @@
+//! Bench: serial vs parallel level-order enumeration on MiBench
+//! kernels, exercising [`phase_order::enumerate_parallel`]'s
+//! expand-in-parallel / merge-at-the-barrier engine.
+//!
+//! Also verifies on every kernel — outside the timed region — that the
+//! parallel space is identical to the serial one (node count, leaf
+//! count, root weight), and prints the speedup of each job count over
+//! serial so the scalability of the level-barrier design is visible at
+//! a glance.
+
+use bench::harness::Harness;
+use phase_order::enumerate::{enumerate, enumerate_parallel, Config};
+use vpo_opt::Target;
+
+/// The largest suite kernels whose spaces still enumerate quickly enough
+/// to sample repeatedly: wide frontiers are where the parallel engine
+/// earns its keep.
+fn kernels() -> Vec<(String, vpo_rtl::Function)> {
+    let mut out = Vec::new();
+    for b in mibench::all() {
+        let p = b.compile().unwrap();
+        for f in p.functions {
+            if (40..=120).contains(&f.inst_count()) {
+                out.push((format!("{}_{}", b.name, f.name), f));
+            }
+        }
+    }
+    // Largest first; keep a handful so the bench stays under a minute.
+    out.sort_by_key(|(_, f)| std::cmp::Reverse(f.inst_count()));
+    out.truncate(3);
+    out
+}
+
+fn main() {
+    let target = Target::default();
+    let config = Config { max_nodes: 200_000, max_level_width: 100_000, ..Config::default() };
+    let h = Harness::from_args();
+    let mut group = h.group("enumeration_parallel");
+    group.sample_size(5);
+    for (name, f) in kernels() {
+        let serial_result = enumerate(&f, &target, &config);
+        let serial = group.bench_function(format!("{name}/serial"), |b| {
+            b.iter(|| enumerate(std::hint::black_box(&f), &target, &config).space.len())
+        });
+        for jobs in [2usize, 4, 8] {
+            let jc = Config { jobs, ..config.clone() };
+            let par_result = enumerate_parallel(&f, &target, &jc);
+            assert_eq!(par_result.space.len(), serial_result.space.len(), "{name} jobs={jobs}");
+            assert_eq!(
+                par_result.space.leaf_count(),
+                serial_result.space.leaf_count(),
+                "{name} jobs={jobs}"
+            );
+            assert_eq!(
+                par_result.space.node(par_result.space.root()).weight,
+                serial_result.space.node(serial_result.space.root()).weight,
+                "{name} jobs={jobs}"
+            );
+            let par = group.bench_function(format!("{name}/jobs{jobs}"), |b| {
+                b.iter(|| enumerate_parallel(std::hint::black_box(&f), &target, &jc).space.len())
+            });
+            if let (Some(s), Some(p)) = (serial, par) {
+                if !p.is_zero() {
+                    eprintln!(
+                        "[parallel] {name}: {jobs} jobs -> {:.2}x over serial",
+                        s.as_secs_f64() / p.as_secs_f64()
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}

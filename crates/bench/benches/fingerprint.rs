@@ -1,29 +1,33 @@
-//! Criterion bench: canonicalization + fingerprinting throughput — the
+//! Bench: canonicalization + fingerprinting throughput — the
 //! Section 4.2.1 machinery executed once per attempted active phase.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use vpo_rtl::canon;
 
-fn bench_fingerprint(c: &mut Criterion) {
+fn main() {
     let suite = mibench::all();
     let mut biggest = None;
     for b in &suite {
         let p = b.compile().unwrap();
         for f in p.functions {
-            if biggest.as_ref().map(|g: &vpo_rtl::Function| f.inst_count() > g.inst_count()).unwrap_or(true) {
+            if biggest
+                .as_ref()
+                .map(|g: &vpo_rtl::Function| f.inst_count() > g.inst_count())
+                .unwrap_or(true)
+            {
                 biggest = Some(f);
             }
         }
     }
     let f = biggest.unwrap();
-    c.bench_function(&format!("fingerprint_{}insts", f.inst_count()), |b| {
+    let h = Harness::from_args();
+    let mut group = h.group("fingerprint");
+    group.bench_function(format!("fingerprint_{}insts", f.inst_count()), |b| {
         b.iter(|| canon::fingerprint(std::hint::black_box(&f)))
     });
-    c.bench_function("crc32_4k", |b| {
+    group.bench_function("crc32_4k", |b| {
         let data = vec![0xA5u8; 4096];
         b.iter(|| vpo_rtl::crc::crc32(std::hint::black_box(&data)))
     });
+    group.finish();
 }
-
-criterion_group!(benches, bench_fingerprint);
-criterion_main!(benches);

@@ -1,15 +1,16 @@
-//! Criterion bench: cost of each optimization phase on naive code (one
-//! attempt each, cloning the input per iteration).
+//! Bench: cost of each optimization phase on naive code (one attempt
+//! each, cloning the input per iteration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use vpo_opt::{attempt, PhaseId, Target};
 
-fn bench_phases(c: &mut Criterion) {
+fn main() {
     let target = Target::default();
     let b = mibench::sha::benchmark();
     let prog = b.compile().unwrap();
     let f = prog.function("sha_transform").unwrap();
-    let mut group = c.benchmark_group("phase_on_sha_transform");
+    let h = Harness::from_args();
+    let mut group = h.group("phase_on_sha_transform");
     group.sample_size(20);
     for p in PhaseId::ALL {
         group.bench_function(p.name().replace(' ', "_"), |bch| {
@@ -21,6 +22,3 @@ fn bench_phases(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);

@@ -1,16 +1,18 @@
-//! Criterion bench for the Section 4.3 / Figure 6 claim: prefix-sharing
+//! Bench for the Section 4.3 / Figure 6 claim: prefix-sharing
 //! evaluation vs naive per-sequence replay.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use phase_order::enumerate::{enumerate, Config, ReplayMode};
 use vpo_opt::Target;
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
     let target = Target::default();
-    let src = "int f(int a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a * i; return s; }";
+    let src =
+        "int f(int a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a * i; return s; }";
     let p = vpo_frontend::compile(src).unwrap();
     let f = &p.functions[0];
-    let mut group = c.benchmark_group("figure6");
+    let h = Harness::from_args();
+    let mut group = h.group("figure6");
     group.sample_size(10);
     group.bench_function("prefix_sharing", |b| {
         b.iter(|| enumerate(std::hint::black_box(f), &target, &Config::default()).space.len())
@@ -28,6 +30,3 @@ fn bench_modes(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

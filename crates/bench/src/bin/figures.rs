@@ -116,9 +116,7 @@ fn figs_1_2_4() {
 
     println!("Figures 1, 2 and 4: three views of one phase-order space");
     println!("function: {src}");
-    println!(
-        "  Figure 1 (naive attempted space, 15 phases, depth {depth}): {naive:.3e} sequences"
-    );
+    println!("  Figure 1 (naive attempted space, 15 phases, depth {depth}): {naive:.3e} sequences");
     println!("  Figure 2 (tree after dormant-phase pruning): {tree_nodes} nodes");
     println!(
         "  Figure 4 (DAG after identical-instance detection): {} nodes, {} leaves",
@@ -157,11 +155,7 @@ fn converging_sequences(
                     let cand = (via_discovery, via_here, v);
                     // Prefer the shortest demonstration.
                     let len = cand.0.len() + cand.1.len();
-                    if best
-                        .as_ref()
-                        .map(|(a, b, _)| a.len() + b.len() > len)
-                        .unwrap_or(true)
-                    {
+                    if best.as_ref().map(|(a, b, _)| a.len() + b.len() > len).unwrap_or(true) {
                         best = Some(cand);
                     }
                 }
@@ -203,10 +197,7 @@ fn fig3() {
         letters(&seq_b)
     );
     println!("{fa}");
-    println!(
-        "identical instances: {}",
-        canon::fingerprint(&fa) == canon::fingerprint(&fb)
-    );
+    println!("identical instances: {}", canon::fingerprint(&fa) == canon::fingerprint(&fb));
     println!();
 }
 
@@ -277,10 +268,7 @@ fn fig6() {
     println!("Figure 6: Enhancements for Faster Searches");
     println!("(naive per-sequence re-evaluation vs prefix-sharing)");
     let target = Target::default();
-    println!(
-        "{:<22} {:>12} {:>12} {:>7}",
-        "function", "naive-apps", "shared-apps", "factor"
-    );
+    println!("{:<22} {:>12} {:>12} {:>7}", "function", "naive-apps", "shared-apps", "factor");
     let mut shown = 0;
     for sf in bench::suite_functions() {
         if sf.function.inst_count() > 60 {

@@ -67,9 +67,6 @@ fn main() {
         complete as f64 * 100.0 / total as f64
     );
     if diffs > 0 {
-        println!(
-            "average leaf code-size spread: {:.1}% (paper: 37.8%)",
-            sum_diff / diffs as f64
-        );
+        println!("average leaf code-size spread: {:.1}% (paper: 37.8%)", sum_diff / diffs as f64);
     }
 }

@@ -61,7 +61,10 @@ fn print_disabling(ia: &phase_order::interaction::InteractionAnalysis) {
     for y in PhaseId::ALL {
         let mut line = format!("{:>5} |", y.letter());
         for x in PhaseId::ALL {
-            line.push_str(&format!(" {:>4}", bench::fmt_prob(ia.disabling_probability(y, x), 0.005)));
+            line.push_str(&format!(
+                " {:>4}",
+                bench::fmt_prob(ia.disabling_probability(y, x), 0.005)
+            ));
         }
         println!("{line}");
     }

@@ -4,6 +4,8 @@
 //! See `DESIGN.md` (experiment index) for which binary regenerates which
 //! table or figure of the paper.
 
+pub mod harness;
+
 use std::time::Duration;
 
 use phase_order::enumerate::{enumerate, Config, Enumeration};
@@ -40,11 +42,7 @@ pub fn suite_functions() -> Vec<SuiteFunction> {
                 benchmark: b.name,
                 function: f.clone(),
                 program: program.clone(),
-                workloads: b
-                    .workloads_for(&f.name)
-                    .into_iter()
-                    .cloned()
-                    .collect(),
+                workloads: b.workloads_for(&f.name).into_iter().cloned().collect(),
             });
         }
     }
@@ -52,18 +50,21 @@ pub fn suite_functions() -> Vec<SuiteFunction> {
 }
 
 /// Enumerates every suite function in parallel. `config` is shared;
+/// `config.jobs` sizes the thread pool (`0` = one per available CPU);
 /// results come back in suite order.
 pub fn enumerate_suite(config: &Config) -> Vec<(SuiteFunction, Enumeration)> {
     let funcs = suite_functions();
     let target = Target::default();
-    let mut results: Vec<Option<Enumeration>> = Vec::new();
-    results.resize_with(funcs.len(), || None);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = match config.jobs {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        n => n,
+    };
     let work = std::sync::Mutex::new((0..funcs.len()).collect::<Vec<_>>());
-    let slots = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    let slots: Vec<std::sync::Mutex<Option<Enumeration>>> =
+        funcs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = {
                     let mut w = work.lock().unwrap();
                     match w.pop() {
@@ -72,26 +73,41 @@ pub fn enumerate_suite(config: &Config) -> Vec<(SuiteFunction, Enumeration)> {
                     }
                 };
                 let e = enumerate(&funcs[idx].function, &target, config);
-                slots.lock().unwrap()[idx] = Some(e);
+                *slots[idx].lock().unwrap() = Some(e);
             });
         }
-    })
-    .expect("enumeration threads");
+    });
     funcs
         .into_iter()
-        .zip(results.into_iter().map(|r| r.expect("enumerated")))
+        .zip(slots.into_iter().map(|s| s.into_inner().unwrap().expect("enumerated")))
         .collect()
+}
+
+/// Parses a `--jobs N` flag from the process arguments, falling back to
+/// the `PHASE_ORDER_JOBS` environment variable; `0` (the default) means
+/// one worker per available CPU.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    std::env::var("PHASE_ORDER_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
 /// Default enumeration budget for the harness binaries: generous enough
 /// for almost every suite function, while keeping the heavyweights
 /// (the fft butterfly nest) reported as "too big", as in the paper.
+/// `--jobs N` (or `PHASE_ORDER_JOBS`) sizes the enumeration thread pool.
 pub fn harness_config() -> Config {
-    let max_nodes = std::env::var("PHASE_ORDER_MAX_NODES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(400_000);
-    Config { max_nodes, max_level_width: 200_000, ..Config::default() }
+    let max_nodes =
+        std::env::var("PHASE_ORDER_MAX_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(400_000);
+    Config { max_nodes, max_level_width: 200_000, jobs: jobs_from_args(), ..Config::default() }
 }
 
 /// Builds Table-3 rows for the whole suite.
@@ -178,11 +194,7 @@ fn dynamic_ratio(sf: &SuiteFunction, f_old: &Function, f_prob: &Function) -> Opt
         let mut m2 = Machine::new(&sf.program);
         let r2 = m2.call_instance(f_prob, &w.args).ok()?;
         let c2 = m2.dynamic_insts();
-        assert_eq!(
-            r1, r2,
-            "{}: batch and probabilistic compilations disagree",
-            sf.display
-        );
+        assert_eq!(r1, r2, "{}: batch and probabilistic compilations disagree", sf.display);
         old_count += c1;
         prob_count += c2;
     }

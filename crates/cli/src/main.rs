@@ -4,17 +4,20 @@
 //! ```text
 //! vpoc compile  <file.mc> [--seq LETTERS | --batch | --naive] [--finalize | --emit-asm]
 //! vpoc run      <file.mc> <function> [args...]        # compile (batch) and execute
-//! vpoc explore  <file.mc> [function]                  # enumerate the space(s)
-//! vpoc dot      <file.mc> <function>                  # space as Graphviz
+//! vpoc explore  <file.mc> [function] [--jobs N]       # enumerate the space(s)
+//! vpoc dot      <file.mc> <function> [--jobs N]       # space as Graphviz
 //! vpoc phases                                         # list the 15 phases
 //! ```
 //!
 //! `--seq LETTERS` applies an explicit phase ordering, e.g. `--seq skcshu`
-//! (the letter designations of Table 1).
+//! (the letter designations of Table 1). `--jobs N` enumerates each
+//! function's space with N worker threads (`--jobs 0` = one per CPU;
+//! the default is serial) — the resulting space is identical to the
+//! serial engine's for any job count.
 
 use std::process::ExitCode;
 
-use phase_order::enumerate::{enumerate, Config};
+use phase_order::enumerate::{enumerate, enumerate_parallel, Config};
 use phase_order::stats::FunctionRow;
 use vpo_opt::batch::batch_compile;
 use vpo_opt::{attempt, PhaseId, Target};
@@ -30,9 +33,12 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  vpoc compile <file.mc> [--seq LETTERS | --batch]");
             eprintln!("  vpoc run     <file.mc> <function> [int args...]");
-            eprintln!("  vpoc explore <file.mc> [function]");
-            eprintln!("  vpoc dot     <file.mc> <function>");
+            eprintln!("  vpoc explore <file.mc> [function] [--jobs N]");
+            eprintln!("  vpoc dot     <file.mc> <function> [--jobs N]");
             eprintln!("  vpoc phases");
+            eprintln!();
+            eprintln!("  --jobs N   enumerate with N worker threads (0 = one per CPU);");
+            eprintln!("             the space is identical to the serial engine's");
             ExitCode::FAILURE
         }
     }
@@ -65,6 +71,38 @@ fn parse_seq(letters: &str) -> Result<Vec<PhaseId>, String> {
         .chars()
         .map(|c| PhaseId::from_letter(c).ok_or(format!("unknown phase letter `{c}`")))
         .collect()
+}
+
+/// Extracts a `--jobs N` flag, returning the remaining arguments and the
+/// enumeration entry point it selects: `None` means the serial engine,
+/// `Some(n)` the parallel engine with `n` workers (`0` = one per CPU).
+fn parse_jobs(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+    let mut rest = Vec::new();
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            let n = it.next().ok_or("--jobs needs a thread count")?;
+            jobs = Some(n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?);
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = Some(n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, jobs))
+}
+
+/// Enumerates with the engine `--jobs` selected.
+fn enumerate_with_jobs(
+    f: &vpo_rtl::Function,
+    target: &Target,
+    jobs: Option<usize>,
+) -> phase_order::Enumeration {
+    match jobs {
+        None => enumerate(f, target, &Config::default()),
+        Some(n) => enumerate_parallel(f, target, &Config { jobs: n, ..Config::default() }),
+    }
 }
 
 fn compile_cmd(args: &[String]) -> Result<(), String> {
@@ -108,8 +146,7 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     if emit_asm {
-        let asm = vpo_opt::emit::emit_program(&program, &target)
-            .map_err(|e| e.to_string())?;
+        let asm = vpo_opt::emit::emit_program(&program, &target).map_err(|e| e.to_string())?;
         println!("{asm}");
     }
     Ok(())
@@ -124,10 +161,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let program = load(path)?;
     let target = Target::default();
-    let mut optimized = program
-        .function(func)
-        .ok_or(format!("no function `{func}`"))?
-        .clone();
+    let mut optimized = program.function(func).ok_or(format!("no function `{func}`"))?.clone();
     batch_compile(&mut optimized, &target);
 
     let mut naive = Machine::new(&program);
@@ -135,9 +169,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     let mut opt = Machine::new(&program);
     let got = opt.call_instance(&optimized, &call_args).map_err(|e| e.to_string())?;
     if expected != got {
-        return Err(format!(
-            "MISCOMPILATION: naive={expected}, optimized={got}"
-        ));
+        return Err(format!("MISCOMPILATION: naive={expected}, optimized={got}"));
     }
     println!("{func}({call_args:?}) = {got}");
     println!(
@@ -149,6 +181,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn explore_cmd(args: &[String]) -> Result<(), String> {
+    let (args, jobs) = parse_jobs(args)?;
     let path = args.first().ok_or("explore: missing file")?;
     let program = load(path)?;
     let target = Target::default();
@@ -160,18 +193,19 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 continue;
             }
         }
-        let e = enumerate(f, &target, &Config::default());
+        let e = enumerate_with_jobs(f, &target, jobs);
         println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
     }
     Ok(())
 }
 
 fn dot_cmd(args: &[String]) -> Result<(), String> {
+    let (args, jobs) = parse_jobs(args)?;
     let path = args.first().ok_or("dot: missing file")?;
     let func = args.get(1).ok_or("dot: missing function name")?;
     let program = load(path)?;
     let f = program.function(func).ok_or(format!("no function `{func}`"))?;
-    let e = enumerate(f, &Target::default(), &Config::default());
+    let e = enumerate_with_jobs(f, &Target::default(), jobs);
     println!("{}", e.space.to_dot());
     Ok(())
 }
@@ -203,8 +237,24 @@ mod tests {
         run(&["compile".into(), path.clone(), "--seq".into(), "sqk".into()]).unwrap();
         run(&["run".into(), path.clone(), "triple".into(), "14".into()]).unwrap();
         run(&["explore".into(), path.clone()]).unwrap();
-        run(&["dot".into(), path, "triple".into()]).unwrap();
+        run(&["explore".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
+        run(&["explore".into(), path.clone(), "--jobs=0".into()]).unwrap();
+        run(&["dot".into(), path.clone(), "triple".into()]).unwrap();
+        run(&["dot".into(), path.clone(), "triple".into(), "-j".into(), "4".into()]).unwrap();
         run(&["phases".into()]).unwrap();
         assert!(run(&["bogus".into()]).is_err());
+        assert!(run(&["explore".into(), path.clone(), "--jobs".into()]).is_err());
+        assert!(run(&["explore".into(), path, "--jobs".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_jobs_extracts_flag() {
+        let (rest, jobs) =
+            parse_jobs(&["a.mc".into(), "--jobs".into(), "4".into(), "f".into()]).unwrap();
+        assert_eq!(rest, vec!["a.mc".to_owned(), "f".to_owned()]);
+        assert_eq!(jobs, Some(4));
+        let (rest, jobs) = parse_jobs(&["a.mc".into()]).unwrap();
+        assert_eq!(rest, vec!["a.mc".to_owned()]);
+        assert_eq!(jobs, None);
     }
 }

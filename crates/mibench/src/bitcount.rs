@@ -200,20 +200,12 @@ mod tests {
         for x in [0i32, 1, -1, 0x12345678, 0x0F0F0F0F, i32::MIN, 7, 0x40000000] {
             let expect = x.count_ones() as i32;
             assert_eq!(machine_call("bit_count", &[x]), expect, "bit_count({x})");
-            assert_eq!(
-                machine_call("bitcount_parallel", &[x]),
-                expect,
-                "bitcount_parallel({x})"
-            );
+            assert_eq!(machine_call("bitcount_parallel", &[x]), expect, "bitcount_parallel({x})");
             assert_eq!(machine_call("ntbl_bitcount", &[x]), expect, "ntbl({x})");
             assert_eq!(machine_call("bit_shifter", &[x]), expect, "shifter({x})");
             assert_eq!(machine_call("btbl_bitcount", &[x]), expect, "btbl({x})");
             assert_eq!(machine_call("bit_count_rec", &[x, 32]), expect, "rec({x})");
-            assert_eq!(
-                machine_call("bit_parity", &[x]),
-                (expect & 1),
-                "parity({x})"
-            );
+            assert_eq!(machine_call("bit_parity", &[x]), (expect & 1), "parity({x})");
             assert_eq!(
                 machine_call("count_leading_zeros", &[x]),
                 x.leading_zeros() as i32,

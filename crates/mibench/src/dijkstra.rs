@@ -188,21 +188,9 @@ pub fn benchmark() -> Benchmark {
                 args: vec![0, 4],
                 description: "single shortest path 0 -> 4",
             },
-            Workload {
-                function: "dijkstra_main",
-                args: vec![],
-                description: "all-pairs driver",
-            },
-            Workload {
-                function: "path_hops",
-                args: vec![4],
-                description: "hop count after a run",
-            },
-            Workload {
-                function: "graph_degree",
-                args: vec![5],
-                description: "node degree",
-            },
+            Workload { function: "dijkstra_main", args: vec![], description: "all-pairs driver" },
+            Workload { function: "path_hops", args: vec![4], description: "hop count after a run" },
+            Workload { function: "graph_degree", args: vec![5], description: "node degree" },
             Workload {
                 function: "graph_total_weight",
                 args: vec![],

@@ -261,11 +261,7 @@ pub fn benchmark() -> Benchmark {
                 args: vec![3, 15000],
                 description: "fully inlined pipeline (the heavyweight)",
             },
-            Workload {
-                function: "signal_power",
-                args: vec![],
-                description: "time-domain power",
-            },
+            Workload { function: "signal_power", args: vec![], description: "time-domain power" },
         ],
     }
 }

@@ -258,21 +258,9 @@ pub fn benchmark() -> Benchmark {
                 args: vec![200, 100, 50],
                 description: "luma conversion",
             },
-            Workload {
-                function: "range_limit",
-                args: vec![300],
-                description: "sample clamping",
-            },
-            Workload {
-                function: "jpeg_nbits",
-                args: vec![-1000],
-                description: "magnitude bits",
-            },
-            Workload {
-                function: "jpeg_main",
-                args: vec![11],
-                description: "full block pipeline",
-            },
+            Workload { function: "range_limit", args: vec![300], description: "sample clamping" },
+            Workload { function: "jpeg_nbits", args: vec![-1000], description: "magnitude bits" },
+            Workload { function: "jpeg_main", args: vec![11], description: "full block pipeline" },
             Workload {
                 function: "idct_rows",
                 args: vec![],
@@ -283,21 +271,9 @@ pub fn benchmark() -> Benchmark {
                 args: vec![],
                 description: "chroma subsampling",
             },
-            Workload {
-                function: "dc_predict",
-                args: vec![57],
-                description: "DC delta encoding",
-            },
-            Workload {
-                function: "block_mean",
-                args: vec![],
-                description: "block statistics",
-            },
-            Workload {
-                function: "dct_cols",
-                args: vec![],
-                description: "column transform pass",
-            },
+            Workload { function: "dc_predict", args: vec![57], description: "DC delta encoding" },
+            Workload { function: "block_mean", args: vec![], description: "block statistics" },
+            Workload { function: "dct_cols", args: vec![], description: "column transform pass" },
         ],
     }
 }
@@ -375,8 +351,7 @@ mod tests {
         for r in 0..4 {
             for c in 1..4 {
                 assert!(
-                    m.read_global_word("out", r * 4 + c)
-                        > m.read_global_word("out", r * 4 + c - 1)
+                    m.read_global_word("out", r * 4 + c) > m.read_global_word("out", r * 4 + c - 1)
                 );
             }
         }

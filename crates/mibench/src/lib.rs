@@ -102,10 +102,7 @@ pub fn all() -> Vec<Benchmark> {
 
 /// Total number of functions across the suite.
 pub fn function_count() -> usize {
-    all()
-        .iter()
-        .map(|b| b.compile().expect("suite compiles").functions.len())
-        .sum()
+    all().iter().map(|b| b.compile().expect("suite compiles").functions.len()).sum()
 }
 
 #[cfg(test)]
@@ -120,9 +117,7 @@ mod tests {
             let p = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(!p.functions.is_empty(), "{} has no functions", b.name);
             for f in &p.functions {
-                target
-                    .check_function(f)
-                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                target.check_function(f).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             }
             total += p.functions.len();
             // Every workload's function exists.

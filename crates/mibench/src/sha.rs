@@ -201,27 +201,19 @@ mod tests {
                 "rotl({x},{n})"
             );
         }
-        assert_eq!(
-            m.call("byte_reverse", &[0x11223344]).unwrap(),
-            0x44332211,
-        );
-        assert_eq!(
-            m.call("byte_reverse", &[0xAABBCCDDu32 as i32]).unwrap(),
-            0xDDCCBBAAu32 as i32,
-        );
+        assert_eq!(m.call("byte_reverse", &[0x11223344]).unwrap(), 0x44332211,);
+        assert_eq!(m.call("byte_reverse", &[0xAABBCCDDu32 as i32]).unwrap(), 0xDDCCBBAAu32 as i32,);
     }
 
     /// Reference SHA-1 transform (same non-standard fill as the MiniC).
     fn reference_sha_main(blocks: i32, seed: i32) -> i32 {
-        let mut h: [u32; 5] =
-            [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+        let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
         for blk in 0..blocks {
             let s = seed.wrapping_add(blk);
             let mut w = [0u32; 80];
             for i in 0..16i32 {
-                w[i as usize] = (s.wrapping_mul(i + 1))
-                    .wrapping_add(((s as u32) >> (i & 15)) as i32)
-                    as u32;
+                w[i as usize] =
+                    (s.wrapping_mul(i + 1)).wrapping_add(((s as u32) >> (i & 15)) as i32) as u32;
             }
             for i in 16..80 {
                 w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
@@ -259,8 +251,7 @@ mod tests {
     fn stream_digest_matches_reference() {
         // Mirror sha_fill_buf + big-endian packing + two transforms.
         fn reference(seed: i32) -> i32 {
-            let mut h: [u32; 5] =
-                [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+            let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
             let buf: Vec<u8> = (0..128)
                 .map(|i| (seed.wrapping_mul(i + 7).wrapping_add(i >> 2) & 255) as u8)
                 .collect();
@@ -305,11 +296,7 @@ mod tests {
         m.set_fuel(100_000_000);
         for seed in [0x77, -3, 255] {
             m.reset();
-            assert_eq!(
-                m.call("sha_stream_main", &[seed]).unwrap(),
-                reference(seed),
-                "seed {seed}"
-            );
+            assert_eq!(m.call("sha_stream_main", &[seed]).unwrap(), reference(seed), "seed {seed}");
         }
     }
 

@@ -218,15 +218,16 @@ mod tests {
         with_machine(|m| {
             // bmh is case-sensitive: "Fox" at the byte offset Rust finds.
             let fox = TEXT.find("Fox").unwrap() as i32;
-            let pat_addr =
-                |m: &Machine, name: &str| m.global_address(
+            let pat_addr = |m: &Machine, name: &str| {
+                m.global_address(
                     // resolve through the program to pass the pointer
                     // arguments; globals decay to addresses.
                     {
                         let p = benchmark().compile().unwrap();
                         p.global_by_name(name).unwrap()
                     },
-                ) as i32;
+                ) as i32
+            };
             let text_a = pat_addr(m, "text");
             let fox_a = pat_addr(m, "pat_fox");
             m.call("bmh_init", &[fox_a]).unwrap();

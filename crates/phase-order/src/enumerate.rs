@@ -21,14 +21,28 @@
 //! application; the naive strategy (kept for the Figure 6 experiment)
 //! replays the whole active sequence from the unoptimized function for
 //! every attempt.
+//!
+//! # Parallel enumeration
+//!
+//! [`enumerate_parallel`] splits each level's frontier across worker
+//! threads. Workers expand parents independently (phase application,
+//! canonicalization, fingerprinting — all the expensive work); at the
+//! level barrier the main thread **merges** the per-parent attempt
+//! records in frontier order, phase order — exactly the order the serial
+//! engine discovers them — so node ids, `active_mask`s, edges, weights
+//! and [`SearchStats`] counters are bit-identical to [`enumerate`].
+//! Both entry points share one expand/merge core, making the equivalence
+//! true by construction rather than by careful double maintenance.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use vpo_opt::{attempt, PhaseId, Target};
-use vpo_rtl::canon;
+use vpo_rtl::canon::{self, Fingerprint};
 use vpo_rtl::cfg::control_flow_signature;
-use vpo_rtl::Function;
+use vpo_rtl::{FuncFlags, Function};
 
 use crate::space::{Node, NodeId, SearchSpace};
 
@@ -50,13 +64,17 @@ pub struct Config {
     /// Abort when the number of instances awaiting expansion at one level
     /// exceeds this bound (the paper used one million).
     pub max_level_width: usize,
-    /// Abort when the total number of distinct instances exceeds this.
+    /// Hard cap on the number of distinct instances: the enumeration
+    /// aborts *before* an insertion would exceed it, so `space.len()`
+    /// never exceeds this value.
     pub max_nodes: usize,
     /// Evaluation strategy (see [`ReplayMode`]).
     pub replay: ReplayMode,
     /// Verify fingerprint hits by full canonical-byte comparison and
     /// record any collision (none have ever been observed, matching the
-    /// paper).
+    /// paper). In this mode the canonical bytes of *every* node are
+    /// retained; a fingerprint hit against a node with no recorded bytes
+    /// is an internal invariant violation and panics.
     pub paranoid: bool,
     /// Do not re-attempt the phase that produced an instance (the paper's
     /// Figure 2 shortcut). VPO guarantees a phase is never successful twice
@@ -64,6 +82,9 @@ pub struct Config {
     /// occasionally re-enable the very phase that just ran, so the shortcut
     /// is off by default and exists for fidelity experiments.
     pub skip_just_applied: bool,
+    /// Worker threads for [`enumerate_parallel`]: `0` means one worker
+    /// per available CPU. Ignored by the serial [`enumerate`].
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -74,6 +95,7 @@ impl Default for Config {
             replay: ReplayMode::PrefixSharing,
             paranoid: false,
             skip_just_applied: false,
+            jobs: 0,
         }
     }
 }
@@ -126,13 +148,172 @@ pub struct Enumeration {
     pub stats: SearchStats,
 }
 
-/// Exhaustively enumerates the phase-order space of `f`.
+/// One instance awaiting expansion: its node, its materialized function
+/// (prefix sharing) and its discovery sequence (naive replay only).
+struct FrontierEntry {
+    id: NodeId,
+    func: Function,
+    seq: Vec<PhaseId>,
+}
+
+/// The outcome of one phase attempt on one parent, recorded by the
+/// expansion step and consumed by the merge step.
+enum AttemptRecord {
+    /// The phase did not change the representation.
+    Dormant,
+    /// The phase was active and produced a candidate instance.
+    Active {
+        phase: PhaseId,
+        fp: Fingerprint,
+        flags: FuncFlags,
+        inst_count: u32,
+        cf_sig: u64,
+        /// The candidate function — carried only for the first occurrence
+        /// of this identity in the producing worker's stream, which is a
+        /// superset of the occurrences the merge step actually inserts.
+        func: Option<Function>,
+        /// Canonical serialization, present iff `Config::paranoid`.
+        bytes: Option<Vec<u8>>,
+    },
+}
+
+/// Expands one parent: attempts every (non-skipped) phase and records the
+/// outcomes in phase order. `known` reports whether an identity is
+/// already catalogued; when it is, the candidate function is dropped
+/// instead of carried (pure memory optimization — the merge step decides
+/// insertion independently).
+fn expand_parent(
+    root: &Function,
+    target: &Target,
+    config: &Config,
+    parent_fn: &Function,
+    parent_seq: &[PhaseId],
+    skip: Option<PhaseId>,
+    mut known: impl FnMut(Fingerprint, FuncFlags) -> bool,
+) -> Vec<AttemptRecord> {
+    let mut records = Vec::with_capacity(PhaseId::COUNT);
+    for phase in PhaseId::ALL {
+        // Optional Figure 2 shortcut: the phase that just produced this
+        // instance is not re-attempted.
+        if Some(phase) == skip {
+            continue;
+        }
+        let mut candidate = match config.replay {
+            ReplayMode::PrefixSharing => parent_fn.clone(),
+            ReplayMode::NaiveReplay => {
+                // Rebuild from the unoptimized function.
+                let mut g = root.clone();
+                for &p in parent_seq {
+                    attempt(&mut g, p, target);
+                }
+                g
+            }
+        };
+        if !attempt(&mut candidate, phase, target).active {
+            records.push(AttemptRecord::Dormant);
+            continue;
+        }
+        let fp = canon::fingerprint(&candidate);
+        let flags = candidate.flags;
+        let inst_count = candidate.inst_count() as u32;
+        let cf_sig = control_flow_signature(&candidate);
+        let bytes = config.paranoid.then(|| canon::canonical_bytes(&candidate));
+        let func = if known(fp, flags) { None } else { Some(candidate) };
+        records.push(AttemptRecord::Active { phase, fp, flags, inst_count, cf_sig, func, bytes });
+    }
+    records
+}
+
+/// Folds one parent's attempt records into the space, in phase order —
+/// the single code path that assigns node ids and counts statistics for
+/// both the serial and the parallel engine.
 ///
-/// `f` is the *unoptimized* function as produced by the front end; the
-/// root instance is `f` itself. On [`SearchOutcome::TooBig`] the returned
-/// space holds the levels enumerated so far (weights are still computed
-/// over the partial DAG).
-pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration {
+/// Returns `false` if the `max_nodes` cap was hit: the search is
+/// truncated just *before* the offending attempt (its phase is neither
+/// counted nor recorded in the parent's mask), so `space.len()` never
+/// exceeds the cap.
+#[allow(clippy::too_many_arguments)]
+fn merge_parent(
+    space: &mut SearchSpace,
+    stats: &mut SearchStats,
+    paranoid_bytes: &mut HashMap<NodeId, Vec<u8>>,
+    config: &Config,
+    level: u32,
+    parent: &FrontierEntry,
+    records: Vec<AttemptRecord>,
+    next: &mut Vec<FrontierEntry>,
+) -> bool {
+    let naive = config.replay == ReplayMode::NaiveReplay;
+    let replay_cost = if naive { parent.seq.len() as u64 } else { 0 };
+    let mut active_mask = 0u16;
+    let mut children = Vec::new();
+    let mut complete = true;
+    for record in records {
+        if let AttemptRecord::Active { fp, flags, .. } = &record {
+            if space.find(*fp, *flags).is_none() && space.len() >= config.max_nodes {
+                complete = false;
+                break;
+            }
+        }
+        stats.attempted_phases += 1;
+        stats.phases_applied += 1 + replay_cost;
+        let AttemptRecord::Active { phase, fp, flags, inst_count, cf_sig, func, mut bytes } =
+            record
+        else {
+            continue;
+        };
+        stats.active_attempts += 1;
+        active_mask |= 1 << phase.index();
+        let child_id = match space.find(fp, flags) {
+            Some(existing) => {
+                if config.paranoid {
+                    let recorded = paranoid_bytes.get(&existing).unwrap_or_else(|| {
+                        panic!("paranoid mode: no canonical bytes recorded for {existing}")
+                    });
+                    if *recorded != bytes.take().expect("paranoid attempt carries bytes") {
+                        stats.collisions += 1;
+                    }
+                }
+                existing
+            }
+            None => {
+                let id = space.insert(Node {
+                    fp,
+                    flags,
+                    level,
+                    inst_count,
+                    cf_sig,
+                    active_mask: 0,
+                    children: Vec::new(),
+                    discovered_from: Some((parent.id, phase)),
+                    weight: 0,
+                });
+                if config.paranoid {
+                    paranoid_bytes
+                        .insert(id, bytes.take().expect("paranoid attempt carries bytes"));
+                }
+                let func = func.expect("first discovery of an instance carries its function");
+                let mut seq = Vec::new();
+                if naive {
+                    seq = parent.seq.clone();
+                    seq.push(phase);
+                }
+                next.push(FrontierEntry { id, func, seq });
+                id
+            }
+        };
+        children.push((phase, child_id));
+    }
+    let n = space.node_mut(parent.id);
+    n.active_mask = active_mask;
+    n.children = children;
+    complete
+}
+
+/// The level-order engine shared by [`enumerate`] and
+/// [`enumerate_parallel`]; `jobs <= 1` expands inline, `jobs > 1` fans
+/// each level out over `std::thread::scope` workers.
+fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumeration {
     let start = std::time::Instant::now();
     let mut space = SearchSpace::new();
     let mut stats = SearchStats::default();
@@ -154,97 +335,104 @@ pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration 
         paranoid_bytes.insert(root, canon::canonical_bytes(f));
     }
 
-    // Frontier of instances to expand, with their materialized functions
-    // (prefix sharing) or discovery sequences (naive replay).
-    let mut frontier: Vec<(NodeId, Function, Vec<PhaseId>)> =
-        vec![(root, f.clone(), Vec::new())];
+    let mut frontier = vec![FrontierEntry { id: root, func: f.clone(), seq: Vec::new() }];
     let mut outcome = SearchOutcome::Complete;
     let mut level = 0u32;
 
     'search: while !frontier.is_empty() {
         level += 1;
-        let mut next: Vec<(NodeId, Function, Vec<PhaseId>)> = Vec::new();
-        for (node_id, node_fn, node_seq) in std::mem::take(&mut frontier) {
-            let skip = if config.skip_just_applied {
-                space.node(node_id).discovered_from.map(|(_, p)| p)
+        let mut next: Vec<FrontierEntry> = Vec::new();
+        let skip_of = |space: &SearchSpace, entry: &FrontierEntry| {
+            if config.skip_just_applied {
+                space.node(entry.id).discovered_from.map(|(_, p)| p)
             } else {
                 None
-            };
-            let mut active_mask = 0u16;
-            let mut children = Vec::new();
-            for phase in PhaseId::ALL {
-                // Optional Figure 2 shortcut: the phase that just produced
-                // this instance is not re-attempted.
-                if Some(phase) == skip {
-                    continue;
-                }
-                let mut candidate = match config.replay {
-                    ReplayMode::PrefixSharing => node_fn.clone(),
-                    ReplayMode::NaiveReplay => {
-                        // Rebuild from the unoptimized function.
-                        let mut g = f.clone();
-                        for &p in &node_seq {
-                            attempt(&mut g, p, target);
-                            stats.phases_applied += 1;
-                        }
-                        g
-                    }
-                };
-                stats.attempted_phases += 1;
-                stats.phases_applied += 1;
-                let outcome_attempt = attempt(&mut candidate, phase, target);
-                if !outcome_attempt.active {
-                    continue;
-                }
-                stats.active_attempts += 1;
-                active_mask |= 1 << phase.index();
-                let fp = canon::fingerprint(&candidate);
-                let flags = candidate.flags;
-                let child_id = match space.find(fp, flags) {
-                    Some(existing) => {
-                        if config.paranoid {
-                            let bytes = canon::canonical_bytes(&candidate);
-                            if paranoid_bytes.get(&existing).map(|b| b != &bytes).unwrap_or(false)
-                            {
-                                stats.collisions += 1;
-                            }
-                        }
-                        existing
-                    }
-                    None => {
-                        let id = space.insert(Node {
-                            fp,
-                            flags,
-                            level,
-                            inst_count: candidate.inst_count() as u32,
-                            cf_sig: control_flow_signature(&candidate),
-                            active_mask: 0,
-                            children: Vec::new(),
-                            discovered_from: Some((node_id, phase)),
-                            weight: 0,
-                        });
-                        if config.paranoid {
-                            paranoid_bytes.insert(id, canon::canonical_bytes(&candidate));
-                        }
-                        let mut seq = Vec::new();
-                        if config.replay == ReplayMode::NaiveReplay {
-                            seq = node_seq.clone();
-                            seq.push(phase);
-                        }
-                        next.push((id, candidate, seq));
-                        id
-                    }
-                };
-                children.push((phase, child_id));
             }
-            {
-                let n = space.node_mut(node_id);
-                n.active_mask = active_mask;
-                n.children = children;
+        };
+        if jobs > 1 && frontier.len() > 1 {
+            // Expansion barrier: workers race over the frontier via an
+            // atomic cursor and park their records in per-parent slots;
+            // the merge below walks the slots in frontier order, which
+            // restores the exact serial discovery order.
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Vec<AttemptRecord>>>> =
+                frontier.iter().map(|_| Mutex::new(None)).collect();
+            let space_ref = &space;
+            let frontier_ref = &frontier;
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(frontier_ref.len()) {
+                    scope.spawn(|| {
+                        // Per-worker dedup shard: identities already in the
+                        // space or already seen by this worker do not carry
+                        // their (large) function bodies to the barrier.
+                        let mut seen: HashSet<(Fingerprint, FuncFlags)> = HashSet::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(entry) = frontier_ref.get(i) else { break };
+                            let records = expand_parent(
+                                f,
+                                target,
+                                config,
+                                &entry.func,
+                                &entry.seq,
+                                skip_of(space_ref, entry),
+                                |fp, flags| {
+                                    space_ref.find(fp, flags).is_some() || !seen.insert((fp, flags))
+                                },
+                            );
+                            *slots[i].lock().unwrap() = Some(records);
+                        }
+                    });
+                }
+            });
+            for (entry, slot) in frontier.iter().zip(slots) {
+                let records = slot.into_inner().unwrap().expect("worker filled every slot");
+                if !merge_parent(
+                    &mut space,
+                    &mut stats,
+                    &mut paranoid_bytes,
+                    config,
+                    level,
+                    entry,
+                    records,
+                    &mut next,
+                ) {
+                    outcome = SearchOutcome::TooBig { level };
+                    break 'search;
+                }
+                if next.len() > config.max_level_width {
+                    outcome = SearchOutcome::TooBig { level };
+                    break 'search;
+                }
             }
-            if next.len() > config.max_level_width || space.len() > config.max_nodes {
-                outcome = SearchOutcome::TooBig { level };
-                break 'search;
+        } else {
+            for entry in &frontier {
+                let records = expand_parent(
+                    f,
+                    target,
+                    config,
+                    &entry.func,
+                    &entry.seq,
+                    skip_of(&space, entry),
+                    |fp, flags| space.find(fp, flags).is_some(),
+                );
+                if !merge_parent(
+                    &mut space,
+                    &mut stats,
+                    &mut paranoid_bytes,
+                    config,
+                    level,
+                    entry,
+                    records,
+                    &mut next,
+                ) {
+                    outcome = SearchOutcome::TooBig { level };
+                    break 'search;
+                }
+                if next.len() > config.max_level_width {
+                    outcome = SearchOutcome::TooBig { level };
+                    break 'search;
+                }
             }
         }
         frontier = next;
@@ -253,12 +441,36 @@ pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration 
     // Weights over the (possibly partial) DAG. The space is acyclic
     // because no phase in this compiler undoes the effect of another; the
     // assertion defends the interaction analyses against regressions.
-    space
-        .compute_weights()
-        .expect("phase-order space must be acyclic");
+    space.compute_weights().expect("phase-order space must be acyclic");
 
     stats.elapsed = start.elapsed();
     Enumeration { space, outcome, stats }
+}
+
+/// Exhaustively enumerates the phase-order space of `f`.
+///
+/// `f` is the *unoptimized* function as produced by the front end; the
+/// root instance is `f` itself. On [`SearchOutcome::TooBig`] the returned
+/// space holds the levels enumerated so far (weights are still computed
+/// over the partial DAG).
+pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration {
+    run(f, target, config, 1)
+}
+
+/// Exhaustively enumerates the phase-order space of `f` with
+/// `config.jobs` worker threads (`0` = one per available CPU).
+///
+/// The result — node ids and count, leaf count, `active_mask`s, edges,
+/// weights, and every [`SearchStats`] counter except the wall-clock
+/// `elapsed` — is identical to [`enumerate`]'s for any job count: each
+/// level is expanded in parallel but merged deterministically in frontier
+/// order at the level barrier.
+pub fn enumerate_parallel(f: &Function, target: &Target, config: &Config) -> Enumeration {
+    let jobs = match config.jobs {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    run(f, target, config, jobs)
 }
 
 /// Convenience: renders an active phase sequence as its letter string
@@ -316,11 +528,8 @@ mod tests {
         let f = compile_fn("int f(int a) { return a * 4 + 2; }");
         let t = Target::default();
         let fast = enumerate(&f, &t, &Config::default());
-        let slow = enumerate(
-            &f,
-            &t,
-            &Config { replay: ReplayMode::NaiveReplay, ..Config::default() },
-        );
+        let slow =
+            enumerate(&f, &t, &Config { replay: ReplayMode::NaiveReplay, ..Config::default() });
         assert_eq!(fast.space.len(), slow.space.len());
         assert_eq!(fast.stats.attempted_phases, slow.stats.attempted_phases);
         assert!(
@@ -333,14 +542,8 @@ mod tests {
 
     #[test]
     fn paranoid_mode_sees_no_collisions() {
-        let f = compile_fn(
-            "int f(int a, int b) { if (a > b) return a - b; return b - a; }",
-        );
-        let e = enumerate(
-            &f,
-            &Target::default(),
-            &Config { paranoid: true, ..Config::default() },
-        );
+        let f = compile_fn("int f(int a, int b) { if (a > b) return a - b; return b - a; }");
+        let e = enumerate(&f, &Target::default(), &Config { paranoid: true, ..Config::default() });
         assert_eq!(e.stats.collisions, 0);
     }
 
@@ -349,12 +552,63 @@ mod tests {
         let f = compile_fn(
             "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i * i; return s; }",
         );
-        let e = enumerate(
+        let e =
+            enumerate(&f, &Target::default(), &Config { max_level_width: 1, ..Config::default() });
+        assert!(matches!(e.outcome, SearchOutcome::TooBig { .. }));
+    }
+
+    #[test]
+    fn max_nodes_cap_is_never_exceeded() {
+        let f = compile_fn(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i * i; return s; }",
+        );
+        for cap in [1usize, 3, 10] {
+            let config = Config { max_nodes: cap, ..Config::default() };
+            let e = enumerate(&f, &Target::default(), &config);
+            assert!(matches!(e.outcome, SearchOutcome::TooBig { .. }), "cap {cap}");
+            assert!(e.space.len() <= cap, "cap {cap} overshot: space has {} nodes", e.space.len());
+            // The truncation point is deterministic, so the parallel
+            // engine must land on the very same partial space.
+            let p = enumerate_parallel(&f, &Target::default(), &Config { jobs: 4, ..config });
+            assert_eq!(p.space.len(), e.space.len(), "cap {cap}");
+            assert_eq!(p.stats.attempted_phases, e.stats.attempted_phases, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_all_counters() {
+        let f = compile_fn(
+            "int f(int a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a * i; return s; }",
+        );
+        let t = Target::default();
+        let serial = enumerate(&f, &t, &Config::default());
+        for jobs in [1usize, 2, 3, 8] {
+            let par = enumerate_parallel(&f, &t, &Config { jobs, ..Config::default() });
+            assert_eq!(par.space.len(), serial.space.len(), "jobs={jobs}");
+            assert_eq!(par.space.leaf_count(), serial.space.leaf_count(), "jobs={jobs}");
+            assert_eq!(par.stats.attempted_phases, serial.stats.attempted_phases);
+            assert_eq!(par.stats.active_attempts, serial.stats.active_attempts);
+            assert_eq!(par.stats.phases_applied, serial.stats.phases_applied);
+            for (id, n) in serial.space.iter() {
+                let m = par.space.node(id);
+                assert_eq!(m.fp, n.fp, "jobs={jobs} node {id}");
+                assert_eq!(m.active_mask, n.active_mask, "jobs={jobs} node {id}");
+                assert_eq!(m.children, n.children, "jobs={jobs} node {id}");
+                assert_eq!(m.weight, n.weight, "jobs={jobs} node {id}");
+                assert_eq!(m.level, n.level, "jobs={jobs} node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paranoid_sees_no_collisions() {
+        let f = compile_fn("int f(int a, int b) { if (a > b) return a - b; return b - a; }");
+        let e = enumerate_parallel(
             &f,
             &Target::default(),
-            &Config { max_level_width: 1, ..Config::default() },
+            &Config { paranoid: true, jobs: 4, ..Config::default() },
         );
-        assert!(matches!(e.outcome, SearchOutcome::TooBig { .. }));
+        assert_eq!(e.stats.collisions, 0);
     }
 
     #[test]

@@ -254,25 +254,17 @@ mod tests {
         let ia = analyze("int f(int a) { int x = a + 1; return x * x; }");
         for p in [PhaseId::InsnSelect, PhaseId::Cse, PhaseId::DeadAssign] {
             if let Some(d) = ia.disabling_probability(p, p) {
-                assert!(
-                    d > 0.9,
-                    "{p:?} should almost always disable itself, got {d}"
-                );
+                assert!(d > 0.9, "{p:?} should almost always disable itself, got {d}");
             }
         }
     }
 
     #[test]
     fn independence_is_symmetric() {
-        let ia = analyze(
-            "int f(int a, int b) { int x = a + 1; int y = b + 2; return x * y; }",
-        );
+        let ia = analyze("int f(int a, int b) { int x = a + 1; int y = b + 2; return x * y; }");
         for p in PhaseId::ALL {
             for q in PhaseId::ALL {
-                assert_eq!(
-                    ia.independence_probability(p, q),
-                    ia.independence_probability(q, p)
-                );
+                assert_eq!(ia.independence_probability(p, q), ia.independence_probability(q, p));
             }
         }
     }

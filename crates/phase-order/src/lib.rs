@@ -47,9 +47,12 @@
 pub mod enumerate;
 pub mod interaction;
 pub mod prob;
+pub mod rng;
 pub mod search;
 pub mod space;
 pub mod stats;
 
-pub use enumerate::{enumerate, Config, Enumeration, ReplayMode, SearchOutcome};
+pub use enumerate::{
+    enumerate, enumerate_parallel, Config, Enumeration, ReplayMode, SearchOutcome,
+};
 pub use space::{NodeId, SearchSpace};

@@ -57,10 +57,8 @@ impl ProbTables {
             t.start[i.index()] = ia.start_probability(i).unwrap_or(0.0);
             t.bias[i.index()] = ia.overall_activity(i);
             for j in PhaseId::ALL {
-                t.enabling[i.index()][j.index()] =
-                    ia.enabling_probability(i, j).unwrap_or(0.0);
-                t.disabling[i.index()][j.index()] =
-                    ia.disabling_probability(i, j).unwrap_or(0.0);
+                t.enabling[i.index()][j.index()] = ia.enabling_probability(i, j).unwrap_or(0.0);
+                t.disabling[i.index()][j.index()] = ia.disabling_probability(i, j).unwrap_or(0.0);
             }
         }
         t
@@ -76,11 +74,7 @@ const MAX_ATTEMPTS: usize = 2_000;
 /// Compiles `f` by dynamically selecting phases per Figure 8. Returns the
 /// same [`BatchStats`] shape as the conventional batch compiler so the two
 /// are directly comparable (Table 7).
-pub fn probabilistic_compile(
-    f: &mut Function,
-    target: &Target,
-    tables: &ProbTables,
-) -> BatchStats {
+pub fn probabilistic_compile(f: &mut Function, target: &Target, tables: &ProbTables) -> BatchStats {
     let mut stats = BatchStats::default();
     let mut p = tables.start;
     for _ in 0..MAX_ATTEMPTS {
@@ -94,12 +88,7 @@ pub fn probabilistic_compile(
         }
         let j = (0..N)
             .filter(|&i| p[i] >= pmax - 0.05 && p[i] > EPSILON)
-            .max_by(|&a, &b| {
-                tables.bias[a]
-                    .partial_cmp(&tables.bias[b])
-                    .unwrap()
-                    .then(b.cmp(&a))
-            })
+            .max_by(|&a, &b| tables.bias[a].partial_cmp(&tables.bias[b]).unwrap().then(b.cmp(&a)))
             .expect("pmax guarantees a candidate");
         let phase = PhaseId::from_index(j);
         let outcome = attempt(f, phase, target);
@@ -109,8 +98,7 @@ pub fn probabilistic_compile(
             stats.sequence.push(phase);
             for (i, pi) in p.iter_mut().enumerate() {
                 if i != j {
-                    *pi += (1.0 - *pi) * tables.enabling[i][j]
-                        - *pi * tables.disabling[i][j];
+                    *pi += (1.0 - *pi) * tables.enabling[i][j] - *pi * tables.disabling[i][j];
                     *pi = pi.clamp(0.0, 1.0);
                 }
             }

@@ -16,9 +16,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use vpo_opt::{attempt, PhaseId, Target};
 use vpo_rtl::canon::Fingerprint;
 use vpo_rtl::Function;
@@ -47,13 +45,7 @@ struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     fn new(base: &'a Function, target: &'a Target) -> Self {
-        Evaluator {
-            base,
-            target,
-            cache: HashMap::new(),
-            evaluations: 0,
-            sequences_tried: 0,
-        }
+        Evaluator { base, target, cache: HashMap::new(), evaluations: 0, sequences_tried: 0 }
     }
 
     /// Applies `seq` and returns the resulting code size.
@@ -74,7 +66,7 @@ impl<'a> Evaluator<'a> {
     }
 }
 
-fn random_seq(rng: &mut StdRng, len: usize) -> Vec<PhaseId> {
+fn random_seq(rng: &mut Rng, len: usize) -> Vec<PhaseId> {
     (0..len).map(|_| PhaseId::from_index(rng.gen_range(0..PhaseId::COUNT))).collect()
 }
 
@@ -86,7 +78,7 @@ pub fn random_search(
     seq_len: usize,
     seed: u64,
 ) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut ev = Evaluator::new(f, target);
     let mut best_seq = Vec::new();
     let mut best = ev.eval(&best_seq);
@@ -116,7 +108,7 @@ pub fn hill_climb(
     seq_len: usize,
     seed: u64,
 ) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut ev = Evaluator::new(f, target);
     let mut best_seq = random_seq(&mut rng, seq_len);
     let mut best = ev.eval(&best_seq);
@@ -180,7 +172,7 @@ pub fn genetic_search(
     seq_len: usize,
     seed: u64,
 ) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut ev = Evaluator::new(f, target);
     let mut pop: Vec<(Vec<PhaseId>, u32)> = (0..population.max(2))
         .map(|_| {
@@ -197,19 +189,20 @@ pub fn genetic_search(
         pop.sort_by_key(|(_, s)| *s);
         next.push(pop[0].clone());
         while next.len() < pop.len() {
-            let pick = |rng: &mut StdRng, pop: &[(Vec<PhaseId>, u32)]| {
+            let pick = |rng: &mut Rng, pop: &[(Vec<PhaseId>, u32)]| {
                 let a = rng.gen_range(0..pop.len());
                 let b = rng.gen_range(0..pop.len());
-                if pop[a].1 <= pop[b].1 { a } else { b }
+                if pop[a].1 <= pop[b].1 {
+                    a
+                } else {
+                    b
+                }
             };
             let pa = pick(&mut rng, &pop);
             let pb = pick(&mut rng, &pop);
             let cut = rng.gen_range(0..seq_len);
-            let mut child: Vec<PhaseId> = pop[pa].0[..cut]
-                .iter()
-                .chain(pop[pb].0[cut..].iter())
-                .copied()
-                .collect();
+            let mut child: Vec<PhaseId> =
+                pop[pa].0[..cut].iter().chain(pop[pb].0[cut..].iter()).copied().collect();
             for gene in child.iter_mut() {
                 if rng.gen_range(0..100) < 5 {
                     *gene = PhaseId::from_index(rng.gen_range(0..PhaseId::COUNT));

@@ -223,10 +223,7 @@ impl SearchSpace {
             let w = if node.children.is_empty() {
                 1
             } else {
-                node.children
-                    .iter()
-                    .map(|&(_, c)| self.nodes[c.0 as usize].weight)
-                    .sum()
+                node.children.iter().map(|&(_, c)| self.nodes[c.0 as usize].weight).sum()
             };
             self.nodes[v as usize].weight = w;
         }

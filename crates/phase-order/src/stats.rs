@@ -66,9 +66,7 @@ impl FunctionRow {
     /// due to different phase orderings").
     pub fn code_diff_percent(&self) -> Option<f64> {
         match (self.code_max, self.code_min) {
-            (Some(max), Some(min)) if min > 0 => {
-                Some((max - min) as f64 * 100.0 / min as f64)
-            }
+            (Some(max), Some(min)) if min > 0 => Some((max - min) as f64 * 100.0 / min as f64),
             _ => None,
         }
     }
@@ -93,9 +91,7 @@ impl FunctionRow {
             opt(&self.leaves),
             opt(&self.code_max),
             opt(&self.code_min),
-            self.code_diff_percent()
-                .map(|d| format!("{d:.1}"))
-                .unwrap_or_else(|| "N/A".into()),
+            self.code_diff_percent().map(|d| format!("{d:.1}")).unwrap_or_else(|| "N/A".into()),
         )
     }
 
@@ -103,8 +99,19 @@ impl FunctionRow {
     pub fn header() -> String {
         format!(
             "{:<22} {:>6} {:>4} {:>4} {:>4} {:>9} {:>11} {:>4} {:>5} {:>6} {:>6} {:>6} {:>7}",
-            "Function", "Insts", "Blk", "Brch", "Loop", "FnInst", "AttemptPh", "Len", "CF",
-            "Leaf", "Max", "Min", "%Diff"
+            "Function",
+            "Insts",
+            "Blk",
+            "Brch",
+            "Loop",
+            "FnInst",
+            "AttemptPh",
+            "Len",
+            "CF",
+            "Leaf",
+            "Max",
+            "Min",
+            "%Diff"
         )
     }
 }
@@ -145,11 +152,8 @@ mod tests {
         )
         .unwrap();
         let f = &p.functions[0];
-        let e = enumerate(
-            f,
-            &Target::default(),
-            &Config { max_level_width: 1, ..Config::default() },
-        );
+        let e =
+            enumerate(f, &Target::default(), &Config { max_level_width: 1, ..Config::default() });
         let row = FunctionRow::new("f(t)", f, &e);
         assert_eq!(row.fn_instances, None);
         assert!(row.render().contains("N/A"));

@@ -139,14 +139,29 @@ pub enum Stmt {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinaryOp {
-    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Ushr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Ushr,
 }
 
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum CmpOp {
-    Eq, Ne, Lt, Le, Gt, Ge,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 /// Expressions. Every node carries its source line for diagnostics.

@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 
 use vpo_rtl::{
-    BinOp, Block, Cond, Expr as R, Function, GlobalDef, Inst, Label, LocalId, Program, Reg,
-    SymId, UnOp, Width,
+    BinOp, Block, Cond, Expr as R, Function, GlobalDef, Inst, Label, LocalId, Program, Reg, SymId,
+    UnOp, Width,
 };
 
 use crate::ast::*;
@@ -305,8 +305,7 @@ impl<'a> Emitter<'a> {
                 v
             }
             Expr::Call { callee, args, .. } => {
-                let arg_regs: Vec<R> =
-                    args.iter().map(|a| R::Reg(self.expr(a))).collect();
+                let arg_regs: Vec<R> = args.iter().map(|a| R::Reg(self.expr(a))).collect();
                 let returns = self.fn_returns.get(callee.as_str()).copied().unwrap_or(true);
                 let dst = if returns { Some(self.reg()) } else { None };
                 self.emit(Inst::Call { callee: callee.clone(), args: arg_regs, dst });
@@ -529,11 +528,7 @@ fn gen_function(
         let preg = e.f.new_pseudo();
         e.f.params.push(preg);
         let slot = e.f.new_local(p.name.clone(), 4);
-        let place = if p.is_array {
-            Place::PtrSlot(slot, p.ty)
-        } else {
-            Place::LocalScalar(slot)
-        };
+        let place = if p.is_array { Place::PtrSlot(slot, p.ty) } else { Place::LocalScalar(slot) };
         e.scopes[0].insert(p.name.clone(), place);
         let a = e.local_addr(slot);
         e.emit(Inst::Store { width: Width::Word, addr: R::Reg(a), src: R::Reg(preg) });
@@ -556,8 +551,7 @@ fn gen_function(
             }
         } else {
             let label = f.blocks[i].label;
-            let referenced =
-                f.iter_insts().any(|(_, _, inst)| inst.target() == Some(label));
+            let referenced = f.iter_insts().any(|(_, _, inst)| inst.target() == Some(label));
             if referenced || f.blocks.len() == 1 {
                 break;
             }
@@ -619,10 +613,7 @@ mod tests {
 
     #[test]
     fn char_arrays_use_byte_accesses() {
-        let p = compile(
-            "char buf[16]; int first() { return buf[0]; }",
-        )
-        .unwrap();
+        let p = compile("char buf[16]; int first() { return buf[0]; }").unwrap();
         let f = &p.functions[0];
         let has_byte_load = f.iter_insts().any(|(_, _, i)| {
             let mut found = false;
@@ -640,8 +631,7 @@ mod tests {
 
     #[test]
     fn short_circuit_generates_branches() {
-        let p = compile("int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }")
-            .unwrap();
+        let p = compile("int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }").unwrap();
         let f = &p.functions[0];
         assert!(f.branch_count() >= 2);
     }
@@ -693,10 +683,8 @@ mod tests {
     fn every_generated_instruction_is_atomic() {
         // The naive generator only emits single-operator RTLs; expression
         // trees deeper than one operator never appear.
-        let p = compile(
-            "int f(int a, int b, int c) { return (a + b * c) / (a - 1 + (b ^ c)); }",
-        )
-        .unwrap();
+        let p = compile("int f(int a, int b, int c) { return (a + b * c) / (a - 1 + (b ^ c)); }")
+            .unwrap();
         for (_, _, inst) in p.functions[0].iter_insts() {
             inst.visit_exprs(&mut |e| {
                 let depth_ok = match e {

@@ -150,8 +150,8 @@ impl<'a> Parser<'a> {
         }
         self.expect_punct(Punct::Semi)?;
         // Infer length for `x[] = ...`.
-        let was_array = array_len.is_some()
-            || matches!(init, GlobalInit::List(_) | GlobalInit::Str(_));
+        let was_array =
+            array_len.is_some() || matches!(init, GlobalInit::List(_) | GlobalInit::Str(_));
         let array_len = match (&init, array_len) {
             (_, Some(n)) => Some(n),
             (GlobalInit::List(v), None) if was_array => Some(v.len()),
@@ -178,7 +178,8 @@ impl<'a> Parser<'a> {
         self.expect_punct(Punct::LParen)?;
         let mut params = Vec::new();
         if !self.eat_punct(Punct::RParen) {
-            if *self.peek() == TokenKind::Kw(Kw::Void) && *self.peek2() == TokenKind::Punct(Punct::RParen)
+            if *self.peek() == TokenKind::Kw(Kw::Void)
+                && *self.peek2() == TokenKind::Punct(Punct::RParen)
             {
                 self.bump();
             } else {
@@ -234,11 +235,7 @@ impl<'a> Parser<'a> {
                     }
                     self.expect_punct(Punct::RBracket)?;
                 }
-                let init = if self.eat_punct(Punct::Assign) {
-                    Some(self.expr()?)
-                } else {
-                    None
-                };
+                let init = if self.eat_punct(Punct::Assign) { Some(self.expr()?) } else { None };
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::Decl { name, ty, array_len, init, line })
             }
@@ -373,12 +370,7 @@ impl<'a> Parser<'a> {
         let rhs = self.assignment()?;
         let value = match op {
             None => rhs,
-            Some(op) => Expr::Binary {
-                op,
-                lhs: Box::new(lhs.clone()),
-                rhs: Box::new(rhs),
-                line,
-            },
+            Some(op) => Expr::Binary { op, lhs: Box::new(lhs.clone()), rhs: Box::new(rhs), line },
         };
         Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value), line })
     }

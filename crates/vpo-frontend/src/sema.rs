@@ -139,11 +139,7 @@ fn check_stmts(
     Ok(())
 }
 
-fn check_expr(
-    e: &Expr,
-    scopes: &[HashMap<String, Binding>],
-    cx: &Cx,
-) -> Result<(), CompileError> {
+fn check_expr(e: &Expr, scopes: &[HashMap<String, Binding>], cx: &Cx) -> Result<(), CompileError> {
     match e {
         Expr::Int(..) => Ok(()),
         Expr::Var(name, line) => match lookup(name, scopes, cx) {
@@ -180,10 +176,7 @@ fn check_expr(
                         ))
                     }
                     None => {
-                        return Err(CompileError::new(
-                            *line,
-                            format!("use of undeclared `{name}`"),
-                        ))
+                        return Err(CompileError::new(*line, format!("use of undeclared `{name}`")))
                     }
                 },
                 Expr::Index { .. } => check_expr(target, scopes, cx)?,
@@ -196,10 +189,7 @@ fn check_expr(
                 if arity != args.len() {
                     return Err(CompileError::new(
                         *line,
-                        format!(
-                            "`{callee}` expects {arity} argument(s), got {}",
-                            args.len()
-                        ),
+                        format!("`{callee}` expects {arity} argument(s), got {}", args.len()),
                     ));
                 }
             }

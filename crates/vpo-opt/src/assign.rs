@@ -57,7 +57,8 @@ fn try_color(f: &Function, target: &Target) -> Result<HashMap<Reg, u16>, Reg> {
             _ => None,
         })
         .collect();
-    let mut adj: HashMap<Reg, HashSet<Reg>> = pseudos.iter().map(|&p| (p, HashSet::new())).collect();
+    let mut adj: HashMap<Reg, HashSet<Reg>> =
+        pseudos.iter().map(|&p| (p, HashSet::new())).collect();
     let edge = |a: Reg, b: Reg, adj: &mut HashMap<Reg, HashSet<Reg>>| {
         if a != b {
             adj.get_mut(&a).unwrap().insert(b);
@@ -91,12 +92,8 @@ fn try_color(f: &Function, target: &Target) -> Result<HashMap<Reg, u16>, Reg> {
     // Greedy coloring in pseudo-index order (deterministic). Parameters are
     // colored first so that argument registers get the lowest numbers, like
     // a real calling convention.
-    let mut order: Vec<Reg> = f
-        .params
-        .iter()
-        .copied()
-        .filter(|p| p.class == RegClass::Pseudo)
-        .collect();
+    let mut order: Vec<Reg> =
+        f.params.iter().copied().filter(|p| p.class == RegClass::Pseudo).collect();
     for &p in &pseudos {
         if !order.contains(&p) {
             order.push(p);

@@ -196,9 +196,6 @@ mod tests {
         let s1 = batch_compile(&mut f1, &target);
         let s2 = batch_compile(&mut f2, &target);
         assert_eq!(s1, s2);
-        assert_eq!(
-            vpo_rtl::canon::fingerprint(&f1),
-            vpo_rtl::canon::fingerprint(&f2)
-        );
+        assert_eq!(vpo_rtl::canon::fingerprint(&f1), vpo_rtl::canon::fingerprint(&f2));
     }
 }

@@ -102,7 +102,12 @@ fn data_op(op: BinOp) -> Option<&'static str> {
     })
 }
 
-fn emit_assign(out: &mut String, dst: vpo_rtl::Reg, src: &Expr, prog: &Program) -> Result<(), EmitError> {
+fn emit_assign(
+    out: &mut String,
+    dst: vpo_rtl::Reg,
+    src: &Expr,
+    prog: &Program,
+) -> Result<(), EmitError> {
     let d = reg(dst)?;
     match src {
         Expr::Reg(r) => writeln!(out, "\tmov\t{d}, {}", reg(*r)?).unwrap(),
@@ -111,9 +116,7 @@ fn emit_assign(out: &mut String, dst: vpo_rtl::Reg, src: &Expr, prog: &Program) 
             let name = &prog.globals[s.0 as usize].name;
             writeln!(out, "\tmov\t{d}, #:hi:{name}").unwrap()
         }
-        Expr::LocalAddr(_) => {
-            return Err(err("symbolic local address; run fix_entry_exit first"))
-        }
+        Expr::LocalAddr(_) => return Err(err("symbolic local address; run fix_entry_exit first")),
         Expr::Load(w, a) => {
             let mn = if *w == Width::Byte { "ldrb" } else { "ldr" };
             writeln!(out, "\t{mn}\t{d}, {}", address(a)?).unwrap()
@@ -139,12 +142,10 @@ fn emit_assign(out: &mut String, dst: vpo_rtl::Reg, src: &Expr, prog: &Program) 
             }
             (BinOp::Div, Expr::Reg(x), Expr::Reg(y)) => {
                 // Runtime-support operation on the SA-100.
-                writeln!(out, "\tbl\t__divsi3\t@ {d} = {} / {}", reg(*x)?, reg(*y)?)
-                    .unwrap()
+                writeln!(out, "\tbl\t__divsi3\t@ {d} = {} / {}", reg(*x)?, reg(*y)?).unwrap()
             }
             (BinOp::Rem, Expr::Reg(x), Expr::Reg(y)) => {
-                writeln!(out, "\tbl\t__modsi3\t@ {d} = {} % {}", reg(*x)?, reg(*y)?)
-                    .unwrap()
+                writeln!(out, "\tbl\t__modsi3\t@ {d} = {} % {}", reg(*x)?, reg(*y)?).unwrap()
             }
             (BinOp::Shl | BinOp::AShr | BinOp::LShr, Expr::Reg(x), rhs) => {
                 let mn = match op {
@@ -160,24 +161,21 @@ fn emit_assign(out: &mut String, dst: vpo_rtl::Reg, src: &Expr, prog: &Program) 
                 writeln!(out, "\t{mn}\t{d}, {}, {rhs}", reg(*x)?).unwrap()
             }
             (_, Expr::Reg(x), _) => {
-                let mn = data_op(*op)
-                    .ok_or_else(|| err(format!("unsupported operation {op}")))?;
+                let mn = data_op(*op).ok_or_else(|| err(format!("unsupported operation {op}")))?;
                 writeln!(out, "\t{mn}\t{d}, {}, {}", reg(*x)?, operand2(b)?).unwrap()
             }
             (BinOp::Sub, Expr::Const(c), Expr::Reg(y)) => {
                 writeln!(out, "\trsb\t{d}, {}, #{c}", reg(*y)?).unwrap()
             }
             (_, Expr::Const(c), Expr::Reg(y)) if op.is_commutative() => {
-                let mn = data_op(*op)
-                    .ok_or_else(|| err(format!("unsupported operation {op}")))?;
+                let mn = data_op(*op).ok_or_else(|| err(format!("unsupported operation {op}")))?;
                 writeln!(out, "\t{mn}\t{d}, {}, #{c}", reg(*y)?).unwrap()
             }
             (BinOp::Sub, Expr::Bin(..), Expr::Reg(y)) => {
                 writeln!(out, "\trsb\t{d}, {}, {}", reg(*y)?, operand2(a)?).unwrap()
             }
             (_, Expr::Bin(..), Expr::Reg(y)) if op.is_commutative() => {
-                let mn = data_op(*op)
-                    .ok_or_else(|| err(format!("unsupported operation {op}")))?;
+                let mn = data_op(*op).ok_or_else(|| err(format!("unsupported operation {op}")))?;
                 writeln!(out, "\t{mn}\t{d}, {}, {}", reg(*y)?, operand2(a)?).unwrap()
             }
             _ => return Err(err(format!("unsupported binary form {src}"))),
@@ -286,13 +284,11 @@ pub fn emit_program(prog: &Program, target: &crate::Target) -> Result<String, Em
     let mut out = String::new();
     for g in &prog.globals {
         if g.init.is_empty() && g.init_bytes.is_empty() {
-            writeln!(out, "\t.bss\n\t.align\t2\n{}:\n\t.space\t{}", g.name, g.size.max(1))
-                .unwrap();
+            writeln!(out, "\t.bss\n\t.align\t2\n{}:\n\t.space\t{}", g.name, g.size.max(1)).unwrap();
         } else {
             writeln!(out, "\t.data\n\t.align\t2\n{}:", g.name).unwrap();
             if !g.init_bytes.is_empty() {
-                let bytes: Vec<String> =
-                    g.init_bytes.iter().map(|b| b.to_string()).collect();
+                let bytes: Vec<String> = g.init_bytes.iter().map(|b| b.to_string()).collect();
                 writeln!(out, "\t.byte\t{}", bytes.join(", ")).unwrap();
             } else {
                 for w in &g.init {
@@ -365,8 +361,7 @@ mod tests {
             for f in &mut p.functions {
                 batch_compile(f, &target);
             }
-            emit_program(&p, &target)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            emit_program(&p, &target).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         }
     }
 

@@ -164,10 +164,9 @@ mod tests {
 
     #[test]
     fn frame_sizes_are_word_aligned() {
-        let p = vpo_frontend::compile(
-            "int f() { char b[5]; int w; b[0] = 1; w = b[0]; return w; }",
-        )
-        .unwrap();
+        let p =
+            vpo_frontend::compile("int f() { char b[5]; int w; b[0] = 1; w = b[0]; return w; }")
+                .unwrap();
         // 5 bytes round to 8, plus 4 for the scalar.
         assert_eq!(frame_size(&p.functions[0]), 12);
     }

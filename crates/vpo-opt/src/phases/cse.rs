@@ -84,10 +84,7 @@ fn transfer(state: &mut State, inst: &Inst) {
 
 /// Meet (intersection of equal facts) for the must-analysis.
 fn meet(a: &State, b: &State) -> State {
-    a.iter()
-        .filter(|(k, v)| b.get(*k) == Some(*v))
-        .map(|(k, v)| (*k, *v))
-        .collect()
+    a.iter().filter(|(k, v)| b.get(*k) == Some(*v)).map(|(k, v)| (*k, *v)).collect()
 }
 
 /// Global constant and copy propagation. Returns whether code changed.
@@ -182,10 +179,7 @@ fn in_state(cfg: &Cfg, out: &[Option<State>], bi: usize) -> State {
 /// `HI[sym]`). Registers and plain constants are the business of copy and
 /// constant propagation instead.
 fn numberable(src: &Expr) -> bool {
-    matches!(
-        src,
-        Expr::Bin(..) | Expr::Un(..) | Expr::Load(..) | Expr::LocalAddr(_) | Expr::Hi(_)
-    )
+    matches!(src, Expr::Bin(..) | Expr::Un(..) | Expr::Load(..) | Expr::LocalAddr(_) | Expr::Hi(_))
 }
 
 /// Per-block value numbering of non-trivial right-hand sides. Returns
@@ -222,10 +216,7 @@ fn value_numbering(f: &mut Function, _target: &Target) -> bool {
             }
             // Insert the new availability fact.
             if let Inst::Assign { dst, src } = &inst {
-                if numberable(src)
-                    && !src.uses_reg(*dst)
-                    && !table.iter().any(|(e, _)| e == src)
-                {
+                if numberable(src) && !src.uses_reg(*dst) && !table.iter().any(|(e, _)| e == src) {
                     table.push((src.clone(), *dst));
                 }
             }

@@ -33,10 +33,9 @@ pub fn run(f: &mut Function, _target: &Target) -> bool {
                         .index_of(Item::Reg(*dst))
                         .map(|d| !live_after.contains(d))
                         .unwrap_or(false),
-                    Inst::Compare { .. } => lv
-                        .index_of(Item::Cc)
-                        .map(|c| !live_after.contains(c))
-                        .unwrap_or(false),
+                    Inst::Compare { .. } => {
+                        lv.index_of(Item::Cc).map(|c| !live_after.contains(c)).unwrap_or(false)
+                    }
                     Inst::Store { addr: Expr::LocalAddr(l), .. } => lv
                         .index_of(Item::Local(*l))
                         .map(|x| !live_after.contains(x))

@@ -137,8 +137,7 @@ fn pick_best<F: Fn(Reg) -> bool>(
                 .iter()
                 .filter(|u| {
                     is_temp(**u)
-                        && remaining.get(u).copied().unwrap_or(0)
-                            == insts[i].uses_count(**u)
+                        && remaining.get(u).copied().unwrap_or(0) == insts[i].uses_count(**u)
                 })
                 .count() as i64;
             let creates = match insts[i].def() {

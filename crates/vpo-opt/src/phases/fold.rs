@@ -102,7 +102,11 @@ mod tests {
 
     #[test]
     fn folds_constant_trees() {
-        let e = Expr::bin(BinOp::Add, Expr::Const(1), Expr::bin(BinOp::Mul, Expr::Const(3), Expr::Const(4)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Const(1),
+            Expr::bin(BinOp::Mul, Expr::Const(3), Expr::Const(4)),
+        );
         let (out, changed) = fold_expr(&e);
         assert!(changed);
         assert_eq!(out, Expr::Const(13));
@@ -144,11 +148,7 @@ mod tests {
 
     #[test]
     fn fold_is_idempotent() {
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::bin(BinOp::Mul, r(), Expr::Const(1)),
-            Expr::Const(0),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, r(), Expr::Const(1)), Expr::Const(0));
         let (once, _) = fold_expr(&e);
         let (twice, changed) = fold_expr(&once);
         assert!(!changed);

@@ -300,10 +300,7 @@ mod tests {
         assert!(run(&mut f, &t()));
         // The whole chain folds into `RET 6` (a legal immediate return).
         assert_eq!(f.inst_count(), 1);
-        assert!(matches!(
-            &f.blocks[0].insts[0],
-            Inst::Return { value: Some(Expr::Const(6)) }
-        ));
+        assert!(matches!(&f.blocks[0].insts[0], Inst::Return { value: Some(Expr::Const(6)) }));
         assert!(!run(&mut f, &t()));
     }
 

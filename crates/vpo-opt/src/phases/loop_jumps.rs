@@ -130,14 +130,9 @@ mod tests {
         let latch = f
             .blocks
             .iter()
-            .find(|blk| {
-                matches!(blk.insts.last(), Some(Inst::CondBranch { cond: Cond::Lt, .. }))
-            })
+            .find(|blk| matches!(blk.insts.last(), Some(Inst::CondBranch { cond: Cond::Lt, .. })))
             .expect("inverted latch");
-        assert!(matches!(
-            &latch.insts[latch.insts.len() - 2],
-            Inst::Compare { .. }
-        ));
+        assert!(matches!(&latch.insts[latch.insts.len() - 2], Inst::Compare { .. }));
         assert!(!run(&mut f, &t()), "second application dormant");
     }
 

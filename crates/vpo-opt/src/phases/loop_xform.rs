@@ -74,9 +74,7 @@ fn loop_defs(f: &Function, l: &NaturalLoop) -> HashSet<Reg> {
 
 /// Whether any instruction in the loop may write memory.
 fn loop_writes_memory(f: &Function, l: &NaturalLoop) -> bool {
-    l.body
-        .iter()
-        .any(|&bi| f.blocks[bi].insts.iter().any(|i| i.writes_memory()))
+    l.body.iter().any(|&bi| f.blocks[bi].insts.iter().any(|i| i.writes_memory()))
 }
 
 /// Finds or creates the loop preheader: the unique block through which the
@@ -85,8 +83,7 @@ fn loop_writes_memory(f: &Function, l: &NaturalLoop) -> bool {
 fn ensure_preheader(f: &mut Function, l: &NaturalLoop) -> Option<usize> {
     let cfg = Cfg::build(f);
     let h = l.header;
-    let outside: Vec<usize> =
-        cfg.preds[h].iter().copied().filter(|p| !l.contains(*p)).collect();
+    let outside: Vec<usize> = cfg.preds[h].iter().copied().filter(|p| !l.contains(*p)).collect();
     if outside.is_empty() {
         return None;
     }
@@ -253,12 +250,7 @@ fn basic_ivs(f: &Function, l: &NaturalLoop) -> Vec<(Reg, usize, usize, i64)> {
 /// Attempts one strength reduction of `t = i * m` or `t = i << k` in loop
 /// `l`, where `i` is a basic IV whose step instruction follows the
 /// definition of `t` in the same block.
-fn strength_reduce_once(
-    f: &mut Function,
-    cfg: &Cfg,
-    l: &NaturalLoop,
-    target: &Target,
-) -> bool {
+fn strength_reduce_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop, target: &Target) -> bool {
     let ivs = basic_ivs(f, l);
     if ivs.is_empty() {
         return false;
@@ -295,9 +287,7 @@ fn strength_reduce_once(
                 // t = i << k (constant k): step' = step*m or step<<k.
                 let (derived_src, step_expr) = match src {
                     Expr::Bin(BinOp::Shl, a, b) => match (&**a, &**b) {
-                        (Expr::Reg(r), Expr::Const(k))
-                            if *r == iv && (0..31).contains(k) =>
-                        {
+                        (Expr::Reg(r), Expr::Const(k)) if *r == iv && (0..31).contains(k) => {
                             let s = step << k;
                             if !target.legal_imm(s) {
                                 continue;
@@ -376,7 +366,7 @@ fn strength_reduce_once(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use vpo_rtl::{Cond, Width};
 
     fn t() -> Target {
@@ -489,10 +479,9 @@ mod tests {
         assert!(run(&mut f2, &t()));
         // The shift left the loop; an addition by 4 appears after the step.
         let body_insts = &f2.blocks[f2.block_index(body).unwrap()].insts;
-        assert!(body_insts.iter().all(|i| !matches!(
-            i,
-            Inst::Assign { src: Expr::Bin(BinOp::Shl, ..), .. }
-        )));
+        assert!(body_insts
+            .iter()
+            .all(|i| !matches!(i, Inst::Assign { src: Expr::Bin(BinOp::Shl, ..), .. })));
         assert!(body_insts.iter().any(|inst| matches!(
             inst,
             Inst::Assign { dst, src: Expr::Bin(BinOp::Add, a, c) }

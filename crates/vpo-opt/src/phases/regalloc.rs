@@ -33,12 +33,8 @@ use crate::target::Target;
 /// Runs register allocation; returns whether anything changed.
 pub fn run(f: &mut Function, target: &Target) -> bool {
     // Free hard registers: not used anywhere in the function.
-    let used: HashSet<u16> = f
-        .all_regs()
-        .iter()
-        .filter(|r| r.class == RegClass::Hard)
-        .map(|r| r.index)
-        .collect();
+    let used: HashSet<u16> =
+        f.all_regs().iter().filter(|r| r.class == RegClass::Hard).map(|r| r.index).collect();
     let mut pool: Vec<u16> = (0..target.usable_regs).filter(|i| !used.contains(i)).collect();
     if pool.is_empty() {
         return false;
@@ -75,10 +71,8 @@ pub fn run(f: &mut Function, target: &Target) -> bool {
                         Expr::Reg(r) => pre.get(r).copied(),
                         _ => None,
                     };
-                    slot.and_then(|v| coloring.get(&v)).map(|&rv| Inst::Assign {
-                        dst: rv,
-                        src: src.clone(),
-                    })
+                    slot.and_then(|v| coloring.get(&v))
+                        .map(|&rv| Inst::Assign { dst: rv, src: src.clone() })
                 }
                 Inst::Assign { dst, src: Expr::Load(Width::Word, a) } => {
                     let slot = match &**a {
@@ -86,10 +80,8 @@ pub fn run(f: &mut Function, target: &Target) -> bool {
                         Expr::Reg(r) => pre.get(r).copied(),
                         _ => None,
                     };
-                    slot.and_then(|v| coloring.get(&v)).map(|&rv| Inst::Assign {
-                        dst: *dst,
-                        src: Expr::Reg(rv),
-                    })
+                    slot.and_then(|v| coloring.get(&v))
+                        .map(|&rv| Inst::Assign { dst: *dst, src: Expr::Reg(rv) })
                 }
                 _ => None,
             };
@@ -143,10 +135,7 @@ impl SlotFacts {
             if let Some(s) = &out[p] {
                 acc = Some(match acc {
                     None => s.clone(),
-                    Some(a) => a
-                        .into_iter()
-                        .filter(|(k, v)| s.get(k) == Some(v))
-                        .collect(),
+                    Some(a) => a.into_iter().filter(|(k, v)| s.get(k) == Some(v)).collect(),
                 });
             }
         }
@@ -249,8 +238,7 @@ fn eligible_locals(f: &Function, facts: &SlotFacts, direct_only: bool) -> Vec<Lo
                             ineligible.insert(*v);
                         }
                         (Expr::Reg(r), Width::Word) => {
-                            let proven =
-                                if direct_only { None } else { pre.get(r).copied() };
+                            let proven = if direct_only { None } else { pre.get(r).copied() };
                             mark_ambiguous(r, proven, &mut ineligible);
                         }
                         (other, _) => mark_expr_value(other, &mut ineligible),
@@ -280,9 +268,7 @@ fn is_accessed(f: &Function, facts: &SlotFacts, v: LocalId) -> bool {
             SlotFacts::transfer(&mut state, inst);
             match inst {
                 Inst::Store { addr: Expr::LocalAddr(x), .. } if *x == v => return true,
-                Inst::Store { addr: Expr::Reg(r), .. } if pre.get(r) == Some(&v) => {
-                    return true
-                }
+                Inst::Store { addr: Expr::Reg(r), .. } if pre.get(r) == Some(&v) => return true,
                 Inst::Assign { src: Expr::Load(_, a), .. } => match &**a {
                     Expr::LocalAddr(x) if *x == v => return true,
                     Expr::Reg(r) if pre.get(r) == Some(&v) => return true,
@@ -412,10 +398,7 @@ mod tests {
         f.blocks[0].insts = vec![
             Inst::Store { width: Width::Word, addr: Expr::LocalAddr(v), src: Expr::Reg(p) },
             Inst::Assign { dst: t0, src: Expr::load(Width::Word, Expr::LocalAddr(v)) },
-            Inst::Assign {
-                dst: out,
-                src: Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Reg(t0)),
-            },
+            Inst::Assign { dst: out, src: Expr::bin(BinOp::Add, Expr::Reg(t0), Expr::Reg(t0)) },
             Inst::Return { value: Some(Expr::Reg(out)) },
         ];
         f
@@ -444,10 +427,7 @@ mod tests {
         let mut f = direct_form();
         assert!(run(&mut f, &t()));
         assert!(matches!(f.blocks[0].insts[0], Inst::Assign { .. }));
-        assert!(matches!(
-            &f.blocks[0].insts[1],
-            Inst::Assign { src: Expr::Reg(_), .. }
-        ));
+        assert!(matches!(&f.blocks[0].insts[1], Inst::Assign { src: Expr::Reg(_), .. }));
         assert!(!run(&mut f, &t()), "second application dormant");
     }
 
@@ -474,10 +454,7 @@ mod tests {
             &f.blocks[0].insts[1],
             Inst::Assign { src: Expr::Reg(r), .. } if *r == Reg::hard(0)
         ));
-        assert!(matches!(
-            &f.blocks[0].insts[2],
-            Inst::Assign { src: Expr::Reg(_), .. }
-        ));
+        assert!(matches!(&f.blocks[0].insts[2], Inst::Assign { src: Expr::Reg(_), .. }));
         assert!(!run(&mut f, &robust()));
     }
 
@@ -488,11 +465,7 @@ mod tests {
         // the robust allocator.
         f.blocks[0].insts.insert(
             3,
-            Inst::Call {
-                callee: "ext".into(),
-                args: vec![Expr::Reg(Reg::hard(1))],
-                dst: None,
-            },
+            Inst::Call { callee: "ext".into(), args: vec![Expr::Reg(Reg::hard(1))], dst: None },
         );
         assert!(!run(&mut f, &robust()));
     }

@@ -65,8 +65,7 @@ fn reverse_once(f: &mut Function) -> bool {
                 {
                     let (cond, t1, t2) = (*cond, *t1, *t2);
                     if t1 == next_label && t2 != next_label {
-                        insts[n - 2] =
-                            Inst::CondBranch { cond: cond.negate(), target: t2 };
+                        insts[n - 2] = Inst::CondBranch { cond: cond.negate(), target: t2 };
                         insts.pop();
                         return true;
                     }

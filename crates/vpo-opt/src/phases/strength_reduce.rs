@@ -33,17 +33,15 @@ pub fn run(f: &mut Function, _target: &Target) -> bool {
         while ii < b.insts.len() {
             // Try to rewrite a multiply whose one operand is a known const.
             let rewrite = match &b.insts[ii] {
-                Inst::Assign { dst, src: Expr::Bin(BinOp::Mul, a, bb) } => {
-                    match (&**a, &**bb) {
-                        (Expr::Reg(x), Expr::Reg(c)) if consts.contains_key(c) => {
-                            plan(*dst, *x, consts[c])
-                        }
-                        (Expr::Reg(c), Expr::Reg(x)) if consts.contains_key(c) => {
-                            plan(*dst, *x, consts[c])
-                        }
-                        _ => None,
+                Inst::Assign { dst, src: Expr::Bin(BinOp::Mul, a, bb) } => match (&**a, &**bb) {
+                    (Expr::Reg(x), Expr::Reg(c)) if consts.contains_key(c) => {
+                        plan(*dst, *x, consts[c])
                     }
-                }
+                    (Expr::Reg(c), Expr::Reg(x)) if consts.contains_key(c) => {
+                        plan(*dst, *x, consts[c])
+                    }
+                    _ => None,
+                },
                 _ => None,
             };
             if let Some(seq) = rewrite {
@@ -166,8 +164,7 @@ mod tests {
     fn times_seven_uses_subtract() {
         let (mut f, _) = build_mul(7);
         assert!(run(&mut f, &t()));
-        assert!(f
-            .blocks[0]
+        assert!(f.blocks[0]
             .insts
             .iter()
             .any(|i| matches!(i, Inst::Assign { src: Expr::Bin(BinOp::Sub, ..), .. })));
@@ -178,8 +175,7 @@ mod tests {
     fn negative_constant_appends_negation() {
         let (mut f, _) = build_mul(-8);
         assert!(run(&mut f, &t()));
-        assert!(f
-            .blocks[0]
+        assert!(f.blocks[0]
             .insts
             .iter()
             .any(|i| matches!(i, Inst::Assign { src: Expr::Un(UnOp::Neg, _), .. })));

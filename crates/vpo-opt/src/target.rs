@@ -77,8 +77,7 @@ impl Target {
             Expr::Reg(_) => true,
             Expr::Const(c) => self.legal_imm(*c),
             Expr::Bin(BinOp::Shl | BinOp::AShr | BinOp::LShr, a, b) => {
-                matches!(**a, Expr::Reg(_))
-                    && matches!(&**b, Expr::Const(k) if (0..32).contains(k))
+                matches!(**a, Expr::Reg(_)) && matches!(&**b, Expr::Const(k) if (0..32).contains(k))
             }
             _ => false,
         }
@@ -114,14 +113,12 @@ impl Target {
             Expr::Reg(_) => true,
             Expr::Const(c) => self.legal_imm(*c),
             Expr::Hi(_) => true,
-            Expr::Lo(_) => false, // only legal inside reg + LO[sym]
+            Expr::Lo(_) => false,       // only legal inside reg + LO[sym]
             Expr::LocalAddr(_) => true, // add rd, sp, #off
             Expr::Load(_, a) => self.legal_addr(a),
             Expr::Un(_, a) => matches!(**a, Expr::Reg(_)),
             Expr::Bin(op, a, b) => match op {
-                BinOp::Mul => {
-                    matches!(**a, Expr::Reg(_)) && matches!(**b, Expr::Reg(_))
-                }
+                BinOp::Mul => matches!(**a, Expr::Reg(_)) && matches!(**b, Expr::Reg(_)),
                 // Division is a runtime-support operation (the SA-100 has no
                 // divide instruction); we model the `__divsi3` call as a
                 // single legal RTL over registers.
@@ -170,13 +167,9 @@ impl Target {
                 // ARM stores a register; no store-immediate exists.
                 self.legal_addr(addr) && matches!(src, Expr::Reg(_))
             }
-            Inst::Compare { lhs, rhs } => {
-                matches!(lhs, Expr::Reg(_)) && self.legal_operand2(rhs)
-            }
+            Inst::Compare { lhs, rhs } => matches!(lhs, Expr::Reg(_)) && self.legal_operand2(rhs),
             Inst::CondBranch { .. } | Inst::Jump { .. } => true,
-            Inst::Call { args, .. } => {
-                args.iter().all(|a| matches!(a, Expr::Reg(_)))
-            }
+            Inst::Call { args, .. } => args.iter().all(|a| matches!(a, Expr::Reg(_))),
             Inst::Return { value } => match value {
                 None => true,
                 Some(Expr::Reg(_)) => true,
@@ -260,11 +253,7 @@ mod tests {
     fn load_store_architecture() {
         let t = t();
         // Loads cannot be nested inside arithmetic.
-        assert!(!t.legal_rhs(&Expr::bin(
-            BinOp::Add,
-            r(1),
-            Expr::load(Width::Word, r(2))
-        )));
+        assert!(!t.legal_rhs(&Expr::bin(BinOp::Add, r(1), Expr::load(Width::Word, r(2)))));
         // Stores take registers only.
         let bad = Inst::Store { width: Width::Word, addr: r(1), src: Expr::Const(0) };
         assert!(!t.legal_inst(&bad));
@@ -307,11 +296,7 @@ mod tests {
         let t = t();
         use vpo_rtl::LocalId;
         assert!(t.legal_addr(&Expr::LocalAddr(LocalId(0))));
-        assert!(t.legal_addr(&Expr::bin(
-            BinOp::Add,
-            Expr::LocalAddr(LocalId(0)),
-            Expr::Const(8)
-        )));
+        assert!(t.legal_addr(&Expr::bin(BinOp::Add, Expr::LocalAddr(LocalId(0)), Expr::Const(8))));
         assert!(t.legal_rhs(&Expr::LocalAddr(LocalId(0))));
     }
 

@@ -70,10 +70,9 @@ impl Cfg {
                     _ => {}
                 }
             }
-            if falls && i + 1 < n
-                && !out.contains(&(i + 1)) {
-                    out.push(i + 1);
-                }
+            if falls && i + 1 < n && !out.contains(&(i + 1)) {
+                out.push(i + 1);
+            }
             for &s in &out {
                 preds[s].push(i);
             }

@@ -110,10 +110,7 @@ mod tests {
     fn paper_like_rendering() {
         let r3 = Reg::hard(3);
         let r4 = Reg::hard(4);
-        let i = Inst::Assign {
-            dst: r3,
-            src: Expr::bin(BinOp::Add, Expr::Reg(r4), Expr::Const(1)),
-        };
+        let i = Inst::Assign { dst: r3, src: Expr::bin(BinOp::Add, Expr::Reg(r4), Expr::Const(1)) };
         assert_eq!(inst_to_string(&i), "r[3]=(r[4]+1);");
         let c = Inst::Compare { lhs: Expr::Reg(r3), rhs: Expr::Reg(r4) };
         assert_eq!(inst_to_string(&c), "IC=r[3]?r[4];");

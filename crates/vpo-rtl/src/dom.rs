@@ -131,10 +131,7 @@ mod tests {
         b.compare(Expr::Reg(x), Expr::Const(0));
         b.cond_branch(Cond::Le, exit);
         b.start_block(body);
-        b.assign(
-            x,
-            Expr::bin(crate::expr::BinOp::Sub, Expr::Reg(x), Expr::Const(1)),
-        );
+        b.assign(x, Expr::bin(crate::expr::BinOp::Sub, Expr::Reg(x), Expr::Const(1)));
         b.jump(header);
         b.start_block(exit);
         b.ret(None);

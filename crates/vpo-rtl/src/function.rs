@@ -235,11 +235,7 @@ impl Function {
     /// Highest hard-register index in use, if any. Phases that need a fresh
     /// hard register pick indices above this (subject to the target limit).
     pub fn max_hard_reg(&self) -> Option<u16> {
-        self.all_regs()
-            .into_iter()
-            .filter(|r| r.class == RegClass::Hard)
-            .map(|r| r.index)
-            .max()
+        self.all_regs().into_iter().filter(|r| r.class == RegClass::Hard).map(|r| r.index).max()
     }
 
     /// Recomputes the `addr_taken` flag of every local by scanning all uses

@@ -205,10 +205,7 @@ impl Inst {
     /// Whether the instruction is a control transfer (ends or redirects the
     /// instruction stream).
     pub fn is_control(&self) -> bool {
-        matches!(
-            self,
-            Inst::CondBranch { .. } | Inst::Jump { .. } | Inst::Return { .. }
-        )
+        matches!(self, Inst::CondBranch { .. } | Inst::Jump { .. } | Inst::Return { .. })
     }
 
     /// Whether the instruction is a *barrier*: control never falls through
@@ -281,11 +278,8 @@ mod tests {
 
     #[test]
     fn substitution_rewrites_store_operands() {
-        let mut st = Inst::Store {
-            width: Width::Word,
-            addr: Expr::Reg(r(5)),
-            src: Expr::Reg(r(5)),
-        };
+        let mut st =
+            Inst::Store { width: Width::Word, addr: Expr::Reg(r(5)), src: Expr::Reg(r(5)) };
         let n = st.substitute_reg_uses(r(5), &Expr::Const(64));
         assert_eq!(n, 2);
         assert!(!st.uses_reg(r(5)));

@@ -72,12 +72,7 @@ pub fn find_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
                 }
             }
         }
-        loops.push(NaturalLoop {
-            header,
-            latches,
-            body: body.into_iter().collect(),
-            depth: 0,
-        });
+        loops.push(NaturalLoop { header, latches, body: body.into_iter().collect(), depth: 0 });
     }
     // Nesting depth: a loop's depth is 1 + number of other loops strictly
     // containing its header and body.

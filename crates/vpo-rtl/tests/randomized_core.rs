@@ -1,0 +1,136 @@
+//! Randomized tests for the vpo-rtl core data structures: the liveness
+//! bitset against a HashSet model, and the CRC against incremental
+//! composition over arbitrary splits.
+//!
+//! Formerly proptest properties; the hermetic build policy (no registry
+//! crates — see `DESIGN.md`) replaced the strategies with a seeded
+//! in-tree generator. `vpo-rtl` sits below `phase-order` in the crate
+//! graph, so it cannot use `phase_order::rng`; a local SplitMix64 (the
+//! same seeding primitive) covers the few draws these tests need.
+
+use std::collections::HashSet;
+
+use vpo_rtl::crc::{crc32, Crc32};
+use vpo_rtl::liveness::BitSet;
+
+/// SplitMix64 — the reference 64-bit mixer; enough randomness for
+/// model-based testing, deterministic per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+#[test]
+fn bitset_matches_hashset_model() {
+    for seed in 0..50 {
+        let mut rng = Rng(seed);
+        let mut bs = BitSet::new(200);
+        let mut model: HashSet<usize> = HashSet::new();
+        for _ in 0..rng.below(200) {
+            let i = rng.below(200);
+            if rng.next_u64() & 1 == 1 {
+                let changed = bs.insert(i);
+                assert_eq!(changed, model.insert(i), "seed {seed} bit {i}");
+            } else {
+                bs.remove(i);
+                model.remove(&i);
+            }
+            assert_eq!(bs.count(), model.len(), "seed {seed}");
+        }
+        for i in 0..200 {
+            assert_eq!(bs.contains(i), model.contains(&i), "seed {seed} bit {i}");
+        }
+        let mut listed: Vec<usize> = bs.iter().collect();
+        let mut expect: Vec<usize> = model.into_iter().collect();
+        listed.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(listed, expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn bitset_union_matches_model() {
+    for seed in 0..50 {
+        let mut rng = Rng(1_000 + seed);
+        let a: HashSet<usize> = (0..rng.below(60)).map(|_| rng.below(128)).collect();
+        let b: HashSet<usize> = (0..rng.below(60)).map(|_| rng.below(128)).collect();
+        let mut ba = BitSet::new(128);
+        let mut bb = BitSet::new(128);
+        for &i in &a {
+            ba.insert(i);
+        }
+        for &i in &b {
+            bb.insert(i);
+        }
+        let should_change = !b.is_subset(&a);
+        let changed = ba.union_with(&bb);
+        assert_eq!(changed, should_change, "seed {seed}");
+        let union: HashSet<usize> = a.union(&b).copied().collect();
+        for i in 0..128 {
+            assert_eq!(ba.contains(i), union.contains(&i), "seed {seed} bit {i}");
+        }
+    }
+}
+
+#[test]
+fn crc_incremental_equals_oneshot() {
+    for seed in 0..100 {
+        let mut rng = Rng(2_000 + seed);
+        let len = rng.below(512);
+        let data = rng.bytes(len);
+        let split = if data.is_empty() { 0 } else { rng.below(data.len() + 1) };
+        let mut h = Crc32::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        assert_eq!(h.finish(), crc32(&data), "seed {seed} split {split}");
+    }
+}
+
+#[test]
+fn crc_detects_single_byte_changes() {
+    for seed in 0..100 {
+        let mut rng = Rng(3_000 + seed);
+        let len = 1 + rng.below(255);
+        let data = rng.bytes(len);
+        let pos = rng.below(data.len());
+        let delta = 1 + rng.below(255) as u8;
+        let mut tweaked = data.clone();
+        tweaked[pos] = tweaked[pos].wrapping_add(delta);
+        assert_ne!(crc32(&data), crc32(&tweaked), "seed {seed} pos {pos} delta {delta}");
+    }
+}
+
+#[test]
+fn crc_detects_adjacent_swaps() {
+    let mut checked = 0;
+    for seed in 0..200 {
+        let mut rng = Rng(4_000 + seed);
+        let len = 2 + rng.below(254);
+        let data = rng.bytes(len);
+        let pos = rng.below(data.len() - 1);
+        if data[pos] == data[pos + 1] {
+            continue;
+        }
+        checked += 1;
+        let mut swapped = data.clone();
+        swapped.swap(pos, pos + 1);
+        // The order-sensitivity the paper relies on.
+        assert_ne!(crc32(&data), crc32(&swapped), "seed {seed} pos {pos}");
+    }
+    assert!(checked > 100, "generator degenerated: only {checked} usable cases");
+}

@@ -158,16 +158,12 @@ impl<'p> Machine<'p> {
                 self.mem[base..base + g.init_bytes.len()].copy_from_slice(&g.init_bytes);
             } else {
                 for (i, w) in g.init.iter().enumerate() {
-                    self.mem[base + 4 * i..base + 4 * i + 4]
-                        .copy_from_slice(&w.to_le_bytes());
+                    self.mem[base + 4 * i..base + 4 * i + 4].copy_from_slice(&w.to_le_bytes());
                 }
             }
             addr += g.size.max(1);
         }
-        assert!(
-            (addr as usize) < self.mem.len() / 2,
-            "globals overflow the memory image"
-        );
+        assert!((addr as usize) < self.mem.len() / 2, "globals overflow the memory image");
     }
 
     /// Address of a global by symbol id.
@@ -299,11 +295,7 @@ impl<'p> Machine<'p> {
             }
         }
 
-        let mut frame = Frame {
-            regs: HashMap::new(),
-            cc: (0, 0),
-            local_addr,
-        };
+        let mut frame = Frame { regs: HashMap::new(), cc: (0, 0), local_addr };
         // The stack pointer convention for *finalized* code (the fix
         // entry/exit phase): register 13 starts at the frame's upper bound,
         // so `r13 - frame_size` addresses exactly the region this
@@ -567,10 +559,9 @@ mod tests {
 
     #[test]
     fn dynamic_counts_scale_with_work() {
-        let p = compile(
-            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
-        )
-        .unwrap();
+        let p =
+            compile("int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }")
+                .unwrap();
         let mut m = Machine::new(&p);
         m.call("f", &[10]).unwrap();
         let c10 = m.dynamic_insts();
@@ -610,10 +601,7 @@ mod tests {
     fn unknown_function_errors() {
         let p = compile("int f() { return g(); }").unwrap();
         let mut m = Machine::new(&p);
-        assert_eq!(
-            m.call("f", &[]),
-            Err(SimError::UnknownFunction("g".to_owned()))
-        );
+        assert_eq!(m.call("f", &[]), Err(SimError::UnknownFunction("g".to_owned())));
     }
 
     #[test]
@@ -656,15 +644,9 @@ mod tests {
     fn bad_address_is_reported() {
         // Index far outside the array: the flat memory model catches the
         // wild address (negative index on the first global).
-        let p = compile(
-            "int a[4]; int f(int i) { return a[i]; }",
-        )
-        .unwrap();
+        let p = compile("int a[4]; int f(int i) { return a[i]; }").unwrap();
         let mut m = Machine::new(&p);
-        assert!(matches!(
-            m.call("f", &[-100_000_000]),
-            Err(SimError::BadAddress { .. })
-        ));
+        assert!(matches!(m.call("f", &[-100_000_000]), Err(SimError::BadAddress { .. })));
         assert_eq!(m.call("f", &[2]).unwrap(), 0);
     }
 
@@ -678,10 +660,9 @@ mod tests {
 
     #[test]
     fn block_counts_reflect_loop_trips() {
-        let p = compile(
-            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
-        )
-        .unwrap();
+        let p =
+            compile("int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }")
+                .unwrap();
         let mut m = Machine::new(&p);
         let (r, counts) = m.call_instance_counted(&p.functions[0], &[5]).unwrap();
         assert_eq!(r, 10);
@@ -689,12 +670,8 @@ mod tests {
         assert_eq!(counts[0], 1);
         assert!(counts.contains(&5), "no block ran 5 times: {counts:?}");
         // Total dynamic = sum over blocks of entries * size.
-        let total: u64 = p.functions[0]
-            .blocks
-            .iter()
-            .zip(&counts)
-            .map(|(b, &n)| b.insts.len() as u64 * n)
-            .sum();
+        let total: u64 =
+            p.functions[0].blocks.iter().zip(&counts).map(|(b, &n)| b.insts.len() as u64 * n).sum();
         assert_eq!(total, m.dynamic_insts());
     }
 

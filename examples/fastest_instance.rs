@@ -67,12 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     batch_compile(&mut batch, &target);
     let mut m = epo::sim::Machine::new(&program);
     let (batch_result, counts) = m.call_instance_counted(&batch, &args)?;
-    let batch_dynamic: u64 = batch
-        .blocks
-        .iter()
-        .zip(&counts)
-        .map(|(b, &n)| b.insts.len() as u64 * n)
-        .sum();
+    let batch_dynamic: u64 =
+        batch.blocks.iter().zip(&counts).map(|(b, &n)| b.insts.len() as u64 * n).sum();
     println!(
         "batch compiler: {batch_dynamic} dynamic instructions ({} static)",
         batch.inst_count()

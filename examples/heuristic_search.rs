@@ -43,18 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let (optimum, _) = e.space.code_size_range().unwrap();
         // Same evaluation budget for every heuristic (best of 3 seeds).
-        let rand_best = (1..=3)
-            .map(|s| random_search(f, &target, 100, 12, s).best_size)
-            .min()
-            .unwrap();
-        let hill_best = (1..=3)
-            .map(|s| hill_climb(f, &target, 100, 12, s).best_size)
-            .min()
-            .unwrap();
-        let ga_best = (1..=3)
-            .map(|s| genetic_search(f, &target, 10, 10, 12, s).best_size)
-            .min()
-            .unwrap();
+        let rand_best =
+            (1..=3).map(|s| random_search(f, &target, 100, 12, s).best_size).min().unwrap();
+        let hill_best =
+            (1..=3).map(|s| hill_climb(f, &target, 100, 12, s).best_size).min().unwrap();
+        let ga_best =
+            (1..=3).map(|s| genetic_search(f, &target, 10, 10, 12, s).best_size).min().unwrap();
         let mut b = f.clone();
         batch_compile(&mut b, &target);
         println!(

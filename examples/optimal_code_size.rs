@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = bench.compile()?;
     let target = Target::default();
 
-    println!(
-        "{:<20} {:>6} {:>6} {:>7} {:>9}",
-        "function", "batch", "best", "worst", "batch-gap"
-    );
+    println!("{:<20} {:>6} {:>6} {:>7} {:>9}", "function", "batch", "best", "worst", "batch-gap");
     for f in &program.functions {
         let e = enumerate(f, &target, &Config::default());
         if !e.outcome.is_complete() {

@@ -36,20 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("phases attempted:            {}", result.stats.attempted_phases);
     println!("active applications:         {}", result.stats.active_attempts);
     println!("leaf instances:              {}", space.leaf_count());
-    println!(
-        "longest active sequence:     {}",
-        space.max_active_sequence_length()
-    );
+    println!("longest active sequence:     {}", space.max_active_sequence_length());
     if let Some((best, worst)) = space.leaf_code_size_range() {
         println!(
             "leaf code size range:        {best}..{worst} instructions ({:.1}% spread)",
             (worst - best) as f64 * 100.0 / best as f64
         );
     }
-    println!(
-        "distinct control flows:      {}",
-        space.distinct_control_flows()
-    );
+    println!("distinct control flows:      {}", space.distinct_control_flows());
 
     // The conventional batch compiler reaches *one* of those instances.
     let mut batch = function.clone();

@@ -62,12 +62,7 @@ impl CfInference {
 }
 
 /// Rematerializes an instance by replaying its discovery sequence.
-pub fn materialize(
-    base: &Function,
-    e: &Enumeration,
-    node: NodeId,
-    target: &Target,
-) -> Function {
+pub fn materialize(base: &Function, e: &Enumeration, node: NodeId, target: &Target) -> Function {
     let mut seq = Vec::new();
     let mut cur = node;
     while let Some((parent, phase)) = e.space.node(cur).discovered_from {
@@ -117,12 +112,8 @@ pub fn leaf_dynamic_counts(
                 (counts, true)
             }
         };
-        let dynamic: u64 = f
-            .blocks
-            .iter()
-            .zip(&block_counts)
-            .map(|(b, &n)| b.insts.len() as u64 * n)
-            .sum();
+        let dynamic: u64 =
+            f.blocks.iter().zip(&block_counts).map(|(b, &n)| b.insts.len() as u64 * n).sum();
         leaves.push(LeafCount {
             node: id,
             static_size: node.inst_count,
@@ -159,17 +150,9 @@ mod tests {
             let f = materialize(&p.functions[0], &e, leaf.node, &target);
             let mut m = Machine::new(&p);
             let (_, counts) = m.call_instance_counted(&f, &[17]).unwrap();
-            let direct: u64 = f
-                .blocks
-                .iter()
-                .zip(&counts)
-                .map(|(b, &n)| b.insts.len() as u64 * n)
-                .sum();
-            assert_eq!(
-                leaf.dynamic, direct,
-                "inference mismatch on leaf {:?}",
-                leaf.node
-            );
+            let direct: u64 =
+                f.blocks.iter().zip(&counts).map(|(b, &n)| b.insts.len() as u64 * n).sum();
+            assert_eq!(leaf.dynamic, direct, "inference mismatch on leaf {:?}", leaf.node);
         }
     }
 
@@ -178,13 +161,9 @@ mod tests {
         let (p, e) = setup(
             "int g(int n) { int s = 0; int i; for (i = 0; i < n; i++) { if (i & 1) s += i; } return s; }",
         );
-        let inf =
-            leaf_dynamic_counts(&p, &p.functions[0], &e, &[30], &Target::default()).unwrap();
+        let inf = leaf_dynamic_counts(&p, &p.functions[0], &e, &[30], &Target::default()).unwrap();
         let leaves = inf.leaves.len();
-        assert!(
-            inf.executions <= leaves,
-            "never more executions than leaves"
-        );
+        assert!(inf.executions <= leaves, "never more executions than leaves");
         // All leaves got a count; at least one was inferred whenever two
         // leaves share a control flow.
         if leaves > inf.executions {
@@ -197,18 +176,14 @@ mod tests {
     fn all_instances_compute_the_same_result() {
         // Sanity for the whole pipeline: the fastest and slowest leaves
         // agree on the answer.
-        let (p, e) = setup(
-            "int h(int n) { int s = 1; while (n > 1) { s *= n & 7; n--; } return s; }",
-        );
+        let (p, e) =
+            setup("int h(int n) { int s = 1; while (n > 1) { s *= n & 7; n--; } return s; }");
         let target = Target::default();
         let inf = leaf_dynamic_counts(&p, &p.functions[0], &e, &[9], &target).unwrap();
         let fast = materialize(&p.functions[0], &e, inf.fastest().unwrap().node, &target);
         let slow = materialize(&p.functions[0], &e, inf.slowest().unwrap().node, &target);
         let mut m1 = Machine::new(&p);
         let mut m2 = Machine::new(&p);
-        assert_eq!(
-            m1.call_instance(&fast, &[9]).unwrap(),
-            m2.call_instance(&slow, &[9]).unwrap()
-        );
+        assert_eq!(m1.call_instance(&fast, &[9]).unwrap(), m2.call_instance(&slow, &[9]).unwrap());
     }
 }

@@ -45,10 +45,7 @@ fn robust_allocator_reduces_spread() {
         n += 1;
         // The robust allocator's *best* leaf is never worse.
         let best = |e: &epo::explore::Enumeration| e.space.leaf_code_size_range().unwrap().0;
-        assert!(
-            best(&e2) <= best(&e1),
-            "{name}: robust allocation worsened the optimum"
-        );
+        assert!(best(&e2) <= best(&e1), "{name}: robust allocation worsened the optimum");
     }
     assert!(n >= 10, "too few functions compared");
     assert!(
@@ -63,11 +60,7 @@ fn skip_just_applied_saves_attempts() {
     let target = Target::default();
     for (name, f) in sample().into_iter().take(10) {
         let full = enumerate(&f, &target, &Config::default());
-        let skip = enumerate(
-            &f,
-            &target,
-            &Config { skip_just_applied: true, ..Config::default() },
-        );
+        let skip = enumerate(&f, &target, &Config { skip_just_applied: true, ..Config::default() });
         assert!(
             skip.stats.attempted_phases < full.stats.attempted_phases,
             "{name}: shortcut did not save attempts"

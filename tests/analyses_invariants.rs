@@ -125,10 +125,7 @@ fn liveness_soundness() {
                             .unwrap_or(false)
                         // Parameters are defined at entry.
                         || (bi == 0 && f.params.contains(&u));
-                    assert!(
-                        covered,
-                        "{name}: use of {u} in block {bi} not covered by liveness"
-                    );
+                    assert!(covered, "{name}: use of {u} in block {bi} not covered by liveness");
                 }
                 if let Some(d) = inst.def() {
                     defined.push(d);
@@ -144,16 +141,10 @@ fn cfg_successor_predecessor_duality() {
         let cfg = Cfg::build(&f);
         for b in 0..cfg.len() {
             for &s in &cfg.succs[b] {
-                assert!(
-                    cfg.preds[s].contains(&b),
-                    "{name}: edge {b}->{s} missing reverse"
-                );
+                assert!(cfg.preds[s].contains(&b), "{name}: edge {b}->{s} missing reverse");
             }
             for &p in &cfg.preds[b] {
-                assert!(
-                    cfg.succs[p].contains(&b),
-                    "{name}: edge {p}->{b} missing forward"
-                );
+                assert!(cfg.succs[p].contains(&b), "{name}: edge {p}->{b} missing forward");
             }
         }
     }

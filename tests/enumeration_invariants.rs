@@ -66,8 +66,7 @@ fn weights_and_leaves_are_consistent() {
             if n.is_leaf() {
                 assert_eq!(n.weight, 1, "{name}: leaf {id}");
             } else {
-                let sum: u64 =
-                    n.children.iter().map(|&(_, c)| space.node(c).weight).sum();
+                let sum: u64 = n.children.iter().map(|&(_, c)| space.node(c).weight).sum();
                 assert_eq!(n.weight, sum, "{name}: node {id}");
             }
         }
@@ -81,14 +80,9 @@ fn edges_mirror_active_masks() {
     for (name, f) in sample_functions(45) {
         let e = enumerate(&f, &target, &Config::default());
         for (id, n) in e.space.iter() {
-            let from_mask: usize = (0..PhaseId::COUNT)
-                .filter(|i| n.active_mask >> i & 1 == 1)
-                .count();
-            assert_eq!(
-                from_mask,
-                n.children.len(),
-                "{name}: node {id} mask/edge mismatch"
-            );
+            let from_mask: usize =
+                (0..PhaseId::COUNT).filter(|i| n.active_mask >> i & 1 == 1).count();
+            assert_eq!(from_mask, n.children.len(), "{name}: node {id} mask/edge mismatch");
             for (p, c) in &n.children {
                 assert!(n.is_active(*p), "{name}: edge without active bit");
                 assert!(c.0 < e.space.len() as u32, "{name}: dangling edge");
@@ -118,10 +112,7 @@ fn every_instance_is_reachable_and_legal() {
             let mut g = f.clone();
             for &p in &seq {
                 let outcome = attempt(&mut g, p, &target);
-                assert!(
-                    outcome.active,
-                    "{name}: discovery edge {p:?} dormant on replay"
-                );
+                assert!(outcome.active, "{name}: discovery edge {p:?} dormant on replay");
             }
             assert_eq!(
                 epo::rtl::canon::fingerprint(&g),

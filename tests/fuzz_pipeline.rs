@@ -6,12 +6,16 @@
 //! generator, all fifteen optimization phases, register assignment, block
 //! normalization, the canonicalizer, and the simulator against each
 //! other, on programs none of them have seen before.
+//!
+//! Formerly proptest properties; the hermetic build policy (no registry
+//! crates — see `DESIGN.md`) replaced the strategies with the in-tree
+//! seeded generator `phase_order::rng::Rng`. Every case prints enough
+//! context (seed + generated source) on failure to reproduce it.
 
-use proptest::prelude::*;
-
-use exhaustive_phase_order as epo;
+use epo::explore::rng::Rng;
 use epo::opt::{attempt, PhaseId, Target};
 use epo::sim::Machine;
+use exhaustive_phase_order as epo;
 
 /// A tiny expression AST we can both render as MiniC and evaluate.
 #[derive(Clone, Debug)]
@@ -221,71 +225,79 @@ impl Eval {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(E::Param),
-        (0u8..3).prop_map(E::Local),
-        (-200i32..200).prop_map(E::Const),
-        // Some wide constants to exercise bytewise materialization.
-        prop_oneof![Just(0x12345678), Just(-77777), Just(0x00FF00FF)].prop_map(E::Const),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), 0u8..31).prop_map(|(a, k)| E::Shl(Box::new(a), k)),
-            (inner.clone(), 0u8..31).prop_map(|(a, k)| E::Shr(Box::new(a), k)),
-            (inner.clone(), 1i32..50).prop_map(|(a, c)| E::Div(Box::new(a), c)),
-            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            inner.clone().prop_map(|a| E::Not(Box::new(a))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-        ]
-    })
-}
+// ---- Generators (seeded, in-tree; formerly proptest strategies) -------
 
-fn arb_stmt(depth: u32) -> BoxedStrategy<S> {
-    if depth == 0 {
-        (0u8..3, arb_expr()).prop_map(|(l, e)| S::Assign(l, e)).boxed()
-    } else {
-        prop_oneof![
-            3 => (0u8..3, arb_expr()).prop_map(|(l, e)| S::Assign(l, e)),
-            1 => (
-                arb_expr(),
-                proptest::collection::vec(arb_stmt(depth - 1), 1..3),
-                proptest::collection::vec(arb_stmt(depth - 1), 0..3),
-            )
-                .prop_map(|(c, t, f)| S::If(c, t, f)),
-            1 => (
-                1u8..6,
-                proptest::collection::vec(arb_stmt(depth - 1), 1..3),
-            )
-                .prop_map(|(n, b)| S::For(n, b)),
-        ]
-        .boxed()
+const WIDE_CONSTS: [i32; 3] = [0x12345678, -77777, 0x00FF00FF];
+
+fn gen_leaf(rng: &mut Rng) -> E {
+    match rng.gen_range(0..4) {
+        0 => E::Param(rng.gen_range(0..3) as u8),
+        1 => E::Local(rng.gen_range(0..3) as u8),
+        2 => E::Const(rng.gen_range_i32(-200..200)),
+        // Some wide constants to exercise bytewise materialization.
+        _ => E::Const(WIDE_CONSTS[rng.gen_range(0..WIDE_CONSTS.len())]),
     }
 }
 
-fn arb_body() -> impl Strategy<Value = Vec<S>> {
-    proptest::collection::vec(arb_stmt(2), 1..6)
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    // A quarter of interior draws bottom out early, mirroring the old
+    // strategy's leaf bias; depth caps recursion at 3 as before.
+    if depth == 0 || rng.gen_range(0..4) == 0 {
+        return gen_leaf(rng);
+    }
+    let mut sub = |rng: &mut Rng| Box::new(gen_expr(rng, depth - 1));
+    match rng.gen_range(0..12) {
+        0 => E::Add(sub(rng), sub(rng)),
+        1 => E::Sub(sub(rng), sub(rng)),
+        2 => E::Mul(sub(rng), sub(rng)),
+        3 => E::And(sub(rng), sub(rng)),
+        4 => E::Or(sub(rng), sub(rng)),
+        5 => E::Xor(sub(rng), sub(rng)),
+        6 => E::Shl(sub(rng), rng.gen_range(0..31) as u8),
+        7 => E::Shr(sub(rng), rng.gen_range(0..31) as u8),
+        8 => E::Div(sub(rng), rng.gen_range_i32(1..50)),
+        9 => E::Neg(sub(rng)),
+        10 => E::Not(sub(rng)),
+        _ => E::Lt(sub(rng), sub(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+fn gen_stmt(rng: &mut Rng, depth: u32) -> S {
+    // Weights 3:1:1 assign/if/for, as in the old strategy.
+    let pick = if depth == 0 { 0 } else { rng.gen_range(0..5) };
+    match pick {
+        0..=2 => S::Assign(rng.gen_range(0..3) as u8, gen_expr(rng, 3)),
+        3 => {
+            let c = gen_expr(rng, 3);
+            let t = gen_block(rng, depth - 1, 1, 3);
+            let f = gen_block(rng, depth - 1, 0, 3);
+            S::If(c, t, f)
+        }
+        _ => S::For(rng.gen_range(1..6) as u8, gen_block(rng, depth - 1, 1, 3)),
+    }
+}
 
-    /// Naive compilation + simulation matches the reference evaluator.
-    #[test]
-    fn naive_codegen_matches_reference(
-        body in arb_body(),
-        params in proptest::array::uniform3(-1000i32..1000),
-    ) {
+fn gen_block(rng: &mut Rng, depth: u32, min: usize, max: usize) -> Vec<S> {
+    (0..rng.gen_range(min..max)).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_body(rng: &mut Rng) -> Vec<S> {
+    gen_block(rng, 2, 1, 6)
+}
+
+fn gen_params(rng: &mut Rng) -> [i32; 3] {
+    [rng.gen_range_i32(-1000..1000), rng.gen_range_i32(-1000..1000), rng.gen_range_i32(-1000..1000)]
+}
+
+// ---- Properties -------------------------------------------------------
+
+/// Naive compilation + simulation matches the reference evaluator.
+#[test]
+fn naive_codegen_matches_reference() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0001 ^ seed);
+        let body = gen_body(&mut rng);
+        let params = gen_params(&mut rng);
         let src = render_program(&body);
         let program = epo::frontend::compile(&src)
             .unwrap_or_else(|e| panic!("generated source failed to compile: {e}\n{src}"));
@@ -296,52 +308,55 @@ proptest! {
         let expected = Eval::run(params, &body);
         let mut m = Machine::new(&program);
         let got = m.call("f", &params).unwrap();
-        prop_assert_eq!(got, expected, "source:\n{}", src);
+        assert_eq!(got, expected, "seed {seed}, source:\n{src}");
     }
+}
 
-    /// Random phase orders preserve the reference semantics on random
-    /// programs (the strongest soundness property in the suite).
-    #[test]
-    fn random_phase_orders_preserve_random_programs(
-        body in arb_body(),
-        params in proptest::array::uniform3(-1000i32..1000),
-        seq in proptest::collection::vec(0u8..15, 1..10),
-    ) {
+/// Random phase orders preserve the reference semantics on random
+/// programs (the strongest soundness property in the suite).
+#[test]
+fn random_phase_orders_preserve_random_programs() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0002 ^ seed);
+        let body = gen_body(&mut rng);
+        let params = gen_params(&mut rng);
+        let seq: Vec<usize> =
+            (0..rng.gen_range(1..10)).map(|_| rng.gen_range(0..PhaseId::COUNT)).collect();
         let src = render_program(&body);
         let program = epo::frontend::compile(&src).unwrap();
         let target = Target::default();
         let mut f = program.functions[0].clone();
-        for s in &seq {
-            attempt(&mut f, PhaseId::from_index(*s as usize % PhaseId::COUNT), &target);
+        for &s in &seq {
+            attempt(&mut f, PhaseId::from_index(s), &target);
         }
         target.check_function(&f).unwrap();
 
         let expected = Eval::run(params, &body);
         let mut m = Machine::new(&program);
         let got = m.call_instance(&f, &params).unwrap();
-        prop_assert_eq!(
-            got, expected,
-            "sequence {:?} broke:\n{}", seq, src
-        );
+        assert_eq!(got, expected, "seed {seed}, sequence {seq:?} broke:\n{src}");
     }
+}
 
-    /// Canonical fingerprints are invariant under hard-register and label
-    /// renaming (the Figure 5 property), and canonicalization never
-    /// confuses a function with a differently-optimized sibling.
-    #[test]
-    fn canonicalization_invariance(
-        body in arb_body(),
-        seq in proptest::collection::vec(0u8..15, 0..6),
-        rot in 1u16..7,
-    ) {
+/// Canonical fingerprints are invariant under hard-register and label
+/// renaming (the Figure 5 property), and canonicalization never
+/// confuses a function with a differently-optimized sibling.
+#[test]
+fn canonicalization_invariance() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0003 ^ seed);
+        let body = gen_body(&mut rng);
+        let seq: Vec<usize> =
+            (0..rng.gen_range(0..6)).map(|_| rng.gen_range(0..PhaseId::COUNT)).collect();
+        let rot = rng.gen_range(1..7) as u16;
         let src = render_program(&body);
         let program = epo::frontend::compile(&src).unwrap();
         let target = Target::default();
         let mut f = program.functions[0].clone();
         // Force register assignment so hard registers exist.
         attempt(&mut f, PhaseId::InsnSelect, &target);
-        for s in &seq {
-            attempt(&mut f, PhaseId::from_index(*s as usize % PhaseId::COUNT), &target);
+        for &s in &seq {
+            attempt(&mut f, PhaseId::from_index(s), &target);
         }
         let fp = epo::rtl::canon::fingerprint(&f);
 
@@ -376,19 +391,16 @@ proptest! {
             *p = remap(*p);
         }
         // Renaming registers must not change identity...
-        prop_assert_eq!(epo::rtl::canon::fingerprint(&g), fp, "renamed:\n{}", g);
+        assert_eq!(epo::rtl::canon::fingerprint(&g), fp, "seed {seed}, renamed:\n{g}");
         // ...but actually changing the code must.
-        if let Some(first_assign) = f
-            .blocks
-            .iter_mut()
-            .flat_map(|b| b.insts.iter_mut())
-            .find_map(|i| match i {
+        if let Some(first_assign) =
+            f.blocks.iter_mut().flat_map(|b| b.insts.iter_mut()).find_map(|i| match i {
                 epo::rtl::Inst::Assign { src, .. } => Some(src),
                 _ => None,
             })
         {
             *first_assign = epo::rtl::Expr::Const(123454321);
-            prop_assert_ne!(epo::rtl::canon::fingerprint(&f), fp);
+            assert_ne!(epo::rtl::canon::fingerprint(&f), fp, "seed {seed}");
         }
     }
 }

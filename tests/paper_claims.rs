@@ -63,14 +63,8 @@ fn code_size_spread_matches_paper_shape() {
     let avg = spreads.iter().sum::<f64>() / spreads.len() as f64;
     // Paper: 37.8% average over the whole suite; anything in the tens of
     // percent demonstrates the same phenomenon.
-    assert!(
-        avg > 10.0,
-        "average code-size spread {avg:.1}% too small to match the paper"
-    );
-    assert!(
-        spreads.iter().any(|&d| d > 40.0),
-        "no function shows a large ordering effect"
-    );
+    assert!(avg > 10.0, "average code-size spread {avg:.1}% too small to match the paper");
+    assert!(spreads.iter().any(|&d| d > 40.0), "no function shows a large ordering effect");
 }
 
 /// Claim 3 (Section 5 / Table 4): instruction selection and CSE are active
@@ -161,10 +155,7 @@ fn exhaustive_search_finds_optima_batch_misses() {
         let (best, _) = e.space.leaf_code_size_range().unwrap();
         let mut g = f.clone();
         batch_compile(&mut g, &target);
-        assert!(
-            g.inst_count() as u32 >= best,
-            "{name}: batch beat the exhaustive optimum?!"
-        );
+        assert!(g.inst_count() as u32 >= best, "{name}: batch beat the exhaustive optimum?!");
         if g.inst_count() as u32 == best {
             batch_optimal += 1;
         } else {
@@ -172,8 +163,5 @@ fn exhaustive_search_finds_optima_batch_misses() {
         }
     }
     assert!(batch_optimal > 0, "batch should reach some optima");
-    assert!(
-        batch_suboptimal > 0,
-        "batch reaching every optimum would make the study pointless"
-    );
+    assert!(batch_suboptimal > 0, "batch reaching every optimum would make the study pointless");
 }

@@ -2,12 +2,15 @@
 //! optimization phases preserves program semantics. Random phase
 //! sequences are applied to real benchmark kernels and checked against
 //! the naive code's behaviour in the simulator.
+//!
+//! Formerly proptest properties; the hermetic build policy (no registry
+//! crates — see `DESIGN.md`) replaced the strategies with the in-tree
+//! seeded generator `phase_order::rng::Rng`.
 
-use proptest::prelude::*;
-
-use exhaustive_phase_order as epo;
+use epo::explore::rng::Rng;
 use epo::opt::{attempt, PhaseId, Target};
 use epo::sim::Machine;
+use exhaustive_phase_order as epo;
 
 /// Applies a sequence of phase indices (mod 15) to a clone of `f`.
 fn apply_sequence(
@@ -45,23 +48,20 @@ fn quick_workloads() -> Vec<(&'static str, &'static str, Vec<i32>)> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+/// Draws a random phase-index sequence with a length in `len` (half-open).
+fn gen_seq(rng: &mut Rng, len: std::ops::Range<usize>) -> Vec<u8> {
+    (0..rng.gen_range(len)).map(|_| rng.gen_range(0..15) as u8).collect()
+}
 
-    /// Random phase orders never change observable behaviour.
-    #[test]
-    fn random_phase_orders_preserve_semantics(
-        seq in proptest::collection::vec(0u8..15, 1..12),
-        pick in 0usize..13,
-    ) {
+/// Random phase orders never change observable behaviour.
+#[test]
+fn random_phase_orders_preserve_semantics() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xBEDB_0001 ^ seed);
+        let seq = gen_seq(&mut rng, 1..12);
+        let pick = rng.gen_range(0..quick_workloads().len());
         let (bench_name, func, args) = quick_workloads().swap_remove(pick);
-        let bench = epo::benchmarks::all()
-            .into_iter()
-            .find(|b| b.name == bench_name)
-            .unwrap();
+        let bench = epo::benchmarks::all().into_iter().find(|b| b.name == bench_name).unwrap();
         let program = bench.compile().unwrap();
         let f = program.function(func).unwrap();
         let target = Target::default();
@@ -74,24 +74,22 @@ proptest! {
         let expected = m1.call(func, &args).unwrap();
         let mut m2 = Machine::new(&program);
         let got = m2.call_instance(&optimized, &args).unwrap();
-        prop_assert_eq!(expected, got,
-            "sequence {:?} broke {}::{}", seq, bench_name, func);
+        assert_eq!(expected, got, "seed {seed}: sequence {seq:?} broke {bench_name}::{func}");
     }
+}
 
-    /// Optimization never increases the dynamic instruction count by much
-    /// (loop rotation may add a couple of static instructions but the
-    /// dynamic count should never blow up), and often reduces it.
-    #[test]
-    fn random_phase_orders_do_not_pessimize_wildly(
-        seq in proptest::collection::vec(0u8..15, 1..10),
-    ) {
-        let bench = epo::benchmarks::all()
-            .into_iter()
-            .find(|b| b.name == "bitcount")
-            .unwrap();
-        let program = bench.compile().unwrap();
-        let f = program.function("bit_count").unwrap();
-        let target = Target::default();
+/// Optimization never increases the dynamic instruction count by much
+/// (loop rotation may add a couple of static instructions but the
+/// dynamic count should never blow up), and often reduces it.
+#[test]
+fn random_phase_orders_do_not_pessimize_wildly() {
+    let bench = epo::benchmarks::all().into_iter().find(|b| b.name == "bitcount").unwrap();
+    let program = bench.compile().unwrap();
+    let f = program.function("bit_count").unwrap();
+    let target = Target::default();
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xBEDB_0002 ^ seed);
+        let seq = gen_seq(&mut rng, 1..10);
         let (optimized, _) = apply_sequence(f, &seq, &target);
 
         let mut m1 = Machine::new(&program);
@@ -100,8 +98,10 @@ proptest! {
         let mut m2 = Machine::new(&program);
         m2.call_instance(&optimized, &[0x5555]).unwrap();
         let opt = m2.dynamic_insts();
-        prop_assert!(opt <= naive * 2,
-            "dynamic count exploded: {naive} -> {opt} via {:?}", seq);
+        assert!(
+            opt <= naive * 2,
+            "seed {seed}: dynamic count exploded: {naive} -> {opt} via {seq:?}"
+        );
     }
 }
 
@@ -129,12 +129,7 @@ fn all_phase_pairs_preserve_semantics() {
             for (i, &(a, b)) in [(3, 5), (100, 7), (-4, 12), (0, 0)].iter().enumerate() {
                 let mut m2 = Machine::new(&program);
                 let got = m2.call_instance(&g, &[a, b]).unwrap();
-                assert_eq!(
-                    got, expected[i],
-                    "pair {}{} broke f({a},{b})",
-                    p.letter(),
-                    q.letter()
-                );
+                assert_eq!(got, expected[i], "pair {}{} broke f({a},{b})", p.letter(), q.letter());
             }
         }
     }
