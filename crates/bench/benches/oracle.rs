@@ -1,0 +1,59 @@
+//! Bench: the differential equivalence oracle over enumerated spaces —
+//! how fast can every distinct instance of a kernel be rematerialized
+//! and executed on the input battery, serially and in parallel.
+//!
+//! Also checks on every kernel — outside the timed region — that the
+//! oracle verdict is clean and identical for every job count, and prints
+//! the simulations-per-second throughput so regressions in the
+//! materialize/execute loop are visible at a glance.
+
+use bench::harness::Harness;
+use phase_order::enumerate::{enumerate, Config};
+use phase_order::oracle::{verify, OracleConfig};
+use vpo_opt::Target;
+
+/// Small kernels with non-trivial spaces: enough instances to amortize
+/// setup, few enough that one verification fits a bench sample.
+fn kernels() -> Vec<(String, vpo_rtl::Program, String)> {
+    let picks = [("bitcount", "bit_count"), ("bitcount", "bit_shifter"), ("jpeg", "range_limit")];
+    picks
+        .iter()
+        .map(|(b, f)| {
+            let bench = mibench::all().into_iter().find(|x| x.name == *b).unwrap();
+            (format!("{b}_{f}"), bench.compile().unwrap(), (*f).to_owned())
+        })
+        .collect()
+}
+
+fn main() {
+    let target = Target::default();
+    let enum_config = Config { max_nodes: 20_000, ..Config::default() };
+    let h = Harness::from_args();
+    let mut group = h.group("oracle");
+    group.sample_size(5);
+    for (name, program, func) in kernels() {
+        let f = program.function(&func).unwrap();
+        let e = enumerate(f, &target, &enum_config);
+        for jobs in [1usize, 4] {
+            let config = OracleConfig { jobs, ..OracleConfig::default() };
+            let report = verify(&program, f, &e, &target, &config);
+            assert!(report.is_clean(), "{name} jobs={jobs}: {:?}", report.findings);
+            let t = group.bench_function(format!("{name}/jobs{jobs}"), |b| {
+                b.iter(|| {
+                    verify(std::hint::black_box(&program), f, &e, &target, &config).simulations
+                })
+            });
+            if let Some(t) = t {
+                if !t.is_zero() {
+                    eprintln!(
+                        "[oracle] {name}/jobs{jobs}: {} instances, {} sims -> {:.0} sims/s",
+                        report.instances,
+                        report.simulations,
+                        report.simulations as f64 / t.as_secs_f64()
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}

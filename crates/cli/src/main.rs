@@ -5,6 +5,7 @@
 //! vpoc compile  <file.mc> [--seq LETTERS | --batch | --naive] [--finalize | --emit-asm]
 //! vpoc run      <file.mc> <function> [args...]        # compile (batch) and execute
 //! vpoc explore  <file.mc> [function] [--jobs N]       # enumerate the space(s)
+//! vpoc verify   <file.mc>|--bench NAME [function]     # differential oracle
 //! vpoc dot      <file.mc> <function> [--jobs N]       # space as Graphviz
 //! vpoc phases                                         # list the 15 phases
 //! ```
@@ -14,10 +15,19 @@
 //! function's space with N worker threads (`--jobs 0` = one per CPU;
 //! the default is serial) — the resulting space is identical to the
 //! serial engine's for any job count.
+//!
+//! `verify` enumerates each function's space and runs the differential
+//! equivalence oracle over it: every distinct instance is rematerialized
+//! and executed on a seeded input battery, checking that all orderings
+//! preserve behaviour and that fingerprint-merged paths are genuinely
+//! identical. `--bench NAME` verifies a built-in MiBench kernel set
+//! instead of a file; `--max-nodes N` bounds the enumeration,
+//! `--battery N` and `--seed S` shape the input battery.
 
 use std::process::ExitCode;
 
 use phase_order::enumerate::{enumerate, enumerate_parallel, Config};
+use phase_order::oracle::{self, OracleConfig};
 use phase_order::stats::FunctionRow;
 use vpo_opt::batch::batch_compile;
 use vpo_opt::{attempt, PhaseId, Target};
@@ -34,11 +44,13 @@ fn main() -> ExitCode {
             eprintln!("  vpoc compile <file.mc> [--seq LETTERS | --batch]");
             eprintln!("  vpoc run     <file.mc> <function> [int args...]");
             eprintln!("  vpoc explore <file.mc> [function] [--jobs N]");
+            eprintln!("  vpoc verify  <file.mc>|--bench NAME [function] [--jobs N]");
+            eprintln!("               [--max-nodes N] [--battery N] [--seed S]");
             eprintln!("  vpoc dot     <file.mc> <function> [--jobs N]");
             eprintln!("  vpoc phases");
             eprintln!();
-            eprintln!("  --jobs N   enumerate with N worker threads (0 = one per CPU);");
-            eprintln!("             the space is identical to the serial engine's");
+            eprintln!("  --jobs N   enumerate/verify with N worker threads (0 = one per");
+            eprintln!("             CPU); results are identical for any job count");
             ExitCode::FAILURE
         }
     }
@@ -56,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" => compile_cmd(&args[1..]),
         "run" => run_cmd(&args[1..]),
         "explore" => explore_cmd(&args[1..]),
+        "verify" => verify_cmd(&args[1..]),
         "dot" => dot_cmd(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -199,6 +212,101 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts a `--flag N` / `--flag=N` integer option, returning the
+/// remaining arguments and the parsed value.
+fn parse_opt<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<(Vec<String>, Option<T>), String> {
+    let mut rest = Vec::new();
+    let mut value = None;
+    let prefix = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let raw = if a == flag {
+            Some(it.next().ok_or(format!("{flag} needs a value"))?.as_str())
+        } else {
+            a.strip_prefix(&prefix)
+        };
+        match raw {
+            Some(v) => {
+                value = Some(v.parse().map_err(|_| format!("bad {flag} value `{v}`"))?);
+            }
+            None => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, value))
+}
+
+fn verify_cmd(args: &[String]) -> Result<(), String> {
+    let (args, jobs) = parse_jobs(args)?;
+    let (args, max_nodes) = parse_opt::<usize>(&args, "--max-nodes")?;
+    let (args, battery) = parse_opt::<usize>(&args, "--battery")?;
+    let (args, seed) = parse_opt::<u64>(&args, "--seed")?;
+    let (mut args, bench) = {
+        // `--bench NAME` takes a string, not an integer.
+        let mut rest = Vec::new();
+        let mut bench = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--bench" {
+                bench = Some(it.next().ok_or("--bench needs a benchmark name")?.clone());
+            } else if let Some(n) = a.strip_prefix("--bench=") {
+                bench = Some(n.to_owned());
+            } else {
+                rest.push(a.clone());
+            }
+        }
+        (rest, bench)
+    };
+
+    let program = match &bench {
+        Some(name) => {
+            let b = mibench::all().into_iter().find(|b| b.name == *name).ok_or(format!(
+                "no benchmark `{name}` (try bitcount, dijkstra, fft, jpeg, sha, stringsearch)"
+            ))?;
+            args.insert(0, String::new()); // keep the [function] filter in args[1]
+            b.compile().map_err(|e| format!("{name}: {e}"))?
+        }
+        None => load(args.first().ok_or("verify: missing file (or --bench NAME)")?)?,
+    };
+    let filter = args.get(1);
+
+    let target = Target::default();
+    let enum_config = Config {
+        max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
+        jobs: jobs.unwrap_or(1),
+        ..Config::default()
+    };
+    let oracle_config = OracleConfig {
+        battery: battery.unwrap_or(OracleConfig::default().battery),
+        seed: seed.unwrap_or(OracleConfig::default().seed),
+        jobs: jobs.unwrap_or(1),
+        ..OracleConfig::default()
+    };
+
+    let mut findings = 0usize;
+    for f in &program.functions {
+        if let Some(name) = filter {
+            if !name.is_empty() && &f.name != name {
+                continue;
+            }
+        }
+        let (e, report) =
+            oracle::verify_function(&program, f, &target, &enum_config, &oracle_config);
+        let tag = if e.outcome.is_complete() { "" } else { " [space truncated]" };
+        println!("{}{tag}", report.summary());
+        for finding in &report.findings {
+            println!("  !! {finding:?}");
+        }
+        findings += report.findings.len();
+    }
+    if findings > 0 {
+        return Err(format!("verification FAILED with {findings} finding(s)"));
+    }
+    Ok(())
+}
+
 fn dot_cmd(args: &[String]) -> Result<(), String> {
     let (args, jobs) = parse_jobs(args)?;
     let path = args.first().ok_or("dot: missing file")?;
@@ -239,12 +347,54 @@ mod tests {
         run(&["explore".into(), path.clone()]).unwrap();
         run(&["explore".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
         run(&["explore".into(), path.clone(), "--jobs=0".into()]).unwrap();
+        run(&["verify".into(), path.clone()]).unwrap();
+        run(&["verify".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
+        run(&[
+            "verify".into(),
+            path.clone(),
+            "triple".into(),
+            "--battery=2".into(),
+            "--seed=7".into(),
+            "--max-nodes=500".into(),
+        ])
+        .unwrap();
         run(&["dot".into(), path.clone(), "triple".into()]).unwrap();
         run(&["dot".into(), path.clone(), "triple".into(), "-j".into(), "4".into()]).unwrap();
         run(&["phases".into()]).unwrap();
         assert!(run(&["bogus".into()]).is_err());
         assert!(run(&["explore".into(), path.clone(), "--jobs".into()]).is_err());
+        assert!(run(&["verify".into(), path.clone(), "--battery".into()]).is_err());
+        assert!(run(&["verify".into(), path.clone(), "--seed=pi".into()]).is_err());
+        assert!(run(&["verify".into(), "--bench".into(), "nope".into()]).is_err());
         assert!(run(&["explore".into(), path, "--jobs".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn verify_bench_kernel() {
+        // A single small MiBench function end to end through the oracle.
+        run(&[
+            "verify".into(),
+            "--bench".into(),
+            "bitcount".into(),
+            "bit_count".into(),
+            "--max-nodes=2000".into(),
+            "--battery=2".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn parse_opt_extracts_values() {
+        let (rest, v) = parse_opt::<usize>(
+            &["a.mc".into(), "--max-nodes".into(), "99".into(), "f".into()],
+            "--max-nodes",
+        )
+        .unwrap();
+        assert_eq!(rest, vec!["a.mc".to_owned(), "f".to_owned()]);
+        assert_eq!(v, Some(99));
+        let (_, v) = parse_opt::<u64>(&["--seed=5".into()], "--seed").unwrap();
+        assert_eq!(v, Some(5));
+        assert!(parse_opt::<usize>(&["--battery=x".into()], "--battery").is_err());
     }
 
     #[test]

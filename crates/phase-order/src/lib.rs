@@ -21,6 +21,12 @@
 //!   which uses those probabilities to dynamically choose the next phase
 //!   and cuts compilation time to roughly a third of the conventional
 //!   batch loop at comparable code quality (Table 7).
+//! * [`oracle`] — the differential equivalence oracle: every distinct
+//!   instance in an enumerated space is executed on a seeded input battery
+//!   and checked against the unoptimized baseline, every fingerprint-merged
+//!   duplicate is rematerialized and checked for byte-identical behaviour,
+//!   and per-leaf dynamic instruction counts locate the best ordering
+//!   (Section 7's measure).
 //! * [`search`] — the non-exhaustive searches of the surrounding
 //!   literature (random, hill climbing, genetic), with the fingerprint
 //!   redundancy detection of the authors' companion work, evaluated here
@@ -46,8 +52,8 @@
 
 pub mod enumerate;
 pub mod interaction;
+pub mod oracle;
 pub mod prob;
-pub mod rng;
 pub mod search;
 pub mod space;
 pub mod stats;
@@ -56,3 +62,8 @@ pub use enumerate::{
     enumerate, enumerate_parallel, Config, Enumeration, ReplayMode, SearchOutcome,
 };
 pub use space::{NodeId, SearchSpace};
+
+/// Seedable pseudo-random number generation (re-exported from `vpo-rtl`,
+/// its home since the front-end fuzzer also needs seeding; the historical
+/// `phase_order::rng` path keeps working).
+pub use vpo_rtl::rng;

@@ -1,0 +1,697 @@
+//! Statement-level MiniC fuzzer with a paired reference interpreter.
+//!
+//! The generator produces whole MiniC translation units — global scalars
+//! and an initialized global array, a chain of pure helper functions, and
+//! a main function `f(a, b, c)` whose body mixes assignments (plain and
+//! compound), `if`/`else`, counted `for` and `while` loops, array reads
+//! and writes, and calls — far beyond expression trees. Every program is
+//! paired with a reference interpreter over the same AST, so any stage of
+//! the pipeline (naive codegen, any phase ordering, the simulator) can be
+//! checked differentially: compile and execute the rendered source, and
+//! the result must equal [`FuzzProgram::reference`].
+//!
+//! Three properties make the corpus usable as an oracle workload:
+//!
+//! * **Total semantics.** Loops are counted (bounded trip counts, a
+//!   dedicated counter per nesting depth that bodies cannot write), array
+//!   indices are masked into bounds, divisors are non-zero constants, and
+//!   shift amounts are constants in `0..32` — no generated program traps
+//!   or diverges, on *any* arguments.
+//! * **Determinism.** Generation draws only from the seeded
+//!   [`Rng`](vpo_rtl::rng::Rng); equal seeds yield identical programs.
+//! * **Observability.** The function's return value folds in every local,
+//!   every global scalar, and the whole global array, so a miscompiled
+//!   store cannot hide.
+//!
+//! # Example
+//!
+//! ```
+//! use vpo_rtl::rng::Rng;
+//! use vpo_frontend::fuzz::FuzzProgram;
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! let fp = FuzzProgram::generate(&mut rng);
+//! let program = fp.compile().expect("generated MiniC always compiles");
+//! assert_eq!(program.functions.last().unwrap().name, vpo_frontend::fuzz::ENTRY);
+//! let args = FuzzProgram::gen_args(&mut rng);
+//! let expected = fp.reference(args); // what any correct pipeline must produce
+//! # let _ = expected;
+//! ```
+
+use vpo_rtl::rng::Rng;
+use vpo_rtl::Program;
+
+use crate::CompileError;
+
+/// Parameters of the generated entry function, in order.
+pub const PARAMS: [&str; 3] = ["a", "b", "c"];
+/// Mutable locals the statements target.
+const LOCALS: [&str; 4] = ["x", "y", "z", "w"];
+/// Global scalars.
+const GLOBALS: [&str; 2] = ["gs0", "gs1"];
+/// Name and length of the global array (indices are masked by
+/// `ARRAY_LEN - 1`, so the length must be a power of two).
+const ARRAY: &str = "arr";
+const ARRAY_LEN: usize = 8;
+/// Loop counters, one per nesting depth.
+const COUNTERS: [&str; 3] = ["t0", "t1", "t2"];
+/// Name of the generated entry function.
+pub const ENTRY: &str = "f";
+
+/// Wide constants exercising bytewise materialization of values that do
+/// not fit an ARM rotated immediate.
+const WIDE_CONSTS: [i32; 4] = [0x12345678, -77777, 0x00FF00FF, 0x7FFFFFF1];
+
+/// Expressions. All are side-effect free, so C's unspecified evaluation
+/// orders cannot bite, and short-circuit operators agree with their
+/// strict counterparts.
+#[derive(Clone, Debug)]
+enum E {
+    /// Entry-function parameter `a`/`b`/`c`.
+    Param(u8),
+    /// Mutable local `x`/`y`/`z`/`w`.
+    Local(u8),
+    /// Global scalar.
+    Global(u8),
+    /// `arr[(e) & 7]`.
+    Index(Box<E>),
+    /// Loop counter `t<d>` — only generated inside `d+1` nested loops.
+    Counter(u8),
+    Const(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    /// Shift by a constant in `0..32` (avoids target-undefined shifts).
+    Shl(Box<E>, u8),
+    /// Arithmetic right shift (`>>`) by a constant.
+    Shr(Box<E>, u8),
+    /// Logical right shift (`>>>`) by a constant.
+    Lshr(Box<E>, u8),
+    /// Division by a positive constant (avoids traps, including
+    /// `INT_MIN / -1`).
+    Div(Box<E>, i32),
+    /// Remainder by a positive constant.
+    Rem(Box<E>, i32),
+    Neg(Box<E>),
+    Not(Box<E>),
+    /// Logical not: 0/1.
+    LNot(Box<E>),
+    /// Comparison producing 0/1.
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    /// Short-circuit `&&` / `||` (0/1). Operands are pure, so reference
+    /// evaluation may be strict.
+    LAnd(Box<E>, Box<E>),
+    LOr(Box<E>, Box<E>),
+    /// Call to helper `h<k>` with two arguments.
+    Call(u8, Box<E>, Box<E>),
+}
+
+/// Statements of the entry-function body.
+#[derive(Clone, Debug)]
+enum S {
+    /// `local op= e;` (`op` of `None` is a plain assignment).
+    AssignLocal(u8, Option<CompoundOp>, E),
+    /// `global = e;`
+    AssignGlobal(u8, E),
+    /// `arr[(i) & 7] = e;`
+    StoreArray(E, E),
+    If(E, Vec<S>, Vec<S>),
+    /// `for (t<d> = 0; t<d> < trips; t<d>++) body` — `d` is the loop
+    /// nesting depth at this statement.
+    For(u8, Vec<S>),
+    /// `t<d> = 0; while (t<d> < trips) { body t<d> += 1; }`.
+    While(u8, Vec<S>),
+}
+
+/// Compound-assignment operators the generator uses.
+#[derive(Clone, Copy, Debug)]
+enum CompoundOp {
+    Add,
+    Xor,
+}
+
+/// One generated MiniC program plus everything needed to interpret it.
+#[derive(Clone, Debug)]
+pub struct FuzzProgram {
+    /// Rendered MiniC source of the whole translation unit.
+    pub source: String,
+    /// Initial values of the global scalars.
+    globals: [i32; GLOBALS.len()],
+    /// Initial contents of the global array.
+    array: [i32; ARRAY_LEN],
+    /// Helper bodies: `h<k>(a, b)` returns `helpers[k]` evaluated with the
+    /// two arguments (helper `k` may call helpers `0..k`).
+    helpers: Vec<E>,
+    /// Entry-function body.
+    body: Vec<S>,
+}
+
+// ---------------------------------------------------------------- render
+
+fn paren(out: &mut String, inner: impl FnOnce(&mut String)) {
+    out.push('(');
+    inner(out);
+    out.push(')');
+}
+
+fn render_e(e: &E, out: &mut String) {
+    match e {
+        E::Param(i) => out.push_str(PARAMS[*i as usize % PARAMS.len()]),
+        E::Local(i) => out.push_str(LOCALS[*i as usize % LOCALS.len()]),
+        E::Global(i) => out.push_str(GLOBALS[*i as usize % GLOBALS.len()]),
+        E::Counter(d) => out.push_str(COUNTERS[*d as usize % COUNTERS.len()]),
+        E::Index(i) => {
+            out.push_str(ARRAY);
+            out.push('[');
+            paren(out, |o| render_e(i, o));
+            out.push_str(&format!(" & {}]", ARRAY_LEN - 1));
+        }
+        // Parenthesized so a leading `-` can never fuse with a preceding
+        // `-` into the `--` token.
+        E::Const(c) => paren(out, |o| o.push_str(&c.to_string())),
+        E::Add(a, b) => bin(out, a, "+", b),
+        E::Sub(a, b) => bin(out, a, "-", b),
+        E::Mul(a, b) => bin(out, a, "*", b),
+        E::And(a, b) => bin(out, a, "&", b),
+        E::Or(a, b) => bin(out, a, "|", b),
+        E::Xor(a, b) => bin(out, a, "^", b),
+        E::Lt(a, b) => bin(out, a, "<", b),
+        E::Eq(a, b) => bin(out, a, "==", b),
+        E::LAnd(a, b) => bin(out, a, "&&", b),
+        E::LOr(a, b) => bin(out, a, "||", b),
+        E::Shl(a, k) => paren(out, |o| {
+            render_e(a, o);
+            o.push_str(&format!(" << {k}"));
+        }),
+        E::Shr(a, k) => paren(out, |o| {
+            render_e(a, o);
+            o.push_str(&format!(" >> {k}"));
+        }),
+        E::Lshr(a, k) => paren(out, |o| {
+            render_e(a, o);
+            o.push_str(&format!(" >>> {k}"));
+        }),
+        E::Div(a, c) => paren(out, |o| {
+            render_e(a, o);
+            o.push_str(&format!(" / {c}"));
+        }),
+        E::Rem(a, c) => paren(out, |o| {
+            render_e(a, o);
+            o.push_str(&format!(" % {c}"));
+        }),
+        E::Neg(a) => paren(out, |o| {
+            // The space avoids lexing `(-` + `(-1)` as `--`.
+            o.push_str("- ");
+            render_e(a, o);
+        }),
+        E::Not(a) => paren(out, |o| {
+            o.push('~');
+            render_e(a, o);
+        }),
+        E::LNot(a) => paren(out, |o| {
+            o.push('!');
+            render_e(a, o);
+        }),
+        E::Call(k, x, y) => {
+            out.push_str(&format!("h{k}("));
+            render_e(x, out);
+            out.push_str(", ");
+            render_e(y, out);
+            out.push(')');
+        }
+    }
+}
+
+fn bin(out: &mut String, a: &E, op: &str, b: &E) {
+    paren(out, |o| {
+        render_e(a, o);
+        o.push(' ');
+        o.push_str(op);
+        o.push(' ');
+        render_e(b, o);
+    });
+}
+
+fn render_s(s: &S, out: &mut String, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        S::AssignLocal(l, op, e) => {
+            out.push_str(&pad);
+            out.push_str(LOCALS[*l as usize % LOCALS.len()]);
+            out.push_str(match op {
+                None => " = ",
+                Some(CompoundOp::Add) => " += ",
+                Some(CompoundOp::Xor) => " ^= ",
+            });
+            render_e(e, out);
+            out.push_str(";\n");
+        }
+        S::AssignGlobal(g, e) => {
+            out.push_str(&pad);
+            out.push_str(GLOBALS[*g as usize % GLOBALS.len()]);
+            out.push_str(" = ");
+            render_e(e, out);
+            out.push_str(";\n");
+        }
+        S::StoreArray(i, e) => {
+            out.push_str(&pad);
+            out.push_str(ARRAY);
+            out.push('[');
+            paren(out, |o| render_e(i, o));
+            out.push_str(&format!(" & {}] = ", ARRAY_LEN - 1));
+            render_e(e, out);
+            out.push_str(";\n");
+        }
+        S::If(c, t, f) => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            render_e(c, out);
+            out.push_str(" != 0) {\n");
+            for st in t {
+                render_s(st, out, indent + 1);
+            }
+            out.push_str(&pad);
+            if f.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for st in f {
+                    render_s(st, out, indent + 1);
+                }
+                out.push_str(&pad);
+                out.push_str("}\n");
+            }
+        }
+        S::For(packed, body) => {
+            let iv = COUNTERS[loop_depth(*packed)];
+            let trips = loop_trips(*packed);
+            out.push_str(&pad);
+            out.push_str(&format!("for ({iv} = 0; {iv} < {trips}; {iv}++) {{\n"));
+            for st in body {
+                render_s(st, out, indent + 1);
+            }
+            out.push_str(&pad);
+            out.push_str("}\n");
+        }
+        S::While(packed, body) => {
+            let iv = COUNTERS[loop_depth(*packed)];
+            let trips = loop_trips(*packed);
+            out.push_str(&pad);
+            out.push_str(&format!("{iv} = 0;\n"));
+            out.push_str(&pad);
+            out.push_str(&format!("while ({iv} < {trips}) {{\n"));
+            for st in body {
+                render_s(st, out, indent + 1);
+            }
+            out.push_str(&"    ".repeat(indent + 1));
+            out.push_str(&format!("{iv} += 1;\n"));
+            out.push_str(&pad);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Loops pack (nesting depth, trip count) into one byte at generation
+/// time; the depth selects the dedicated counter variable, so rendering
+/// and interpretation always agree on which counter a loop owns.
+fn loop_depth(packed: u8) -> usize {
+    (packed >> 4) as usize % COUNTERS.len()
+}
+
+/// Trip count of a loop statement (the low nibble of the packed field).
+fn loop_trips(packed: u8) -> u8 {
+    packed & 0x0F
+}
+
+// ------------------------------------------------------------- generate
+
+struct Gen<'r> {
+    rng: &'r mut Rng,
+    /// Helpers callable from the expression being generated.
+    callable: usize,
+}
+
+impl Gen<'_> {
+    fn leaf(&mut self, depth_loops: usize, pure_helper: bool) -> E {
+        loop {
+            match self.rng.gen_range(0..7) {
+                // Helpers only declare two parameters (`a`, `b`).
+                0 => {
+                    let n = if pure_helper { 2 } else { PARAMS.len() };
+                    return E::Param(self.rng.gen_range(0..n) as u8);
+                }
+                1 if !pure_helper => return E::Local(self.rng.gen_range(0..LOCALS.len()) as u8),
+                2 if !pure_helper => return E::Global(self.rng.gen_range(0..GLOBALS.len()) as u8),
+                3 if !pure_helper => {
+                    let idx = self.expr(0, depth_loops, pure_helper);
+                    return E::Index(Box::new(idx));
+                }
+                4 if depth_loops > 0 && !pure_helper => {
+                    return E::Counter(self.rng.gen_range(0..depth_loops) as u8)
+                }
+                5 => return E::Const(self.rng.gen_range_i32(-200..200)),
+                6 => return E::Const(WIDE_CONSTS[self.rng.gen_range(0..WIDE_CONSTS.len())]),
+                _ => {}
+            }
+        }
+    }
+
+    fn expr(&mut self, depth: u32, loops: usize, pure_helper: bool) -> E {
+        // A quarter of interior draws bottom out early (leaf bias).
+        if depth == 0 || self.rng.gen_range(0..4) == 0 {
+            return self.leaf(loops, pure_helper);
+        }
+        let sub = |g: &mut Self| Box::new(g.expr(depth - 1, loops, pure_helper));
+        match self.rng.gen_range(0..18) {
+            0 => E::Add(sub(self), sub(self)),
+            1 => E::Sub(sub(self), sub(self)),
+            2 => E::Mul(sub(self), sub(self)),
+            3 => E::And(sub(self), sub(self)),
+            4 => E::Or(sub(self), sub(self)),
+            5 => E::Xor(sub(self), sub(self)),
+            6 => E::Shl(sub(self), self.rng.gen_range(0..31) as u8),
+            7 => E::Shr(sub(self), self.rng.gen_range(0..31) as u8),
+            8 => E::Lshr(sub(self), self.rng.gen_range(0..31) as u8),
+            9 => E::Div(sub(self), self.rng.gen_range_i32(1..50)),
+            10 => E::Rem(sub(self), self.rng.gen_range_i32(1..50)),
+            11 => E::Neg(sub(self)),
+            12 => E::Not(sub(self)),
+            13 => E::LNot(sub(self)),
+            14 => E::Lt(sub(self), sub(self)),
+            15 => E::Eq(sub(self), sub(self)),
+            16 => {
+                if self.rng.gen_bool() {
+                    E::LAnd(sub(self), sub(self))
+                } else {
+                    E::LOr(sub(self), sub(self))
+                }
+            }
+            _ => {
+                if self.callable == 0 {
+                    E::Xor(sub(self), sub(self))
+                } else {
+                    let k = self.rng.gen_range(0..self.callable) as u8;
+                    E::Call(k, sub(self), sub(self))
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, depth: u32, loops: usize) -> S {
+        let pick = if depth == 0 || loops >= COUNTERS.len() {
+            self.rng.gen_range(0..5)
+        } else {
+            self.rng.gen_range(0..8)
+        };
+        match pick {
+            0 | 1 => {
+                let op = match self.rng.gen_range(0..4) {
+                    0 => Some(CompoundOp::Add),
+                    1 => Some(CompoundOp::Xor),
+                    _ => None,
+                };
+                S::AssignLocal(
+                    self.rng.gen_range(0..LOCALS.len()) as u8,
+                    op,
+                    self.expr(3, loops, false),
+                )
+            }
+            2 => S::AssignGlobal(
+                self.rng.gen_range(0..GLOBALS.len()) as u8,
+                self.expr(3, loops, false),
+            ),
+            3 => S::StoreArray(self.expr(2, loops, false), self.expr(3, loops, false)),
+            4 => {
+                let c = self.expr(3, loops, false);
+                let d = depth.saturating_sub(1);
+                let t = self.block(d, loops, 1, 3);
+                let f = self.block(d, loops, 0, 3);
+                S::If(c, t, f)
+            }
+            _ => {
+                // Pack (nesting depth, trip count) into the loop tag; the
+                // depth selects the dedicated counter the body cannot
+                // write, the trip count bounds execution.
+                let trips = self.rng.gen_range(1..6) as u8;
+                let packed = ((loops as u8) << 4) | trips;
+                let body = self.block(depth - 1, loops + 1, 1, 3);
+                if self.rng.gen_bool() {
+                    S::For(packed, body)
+                } else {
+                    S::While(packed, body)
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, depth: u32, loops: usize, min: usize, max: usize) -> Vec<S> {
+        (0..self.rng.gen_range(min..max)).map(|_| self.stmt(depth, loops)).collect()
+    }
+}
+
+impl FuzzProgram {
+    /// Generates a fresh program from the seeded generator. Equal `rng`
+    /// states yield identical programs.
+    pub fn generate(rng: &mut Rng) -> FuzzProgram {
+        let globals =
+            [rng.gen_range_i32(-1000..1000), WIDE_CONSTS[rng.gen_range(0..WIDE_CONSTS.len())]];
+        let mut array = [0i32; ARRAY_LEN];
+        for slot in &mut array {
+            *slot = rng.gen_range_i32(-500..500);
+        }
+        let helper_count = rng.gen_range(0..3);
+        let mut helpers = Vec::with_capacity(helper_count);
+        for k in 0..helper_count {
+            let mut g = Gen { rng, callable: k };
+            helpers.push(g.expr(3, 0, true));
+        }
+        let mut g = Gen { rng, callable: helper_count };
+        let body = g.block(3, 0, 2, 7);
+        let mut fp = FuzzProgram { source: String::new(), globals, array, helpers, body };
+        fp.source = fp.render();
+        fp
+    }
+
+    /// Deterministic argument tuples for the entry function.
+    pub fn gen_args(rng: &mut Rng) -> [i32; 3] {
+        [
+            rng.gen_range_i32(-1000..1000),
+            rng.gen_range_i32(-1000..1000),
+            rng.gen_range_i32(-1000..1000),
+        ]
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        // Global initializers are bare (optionally negated) constants in
+        // the MiniC grammar — no parentheses here.
+        out.push_str(&format!("int {} = {};\n", GLOBALS[0], self.globals[0]));
+        out.push_str(&format!("int {} = {};\n", GLOBALS[1], self.globals[1]));
+        let elems: Vec<String> = self.array.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&format!("int {ARRAY}[{ARRAY_LEN}] = {{ {} }};\n\n", elems.join(", ")));
+        for (k, body) in self.helpers.iter().enumerate() {
+            out.push_str(&format!("int h{k}(int a, int b) {{\n    return "));
+            // Helper bodies reuse the first two parameter names.
+            render_e(body, &mut out);
+            out.push_str(";\n}\n\n");
+        }
+        out.push_str(&format!("int {ENTRY}(int a, int b, int c) {{\n"));
+        for l in LOCALS {
+            out.push_str(&format!("    int {l} = 0;\n"));
+        }
+        for t in COUNTERS {
+            out.push_str(&format!("    int {t};\n"));
+        }
+        for s in &self.body {
+            render_s(s, &mut out, 1);
+        }
+        // Fold every observable location into the return value so no
+        // memory effect can hide from a differential check.
+        out.push_str(&format!(
+            "    {x} = {x} ^ {y} ^ {z} ^ {w} ^ {g0} ^ {g1};\n",
+            x = LOCALS[0],
+            y = LOCALS[1],
+            z = LOCALS[2],
+            w = LOCALS[3],
+            g0 = GLOBALS[0],
+            g1 = GLOBALS[1],
+        ));
+        out.push_str(&format!(
+            "    for ({t} = 0; {t} < {ARRAY_LEN}; {t}++) {x} ^= {ARRAY}[{t}];\n",
+            t = COUNTERS[0],
+            x = LOCALS[0],
+        ));
+        out.push_str(&format!("    return {};\n}}\n", LOCALS[0]));
+        out
+    }
+
+    /// Compiles the rendered source with the real front end.
+    ///
+    /// # Errors
+    ///
+    /// Never errors for generator-produced programs; the `Result` exists
+    /// so failures report the offending source instead of panicking deep
+    /// inside the front end.
+    pub fn compile(&self) -> Result<Program, CompileError> {
+        crate::compile(&self.source)
+    }
+
+    /// Reference execution: interprets the AST directly, with the same
+    /// wrapping 32-bit semantics as the RTL target, and returns the value
+    /// `f(a, b, c)` must produce.
+    pub fn reference(&self, args: [i32; 3]) -> i32 {
+        let mut st = State {
+            params: args,
+            locals: [0; LOCALS.len()],
+            counters: [0; COUNTERS.len()],
+            globals: self.globals,
+            array: self.array,
+            helpers: &self.helpers,
+        };
+        st.stmts(&self.body);
+        let mut acc = st.locals[0]
+            ^ st.locals[1]
+            ^ st.locals[2]
+            ^ st.locals[3]
+            ^ st.globals[0]
+            ^ st.globals[1];
+        for v in st.array {
+            acc ^= v;
+        }
+        acc
+    }
+}
+
+// ------------------------------------------------------------ interpret
+
+struct State<'p> {
+    params: [i32; 3],
+    locals: [i32; LOCALS.len()],
+    counters: [i32; COUNTERS.len()],
+    globals: [i32; GLOBALS.len()],
+    array: [i32; ARRAY_LEN],
+    helpers: &'p [E],
+}
+
+impl State<'_> {
+    fn expr(&self, e: &E) -> i32 {
+        match e {
+            E::Param(i) => self.params[*i as usize % PARAMS.len()],
+            E::Local(i) => self.locals[*i as usize % LOCALS.len()],
+            E::Global(i) => self.globals[*i as usize % GLOBALS.len()],
+            E::Counter(d) => self.counters[*d as usize % COUNTERS.len()],
+            E::Index(i) => self.array[(self.expr(i) & (ARRAY_LEN as i32 - 1)) as usize],
+            E::Const(c) => *c,
+            E::Add(a, b) => self.expr(a).wrapping_add(self.expr(b)),
+            E::Sub(a, b) => self.expr(a).wrapping_sub(self.expr(b)),
+            E::Mul(a, b) => self.expr(a).wrapping_mul(self.expr(b)),
+            E::And(a, b) => self.expr(a) & self.expr(b),
+            E::Or(a, b) => self.expr(a) | self.expr(b),
+            E::Xor(a, b) => self.expr(a) ^ self.expr(b),
+            E::Shl(a, k) => self.expr(a).wrapping_shl(*k as u32),
+            E::Shr(a, k) => self.expr(a).wrapping_shr(*k as u32),
+            E::Lshr(a, k) => ((self.expr(a) as u32) >> *k) as i32,
+            E::Div(a, c) => self.expr(a).wrapping_div(*c),
+            E::Rem(a, c) => self.expr(a).wrapping_rem(*c),
+            E::Neg(a) => self.expr(a).wrapping_neg(),
+            E::Not(a) => !self.expr(a),
+            E::LNot(a) => (self.expr(a) == 0) as i32,
+            E::Lt(a, b) => (self.expr(a) < self.expr(b)) as i32,
+            E::Eq(a, b) => (self.expr(a) == self.expr(b)) as i32,
+            E::LAnd(a, b) => (self.expr(a) != 0 && self.expr(b) != 0) as i32,
+            E::LOr(a, b) => (self.expr(a) != 0 || self.expr(b) != 0) as i32,
+            E::Call(k, x, y) => {
+                let (a, b) = (self.expr(x), self.expr(y));
+                self.helper(*k as usize, a, b)
+            }
+        }
+    }
+
+    /// Evaluates helper `k` with parameters `a`, `b`. Helper bodies read
+    /// only their parameters (pure), so a temporary state suffices.
+    fn helper(&self, k: usize, a: i32, b: i32) -> i32 {
+        let st = State {
+            params: [a, b, 0],
+            locals: [0; LOCALS.len()],
+            counters: [0; COUNTERS.len()],
+            globals: self.globals,
+            array: self.array,
+            helpers: self.helpers,
+        };
+        st.expr(&self.helpers[k])
+    }
+
+    fn stmts(&mut self, body: &[S]) {
+        for s in body {
+            match s {
+                S::AssignLocal(l, op, e) => {
+                    let v = self.expr(e);
+                    let slot = &mut self.locals[*l as usize % LOCALS.len()];
+                    *slot = match op {
+                        None => v,
+                        Some(CompoundOp::Add) => slot.wrapping_add(v),
+                        Some(CompoundOp::Xor) => *slot ^ v,
+                    };
+                }
+                S::AssignGlobal(g, e) => self.globals[*g as usize % GLOBALS.len()] = self.expr(e),
+                S::StoreArray(i, e) => {
+                    let idx = (self.expr(i) & (ARRAY_LEN as i32 - 1)) as usize;
+                    self.array[idx] = self.expr(e);
+                }
+                S::If(c, t, f) => {
+                    if self.expr(c) != 0 {
+                        self.stmts(t);
+                    } else {
+                        self.stmts(f);
+                    }
+                }
+                S::For(packed, body) | S::While(packed, body) => {
+                    let d = loop_depth(*packed);
+                    let trips = loop_trips(*packed) as i32;
+                    self.counters[d] = 0;
+                    while self.counters[d] < trips {
+                        self.stmts(body);
+                        self.counters[d] += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..40u64 {
+            let mut rng = Rng::seed_from_u64(0xF055 ^ seed);
+            let fp = FuzzProgram::generate(&mut rng);
+            fp.compile().unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", fp.source));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FuzzProgram::generate(&mut Rng::seed_from_u64(11));
+        let b = FuzzProgram::generate(&mut Rng::seed_from_u64(11));
+        assert_eq!(a.source, b.source);
+        let c = FuzzProgram::generate(&mut Rng::seed_from_u64(12));
+        assert_ne!(a.source, c.source, "different seeds should differ");
+    }
+
+    #[test]
+    fn reference_is_total_and_deterministic() {
+        for seed in 0..40u64 {
+            let mut rng = Rng::seed_from_u64(0xABCD ^ seed);
+            let fp = FuzzProgram::generate(&mut rng);
+            let args = FuzzProgram::gen_args(&mut rng);
+            assert_eq!(fp.reference(args), fp.reference(args));
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod fuzz;
 pub mod lexer;
 pub mod parser;
 pub mod sema;

@@ -64,6 +64,7 @@ pub mod function;
 pub mod inst;
 pub mod liveness;
 pub mod loops;
+pub mod rng;
 
 pub use expr::{BinOp, Cond, Expr, SymId, UnOp, Width};
 pub use function::{Block, FuncFlags, Function, GlobalDef, Label, LocalId, LocalSlot, Program};

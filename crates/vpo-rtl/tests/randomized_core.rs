@@ -3,46 +3,32 @@
 //! composition over arbitrary splits.
 //!
 //! Formerly proptest properties; the hermetic build policy (no registry
-//! crates — see `DESIGN.md`) replaced the strategies with a seeded
-//! in-tree generator. `vpo-rtl` sits below `phase-order` in the crate
-//! graph, so it cannot use `phase_order::rng`; a local SplitMix64 (the
-//! same seeding primitive) covers the few draws these tests need.
+//! crates — see `DESIGN.md`) replaced the strategies with the seeded
+//! in-tree generator `vpo_rtl::rng::Rng`, which now lives in this crate
+//! (it moved down from `phase-order` when the front-end fuzzer gained a
+//! need for seeding too).
 
 use std::collections::HashSet;
 
 use vpo_rtl::crc::{crc32, Crc32};
 use vpo_rtl::liveness::BitSet;
+use vpo_rtl::rng::Rng;
 
-/// SplitMix64 — the reference 64-bit mixer; enough randomness for
-/// model-based testing, deterministic per seed.
-struct Rng(u64);
-
-impl Rng {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    fn bytes(&mut self, len: usize) -> Vec<u8> {
-        (0..len).map(|_| self.next_u64() as u8).collect()
-    }
+/// Draws `len` pseudo-random bytes.
+fn bytes(rng: &mut Rng, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
 }
 
 #[test]
 fn bitset_matches_hashset_model() {
     for seed in 0..50 {
-        let mut rng = Rng(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut bs = BitSet::new(200);
         let mut model: HashSet<usize> = HashSet::new();
-        for _ in 0..rng.below(200) {
-            let i = rng.below(200);
+        for _ in 0..rng.gen_range(0..200) {
+            let i = rng.gen_range(0..200);
             if rng.next_u64() & 1 == 1 {
                 let changed = bs.insert(i);
                 assert_eq!(changed, model.insert(i), "seed {seed} bit {i}");
@@ -66,9 +52,9 @@ fn bitset_matches_hashset_model() {
 #[test]
 fn bitset_union_matches_model() {
     for seed in 0..50 {
-        let mut rng = Rng(1_000 + seed);
-        let a: HashSet<usize> = (0..rng.below(60)).map(|_| rng.below(128)).collect();
-        let b: HashSet<usize> = (0..rng.below(60)).map(|_| rng.below(128)).collect();
+        let mut rng = Rng::seed_from_u64(1_000 + seed);
+        let a: HashSet<usize> = (0..rng.gen_range(0..60)).map(|_| rng.gen_range(0..128)).collect();
+        let b: HashSet<usize> = (0..rng.gen_range(0..60)).map(|_| rng.gen_range(0..128)).collect();
         let mut ba = BitSet::new(128);
         let mut bb = BitSet::new(128);
         for &i in &a {
@@ -90,10 +76,10 @@ fn bitset_union_matches_model() {
 #[test]
 fn crc_incremental_equals_oneshot() {
     for seed in 0..100 {
-        let mut rng = Rng(2_000 + seed);
-        let len = rng.below(512);
-        let data = rng.bytes(len);
-        let split = if data.is_empty() { 0 } else { rng.below(data.len() + 1) };
+        let mut rng = Rng::seed_from_u64(2_000 + seed);
+        let len = rng.gen_range(0..512);
+        let data = bytes(&mut rng, len);
+        let split = if data.is_empty() { 0 } else { rng.gen_range(0..data.len() + 1) };
         let mut h = Crc32::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
@@ -104,11 +90,11 @@ fn crc_incremental_equals_oneshot() {
 #[test]
 fn crc_detects_single_byte_changes() {
     for seed in 0..100 {
-        let mut rng = Rng(3_000 + seed);
-        let len = 1 + rng.below(255);
-        let data = rng.bytes(len);
-        let pos = rng.below(data.len());
-        let delta = 1 + rng.below(255) as u8;
+        let mut rng = Rng::seed_from_u64(3_000 + seed);
+        let len = 1 + rng.gen_range(0..255);
+        let data = bytes(&mut rng, len);
+        let pos = rng.gen_range(0..data.len());
+        let delta = 1 + rng.gen_range(0..255) as u8;
         let mut tweaked = data.clone();
         tweaked[pos] = tweaked[pos].wrapping_add(delta);
         assert_ne!(crc32(&data), crc32(&tweaked), "seed {seed} pos {pos} delta {delta}");
@@ -119,10 +105,10 @@ fn crc_detects_single_byte_changes() {
 fn crc_detects_adjacent_swaps() {
     let mut checked = 0;
     for seed in 0..200 {
-        let mut rng = Rng(4_000 + seed);
-        let len = 2 + rng.below(254);
-        let data = rng.bytes(len);
-        let pos = rng.below(data.len() - 1);
+        let mut rng = Rng::seed_from_u64(4_000 + seed);
+        let len = 2 + rng.gen_range(0..254);
+        let data = bytes(&mut rng, len);
+        let pos = rng.gen_range(0..data.len() - 1);
         if data[pos] == data[pos + 1] {
             continue;
         }

@@ -32,6 +32,7 @@
 
 use std::collections::HashMap;
 
+use vpo_rtl::crc::crc32;
 use vpo_rtl::{BinOp, Expr, Function, Inst, Program, Reg, SymId, Width};
 
 /// Simulator errors.
@@ -115,11 +116,23 @@ impl<'p> Machine<'p> {
     /// Creates a machine for `program` with default memory and fuel, and
     /// initializes global storage.
     pub fn new(program: &'p Program) -> Self {
+        Machine::with_mem_size(program, DEFAULT_MEM)
+    }
+
+    /// Creates a machine with a custom memory image size. Smaller images
+    /// make [`Machine::reset`] (which zeroes the whole image) much cheaper
+    /// — the differential oracle runs tens of thousands of short
+    /// simulations and resets between every one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's globals do not fit in half of `mem_size`.
+    pub fn with_mem_size(program: &'p Program, mem_size: usize) -> Self {
         let mut m = Machine {
             program,
-            mem: vec![0; DEFAULT_MEM],
+            mem: vec![0; mem_size],
             global_addr: Vec::new(),
-            stack_top: DEFAULT_MEM as u32,
+            stack_top: mem_size as u32,
             dynamic: 0,
             fuel: DEFAULT_FUEL,
             functions: program.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
@@ -169,6 +182,23 @@ impl<'p> Machine<'p> {
     /// Address of a global by symbol id.
     pub fn global_address(&self, sym: SymId) -> u32 {
         self.global_addr[sym.0 as usize]
+    }
+
+    /// CRC-32 digest of the whole globals segment — a summary of every
+    /// memory effect execution has left behind. Two runs whose return
+    /// values and globals digests both match are observationally
+    /// identical to this machine's memory model (per-activation registers
+    /// and the stack do not outlive a call).
+    pub fn globals_crc(&self) -> u32 {
+        let end = self
+            .program
+            .globals
+            .iter()
+            .zip(&self.global_addr)
+            .map(|(g, &a)| a + g.size.max(1))
+            .max()
+            .unwrap_or(GLOBAL_BASE);
+        crc32(&self.mem[GLOBAL_BASE as usize..end as usize])
     }
 
     /// Reads word `index` of the named global.
@@ -673,6 +703,94 @@ mod tests {
         let total: u64 =
             p.functions[0].blocks.iter().zip(&counts).map(|(b, &n)| b.insts.len() as u64 * n).sum();
         assert_eq!(total, m.dynamic_insts());
+    }
+
+    #[test]
+    fn int_min_div_minus_one_traps() {
+        // `INT_MIN / -1` overflows i32; the modelled target traps exactly
+        // like division by zero (same for the remainder).
+        let p = compile("int f(int a, int b) { return a / b; }").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(
+            m.call("f", &[i32::MIN, -1]),
+            Err(SimError::DivideByZero { function: "f".to_owned() })
+        );
+        let p = compile("int g(int a, int b) { return a % b; }").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(
+            m.call("g", &[i32::MIN, -1]),
+            Err(SimError::DivideByZero { function: "g".to_owned() })
+        );
+        assert_eq!(m.call("g", &[i32::MIN, -2]).unwrap(), i32::MIN % -2);
+    }
+
+    #[test]
+    fn remainder_by_zero_traps() {
+        let p = compile("int f(int a) { return 7 % a; }").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("f", &[0]), Err(SimError::DivideByZero { function: "f".to_owned() }));
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_reported() {
+        // A wild *write* (not just a read) must trap with the offending
+        // address; the address reported is the one the store computed.
+        let p = compile("int a[4]; int f(int i) { a[i] = 1; return 0; }").unwrap();
+        let mut m = Machine::new(&p);
+        match m.call("f", &[500_000_000]) {
+            Err(SimError::BadAddress { function, .. }) => assert_eq!(function, "f"),
+            other => panic!("expected BadAddress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_recursion_hits_step_limit_before_memory() {
+        // Tail-recursive spinning with a tiny fuel budget: the step limit
+        // fires (OutOfFuel), not the depth or stack guards.
+        let p = compile("int f(int n) { return f(n + 1); }").unwrap();
+        let mut m = Machine::new(&p);
+        m.set_fuel(100);
+        assert_eq!(m.call("f", &[0]), Err(SimError::OutOfFuel));
+        // With ample fuel the same program exhausts the call depth.
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("f", &[0]), Err(SimError::StackOverflow));
+    }
+
+    #[test]
+    fn big_frames_exhaust_the_stack_region() {
+        // Each activation carves a 4000-word array from the stack; a small
+        // memory image runs out of stack region before the depth limit.
+        let p = compile(
+            "int f(int n) { int buf[4000]; buf[0] = n; if (n == 0) return buf[0]; return f(n - 1) + buf[0]; }",
+        )
+        .unwrap();
+        let mut m = Machine::with_mem_size(&p, 1 << 16);
+        assert_eq!(m.call("f", &[64]), Err(SimError::OutOfStack));
+        // The same program completes in the default-size machine.
+        let mut m = Machine::new(&p);
+        assert_eq!(m.call("f", &[64]).unwrap(), (1..=64).sum::<i32>() + 0);
+    }
+
+    #[test]
+    fn globals_crc_tracks_memory_effects() {
+        let src = r#"
+            int log[4];
+            int put(int i, int v) { log[i & 3] = v; return v; }
+        "#;
+        let p = compile(src).unwrap();
+        let mut m = Machine::new(&p);
+        let clean = m.globals_crc();
+        m.call("put", &[1, 42]).unwrap();
+        let dirty = m.globals_crc();
+        assert_ne!(clean, dirty, "a store must change the globals digest");
+        m.reset();
+        assert_eq!(m.globals_crc(), clean, "reset must restore the initial digest");
+        // Different machine sizes agree on the digest (it covers only the
+        // globals segment, not the stack).
+        let mut small = Machine::with_mem_size(&p, 1 << 16);
+        assert_eq!(small.globals_crc(), clean);
+        small.call("put", &[1, 42]).unwrap();
+        assert_eq!(small.globals_crc(), dirty);
     }
 
     #[test]

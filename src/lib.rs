@@ -13,7 +13,9 @@
 //! * [`sim`] — an RTL interpreter with dynamic instruction counting;
 //! * [`explore`] — the paper's core contribution: exhaustive phase-order
 //!   enumeration, the weighted instance DAG, phase-interaction analysis
-//!   (Tables 4–6), and the probabilistic batch compiler (Figure 8);
+//!   (Tables 4–6), the probabilistic batch compiler (Figure 8), and the
+//!   differential equivalence oracle that executes every distinct
+//!   instance to verify the space;
 //! * [`benchmarks`] — MiniC re-implementations of the MiBench subset of
 //!   Table 2 with simulator workloads.
 //!

@@ -1,340 +1,83 @@
 //! Pipeline fuzzing: randomly generated MiniC programs are compiled,
 //! optimized under random phase orders, and executed — and every stage
-//! must agree with a reference evaluator written directly in Rust.
+//! must agree with a reference interpreter written directly in Rust.
+//!
+//! The generator is the library statement-level fuzzer
+//! [`epo::frontend::fuzz`]: while/if nesting, global scalars, a global
+//! array, helper-function calls, compound assignments — the same shapes
+//! the MiBench kernels are built from. Its reference interpreter mirrors
+//! MiniC/RTL semantics exactly (wrapping 32-bit arithmetic, arithmetic
+//! and logical shifts, C-style truncating division), so disagreement at
+//! any point pins the defect to the compiler side.
 //!
 //! This exercises the lexer, parser, semantic checker, naive code
 //! generator, all fifteen optimization phases, register assignment, block
 //! normalization, the canonicalizer, and the simulator against each
-//! other, on programs none of them have seen before.
-//!
-//! Formerly proptest properties; the hermetic build policy (no registry
-//! crates — see `DESIGN.md`) replaced the strategies with the in-tree
-//! seeded generator `phase_order::rng::Rng`. Every case prints enough
-//! context (seed + generated source) on failure to reproduce it.
+//! other, on programs none of them have seen before. Every case prints
+//! enough context (seed + generated source) on failure to reproduce it.
 
+mod common;
+
+use common::{apply_sequence, gen_seq};
 use epo::explore::rng::Rng;
+use epo::frontend::fuzz::{FuzzProgram, ENTRY};
 use epo::opt::{attempt, PhaseId, Target};
 use epo::sim::Machine;
 use exhaustive_phase_order as epo;
 
-/// A tiny expression AST we can both render as MiniC and evaluate.
-#[derive(Clone, Debug)]
-enum E {
-    /// One of the three parameters.
-    Param(u8),
-    /// One of the three mutable locals.
-    Local(u8),
-    Const(i32),
-    Add(Box<E>, Box<E>),
-    Sub(Box<E>, Box<E>),
-    Mul(Box<E>, Box<E>),
-    And(Box<E>, Box<E>),
-    Or(Box<E>, Box<E>),
-    Xor(Box<E>, Box<E>),
-    /// Shift by a constant in 0..31 (avoids target-undefined shifts).
-    Shl(Box<E>, u8),
-    Shr(Box<E>, u8),
-    /// Division by a non-zero constant (avoids traps).
-    Div(Box<E>, i32),
-    Neg(Box<E>),
-    Not(Box<E>),
-    /// Comparison producing 0/1.
-    Lt(Box<E>, Box<E>),
+/// Compiles one fuzz case, panicking with the source on failure.
+fn compile_case(p: &FuzzProgram, seed: u64) -> epo::rtl::Program {
+    p.compile().unwrap_or_else(|e| {
+        panic!("seed {seed}: generated source failed to compile: {e}\n{}", p.source)
+    })
 }
 
-/// Statements: assignments to locals, if/else, and a bounded for loop.
-#[derive(Clone, Debug)]
-enum S {
-    Assign(u8, E),
-    If(E, Vec<S>, Vec<S>),
-    /// `for (i = 0; i < n; i++) body` with small constant n; the loop
-    /// variable is a dedicated fourth local the body cannot write.
-    For(u8, Vec<S>),
-}
-
-const PARAMS: [&str; 3] = ["a", "b", "c"];
-const LOCALS: [&str; 3] = ["x", "y", "z"];
-
-fn render_e(e: &E, out: &mut String) {
-    match e {
-        E::Param(i) => out.push_str(PARAMS[*i as usize % 3]),
-        E::Local(i) => out.push_str(LOCALS[*i as usize % 3]),
-        E::Const(c) => out.push_str(&c.to_string()),
-        E::Add(a, b) => bin(out, a, "+", b),
-        E::Sub(a, b) => bin(out, a, "-", b),
-        E::Mul(a, b) => bin(out, a, "*", b),
-        E::And(a, b) => bin(out, a, "&", b),
-        E::Or(a, b) => bin(out, a, "|", b),
-        E::Xor(a, b) => bin(out, a, "^", b),
-        E::Shl(a, k) => {
-            out.push('(');
-            render_e(a, out);
-            out.push_str(&format!(" << {k})"));
-        }
-        E::Shr(a, k) => {
-            out.push('(');
-            render_e(a, out);
-            out.push_str(&format!(" >> {k})"));
-        }
-        E::Div(a, c) => {
-            out.push('(');
-            render_e(a, out);
-            out.push_str(&format!(" / {c})"));
-        }
-        E::Neg(a) => {
-            // The space avoids lexing `(-` + `-1` as the `--` operator.
-            out.push_str("(- ");
-            render_e(a, out);
-            out.push(')');
-        }
-        E::Not(a) => {
-            out.push_str("(~");
-            render_e(a, out);
-            out.push(')');
-        }
-        E::Lt(a, b) => bin(out, a, "<", b),
-    }
-}
-
-fn bin(out: &mut String, a: &E, op: &str, b: &E) {
-    out.push('(');
-    render_e(a, out);
-    out.push(' ');
-    out.push_str(op);
-    out.push(' ');
-    render_e(b, out);
-    out.push(')');
-}
-
-fn render_s(s: &S, out: &mut String, indent: usize, loop_depth: usize) {
-    let pad = "    ".repeat(indent);
-    match s {
-        S::Assign(l, e) => {
-            out.push_str(&pad);
-            out.push_str(LOCALS[*l as usize % 3]);
-            out.push_str(" = ");
-            render_e(e, out);
-            out.push_str(";\n");
-        }
-        S::If(c, t, f) => {
-            out.push_str(&pad);
-            out.push_str("if (");
-            render_e(c, out);
-            out.push_str(" != 0) {\n");
-            for st in t {
-                render_s(st, out, indent + 1, loop_depth);
-            }
-            out.push_str(&pad);
-            if f.is_empty() {
-                out.push_str("}\n");
-            } else {
-                out.push_str("} else {\n");
-                for st in f {
-                    render_s(st, out, indent + 1, loop_depth);
-                }
-                out.push_str(&pad);
-                out.push_str("}\n");
-            }
-        }
-        S::For(n, body) => {
-            let iv = format!("i{loop_depth}");
-            out.push_str(&pad);
-            out.push_str(&format!("for ({iv} = 0; {iv} < {n}; {iv}++) {{\n"));
-            for st in body {
-                render_s(st, out, indent + 1, loop_depth + 1);
-            }
-            out.push_str(&pad);
-            out.push_str("}\n");
-        }
-    }
-}
-
-fn render_program(body: &[S]) -> String {
-    let mut out = String::from("int f(int a, int b, int c) {\n");
-    out.push_str("    int x = 0;\n    int y = 0;\n    int z = 0;\n");
-    out.push_str("    int i0;\n    int i1;\n");
-    for s in body {
-        render_s(s, &mut out, 1, 0);
-    }
-    out.push_str("    return x ^ y ^ z;\n}\n");
-    out
-}
-
-/// Reference evaluation, mirroring MiniC/RTL semantics exactly
-/// (wrapping 32-bit arithmetic, arithmetic right shift, C-style
-/// truncating division).
-struct Eval {
-    params: [i32; 3],
-    locals: [i32; 3],
-}
-
-impl Eval {
-    fn expr(&self, e: &E) -> i32 {
-        match e {
-            E::Param(i) => self.params[*i as usize % 3],
-            E::Local(i) => self.locals[*i as usize % 3],
-            E::Const(c) => *c,
-            E::Add(a, b) => self.expr(a).wrapping_add(self.expr(b)),
-            E::Sub(a, b) => self.expr(a).wrapping_sub(self.expr(b)),
-            E::Mul(a, b) => self.expr(a).wrapping_mul(self.expr(b)),
-            E::And(a, b) => self.expr(a) & self.expr(b),
-            E::Or(a, b) => self.expr(a) | self.expr(b),
-            E::Xor(a, b) => self.expr(a) ^ self.expr(b),
-            E::Shl(a, k) => self.expr(a).wrapping_shl(*k as u32),
-            E::Shr(a, k) => self.expr(a).wrapping_shr(*k as u32),
-            E::Div(a, c) => {
-                let x = self.expr(a);
-                if x == i32::MIN && *c == -1 {
-                    // Overflow case is excluded by the generator (positive
-                    // divisors only), but keep the evaluator total.
-                    x
-                } else {
-                    x.wrapping_div(*c)
-                }
-            }
-            E::Neg(a) => self.expr(a).wrapping_neg(),
-            E::Not(a) => !self.expr(a),
-            E::Lt(a, b) => (self.expr(a) < self.expr(b)) as i32,
-        }
-    }
-
-    fn stmts(&mut self, body: &[S]) {
-        for s in body {
-            match s {
-                S::Assign(l, e) => self.locals[*l as usize % 3] = self.expr(e),
-                S::If(c, t, f) => {
-                    if self.expr(c) != 0 {
-                        self.stmts(t);
-                    } else {
-                        self.stmts(f);
-                    }
-                }
-                S::For(n, inner) => {
-                    for _ in 0..*n {
-                        self.stmts(inner);
-                    }
-                }
-            }
-        }
-    }
-
-    fn run(params: [i32; 3], body: &[S]) -> i32 {
-        let mut ev = Eval { params, locals: [0; 3] };
-        ev.stmts(body);
-        ev.locals[0] ^ ev.locals[1] ^ ev.locals[2]
-    }
-}
-
-// ---- Generators (seeded, in-tree; formerly proptest strategies) -------
-
-const WIDE_CONSTS: [i32; 3] = [0x12345678, -77777, 0x00FF00FF];
-
-fn gen_leaf(rng: &mut Rng) -> E {
-    match rng.gen_range(0..4) {
-        0 => E::Param(rng.gen_range(0..3) as u8),
-        1 => E::Local(rng.gen_range(0..3) as u8),
-        2 => E::Const(rng.gen_range_i32(-200..200)),
-        // Some wide constants to exercise bytewise materialization.
-        _ => E::Const(WIDE_CONSTS[rng.gen_range(0..WIDE_CONSTS.len())]),
-    }
-}
-
-fn gen_expr(rng: &mut Rng, depth: u32) -> E {
-    // A quarter of interior draws bottom out early, mirroring the old
-    // strategy's leaf bias; depth caps recursion at 3 as before.
-    if depth == 0 || rng.gen_range(0..4) == 0 {
-        return gen_leaf(rng);
-    }
-    let mut sub = |rng: &mut Rng| Box::new(gen_expr(rng, depth - 1));
-    match rng.gen_range(0..12) {
-        0 => E::Add(sub(rng), sub(rng)),
-        1 => E::Sub(sub(rng), sub(rng)),
-        2 => E::Mul(sub(rng), sub(rng)),
-        3 => E::And(sub(rng), sub(rng)),
-        4 => E::Or(sub(rng), sub(rng)),
-        5 => E::Xor(sub(rng), sub(rng)),
-        6 => E::Shl(sub(rng), rng.gen_range(0..31) as u8),
-        7 => E::Shr(sub(rng), rng.gen_range(0..31) as u8),
-        8 => E::Div(sub(rng), rng.gen_range_i32(1..50)),
-        9 => E::Neg(sub(rng)),
-        10 => E::Not(sub(rng)),
-        _ => E::Lt(sub(rng), sub(rng)),
-    }
-}
-
-fn gen_stmt(rng: &mut Rng, depth: u32) -> S {
-    // Weights 3:1:1 assign/if/for, as in the old strategy.
-    let pick = if depth == 0 { 0 } else { rng.gen_range(0..5) };
-    match pick {
-        0..=2 => S::Assign(rng.gen_range(0..3) as u8, gen_expr(rng, 3)),
-        3 => {
-            let c = gen_expr(rng, 3);
-            let t = gen_block(rng, depth - 1, 1, 3);
-            let f = gen_block(rng, depth - 1, 0, 3);
-            S::If(c, t, f)
-        }
-        _ => S::For(rng.gen_range(1..6) as u8, gen_block(rng, depth - 1, 1, 3)),
-    }
-}
-
-fn gen_block(rng: &mut Rng, depth: u32, min: usize, max: usize) -> Vec<S> {
-    (0..rng.gen_range(min..max)).map(|_| gen_stmt(rng, depth)).collect()
-}
-
-fn gen_body(rng: &mut Rng) -> Vec<S> {
-    gen_block(rng, 2, 1, 6)
-}
-
-fn gen_params(rng: &mut Rng) -> [i32; 3] {
-    [rng.gen_range_i32(-1000..1000), rng.gen_range_i32(-1000..1000), rng.gen_range_i32(-1000..1000)]
-}
-
-// ---- Properties -------------------------------------------------------
-
-/// Naive compilation + simulation matches the reference evaluator.
+/// Naive compilation + simulation matches the reference interpreter.
 #[test]
 fn naive_codegen_matches_reference() {
-    for seed in 0..48u64 {
+    for seed in 0..60u64 {
         let mut rng = Rng::seed_from_u64(0x5EED_0001 ^ seed);
-        let body = gen_body(&mut rng);
-        let params = gen_params(&mut rng);
-        let src = render_program(&body);
-        let program = epo::frontend::compile(&src)
-            .unwrap_or_else(|e| panic!("generated source failed to compile: {e}\n{src}"));
+        let fp = FuzzProgram::generate(&mut rng);
+        let program = compile_case(&fp, seed);
         // Every generated instruction must be legal machine code.
         let target = Target::default();
-        target.check_function(&program.functions[0]).unwrap();
-
-        let expected = Eval::run(params, &body);
-        let mut m = Machine::new(&program);
-        let got = m.call("f", &params).unwrap();
-        assert_eq!(got, expected, "seed {seed}, source:\n{src}");
+        for f in &program.functions {
+            target.check_function(f).unwrap();
+        }
+        for _ in 0..2 {
+            let args = FuzzProgram::gen_args(&mut rng);
+            let expected = fp.reference(args);
+            let mut m = Machine::new(&program);
+            let got = m.call(ENTRY, &args).unwrap();
+            assert_eq!(got, expected, "seed {seed}, args {args:?}, source:\n{}", fp.source);
+        }
     }
 }
 
 /// Random phase orders preserve the reference semantics on random
-/// programs (the strongest soundness property in the suite).
+/// statement-level programs — the strongest soundness property in the
+/// suite, and the acceptance gate for the fuzzer: 200 seeded programs
+/// through compile → optimize → simulate against the interpreter.
 #[test]
 fn random_phase_orders_preserve_random_programs() {
-    for seed in 0..48u64 {
+    for seed in 0..200u64 {
         let mut rng = Rng::seed_from_u64(0x5EED_0002 ^ seed);
-        let body = gen_body(&mut rng);
-        let params = gen_params(&mut rng);
-        let seq: Vec<usize> =
-            (0..rng.gen_range(1..10)).map(|_| rng.gen_range(0..PhaseId::COUNT)).collect();
-        let src = render_program(&body);
-        let program = epo::frontend::compile(&src).unwrap();
+        let fp = FuzzProgram::generate(&mut rng);
+        let seq = gen_seq(&mut rng, 1..10);
+        let args = FuzzProgram::gen_args(&mut rng);
+        let program = compile_case(&fp, seed);
         let target = Target::default();
-        let mut f = program.functions[0].clone();
-        for &s in &seq {
-            attempt(&mut f, PhaseId::from_index(s), &target);
-        }
-        target.check_function(&f).unwrap();
+        let (optimized, _) = apply_sequence(program.function(ENTRY).unwrap(), &seq, &target);
+        target.check_function(&optimized).unwrap();
 
-        let expected = Eval::run(params, &body);
+        let expected = fp.reference(args);
         let mut m = Machine::new(&program);
-        let got = m.call_instance(&f, &params).unwrap();
-        assert_eq!(got, expected, "seed {seed}, sequence {seq:?} broke:\n{src}");
+        let got = m.call_instance(&optimized, &args).unwrap();
+        assert_eq!(
+            got, expected,
+            "seed {seed}, sequence {seq:?}, args {args:?} broke:\n{}",
+            fp.source
+        );
     }
 }
 
@@ -345,14 +88,13 @@ fn random_phase_orders_preserve_random_programs() {
 fn canonicalization_invariance() {
     for seed in 0..48u64 {
         let mut rng = Rng::seed_from_u64(0x5EED_0003 ^ seed);
-        let body = gen_body(&mut rng);
+        let fuzz = FuzzProgram::generate(&mut rng);
         let seq: Vec<usize> =
             (0..rng.gen_range(0..6)).map(|_| rng.gen_range(0..PhaseId::COUNT)).collect();
         let rot = rng.gen_range(1..7) as u16;
-        let src = render_program(&body);
-        let program = epo::frontend::compile(&src).unwrap();
+        let program = compile_case(&fuzz, seed);
         let target = Target::default();
-        let mut f = program.functions[0].clone();
+        let mut f = program.function(ENTRY).unwrap().clone();
         // Force register assignment so hard registers exist.
         attempt(&mut f, PhaseId::InsnSelect, &target);
         for &s in &seq {

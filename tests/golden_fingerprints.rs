@@ -1,0 +1,70 @@
+//! Golden canonical fingerprints of the MiBench kernels after the fixed
+//! batch sequence.
+//!
+//! The canonical fingerprint (Section 4.2.1) is the identity of every
+//! node in every enumerated space, so *any* change to its value — a new
+//! canonicalization rule, a reordered renumbering pass, a CRC tweak, or
+//! an unintended change to a phase's output — silently invalidates
+//! cross-version comparisons of spaces, golden DAG dumps, and the
+//! interaction tables derived from them. These snapshots pin the exact
+//! `(inst_count, byte_sum, crc)` triples of one kernel per MiBench
+//! category after `batch_compile`, so such a change fails loudly here
+//! instead.
+//!
+//! If a change to the canonicalizer or a phase is *intentional*, rerun
+//! the kernels and update the goldens in the same commit — the diff then
+//! documents that the instance identities shifted.
+
+use epo::opt::{batch::batch_compile, Target};
+use epo::rtl::canon::{fingerprint, Fingerprint};
+use exhaustive_phase_order as epo;
+
+/// `(benchmark, function, inst_count, byte_sum, crc)` after batch.
+const GOLDENS: [(&str, &str, u32, u64, u32); 6] = [
+    ("bitcount", "bit_count", 17, 2779, 1616145577),
+    ("dijkstra", "dijkstra", 146, 21339, 2745957976),
+    ("fft", "fix_mpy", 3, 822, 1858597526),
+    ("jpeg", "ycc_y", 16, 3679, 411609013),
+    ("sha", "rotl", 6, 1157, 2820536578),
+    ("stringsearch", "lower", 7, 2177, 2426393892),
+];
+
+#[test]
+fn batch_compiled_kernels_match_golden_fingerprints() {
+    let target = Target::default();
+    let mut failures = Vec::new();
+    for (bench_name, func, inst_count, byte_sum, crc) in GOLDENS {
+        let bench = epo::benchmarks::all().into_iter().find(|b| b.name == bench_name).unwrap();
+        let program = bench.compile().unwrap();
+        let mut f = program.function(func).unwrap().clone();
+        batch_compile(&mut f, &target);
+        let got = fingerprint(&f);
+        let want = Fingerprint { inst_count, byte_sum, crc };
+        if got != want {
+            failures.push(format!(
+                "{bench_name}::{func}: golden {want:?}, got {got:?}\n\
+                 (intentional canonicalizer/phase change? update GOLDENS)"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The golden identities are stable across repeated compilation — the
+/// batch pipeline and canonicalizer are deterministic end to end.
+#[test]
+fn golden_fingerprints_are_reproducible() {
+    let target = Target::default();
+    for (bench_name, func, ..) in GOLDENS {
+        let bench = epo::benchmarks::all().into_iter().find(|b| b.name == bench_name).unwrap();
+        let fps: Vec<Fingerprint> = (0..2)
+            .map(|_| {
+                let program = bench.compile().unwrap();
+                let mut f = program.function(func).unwrap().clone();
+                batch_compile(&mut f, &target);
+                fingerprint(&f)
+            })
+            .collect();
+        assert_eq!(fps[0], fps[1], "{bench_name}::{func} fingerprint not reproducible");
+    }
+}

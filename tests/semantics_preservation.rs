@@ -7,51 +7,13 @@
 //! crates — see `DESIGN.md`) replaced the strategies with the in-tree
 //! seeded generator `phase_order::rng::Rng`.
 
+mod common;
+
+use common::{apply_sequence, gen_seq, quick_workloads};
 use epo::explore::rng::Rng;
 use epo::opt::{attempt, PhaseId, Target};
 use epo::sim::Machine;
 use exhaustive_phase_order as epo;
-
-/// Applies a sequence of phase indices (mod 15) to a clone of `f`.
-fn apply_sequence(
-    f: &epo::rtl::Function,
-    seq: &[u8],
-    target: &Target,
-) -> (epo::rtl::Function, usize) {
-    let mut g = f.clone();
-    let mut active = 0;
-    for &s in seq {
-        let phase = PhaseId::from_index(s as usize % PhaseId::COUNT);
-        if attempt(&mut g, phase, target).active {
-            active += 1;
-        }
-    }
-    (g, active)
-}
-
-/// Workloads with small dynamic footprints, to keep the property fast.
-fn quick_workloads() -> Vec<(&'static str, &'static str, Vec<i32>)> {
-    vec![
-        ("bitcount", "bit_count", vec![0x12345678]),
-        ("bitcount", "bitcount_parallel", vec![-559038737]),
-        ("bitcount", "ntbl_bitcount", vec![0x0F0F1234]),
-        ("bitcount", "bit_shifter", vec![0x00FF00FF]),
-        ("dijkstra", "dijkstra", vec![0, 4]),
-        ("fft", "fix_mpy", vec![12345, -6789]),
-        ("fft", "reverse_bits", vec![0b1011, 4]),
-        ("jpeg", "ycc_y", vec![200, 100, 50]),
-        ("jpeg", "range_limit", vec![300]),
-        ("jpeg", "jpeg_nbits", vec![-100000]),
-        ("sha", "rotl", vec![0x40000001u32 as i32, 13]),
-        ("sha", "byte_reverse", vec![0x11223344]),
-        ("stringsearch", "lower", vec!['Q' as i32]),
-    ]
-}
-
-/// Draws a random phase-index sequence with a length in `len` (half-open).
-fn gen_seq(rng: &mut Rng, len: std::ops::Range<usize>) -> Vec<u8> {
-    (0..rng.gen_range(len)).map(|_| rng.gen_range(0..15) as u8).collect()
-}
 
 /// Random phase orders never change observable behaviour.
 #[test]
