@@ -1,6 +1,6 @@
 //! Bench: serial vs parallel level-order enumeration on MiBench
-//! kernels, exercising [`phase_order::enumerate_parallel`]'s
-//! expand-in-parallel / merge-at-the-barrier engine.
+//! kernels, exercising the expand-in-parallel / merge-at-the-barrier
+//! engine behind [`phase_order::enumerate`] with `Config::jobs > 0`.
 //!
 //! Also verifies on every kernel — outside the timed region — that the
 //! parallel space is identical to the serial one (node count, leaf
@@ -9,7 +9,7 @@
 //! a glance.
 
 use bench::harness::Harness;
-use phase_order::enumerate::{enumerate, enumerate_parallel, Config};
+use phase_order::enumerate::{enumerate, Config};
 use vpo_opt::Target;
 
 /// The largest suite kernels whose spaces still enumerate quickly enough
@@ -44,7 +44,7 @@ fn main() {
         });
         for jobs in [2usize, 4, 8] {
             let jc = Config { jobs, ..config.clone() };
-            let par_result = enumerate_parallel(&f, &target, &jc);
+            let par_result = enumerate(&f, &target, &jc);
             assert_eq!(par_result.space.len(), serial_result.space.len(), "{name} jobs={jobs}");
             assert_eq!(
                 par_result.space.leaf_count(),
@@ -57,7 +57,7 @@ fn main() {
                 "{name} jobs={jobs}"
             );
             let par = group.bench_function(format!("{name}/jobs{jobs}"), |b| {
-                b.iter(|| enumerate_parallel(std::hint::black_box(&f), &target, &jc).space.len())
+                b.iter(|| enumerate(std::hint::black_box(&f), &target, &jc).space.len())
             });
             if let (Some(s), Some(p)) = (serial, par) {
                 if !p.is_zero() {

@@ -6,6 +6,7 @@
 //! vpoc run      <file.mc> <function> [args...]        # compile (batch) and execute
 //! vpoc explore  <file.mc> [function] [--jobs N]       # enumerate the space(s)
 //! vpoc verify   <file.mc>|--bench NAME [function]     # differential oracle
+//! vpoc campaign <file.mc>|--bench NAME|--all-benches  # resumable multi-function run
 //! vpoc dot      <file.mc> <function> [--jobs N]       # space as Graphviz
 //! vpoc phases                                         # list the 15 phases
 //! ```
@@ -23,10 +24,22 @@
 //! identical. `--bench NAME` verifies a built-in MiBench kernel set
 //! instead of a file; `--max-nodes N` bounds the enumeration,
 //! `--battery N` and `--seed S` shape the input battery.
+//!
+//! `campaign` explores **every** function of a file, benchmark, or the
+//! whole suite over one shared worker pool, checkpointing each completed
+//! function to `--store PATH`. A killed campaign re-run with `--resume`
+//! skips the stored functions and converges on a store byte-identical to
+//! an uninterrupted run's; `--max-functions N` stops after N fresh
+//! functions (a deterministic stand-in for an interruption). The final
+//! report is the aggregate Table-3 summary over all stored records.
 
+mod args;
+
+use std::path::Path;
 use std::process::ExitCode;
 
-use phase_order::enumerate::{enumerate, enumerate_parallel, Config};
+use phase_order::campaign::{self, CampaignConfig, FunctionTask};
+use phase_order::enumerate::{enumerate, Config};
 use phase_order::oracle::{self, OracleConfig};
 use phase_order::stats::FunctionRow;
 use vpo_opt::batch::batch_compile;
@@ -34,19 +47,22 @@ use vpo_opt::{attempt, PhaseId, Target};
 use vpo_sim::Machine;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("vpoc: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  vpoc compile <file.mc> [--seq LETTERS | --batch]");
-            eprintln!("  vpoc run     <file.mc> <function> [int args...]");
-            eprintln!("  vpoc explore <file.mc> [function] [--jobs N]");
-            eprintln!("  vpoc verify  <file.mc>|--bench NAME [function] [--jobs N]");
-            eprintln!("               [--max-nodes N] [--battery N] [--seed S]");
-            eprintln!("  vpoc dot     <file.mc> <function> [--jobs N]");
+            eprintln!("  vpoc compile  <file.mc> [--seq LETTERS | --batch]");
+            eprintln!("  vpoc run      <file.mc> <function> [int args...]");
+            eprintln!("  vpoc explore  <file.mc> [function] [--jobs N]");
+            eprintln!("  vpoc verify   <file.mc>|--bench NAME [function] [--jobs N]");
+            eprintln!("                [--max-nodes N] [--battery N] [--seed S]");
+            eprintln!("  vpoc campaign <file.mc>|--bench NAME|--all-benches [function]");
+            eprintln!("                [--store PATH] [--resume] [--jobs N] [--max-nodes N]");
+            eprintln!("                [--max-functions N]");
+            eprintln!("  vpoc dot      <file.mc> <function> [--jobs N]");
             eprintln!("  vpoc phases");
             eprintln!();
             eprintln!("  --jobs N   enumerate/verify with N worker threads (0 = one per");
@@ -56,8 +72,8 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+fn run(argv: &[String]) -> Result<(), String> {
+    let cmd = argv.first().map(String::as_str).ok_or("missing command")?;
     match cmd {
         "phases" => {
             for p in PhaseId::ALL {
@@ -65,11 +81,12 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        "compile" => compile_cmd(&args[1..]),
-        "run" => run_cmd(&args[1..]),
-        "explore" => explore_cmd(&args[1..]),
-        "verify" => verify_cmd(&args[1..]),
-        "dot" => dot_cmd(&args[1..]),
+        "compile" => compile_cmd(&argv[1..]),
+        "run" => run_cmd(&argv[1..]),
+        "explore" => explore_cmd(&argv[1..]),
+        "verify" => verify_cmd(&argv[1..]),
+        "campaign" => campaign_cmd(&argv[1..]),
+        "dot" => dot_cmd(&argv[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -79,6 +96,24 @@ fn load(path: &str) -> Result<vpo_rtl::Program, String> {
     vpo_frontend::compile(&src).map_err(|e| format!("{path}: {e}"))
 }
 
+fn load_bench(name: &str) -> Result<vpo_rtl::Program, String> {
+    let b = mibench::find(name).ok_or_else(|| {
+        let names: Vec<&str> = mibench::all().iter().map(|b| b.name).collect();
+        format!("no benchmark `{name}` (try {})", names.join(", "))
+    })?;
+    b.compile().map_err(|e| format!("{name}: {e}"))
+}
+
+/// Errors out when a `[function]` filter names no function of the
+/// program — a silently empty report would read as success.
+fn require_function(program: &vpo_rtl::Program, name: &str, cmd: &str) -> Result<(), String> {
+    if program.functions.iter().any(|f| f.name == name) {
+        return Ok(());
+    }
+    let names: Vec<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+    Err(format!("{cmd}: no function `{name}` (available: {})", names.join(", ")))
+}
+
 fn parse_seq(letters: &str) -> Result<Vec<PhaseId>, String> {
     letters
         .chars()
@@ -86,45 +121,13 @@ fn parse_seq(letters: &str) -> Result<Vec<PhaseId>, String> {
         .collect()
 }
 
-/// Extracts a `--jobs N` flag, returning the remaining arguments and the
-/// enumeration entry point it selects: `None` means the serial engine,
-/// `Some(n)` the parallel engine with `n` workers (`0` = one per CPU).
-fn parse_jobs(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
-    let mut rest = Vec::new();
-    let mut jobs = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--jobs" || a == "-j" {
-            let n = it.next().ok_or("--jobs needs a thread count")?;
-            jobs = Some(n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?);
-        } else if let Some(n) = a.strip_prefix("--jobs=") {
-            jobs = Some(n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?);
-        } else {
-            rest.push(a.clone());
-        }
-    }
-    Ok((rest, jobs))
-}
-
-/// Enumerates with the engine `--jobs` selected.
-fn enumerate_with_jobs(
-    f: &vpo_rtl::Function,
-    target: &Target,
-    jobs: Option<usize>,
-) -> phase_order::Enumeration {
-    match jobs {
-        None => enumerate(f, target, &Config::default()),
-        Some(n) => enumerate_parallel(f, target, &Config { jobs: n, ..Config::default() }),
-    }
-}
-
-fn compile_cmd(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("compile: missing file")?;
+fn compile_cmd(argv: &[String]) -> Result<(), String> {
+    let path = argv.first().ok_or("compile: missing file")?;
     let mut program = load(path)?;
     let target = Target::default();
-    let finalize = args.iter().any(|a| a == "--finalize");
-    let emit_asm = args.iter().any(|a| a == "--emit-asm");
-    let mode = args
+    let finalize = argv.iter().any(|a| a == "--finalize");
+    let emit_asm = argv.iter().any(|a| a == "--emit-asm");
+    let mode = argv
         .get(1)
         .map(String::as_str)
         .filter(|m| *m != "--finalize" && *m != "--emit-asm")
@@ -143,7 +146,7 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
             }
             "--naive" => {}
             "--seq" => {
-                let letters = args.get(2).ok_or("compile: --seq needs letters")?;
+                let letters = argv.get(2).ok_or("compile: --seq needs letters")?;
                 for p in parse_seq(letters)? {
                     attempt(f, p, &target);
                 }
@@ -165,10 +168,10 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_cmd(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("run: missing file")?;
-    let func = args.get(1).ok_or("run: missing function name")?;
-    let call_args: Vec<i32> = args[2..]
+fn run_cmd(argv: &[String]) -> Result<(), String> {
+    let path = argv.first().ok_or("run: missing file")?;
+    let func = argv.get(1).ok_or("run: missing function name")?;
+    let call_args: Vec<i32> = argv[2..]
         .iter()
         .map(|a| a.parse().map_err(|_| format!("bad integer argument `{a}`")))
         .collect::<Result<_, _>>()?;
@@ -193,12 +196,18 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn explore_cmd(args: &[String]) -> Result<(), String> {
-    let (args, jobs) = parse_jobs(args)?;
-    let path = args.first().ok_or("explore: missing file")?;
+fn explore_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let jobs = args::jobs(&mut rest)?;
+    args::reject_unknown_flags(&rest, "explore")?;
+    let path = rest.first().ok_or("explore: missing file")?;
     let program = load(path)?;
     let target = Target::default();
-    let filter = args.get(1);
+    let filter = rest.get(1);
+    if let Some(name) = filter {
+        require_function(&program, name, "explore")?;
+    }
+    let config = Config { jobs: args::resolve_jobs(jobs), ..Config::default() };
     println!("{}", FunctionRow::header());
     for f in &program.functions {
         if let Some(name) = filter {
@@ -206,89 +215,47 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 continue;
             }
         }
-        let e = enumerate_with_jobs(f, &target, jobs);
+        let e = enumerate(f, &target, &config);
         println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
     }
     Ok(())
 }
 
-/// Extracts a `--flag N` / `--flag=N` integer option, returning the
-/// remaining arguments and the parsed value.
-fn parse_opt<T: std::str::FromStr>(
-    args: &[String],
-    flag: &str,
-) -> Result<(Vec<String>, Option<T>), String> {
-    let mut rest = Vec::new();
-    let mut value = None;
-    let prefix = format!("{flag}=");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let raw = if a == flag {
-            Some(it.next().ok_or(format!("{flag} needs a value"))?.as_str())
-        } else {
-            a.strip_prefix(&prefix)
-        };
-        match raw {
-            Some(v) => {
-                value = Some(v.parse().map_err(|_| format!("bad {flag} value `{v}`"))?);
-            }
-            None => rest.push(a.clone()),
+fn verify_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let jobs = args::jobs(&mut rest)?;
+    let max_nodes = args::value::<usize>(&mut rest, "--max-nodes")?;
+    let battery = args::value::<usize>(&mut rest, "--battery")?;
+    let seed = args::value::<u64>(&mut rest, "--seed")?;
+    let bench = args::string(&mut rest, "--bench")?;
+    args::reject_unknown_flags(&rest, "verify")?;
+
+    let (program, filter) = match &bench {
+        Some(name) => (load_bench(name)?, rest.first()),
+        None => {
+            let path = rest.first().ok_or("verify: missing file (or --bench NAME)")?;
+            (load(path)?, rest.get(1))
         }
+    };
+    if let Some(name) = filter {
+        require_function(&program, name, "verify")?;
     }
-    Ok((rest, value))
-}
-
-fn verify_cmd(args: &[String]) -> Result<(), String> {
-    let (args, jobs) = parse_jobs(args)?;
-    let (args, max_nodes) = parse_opt::<usize>(&args, "--max-nodes")?;
-    let (args, battery) = parse_opt::<usize>(&args, "--battery")?;
-    let (args, seed) = parse_opt::<u64>(&args, "--seed")?;
-    let (mut args, bench) = {
-        // `--bench NAME` takes a string, not an integer.
-        let mut rest = Vec::new();
-        let mut bench = None;
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            if a == "--bench" {
-                bench = Some(it.next().ok_or("--bench needs a benchmark name")?.clone());
-            } else if let Some(n) = a.strip_prefix("--bench=") {
-                bench = Some(n.to_owned());
-            } else {
-                rest.push(a.clone());
-            }
-        }
-        (rest, bench)
-    };
-
-    let program = match &bench {
-        Some(name) => {
-            let b = mibench::all().into_iter().find(|b| b.name == *name).ok_or(format!(
-                "no benchmark `{name}` (try bitcount, dijkstra, fft, jpeg, sha, stringsearch)"
-            ))?;
-            args.insert(0, String::new()); // keep the [function] filter in args[1]
-            b.compile().map_err(|e| format!("{name}: {e}"))?
-        }
-        None => load(args.first().ok_or("verify: missing file (or --bench NAME)")?)?,
-    };
-    let filter = args.get(1);
 
     let target = Target::default();
-    let enum_config = Config {
-        max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
-        jobs: jobs.unwrap_or(1),
-        ..Config::default()
-    };
+    let enum_config =
+        Config { max_nodes: max_nodes.unwrap_or(Config::default().max_nodes), ..Config::default() };
     let oracle_config = OracleConfig {
         battery: battery.unwrap_or(OracleConfig::default().battery),
         seed: seed.unwrap_or(OracleConfig::default().seed),
-        jobs: jobs.unwrap_or(1),
+        // The oracle's convention: `0` = one per CPU, `1` = serial.
+        jobs: jobs.map(|n| if n == 0 { 0 } else { n }).unwrap_or(1),
         ..OracleConfig::default()
     };
 
     let mut findings = 0usize;
     for f in &program.functions {
         if let Some(name) = filter {
-            if !name.is_empty() && &f.name != name {
+            if &f.name != name {
                 continue;
             }
         }
@@ -307,13 +274,178 @@ fn verify_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn dot_cmd(args: &[String]) -> Result<(), String> {
-    let (args, jobs) = parse_jobs(args)?;
-    let path = args.first().ok_or("dot: missing file")?;
-    let func = args.get(1).ok_or("dot: missing function name")?;
+/// Streams campaign progress to stderr: a live status line on terminals,
+/// and a completion line per function always.
+struct Progress {
+    live: bool,
+}
+
+impl Progress {
+    fn from_env() -> Progress {
+        use std::io::IsTerminal;
+        Progress { live: std::io::stderr().is_terminal() }
+    }
+
+    fn status(&self, line: &str) {
+        if self.live {
+            use std::io::Write;
+            eprint!("\r{line:<78}");
+            let _ = std::io::stderr().flush();
+        }
+    }
+}
+
+impl campaign::Observer for Progress {
+    fn function_started(&self, index: usize, total: usize, name: &str) {
+        self.status(&format!("[{}/{total}] exploring {name}...", index + 1));
+    }
+
+    fn level_completed(&self, name: &str, level: u32, frontier: usize, nodes: usize) {
+        self.status(&format!("  {name}: level {level}, frontier {frontier}, {nodes} instances"));
+    }
+
+    fn function_done(&self, index: usize, total: usize, record: &campaign::store::FunctionRecord) {
+        if self.live {
+            eprint!("\r{:<78}\r", "");
+        }
+        let status = if record.complete {
+            format!("{} instances, {} leaves", record.fn_instances, record.leaves)
+        } else {
+            format!("truncated at level {}", record.truncated_level)
+        };
+        eprintln!("[{}/{total}] {}: {status}", index + 1, record.name);
+    }
+}
+
+fn campaign_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let jobs = args::jobs(&mut rest)?;
+    let max_nodes = args::value::<usize>(&mut rest, "--max-nodes")?;
+    let max_functions = args::value::<usize>(&mut rest, "--max-functions")?;
+    let store = args::string(&mut rest, "--store")?;
+    let bench = args::string(&mut rest, "--bench")?;
+    let resume = args::switch(&mut rest, "--resume");
+    let all_benches = args::switch(&mut rest, "--all-benches");
+    args::reject_unknown_flags(&rest, "campaign")?;
+
+    // Task list: the whole suite, one benchmark, or every function of a
+    // file. Suite tasks get benchmark-qualified names so the store can
+    // span programs without clashes.
+    let (mut tasks, filter) = if all_benches {
+        let mut tasks = Vec::new();
+        for b in mibench::all() {
+            let p = b.compile().map_err(|e| format!("{}: {e}", b.name))?;
+            for f in p.functions {
+                tasks.push(FunctionTask { name: format!("{}::{}", b.name, f.name), func: f });
+            }
+        }
+        (tasks, rest.first().cloned())
+    } else if let Some(name) = &bench {
+        let p = load_bench(name)?;
+        let tasks = p
+            .functions
+            .into_iter()
+            .map(|f| FunctionTask { name: format!("{name}::{}", f.name), func: f })
+            .collect();
+        (tasks, rest.first().cloned())
+    } else {
+        let path = rest.first().ok_or("campaign: missing file (or --bench NAME/--all-benches)")?;
+        let p = load(path)?;
+        let tasks = p
+            .functions
+            .into_iter()
+            .map(|f| FunctionTask { name: f.name.clone(), func: f })
+            .collect();
+        (tasks, rest.get(1).cloned())
+    };
+
+    // A `[function]` filter matches a qualified name exactly or any
+    // task's bare function name; matching nothing is an error.
+    if let Some(name) = &filter {
+        let matches =
+            |t: &FunctionTask| t.name == *name || t.name.rsplit("::").next() == Some(name.as_str());
+        if !tasks.iter().any(matches) {
+            let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+            return Err(format!(
+                "campaign: no function `{name}` (available: {})",
+                names.join(", ")
+            ));
+        }
+        tasks.retain(matches);
+    }
+
+    let config = CampaignConfig {
+        enumerate: Config {
+            max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
+            ..Config::default()
+        },
+        jobs: args::resolve_jobs(jobs),
+        resume,
+        stop_after: max_functions,
+    };
+    let total = tasks.len();
+    let target = Target::default();
+    let progress = Progress::from_env();
+    let summary =
+        campaign::run(tasks, &target, store.as_deref().map(Path::new), &config, &progress)
+            .map_err(|e| format!("campaign: {e}"))?;
+
+    // The aggregate Table-3 report over everything in the store.
+    println!("{}", FunctionRow::header());
+    let mut complete = 0usize;
+    let mut instances = 0u64;
+    let mut attempted = 0u64;
+    let mut diffs: Vec<f64> = Vec::new();
+    for rec in &summary.records {
+        let row = rec.to_row();
+        println!("{}", row.render());
+        if rec.complete {
+            complete += 1;
+            instances += rec.fn_instances;
+            attempted += rec.attempted_phases;
+        }
+        if let Some(d) = row.code_diff_percent() {
+            diffs.push(d);
+        }
+    }
+    println!(
+        "{} of {total} function(s) recorded ({} resumed, {} explored this run), \
+         {complete} complete, {} truncated",
+        summary.records.len(),
+        summary.resumed,
+        summary.explored,
+        summary.records.len() - complete,
+    );
+    println!(
+        "totals over complete functions: {instances} distinct instances, \
+         {attempted} attempted phases"
+    );
+    if !diffs.is_empty() {
+        println!(
+            "average leaf code-size spread: {:.1}%",
+            diffs.iter().sum::<f64>() / diffs.len() as f64
+        );
+    }
+    if summary.interrupted {
+        println!(
+            "campaign interrupted after {} function(s); re-run with --resume to continue",
+            summary.explored
+        );
+    }
+    Ok(())
+}
+
+fn dot_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let jobs = args::jobs(&mut rest)?;
+    args::reject_unknown_flags(&rest, "dot")?;
+    let path = rest.first().ok_or("dot: missing file")?;
+    let func = rest.get(1).ok_or("dot: missing function name")?;
     let program = load(path)?;
-    let f = program.function(func).ok_or(format!("no function `{func}`"))?;
-    let e = enumerate_with_jobs(f, &Target::default(), jobs);
+    require_function(&program, func, "dot")?;
+    let f = program.function(func).expect("checked above");
+    let config = Config { jobs: args::resolve_jobs(jobs), ..Config::default() };
+    let e = enumerate(f, &Target::default(), &config);
     println!("{}", e.space.to_dot());
     Ok(())
 }
@@ -347,6 +479,7 @@ mod tests {
         run(&["explore".into(), path.clone()]).unwrap();
         run(&["explore".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
         run(&["explore".into(), path.clone(), "--jobs=0".into()]).unwrap();
+        run(&["explore".into(), path.clone(), "triple".into()]).unwrap();
         run(&["verify".into(), path.clone()]).unwrap();
         run(&["verify".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
         run(&[
@@ -363,10 +496,25 @@ mod tests {
         run(&["phases".into()]).unwrap();
         assert!(run(&["bogus".into()]).is_err());
         assert!(run(&["explore".into(), path.clone(), "--jobs".into()]).is_err());
+        assert!(run(&["explore".into(), path.clone(), "--bogus".into()]).is_err());
         assert!(run(&["verify".into(), path.clone(), "--battery".into()]).is_err());
         assert!(run(&["verify".into(), path.clone(), "--seed=pi".into()]).is_err());
         assert!(run(&["verify".into(), "--bench".into(), "nope".into()]).is_err());
         assert!(run(&["explore".into(), path, "--jobs".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_function_filters_are_errors() {
+        let dir = std::env::temp_dir().join("vpoc_test_filter");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.mc");
+        std::fs::write(&file, "int triple(int x) { return x * 3; }").unwrap();
+        let path = file.to_str().unwrap().to_owned();
+        for cmd in ["explore", "verify", "campaign", "dot"] {
+            let err = run(&[cmd.into(), path.clone(), "nonesuch".into()]).unwrap_err();
+            assert!(err.contains("no function `nonesuch`"), "{cmd}: {err}");
+            assert!(err.contains("triple"), "{cmd} must list available functions: {err}");
+        }
     }
 
     #[test]
@@ -384,27 +532,44 @@ mod tests {
     }
 
     #[test]
-    fn parse_opt_extracts_values() {
-        let (rest, v) = parse_opt::<usize>(
-            &["a.mc".into(), "--max-nodes".into(), "99".into(), "f".into()],
-            "--max-nodes",
+    fn campaign_end_to_end_with_resume() {
+        let dir = std::env::temp_dir().join("vpoc_test_campaign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("two.mc");
+        std::fs::write(
+            &file,
+            "int twice(int x) { return x + x; }\nint diff(int a, int b) { return a - b; }",
         )
         .unwrap();
-        assert_eq!(rest, vec!["a.mc".to_owned(), "f".to_owned()]);
-        assert_eq!(v, Some(99));
-        let (_, v) = parse_opt::<u64>(&["--seed=5".into()], "--seed").unwrap();
-        assert_eq!(v, Some(5));
-        assert!(parse_opt::<usize>(&["--battery=x".into()], "--battery").is_err());
-    }
+        let path = file.to_str().unwrap().to_owned();
+        let store = dir.join("two.store");
+        std::fs::remove_file(&store).ok();
+        let store_arg = format!("--store={}", store.display());
 
-    #[test]
-    fn parse_jobs_extracts_flag() {
-        let (rest, jobs) =
-            parse_jobs(&["a.mc".into(), "--jobs".into(), "4".into(), "f".into()]).unwrap();
-        assert_eq!(rest, vec!["a.mc".to_owned(), "f".to_owned()]);
-        assert_eq!(jobs, Some(4));
-        let (rest, jobs) = parse_jobs(&["a.mc".into()]).unwrap();
-        assert_eq!(rest, vec!["a.mc".to_owned()]);
-        assert_eq!(jobs, None);
+        // Interrupt after one function, then resume to completion.
+        run(&["campaign".into(), path.clone(), store_arg.clone(), "--max-functions=1".into()])
+            .unwrap();
+        run(&["campaign".into(), path.clone(), store_arg.clone(), "--resume".into()]).unwrap();
+        let resumed = std::fs::read(&store).unwrap();
+
+        // The uninterrupted run must produce the same bytes.
+        let full = dir.join("full.store");
+        std::fs::remove_file(&full).ok();
+        run(&[
+            "campaign".into(),
+            path.clone(),
+            format!("--store={}", full.display()),
+            "--jobs".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read(&full).unwrap(), resumed);
+
+        // Re-running without --resume on an existing store is an error.
+        assert!(run(&["campaign".into(), path.clone(), store_arg]).is_err());
+        // A campaign needs no store at all.
+        run(&["campaign".into(), path, "--max-nodes=500".into()]).unwrap();
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(&full).ok();
     }
 }

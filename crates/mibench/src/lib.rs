@@ -100,6 +100,11 @@ pub fn all() -> Vec<Benchmark> {
     ]
 }
 
+/// Looks up a benchmark by name (e.g. `"sha"`).
+pub fn find(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
 /// Total number of functions across the suite.
 pub fn function_count() -> usize {
     all().iter().map(|b| b.compile().expect("suite compiles").functions.len()).sum()
@@ -138,6 +143,12 @@ mod tests {
     fn tags_match_the_paper() {
         let tags: Vec<char> = all().iter().map(|b| b.tag).collect();
         assert_eq!(tags, vec!['b', 'd', 'f', 'j', 'h', 's']);
+    }
+
+    #[test]
+    fn find_locates_benchmarks_by_name() {
+        assert_eq!(find("sha").unwrap().tag, 'h');
+        assert!(find("nope").is_none());
     }
 
     #[test]

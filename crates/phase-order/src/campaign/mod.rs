@@ -1,0 +1,715 @@
+//! Resumable multi-function exploration campaigns.
+//!
+//! The paper's headline tables aggregate over *every* function of the
+//! benchmark suite. This module turns the single-function enumeration of
+//! [`crate::enumerate`] into a long-running, checkpointed **campaign**:
+//!
+//! * **One shared worker pool.** Workers steal work at the granularity
+//!   of a *parent expansion* (one frontier instance × all fifteen
+//!   phases), not a whole function: while a giant function grinds
+//!   through a wide level, idle lanes pick up the next functions in the
+//!   task list. Per function, expansions race freely but every level is
+//!   merged in frontier order at its barrier — the same
+//!   expand-in-parallel / merge-deterministically core as
+//!   [`crate::enumerate`] — so each function's result is bit-identical
+//!   to a serial enumeration, for any job count.
+//! * **Checkpointing.** Each completed function becomes a
+//!   [`store::FunctionRecord`]; the whole store is rewritten atomically
+//!   (temp file + rename) after every completion, with records in task
+//!   order. A campaign killed at *any* point leaves a valid store
+//!   holding exactly the completed subset; resuming with
+//!   [`CampaignConfig::resume`] skips those functions and converges on a
+//!   store **byte-identical** to an uninterrupted run's.
+//! * **Observability.** Progress streams through the [`Observer`] trait
+//!   (function started / level completed / function done / store
+//!   flushed); the CLI renders it as a live progress line, and later
+//!   metrics work can tap the same events.
+//!
+//! Observer callbacks run under the campaign's internal scheduler lock:
+//! they see a consistent, ordered event stream, and must be quick.
+
+pub mod store;
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vpo_opt::{PhaseId, Target};
+use vpo_rtl::Function;
+
+use crate::enumerate::{
+    expand_parent, merge_parent, seed_root, AttemptRecord, Config, Enumeration, FrontierEntry,
+    SearchOutcome, SearchStats,
+};
+use crate::space::{NodeId, SearchSpace};
+use store::{FunctionRecord, ResultStore, StoreError};
+
+/// One unit of the campaign's task list: a function to explore, under a
+/// campaign-unique qualified name (e.g. `sha::sha_transform`) that also
+/// keys its record in the store.
+#[derive(Clone, Debug)]
+pub struct FunctionTask {
+    /// Qualified name; must be unique within the campaign.
+    pub name: String,
+    /// The unoptimized function.
+    pub func: Function,
+}
+
+/// Campaign options.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignConfig {
+    /// Per-function enumeration bounds. `enumerate.jobs` is ignored —
+    /// the campaign pool is sized by [`CampaignConfig::jobs`].
+    pub enumerate: Config,
+    /// Worker pool size: `0` or `1` = run on the calling thread, `N` =
+    /// `N` workers. The store contents are identical for any value.
+    pub jobs: usize,
+    /// Skip functions that already have a record in the store.
+    pub resume: bool,
+    /// Abandon the campaign after this many *fresh* checkpoints — the
+    /// deterministic stand-in for killing the process mid-run (the store
+    /// is left exactly as a kill at a checkpoint boundary would).
+    pub stop_after: Option<usize>,
+}
+
+/// Why a campaign could not run (store trouble or a malformed task
+/// list). Individual functions never fail: a function whose space
+/// exceeds the bounds is recorded as truncated, like Table 3's `N/A`
+/// rows.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Reading or writing the result store failed.
+    Store(StoreError),
+    /// Two tasks share a qualified name.
+    DuplicateName(String),
+    /// The store exists but `resume` was not requested.
+    StoreExists(PathBuf),
+    /// The store holds a record for a function not in the task list.
+    UnknownRecord(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Store(e) => write!(f, "{e}"),
+            CampaignError::DuplicateName(n) => {
+                write!(f, "duplicate task name `{n}` (task names key the store)")
+            }
+            CampaignError::StoreExists(p) => write!(
+                f,
+                "store {} already exists; pass --resume to continue it or remove it",
+                p.display()
+            ),
+            CampaignError::UnknownRecord(n) => write!(
+                f,
+                "store holds a record for `{n}`, which is not in this campaign's task list"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<StoreError> for CampaignError {
+    fn from(e: StoreError) -> Self {
+        CampaignError::Store(e)
+    }
+}
+
+/// Campaign progress events. All methods default to no-ops; implement
+/// the ones you care about. Callbacks are invoked under the scheduler
+/// lock — they are totally ordered and must not block.
+#[allow(unused_variables)]
+pub trait Observer: Sync {
+    /// A function was taken off the pending list and its root seeded.
+    fn function_started(&self, index: usize, total: usize, name: &str) {}
+    /// One level of a function's space was merged.
+    fn level_completed(&self, name: &str, level: u32, frontier: usize, nodes: usize) {}
+    /// A function's space is fully explored (or truncated) and recorded.
+    fn function_done(&self, index: usize, total: usize, record: &FunctionRecord) {}
+    /// The store was rewritten on disk with `completed` of `total`
+    /// records.
+    fn store_flushed(&self, completed: usize, total: usize) {}
+}
+
+/// The do-nothing observer.
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// What a finished (or interrupted) campaign produced.
+#[derive(Clone, Debug)]
+pub struct CampaignSummary {
+    /// Records of all completed functions in task order — resumed ones
+    /// included, so this is exactly the store contents.
+    pub records: Vec<FunctionRecord>,
+    /// Functions skipped because the store already held their record.
+    pub resumed: usize,
+    /// Functions freshly explored by this run.
+    pub explored: usize,
+    /// Whether [`CampaignConfig::stop_after`] cut the run short.
+    pub interrupted: bool,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// One in-flight function search: the per-function state of
+/// `enumerate`'s level loop, opened up so the shared pool can claim
+/// individual parent expansions.
+struct Search {
+    task: usize,
+    root: Arc<Function>,
+    space: SearchSpace,
+    stats: SearchStats,
+    paranoid_bytes: HashMap<NodeId, Vec<u8>>,
+    start: Instant,
+    /// Levels merged so far (children of the current frontier land on
+    /// `level + 1`).
+    level: u32,
+    frontier: Vec<FrontierEntry>,
+    /// One slot per frontier entry, filled by whichever worker expanded
+    /// it.
+    slots: Vec<Option<Vec<AttemptRecord>>>,
+    /// Frontier entries handed out to workers.
+    claimed: usize,
+    /// Slots deposited back.
+    filled: usize,
+}
+
+/// A claimed parent expansion, self-contained so the worker needs no
+/// lock while it runs.
+struct Job {
+    task: usize,
+    parent: usize,
+    root: Arc<Function>,
+    func: Function,
+    seq: Vec<PhaseId>,
+    skip: Option<PhaseId>,
+}
+
+struct DriverState {
+    next_pending: usize,
+    active: Vec<Search>,
+    completed: Vec<Option<FunctionRecord>>,
+    fresh: usize,
+    halt: bool,
+    failure: Option<CampaignError>,
+}
+
+struct Ctx<'a> {
+    names: &'a [String],
+    funcs: &'a [Arc<Function>],
+    target: &'a Target,
+    config: &'a CampaignConfig,
+    store_path: Option<&'a Path>,
+    observer: &'a dyn Observer,
+    state: Mutex<DriverState>,
+    cv: Condvar,
+}
+
+/// Runs a campaign over `tasks`, checkpointing to `store_path` (no
+/// persistence when `None`).
+///
+/// Returns the summary, or an error before any work starts if the task
+/// list or store is unusable. The records in the summary — and the
+/// bytes in the store — are identical for any
+/// [`CampaignConfig::jobs`], and an interrupted-then-resumed campaign
+/// converges on the same bytes as an uninterrupted one.
+pub fn run(
+    tasks: Vec<FunctionTask>,
+    target: &Target,
+    store_path: Option<&Path>,
+    config: &CampaignConfig,
+    observer: &dyn Observer,
+) -> Result<CampaignSummary, CampaignError> {
+    let start = Instant::now();
+    let mut seen = HashSet::new();
+    for t in &tasks {
+        if !seen.insert(t.name.as_str()) {
+            return Err(CampaignError::DuplicateName(t.name.clone()));
+        }
+    }
+
+    let mut completed: Vec<Option<FunctionRecord>> = vec![None; tasks.len()];
+    let mut resumed = 0usize;
+    if let Some(path) = store_path {
+        if path.exists() {
+            if !config.resume {
+                return Err(CampaignError::StoreExists(path.to_owned()));
+            }
+            let prior = ResultStore::load(path)?;
+            prior.check_config(&config.enumerate)?;
+            for rec in prior.records {
+                match tasks.iter().position(|t| t.name == rec.name) {
+                    Some(i) => {
+                        completed[i] = Some(rec);
+                        resumed += 1;
+                    }
+                    None => return Err(CampaignError::UnknownRecord(rec.name)),
+                }
+            }
+        }
+    }
+
+    let (names, funcs): (Vec<String>, Vec<Arc<Function>>) =
+        tasks.into_iter().map(|t| (t.name, Arc::new(t.func))).unzip();
+    let ctx = Ctx {
+        names: &names,
+        funcs: &funcs,
+        target,
+        config,
+        store_path,
+        observer,
+        state: Mutex::new(DriverState {
+            next_pending: 0,
+            active: Vec::new(),
+            completed,
+            fresh: 0,
+            halt: false,
+            failure: None,
+        }),
+        cv: Condvar::new(),
+    };
+
+    let workers = config.jobs.max(1);
+    if workers == 1 {
+        worker(&ctx);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker(&ctx));
+            }
+        });
+    }
+
+    let st = ctx.state.into_inner().unwrap();
+    if let Some(err) = st.failure {
+        return Err(err);
+    }
+    Ok(CampaignSummary {
+        records: st.completed.into_iter().flatten().collect(),
+        resumed,
+        explored: st.fresh,
+        interrupted: st.halt,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// The worker loop: claim a parent expansion from any in-flight search
+/// (activating the next pending function when every frontier is fully
+/// claimed), expand it without holding the lock, deposit the records,
+/// and merge/checkpoint when a level or function completes.
+fn worker(ctx: &Ctx<'_>) {
+    loop {
+        let job = {
+            let mut st = ctx.state.lock().unwrap();
+            loop {
+                if st.halt || st.failure.is_some() {
+                    return;
+                }
+                if let Some(job) = claim(ctx, &mut st) {
+                    break job;
+                }
+                while st.next_pending < ctx.names.len() && st.completed[st.next_pending].is_some() {
+                    st.next_pending += 1;
+                }
+                if st.next_pending < ctx.names.len() {
+                    activate(ctx, &mut st);
+                    continue;
+                }
+                if st.active.is_empty() {
+                    return;
+                }
+                // Every frontier entry is claimed but some worker is
+                // still expanding; its deposit will wake us.
+                st = ctx.cv.wait(st).unwrap();
+            }
+        };
+        let mut local = HashSet::new();
+        let records = expand_parent(
+            &job.root,
+            ctx.target,
+            &ctx.config.enumerate,
+            &job.func,
+            &job.seq,
+            job.skip,
+            // Dedup within this parent's own attempt stream; the merge
+            // step decides insertion against the real space.
+            |fp, flags| !local.insert((fp, flags)),
+        );
+        let mut st = ctx.state.lock().unwrap();
+        deposit(ctx, &mut st, job.task, job.parent, records);
+        ctx.cv.notify_all();
+    }
+}
+
+/// Hands out the next unclaimed frontier entry, preferring the earliest
+/// activated search — later functions only soak up lanes the earlier
+/// ones cannot fill.
+fn claim(ctx: &Ctx<'_>, st: &mut DriverState) -> Option<Job> {
+    let config = &ctx.config.enumerate;
+    for s in st.active.iter_mut() {
+        if s.claimed < s.frontier.len() {
+            let parent = s.claimed;
+            s.claimed += 1;
+            let entry = &s.frontier[parent];
+            let skip = if config.skip_just_applied {
+                s.space.node(entry.id).discovered_from.map(|(_, p)| p)
+            } else {
+                None
+            };
+            return Some(Job {
+                task: s.task,
+                parent,
+                root: Arc::clone(&s.root),
+                func: entry.func.clone(),
+                seq: entry.seq.clone(),
+                skip,
+            });
+        }
+    }
+    None
+}
+
+/// Seeds the next pending function and puts it in flight.
+fn activate(ctx: &Ctx<'_>, st: &mut DriverState) {
+    let task = st.next_pending;
+    st.next_pending += 1;
+    let root = Arc::clone(&ctx.funcs[task]);
+    let mut space = SearchSpace::new();
+    let mut paranoid_bytes = HashMap::new();
+    let root_id = seed_root(&mut space, &mut paranoid_bytes, &ctx.config.enumerate, &root);
+    let frontier = vec![FrontierEntry { id: root_id, func: (*root).clone(), seq: Vec::new() }];
+    st.active.push(Search {
+        task,
+        root,
+        space,
+        stats: SearchStats::default(),
+        paranoid_bytes,
+        start: Instant::now(),
+        level: 0,
+        slots: frontier.iter().map(|_| None).collect(),
+        frontier,
+        claimed: 0,
+        filled: 0,
+    });
+    ctx.observer.function_started(task, ctx.names.len(), &ctx.names[task]);
+}
+
+/// Parks one parent's attempt records; when the level's last expansion
+/// lands, merges the level in frontier order (restoring the serial
+/// discovery order) and either refills the frontier or finalizes and
+/// checkpoints the function.
+fn deposit(
+    ctx: &Ctx<'_>,
+    st: &mut DriverState,
+    task: usize,
+    parent: usize,
+    records: Vec<AttemptRecord>,
+) {
+    let pos = st
+        .active
+        .iter()
+        .position(|s| s.task == task)
+        .expect("deposit for a search no longer in flight");
+    let s = &mut st.active[pos];
+    debug_assert!(s.slots[parent].is_none(), "parent expanded twice");
+    s.slots[parent] = Some(records);
+    s.filled += 1;
+    if s.filled < s.frontier.len() {
+        return;
+    }
+
+    // Level barrier reached: merge every parent in frontier order.
+    let config = &ctx.config.enumerate;
+    s.level += 1;
+    let frontier = std::mem::take(&mut s.frontier);
+    let slots = std::mem::take(&mut s.slots);
+    let mut next = Vec::new();
+    let mut truncated = false;
+    for (entry, slot) in frontier.iter().zip(slots) {
+        let records = slot.expect("barrier reached with an unfilled slot");
+        if !merge_parent(
+            &mut s.space,
+            &mut s.stats,
+            &mut s.paranoid_bytes,
+            config,
+            s.level,
+            entry,
+            records,
+            &mut next,
+        ) {
+            truncated = true;
+            break;
+        }
+        if next.len() > config.max_level_width {
+            truncated = true;
+            break;
+        }
+    }
+    ctx.observer.level_completed(&ctx.names[task], s.level, next.len(), s.space.len());
+
+    if !truncated && !next.is_empty() {
+        s.slots = next.iter().map(|_| None).collect();
+        s.frontier = next;
+        s.claimed = 0;
+        s.filled = 0;
+        return;
+    }
+
+    // Function complete (or truncated): build its record and checkpoint.
+    let mut s = st.active.remove(pos);
+    s.space.compute_weights().expect("phase-order space must be acyclic");
+    s.stats.elapsed = s.start.elapsed();
+    let outcome =
+        if truncated { SearchOutcome::TooBig { level: s.level } } else { SearchOutcome::Complete };
+    let e = Enumeration { space: s.space, outcome, stats: s.stats };
+    let record = FunctionRecord::from_enumeration(ctx.names[task].clone(), &s.root, &e);
+    st.completed[task] = Some(record.clone());
+    st.fresh += 1;
+    if let Some(path) = ctx.store_path {
+        let snapshot = ResultStore {
+            config: store::ConfigEcho::of(config),
+            records: st.completed.iter().flatten().cloned().collect(),
+        };
+        match snapshot.save(path) {
+            Ok(()) => ctx.observer.store_flushed(snapshot.records.len(), ctx.names.len()),
+            Err(err) => {
+                st.failure = Some(CampaignError::Store(err));
+                return;
+            }
+        }
+    }
+    ctx.observer.function_done(task, ctx.names.len(), &record);
+    if ctx.config.stop_after == Some(st.fresh) {
+        st.halt = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tasks_from(src: &str) -> Vec<FunctionTask> {
+        vpo_frontend::compile(src)
+            .unwrap()
+            .functions
+            .into_iter()
+            .map(|f| FunctionTask { name: f.name.clone(), func: f })
+            .collect()
+    }
+
+    fn three_functions() -> Vec<FunctionTask> {
+        tasks_from(
+            r#"
+            int add(int a, int b) { return a + b + a; }
+            int tri(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }
+            int pick(int a, int b) { if (a > b) return a - b; return b - a; }
+            "#,
+        )
+    }
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vpoc_campaign_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("campaign.store")
+    }
+
+    #[test]
+    fn records_match_direct_enumeration() {
+        let tasks = three_functions();
+        let target = Target::default();
+        let summary =
+            run(tasks.clone(), &target, None, &CampaignConfig::default(), &NullObserver).unwrap();
+        assert_eq!(summary.records.len(), 3);
+        assert_eq!(summary.explored, 3);
+        assert_eq!(summary.resumed, 0);
+        assert!(!summary.interrupted);
+        for (task, rec) in tasks.iter().zip(&summary.records) {
+            let e = crate::enumerate(&task.func, &target, &Config::default());
+            let direct = FunctionRecord::from_enumeration(task.name.clone(), &task.func, &e);
+            assert_eq!(*rec, direct, "{}", task.name);
+        }
+    }
+
+    #[test]
+    fn store_bytes_identical_for_any_job_count() {
+        let target = Target::default();
+        let mut stores = Vec::new();
+        for jobs in [0usize, 1, 4, 8] {
+            let path = tmp_store(&format!("jobs{jobs}"));
+            std::fs::remove_file(&path).ok();
+            let config = CampaignConfig { jobs, ..CampaignConfig::default() };
+            run(three_functions(), &target, Some(&path), &config, &NullObserver).unwrap();
+            stores.push(std::fs::read(&path).unwrap());
+            std::fs::remove_file(&path).ok();
+        }
+        for s in &stores[1..] {
+            assert_eq!(*s, stores[0], "store bytes differ across job counts");
+        }
+    }
+
+    #[test]
+    fn interrupt_and_resume_converge_for_every_cut_point() {
+        let target = Target::default();
+        let uninterrupted = tmp_store("full");
+        std::fs::remove_file(&uninterrupted).ok();
+        run(
+            three_functions(),
+            &target,
+            Some(&uninterrupted),
+            &CampaignConfig { jobs: 4, ..CampaignConfig::default() },
+            &NullObserver,
+        )
+        .unwrap();
+        let want = std::fs::read(&uninterrupted).unwrap();
+        for cut in 1..=2usize {
+            for jobs in [1usize, 4] {
+                let path = tmp_store(&format!("cut{cut}_j{jobs}"));
+                std::fs::remove_file(&path).ok();
+                let stopped =
+                    CampaignConfig { jobs, stop_after: Some(cut), ..CampaignConfig::default() };
+                let s1 =
+                    run(three_functions(), &target, Some(&path), &stopped, &NullObserver).unwrap();
+                assert!(s1.interrupted, "cut {cut} jobs {jobs}");
+                assert_eq!(s1.explored, cut);
+                let resume = CampaignConfig { jobs, resume: true, ..CampaignConfig::default() };
+                let s2 =
+                    run(three_functions(), &target, Some(&path), &resume, &NullObserver).unwrap();
+                assert!(!s2.interrupted);
+                assert_eq!(s2.resumed, cut);
+                assert_eq!(s2.explored, 3 - cut);
+                assert_eq!(
+                    std::fs::read(&path).unwrap(),
+                    want,
+                    "cut {cut} jobs {jobs}: resumed store differs from uninterrupted"
+                );
+                std::fs::remove_file(&path).ok();
+            }
+        }
+        std::fs::remove_file(&uninterrupted).ok();
+    }
+
+    #[test]
+    fn truncated_functions_are_recorded_not_fatal() {
+        let target = Target::default();
+        let config = CampaignConfig {
+            enumerate: Config { max_nodes: 5, ..Config::default() },
+            ..CampaignConfig::default()
+        };
+        let summary = run(three_functions(), &target, None, &config, &NullObserver).unwrap();
+        assert_eq!(summary.records.len(), 3);
+        assert!(summary.records.iter().any(|r| !r.complete), "a 5-node cap must truncate");
+        for r in &summary.records {
+            if !r.complete {
+                assert!(r.truncated_level > 0);
+                assert!(r.fn_instances <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_the_whole_lifecycle() {
+        struct Counting {
+            started: AtomicUsize,
+            levels: AtomicUsize,
+            done: AtomicUsize,
+            flushed: AtomicUsize,
+        }
+        impl Observer for Counting {
+            fn function_started(&self, _i: usize, _t: usize, _n: &str) {
+                self.started.fetch_add(1, Ordering::Relaxed);
+            }
+            fn level_completed(&self, _n: &str, _l: u32, _f: usize, _s: usize) {
+                self.levels.fetch_add(1, Ordering::Relaxed);
+            }
+            fn function_done(&self, _i: usize, _t: usize, _r: &FunctionRecord) {
+                self.done.fetch_add(1, Ordering::Relaxed);
+            }
+            fn store_flushed(&self, _c: usize, _t: usize) {
+                self.flushed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let obs = Counting {
+            started: AtomicUsize::new(0),
+            levels: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            flushed: AtomicUsize::new(0),
+        };
+        let path = tmp_store("observer");
+        std::fs::remove_file(&path).ok();
+        let target = Target::default();
+        run(
+            three_functions(),
+            &target,
+            Some(&path),
+            &CampaignConfig { jobs: 2, ..CampaignConfig::default() },
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(obs.started.load(Ordering::Relaxed), 3);
+        assert_eq!(obs.done.load(Ordering::Relaxed), 3);
+        assert_eq!(obs.flushed.load(Ordering::Relaxed), 3);
+        assert!(obs.levels.load(Ordering::Relaxed) >= 3, "each function has at least one level");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn task_list_and_store_misuse_are_rejected() {
+        let target = Target::default();
+        let mut tasks = three_functions();
+        tasks[1].name = tasks[0].name.clone();
+        assert!(matches!(
+            run(tasks, &target, None, &CampaignConfig::default(), &NullObserver),
+            Err(CampaignError::DuplicateName(_))
+        ));
+
+        // Existing store without --resume.
+        let path = tmp_store("misuse");
+        std::fs::remove_file(&path).ok();
+        run(three_functions(), &target, Some(&path), &CampaignConfig::default(), &NullObserver)
+            .unwrap();
+        assert!(matches!(
+            run(three_functions(), &target, Some(&path), &CampaignConfig::default(), &NullObserver),
+            Err(CampaignError::StoreExists(_))
+        ));
+
+        // Resume under different bounds.
+        let other = CampaignConfig {
+            enumerate: Config { max_nodes: 9, ..Config::default() },
+            resume: true,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            run(three_functions(), &target, Some(&path), &other, &NullObserver),
+            Err(CampaignError::Store(StoreError::ConfigMismatch(_)))
+        ));
+
+        // Resume against a store whose records are not in the task list.
+        let fewer = vec![three_functions().swap_remove(0)];
+        let resume = CampaignConfig { resume: true, ..CampaignConfig::default() };
+        assert!(matches!(
+            run(fewer, &target, Some(&path), &resume, &NullObserver),
+            Err(CampaignError::UnknownRecord(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_complete_store_is_a_noop() {
+        let target = Target::default();
+        let path = tmp_store("noop");
+        std::fs::remove_file(&path).ok();
+        run(three_functions(), &target, Some(&path), &CampaignConfig::default(), &NullObserver)
+            .unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let resume = CampaignConfig { resume: true, ..CampaignConfig::default() };
+        let summary = run(three_functions(), &target, Some(&path), &resume, &NullObserver).unwrap();
+        assert_eq!(summary.resumed, 3);
+        assert_eq!(summary.explored, 0);
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,620 @@
+//! The on-disk campaign result store.
+//!
+//! A store is a single binary file holding one record per fully explored
+//! function. The format is in-tree (no serde) and versioned:
+//!
+//! ```text
+//! header:  magic "VPOC" | version u32 | config echo | record count u32
+//! record:  payload length u32 | payload | CRC-32(payload) u32
+//! payload: name | outcome | Table-3 statistics | search counters |
+//!          per-phase activity counts | optimal (code-size) sequence
+//! ```
+//!
+//! All integers are little-endian. The *config echo* freezes every
+//! [`Config`](crate::Config) field that influences results (`max_nodes`,
+//! `max_level_width`, replay mode, the Figure 2 shortcut, paranoid
+//! mode — but not `jobs`, which never changes results): a resumed
+//! campaign refuses a store written under different bounds, because its
+//! records would not be byte-identical to an uninterrupted run under the
+//! new bounds.
+//!
+//! Writers never append: [`ResultStore::save`] rewrites the whole file
+//! through a temporary sibling and an atomic rename, with records in
+//! campaign task order. A campaign checkpoints after every completed
+//! function, so the file on disk is always a valid store whose record
+//! set is exactly the completed subset — interrupting a campaign at any
+//! point (including `SIGKILL`) and resuming it therefore converges on a
+//! store byte-identical to an uninterrupted run's.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+use vpo_opt::PhaseId;
+use vpo_rtl::crc;
+use vpo_rtl::Function;
+
+use crate::enumerate::{Config, Enumeration, ReplayMode};
+use crate::stats::FunctionRow;
+
+/// File magic: the first four bytes of every store.
+pub const MAGIC: [u8; 4] = *b"VPOC";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Why a store could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a store, is truncated, or fails a CRC check.
+    Corrupt(String),
+    /// The store was written under different enumeration bounds than the
+    /// campaign now runs with.
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::ConfigMismatch(msg) => write!(f, "store config mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The result-affecting subset of the enumeration [`Config`], echoed in
+/// the store header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConfigEcho {
+    /// [`Config::max_nodes`].
+    pub max_nodes: u64,
+    /// [`Config::max_level_width`].
+    pub max_level_width: u64,
+    /// [`Config::replay`] (`0` = prefix sharing, `1` = naive replay).
+    pub replay: u8,
+    /// [`Config::skip_just_applied`].
+    pub skip_just_applied: bool,
+    /// [`Config::paranoid`].
+    pub paranoid: bool,
+}
+
+impl ConfigEcho {
+    /// Projects a full enumeration config onto its echoed subset.
+    pub fn of(config: &Config) -> ConfigEcho {
+        ConfigEcho {
+            max_nodes: config.max_nodes as u64,
+            max_level_width: config.max_level_width as u64,
+            replay: match config.replay {
+                ReplayMode::PrefixSharing => 0,
+                ReplayMode::NaiveReplay => 1,
+            },
+            skip_just_applied: config.skip_just_applied,
+            paranoid: config.paranoid,
+        }
+    }
+}
+
+/// One fully explored function: everything `vpoc campaign` needs to
+/// render its Table-3 row again without re-enumerating, plus the raw
+/// per-phase activity counts and the code-size-optimal sequence.
+///
+/// Statistics fields hold the values measured over the (possibly
+/// partial) space; [`FunctionRecord::to_row`] maps them to the paper's
+/// `N/A` convention when `complete` is false.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionRecord {
+    /// Campaign-qualified function name (e.g. `sha::sha_transform`).
+    pub name: String,
+    /// Whether the enumeration ran to completion.
+    pub complete: bool,
+    /// Level at which a bound truncated the search (`0` when complete).
+    pub truncated_level: u32,
+    /// Instructions in the unoptimized function.
+    pub insts: u32,
+    /// Basic blocks in the unoptimized function.
+    pub blocks: u32,
+    /// Transfers of control in the unoptimized function.
+    pub branches: u32,
+    /// Natural loops in the unoptimized function.
+    pub loops: u32,
+    /// Distinct function instances.
+    pub fn_instances: u64,
+    /// Leaf instances.
+    pub leaves: u64,
+    /// Distinct control flows.
+    pub control_flows: u64,
+    /// Largest active phase sequence length.
+    pub max_seq_len: u32,
+    /// Smallest leaf instruction count (`0` when there are no leaves).
+    pub code_min: u32,
+    /// Largest leaf instruction count (`0` when there are no leaves).
+    pub code_max: u32,
+    /// Phases attempted, including dormant ones.
+    pub attempted_phases: u64,
+    /// Attempts that were active.
+    pub active_attempts: u64,
+    /// Phase applications, including replay overhead.
+    pub phases_applied: u64,
+    /// Fingerprint collisions (paranoid mode; expected 0).
+    pub collisions: u64,
+    /// `active_counts[p]` = instances `PhaseId::from_index(p)` is active
+    /// on.
+    pub active_counts: [u64; PhaseId::COUNT],
+    /// Discovery sequence of the code-size-optimal leaf, in letter
+    /// notation (empty when the space has no leaves).
+    pub best_sequence: String,
+    /// Instruction count of that optimal leaf (`0` when none).
+    pub best_insts: u32,
+}
+
+impl FunctionRecord {
+    /// Builds a record from a completed (or truncated) enumeration.
+    pub fn from_enumeration(name: impl Into<String>, f: &Function, e: &Enumeration) -> Self {
+        use crate::enumerate::SearchOutcome;
+        let cfg = vpo_rtl::cfg::Cfg::build(f);
+        let (code_min, code_max) = e.space.leaf_code_size_range().unwrap_or((0, 0));
+        let (best_sequence, best_insts) = match e.space.best_leaf() {
+            Some(leaf) => (
+                e.space.discovery_sequence(leaf).iter().map(|p| p.letter()).collect(),
+                e.space.node(leaf).inst_count,
+            ),
+            None => (String::new(), 0),
+        };
+        FunctionRecord {
+            name: name.into(),
+            complete: e.outcome.is_complete(),
+            truncated_level: match e.outcome {
+                SearchOutcome::Complete => 0,
+                SearchOutcome::TooBig { level } => level,
+            },
+            insts: f.inst_count() as u32,
+            blocks: f.blocks.len() as u32,
+            branches: f.branch_count() as u32,
+            loops: vpo_rtl::loops::loop_count(&cfg) as u32,
+            fn_instances: e.space.len() as u64,
+            leaves: e.space.leaf_count() as u64,
+            control_flows: e.space.distinct_control_flows() as u64,
+            max_seq_len: e.space.max_active_sequence_length(),
+            code_min,
+            code_max,
+            attempted_phases: e.stats.attempted_phases,
+            active_attempts: e.stats.active_attempts,
+            phases_applied: e.stats.phases_applied,
+            collisions: e.stats.collisions,
+            active_counts: e.space.phase_active_counts(),
+            best_sequence,
+            best_insts,
+        }
+    }
+
+    /// Renders the record as a Table-3 row, mapping truncated searches to
+    /// the paper's `N/A` columns exactly as live enumeration does.
+    pub fn to_row(&self) -> FunctionRow {
+        let c = self.complete;
+        let has_leaves = self.leaves > 0;
+        FunctionRow {
+            name: self.name.clone(),
+            insts: self.insts as usize,
+            blocks: self.blocks as usize,
+            branches: self.branches as usize,
+            loops: self.loops as usize,
+            fn_instances: c.then_some(self.fn_instances as usize),
+            attempted_phases: c.then_some(self.attempted_phases),
+            max_seq_len: c.then_some(self.max_seq_len),
+            control_flows: c.then_some(self.control_flows as usize),
+            leaves: c.then_some(self.leaves as usize),
+            code_max: (c && has_leaves).then_some(self.code_max),
+            code_min: (c && has_leaves).then_some(self.code_min),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.name);
+        out.push(self.complete as u8);
+        put_u32(out, self.truncated_level);
+        for v in [self.insts, self.blocks, self.branches, self.loops] {
+            put_u32(out, v);
+        }
+        for v in [self.fn_instances, self.leaves, self.control_flows] {
+            put_u64(out, v);
+        }
+        put_u32(out, self.max_seq_len);
+        put_u32(out, self.code_min);
+        put_u32(out, self.code_max);
+        for v in [self.attempted_phases, self.active_attempts, self.phases_applied, self.collisions]
+        {
+            put_u64(out, v);
+        }
+        out.push(PhaseId::COUNT as u8);
+        for &c in &self.active_counts {
+            put_u64(out, c);
+        }
+        put_str(out, &self.best_sequence);
+        put_u32(out, self.best_insts);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<FunctionRecord, StoreError> {
+        let name = r.str()?;
+        let complete = r.u8()? != 0;
+        let truncated_level = r.u32()?;
+        let [insts, blocks, branches, loops] = [r.u32()?, r.u32()?, r.u32()?, r.u32()?];
+        let [fn_instances, leaves, control_flows] = [r.u64()?, r.u64()?, r.u64()?];
+        let max_seq_len = r.u32()?;
+        let code_min = r.u32()?;
+        let code_max = r.u32()?;
+        let [attempted_phases, active_attempts, phases_applied, collisions] =
+            [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let n = r.u8()? as usize;
+        if n != PhaseId::COUNT {
+            return Err(StoreError::Corrupt(format!(
+                "record `{name}` carries {n} phase counts, compiler has {}",
+                PhaseId::COUNT
+            )));
+        }
+        let mut active_counts = [0u64; PhaseId::COUNT];
+        for c in &mut active_counts {
+            *c = r.u64()?;
+        }
+        let best_sequence = r.str()?;
+        let best_insts = r.u32()?;
+        Ok(FunctionRecord {
+            name,
+            complete,
+            truncated_level,
+            insts,
+            blocks,
+            branches,
+            loops,
+            fn_instances,
+            leaves,
+            control_flows,
+            max_seq_len,
+            code_min,
+            code_max,
+            attempted_phases,
+            active_attempts,
+            phases_applied,
+            collisions,
+            active_counts,
+            best_sequence,
+            best_insts,
+        })
+    }
+}
+
+/// An in-memory store: the config echo plus records in campaign task
+/// order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResultStore {
+    /// Enumeration bounds the records were produced under.
+    pub config: ConfigEcho,
+    /// Per-function records, in campaign task order.
+    pub records: Vec<FunctionRecord>,
+}
+
+impl ResultStore {
+    /// An empty store for the given enumeration config.
+    pub fn new(config: &Config) -> ResultStore {
+        ResultStore { config: ConfigEcho::of(config), records: Vec::new() }
+    }
+
+    /// Serializes the store. The encoding is a pure function of the
+    /// contents: equal stores produce equal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u64(&mut out, self.config.max_nodes);
+        put_u64(&mut out, self.config.max_level_width);
+        out.push(self.config.replay);
+        out.push(self.config.skip_just_applied as u8);
+        out.push(self.config.paranoid as u8);
+        put_u32(&mut out, self.records.len() as u32);
+        for rec in &self.records {
+            let mut payload = Vec::new();
+            rec.encode(&mut payload);
+            put_u32(&mut out, payload.len() as u32);
+            out.extend_from_slice(&payload);
+            put_u32(&mut out, crc::crc32(&payload));
+        }
+        out
+    }
+
+    /// Parses a store, validating magic, version, per-record lengths and
+    /// CRCs, and that no bytes trail the last record.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ResultStore, StoreError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt("bad magic (not a campaign store)".into()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "format version {version}, this build reads {VERSION}"
+            )));
+        }
+        let config = ConfigEcho {
+            max_nodes: r.u64()?,
+            max_level_width: r.u64()?,
+            replay: r.u8()?,
+            skip_just_applied: r.u8()? != 0,
+            paranoid: r.u8()? != 0,
+        };
+        let count = r.u32()? as usize;
+        let mut records = Vec::with_capacity(count.min(1024));
+        for i in 0..count {
+            let len = r.u32()? as usize;
+            let payload = r.take(len)?;
+            let crc_stored = r.u32()?;
+            if crc::crc32(payload) != crc_stored {
+                return Err(StoreError::Corrupt(format!("record {i}: CRC mismatch")));
+            }
+            let mut pr = Reader { bytes: payload, pos: 0 };
+            let rec = FunctionRecord::decode(&mut pr)?;
+            if pr.pos != payload.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "record {i} (`{}`): {} unparsed payload bytes",
+                    rec.name,
+                    payload.len() - pr.pos
+                )));
+            }
+            records.push(rec);
+        }
+        if r.pos != bytes.len() {
+            return Err(StoreError::Corrupt(format!(
+                "{} bytes trail the last record",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(ResultStore { config, records })
+    }
+
+    /// Reads a store from disk.
+    pub fn load(path: &Path) -> Result<ResultStore, StoreError> {
+        let bytes = std::fs::read(path)?;
+        ResultStore::from_bytes(&bytes)
+    }
+
+    /// Writes the store atomically: the bytes go to a `.tmp` sibling
+    /// first, then an atomic rename replaces the store, so a reader (or
+    /// a resumed campaign) never observes a half-written file.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = match path.file_name() {
+            Some(name) => {
+                let mut n = name.to_os_string();
+                n.push(".tmp");
+                path.with_file_name(n)
+            }
+            None => {
+                return Err(StoreError::Io(std::io::Error::other("store path has no file name")))
+            }
+        };
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Checks that `config` matches the bounds this store was written
+    /// under (resume safety).
+    pub fn check_config(&self, config: &Config) -> Result<(), StoreError> {
+        let now = ConfigEcho::of(config);
+        if self.config != now {
+            return Err(StoreError::ConfigMismatch(format!(
+                "store written under {:?}, campaign running with {:?}; \
+                 re-run with matching bounds or remove the store",
+                self.config, now
+            )));
+        }
+        Ok(())
+    }
+
+    /// Looks up a record by its campaign-qualified name.
+    pub fn find(&self, name: &str) -> Option<&FunctionRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "name too long for store format");
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| StoreError::Corrupt("unexpected end of file".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("non-UTF-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(name: &str, seed: u64) -> FunctionRecord {
+        let mut active_counts = [0u64; PhaseId::COUNT];
+        for (i, c) in active_counts.iter_mut().enumerate() {
+            *c = seed.wrapping_mul(i as u64 + 1) % 97;
+        }
+        FunctionRecord {
+            name: name.to_owned(),
+            complete: seed % 2 == 0,
+            truncated_level: if seed % 2 == 0 { 0 } else { seed as u32 % 9 + 1 },
+            insts: 40 + seed as u32,
+            blocks: 7,
+            branches: 5,
+            loops: 1,
+            fn_instances: 1000 + seed,
+            leaves: 12,
+            control_flows: 3,
+            max_seq_len: 14,
+            code_min: 21,
+            code_max: 35,
+            attempted_phases: 123_456 + seed,
+            active_attempts: 4_321,
+            phases_applied: 123_456 + seed,
+            collisions: 0,
+            active_counts,
+            best_sequence: "skcshu".to_owned(),
+            best_insts: 21,
+        }
+    }
+
+    fn sample_store() -> ResultStore {
+        let mut s = ResultStore::new(&Config::default());
+        s.records.push(sample_record("bitcount::bit_count", 2));
+        s.records.push(sample_record("sha::sha_transform", 5));
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_and_stable() {
+        let s = sample_store();
+        let bytes = s.to_bytes();
+        assert_eq!(bytes, s.to_bytes(), "encoding must be deterministic");
+        let back = ResultStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_bytes(), bytes, "re-encoding must be byte-identical");
+        assert!(back.find("sha::sha_transform").is_some());
+        assert!(back.find("nope").is_none());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample_store().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(ResultStore::from_bytes(&bytes[..cut]), Err(StoreError::Corrupt(_))),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_crc() {
+        let good = sample_store().to_bytes();
+        // Flip one byte inside each record's payload region.
+        let header = 4 + 4 + 8 + 8 + 3 + 4;
+        for offset in [header + 4 + 2, good.len() - 8] {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x40;
+            match ResultStore::from_bytes(&bad) {
+                Err(StoreError::Corrupt(msg)) => {
+                    assert!(msg.contains("CRC"), "offset {offset}: {msg}")
+                }
+                other => panic!("offset {offset}: corruption not caught: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_store().to_bytes();
+        bytes.push(0);
+        assert!(matches!(ResultStore::from_bytes(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = sample_store().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(ResultStore::from_bytes(&bytes), Err(StoreError::Corrupt(_))));
+        let mut bytes = sample_store().to_bytes();
+        bytes[4] = 99;
+        let err = ResultStore::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn config_echo_gates_resume() {
+        let s = sample_store();
+        s.check_config(&Config::default()).unwrap();
+        let other = Config { max_nodes: 7, ..Config::default() };
+        assert!(matches!(s.check_config(&other), Err(StoreError::ConfigMismatch(_))));
+    }
+
+    #[test]
+    fn save_is_atomic_and_loads_back() {
+        let dir = std::env::temp_dir().join(format!("vpoc_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.store");
+        let s = sample_store();
+        s.save(&path).unwrap();
+        assert!(!path.with_file_name("campaign.store.tmp").exists(), "tmp file left behind");
+        assert_eq!(ResultStore::load(&path).unwrap(), s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_to_row_respects_na_convention() {
+        let mut rec = sample_record("f", 2);
+        assert!(rec.complete);
+        let row = rec.to_row();
+        assert_eq!(row.fn_instances, Some(rec.fn_instances as usize));
+        assert_eq!(row.code_min, Some(21));
+        rec.complete = false;
+        let row = rec.to_row();
+        assert_eq!(row.fn_instances, None);
+        assert_eq!(row.code_min, None);
+        assert!(row.render().contains("N/A"));
+    }
+}

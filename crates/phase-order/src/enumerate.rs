@@ -24,15 +24,19 @@
 //!
 //! # Parallel enumeration
 //!
-//! [`enumerate_parallel`] splits each level's frontier across worker
-//! threads. Workers expand parents independently (phase application,
+//! [`enumerate`] dispatches on [`Config::jobs`]: `0` runs the serial
+//! engine, `N` splits each level's frontier across `N` worker threads.
+//! Workers expand parents independently (phase application,
 //! canonicalization, fingerprinting — all the expensive work); at the
 //! level barrier the main thread **merges** the per-parent attempt
 //! records in frontier order, phase order — exactly the order the serial
 //! engine discovers them — so node ids, `active_mask`s, edges, weights
-//! and [`SearchStats`] counters are bit-identical to [`enumerate`].
-//! Both entry points share one expand/merge core, making the equivalence
-//! true by construction rather than by careful double maintenance.
+//! and [`SearchStats`] counters are bit-identical for any job count.
+//! Both paths share one expand/merge core, making the equivalence true
+//! by construction rather than by careful double maintenance. The same
+//! core drives the cross-function campaign driver
+//! ([`crate::campaign`]), which steals parent expansions from many
+//! functions over one pool.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -82,8 +86,9 @@ pub struct Config {
     /// occasionally re-enable the very phase that just ran, so the shortcut
     /// is off by default and exists for fidelity experiments.
     pub skip_just_applied: bool,
-    /// Worker threads for [`enumerate_parallel`]: `0` means one worker
-    /// per available CPU. Ignored by the serial [`enumerate`].
+    /// Worker threads for [`enumerate`]: `0` (the default) runs the
+    /// serial engine, `N` the parallel engine with `N` workers. The
+    /// result is identical for any value; only wall-clock time differs.
     pub jobs: usize,
 }
 
@@ -150,15 +155,15 @@ pub struct Enumeration {
 
 /// One instance awaiting expansion: its node, its materialized function
 /// (prefix sharing) and its discovery sequence (naive replay only).
-struct FrontierEntry {
-    id: NodeId,
-    func: Function,
-    seq: Vec<PhaseId>,
+pub(crate) struct FrontierEntry {
+    pub(crate) id: NodeId,
+    pub(crate) func: Function,
+    pub(crate) seq: Vec<PhaseId>,
 }
 
 /// The outcome of one phase attempt on one parent, recorded by the
 /// expansion step and consumed by the merge step.
-enum AttemptRecord {
+pub(crate) enum AttemptRecord {
     /// The phase did not change the representation.
     Dormant,
     /// The phase was active and produced a candidate instance.
@@ -182,7 +187,7 @@ enum AttemptRecord {
 /// already catalogued; when it is, the candidate function is dropped
 /// instead of carried (pure memory optimization — the merge step decides
 /// insertion independently).
-fn expand_parent(
+pub(crate) fn expand_parent(
     root: &Function,
     target: &Target,
     config: &Config,
@@ -233,7 +238,7 @@ fn expand_parent(
 /// counted nor recorded in the parent's mask), so `space.len()` never
 /// exceeds the cap.
 #[allow(clippy::too_many_arguments)]
-fn merge_parent(
+pub(crate) fn merge_parent(
     space: &mut SearchSpace,
     stats: &mut SearchStats,
     paranoid_bytes: &mut HashMap<NodeId, Vec<u8>>,
@@ -310,18 +315,16 @@ fn merge_parent(
     complete
 }
 
-/// The level-order engine shared by [`enumerate`] and
-/// [`enumerate_parallel`]; `jobs <= 1` expands inline, `jobs > 1` fans
-/// each level out over `std::thread::scope` workers.
-fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumeration {
-    let start = std::time::Instant::now();
-    let mut space = SearchSpace::new();
-    let mut stats = SearchStats::default();
-    let mut paranoid_bytes: HashMap<NodeId, Vec<u8>> = HashMap::new();
-
-    let root_fp = canon::fingerprint(f);
+/// Seeds a fresh space with the unoptimized root instance — the shared
+/// level-zero setup of the in-process engine and the campaign driver.
+pub(crate) fn seed_root(
+    space: &mut SearchSpace,
+    paranoid_bytes: &mut HashMap<NodeId, Vec<u8>>,
+    config: &Config,
+    f: &Function,
+) -> NodeId {
     let root = space.insert(Node {
-        fp: root_fp,
+        fp: canon::fingerprint(f),
         flags: f.flags,
         level: 0,
         inst_count: f.inst_count() as u32,
@@ -334,6 +337,19 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
     if config.paranoid {
         paranoid_bytes.insert(root, canon::canonical_bytes(f));
     }
+    root
+}
+
+/// The level-order engine behind [`enumerate`]; `jobs <= 1` expands
+/// inline, `jobs > 1` fans each level out over `std::thread::scope`
+/// workers.
+fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumeration {
+    let start = std::time::Instant::now();
+    let mut space = SearchSpace::new();
+    let mut stats = SearchStats::default();
+    let mut paranoid_bytes: HashMap<NodeId, Vec<u8>> = HashMap::new();
+
+    let root = seed_root(&mut space, &mut paranoid_bytes, config, f);
 
     let mut frontier = vec![FrontierEntry { id: root, func: f.clone(), seq: Vec::new() }];
     let mut outcome = SearchOutcome::Complete;
@@ -453,21 +469,33 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
 /// root instance is `f` itself. On [`SearchOutcome::TooBig`] the returned
 /// space holds the levels enumerated so far (weights are still computed
 /// over the partial DAG).
+///
+/// [`Config::jobs`] selects the engine: `0` (the default) runs serially,
+/// `N` expands each level over `N` worker threads. The result — node ids
+/// and count, leaf count, `active_mask`s, edges, weights, and every
+/// [`SearchStats`] counter except the wall-clock `elapsed` — is identical
+/// for any job count: each level is expanded in parallel but merged
+/// deterministically in frontier order at the level barrier.
 pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration {
-    run(f, target, config, 1)
+    run(f, target, config, config.jobs.max(1))
+}
+
+/// One worker thread per available CPU — the historical meaning of
+/// `jobs: 0` in the parallel entry point, now the explicit opt-in.
+pub fn jobs_per_cpu() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Exhaustively enumerates the phase-order space of `f` with
 /// `config.jobs` worker threads (`0` = one per available CPU).
-///
-/// The result — node ids and count, leaf count, `active_mask`s, edges,
-/// weights, and every [`SearchStats`] counter except the wall-clock
-/// `elapsed` — is identical to [`enumerate`]'s for any job count: each
-/// level is expanded in parallel but merged deterministically in frontier
-/// order at the level barrier.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `enumerate` — `Config::jobs` selects the engine (0 = serial, N = parallel); \
+            for the old `jobs: 0` behaviour set `Config::jobs` to `jobs_per_cpu()`"
+)]
 pub fn enumerate_parallel(f: &Function, target: &Target, config: &Config) -> Enumeration {
     let jobs = match config.jobs {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        0 => jobs_per_cpu(),
         n => n,
     };
     run(f, target, config, jobs)
@@ -569,7 +597,7 @@ mod tests {
             assert!(e.space.len() <= cap, "cap {cap} overshot: space has {} nodes", e.space.len());
             // The truncation point is deterministic, so the parallel
             // engine must land on the very same partial space.
-            let p = enumerate_parallel(&f, &Target::default(), &Config { jobs: 4, ..config });
+            let p = enumerate(&f, &Target::default(), &Config { jobs: 4, ..config });
             assert_eq!(p.space.len(), e.space.len(), "cap {cap}");
             assert_eq!(p.stats.attempted_phases, e.stats.attempted_phases, "cap {cap}");
         }
@@ -583,7 +611,7 @@ mod tests {
         let t = Target::default();
         let serial = enumerate(&f, &t, &Config::default());
         for jobs in [1usize, 2, 3, 8] {
-            let par = enumerate_parallel(&f, &t, &Config { jobs, ..Config::default() });
+            let par = enumerate(&f, &t, &Config { jobs, ..Config::default() });
             assert_eq!(par.space.len(), serial.space.len(), "jobs={jobs}");
             assert_eq!(par.space.leaf_count(), serial.space.leaf_count(), "jobs={jobs}");
             assert_eq!(par.stats.attempted_phases, serial.stats.attempted_phases);
@@ -603,12 +631,27 @@ mod tests {
     #[test]
     fn parallel_paranoid_sees_no_collisions() {
         let f = compile_fn("int f(int a, int b) { if (a > b) return a - b; return b - a; }");
-        let e = enumerate_parallel(
+        let e = enumerate(
             &f,
             &Target::default(),
             &Config { paranoid: true, jobs: 4, ..Config::default() },
         );
         assert_eq!(e.stats.collisions, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_wrapper_still_delegates() {
+        let f = compile_fn("int f(int a) { return a * 4 + 2; }");
+        let t = Target::default();
+        let unified = enumerate(&f, &t, &Config { jobs: 2, ..Config::default() });
+        let wrapper = enumerate_parallel(&f, &t, &Config { jobs: 2, ..Config::default() });
+        assert_eq!(wrapper.space.len(), unified.space.len());
+        assert_eq!(wrapper.stats.attempted_phases, unified.stats.attempted_phases);
+        // The wrapper keeps its historical `jobs: 0` = one-per-CPU reading.
+        let percpu = enumerate_parallel(&f, &t, &Config::default());
+        assert_eq!(percpu.space.len(), unified.space.len());
+        assert!(jobs_per_cpu() >= 1);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   literature (random, hill climbing, genetic), with the fingerprint
 //!   redundancy detection of the authors' companion work, evaluated here
 //!   against exhaustive ground truth.
+//! * [`campaign`] — the resumable multi-function campaign driver: one
+//!   work-stealing worker pool explores every function of a program (or
+//!   a whole benchmark suite), checkpointing each completed function to
+//!   an on-disk result store ([`campaign::store`]) so an interrupted
+//!   campaign resumes exactly where it stopped, and streaming progress
+//!   through the [`campaign::Observer`] trait.
 //!
 //! # Example
 //!
@@ -50,6 +56,7 @@
 //! assert!(e.space.len() > 1);
 //! ```
 
+pub mod campaign;
 pub mod enumerate;
 pub mod interaction;
 pub mod oracle;
@@ -58,9 +65,9 @@ pub mod search;
 pub mod space;
 pub mod stats;
 
-pub use enumerate::{
-    enumerate, enumerate_parallel, Config, Enumeration, ReplayMode, SearchOutcome,
-};
+#[allow(deprecated)]
+pub use enumerate::enumerate_parallel;
+pub use enumerate::{enumerate, jobs_per_cpu, Config, Enumeration, ReplayMode, SearchOutcome};
 pub use space::{NodeId, SearchSpace};
 
 /// Seedable pseudo-random number generation (re-exported from `vpo-rtl`,

@@ -30,7 +30,7 @@
 //!   out of a verification run for free.
 //!
 //! Verification parallelizes over instances ([`OracleConfig::jobs`],
-//! reusing the level-barrier pattern of `enumerate_parallel`); the
+//! reusing the level-barrier pattern of the parallel enumeration); the
 //! verdict is bit-identical for any job count because observations are
 //! deterministic and findings are collected in node order.
 
@@ -223,14 +223,7 @@ pub fn materialize_all(space: &SearchSpace, root: &Function, target: &Target) ->
 
 /// The discovery sequence of a node, rendered in letter notation.
 fn discovery_sequence(space: &SearchSpace, id: NodeId) -> String {
-    let mut letters = Vec::new();
-    let mut cur = id;
-    while let Some((parent, phase)) = space.node(cur).discovered_from {
-        letters.push(phase.letter());
-        cur = parent;
-    }
-    letters.reverse();
-    letters.into_iter().collect()
+    space.discovery_sequence(id).iter().map(|p| p.letter()).collect()
 }
 
 /// Executes `f` once on `args`, returning the observation and the dynamic
@@ -496,13 +489,15 @@ pub fn verify_function(
     enum_config: &crate::Config,
     config: &OracleConfig,
 ) -> (Enumeration, OracleReport) {
-    let e = if config.jobs == 1 {
-        crate::enumerate(f, target, enum_config)
-    } else {
-        let mut ec = enum_config.clone();
-        ec.jobs = config.jobs;
-        crate::enumerate_parallel(f, target, &ec)
+    // Translate the oracle's job convention (`0` = one per CPU, `1` =
+    // serial) into the enumeration's (`0` = serial, `N` = `N` workers).
+    let mut ec = enum_config.clone();
+    ec.jobs = match config.jobs {
+        0 => crate::jobs_per_cpu(),
+        1 => 0,
+        n => n,
     };
+    let e = crate::enumerate(f, target, &ec);
     let report = verify(program, f, &e, target, config);
     (e, report)
 }

@@ -177,6 +177,46 @@ impl SearchSpace {
         self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
     }
 
+    /// The discovery sequence of a node: the phases along its discovery
+    /// edges back to the root, in application order. The root's sequence
+    /// is empty.
+    pub fn discovery_sequence(&self, id: NodeId) -> Vec<PhaseId> {
+        let mut seq = Vec::new();
+        let mut cur = id;
+        while let Some((parent, phase)) = self.node(cur).discovered_from {
+            seq.push(phase);
+            cur = parent;
+        }
+        seq.reverse();
+        seq
+    }
+
+    /// Per-phase activity over the space: `counts[p.index()]` is the
+    /// number of instances phase `p` is active on (the raw occurrence
+    /// counts behind the Section 5 interaction probabilities).
+    pub fn phase_active_counts(&self) -> [u64; PhaseId::COUNT] {
+        let mut counts = [0u64; PhaseId::COUNT];
+        for n in &self.nodes {
+            for p in PhaseId::ALL {
+                if n.is_active(p) {
+                    counts[p.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The leaf with the smallest instruction count (ties broken by
+    /// lowest node id — the first ordering discovered): the code-size
+    /// optimal phase ordering of Table 3. `None` for a space with no
+    /// leaves (only possible under truncation).
+    pub fn best_leaf(&self) -> Option<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.is_leaf())
+            .min_by_key(|&(id, n)| (n.inst_count, id))
+            .map(|(id, _)| id)
+    }
+
     /// Computes node weights: leaves weigh 1, interior nodes the sum of
     /// their children (Figure 7).
     ///
@@ -321,6 +361,30 @@ mod tests {
         assert_eq!(s.find(fp, FuncFlags::default()), Some(id));
         let assigned = FuncFlags { regs_assigned: true, reg_allocated: false };
         assert_eq!(s.find(fp, assigned), None);
+    }
+
+    #[test]
+    fn discovery_sequence_and_best_leaf() {
+        let mut s = SearchSpace::new();
+        let root = s.insert(mk_node(0));
+        let mut a = mk_node(9);
+        a.discovered_from = Some((root, PhaseId::InsnSelect));
+        let a = s.insert(a);
+        let mut b = mk_node(4);
+        b.discovered_from = Some((a, PhaseId::Cse));
+        let b = s.insert(b);
+        s.node_mut(root).children = vec![(PhaseId::InsnSelect, a)];
+        s.node_mut(root).active_mask = 1 << PhaseId::InsnSelect.index();
+        s.node_mut(a).children = vec![(PhaseId::Cse, b)];
+        s.node_mut(a).active_mask = 1 << PhaseId::Cse.index();
+        assert_eq!(s.discovery_sequence(root), vec![]);
+        assert_eq!(s.discovery_sequence(b), vec![PhaseId::InsnSelect, PhaseId::Cse]);
+        // `b` (4 insts) is the only leaf; it wins over the interior nodes.
+        assert_eq!(s.best_leaf(), Some(b));
+        let counts = s.phase_active_counts();
+        assert_eq!(counts[PhaseId::InsnSelect.index()], 1);
+        assert_eq!(counts[PhaseId::Cse.index()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
     }
 
     #[test]

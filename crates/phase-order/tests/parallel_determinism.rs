@@ -1,11 +1,11 @@
-//! The contract of `enumerate_parallel`: for any job count, the space it
-//! returns is **identical** to the serial engine's — node ids and count,
-//! leaf count, weights, per-node `active_mask`s, edges, and every
-//! statistics counter except wall-clock time. Verified here on real
-//! MiBench kernels (the enumeration workload of Table 3), not just on
-//! toy sources.
+//! The contract of `enumerate` under `Config::jobs`: for any job count,
+//! the space it returns is **identical** to the serial engine's — node
+//! ids and count, leaf count, weights, per-node `active_mask`s, edges,
+//! and every statistics counter except wall-clock time. Verified here on
+//! real MiBench kernels (the enumeration workload of Table 3), not just
+//! on toy sources.
 
-use phase_order::enumerate::{enumerate, enumerate_parallel, Config};
+use phase_order::enumerate::{enumerate, Config};
 use phase_order::Enumeration;
 use vpo_opt::Target;
 
@@ -66,7 +66,7 @@ fn parallel_enumeration_is_bit_identical_to_serial() {
         let serial = enumerate(&f, &target, &config);
         assert!(serial.space.len() > 10, "{name}: kernel space too small to be interesting");
         for jobs in [1usize, 2, 8] {
-            let par = enumerate_parallel(&f, &target, &Config { jobs, ..config.clone() });
+            let par = enumerate(&f, &target, &Config { jobs, ..config.clone() });
             assert_identical(&name, jobs, &serial, &par);
         }
     }
@@ -83,7 +83,7 @@ fn parallel_enumeration_matches_under_truncation() {
     assert!(!serial.outcome.is_complete(), "{name}: cap of 40 nodes should truncate");
     assert!(serial.space.len() <= 40, "{name}: cap overshot");
     for jobs in [2usize, 8] {
-        let par = enumerate_parallel(&f, &target, &Config { jobs, ..config.clone() });
+        let par = enumerate(&f, &target, &Config { jobs, ..config.clone() });
         assert_identical(&name, jobs, &serial, &par);
     }
 }

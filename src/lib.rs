@@ -13,9 +13,10 @@
 //! * [`sim`] — an RTL interpreter with dynamic instruction counting;
 //! * [`explore`] — the paper's core contribution: exhaustive phase-order
 //!   enumeration, the weighted instance DAG, phase-interaction analysis
-//!   (Tables 4–6), the probabilistic batch compiler (Figure 8), and the
+//!   (Tables 4–6), the probabilistic batch compiler (Figure 8), the
 //!   differential equivalence oracle that executes every distinct
-//!   instance to verify the space;
+//!   instance to verify the space, and the resumable multi-function
+//!   campaign driver with its on-disk result store;
 //! * [`benchmarks`] — MiniC re-implementations of the MiBench subset of
 //!   Table 2 with simulator workloads.
 //!
