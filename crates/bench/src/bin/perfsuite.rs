@@ -1,0 +1,304 @@
+//! `perfsuite` — the pinned perf-baseline harness and CI regression gate
+//! (DESIGN.md §9).
+//!
+//! ```text
+//! perfsuite [--label L] [--trials N] [--metrics-dir DIR]
+//!           [--check] [--threshold PCT] [--baseline PATH]
+//! ```
+//!
+//! Runs the pinned workload set — three MiBench kernels enumerated
+//! serially and with `--jobs 2`, a campaign over `bitcount`, and an
+//! oracle verification — `N` times each (default 5), recording per-trial
+//! wall times and the deterministic telemetry counters of each run, and
+//! writes `BENCH_<label>.json` at the repo root. Within one invocation
+//! the deterministic counters must be identical across trials; any
+//! in-process drift aborts the suite (that is the determinism
+//! self-check of the acceptance criteria).
+//!
+//! `--check` then compares the fresh report against `bench/baseline.json`
+//! (or `--baseline PATH`): deterministic counters must match the
+//! baseline exactly, wall medians may regress at most `--threshold`
+//! percent (default 25) after scaling by the calibration ratio of the
+//! two machines. Any violation prints and exits nonzero — the CI gate.
+//!
+//! `--metrics-dir DIR` additionally writes each workload's final
+//! telemetry snapshot (`phase-order-telemetry-v1` JSON) into `DIR`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::perf::{compare, PerfReport, WorkloadReport};
+use phase_order::campaign::{self, CampaignConfig, FunctionTask, NullObserver};
+use phase_order::enumerate::{enumerate, Config};
+use phase_order::oracle::{self, OracleConfig};
+use phase_order::telemetry;
+use vpo_opt::Target;
+
+/// The pinned kernels with their inner repetition counts: small enough
+/// that the full suite stays in seconds, spread over three benchmarks
+/// (per EXPERIMENTS.md their spaces hold 146 / 149 / 565 distinct
+/// instances). Each timed trial runs the enumeration `reps` times so
+/// that the tiny kernels still spend >100ms per trial — below that,
+/// scheduler noise on a loaded CI box swamps a 25% threshold.
+const KERNELS: &[(&str, &str, usize)] =
+    &[("bitcount", "bit_count", 8), ("fft", "reverse_bits", 6), ("sha", "sha_transform", 1)];
+
+struct Options {
+    label: String,
+    trials: usize,
+    check: bool,
+    threshold: f64,
+    baseline: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        label: "local".into(),
+        trials: 5,
+        check: false,
+        threshold: 25.0,
+        baseline: None,
+        metrics_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            if let Some(v) = a.strip_prefix(name).and_then(|t| t.strip_prefix('=')) {
+                return Ok(v.to_owned());
+            }
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        if a == "--check" {
+            opts.check = true;
+        } else if a.starts_with("--label") {
+            opts.label = value("--label")?;
+        } else if a.starts_with("--trials") {
+            let v = value("--trials")?;
+            opts.trials = v.parse().map_err(|_| format!("bad --trials value `{v}`"))?;
+            if opts.trials == 0 {
+                return Err("--trials must be at least 1".into());
+            }
+        } else if a.starts_with("--threshold") {
+            let v = value("--threshold")?;
+            opts.threshold = v.parse().map_err(|_| format!("bad --threshold value `{v}`"))?;
+        } else if a.starts_with("--baseline") {
+            opts.baseline = Some(PathBuf::from(value("--baseline")?));
+        } else if a.starts_with("--metrics-dir") {
+            opts.metrics_dir = Some(PathBuf::from(value("--metrics-dir")?));
+        } else {
+            return Err(format!("unknown argument `{a}`"));
+        }
+    }
+    Ok(opts)
+}
+
+/// The repo root, resolved from this crate's manifest at compile time —
+/// `BENCH_<label>.json` and the default baseline live there.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Median wall time of a fixed xorshift busy-loop: the machine-speed
+/// yardstick stored as `calibration_ns` (see `bench::perf::compare`).
+fn calibrate() -> u64 {
+    let mut samples = [0u64; 5];
+    for s in samples.iter_mut() {
+        let start = Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut acc = 0u64;
+        for _ in 0..2_000_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        std::hint::black_box(acc);
+        *s = start.elapsed().as_nanos() as u64;
+    }
+    samples.sort_unstable();
+    samples[2]
+}
+
+/// Runs one workload `trials` times: reset the registry, time the body,
+/// capture the deterministic counters, and insist they never change
+/// between trials. Writes the final telemetry snapshot into
+/// `metrics_dir` when given.
+fn run_workload(
+    name: &str,
+    trials: usize,
+    reps: usize,
+    metrics_dir: Option<&Path>,
+    mut body: impl FnMut(),
+) -> Result<WorkloadReport, String> {
+    let tm = telemetry::global();
+    let mut trials_ns = Vec::with_capacity(trials);
+    let mut counters: Option<Vec<(String, u64)>> = None;
+    for trial in 0..trials {
+        tm.reset();
+        let start = Instant::now();
+        for _ in 0..reps {
+            body();
+        }
+        trials_ns.push(start.elapsed().as_nanos() as u64);
+        let got: Vec<(String, u64)> = tm
+            .snapshot()
+            .deterministic_values()
+            .into_iter()
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect();
+        match &counters {
+            None => counters = Some(got),
+            Some(first) if *first != got => {
+                return Err(format!(
+                    "{name}: deterministic counters drifted between trial 1 and \
+                     trial {}: {:?} vs {got:?}",
+                    trial + 1,
+                    first
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    if let Some(dir) = metrics_dir {
+        let file: String =
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        tm.snapshot()
+            .write(&dir.join(format!("{file}.json")))
+            .map_err(|e| format!("{name}: writing metrics snapshot: {e}"))?;
+    }
+    let report =
+        WorkloadReport { name: name.to_owned(), trials_ns, counters: counters.unwrap_or_default() };
+    eprintln!(
+        "  {name}: median {:.2}ms, IQR {:.2}ms over {trials} trial(s)",
+        report.median_ns() as f64 / 1e6,
+        report.iqr_ns() as f64 / 1e6
+    );
+    Ok(report)
+}
+
+fn run_suite(opts: &Options) -> Result<PerfReport, String> {
+    if let Some(dir) = &opts.metrics_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("--metrics-dir {}: {e}", dir.display()))?;
+    }
+    let target = Target::default();
+    eprintln!("perfsuite: calibrating...");
+    let calibration_ns = calibrate();
+    eprintln!("  calibration median {:.2}ms", calibration_ns as f64 / 1e6);
+
+    let mut workloads = Vec::new();
+    let metrics_dir = opts.metrics_dir.as_deref();
+
+    // Enumeration: each pinned kernel, serial and with two workers.
+    for (bench_name, func, reps) in KERNELS {
+        let program = mibench::find(bench_name)
+            .ok_or(format!("no benchmark `{bench_name}`"))?
+            .compile()
+            .map_err(|e| format!("{bench_name}: {e}"))?;
+        let f = program.function(func).ok_or(format!("{bench_name}: no function `{func}`"))?;
+        for (mode, jobs) in [("serial", 0usize), ("jobs2", 2)] {
+            let config = Config { jobs, ..Config::default() };
+            let name = format!("enumerate/{bench_name}::{func}/{mode}");
+            workloads.push(run_workload(&name, opts.trials, *reps, metrics_dir, || {
+                std::hint::black_box(enumerate(f, &target, &config));
+            })?);
+        }
+    }
+
+    // Campaign: every function of bitcount over a two-worker pool,
+    // checkpointing to a throwaway store (flush latency included).
+    {
+        let program = mibench::find("bitcount")
+            .ok_or("no benchmark `bitcount`")?
+            .compile()
+            .map_err(|e| format!("bitcount: {e}"))?;
+        let tasks: Vec<FunctionTask> = program
+            .functions
+            .iter()
+            .map(|f| FunctionTask { name: format!("bitcount::{}", f.name), func: f.clone() })
+            .collect();
+        let config = CampaignConfig { jobs: 2, ..CampaignConfig::default() };
+        let store = std::env::temp_dir().join("perfsuite.store");
+        workloads.push(run_workload(
+            "campaign/bitcount/jobs2",
+            opts.trials,
+            1,
+            metrics_dir,
+            || {
+                std::fs::remove_file(&store).ok();
+                campaign::run(tasks.clone(), &target, Some(&store), &config, &NullObserver)
+                    .expect("perfsuite campaign runs");
+            },
+        )?);
+        std::fs::remove_file(&store).ok();
+    }
+
+    // Oracle: differential verification of the bitcount kernel.
+    {
+        let program = mibench::find("bitcount")
+            .ok_or("no benchmark `bitcount`")?
+            .compile()
+            .map_err(|e| format!("bitcount: {e}"))?;
+        let f = program.function("bit_count").ok_or("bitcount: no function `bit_count`")?;
+        let enum_config = Config::default();
+        let oracle_config = OracleConfig::default();
+        workloads.push(run_workload(
+            "oracle/bitcount::bit_count",
+            opts.trials,
+            4,
+            metrics_dir,
+            || {
+                let (_, report) =
+                    oracle::verify_function(&program, f, &target, &enum_config, &oracle_config);
+                assert!(report.is_clean(), "perfsuite oracle found miscompilations");
+            },
+        )?);
+    }
+
+    Ok(PerfReport { label: opts.label.clone(), calibration_ns, workloads })
+}
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perfsuite: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_main() -> Result<(), String> {
+    let opts = parse_args()?;
+    let report = run_suite(&opts)?;
+
+    let out = repo_root().join(format!("BENCH_{}.json", opts.label));
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{}: {e}", out.display()))?;
+    eprintln!("perfsuite: wrote {}", out.canonicalize().unwrap_or(out).display());
+
+    if opts.check {
+        let path = opts.baseline.clone().unwrap_or_else(|| repo_root().join("bench/baseline.json"));
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let baseline = PerfReport::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        let failures = compare(&baseline, &report, opts.threshold);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perfsuite: FAIL {f}");
+            }
+            return Err(format!(
+                "{} regression(s) against {} at threshold {}%",
+                failures.len(),
+                path.display(),
+                opts.threshold
+            ));
+        }
+        eprintln!(
+            "perfsuite: check passed against {} (threshold {}%)",
+            path.display(),
+            opts.threshold
+        );
+    }
+    Ok(())
+}

@@ -2,9 +2,12 @@
 //! criterion benches.
 //!
 //! See `DESIGN.md` (experiment index) for which binary regenerates which
-//! table or figure of the paper.
+//! table or figure of the paper, and DESIGN.md §9 for the perf suite
+//! built on [`json`] and [`perf`].
 
 pub mod harness;
+pub mod json;
+pub mod perf;
 
 use std::time::Duration;
 

@@ -32,6 +32,11 @@
 //! an uninterrupted run's; `--max-functions N` stops after N fresh
 //! functions (a deterministic stand-in for an interruption). The final
 //! report is the aggregate Table-3 summary over all stored records.
+//!
+//! `explore`, `verify` and `campaign` all accept `--metrics PATH`: the
+//! global [`phase_order::telemetry`] registry is reset before the work
+//! and its snapshot written to `PATH` as deterministic-schema JSON
+//! afterwards (see DESIGN.md §9).
 
 mod args;
 
@@ -56,17 +61,18 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  vpoc compile  <file.mc> [--seq LETTERS | --batch]");
             eprintln!("  vpoc run      <file.mc> <function> [int args...]");
-            eprintln!("  vpoc explore  <file.mc> [function] [--jobs N]");
+            eprintln!("  vpoc explore  <file.mc> [function] [--jobs N] [--metrics PATH]");
             eprintln!("  vpoc verify   <file.mc>|--bench NAME [function] [--jobs N]");
-            eprintln!("                [--max-nodes N] [--battery N] [--seed S]");
+            eprintln!("                [--max-nodes N] [--battery N] [--seed S] [--metrics PATH]");
             eprintln!("  vpoc campaign <file.mc>|--bench NAME|--all-benches [function]");
             eprintln!("                [--store PATH] [--resume] [--jobs N] [--max-nodes N]");
-            eprintln!("                [--max-functions N]");
+            eprintln!("                [--max-functions N] [--metrics PATH]");
             eprintln!("  vpoc dot      <file.mc> <function> [--jobs N]");
             eprintln!("  vpoc phases");
             eprintln!();
-            eprintln!("  --jobs N   enumerate/verify with N worker threads (0 = one per");
-            eprintln!("             CPU); results are identical for any job count");
+            eprintln!("  --jobs N       enumerate/verify with N worker threads (0 = one per");
+            eprintln!("                 CPU); results are identical for any job count");
+            eprintln!("  --metrics PATH write a telemetry snapshot of the run as JSON");
             ExitCode::FAILURE
         }
     }
@@ -112,6 +118,28 @@ fn require_function(program: &vpo_rtl::Program, name: &str, cmd: &str) -> Result
     }
     let names: Vec<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
     Err(format!("{cmd}: no function `{name}` (available: {})", names.join(", ")))
+}
+
+/// Handles `--metrics PATH` for the exploring subcommands: resets the
+/// global telemetry registry when the flag is present (so the snapshot
+/// covers exactly this invocation's work) and returns the path.
+fn metrics_begin(rest: &mut Vec<String>) -> Result<Option<String>, String> {
+    let path = args::string(rest, "--metrics")?;
+    if path.is_some() {
+        phase_order::telemetry::global().reset();
+    }
+    Ok(path)
+}
+
+/// Writes the telemetry snapshot to `path` (no-op without `--metrics`).
+fn metrics_end(path: Option<&str>) -> Result<(), String> {
+    if let Some(path) = path {
+        phase_order::telemetry::global()
+            .snapshot()
+            .write(Path::new(path))
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn parse_seq(letters: &str) -> Result<Vec<PhaseId>, String> {
@@ -199,6 +227,7 @@ fn run_cmd(argv: &[String]) -> Result<(), String> {
 fn explore_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
     let jobs = args::jobs(&mut rest)?;
+    let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "explore")?;
     let path = rest.first().ok_or("explore: missing file")?;
     let program = load(path)?;
@@ -218,7 +247,7 @@ fn explore_cmd(argv: &[String]) -> Result<(), String> {
         let e = enumerate(f, &target, &config);
         println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
     }
-    Ok(())
+    metrics_end(metrics.as_deref())
 }
 
 fn verify_cmd(argv: &[String]) -> Result<(), String> {
@@ -228,6 +257,7 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
     let battery = args::value::<usize>(&mut rest, "--battery")?;
     let seed = args::value::<u64>(&mut rest, "--seed")?;
     let bench = args::string(&mut rest, "--bench")?;
+    let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "verify")?;
 
     let (program, filter) = match &bench {
@@ -268,6 +298,7 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
         }
         findings += report.findings.len();
     }
+    metrics_end(metrics.as_deref())?;
     if findings > 0 {
         return Err(format!("verification FAILED with {findings} finding(s)"));
     }
@@ -326,6 +357,7 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
     let bench = args::string(&mut rest, "--bench")?;
     let resume = args::switch(&mut rest, "--resume");
     let all_benches = args::switch(&mut rest, "--all-benches");
+    let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "campaign")?;
 
     // Task list: the whole suite, one benchmark, or every function of a
@@ -432,7 +464,7 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
             summary.explored
         );
     }
-    Ok(())
+    metrics_end(metrics.as_deref())
 }
 
 fn dot_cmd(argv: &[String]) -> Result<(), String> {
@@ -515,6 +547,26 @@ mod tests {
             assert!(err.contains("no function `nonesuch`"), "{cmd}: {err}");
             assert!(err.contains("triple"), "{cmd} must list available functions: {err}");
         }
+    }
+
+    #[test]
+    fn metrics_flag_writes_a_snapshot() {
+        let dir = std::env::temp_dir().join("vpoc_test_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("m.mc");
+        std::fs::write(&file, "int quad(int x) { return x * 4; }").unwrap();
+        let path = file.to_str().unwrap().to_owned();
+        let out = dir.join("metrics.json");
+        std::fs::remove_file(&out).ok();
+        run(&["explore".into(), path, format!("--metrics={}", out.display())]).unwrap();
+        // Concurrent tests share the global registry, so assert only the
+        // schema and metric inventory here — exact determinism of the
+        // counters is pinned by perfsuite and the phase-order tests.
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"schema\": \"phase-order-telemetry-v1\""), "{json}");
+        assert!(json.contains("\"enumerate.nodes_inserted\""), "{json}");
+        assert!(json.contains("\"enumerate.level_wall_ns\""), "{json}");
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

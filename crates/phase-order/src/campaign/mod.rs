@@ -349,10 +349,17 @@ fn worker(ctx: &Ctx<'_>) {
 /// ones cannot fill.
 fn claim(ctx: &Ctx<'_>, st: &mut DriverState) -> Option<Job> {
     let config = &ctx.config.enumerate;
-    for s in st.active.iter_mut() {
+    let tm = crate::telemetry::global();
+    for (rank, s) in st.active.iter_mut().enumerate() {
         if s.claimed < s.frontier.len() {
             let parent = s.claimed;
             s.claimed += 1;
+            tm.campaign_claims.inc();
+            if rank > 0 {
+                // A lane the earliest in-flight function could not fill,
+                // soaked up by a later one — a cross-function steal.
+                tm.campaign_steals.inc();
+            }
             let entry = &s.frontier[parent];
             let skip = if config.skip_just_applied {
                 s.space.node(entry.id).discovered_from.map(|(_, p)| p)
@@ -394,6 +401,7 @@ fn activate(ctx: &Ctx<'_>, st: &mut DriverState) {
         claimed: 0,
         filled: 0,
     });
+    crate::telemetry::global().campaign_functions_started.inc();
     ctx.observer.function_started(task, ctx.names.len(), &ctx.names[task]);
 }
 
@@ -422,8 +430,10 @@ fn deposit(
     }
 
     // Level barrier reached: merge every parent in frontier order.
+    let tm = crate::telemetry::global();
     let config = &ctx.config.enumerate;
     s.level += 1;
+    tm.peak_frontier.set_max(s.frontier.len() as u64);
     let frontier = std::mem::take(&mut s.frontier);
     let slots = std::mem::take(&mut s.slots);
     let mut next = Vec::new();
@@ -448,6 +458,7 @@ fn deposit(
             break;
         }
     }
+    tm.levels.inc();
     ctx.observer.level_completed(&ctx.names[task], s.level, next.len(), s.space.len());
 
     if !truncated && !next.is_empty() {
@@ -464,6 +475,10 @@ fn deposit(
     s.stats.elapsed = s.start.elapsed();
     let outcome =
         if truncated { SearchOutcome::TooBig { level: s.level } } else { SearchOutcome::Complete };
+    tm.campaign_functions_completed.inc();
+    if truncated {
+        tm.campaign_functions_truncated.inc();
+    }
     let e = Enumeration { space: s.space, outcome, stats: s.stats };
     let record = FunctionRecord::from_enumeration(ctx.names[task].clone(), &s.root, &e);
     st.completed[task] = Some(record.clone());
@@ -473,8 +488,14 @@ fn deposit(
             config: store::ConfigEcho::of(config),
             records: st.completed.iter().flatten().cloned().collect(),
         };
+        let flush_start = std::time::Instant::now();
         match snapshot.save(path) {
-            Ok(()) => ctx.observer.store_flushed(snapshot.records.len(), ctx.names.len()),
+            Ok(()) => {
+                tm.store_flush_wall_ns.observe(flush_start.elapsed());
+                tm.store_flushes.inc();
+                tm.store_bytes.set(std::fs::metadata(path).map(|m| m.len()).unwrap_or(0));
+                ctx.observer.store_flushed(snapshot.records.len(), ctx.names.len())
+            }
             Err(err) => {
                 st.failure = Some(CampaignError::Store(err));
                 return;

@@ -497,8 +497,8 @@ mod tests {
         }
         FunctionRecord {
             name: name.to_owned(),
-            complete: seed % 2 == 0,
-            truncated_level: if seed % 2 == 0 { 0 } else { seed as u32 % 9 + 1 },
+            complete: seed.is_multiple_of(2),
+            truncated_level: if seed.is_multiple_of(2) { 0 } else { seed as u32 % 9 + 1 },
             insts: 40 + seed as u32,
             blocks: 7,
             branches: 5,

@@ -248,11 +248,15 @@ pub(crate) fn merge_parent(
     records: Vec<AttemptRecord>,
     next: &mut Vec<FrontierEntry>,
 ) -> bool {
+    let tm = crate::telemetry::global();
     let naive = config.replay == ReplayMode::NaiveReplay;
     let replay_cost = if naive { parent.seq.len() as u64 } else { 0 };
     let mut active_mask = 0u16;
     let mut children = Vec::new();
     let mut complete = true;
+    // Telemetry is batched into locals and flushed once per parent so the
+    // merge loop touches no shared cache line per record.
+    let (mut tm_attempted, mut tm_active, mut tm_hits, mut tm_inserted) = (0u64, 0u64, 0u64, 0u64);
     for record in records {
         if let AttemptRecord::Active { fp, flags, .. } = &record {
             if space.find(*fp, *flags).is_none() && space.len() >= config.max_nodes {
@@ -262,15 +266,18 @@ pub(crate) fn merge_parent(
         }
         stats.attempted_phases += 1;
         stats.phases_applied += 1 + replay_cost;
+        tm_attempted += 1;
         let AttemptRecord::Active { phase, fp, flags, inst_count, cf_sig, func, mut bytes } =
             record
         else {
             continue;
         };
         stats.active_attempts += 1;
+        tm_active += 1;
         active_mask |= 1 << phase.index();
         let child_id = match space.find(fp, flags) {
             Some(existing) => {
+                tm_hits += 1;
                 if config.paranoid {
                     let recorded = paranoid_bytes.get(&existing).unwrap_or_else(|| {
                         panic!("paranoid mode: no canonical bytes recorded for {existing}")
@@ -282,6 +289,7 @@ pub(crate) fn merge_parent(
                 existing
             }
             None => {
+                tm_inserted += 1;
                 let id = space.insert(Node {
                     fp,
                     flags,
@@ -312,6 +320,12 @@ pub(crate) fn merge_parent(
     let n = space.node_mut(parent.id);
     n.active_mask = active_mask;
     n.children = children;
+    tm.parents_expanded.inc();
+    tm.phases_attempted.add(tm_attempted);
+    tm.active_attempts.add(tm_active);
+    tm.dormant_prunes.add(tm_attempted - tm_active);
+    tm.fingerprint_hits.add(tm_hits);
+    tm.nodes_inserted.add(tm_inserted);
     complete
 }
 
@@ -337,6 +351,7 @@ pub(crate) fn seed_root(
     if config.paranoid {
         paranoid_bytes.insert(root, canon::canonical_bytes(f));
     }
+    crate::telemetry::global().nodes_inserted.inc();
     root
 }
 
@@ -345,6 +360,8 @@ pub(crate) fn seed_root(
 /// workers.
 fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumeration {
     let start = std::time::Instant::now();
+    let tm = crate::telemetry::global();
+    tm.searches.inc();
     let mut space = SearchSpace::new();
     let mut stats = SearchStats::default();
     let mut paranoid_bytes: HashMap<NodeId, Vec<u8>> = HashMap::new();
@@ -357,6 +374,8 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
 
     'search: while !frontier.is_empty() {
         level += 1;
+        let level_start = std::time::Instant::now();
+        tm.peak_frontier.set_max(frontier.len() as u64);
         let mut next: Vec<FrontierEntry> = Vec::new();
         let skip_of = |space: &SearchSpace, entry: &FrontierEntry| {
             if config.skip_just_applied {
@@ -451,7 +470,12 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
                 }
             }
         }
+        tm.levels.inc();
+        tm.level_wall_ns.observe(level_start.elapsed());
         frontier = next;
+    }
+    if !outcome.is_complete() {
+        tm.searches_truncated.inc();
     }
 
     // Weights over the (possibly partial) DAG. The space is acyclic
@@ -484,21 +508,6 @@ pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration 
 /// `jobs: 0` in the parallel entry point, now the explicit opt-in.
 pub fn jobs_per_cpu() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Exhaustively enumerates the phase-order space of `f` with
-/// `config.jobs` worker threads (`0` = one per available CPU).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `enumerate` — `Config::jobs` selects the engine (0 = serial, N = parallel); \
-            for the old `jobs: 0` behaviour set `Config::jobs` to `jobs_per_cpu()`"
-)]
-pub fn enumerate_parallel(f: &Function, target: &Target, config: &Config) -> Enumeration {
-    let jobs = match config.jobs {
-        0 => jobs_per_cpu(),
-        n => n,
-    };
-    run(f, target, config, jobs)
 }
 
 /// Convenience: renders an active phase sequence as its letter string
@@ -640,18 +649,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_parallel_wrapper_still_delegates() {
-        let f = compile_fn("int f(int a) { return a * 4 + 2; }");
-        let t = Target::default();
-        let unified = enumerate(&f, &t, &Config { jobs: 2, ..Config::default() });
-        let wrapper = enumerate_parallel(&f, &t, &Config { jobs: 2, ..Config::default() });
-        assert_eq!(wrapper.space.len(), unified.space.len());
-        assert_eq!(wrapper.stats.attempted_phases, unified.stats.attempted_phases);
-        // The wrapper keeps its historical `jobs: 0` = one-per-CPU reading.
-        let percpu = enumerate_parallel(&f, &t, &Config::default());
-        assert_eq!(percpu.space.len(), unified.space.len());
+    fn jobs_per_cpu_reports_at_least_one_worker() {
         assert!(jobs_per_cpu() >= 1);
+    }
+
+    #[test]
+    fn telemetry_counters_track_the_search() {
+        // The global registry accumulates across concurrent tests, so
+        // assert on deltas of monotone counters only.
+        let tm = crate::telemetry::global();
+        let before = (tm.searches.get(), tm.nodes_inserted.get(), tm.phases_attempted.get());
+        let f = compile_fn("int f(int a) { return a * 4 + 2; }");
+        let e = enumerate(&f, &Target::default(), &Config::default());
+        assert!(tm.searches.get() > before.0);
+        assert!(tm.nodes_inserted.get() >= before.1 + e.space.len() as u64);
+        assert!(tm.phases_attempted.get() >= before.2 + e.stats.attempted_phases);
+        assert!(tm.peak_frontier.get() >= 1);
     }
 
     #[test]

@@ -37,6 +37,11 @@
 //!   an on-disk result store ([`campaign::store`]) so an interrupted
 //!   campaign resumes exactly where it stopped, and streaming progress
 //!   through the [`campaign::Observer`] trait.
+//! * [`telemetry`] — the lock-free metrics registry wired through all of
+//!   the above: nodes expanded, fingerprint-cache hits, prunes, steal
+//!   counts, level wall times, store flush latency…, snapshotted to a
+//!   deterministic-schema JSON document (`vpoc … --metrics <path>`) and
+//!   gated against a pinned baseline by the `perfsuite` harness.
 //!
 //! # Example
 //!
@@ -64,9 +69,8 @@ pub mod prob;
 pub mod search;
 pub mod space;
 pub mod stats;
+pub mod telemetry;
 
-#[allow(deprecated)]
-pub use enumerate::enumerate_parallel;
 pub use enumerate::{enumerate, jobs_per_cpu, Config, Enumeration, ReplayMode, SearchOutcome};
 pub use space::{NodeId, SearchSpace};
 

@@ -468,6 +468,13 @@ pub fn verify(
     // position; sort by node for a stable, readable report.
     // (Already in deterministic order — no re-sort needed for equality.)
 
+    let tm = crate::telemetry::global();
+    tm.oracle_instances.add(space.len() as u64);
+    tm.oracle_merged_paths.add(merged_paths as u64);
+    tm.oracle_simulations.add(simulations);
+    tm.oracle_battery_inputs.add(inputs.len() as u64);
+    tm.oracle_findings.add(findings.len() as u64);
+
     OracleReport {
         function: f.name.clone(),
         instances: space.len(),

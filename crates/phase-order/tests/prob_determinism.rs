@@ -1,0 +1,132 @@
+//! The one determinism surface not pinned by `parallel_determinism`:
+//! everything *derived* from an enumerated space. For any `Config::jobs`
+//! the spaces are bit-identical, so the Tables 4–6 probabilities
+//! (Section 5) and the probabilistic batch compiler driven by them
+//! (Section 6) must be too — compared here via `f64::to_bits`, not an
+//! epsilon, across `jobs` ∈ {0, 2, 4} on two MiBench kernels.
+
+use phase_order::enumerate::{enumerate, Config};
+use phase_order::interaction::InteractionAnalysis;
+use phase_order::prob::{probabilistic_compile, ProbTables};
+use vpo_opt::{PhaseId, Target};
+use vpo_rtl::canon;
+
+const JOB_COUNTS: [usize; 3] = [0, 2, 4];
+
+/// The two pinned kernels (also the perfsuite's small pair).
+fn kernels() -> Vec<(String, vpo_rtl::Function)> {
+    [("bitcount", "bit_count"), ("fft", "reverse_bits")]
+        .into_iter()
+        .map(|(bench, func)| {
+            let p = mibench::find(bench).expect("pinned benchmark exists").compile().unwrap();
+            let f = p.function(func).expect("pinned kernel exists").clone();
+            (format!("{bench}::{func}"), f)
+        })
+        .collect()
+}
+
+/// Builds the interaction analysis over both kernels at one job count.
+fn analysis(jobs: usize) -> InteractionAnalysis {
+    let target = Target::default();
+    let config = Config { jobs, ..Config::default() };
+    let mut ia = InteractionAnalysis::new();
+    for (name, f) in kernels() {
+        let e = enumerate(&f, &target, &config);
+        assert!(e.outcome.is_complete(), "{name} must enumerate completely");
+        ia.add_space(&e.space);
+    }
+    ia
+}
+
+fn bits(p: Option<f64>) -> Option<u64> {
+    p.map(f64::to_bits)
+}
+
+#[test]
+fn tables_4_to_6_probabilities_are_bit_identical_across_job_counts() {
+    let serial = analysis(0);
+    for jobs in &JOB_COUNTS[1..] {
+        let par = analysis(*jobs);
+        assert_eq!(par.function_count(), serial.function_count(), "jobs={jobs}");
+        for y in PhaseId::ALL {
+            assert_eq!(
+                bits(par.start_probability(y)),
+                bits(serial.start_probability(y)),
+                "jobs={jobs}: start probability of {y:?}"
+            );
+            assert_eq!(
+                par.overall_activity(y).to_bits(),
+                serial.overall_activity(y).to_bits(),
+                "jobs={jobs}: overall activity of {y:?}"
+            );
+            for x in PhaseId::ALL {
+                assert_eq!(
+                    bits(par.enabling_probability(y, x)),
+                    bits(serial.enabling_probability(y, x)),
+                    "jobs={jobs}: Table 4 P({y:?} enabled by {x:?})"
+                );
+                assert_eq!(
+                    bits(par.disabling_probability(y, x)),
+                    bits(serial.disabling_probability(y, x)),
+                    "jobs={jobs}: Table 5 P({y:?} disabled by {x:?})"
+                );
+                assert_eq!(
+                    bits(par.independence_probability(y, x)),
+                    bits(serial.independence_probability(y, x)),
+                    "jobs={jobs}: Table 6 P({y:?} independent of {x:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prob_tables_are_bit_identical_across_job_counts() {
+    let serial = ProbTables::from_analysis(&analysis(0));
+    for jobs in &JOB_COUNTS[1..] {
+        let par = ProbTables::from_analysis(&analysis(*jobs));
+        for (i, (a, b)) in par.start.iter().zip(&serial.start).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs}: start[{i}]");
+        }
+        for (i, (a, b)) in par.bias.iter().zip(&serial.bias).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs}: bias[{i}]");
+        }
+        for (i, (ra, rb)) in par.enabling.iter().zip(&serial.enabling).enumerate() {
+            for (j, (a, b)) in ra.iter().zip(rb).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs}: enabling[{i}][{j}]");
+            }
+        }
+        for (i, (ra, rb)) in par.disabling.iter().zip(&serial.disabling).enumerate() {
+            for (j, (a, b)) in ra.iter().zip(rb).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs}: disabling[{i}][{j}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn probabilistic_compile_output_is_bit_identical_across_job_counts() {
+    let target = Target::default();
+    let serial_tables = ProbTables::from_analysis(&analysis(0));
+    let mut reference = Vec::new();
+    for (name, f) in kernels() {
+        let mut g = f.clone();
+        let stats = probabilistic_compile(&mut g, &target, &serial_tables);
+        reference.push((name, stats, canon::canonical_bytes(&g)));
+    }
+    for jobs in &JOB_COUNTS[1..] {
+        let tables = ProbTables::from_analysis(&analysis(*jobs));
+        for ((name, want_stats, want_bytes), (_, f)) in reference.iter().zip(kernels()) {
+            let mut g = f.clone();
+            let stats = probabilistic_compile(&mut g, &target, &tables);
+            assert_eq!(stats.sequence, want_stats.sequence, "jobs={jobs}: {name} phase sequence");
+            assert_eq!(stats.attempted, want_stats.attempted, "jobs={jobs}: {name} attempted");
+            assert_eq!(stats.active, want_stats.active, "jobs={jobs}: {name} active");
+            assert_eq!(
+                &canon::canonical_bytes(&g),
+                want_bytes,
+                "jobs={jobs}: {name} compiled code differs"
+            );
+        }
+    }
+}

@@ -768,7 +768,7 @@ mod tests {
         assert_eq!(m.call("f", &[64]), Err(SimError::OutOfStack));
         // The same program completes in the default-size machine.
         let mut m = Machine::new(&p);
-        assert_eq!(m.call("f", &[64]).unwrap(), (1..=64).sum::<i32>() + 0);
+        assert_eq!(m.call("f", &[64]).unwrap(), (1..=64).sum::<i32>());
     }
 
     #[test]
