@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! perfsuite [--label L] [--trials N] [--metrics-dir DIR]
+//!           [--engine scratch|reference]
 //!           [--check] [--threshold PCT] [--baseline PATH]
 //! ```
 //!
@@ -23,6 +24,17 @@
 //!
 //! `--metrics-dir DIR` additionally writes each workload's final
 //! telemetry snapshot (`phase-order-telemetry-v1` JSON) into `DIR`.
+//!
+//! `--engine` selects the expansion engine for every workload (default
+//! `scratch`); `--engine reference` re-times the suite on the
+//! pre-scratch-core path for A/B comparisons. Both engines must produce
+//! identical search semantics, so whenever the baseline file exists —
+//! even without `--check` — the suite additionally verifies that the
+//! engine-independent semantic counters (`enumerate.phases_attempted`
+//! and `enumerate.dormant_prunes`) of every workload match the baseline
+//! exactly. That guard catches a dormant-phase prefilter silently
+//! changing what the search explores, including while re-pinning a
+//! baseline.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -30,7 +42,7 @@ use std::time::Instant;
 
 use bench::perf::{compare, PerfReport, WorkloadReport};
 use phase_order::campaign::{self, CampaignConfig, FunctionTask, NullObserver};
-use phase_order::enumerate::{enumerate, Config};
+use phase_order::enumerate::{enumerate, Config, Engine};
 use phase_order::oracle::{self, OracleConfig};
 use phase_order::telemetry;
 use vpo_opt::Target;
@@ -51,6 +63,7 @@ struct Options {
     threshold: f64,
     baseline: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
+    engine: Engine,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -61,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
         threshold: 25.0,
         baseline: None,
         metrics_dir: None,
+        engine: Engine::Scratch,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -87,6 +101,13 @@ fn parse_args() -> Result<Options, String> {
             opts.baseline = Some(PathBuf::from(value("--baseline")?));
         } else if a.starts_with("--metrics-dir") {
             opts.metrics_dir = Some(PathBuf::from(value("--metrics-dir")?));
+        } else if a.starts_with("--engine") {
+            let v = value("--engine")?;
+            opts.engine = match v.as_str() {
+                "scratch" => Engine::Scratch,
+                "reference" => Engine::Reference,
+                _ => return Err(format!("bad --engine value `{v}` (scratch|reference)")),
+            };
         } else {
             return Err(format!("unknown argument `{a}`"));
         }
@@ -199,7 +220,7 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
             .map_err(|e| format!("{bench_name}: {e}"))?;
         let f = program.function(func).ok_or(format!("{bench_name}: no function `{func}`"))?;
         for (mode, jobs) in [("serial", 0usize), ("jobs2", 2)] {
-            let config = Config { jobs, ..Config::default() };
+            let config = Config { jobs, engine: opts.engine, ..Config::default() };
             let name = format!("enumerate/{bench_name}::{func}/{mode}");
             workloads.push(run_workload(&name, opts.trials, *reps, metrics_dir, || {
                 std::hint::black_box(enumerate(f, &target, &config));
@@ -219,7 +240,11 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
             .iter()
             .map(|f| FunctionTask { name: format!("bitcount::{}", f.name), func: f.clone() })
             .collect();
-        let config = CampaignConfig { jobs: 2, ..CampaignConfig::default() };
+        let config = CampaignConfig {
+            jobs: 2,
+            enumerate: Config { engine: opts.engine, ..Config::default() },
+            ..CampaignConfig::default()
+        };
         let store = std::env::temp_dir().join("perfsuite.store");
         workloads.push(run_workload(
             "campaign/bitcount/jobs2",
@@ -242,7 +267,7 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
             .compile()
             .map_err(|e| format!("bitcount: {e}"))?;
         let f = program.function("bit_count").ok_or("bitcount: no function `bit_count`")?;
-        let enum_config = Config::default();
+        let enum_config = Config { engine: opts.engine, ..Config::default() };
         let oracle_config = OracleConfig::default();
         workloads.push(run_workload(
             "oracle/bitcount::bit_count",
@@ -258,6 +283,36 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
     }
 
     Ok(PerfReport { label: opts.label.clone(), calibration_ns, workloads })
+}
+
+/// The engine-independent *semantic* counters: what the search explored,
+/// not how fast. These must match the baseline for any engine and any
+/// re-pin — a mismatch means the dormant-phase prefilters (or the search
+/// itself) changed semantics, which no perf PR is allowed to do.
+const SEMANTIC_COUNTERS: &[&str] = &["enumerate.phases_attempted", "enumerate.dormant_prunes"];
+
+/// Compares the semantic counters of every workload shared between the
+/// baseline and the fresh report, returning one message per mismatch.
+fn semantic_failures(baseline: &PerfReport, current: &PerfReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for w in &current.workloads {
+        let Some(b) = baseline.workloads.iter().find(|b| b.name == w.name) else {
+            continue;
+        };
+        for name in SEMANTIC_COUNTERS {
+            let was = b.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+            let now = w.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+            if let (Some(was), Some(now)) = (was, now) {
+                if was != now {
+                    failures.push(format!(
+                        "{}: semantic counter {name} changed: baseline {was}, current {now}",
+                        w.name
+                    ));
+                }
+            }
+        }
+    }
+    failures
 }
 
 fn main() -> ExitCode {
@@ -278,8 +333,28 @@ fn try_main() -> Result<(), String> {
     std::fs::write(&out, report.to_json()).map_err(|e| format!("{}: {e}", out.display()))?;
     eprintln!("perfsuite: wrote {}", out.canonicalize().unwrap_or(out).display());
 
+    let path = opts.baseline.clone().unwrap_or_else(|| repo_root().join("bench/baseline.json"));
+    if path.exists() {
+        // The semantic self-check runs whenever a baseline is available,
+        // with or without --check: the search must have explored exactly
+        // what the pinned baseline explored.
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let baseline = PerfReport::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        let failures = semantic_failures(&baseline, &report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perfsuite: FAIL {f}");
+            }
+            return Err(format!(
+                "{} semantic counter mismatch(es) against {}",
+                failures.len(),
+                path.display()
+            ));
+        }
+        eprintln!("perfsuite: semantic counters match {}", path.display());
+    }
+
     if opts.check {
-        let path = opts.baseline.clone().unwrap_or_else(|| repo_root().join("bench/baseline.json"));
         let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let baseline = PerfReport::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
         let failures = compare(&baseline, &report, opts.threshold);

@@ -2,7 +2,7 @@
 //!
 //! The paper's headline tables aggregate over *every* function of the
 //! benchmark suite. This module turns the single-function enumeration of
-//! [`crate::enumerate`] into a long-running, checkpointed **campaign**:
+//! [`crate::enumerate()`] into a long-running, checkpointed **campaign**:
 //!
 //! * **One shared worker pool.** Workers steal work at the granularity
 //!   of a *parent expansion* (one frontier instance × all fifteen
@@ -11,7 +11,7 @@
 //!   task list. Per function, expansions race freely but every level is
 //!   merged in frontier order at its barrier — the same
 //!   expand-in-parallel / merge-deterministically core as
-//!   [`crate::enumerate`] — so each function's result is bit-identical
+//!   [`crate::enumerate()`] — so each function's result is bit-identical
 //!   to a serial enumeration, for any job count.
 //! * **Checkpointing.** Each completed function becomes a
 //!   [`store::FunctionRecord`]; the whole store is rewritten atomically
@@ -39,8 +39,8 @@ use vpo_opt::{PhaseId, Target};
 use vpo_rtl::Function;
 
 use crate::enumerate::{
-    expand_parent, merge_parent, seed_root, AttemptRecord, Config, Enumeration, FrontierEntry,
-    SearchOutcome, SearchStats,
+    expand_parent, merge_parent, seed_root, AttemptRecord, Config, Enumeration, ExpandScratch,
+    FrontierEntry, SearchOutcome, SearchStats,
 };
 use crate::space::{NodeId, SearchSpace};
 use store::{FunctionRecord, ResultStore, StoreError};
@@ -183,7 +183,7 @@ struct Job {
     task: usize,
     parent: usize,
     root: Arc<Function>,
-    func: Function,
+    func: Arc<Function>,
     seq: Vec<PhaseId>,
     skip: Option<PhaseId>,
 }
@@ -301,6 +301,10 @@ pub fn run(
 /// claimed), expand it without holding the lock, deposit the records,
 /// and merge/checkpoint when a level or function completes.
 fn worker(ctx: &Ctx<'_>) {
+    // Scratch buffers persist across every job this worker ever runs, so
+    // steady-state expansions reuse the same heap blocks regardless of
+    // which function the claimed parent belongs to.
+    let mut scratch = ExpandScratch::new();
     loop {
         let job = {
             let mut st = ctx.state.lock().unwrap();
@@ -337,6 +341,7 @@ fn worker(ctx: &Ctx<'_>) {
             // Dedup within this parent's own attempt stream; the merge
             // step decides insertion against the real space.
             |fp, flags| !local.insert((fp, flags)),
+            &mut scratch,
         );
         let mut st = ctx.state.lock().unwrap();
         deposit(ctx, &mut st, job.task, job.parent, records);
@@ -387,7 +392,7 @@ fn activate(ctx: &Ctx<'_>, st: &mut DriverState) {
     let mut space = SearchSpace::new();
     let mut paranoid_bytes = HashMap::new();
     let root_id = seed_root(&mut space, &mut paranoid_bytes, &ctx.config.enumerate, &root);
-    let frontier = vec![FrontierEntry { id: root_id, func: (*root).clone(), seq: Vec::new() }];
+    let frontier = vec![FrontierEntry { id: root_id, func: Arc::clone(&root), seq: Vec::new() }];
     st.active.push(Search {
         task,
         root,

@@ -11,7 +11,7 @@
 //! ```
 //!
 //! All integers are little-endian. The *config echo* freezes every
-//! [`Config`](crate::Config) field that influences results (`max_nodes`,
+//! [`Config`] field that influences results (`max_nodes`,
 //! `max_level_width`, replay mode, the Figure 2 shortcut, paranoid
 //! mode — but not `jobs`, which never changes results): a resumed
 //! campaign refuses a store written under different bounds, because its

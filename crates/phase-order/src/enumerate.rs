@@ -38,13 +38,15 @@
 //! ([`crate::campaign`]), which steals parent expansions from many
 //! functions over one pool.
 
+use std::cell::UnsafeCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
+use vpo_opt::facts::Facts;
 use vpo_opt::{attempt, PhaseId, Target};
-use vpo_rtl::canon::{self, Fingerprint};
+use vpo_rtl::canon::{self, Canonicalizer, Fingerprint};
 use vpo_rtl::cfg::control_flow_signature;
 use vpo_rtl::{FuncFlags, Function};
 
@@ -60,6 +62,26 @@ pub enum ReplayMode {
     /// Rebuild every instance from the unoptimized function by replaying
     /// its discovery sequence (the naive strategy of Figure 6(a)).
     NaiveReplay,
+}
+
+/// Which expansion core materializes and fingerprints candidates.
+///
+/// Both engines produce bit-identical results — same node ids, masks,
+/// edges, weights, and counters — for every configuration and job count;
+/// only the allocation profile and wall-clock time differ. The reference
+/// engine exists as the in-tree witness for the cross-engine equivalence
+/// suite and for A/B measurements (`perfsuite --engine reference`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// The allocation-free core (the default): per-worker scratch
+    /// buffers restored via [`Function::copy_from`], a reusable
+    /// [`Canonicalizer`], and sound dormant-phase prefilters over
+    /// [`Facts`] summaries.
+    #[default]
+    Scratch,
+    /// The historical core: a fresh deep clone and a fresh canonicalizer
+    /// per attempt, every phase attempted.
+    Reference,
 }
 
 /// Enumeration limits and options.
@@ -90,6 +112,10 @@ pub struct Config {
     /// serial engine, `N` the parallel engine with `N` workers. The
     /// result is identical for any value; only wall-clock time differs.
     pub jobs: usize,
+    /// Expansion core (see [`Engine`]). Like `jobs`, this never changes
+    /// the result — only how fast it is produced — so it is not part of
+    /// the campaign store's configuration echo.
+    pub engine: Engine,
 }
 
 impl Default for Config {
@@ -101,6 +127,7 @@ impl Default for Config {
             paranoid: false,
             skip_just_applied: false,
             jobs: 0,
+            engine: Engine::Scratch,
         }
     }
 }
@@ -154,10 +181,13 @@ pub struct Enumeration {
 }
 
 /// One instance awaiting expansion: its node, its materialized function
-/// (prefix sharing) and its discovery sequence (naive replay only).
+/// (prefix sharing) and its discovery sequence (naive replay only). The
+/// function is shared, not owned: expansion only reads it, and the
+/// campaign driver hands entries to workers without deep-copying under
+/// its scheduler lock.
 pub(crate) struct FrontierEntry {
     pub(crate) id: NodeId,
-    pub(crate) func: Function,
+    pub(crate) func: Arc<Function>,
     pub(crate) seq: Vec<PhaseId>,
 }
 
@@ -165,7 +195,13 @@ pub(crate) struct FrontierEntry {
 /// expansion step and consumed by the merge step.
 pub(crate) enum AttemptRecord {
     /// The phase did not change the representation.
-    Dormant,
+    Dormant {
+        /// The attempt was proven dormant by a [`Facts`] prefilter — the
+        /// phase never ran and nothing was cloned. Counted by the
+        /// deterministic `enumerate.prefilter_dormant` telemetry counter
+        /// at merge time.
+        prefiltered: bool,
+    },
     /// The phase was active and produced a candidate instance.
     Active {
         phase: PhaseId,
@@ -182,11 +218,46 @@ pub(crate) enum AttemptRecord {
     },
 }
 
+/// Per-worker reusable expansion state: the scratch `Function` that every
+/// candidate is materialized into, and the canonicalization workspace.
+///
+/// With [`Engine::Scratch`], steady-state expansion performs no heap
+/// allocation per attempt: the scratch function is restored from the
+/// parent with [`Function::copy_from`] (reusing block/instruction/operand
+/// allocations), and fingerprints reuse the canonicalizer's maps and byte
+/// buffer. The only unavoidable allocation is promoting a *newly
+/// discovered* instance out of the scratch buffer into the frontier
+/// (`mem::take`), which happens once per distinct instance, not once per
+/// attempt.
+pub(crate) struct ExpandScratch {
+    func: Function,
+    canon: Canonicalizer,
+    /// `func` holds a previous attempt's buffers (a warm restore).
+    warm: bool,
+    /// `canon` has serialized at least once (its buffers are warm).
+    canon_warm: bool,
+}
+
+impl ExpandScratch {
+    pub(crate) fn new() -> Self {
+        ExpandScratch {
+            func: Function::default(),
+            canon: Canonicalizer::new(),
+            warm: false,
+            canon_warm: false,
+        }
+    }
+}
+
 /// Expands one parent: attempts every (non-skipped) phase and records the
 /// outcomes in phase order. `known` reports whether an identity is
 /// already catalogued; when it is, the candidate function is dropped
 /// instead of carried (pure memory optimization — the merge step decides
-/// insertion independently).
+/// insertion independently). `scratch` is the calling worker's reusable
+/// expansion state; with [`Engine::Reference`] it is used only as a
+/// holding cell for fresh clones, reproducing the historical allocation
+/// profile.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_parent(
     root: &Function,
     target: &Target,
@@ -195,7 +266,13 @@ pub(crate) fn expand_parent(
     parent_seq: &[PhaseId],
     skip: Option<PhaseId>,
     mut known: impl FnMut(Fingerprint, FuncFlags) -> bool,
+    scratch: &mut ExpandScratch,
 ) -> Vec<AttemptRecord> {
+    let scratch_engine = config.engine == Engine::Scratch;
+    // One fact summary covers all 15 attempts of this parent.
+    let facts = if scratch_engine { Some(Facts::of(parent_fn)) } else { None };
+    let (mut reuse_hits, mut bytes_reused) = (0u64, 0u64);
+    let ExpandScratch { func: buf, canon, warm, canon_warm } = scratch;
     let mut records = Vec::with_capacity(PhaseId::COUNT);
     for phase in PhaseId::ALL {
         // Optional Figure 2 shortcut: the phase that just produced this
@@ -203,28 +280,73 @@ pub(crate) fn expand_parent(
         if Some(phase) == skip {
             continue;
         }
-        let mut candidate = match config.replay {
-            ReplayMode::PrefixSharing => parent_fn.clone(),
-            ReplayMode::NaiveReplay => {
-                // Rebuild from the unoptimized function.
-                let mut g = root.clone();
-                for &p in parent_seq {
-                    attempt(&mut g, p, target);
-                }
-                g
+        // Sound prefilter: a provably-dormant phase is recorded dormant
+        // without materializing a candidate or running anything.
+        if let Some(facts) = &facts {
+            if !phase.can_be_active(facts) {
+                records.push(AttemptRecord::Dormant { prefiltered: true });
+                continue;
             }
-        };
-        if !attempt(&mut candidate, phase, target).active {
-            records.push(AttemptRecord::Dormant);
+        }
+        if scratch_engine {
+            if *warm {
+                reuse_hits += 1;
+            }
+            match config.replay {
+                ReplayMode::PrefixSharing => buf.copy_from(parent_fn),
+                ReplayMode::NaiveReplay => {
+                    // Rebuild from the unoptimized function.
+                    buf.copy_from(root);
+                    for &p in parent_seq {
+                        attempt(buf, p, target);
+                    }
+                }
+            }
+            *warm = true;
+        } else {
+            *buf = match config.replay {
+                ReplayMode::PrefixSharing => parent_fn.clone(),
+                ReplayMode::NaiveReplay => {
+                    let mut g = root.clone();
+                    for &p in parent_seq {
+                        attempt(&mut g, p, target);
+                    }
+                    g
+                }
+            };
+        }
+        if !attempt(buf, phase, target).active {
+            records.push(AttemptRecord::Dormant { prefiltered: false });
             continue;
         }
-        let fp = canon::fingerprint(&candidate);
-        let flags = candidate.flags;
-        let inst_count = candidate.inst_count() as u32;
-        let cf_sig = control_flow_signature(&candidate);
-        let bytes = config.paranoid.then(|| canon::canonical_bytes(&candidate));
-        let func = if known(fp, flags) { None } else { Some(candidate) };
+        let (fp, bytes) = if scratch_engine {
+            let fp = canon.fingerprint_into(buf);
+            if *canon_warm {
+                bytes_reused += canon.bytes().len() as u64;
+            }
+            *canon_warm = true;
+            (fp, config.paranoid.then(|| canon.bytes().to_vec()))
+        } else {
+            (canon::fingerprint(buf), config.paranoid.then(|| canon::canonical_bytes(buf)))
+        };
+        let flags = buf.flags;
+        let inst_count = buf.inst_count() as u32;
+        let cf_sig = control_flow_signature(buf);
+        let func = if known(fp, flags) {
+            None
+        } else {
+            // First sighting of this identity in this worker's stream:
+            // the candidate must outlive the attempt, so the scratch
+            // buffer is stolen (the next restore starts cold).
+            *warm = false;
+            Some(std::mem::take(buf))
+        };
         records.push(AttemptRecord::Active { phase, fp, flags, inst_count, cf_sig, func, bytes });
+    }
+    if reuse_hits > 0 || bytes_reused > 0 {
+        let tm = crate::telemetry::global();
+        tm.scratch_reuse_hits.add(reuse_hits);
+        tm.canon_bytes_reused.add(bytes_reused);
     }
     records
 }
@@ -256,26 +378,45 @@ pub(crate) fn merge_parent(
     let mut complete = true;
     // Telemetry is batched into locals and flushed once per parent so the
     // merge loop touches no shared cache line per record.
-    let (mut tm_attempted, mut tm_active, mut tm_hits, mut tm_inserted) = (0u64, 0u64, 0u64, 0u64);
+    let (mut tm_attempted, mut tm_active, mut tm_hits, mut tm_inserted, mut tm_prefiltered) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for record in records {
-        if let AttemptRecord::Active { fp, flags, .. } = &record {
-            if space.find(*fp, *flags).is_none() && space.len() >= config.max_nodes {
-                complete = false;
-                break;
+        // Resolve the identity once per active record: the same lookup
+        // drives the cap check here and the child resolution below.
+        let existing = match &record {
+            AttemptRecord::Active { fp, flags, .. } => {
+                let existing = space.find(*fp, *flags);
+                if existing.is_none() && space.len() >= config.max_nodes {
+                    complete = false;
+                    break;
+                }
+                existing
             }
-        }
+            AttemptRecord::Dormant { .. } => None,
+        };
         stats.attempted_phases += 1;
+        // `phases_applied` is the Figure 6 *cost model* of the chosen
+        // replay strategy: one application per attempt plus the replay
+        // overhead. It deliberately counts prefiltered attempts as if
+        // they had run, so the counter is engine-independent; the work
+        // actually saved is reported by `enumerate.prefilter_dormant`.
         stats.phases_applied += 1 + replay_cost;
         tm_attempted += 1;
-        let AttemptRecord::Active { phase, fp, flags, inst_count, cf_sig, func, mut bytes } =
-            record
-        else {
-            continue;
+        let (phase, fp, flags, inst_count, cf_sig, func, mut bytes) = match record {
+            AttemptRecord::Dormant { prefiltered } => {
+                if prefiltered {
+                    tm_prefiltered += 1;
+                }
+                continue;
+            }
+            AttemptRecord::Active { phase, fp, flags, inst_count, cf_sig, func, bytes } => {
+                (phase, fp, flags, inst_count, cf_sig, func, bytes)
+            }
         };
         stats.active_attempts += 1;
         tm_active += 1;
         active_mask |= 1 << phase.index();
-        let child_id = match space.find(fp, flags) {
+        let child_id = match existing {
             Some(existing) => {
                 tm_hits += 1;
                 if config.paranoid {
@@ -308,10 +449,11 @@ pub(crate) fn merge_parent(
                 let func = func.expect("first discovery of an instance carries its function");
                 let mut seq = Vec::new();
                 if naive {
-                    seq = parent.seq.clone();
+                    seq = Vec::with_capacity(parent.seq.len() + 1);
+                    seq.extend_from_slice(&parent.seq);
                     seq.push(phase);
                 }
-                next.push(FrontierEntry { id, func, seq });
+                next.push(FrontierEntry { id, func: Arc::new(func), seq });
                 id
             }
         };
@@ -324,6 +466,7 @@ pub(crate) fn merge_parent(
     tm.phases_attempted.add(tm_attempted);
     tm.active_attempts.add(tm_active);
     tm.dormant_prunes.add(tm_attempted - tm_active);
+    tm.prefilter_dormant.add(tm_prefiltered);
     tm.fingerprint_hits.add(tm_hits);
     tm.nodes_inserted.add(tm_inserted);
     complete
@@ -355,6 +498,45 @@ pub(crate) fn seed_root(
     root
 }
 
+/// The level-barrier parking lot: one write-once slot per parent.
+///
+/// Workers claim disjoint chunks of the frontier through an atomic
+/// cursor, so every slot is written by exactly one worker, exactly once;
+/// the main thread reads the slots only after `std::thread::scope` has
+/// joined all workers, which establishes the happens-before edge that
+/// makes the writes visible. Under that protocol per-slot locks are pure
+/// overhead — this replaces the historical `Vec<Mutex<Option<..>>>`
+/// barrier, whose lock traffic contended at high `--jobs`.
+struct OnceSlots<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: distinct threads only ever touch *distinct* slots (the cursor
+// hands out disjoint index ranges), and all reads happen after every
+// writer has been joined.
+unsafe impl<T: Send> Sync for OnceSlots<T> {}
+
+impl<T> OnceSlots<T> {
+    fn new(n: usize) -> OnceSlots<T> {
+        OnceSlots { slots: (0..n).map(|_| UnsafeCell::new(None)).collect() }
+    }
+
+    /// Writes slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold exclusive claim over index `i` (obtained via
+    /// the cursor protocol above) and must write it at most once; the
+    /// slots must not be read until all writers have been joined.
+    unsafe fn put(&self, i: usize, value: T) {
+        unsafe { *self.slots[i].get() = Some(value) };
+    }
+
+    fn into_values(self) -> impl Iterator<Item = Option<T>> {
+        self.slots.into_iter().map(UnsafeCell::into_inner)
+    }
+}
+
 /// The level-order engine behind [`enumerate`]; `jobs <= 1` expands
 /// inline, `jobs > 1` fans each level out over `std::thread::scope`
 /// workers.
@@ -368,15 +550,18 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
 
     let root = seed_root(&mut space, &mut paranoid_bytes, config, f);
 
-    let mut frontier = vec![FrontierEntry { id: root, func: f.clone(), seq: Vec::new() }];
+    let mut frontier = vec![FrontierEntry { id: root, func: Arc::new(f.clone()), seq: Vec::new() }];
     let mut outcome = SearchOutcome::Complete;
     let mut level = 0u32;
+    // The serial engine's scratch persists across levels, so its buffers
+    // stay warm for the whole search.
+    let mut serial_scratch = ExpandScratch::new();
 
     'search: while !frontier.is_empty() {
         level += 1;
         let level_start = std::time::Instant::now();
         tm.peak_frontier.set_max(frontier.len() as u64);
-        let mut next: Vec<FrontierEntry> = Vec::new();
+        let mut next: Vec<FrontierEntry> = Vec::with_capacity(frontier.len());
         let skip_of = |space: &SearchSpace, entry: &FrontierEntry| {
             if config.skip_just_applied {
                 space.node(entry.id).discovered_from.map(|(_, p)| p)
@@ -385,43 +570,62 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
             }
         };
         if jobs > 1 && frontier.len() > 1 {
-            // Expansion barrier: workers race over the frontier via an
-            // atomic cursor and park their records in per-parent slots;
-            // the merge below walks the slots in frontier order, which
-            // restores the exact serial discovery order.
+            // Expansion barrier: workers claim disjoint frontier chunks
+            // via an atomic cursor and park their records in write-once
+            // per-parent slots; the merge below walks the slots in
+            // frontier order, which restores the exact serial discovery
+            // order. Chunks keep cursor traffic at ~4 claims per worker
+            // per level while still load-balancing uneven parents.
             let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<Vec<AttemptRecord>>>> =
-                frontier.iter().map(|_| Mutex::new(None)).collect();
+            let chunk = (frontier.len() / (jobs * 4)).clamp(1, 32);
+            let slots: OnceSlots<Vec<AttemptRecord>> = OnceSlots::new(frontier.len());
             let space_ref = &space;
             let frontier_ref = &frontier;
+            let slots_ref = &slots;
             std::thread::scope(|scope| {
                 for _ in 0..jobs.min(frontier_ref.len()) {
                     scope.spawn(|| {
+                        let mut scratch = ExpandScratch::new();
                         // Per-worker dedup shard: identities already in the
                         // space or already seen by this worker do not carry
                         // their (large) function bodies to the barrier.
                         let mut seen: HashSet<(Fingerprint, FuncFlags)> = HashSet::new();
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(entry) = frontier_ref.get(i) else { break };
-                            let records = expand_parent(
-                                f,
-                                target,
-                                config,
-                                &entry.func,
-                                &entry.seq,
-                                skip_of(space_ref, entry),
-                                |fp, flags| {
-                                    space_ref.find(fp, flags).is_some() || !seen.insert((fp, flags))
-                                },
-                            );
-                            *slots[i].lock().unwrap() = Some(records);
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= frontier_ref.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(frontier_ref.len());
+                            for (i, entry) in frontier_ref[start..end]
+                                .iter()
+                                .enumerate()
+                                .map(|(off, e)| (start + off, e))
+                            {
+                                let records = expand_parent(
+                                    f,
+                                    target,
+                                    config,
+                                    &entry.func,
+                                    &entry.seq,
+                                    skip_of(space_ref, entry),
+                                    |fp, flags| {
+                                        space_ref.find(fp, flags).is_some()
+                                            || !seen.insert((fp, flags))
+                                    },
+                                    &mut scratch,
+                                );
+                                // SAFETY: `i` lies in the chunk this worker
+                                // claimed from the cursor, so no other
+                                // thread touches slot `i`, and the main
+                                // thread reads only after the scope joins.
+                                unsafe { slots_ref.put(i, records) };
+                            }
                         }
                     });
                 }
             });
-            for (entry, slot) in frontier.iter().zip(slots) {
-                let records = slot.into_inner().unwrap().expect("worker filled every slot");
+            for (entry, slot) in frontier.iter().zip(slots.into_values()) {
+                let records = slot.expect("worker filled every slot");
                 if !merge_parent(
                     &mut space,
                     &mut stats,
@@ -450,6 +654,7 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
                     &entry.seq,
                     skip_of(&space, entry),
                     |fp, flags| space.find(fp, flags).is_some(),
+                    &mut serial_scratch,
                 );
                 if !merge_parent(
                     &mut space,

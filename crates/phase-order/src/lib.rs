@@ -71,7 +71,9 @@ pub mod space;
 pub mod stats;
 pub mod telemetry;
 
-pub use enumerate::{enumerate, jobs_per_cpu, Config, Enumeration, ReplayMode, SearchOutcome};
+pub use enumerate::{
+    enumerate, jobs_per_cpu, Config, Engine, Enumeration, ReplayMode, SearchOutcome,
+};
 pub use space::{NodeId, SearchSpace};
 
 /// Seedable pseudo-random number generation (re-exported from `vpo-rtl`,

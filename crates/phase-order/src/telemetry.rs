@@ -178,7 +178,7 @@ impl Histogram {
 /// same `subsystem.metric` prefix in snapshots.
 pub struct Telemetry {
     // -- enumeration core (shared by `enumerate` and the campaign) --
-    /// Enumerations started via [`crate::enumerate`].
+    /// Enumerations started via [`crate::enumerate()`].
     pub searches: Counter,
     /// Enumerations that hit a `max_nodes`/`max_level_width` bound.
     pub searches_truncated: Counter,
@@ -195,8 +195,22 @@ pub struct Telemetry {
     /// Active attempts merged into an existing node — the identical-
     /// instance prunes of Section 4.2 (fingerprint-cache hits).
     pub fingerprint_hits: Counter,
+    /// Attempts proven dormant by a `Facts` prefilter before running the
+    /// phase — a subset of `dormant_prunes` that cost neither a clone nor
+    /// a phase execution. Counted at merge time, so it is deterministic
+    /// for any job count (even under truncation).
+    pub prefilter_dormant: Counter,
     /// Distinct instances inserted (fingerprint-cache misses).
     pub nodes_inserted: Counter,
+    /// Warm scratch-buffer restores: attempts whose candidate was
+    /// materialized into an already-populated per-worker scratch
+    /// `Function` (no fresh clone). Scheduling-dependent: worker counts
+    /// and discovery stealing change how often buffers start cold.
+    pub scratch_reuse_hits: Counter,
+    /// Canonical bytes serialized into an already-warm canonicalizer
+    /// buffer (allocation-free fingerprints). Scheduling-dependent for
+    /// the same reason as `scratch_reuse_hits`.
+    pub canon_bytes_reused: Counter,
     /// Peak frontier width seen by any level of any search.
     pub peak_frontier: Gauge,
     /// Wall time per merged level (`enumerate` engines only; campaign
@@ -256,7 +270,10 @@ impl Telemetry {
             active_attempts: Counter::new("enumerate.active_attempts", true),
             dormant_prunes: Counter::new("enumerate.dormant_prunes", true),
             fingerprint_hits: Counter::new("enumerate.fingerprint_hits", true),
+            prefilter_dormant: Counter::new("enumerate.prefilter_dormant", true),
             nodes_inserted: Counter::new("enumerate.nodes_inserted", true),
+            scratch_reuse_hits: Counter::new("enumerate.scratch_reuse_hits", false),
+            canon_bytes_reused: Counter::new("enumerate.canon_bytes_reused", false),
             peak_frontier: Gauge::new("enumerate.peak_frontier", true),
             level_wall_ns: Histogram::new("enumerate.level_wall_ns"),
             campaign_functions_started: Counter::new("campaign.functions_started", true),
@@ -287,7 +304,10 @@ impl Telemetry {
             C(&self.active_attempts),
             C(&self.dormant_prunes),
             C(&self.fingerprint_hits),
+            C(&self.prefilter_dormant),
             C(&self.nodes_inserted),
+            C(&self.scratch_reuse_hits),
+            C(&self.canon_bytes_reused),
             G(&self.peak_frontier),
             H(&self.level_wall_ns),
             C(&self.campaign_functions_started),
@@ -564,9 +584,16 @@ mod tests {
         t.campaign_steals.add(9);
         t.level_wall_ns.observe_ns(5);
         t.nodes_inserted.add(2);
+        t.prefilter_dormant.add(3);
+        t.scratch_reuse_hits.add(11);
+        t.canon_bytes_reused.add(1024);
         let det = t.snapshot().deterministic_values();
         assert!(det.iter().any(|(n, v)| *n == "enumerate.nodes_inserted" && *v == 2));
+        assert!(det.iter().any(|(n, v)| *n == "enumerate.prefilter_dormant" && *v == 3));
         assert!(det.iter().all(|(n, _)| *n != "campaign.steals"));
+        // Scratch/canon reuse depends on worker scheduling — never gated.
+        assert!(det.iter().all(|(n, _)| *n != "enumerate.scratch_reuse_hits"));
+        assert!(det.iter().all(|(n, _)| *n != "enumerate.canon_bytes_reused"));
         assert!(det.iter().all(|(n, _)| !n.ends_with("_ns")));
     }
 

@@ -18,7 +18,7 @@
 //!   shift amounts are constants in `0..32` — no generated program traps
 //!   or diverges, on *any* arguments.
 //! * **Determinism.** Generation draws only from the seeded
-//!   [`Rng`](vpo_rtl::rng::Rng); equal seeds yield identical programs.
+//!   [`Rng`]; equal seeds yield identical programs.
 //! * **Observability.** The function's return value folds in every local,
 //!   every global scalar, and the whole global array, so a miscompiled
 //!   store cannot hide.

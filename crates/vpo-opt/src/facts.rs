@@ -1,0 +1,187 @@
+//! Cheap per-instance fact summaries backing the enumerator's sound
+//! dormant-phase prefilters.
+//!
+//! [`Facts::of`] distills a function instance into a handful of booleans
+//! and counts in one pass over the instructions plus one CFG/loop
+//! analysis. [`PhaseId::can_be_active`](crate::PhaseId::can_be_active)
+//! consults the summary to rule a phase *provably dormant* without cloning
+//! the function or running the phase at all.
+//!
+//! # Soundness
+//!
+//! Every rule must be conservative: `can_be_active(phase, &facts) == false`
+//! is a *proof* that [`attempt`](crate::attempt) on this exact instance
+//! would report the phase dormant. A false `true` merely costs a wasted
+//! attempt; a false `false` would silently change the enumerated space, so
+//! every rule is justified against the phase implementation it filters
+//! (and covered by the cross-engine equivalence and prefilter-soundness
+//! tests in the `phase-order` crate).
+//!
+//! One subtlety: phases with [`requires_registers`] trigger implicit
+//! register *assignment* before running, and assignment may **spill**,
+//! which introduces new scalar locals and new load/store instructions. The
+//! facts are computed on the pre-assignment parent, so any fact consumed
+//! by the rule of a register-requiring phase must be *invariant under
+//! assignment and spilling*. Control flow qualifies (assignment inserts no
+//! control transfers and no blocks, so jumps, conditional branches, loops
+//! and reachability are untouched); multiply operators qualify (spill code
+//! is loads and stores; coloring only renames registers). The presence of
+//! scalar locals does **not** qualify — spilling creates them — which is
+//! why the register-allocation rule below only fires once `regs_assigned`
+//! is already true.
+//!
+//! [`requires_registers`]: crate::PhaseId::requires_registers
+
+use vpo_rtl::cfg::Cfg;
+use vpo_rtl::expr::BinOp;
+use vpo_rtl::{loops, Expr, FuncFlags, Function, Inst};
+
+/// A conservative summary of one function instance, computed once per
+/// frontier entry and consulted for all 15 phase attempts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Facts {
+    /// The instance's milestone flags (legality inputs).
+    pub flags: FuncFlags,
+    /// Number of basic blocks.
+    pub block_count: u32,
+    /// Number of natural loops in the CFG.
+    pub loop_count: u32,
+    /// Some instruction is an unconditional [`Inst::Jump`].
+    pub has_jump: bool,
+    /// Some instruction is a conditional branch.
+    pub has_cond_branch: bool,
+    /// Some expression contains a [`BinOp::Mul`].
+    pub has_mul: bool,
+    /// Some block is unreachable from the entry block.
+    pub has_unreachable: bool,
+    /// Some non-last block's final instruction is a jump or conditional
+    /// branch targeting the label of the next *positional* block — exactly
+    /// the shape the useless-jump phase removes or converts on its first
+    /// pass.
+    pub has_jump_to_next: bool,
+    /// Some local slot is scalar-sized (a prerequisite for the
+    /// register-allocation phase once registers are assigned).
+    pub has_scalar_local: bool,
+}
+
+impl Facts {
+    /// Computes the summary: one scan over all instructions and operand
+    /// expressions, one CFG construction with reachability, one loop
+    /// search.
+    pub fn of(f: &Function) -> Facts {
+        let mut has_jump = false;
+        let mut has_cond_branch = false;
+        let mut has_mul = false;
+        for b in &f.blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::Jump { .. } => has_jump = true,
+                    Inst::CondBranch { .. } => has_cond_branch = true,
+                    _ => {}
+                }
+                if !has_mul {
+                    i.visit_exprs(&mut |e| {
+                        e.visit(&mut |sub| {
+                            if matches!(sub, Expr::Bin(BinOp::Mul, ..)) {
+                                has_mul = true;
+                            }
+                        });
+                    });
+                }
+            }
+        }
+        let mut has_jump_to_next = false;
+        for w in f.blocks.windows(2) {
+            if let Some(Inst::Jump { target } | Inst::CondBranch { target, .. }) = w[0].insts.last()
+            {
+                if *target == w[1].label {
+                    has_jump_to_next = true;
+                    break;
+                }
+            }
+        }
+        let cfg = Cfg::build(f);
+        let has_unreachable = cfg.reachable().iter().any(|r| !*r);
+        let loop_count = loops::loop_count(&cfg) as u32;
+        Facts {
+            flags: f.flags,
+            block_count: f.blocks.len() as u32,
+            loop_count,
+            has_jump,
+            has_cond_branch,
+            has_mul,
+            has_unreachable,
+            has_jump_to_next,
+            has_scalar_local: f.locals.iter().any(|s| s.is_scalar()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpo_rtl::builder::FunctionBuilder;
+    use vpo_rtl::expr::Cond;
+
+    #[test]
+    fn straight_line_code_has_no_control_facts() {
+        let mut b = FunctionBuilder::new("s");
+        let r = b.reg();
+        b.assign(r, Expr::Const(1));
+        b.ret(Some(Expr::Reg(r)));
+        let facts = Facts::of(&b.finish());
+        assert!(!facts.has_jump);
+        assert!(!facts.has_cond_branch);
+        assert!(!facts.has_mul);
+        assert!(!facts.has_unreachable);
+        assert!(!facts.has_jump_to_next);
+        assert_eq!(facts.loop_count, 0);
+        assert_eq!(facts.block_count, 1);
+    }
+
+    #[test]
+    fn loop_and_mul_facts() {
+        // while (i < n) { acc = acc * 2; i = i + 1 }  as a bottom-test loop.
+        let mut b = FunctionBuilder::new("l");
+        let (i, n, acc) = (b.reg(), b.reg(), b.reg());
+        let head = b.new_label();
+        b.start_block(head);
+        b.assign(acc, Expr::bin(BinOp::Mul, Expr::Reg(acc), Expr::Const(2)));
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+        b.compare(Expr::Reg(i), Expr::Reg(n));
+        b.cond_branch(Cond::Lt, head);
+        b.ret(Some(Expr::Reg(acc)));
+        let facts = Facts::of(&b.finish());
+        assert!(facts.has_mul);
+        assert!(facts.has_cond_branch);
+        assert_eq!(facts.loop_count, 1);
+    }
+
+    #[test]
+    fn jump_to_next_is_positional() {
+        let mut b = FunctionBuilder::new("j");
+        let l = b.new_label();
+        b.jump(l);
+        b.start_block(l);
+        b.ret(None);
+        let f = b.finish();
+        let facts = Facts::of(&f);
+        assert!(facts.has_jump);
+        assert!(facts.has_jump_to_next);
+
+        // Same instructions, but the jump crosses an intervening block:
+        // no longer a *useless* (next-positional) jump.
+        let mut b = FunctionBuilder::new("j2");
+        let mid = b.new_label();
+        let l = b.new_label();
+        b.jump(l);
+        b.start_block(mid);
+        b.ret(None);
+        b.start_block(l);
+        b.ret(None);
+        let facts = Facts::of(&b.finish());
+        assert!(facts.has_jump);
+        assert!(!facts.has_jump_to_next);
+        assert!(facts.has_unreachable, "the skipped block is unreachable");
+    }
+}

@@ -73,6 +73,7 @@
 pub mod assign;
 pub mod batch;
 pub mod emit;
+pub mod facts;
 pub mod finalize;
 pub mod normalize;
 pub mod phases;
@@ -236,6 +237,59 @@ impl PhaseId {
             _ => true,
         }
     }
+
+    /// Whether [`attempt`] could possibly report this phase active on an
+    /// instance summarized by `facts`. A `false` answer is a *proof of
+    /// dormancy*: the enumerator records the attempt dormant without
+    /// cloning the function or running the phase.
+    ///
+    /// Every rule is conservative against the phase implementation it
+    /// filters, and — for phases with [`requires_registers`] — uses only
+    /// facts invariant under implicit register assignment and spilling
+    /// (see the [`facts`] module docs for the full soundness argument):
+    ///
+    /// * branch chaining only changes a target by following a
+    ///   trivial-jump block, so some [`Inst::Jump`](vpo_rtl::Inst::Jump)
+    ///   must exist;
+    /// * unreachable-code removal is active iff some block is
+    ///   unreachable (exact);
+    /// * the three loop phases (`g`, `j`, `l`) all iterate the natural
+    ///   loops of the CFG and are dormant without one;
+    /// * block reordering moves a block only to replace a terminating
+    ///   jump, so some jump must exist;
+    /// * register allocation needs an eligible local, and eligible
+    ///   locals are a subset of scalar locals — but spilling during the
+    ///   implicit assignment can *create* scalar locals, so the rule
+    ///   only fires once `regs_assigned` is already true;
+    /// * code abstraction's cross-jump form needs predecessors ending in
+    ///   explicit jumps and its hoist form needs a two-way (conditional)
+    ///   branch;
+    /// * strength reduction only rewrites multiplies;
+    /// * reverse branches needs a conditional branch in either of its
+    ///   shapes;
+    /// * useless-jump removal is active iff some non-last block ends by
+    ///   transferring to the next positional block (exact);
+    /// * CSE, dead-assignment elimination, evaluation-order
+    ///   determination, and instruction selection have no cheap sound
+    ///   dormancy proof and are always attempted.
+    ///
+    /// [`requires_registers`]: PhaseId::requires_registers
+    pub fn can_be_active(self, facts: &facts::Facts) -> bool {
+        if !self.is_legal(facts.flags) {
+            return false;
+        }
+        match self {
+            PhaseId::BranchChain | PhaseId::BlockReorder => facts.has_jump,
+            PhaseId::Unreachable => facts.has_unreachable,
+            PhaseId::LoopUnroll | PhaseId::LoopJumps | PhaseId::LoopXform => facts.loop_count > 0,
+            PhaseId::RegAlloc => !facts.flags.regs_assigned || facts.has_scalar_local,
+            PhaseId::CodeAbstract => facts.has_jump || facts.has_cond_branch,
+            PhaseId::StrengthReduce => facts.has_mul,
+            PhaseId::ReverseBranch => facts.has_cond_branch,
+            PhaseId::UselessJump => facts.has_jump_to_next,
+            PhaseId::Cse | PhaseId::DeadAssign | PhaseId::EvalOrder | PhaseId::InsnSelect => true,
+        }
+    }
 }
 
 impl std::fmt::Display for PhaseId {
@@ -311,5 +365,41 @@ mod tests {
         assert!(!PhaseId::LoopXform.is_legal(assigned));
         assert!(PhaseId::LoopUnroll.is_legal(allocated));
         assert!(PhaseId::Cse.is_legal(start) && PhaseId::Cse.is_legal(allocated));
+    }
+
+    #[test]
+    fn prefilters_respect_legality_and_never_filter_the_open_phases() {
+        use vpo_rtl::builder::FunctionBuilder;
+        use vpo_rtl::Expr;
+        let mut b = FunctionBuilder::new("t");
+        let r = b.reg();
+        b.assign(r, Expr::Const(1));
+        b.ret(Some(Expr::Reg(r)));
+        let mut f = b.finish();
+        f.flags.regs_assigned = true;
+        let facts = facts::Facts::of(&f);
+        for p in PhaseId::ALL {
+            // Illegal implies provably dormant.
+            if !p.is_legal(f.flags) {
+                assert!(!p.can_be_active(&facts), "{p}");
+            }
+        }
+        // Phases with no cheap dormancy proof are always attempted.
+        for p in [PhaseId::Cse, PhaseId::DeadAssign, PhaseId::InsnSelect] {
+            assert!(p.can_be_active(&facts), "{p}");
+        }
+        // Straight-line code proves all control-flow phases dormant.
+        for p in [
+            PhaseId::BranchChain,
+            PhaseId::Unreachable,
+            PhaseId::BlockReorder,
+            PhaseId::LoopJumps,
+            PhaseId::CodeAbstract,
+            PhaseId::StrengthReduce,
+            PhaseId::ReverseBranch,
+            PhaseId::UselessJump,
+        ] {
+            assert!(!p.can_be_active(&facts), "{p}");
+        }
     }
 }

@@ -68,6 +68,66 @@ pub fn fold_in_place(e: &mut Expr) -> bool {
     }
 }
 
+/// Pure detector: returns exactly what [`fold_in_place`] would return,
+/// without cloning or mutating anything. The hot paths call this first and
+/// only clone an instruction when a fold will actually happen.
+///
+/// The mirror argument: `fold_in_place` folds children first and then
+/// consults `as_const` on the *folded* children. If any child would fold,
+/// the whole expression changes and the answer is `true` regardless of the
+/// top-level rule; if no child would fold, the children are already in
+/// their final shape, so consulting `as_const`/the identity tables on the
+/// original children is exact.
+pub fn would_fold(e: &Expr) -> bool {
+    match e {
+        Expr::Bin(op, a, b) => {
+            if would_fold(a) || would_fold(b) {
+                return true;
+            }
+            match (a.as_const(), b.as_const()) {
+                (Some(ca), Some(cb)) => op.eval(ca as i32, cb as i32).is_some(),
+                (_, Some(cb)) => identity_right_applies(*op, a, cb),
+                (Some(ca), _) => identity_left_applies(*op, ca, b),
+                _ => false,
+            }
+        }
+        Expr::Un(op, a) => {
+            if would_fold(a) {
+                return true;
+            }
+            if a.as_const().is_some() {
+                return true;
+            }
+            matches!(&**a, Expr::Un(inner_op, _) if inner_op == op)
+        }
+        Expr::Load(_, a) => would_fold(a),
+        _ => false,
+    }
+}
+
+fn identity_right_applies(op: BinOp, a: &Expr, cb: i64) -> bool {
+    match (op, cb) {
+        (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, 0) => true,
+        (BinOp::Shl | BinOp::AShr | BinOp::LShr, 0) => true,
+        (BinOp::Mul | BinOp::Div, 1) => true,
+        (BinOp::And, -1) => true,
+        (BinOp::Mul, 0) if a.is_pure_of_memory() => true,
+        (BinOp::And, 0) if a.is_pure_of_memory() => true,
+        (BinOp::Mul, -1) => true,
+        _ => false,
+    }
+}
+
+fn identity_left_applies(op: BinOp, ca: i64, b: &Expr) -> bool {
+    match (op, ca) {
+        (BinOp::Add | BinOp::Or | BinOp::Xor, 0) => true,
+        (BinOp::Mul, 1) => true,
+        (BinOp::Mul, 0) if b.is_pure_of_memory() => true,
+        (BinOp::Sub, 0) => true,
+        _ => false,
+    }
+}
+
 fn identity_right(op: BinOp, a: &Expr, cb: i64) -> Option<Expr> {
     match (op, cb) {
         (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, 0) => Some(a.clone()),
@@ -144,6 +204,60 @@ mod tests {
     fn double_negation() {
         let e = Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, r()));
         assert_eq!(fold_expr(&e).0, r());
+    }
+
+    #[test]
+    fn would_fold_agrees_with_fold_in_place() {
+        use BinOp::*;
+        // Leaves chosen to exercise every identity/annihilator row, the
+        // undefined-operation guards (div by 0, shift by 33), and the
+        // memory-purity guard on `x*0`/`x&0`.
+        let leaves = [
+            Expr::Const(-1),
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(2),
+            Expr::Const(33),
+            r(),
+            Expr::load(Width::Word, r()),
+        ];
+        let ops = [Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, AShr, LShr];
+        let mut depth1: Vec<Expr> = leaves.to_vec();
+        for op in ops {
+            for a in &leaves {
+                for b in &leaves {
+                    depth1.push(Expr::bin(op, a.clone(), b.clone()));
+                }
+            }
+        }
+        for a in &leaves {
+            depth1.push(Expr::un(UnOp::Neg, a.clone()));
+            depth1.push(Expr::un(UnOp::Not, a.clone()));
+            depth1.push(Expr::load(Width::Word, a.clone()));
+        }
+        let mut all = depth1.clone();
+        // Depth-2 sample: every op over (depth-1 expr, leaf) and the unary
+        // wrappers, which covers child-folds-first and double negation.
+        for op in [Add, Mul, Div, Shl] {
+            for a in &depth1 {
+                for b in &leaves {
+                    all.push(Expr::bin(op, a.clone(), b.clone()));
+                }
+            }
+        }
+        for a in &depth1 {
+            all.push(Expr::un(UnOp::Neg, a.clone()));
+            all.push(Expr::un(UnOp::Not, a.clone()));
+        }
+        let mut folded = 0usize;
+        for e in &all {
+            let mut m = e.clone();
+            let changed = fold_in_place(&mut m);
+            assert_eq!(would_fold(e), changed, "would_fold disagrees with fold_in_place on {e:?}");
+            folded += usize::from(changed);
+        }
+        assert!(folded > 100, "expected many folding cases, got {folded}");
+        assert!(all.len() - folded > 100, "expected many non-folding cases");
     }
 
     #[test]

@@ -47,12 +47,18 @@ fn fold_pass(f: &mut Function, target: &Target) -> bool {
     let mut changed = false;
     for b in &mut f.blocks {
         for inst in &mut b.insts {
-            let mut candidate = inst.clone();
+            // Detect before cloning: most instructions fold nothing, and
+            // the detector is a pure traversal.
             let mut any = false;
+            inst.visit_exprs(&mut |e| any |= fold::would_fold(e));
+            if !any {
+                continue;
+            }
+            let mut candidate = inst.clone();
             candidate.visit_exprs_mut(&mut |e| {
-                any |= fold::fold_in_place(e);
+                fold::fold_in_place(e);
             });
-            if any && target.legal_inst(&candidate) {
+            if target.legal_inst(&candidate) {
                 *inst = candidate;
                 changed = true;
             }
@@ -64,23 +70,26 @@ fn fold_pass(f: &mut Function, target: &Target) -> bool {
 /// Attempts one combine anywhere in the function; returns whether one
 /// happened.
 fn combine_once(f: &mut Function, target: &Target) -> bool {
-    let cfg = Cfg::build(f);
-    let lv = Liveness::compute(f, &cfg);
+    // Liveness is only consulted when a candidate survives every cheaper
+    // test, so it is computed lazily — `f` is not mutated before a commit,
+    // so the deferred analysis sees exactly the function the eager one
+    // would have seen. The operand buffer is reused across candidates.
+    let mut lv: Option<Liveness> = None;
+    let mut e_regs: Vec<vpo_rtl::Reg> = Vec::new();
     for bi in 0..f.blocks.len() {
         let n = f.blocks[bi].insts.len();
         'def: for ii in 0..n {
-            let Inst::Assign { dst: t, src: e } = f.blocks[bi].insts[ii].clone() else {
+            let insts = &f.blocks[bi].insts;
+            let Inst::Assign { dst: t, .. } = &insts[ii] else {
                 continue;
             };
+            let t = *t;
             // Find the consumers of t after ii, stopping at a redefinition.
             let mut use_site: Option<usize> = None;
             let mut occurrences = 0usize;
             let mut redefined_at: Option<usize> = None;
-            for jj in ii + 1..n {
-                let inst = &f.blocks[bi].insts[jj];
-                let mut regs = Vec::new();
-                inst.collect_uses(&mut regs);
-                let occ_here = regs.iter().filter(|&&r| r == t).count();
+            for (jj, inst) in insts.iter().enumerate().take(n).skip(ii + 1) {
+                let occ_here = inst.count_reg_uses(t);
                 if occ_here > 0 {
                     occurrences += occ_here;
                     if use_site.is_none() {
@@ -102,6 +111,10 @@ fn combine_once(f: &mut Function, target: &Target) -> bool {
             let dead_after = match redefined_at {
                 Some(_) => true, // no further uses before the redefinition
                 None => {
+                    let lv = lv.get_or_insert_with(|| {
+                        let cfg = Cfg::build(f);
+                        Liveness::compute(f, &cfg)
+                    });
                     let ti = lv.index_of(Item::Reg(t));
                     ti.map(|x| !lv.live_out[bi].contains(x)).unwrap_or(true)
                 }
@@ -111,10 +124,15 @@ fn combine_once(f: &mut Function, target: &Target) -> bool {
             }
             // Interference between def and use: nothing may redefine e's
             // operands, and if e reads memory nothing may write memory.
-            let mut e_regs = Vec::new();
+            let insts = &f.blocks[bi].insts;
+            let e = match &insts[ii] {
+                Inst::Assign { src, .. } => src,
+                _ => unreachable!("candidate shape checked above"),
+            };
+            e_regs.clear();
             e.collect_regs(&mut e_regs);
             let e_reads_mem = e.reads_memory();
-            for inst in &f.blocks[bi].insts[ii + 1..jj] {
+            for inst in &insts[ii + 1..jj] {
                 if let Some(d) = inst.def() {
                     if e_regs.contains(&d) {
                         continue 'def;
@@ -129,8 +147,8 @@ fn combine_once(f: &mut Function, target: &Target) -> bool {
             // write-back, so a consumer like `x = t + x` is fine even when
             // x ∈ e_regs.
             // Build and legality-check the merged instruction.
-            let mut merged = f.blocks[bi].insts[jj].clone();
-            let replaced = merged.substitute_reg_uses(t, &e);
+            let mut merged = insts[jj].clone();
+            let replaced = merged.substitute_reg_uses(t, e);
             debug_assert_eq!(replaced, 1);
             merged.visit_exprs_mut(&mut |x| {
                 fold::fold_in_place(x);

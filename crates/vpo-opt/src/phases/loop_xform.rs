@@ -59,13 +59,15 @@ fn step(f: &mut Function, target: &Target) -> bool {
     false
 }
 
-/// Registers defined anywhere inside the loop.
-fn loop_defs(f: &Function, l: &NaturalLoop) -> HashSet<Reg> {
-    let mut defs = HashSet::new();
+/// Per-register definition counts inside the loop: one scan serves the
+/// invariance tests (`contains_key`) and the single-definition tests
+/// (`== Some(&1)`) that previously re-scanned the loop per candidate.
+fn loop_def_counts(f: &Function, l: &NaturalLoop) -> std::collections::HashMap<Reg, usize> {
+    let mut defs = std::collections::HashMap::new();
     for &bi in &l.body {
         for inst in &f.blocks[bi].insts {
             if let Some(d) = inst.def() {
-                defs.insert(d);
+                *defs.entry(d).or_insert(0) += 1;
             }
         }
     }
@@ -127,49 +129,63 @@ fn append_to_preheader(blk: &mut Block, inst: Inst) {
     }
 }
 
-/// Attempts one invariant code motion in loop `l`.
-fn licm_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop) -> bool {
-    let defs = loop_defs(f, l);
-    let mem_written = loop_writes_memory(f, l);
+/// Registers live at the loop boundary: live-in of every outside
+/// successor of a loop block (conservative exit liveness), plus live-in
+/// of the header from outside (use-before-def in loop).
+fn loop_boundary_live(f: &Function, cfg: &Cfg, l: &NaturalLoop) -> HashSet<Reg> {
     let lv = Liveness::compute(f, cfg);
-
-    // Registers live at loop exits (conservatively: live-in of every
-    // outside successor of a loop block).
-    let mut live_at_exit: HashSet<Reg> = HashSet::new();
+    let mut live: HashSet<Reg> = HashSet::new();
     for &bi in &l.body {
         for &s in &cfg.succs[bi] {
             if !l.contains(s) {
                 for idx in lv.live_in[s].iter() {
                     if let Item::Reg(r) = lv.universe[idx] {
-                        live_at_exit.insert(r);
+                        live.insert(r);
                     }
                 }
             }
         }
     }
-    // Registers live into the header from outside (use-before-def in loop).
-    let mut live_in_header: HashSet<Reg> = HashSet::new();
     for idx in lv.live_in[l.header].iter() {
         if let Item::Reg(r) = lv.universe[idx] {
-            live_in_header.insert(r);
+            live.insert(r);
         }
     }
+    live
+}
+
+/// Attempts one invariant code motion in loop `l`.
+fn licm_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop) -> bool {
+    let defs = loop_def_counts(f, l);
+    let mem_written = loop_writes_memory(f, l);
+    // The liveness consultation is the expensive test, so it is deferred
+    // until a candidate survives everything cheaper; `f` is not mutated
+    // before a commit, so the deferred analysis is exact. The candidate
+    // tests are pure, independent predicates — reordering them cheapest
+    // first changes which one rejects a non-candidate, never the first
+    // candidate accepted.
+    let mut boundary_live: Option<HashSet<Reg>> = None;
+    let mut operands = Vec::new();
 
     for &bi in &l.body {
         for ii in 0..f.blocks[bi].insts.len() {
             let Inst::Assign { dst, src } = &f.blocks[bi].insts[ii] else { continue };
             let dst = *dst;
             // Candidate tests.
+            if matches!(src, Expr::Reg(_) | Expr::Const(_)) {
+                continue; // moving trivial copies is not profitable
+            }
             if src.reads_memory() && mem_written {
                 continue;
             }
-            let mut operands = Vec::new();
-            src.collect_regs(&mut operands);
-            if operands.iter().any(|r| defs.contains(r)) {
-                continue; // operands vary within the loop
+            // Single definition of dst in the loop.
+            if defs.get(&dst) != Some(&1) {
+                continue;
             }
-            if matches!(src, Expr::Reg(_) | Expr::Const(_)) {
-                continue; // moving trivial copies is not profitable
+            operands.clear();
+            src.collect_regs(&mut operands);
+            if operands.iter().any(|r| defs.contains_key(r)) {
+                continue; // operands vary within the loop
             }
             // A division may trap; executing it when the loop would not
             // have run at all would change behaviour.
@@ -182,17 +198,8 @@ fn licm_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop) -> bool {
             if may_trap {
                 continue;
             }
-            // Single definition of dst in the loop.
-            let def_count = l
-                .body
-                .iter()
-                .flat_map(|&b| f.blocks[b].insts.iter())
-                .filter(|i| i.def() == Some(dst))
-                .count();
-            if def_count != 1 {
-                continue;
-            }
-            if live_at_exit.contains(&dst) || live_in_header.contains(&dst) {
+            let live = boundary_live.get_or_insert_with(|| loop_boundary_live(f, cfg, l));
+            if live.contains(&dst) {
                 continue;
             }
             // Move it.
@@ -211,16 +218,12 @@ fn licm_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop) -> bool {
 
 /// A basic induction variable: its single in-loop definition is
 /// `i = i + c` (or `i = i - c`). Returns `(block, index, step)`.
-fn basic_ivs(f: &Function, l: &NaturalLoop) -> Vec<(Reg, usize, usize, i64)> {
+fn basic_ivs(
+    f: &Function,
+    l: &NaturalLoop,
+    def_counts: &std::collections::HashMap<Reg, usize>,
+) -> Vec<(Reg, usize, usize, i64)> {
     let mut candidates = Vec::new();
-    let mut def_counts: std::collections::HashMap<Reg, usize> = Default::default();
-    for &bi in &l.body {
-        for inst in &f.blocks[bi].insts {
-            if let Some(d) = inst.def() {
-                *def_counts.entry(d).or_insert(0) += 1;
-            }
-        }
-    }
     for &bi in &l.body {
         for (ii, inst) in f.blocks[bi].insts.iter().enumerate() {
             let Inst::Assign { dst, src } = inst else { continue };
@@ -251,29 +254,14 @@ fn basic_ivs(f: &Function, l: &NaturalLoop) -> Vec<(Reg, usize, usize, i64)> {
 /// `l`, where `i` is a basic IV whose step instruction follows the
 /// definition of `t` in the same block.
 fn strength_reduce_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop, target: &Target) -> bool {
-    let ivs = basic_ivs(f, l);
+    let defs = loop_def_counts(f, l);
+    let ivs = basic_ivs(f, l, &defs);
     if ivs.is_empty() {
         return false;
     }
-    let defs = loop_defs(f, l);
-    let lv = Liveness::compute(f, cfg);
-    let mut live_outside: HashSet<Reg> = HashSet::new();
-    for &bi in &l.body {
-        for &s in &cfg.succs[bi] {
-            if !l.contains(s) {
-                for idx in lv.live_in[s].iter() {
-                    if let Item::Reg(r) = lv.universe[idx] {
-                        live_outside.insert(r);
-                    }
-                }
-            }
-        }
-    }
-    for idx in lv.live_in[l.header].iter() {
-        if let Item::Reg(r) = lv.universe[idx] {
-            live_outside.insert(r);
-        }
-    }
+    // Deferred like in `licm_once`: most candidate scans reject before
+    // ever consulting liveness.
+    let mut live_outside: Option<HashSet<Reg>> = None;
 
     for &(iv, iv_bi, iv_ii, step) in &ivs {
         for &bi in &l.body {
@@ -298,7 +286,7 @@ fn strength_reduce_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop, target: &T
                     },
                     Expr::Bin(BinOp::Mul, a, b) => match (&**a, &**b) {
                         (Expr::Reg(r), Expr::Reg(m)) | (Expr::Reg(m), Expr::Reg(r))
-                            if *r == iv && !defs.contains(m) && *m != iv =>
+                            if *r == iv && !defs.contains_key(m) && *m != iv =>
                         {
                             // step' = m * step needs a register; only the
                             // power-of-two steps stay single-instruction.
@@ -320,13 +308,11 @@ fn strength_reduce_once(f: &mut Function, cfg: &Cfg, l: &NaturalLoop, target: &T
                 // come after t's definition in the same block (so inserting
                 // the recurrence update right after the step keeps
                 // t == f(i) at t's use point).
-                let def_count = l
-                    .body
-                    .iter()
-                    .flat_map(|&b| f.blocks[b].insts.iter())
-                    .filter(|i| i.def() == Some(dst))
-                    .count();
-                if def_count != 1 || live_outside.contains(&dst) {
+                if defs.get(&dst) != Some(&1) {
+                    continue;
+                }
+                let live = live_outside.get_or_insert_with(|| loop_boundary_live(f, cfg, l));
+                if live.contains(&dst) {
                     continue;
                 }
                 if !(bi == iv_bi && ii < iv_ii) {

@@ -45,21 +45,102 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
-struct Canonicalizer {
+/// A reusable canonicalization workspace.
+///
+/// The free functions [`canonical_bytes`] / [`fingerprint`] allocate fresh
+/// register/label maps and a fresh byte buffer on every call. Hot callers —
+/// the enumerator fingerprints every active attempt — instead keep one
+/// `Canonicalizer` per worker and call [`fingerprint_into`] /
+/// [`canonical_bytes_into`], which clear and reuse the maps and buffer so
+/// the steady state allocates nothing.
+///
+/// [`fingerprint_into`]: Canonicalizer::fingerprint_into
+/// [`canonical_bytes_into`]: Canonicalizer::canonical_bytes_into
+pub struct Canonicalizer {
     regs: HashMap<Reg, u32>,
     labels: HashMap<Label, u32>,
     bytes: Vec<u8>,
     insts: u32,
 }
 
+impl Default for Canonicalizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Canonicalizer {
-    fn new() -> Self {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
         Canonicalizer {
             regs: HashMap::new(),
             labels: HashMap::new(),
             bytes: Vec::with_capacity(512),
             insts: 0,
         }
+    }
+
+    /// Clears the remapping state and byte buffer, retaining capacity.
+    pub fn reset(&mut self) {
+        self.regs.clear();
+        self.labels.clear();
+        self.bytes.clear();
+        self.insts = 0;
+    }
+
+    /// Serializes `f` into the internal buffer (after a [`reset`]) and
+    /// returns the canonical bytes. Identical output to the free function
+    /// [`canonical_bytes`], without its allocations.
+    ///
+    /// [`reset`]: Canonicalizer::reset
+    pub fn canonical_bytes_into(&mut self, f: &Function) -> &[u8] {
+        self.reset();
+        self.write(f);
+        &self.bytes
+    }
+
+    /// Computes the [`Fingerprint`] of `f`, reusing the workspace. The
+    /// canonical bytes remain available through [`bytes`] until the next
+    /// call — paranoid mode copies them out only for newly-discovered
+    /// instances.
+    ///
+    /// [`bytes`]: Canonicalizer::bytes
+    pub fn fingerprint_into(&mut self, f: &Function) -> Fingerprint {
+        self.reset();
+        self.write(f);
+        let byte_sum: u64 = self.bytes.iter().map(|&b| b as u64).sum();
+        Fingerprint { inst_count: self.insts, byte_sum, crc: crc::crc32(&self.bytes) }
+    }
+
+    /// The canonical bytes produced by the most recent serialization.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The full canonical serialization of `f`; shared by the `_into`
+    /// methods and the allocating free functions.
+    fn write(&mut self, f: &Function) {
+        // Parameters participate in remapping first so the calling
+        // convention is part of the canonical form.
+        for &p in &f.params {
+            self.reg(p);
+        }
+        for b in &f.blocks {
+            // Every block boundary is marked and its label registered, so
+            // that identical instruction streams split into different blocks
+            // remain distinguishable only when control flow actually
+            // differs.
+            self.bytes.push(0xF0);
+            self.label(b.label);
+            for i in &b.insts {
+                self.inst(i);
+            }
+        }
+        // Flag milestones so that legality-relevant state is part of
+        // identity.
+        self.bytes.push(0xF1);
+        self.bytes.push(f.flags.regs_assigned as u8);
+        self.bytes.push(f.flags.reg_allocated as u8);
     }
 
     fn reg(&mut self, r: Reg) {
@@ -197,34 +278,13 @@ impl Canonicalizer {
 /// (Figure 5(d) of the paper).
 pub fn canonical_bytes(f: &Function) -> Vec<u8> {
     let mut c = Canonicalizer::new();
-    // Parameters participate in remapping first so the calling convention
-    // is part of the canonical form.
-    for &p in &f.params {
-        c.reg(p);
-    }
-    for b in &f.blocks {
-        // Every block boundary is marked and its label registered, so that
-        // identical instruction streams split into different blocks remain
-        // distinguishable only when control flow actually differs.
-        c.bytes.push(0xF0);
-        c.label(b.label);
-        for i in &b.insts {
-            c.inst(i);
-        }
-    }
-    // Flag milestones so that legality-relevant state is part of identity.
-    c.bytes.push(0xF1);
-    c.bytes.push(f.flags.regs_assigned as u8);
-    c.bytes.push(f.flags.reg_allocated as u8);
+    c.write(f);
     c.bytes
 }
 
 /// Computes the three-part [`Fingerprint`] of a function instance.
 pub fn fingerprint(f: &Function) -> Fingerprint {
-    let bytes = canonical_bytes(f);
-    let inst_count = f.inst_count() as u32;
-    let byte_sum: u64 = bytes.iter().map(|&b| b as u64).sum();
-    Fingerprint { inst_count, byte_sum, crc: crc::crc32(&bytes) }
+    Canonicalizer::new().fingerprint_into(f)
 }
 
 /// Structural equality *after* canonical remapping: true iff the two
@@ -361,5 +421,26 @@ mod tests {
     fn canonicalization_is_idempotent() {
         let f = figure5([10, 12, 1, 9, 8], 2);
         assert_eq!(canonical_bytes(&f), canonical_bytes(&f));
+    }
+
+    #[test]
+    fn reused_canonicalizer_matches_free_functions() {
+        // One workspace over several distinct functions, interleaved, must
+        // produce exactly the bytes and fingerprints of the allocating free
+        // functions — stale remapping state leaking across calls would
+        // corrupt both.
+        let funcs = [
+            figure5([10, 12, 1, 9, 8], 2),
+            figure5([11, 10, 1, 9, 8], 4),
+            figure5([1, 2, 3, 4, 5], 0),
+        ];
+        let mut c = Canonicalizer::new();
+        for _round in 0..2 {
+            for f in &funcs {
+                assert_eq!(c.fingerprint_into(f), fingerprint(f));
+                assert_eq!(c.bytes(), canonical_bytes(f).as_slice());
+                assert_eq!(c.canonical_bytes_into(f), canonical_bytes(f).as_slice());
+            }
+        }
     }
 }

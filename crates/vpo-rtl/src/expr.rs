@@ -226,7 +226,7 @@ impl std::fmt::Display for Cond {
 /// Unoptimized code contains only *atomic* shapes (one operator over
 /// leaves); the instruction-selection phase produces deeper trees subject to
 /// the target legality model of the `vpo-opt` crate.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Expr {
     /// The value held in a register.
     Reg(Reg),
@@ -245,6 +245,46 @@ pub enum Expr {
     Un(UnOp, Box<Expr>),
     /// A load from memory (`M[addr]`).
     Load(Width, Box<Expr>),
+}
+
+/// Hand-written so that `clone_from` can reuse the destination's `Box`
+/// allocations when source and destination have matching shapes — the hot
+/// path of the enumerator's scratch-buffer `Function::copy_from`, where the
+/// destination usually holds the previous attempt over the same parent.
+/// `Vec::clone_from` propagates this element-wise through blocks and
+/// instruction operands.
+impl Clone for Expr {
+    fn clone(&self) -> Expr {
+        match self {
+            Expr::Reg(r) => Expr::Reg(*r),
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Hi(s) => Expr::Hi(*s),
+            Expr::Lo(s) => Expr::Lo(*s),
+            Expr::LocalAddr(l) => Expr::LocalAddr(*l),
+            Expr::Bin(op, a, b) => Expr::Bin(*op, a.clone(), b.clone()),
+            Expr::Un(op, a) => Expr::Un(*op, a.clone()),
+            Expr::Load(w, a) => Expr::Load(*w, a.clone()),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Expr) {
+        match (&mut *self, source) {
+            (Expr::Bin(op, a, b), Expr::Bin(sop, sa, sb)) => {
+                *op = *sop;
+                a.as_mut().clone_from(sa);
+                b.as_mut().clone_from(sb);
+            }
+            (Expr::Un(op, a), Expr::Un(sop, sa)) => {
+                *op = *sop;
+                a.as_mut().clone_from(sa);
+            }
+            (Expr::Load(w, a), Expr::Load(sw, sa)) => {
+                *w = *sw;
+                a.as_mut().clone_from(sa);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl Expr {
@@ -327,6 +367,19 @@ impl Expr {
                 out.push(*r);
             }
         });
+    }
+
+    /// Counts the occurrences of register `r` in this expression — the
+    /// number of times [`collect_regs`](Expr::collect_regs) would push it,
+    /// without allocating.
+    pub fn count_reg(&self, r: Reg) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Reg(x) if *x == r) {
+                n += 1;
+            }
+        });
+        n
     }
 
     /// Returns `true` if the expression uses register `r`.

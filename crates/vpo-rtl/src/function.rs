@@ -31,7 +31,7 @@ impl std::fmt::Display for LocalId {
 /// Scalar locals (`size == 4`) whose address is never *taken* (used outside
 /// a direct load or store) are candidates for the register-allocation phase
 /// `k`, which replaces their memory references with a register.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 pub struct LocalSlot {
     /// Source-level name (for diagnostics and pretty printing).
     pub name: String,
@@ -40,6 +40,20 @@ pub struct LocalSlot {
     /// Whether the address escapes (passed to a call, stored, or used in
     /// non-trivial arithmetic). Escaping slots are never register-allocated.
     pub addr_taken: bool,
+}
+
+/// Hand-written so `clone_from` reuses the name `String`'s allocation —
+/// part of the allocation-free [`Function::copy_from`] path.
+impl Clone for LocalSlot {
+    fn clone(&self) -> LocalSlot {
+        LocalSlot { name: self.name.clone(), size: self.size, addr_taken: self.addr_taken }
+    }
+
+    fn clone_from(&mut self, source: &LocalSlot) {
+        self.name.clone_from(&source.name);
+        self.size = source.size;
+        self.addr_taken = source.addr_taken;
+    }
 }
 
 impl LocalSlot {
@@ -54,12 +68,26 @@ impl LocalSlot {
 /// Control transfers are *explicit instructions* (they occupy space and are
 /// counted in code size, exactly as in the paper). A block whose last
 /// instruction is not a barrier falls through to the next positional block.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 pub struct Block {
     /// The block's label.
     pub label: Label,
     /// The instructions of the block.
     pub insts: Vec<Inst>,
+}
+
+/// Hand-written so `clone_from` clones element-wise into the existing
+/// instruction `Vec`, letting [`Inst`]'s own `clone_from` reuse operand
+/// allocations — part of the allocation-free [`Function::copy_from`] path.
+impl Clone for Block {
+    fn clone(&self) -> Block {
+        Block { label: self.label, insts: self.insts.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Block) {
+        self.label = source.label;
+        self.insts.clone_from(&source.insts);
+    }
 }
 
 impl Block {
@@ -122,6 +150,24 @@ pub struct Function {
     next_label: u32,
 }
 
+/// A placeholder with *no* blocks — not a valid function (every real
+/// function has an entry block). It exists so buffers of `Function` can be
+/// `std::mem::take`n or pre-created without allocating; fill it with
+/// [`Function::copy_from`] before use.
+impl Default for Function {
+    fn default() -> Function {
+        Function {
+            name: String::new(),
+            params: Vec::new(),
+            blocks: Vec::new(),
+            locals: Vec::new(),
+            flags: FuncFlags::default(),
+            next_pseudo: 0,
+            next_label: 0,
+        }
+    }
+}
+
 impl Function {
     /// Creates an empty function with a single empty entry block.
     pub fn new(name: impl Into<String>) -> Self {
@@ -169,6 +215,25 @@ impl Function {
         let id = LocalId(self.locals.len() as u32);
         self.locals.push(LocalSlot { name: name.into(), size, addr_taken: false });
         id
+    }
+
+    /// Makes `self` an exact copy of `src` while reusing `self`'s existing
+    /// heap allocations (block/instruction/local vectors, strings, operand
+    /// boxes) wherever the shapes line up.
+    ///
+    /// Semantically identical to `*self = src.clone()`; the point is the
+    /// allocation profile: when `self` already holds a similar function —
+    /// the enumerator's scratch buffer restoring a parent between phase
+    /// attempts — the steady state performs no heap allocation at all.
+    pub fn copy_from(&mut self, src: &Function) {
+        self.name.clone_from(&src.name);
+        self.params.clear();
+        self.params.extend_from_slice(&src.params);
+        self.blocks.clone_from(&src.blocks);
+        self.locals.clone_from(&src.locals);
+        self.flags = src.flags;
+        self.next_pseudo = src.next_pseudo;
+        self.next_label = src.next_label;
     }
 
     /// Total number of instructions (the paper's static code-size measure).
@@ -454,6 +519,66 @@ mod tests {
         assert!(!f.locals[arr.0 as usize].addr_taken);
         // But it is not allocatable because it is not scalar-sized.
         assert!(f.allocatable_locals().is_empty());
+    }
+
+    fn sample_function() -> Function {
+        let mut f = Function::new("sample");
+        let x = f.new_local("x", 4);
+        let r0 = f.new_pseudo();
+        let r1 = f.new_pseudo();
+        f.params.push(r0);
+        let l = f.new_label();
+        f.blocks[0].insts = vec![
+            Inst::Store { width: Width::Word, addr: Expr::LocalAddr(x), src: Expr::Reg(r0) },
+            Inst::Assign {
+                dst: r1,
+                src: Expr::bin(BinOp::Mul, Expr::load(Width::Word, Expr::LocalAddr(x)), 3.into()),
+            },
+            Inst::Compare { lhs: Expr::Reg(r1), rhs: Expr::Const(0) },
+            Inst::CondBranch { cond: crate::expr::Cond::Le, target: l },
+        ];
+        f.blocks.push(Block::new(l));
+        f.blocks[1].insts =
+            vec![Inst::Call { callee: "ext".into(), args: vec![Expr::Reg(r1)], dst: None }, {
+                Inst::Return { value: Some(Expr::Reg(r1)) }
+            }];
+        f.recompute_addr_taken();
+        f
+    }
+
+    #[test]
+    fn copy_from_is_exact_for_any_prior_content() {
+        let src = sample_function();
+        // Cold destination (the Default placeholder).
+        let mut dst = Function::default();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Same fresh-id counters, observable through new_label.
+        let (mut a, mut b) = (dst.clone(), src.clone());
+        assert_eq!(a.new_label(), b.new_label());
+
+        // Warm destination holding a *different* function: still exact.
+        let mut warm = Function::new("other");
+        warm.flags.regs_assigned = true;
+        warm.blocks[0].insts = vec![Inst::Return { value: Some(Expr::Const(9)) }];
+        warm.copy_from(&src);
+        assert_eq!(warm, src);
+
+        // Warm destination holding the same function: idempotent.
+        warm.copy_from(&src);
+        assert_eq!(warm, src);
+    }
+
+    #[test]
+    fn copy_from_shrinks_larger_destinations() {
+        let src = sample_function();
+        let mut big = sample_function();
+        big.blocks.push(Block::new(Label(99)));
+        big.blocks[0].insts.push(Inst::Jump { target: Label(99) });
+        big.locals.push(LocalSlot { name: "extra".into(), size: 8, addr_taken: true });
+        big.params.push(Reg::hard(3));
+        big.copy_from(&src);
+        assert_eq!(big, src);
     }
 
     #[test]

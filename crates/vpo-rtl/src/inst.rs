@@ -10,7 +10,7 @@ use crate::function::Label;
 use crate::Reg;
 
 /// A single RTL instruction.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 pub enum Inst {
     /// `reg = expr` — evaluate `src` and write it to `dst`.
     Assign {
@@ -69,6 +69,56 @@ pub enum Inst {
     },
 }
 
+/// Hand-written so that `clone_from` reuses operand allocations (expression
+/// `Box`es, the callee `String`, the argument `Vec`) when the destination
+/// already holds an instruction of the same shape — see the matching note on
+/// [`Expr`]'s `Clone` impl.
+impl Clone for Inst {
+    fn clone(&self) -> Inst {
+        match self {
+            Inst::Assign { dst, src } => Inst::Assign { dst: *dst, src: src.clone() },
+            Inst::Store { width, addr, src } => {
+                Inst::Store { width: *width, addr: addr.clone(), src: src.clone() }
+            }
+            Inst::Compare { lhs, rhs } => Inst::Compare { lhs: lhs.clone(), rhs: rhs.clone() },
+            Inst::CondBranch { cond, target } => Inst::CondBranch { cond: *cond, target: *target },
+            Inst::Jump { target } => Inst::Jump { target: *target },
+            Inst::Call { callee, args, dst } => {
+                Inst::Call { callee: callee.clone(), args: args.clone(), dst: *dst }
+            }
+            Inst::Return { value } => Inst::Return { value: value.clone() },
+        }
+    }
+
+    fn clone_from(&mut self, source: &Inst) {
+        match (&mut *self, source) {
+            (Inst::Assign { dst, src }, Inst::Assign { dst: sdst, src: ssrc }) => {
+                *dst = *sdst;
+                src.clone_from(ssrc);
+            }
+            (
+                Inst::Store { width, addr, src },
+                Inst::Store { width: swidth, addr: saddr, src: ssrc },
+            ) => {
+                *width = *swidth;
+                addr.clone_from(saddr);
+                src.clone_from(ssrc);
+            }
+            (Inst::Compare { lhs, rhs }, Inst::Compare { lhs: slhs, rhs: srhs }) => {
+                lhs.clone_from(slhs);
+                rhs.clone_from(srhs);
+            }
+            (Inst::Call { callee, args, dst }, Inst::Call { callee: sc, args: sa, dst: sd }) => {
+                callee.clone_from(sc);
+                args.clone_from(sa);
+                *dst = *sd;
+            }
+            (Inst::Return { value }, Inst::Return { value: sv }) => value.clone_from(sv),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
 impl Inst {
     /// The register defined by this instruction, if any.
     pub fn def(&self) -> Option<Reg> {
@@ -113,6 +163,15 @@ impl Inst {
             }
             Inst::CondBranch { .. } | Inst::Jump { .. } => {}
         }
+    }
+
+    /// Counts how many times register `r` is *read* by this instruction —
+    /// the number of occurrences [`collect_uses`](Inst::collect_uses)
+    /// would push, without allocating.
+    pub fn count_reg_uses(&self, r: Reg) -> usize {
+        let mut n = 0;
+        self.visit_exprs(&mut |e| n += e.count_reg(r));
+        n
     }
 
     /// Calls `f` on every expression operand of the instruction.

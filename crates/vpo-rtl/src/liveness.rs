@@ -51,6 +51,11 @@ impl BitSet {
         self.words[w] &= !(1 << b);
     }
 
+    /// Clears every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Membership test.
     pub fn contains(&self, i: usize) -> bool {
         let (w, b) = (i / 64, i % 64);
@@ -123,42 +128,47 @@ impl Liveness {
         let mut live_in = vec![BitSet::new(n); nb];
         let mut live_out = vec![BitSet::new(n); nb];
 
-        // Precompute per-block gen/kill.
+        // Precompute per-block gen/kill. The two visitor passes per
+        // instruction replace the old uses/defs Vec pair, so this loop
+        // performs no per-instruction allocation.
         let mut gen = vec![BitSet::new(n); nb];
         let mut kill = vec![BitSet::new(n); nb];
         for (bi, b) in f.blocks.iter().enumerate() {
+            let (gen_b, kill_b) = (&mut gen[bi], &mut kill[bi]);
             for inst in &b.insts {
-                let (uses, defs) = inst_uses_defs(inst, &index);
-                for u in uses {
-                    if !kill[bi].contains(u) {
-                        gen[bi].insert(u);
+                visit_inst_uses(inst, &index, &mut |u| {
+                    if !kill_b.contains(u) {
+                        gen_b.insert(u);
                     }
-                }
-                for d in defs {
-                    kill[bi].insert(d);
-                }
+                });
+                visit_inst_defs(inst, &index, &mut |d| {
+                    kill_b.insert(d);
+                });
             }
         }
 
-        // Iterate to fixpoint, backward.
+        // Iterate to fixpoint, backward; the two scratch sets are reused
+        // across blocks and iterations.
+        let mut out = BitSet::new(n);
+        let mut inn = BitSet::new(n);
         let mut changed = true;
         while changed {
             changed = false;
             for bi in (0..nb).rev() {
-                let mut out = BitSet::new(n);
+                out.clear();
                 for &s in &cfg.succs[bi] {
                     out.union_with(&live_in[s]);
                 }
                 if out != live_out[bi] {
-                    live_out[bi] = out;
+                    live_out[bi].clone_from(&out);
                 }
-                let mut inn = live_out[bi].clone();
+                inn.clone_from(&live_out[bi]);
                 for k in kill[bi].iter() {
                     inn.remove(k);
                 }
                 inn.union_with(&gen[bi]);
                 if inn != live_in[bi] {
-                    live_in[bi] = inn;
+                    live_in[bi].clone_from(&inn);
                     changed = true;
                 }
             }
@@ -181,13 +191,10 @@ impl Liveness {
         let mut live = self.live_out[bi].clone();
         for (ii, inst) in f.blocks[bi].insts.iter().enumerate().rev() {
             cb(ii, inst, &live);
-            let (uses, defs) = inst_uses_defs(inst, &self.index);
-            for d in defs {
-                live.remove(d);
-            }
-            for u in uses {
+            visit_inst_defs(inst, &self.index, &mut |d| live.remove(d));
+            visit_inst_uses(inst, &self.index, &mut |u| {
                 live.insert(u);
-            }
+            });
         }
     }
 
@@ -203,51 +210,65 @@ impl Liveness {
     }
 }
 
-/// Extracts the (uses, defs) item indices of one instruction. Items not in
-/// the universe (e.g. non-allocatable locals) are ignored.
-pub fn inst_uses_defs(inst: &Inst, index: &HashMap<Item, usize>) -> (Vec<usize>, Vec<usize>) {
-    let mut uses = Vec::new();
-    let mut defs = Vec::new();
-    let use_item = |it: Item, uses: &mut Vec<usize>| {
-        if let Some(&i) = index.get(&it) {
-            uses.push(i);
-        }
-    };
-    // Register uses, plus direct local loads.
-    let mut regs = Vec::new();
-    inst.collect_uses(&mut regs);
-    for r in regs {
-        use_item(Item::Reg(r), &mut uses);
-    }
+/// Calls `cb` with the universe index of every item this instruction
+/// *reads*: register occurrences, direct local loads, and the condition
+/// code. Items not in the universe are ignored; repeated reads are
+/// reported repeatedly. Allocation-free.
+pub fn visit_inst_uses(inst: &Inst, index: &HashMap<Item, usize>, cb: &mut impl FnMut(usize)) {
     inst.visit_exprs(&mut |e| {
-        e.visit(&mut |sub| {
-            if let Expr::Load(_, a) = sub {
+        e.visit(&mut |sub| match sub {
+            Expr::Reg(r) => {
+                if let Some(&i) = index.get(&Item::Reg(*r)) {
+                    cb(i);
+                }
+            }
+            Expr::Load(_, a) => {
                 if let Expr::LocalAddr(id) = &**a {
                     if let Some(&i) = index.get(&Item::Local(*id)) {
-                        uses.push(i);
+                        cb(i);
                     }
                 }
             }
+            _ => {}
         });
     });
     if inst.uses_cc() {
-        use_item(Item::Cc, &mut uses);
+        if let Some(&i) = index.get(&Item::Cc) {
+            cb(i);
+        }
     }
+}
+
+/// Calls `cb` with the universe index of every item this instruction
+/// *defines*: the destination register, the condition code, and direct
+/// local stores. Allocation-free.
+pub fn visit_inst_defs(inst: &Inst, index: &HashMap<Item, usize>, cb: &mut impl FnMut(usize)) {
     if let Some(d) = inst.def() {
         if let Some(&i) = index.get(&Item::Reg(d)) {
-            defs.push(i);
+            cb(i);
         }
     }
     if inst.defs_cc() {
         if let Some(&i) = index.get(&Item::Cc) {
-            defs.push(i);
+            cb(i);
         }
     }
     if let Inst::Store { addr: Expr::LocalAddr(id), .. } = inst {
         if let Some(&i) = index.get(&Item::Local(*id)) {
-            defs.push(i);
+            cb(i);
         }
     }
+}
+
+/// Extracts the (uses, defs) item indices of one instruction. Items not in
+/// the universe (e.g. non-allocatable locals) are ignored. Prefer the
+/// allocation-free [`visit_inst_uses`]/[`visit_inst_defs`] pair in hot
+/// paths.
+pub fn inst_uses_defs(inst: &Inst, index: &HashMap<Item, usize>) -> (Vec<usize>, Vec<usize>) {
+    let mut uses = Vec::new();
+    let mut defs = Vec::new();
+    visit_inst_uses(inst, index, &mut |u| uses.push(u));
+    visit_inst_defs(inst, index, &mut |d| defs.push(d));
     (uses, defs)
 }
 
