@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! perfsuite [--label L] [--trials N] [--metrics-dir DIR]
-//!           [--engine scratch|reference]
+//!           [--engine scratch|reference] [--sim-engine interp|threaded]
 //!           [--check] [--threshold PCT] [--baseline PATH]
 //! ```
 //!
@@ -27,7 +27,10 @@
 //!
 //! `--engine` selects the expansion engine for every workload (default
 //! `scratch`); `--engine reference` re-times the suite on the
-//! pre-scratch-core path for A/B comparisons. Both engines must produce
+//! pre-scratch-core path for A/B comparisons. `--sim-engine` does the
+//! same for the simulator: `threaded` (default) is the pre-lowered
+//! direct-threaded engine, `interp` the tree-walking reference — an
+//! interleaved pair of runs is the before/after table in EXPERIMENTS.md. Both engines must produce
 //! identical search semantics, so whenever the baseline file exists —
 //! even without `--check` — the suite additionally verifies that the
 //! engine-independent semantic counters (`enumerate.phases_attempted`
@@ -45,7 +48,9 @@ use phase_order::campaign::{self, CampaignConfig, FunctionTask, NullObserver};
 use phase_order::enumerate::{enumerate, Config, Engine};
 use phase_order::oracle::{self, OracleConfig};
 use phase_order::telemetry;
+use vpo_opt::batch::batch_compile;
 use vpo_opt::Target;
+use vpo_sim::{Machine, SimEngine};
 
 /// The pinned kernels with their inner repetition counts: small enough
 /// that the full suite stays in seconds, spread over three benchmarks
@@ -64,6 +69,7 @@ struct Options {
     baseline: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
     engine: Engine,
+    sim_engine: SimEngine,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +81,7 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         metrics_dir: None,
         engine: Engine::Scratch,
+        sim_engine: SimEngine::Threaded,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,6 +108,13 @@ fn parse_args() -> Result<Options, String> {
             opts.baseline = Some(PathBuf::from(value("--baseline")?));
         } else if a.starts_with("--metrics-dir") {
             opts.metrics_dir = Some(PathBuf::from(value("--metrics-dir")?));
+        } else if a.starts_with("--sim-engine") {
+            let v = value("--sim-engine")?;
+            opts.sim_engine = match v.as_str() {
+                "interp" => SimEngine::Interp,
+                "threaded" => SimEngine::Threaded,
+                _ => return Err(format!("bad --sim-engine value `{v}` (interp|threaded)")),
+            };
         } else if a.starts_with("--engine") {
             let v = value("--engine")?;
             opts.engine = match v.as_str() {
@@ -268,7 +282,7 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
             .map_err(|e| format!("bitcount: {e}"))?;
         let f = program.function("bit_count").ok_or("bitcount: no function `bit_count`")?;
         let enum_config = Config { engine: opts.engine, ..Config::default() };
-        let oracle_config = OracleConfig::default();
+        let oracle_config = OracleConfig { engine: opts.sim_engine, ..OracleConfig::default() };
         workloads.push(run_workload(
             "oracle/bitcount::bit_count",
             opts.trials,
@@ -280,6 +294,73 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
                 assert!(report.is_clean(), "perfsuite oracle found miscompilations");
             },
         )?);
+    }
+
+    // Pure simulation: an oracle-battery-shaped workload with no
+    // enumeration in the loop — the direct measure of `--sim-engine`
+    // throughput for the before/after A/B table. Naive and
+    // batch-optimized instances of two loop kernels (one doing real work
+    // per iteration, one a bare counting loop) run over fixed batteries
+    // on one reused machine, mirroring `observe_battery`'s cycle
+    // exactly: under the threaded engine each instance is lowered once
+    // and reused for every input. The counting loop gets a large-trip
+    // battery — the million-simulation-battery shape the threaded
+    // engine exists for.
+    {
+        let program = vpo_frontend::compile(
+            "int mix(int n) {\n\
+                 int i; int j; int s;\n\
+                 s = 0;\n\
+                 for (i = 0; i < n; i++) {\n\
+                     for (j = 0; j < 64; j++) s += (i ^ j) + (s >> 3);\n\
+                 }\n\
+                 return s;\n\
+             }\n\
+             int spin(int n) { int i; for (i = 0; i < n; i++) ; return i; }",
+        )
+        .map_err(|e| format!("sim battery kernel: {e}"))?;
+        // Each function contributes its naive form plus optimized
+        // variants, mirroring an oracle battery's composition: an
+        // enumerated space holds exactly one unoptimized instance among
+        // hundreds of (partially) optimized ones.
+        let mut instances = Vec::new();
+        for f in &program.functions {
+            instances.push(f.clone());
+            for seq in ["sk", "skc", "sksh"] {
+                let mut g = f.clone();
+                for letter in seq.chars() {
+                    let p = vpo_opt::PhaseId::from_letter(letter)
+                        .ok_or(format!("bad phase letter `{letter}`"))?;
+                    vpo_opt::attempt(&mut g, p, &target);
+                }
+                instances.push(g);
+            }
+            let mut batch = f.clone();
+            batch_compile(&mut batch, &target);
+            instances.push(batch);
+        }
+        let mix_battery: &[i32] = &[0, 1, 100, 400, 1000];
+        let spin_battery: &[i32] = &[0, 1, 1000, 300_000, 1_000_000];
+        workloads.push(run_workload("sim/battery/mix+spin", opts.trials, 3, metrics_dir, || {
+            let mut m = Machine::with_mem_size(&program, 1 << 16);
+            m.set_engine(opts.sim_engine);
+            let mut dynamic = 0u64;
+            for f in &instances {
+                let battery = if f.name == "spin" { spin_battery } else { mix_battery };
+                let lowered = (m.engine() == SimEngine::Threaded).then(|| m.lower_instance(f));
+                for &n in battery {
+                    m.reset();
+                    m.set_fuel(50_000_000);
+                    let r = match &lowered {
+                        Some(li) => m.call_lowered(li, &[n]),
+                        None => m.call_instance(f, &[n]),
+                    };
+                    assert!(r.is_ok(), "sim battery trapped: {r:?}");
+                    dynamic += m.dynamic_insts();
+                }
+            }
+            std::hint::black_box(dynamic);
+        })?);
     }
 
     Ok(PerfReport { label: opts.label.clone(), calibration_ns, workloads })

@@ -25,6 +25,13 @@
 //! instead of a file; `--max-nodes N` bounds the enumeration,
 //! `--battery N` and `--seed S` shape the input battery.
 //!
+//! The simulating subcommands (`run`, `verify`) accept `--sim-engine
+//! interp|threaded|both`: `threaded` (the default) is the pre-lowered
+//! direct-threaded engine, `interp` the tree-walking reference, and
+//! `both` runs the work on each engine and errors unless the reports are
+//! bit-identical — the sim differential gate. (`explore` and `campaign`
+//! never simulate, so they take no engine flag.)
+//!
 //! `campaign` explores **every** function of a file, benchmark, or the
 //! whole suite over one shared worker pool, checkpointing each completed
 //! function to `--store PATH`. A killed campaign re-run with `--resume`
@@ -49,7 +56,7 @@ use phase_order::oracle::{self, OracleConfig};
 use phase_order::stats::FunctionRow;
 use vpo_opt::batch::batch_compile;
 use vpo_opt::{attempt, PhaseId, Target};
-use vpo_sim::Machine;
+use vpo_sim::{Machine, SimEngine};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -60,10 +67,11 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  vpoc compile  <file.mc> [--seq LETTERS | --batch]");
-            eprintln!("  vpoc run      <file.mc> <function> [int args...]");
+            eprintln!("  vpoc run      <file.mc> <function> [int args...] [--sim-engine E]");
             eprintln!("  vpoc explore  <file.mc> [function] [--jobs N] [--metrics PATH]");
             eprintln!("  vpoc verify   <file.mc>|--bench NAME [function] [--jobs N]");
             eprintln!("                [--max-nodes N] [--battery N] [--seed S] [--metrics PATH]");
+            eprintln!("                [--sim-engine interp|threaded|both]");
             eprintln!("  vpoc campaign <file.mc>|--bench NAME|--all-benches [function]");
             eprintln!("                [--store PATH] [--resume] [--jobs N] [--max-nodes N]");
             eprintln!("                [--max-functions N] [--metrics PATH]");
@@ -73,6 +81,9 @@ fn main() -> ExitCode {
             eprintln!("  --jobs N       enumerate/verify with N worker threads (0 = one per");
             eprintln!("                 CPU); results are identical for any job count");
             eprintln!("  --metrics PATH write a telemetry snapshot of the run as JSON");
+            eprintln!("  --sim-engine E simulate with `threaded` (default), `interp` (the");
+            eprintln!("                 reference), or `both` (differential gate: error");
+            eprintln!("                 unless the engines agree bit-identically)");
             ExitCode::FAILURE
         }
     }
@@ -142,6 +153,26 @@ fn metrics_end(path: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--sim-engine` choices: one engine, or the differential gate.
+#[derive(Clone, Copy)]
+enum SimChoice {
+    One(SimEngine),
+    Both,
+}
+
+fn parse_sim_engine(rest: &mut Vec<String>) -> Result<SimChoice, String> {
+    Ok(match args::string(rest, "--sim-engine")?.as_deref() {
+        None | Some("threaded") => SimChoice::One(SimEngine::Threaded),
+        Some("interp") => SimChoice::One(SimEngine::Interp),
+        Some("both") => SimChoice::Both,
+        Some(other) => {
+            return Err(format!(
+                "--sim-engine: unknown engine `{other}` (expected interp, threaded or both)"
+            ))
+        }
+    })
+}
+
 fn parse_seq(letters: &str) -> Result<Vec<PhaseId>, String> {
     letters
         .chars()
@@ -197,9 +228,11 @@ fn compile_cmd(argv: &[String]) -> Result<(), String> {
 }
 
 fn run_cmd(argv: &[String]) -> Result<(), String> {
-    let path = argv.first().ok_or("run: missing file")?;
-    let func = argv.get(1).ok_or("run: missing function name")?;
-    let call_args: Vec<i32> = argv[2..]
+    let mut rest = argv.to_vec();
+    let sim_engine = parse_sim_engine(&mut rest)?;
+    let path = rest.first().ok_or("run: missing file")?;
+    let func = rest.get(1).ok_or("run: missing function name")?;
+    let call_args: Vec<i32> = rest[2..]
         .iter()
         .map(|a| a.parse().map_err(|_| format!("bad integer argument `{a}`")))
         .collect::<Result<_, _>>()?;
@@ -208,19 +241,41 @@ fn run_cmd(argv: &[String]) -> Result<(), String> {
     let mut optimized = program.function(func).ok_or(format!("no function `{func}`"))?.clone();
     batch_compile(&mut optimized, &target);
 
-    let mut naive = Machine::new(&program);
-    let expected = naive.call(func, &call_args).map_err(|e| e.to_string())?;
-    let mut opt = Machine::new(&program);
-    let got = opt.call_instance(&optimized, &call_args).map_err(|e| e.to_string())?;
-    if expected != got {
-        return Err(format!("MISCOMPILATION: naive={expected}, optimized={got}"));
+    let engines: &[SimEngine] = match sim_engine {
+        SimChoice::One(SimEngine::Interp) => &[SimEngine::Interp],
+        SimChoice::One(SimEngine::Threaded) => &[SimEngine::Threaded],
+        SimChoice::Both => &[SimEngine::Interp, SimEngine::Threaded],
+    };
+    let mut prev: Option<(i32, u64, u64)> = None;
+    for &engine in engines {
+        let mut naive = Machine::new(&program);
+        naive.set_engine(engine);
+        let expected = naive.call(func, &call_args).map_err(|e| e.to_string())?;
+        let mut opt = Machine::new(&program);
+        opt.set_engine(engine);
+        let got = opt.call_instance(&optimized, &call_args).map_err(|e| e.to_string())?;
+        if expected != got {
+            return Err(format!("MISCOMPILATION: naive={expected}, optimized={got}"));
+        }
+        let this = (got, naive.dynamic_insts(), opt.dynamic_insts());
+        if let Some(p) = prev {
+            if p != this {
+                return Err(format!(
+                    "sim-engine differential FAILED: interp {p:?} != threaded {this:?}"
+                ));
+            }
+            println!("engines agree: interp == threaded");
+        }
+        prev = Some(this);
+        if engine == *engines.last().unwrap() {
+            println!("{func}({call_args:?}) = {got}");
+            println!(
+                "dynamic instructions: naive {} -> optimized {}",
+                naive.dynamic_insts(),
+                opt.dynamic_insts()
+            );
+        }
     }
-    println!("{func}({call_args:?}) = {got}");
-    println!(
-        "dynamic instructions: naive {} -> optimized {}",
-        naive.dynamic_insts(),
-        opt.dynamic_insts()
-    );
     Ok(())
 }
 
@@ -257,6 +312,7 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
     let battery = args::value::<usize>(&mut rest, "--battery")?;
     let seed = args::value::<u64>(&mut rest, "--seed")?;
     let bench = args::string(&mut rest, "--bench")?;
+    let sim_engine = parse_sim_engine(&mut rest)?;
     let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "verify")?;
 
@@ -289,8 +345,50 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
                 continue;
             }
         }
-        let (e, report) =
-            oracle::verify_function(&program, f, &target, &enum_config, &oracle_config);
+        let (e, report) = match sim_engine {
+            SimChoice::One(engine) => oracle::verify_function(
+                &program,
+                f,
+                &target,
+                &enum_config,
+                &OracleConfig { engine, ..oracle_config.clone() },
+            ),
+            SimChoice::Both => {
+                // Enumerate once, verify the same space on each engine,
+                // and demand bit-identical reports — the sim differential
+                // gate.
+                let mut ec = enum_config.clone();
+                ec.jobs = match oracle_config.jobs {
+                    0 => phase_order::jobs_per_cpu(),
+                    1 => 0,
+                    n => n,
+                };
+                let e = enumerate(f, &target, &ec);
+                let threaded = oracle::verify(
+                    &program,
+                    f,
+                    &e,
+                    &target,
+                    &OracleConfig { engine: SimEngine::Threaded, ..oracle_config.clone() },
+                );
+                let interp = oracle::verify(
+                    &program,
+                    f,
+                    &e,
+                    &target,
+                    &OracleConfig { engine: SimEngine::Interp, ..oracle_config.clone() },
+                );
+                if interp != threaded {
+                    return Err(format!(
+                        "sim-engine differential FAILED on `{}`: the interpreter and \
+                         threaded engines produced different reports",
+                        f.name
+                    ));
+                }
+                println!("{}: engines agree (interp == threaded)", f.name);
+                (e, threaded)
+            }
+        };
         let tag = if e.outcome.is_complete() { "" } else { " [space truncated]" };
         println!("{}{tag}", report.summary());
         for finding in &report.findings {
@@ -523,10 +621,29 @@ mod tests {
             "--max-nodes=500".into(),
         ])
         .unwrap();
+        run(&[
+            "run".into(),
+            path.clone(),
+            "triple".into(),
+            "14".into(),
+            "--sim-engine=interp".into(),
+        ])
+        .unwrap();
+        run(&[
+            "run".into(),
+            path.clone(),
+            "triple".into(),
+            "14".into(),
+            "--sim-engine=both".into(),
+        ])
+        .unwrap();
+        run(&["verify".into(), path.clone(), "--sim-engine".into(), "interp".into()]).unwrap();
+        run(&["verify".into(), path.clone(), "--sim-engine=both".into()]).unwrap();
         run(&["dot".into(), path.clone(), "triple".into()]).unwrap();
         run(&["dot".into(), path.clone(), "triple".into(), "-j".into(), "4".into()]).unwrap();
         run(&["phases".into()]).unwrap();
         assert!(run(&["bogus".into()]).is_err());
+        assert!(run(&["verify".into(), path.clone(), "--sim-engine=qemu".into()]).is_err());
         assert!(run(&["explore".into(), path.clone(), "--jobs".into()]).is_err());
         assert!(run(&["explore".into(), path.clone(), "--bogus".into()]).is_err());
         assert!(run(&["verify".into(), path.clone(), "--battery".into()]).is_err());

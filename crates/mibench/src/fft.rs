@@ -335,10 +335,10 @@ mod tests {
         let p = benchmark().compile().unwrap();
         let mut m = Machine::new(&p);
         m.call("fft_load_wave", &[2, 16000]).unwrap();
-        let before: Vec<i32> = (0..16).map(|i| m.read_global_word("re", i)).collect();
+        let before: Vec<i32> = (0..16).map(|i| m.read_global_word("re", i).unwrap()).collect();
         m.call("fft_window", &[]).unwrap();
         for (i, &b) in before.iter().enumerate() {
-            let after = m.read_global_word("re", i);
+            let after = m.read_global_word("re", i).unwrap();
             assert!(after.abs() <= b.abs().max(1), "window grew sample {i}");
         }
     }

@@ -342,16 +342,17 @@ mod tests {
         let p = benchmark().compile().unwrap();
         let mut m = Machine::new(&p);
         for i in 0..64 {
-            m.write_global_word("blk", i, (i as i32) * 4);
+            m.write_global_word("blk", i, (i as i32) * 4).unwrap();
         }
         m.call("downsample_2x2", &[]).unwrap();
         // Quad (0,1,8,9)*4 = (0+4+32+36+2)/4 = 18 (rounded).
-        assert_eq!(m.read_global_word("out", 0), 18);
+        assert_eq!(m.read_global_word("out", 0).unwrap(), 18);
         // Values strictly increase along each row of the downsample.
         for r in 0..4 {
             for c in 1..4 {
                 assert!(
-                    m.read_global_word("out", r * 4 + c) > m.read_global_word("out", r * 4 + c - 1)
+                    m.read_global_word("out", r * 4 + c).unwrap()
+                        > m.read_global_word("out", r * 4 + c - 1).unwrap()
                 );
             }
         }
@@ -362,7 +363,7 @@ mod tests {
         let p = benchmark().compile().unwrap();
         let mut m = Machine::new(&p);
         for i in 0..64 {
-            m.write_global_word("blk", i, i as i32 - 20);
+            m.write_global_word("blk", i, i as i32 - 20).unwrap();
         }
         let s: i32 = (0..64).map(|i| i - 20).sum();
         assert_eq!(m.call("block_mean", &[]).unwrap(), (s + 32) >> 6);
@@ -375,12 +376,12 @@ mod tests {
         m.call("load_patch", &[3]).unwrap();
         m.call("dct_rows", &[]).unwrap();
         m.call("idct_rows", &[]).unwrap();
-        let a: Vec<i32> = (0..64).map(|i| m.read_global_word("blk", i)).collect();
+        let a: Vec<i32> = (0..64).map(|i| m.read_global_word("blk", i).unwrap()).collect();
         m.reset();
         m.call("load_patch", &[3]).unwrap();
         m.call("dct_rows", &[]).unwrap();
         m.call("idct_rows", &[]).unwrap();
-        let b: Vec<i32> = (0..64).map(|i| m.read_global_word("blk", i)).collect();
+        let b: Vec<i32> = (0..64).map(|i| m.read_global_word("blk", i).unwrap()).collect();
         assert_eq!(a, b);
     }
 
@@ -390,7 +391,7 @@ mod tests {
         let m = Machine::new(&p);
         let mut seen = [false; 64];
         for i in 0..64 {
-            let v = m.read_global_word("zigzag", i) as usize;
+            let v = m.read_global_word("zigzag", i).unwrap() as usize;
             assert!(v < 64 && !seen[v], "zigzag[{i}]={v}");
             seen[v] = true;
         }

@@ -41,7 +41,7 @@ use vpo_opt::{attempt, PhaseId, Target};
 use vpo_rtl::canon;
 use vpo_rtl::rng::Rng;
 use vpo_rtl::{Function, Program};
-use vpo_sim::{Machine, SimError};
+use vpo_sim::{Machine, SimEngine, SimError};
 
 use crate::enumerate::Enumeration;
 use crate::space::{NodeId, SearchSpace};
@@ -61,11 +61,23 @@ pub struct OracleConfig {
     pub mem_size: usize,
     /// Worker threads: `0` = one per available CPU, `1` = serial.
     pub jobs: usize,
+    /// Which simulator engine executes the battery. Both engines are
+    /// observationally identical, so the verdict does not depend on the
+    /// choice; [`SimEngine::Threaded`] (the default) is the fast path,
+    /// [`SimEngine::Interp`] the reference for differential runs.
+    pub engine: SimEngine,
 }
 
 impl Default for OracleConfig {
     fn default() -> Self {
-        OracleConfig { battery: 4, seed: 0x04AC1E, fuel: 2_000_000, mem_size: 1 << 18, jobs: 1 }
+        OracleConfig {
+            battery: 4,
+            seed: 0x04AC1E,
+            fuel: 2_000_000,
+            mem_size: 1 << 18,
+            jobs: 1,
+            engine: SimEngine::default(),
+        }
     }
 }
 
@@ -237,19 +249,28 @@ fn observe(m: &mut Machine<'_>, f: &Function, args: &[i32], fuel: u64) -> (Obser
 }
 
 /// Observes `f` on the whole battery. Returns per-input observations and
-/// the total dynamic count.
+/// the total dynamic count. Under the threaded engine the instance is
+/// lowered once and reused for every input, so the per-battery cost is
+/// one lowering (mostly block-cache hits across instances) plus the flat
+/// op-array executions.
 fn observe_battery(
     m: &mut Machine<'_>,
     f: &Function,
     inputs: &[Vec<i32>],
     fuel: u64,
 ) -> (Vec<Observation>, u64) {
+    let lowered = (m.engine() == SimEngine::Threaded).then(|| m.lower_instance(f));
     let mut obs = Vec::with_capacity(inputs.len());
     let mut dynamic = 0;
     for args in inputs {
-        let (o, d) = observe(m, f, args, fuel);
-        obs.push(o);
-        dynamic += d;
+        m.reset();
+        m.set_fuel(fuel);
+        let r = match &lowered {
+            Some(li) => m.call_lowered(li, args),
+            None => m.call_instance(f, args),
+        };
+        obs.push(r.map(|v| (v, m.globals_crc())));
+        dynamic += m.dynamic_insts();
     }
     (obs, dynamic)
 }
@@ -267,6 +288,7 @@ fn build_battery(
 ) -> (Vec<Vec<i32>>, Vec<Observation>, u64) {
     let arity = f.params.len();
     let mut m = Machine::with_mem_size(program, config.mem_size);
+    m.set_engine(config.engine);
     if arity == 0 {
         let (obs, dynamic) = observe(&mut m, f, &[], config.fuel);
         return match obs {
@@ -391,6 +413,7 @@ pub fn verify(
             for _ in 0..jobs.min(items.len()) {
                 scope.spawn(|| {
                     let mut m = Machine::with_mem_size(program, config.mem_size);
+                    m.set_engine(config.engine);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
@@ -402,6 +425,7 @@ pub fn verify(
         slots.into_iter().map(|s| s.into_inner().unwrap().expect("worker filled slot")).collect()
     } else {
         let mut m = Machine::with_mem_size(program, config.mem_size);
+        m.set_engine(config.engine);
         items.iter().map(|item| run_item(&mut m, item)).collect()
     };
 
@@ -586,6 +610,31 @@ mod tests {
             !report.is_clean(),
             "oracle failed to flag a space that does not belong to the function"
         );
+    }
+
+    #[test]
+    fn both_engines_produce_identical_reports() {
+        let p = compile(
+            "int f(int a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a * i; return s; }",
+        );
+        let target = Target::default();
+        let e = crate::enumerate(&p.functions[0], &target, &Config::default());
+        let interp = verify(
+            &p,
+            &p.functions[0],
+            &e,
+            &target,
+            &OracleConfig { engine: SimEngine::Interp, ..OracleConfig::default() },
+        );
+        let threaded = verify(
+            &p,
+            &p.functions[0],
+            &e,
+            &target,
+            &OracleConfig { engine: SimEngine::Threaded, ..OracleConfig::default() },
+        );
+        assert_eq!(interp, threaded);
+        assert!(interp.is_clean(), "findings: {:?}", interp.findings);
     }
 
     #[test]

@@ -326,9 +326,11 @@ impl Telemetry {
         ]
     }
 
-    /// Zeroes every metric. Intended for harnesses measuring several
-    /// workloads in one process; concurrent updates during the reset land
-    /// in whichever side of it they land, so reset only between runs.
+    /// Zeroes every metric, including the `vpo-sim` engine counters this
+    /// registry folds into its snapshots. Intended for harnesses measuring
+    /// several workloads in one process; concurrent updates during the
+    /// reset land in whichever side of it they land, so reset only
+    /// between runs.
     pub fn reset(&self) {
         for m in self.metrics() {
             match m {
@@ -337,11 +339,17 @@ impl Telemetry {
                 MetricRef::Histogram(h) => h.reset(),
             }
         }
+        vpo_sim::stats::reset();
     }
 
-    /// Captures the current value of every metric.
+    /// Captures the current value of every metric, appending the
+    /// simulator-engine counters maintained by [`vpo_sim::stats`]:
+    /// `sim.blocks_lowered` and `sim.lower_cache_hits` depend on how the
+    /// oracle split work across machines (non-deterministic), while
+    /// `sim.batched_retires` is a pure function of the simulated
+    /// instruction streams (deterministic).
     pub fn snapshot(&self) -> Snapshot {
-        let metrics = self
+        let mut metrics: Vec<MetricSnapshot> = self
             .metrics()
             .into_iter()
             .map(|m| match m {
@@ -366,6 +374,22 @@ impl Telemetry {
                 },
             })
             .collect();
+        let sim = vpo_sim::stats::snapshot();
+        metrics.push(MetricSnapshot {
+            name: "sim.blocks_lowered",
+            deterministic: false,
+            value: MetricValue::Counter(sim.blocks_lowered),
+        });
+        metrics.push(MetricSnapshot {
+            name: "sim.lower_cache_hits",
+            deterministic: false,
+            value: MetricValue::Counter(sim.lower_cache_hits),
+        });
+        metrics.push(MetricSnapshot {
+            name: "sim.batched_retires",
+            deterministic: true,
+            value: MetricValue::Counter(sim.batched_retires),
+        });
         Snapshot { metrics }
     }
 }

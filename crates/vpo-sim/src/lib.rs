@@ -19,6 +19,14 @@
 //!   `HI[sym]`/`LO[sym]` split the global's address exactly like the
 //!   ARM idiom the paper shows in Figure 5.
 //!
+//! The machine has two execution engines selected by [`SimEngine`]: the
+//! original tree-walking interpreter ([`SimEngine::Interp`], the
+//! reference semantics) and a pre-lowered direct-threaded engine
+//! ([`SimEngine::Threaded`], the default) that is bit-identical to the
+//! interpreter but much faster — see the [`threaded`](self) module docs
+//! and `DESIGN.md`. `tests/sim_engine_equivalence.rs` at the workspace
+//! root is the differential gate holding the two engines together.
+//!
 //! # Example
 //!
 //! ```
@@ -31,9 +39,15 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use vpo_rtl::crc::crc32;
 use vpo_rtl::{BinOp, Expr, Function, Inst, Program, Reg, SymId, Width};
+
+pub mod stats;
+mod threaded;
+
+pub use threaded::LoweredInstance;
 
 /// Simulator errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +79,18 @@ pub enum SimError {
     OutOfStack,
     /// A function fell off its last block without returning.
     MissingReturn(String),
+    /// A host-side global accessor named a global not present in the
+    /// program.
+    UnknownGlobal(String),
+    /// A host-side global accessor read or wrote outside the named
+    /// global's storage.
+    GlobalOutOfRange {
+        /// The global's name.
+        name: String,
+        /// The offending element/byte index (the data length, for bulk
+        /// writes).
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -82,6 +108,10 @@ impl std::fmt::Display for SimError {
             SimError::StackOverflow => write!(f, "call stack overflow"),
             SimError::OutOfStack => write!(f, "stack region exhausted"),
             SimError::MissingReturn(n) => write!(f, "function `{n}` fell off the end"),
+            SimError::UnknownGlobal(n) => write!(f, "access to unknown global `{n}`"),
+            SimError::GlobalOutOfRange { name, index } => {
+                write!(f, "access at index {index} is outside global `{name}`")
+            }
         }
     }
 }
@@ -97,6 +127,22 @@ const DEFAULT_FUEL: u64 = 200_000_000;
 /// Default maximum call depth.
 const MAX_DEPTH: usize = 256;
 
+/// Which execution engine a [`Machine`] uses.
+///
+/// Both engines are observationally identical — same return values,
+/// memory effects, dynamic instruction counts, block-entry counts, and
+/// error classification. The interpreter is the reference semantics; the
+/// threaded engine is the fast default, held to the reference by the
+/// `sim_engine_equivalence` differential suite.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimEngine {
+    /// The tree-walking reference interpreter.
+    Interp,
+    /// The pre-lowered direct-threaded engine (default).
+    #[default]
+    Threaded,
+}
+
 /// An RTL machine: memory, globals layout, and instruction counters.
 #[derive(Clone)]
 pub struct Machine<'p> {
@@ -106,10 +152,26 @@ pub struct Machine<'p> {
     stack_top: u32,
     dynamic: u64,
     fuel: u64,
+    engine: SimEngine,
     functions: HashMap<&'p str, &'p Function>,
     /// Per-block entry counters for the *outermost* frame of
     /// [`Machine::call_instance_counted`], if one is active.
     block_counts: Option<Vec<u64>>,
+    /// Program-function index by name, mirroring `functions` (same
+    /// last-definition-wins behavior for duplicate names).
+    fn_index: HashMap<&'p str, u32>,
+    /// Lazily lowered program functions (threaded engine callees).
+    lowered_fns: Vec<Option<Arc<threaded::LoweredFunction>>>,
+    /// Block-level lowering cache; holds pure code, so it survives
+    /// [`Machine::reset`] and is shared across instances.
+    lower_cache: threaded::LowerCache,
+    /// Scratch pools for threaded frames (register files, local-address
+    /// tables) and postfix evaluation; purely an allocation-reuse detail.
+    regfile_pool: Vec<Vec<i32>>,
+    local_pool: Vec<Vec<u32>>,
+    eval_stack: Vec<i32>,
+    /// Batched-retirement count awaiting a flush to [`stats`].
+    pending_retires: u64,
 }
 
 impl<'p> Machine<'p> {
@@ -135,11 +197,34 @@ impl<'p> Machine<'p> {
             stack_top: mem_size as u32,
             dynamic: 0,
             fuel: DEFAULT_FUEL,
+            engine: SimEngine::default(),
             functions: program.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
             block_counts: None,
+            fn_index: program
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.as_str(), i as u32))
+                .collect(),
+            lowered_fns: vec![None; program.functions.len()],
+            lower_cache: threaded::LowerCache::default(),
+            regfile_pool: Vec::new(),
+            local_pool: Vec::new(),
+            eval_stack: Vec::new(),
+            pending_retires: 0,
         };
         m.layout_globals();
         m
+    }
+
+    /// Selects the execution engine (default [`SimEngine::Threaded`]).
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected execution engine.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// Replaces the instruction budget (default 200M).
@@ -152,11 +237,23 @@ impl<'p> Machine<'p> {
         self.dynamic
     }
 
-    /// Resets memory (re-initializing globals) and the dynamic counter.
+    /// Restores the machine to its initial observable state: memory is
+    /// zeroed and globals re-initialized, the dynamic counter returns to
+    /// zero (which also restores the full fuel budget — the fuel *cap*
+    /// set by [`Machine::set_fuel`] is configuration, not run state), and
+    /// any in-progress block-count accumulator is dropped.
+    ///
+    /// Deliberately *not* reset: the configured fuel cap, and the
+    /// threaded engine's lowering caches — those hold pure code, and
+    /// keeping them warm across a battery of resets is the point of the
+    /// block cache. `stack_top` needs no restore here because every
+    /// public call path saves and restores it, and condition codes and
+    /// registers are per-frame state that cannot outlive a call.
     pub fn reset(&mut self) {
         self.mem.iter_mut().for_each(|b| *b = 0);
         self.layout_globals();
         self.dynamic = 0;
+        self.block_counts = None;
     }
 
     fn layout_globals(&mut self) {
@@ -201,47 +298,83 @@ impl<'p> Machine<'p> {
         crc32(&self.mem[GLOBAL_BASE as usize..end as usize])
     }
 
+    /// Base address and size (in bytes) of the named global, range-checked
+    /// by the host-side accessors below. These report errors the same way
+    /// the simulated OOB store path does, rather than panicking: a bad
+    /// workload index in an oracle battery is data, not a crash.
+    fn global_span(&self, name: &str) -> Result<(usize, usize), SimError> {
+        let sym = self
+            .program
+            .global_by_name(name)
+            .ok_or_else(|| SimError::UnknownGlobal(name.to_owned()))?;
+        let g = &self.program.globals[sym.0 as usize];
+        Ok((self.global_addr[sym.0 as usize] as usize, g.size.max(1) as usize))
+    }
+
     /// Reads word `index` of the named global.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the global does not exist or the access is out of range.
-    pub fn read_global_word(&self, name: &str, index: usize) -> i32 {
-        let sym = self.program.global_by_name(name).expect("global exists");
-        let base = self.global_addr[sym.0 as usize] as usize + 4 * index;
-        i32::from_le_bytes(self.mem[base..base + 4].try_into().unwrap())
+    /// [`SimError::UnknownGlobal`] if no such global exists,
+    /// [`SimError::GlobalOutOfRange`] if the word lies outside it.
+    pub fn read_global_word(&self, name: &str, index: usize) -> Result<i32, SimError> {
+        let (base, size) = self.global_span(name)?;
+        let off = 4 * index;
+        if off + 4 > size {
+            return Err(SimError::GlobalOutOfRange { name: name.to_owned(), index });
+        }
+        let a = base + off;
+        Ok(i32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
     }
 
     /// Writes word `index` of the named global.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the global does not exist or the access is out of range.
-    pub fn write_global_word(&mut self, name: &str, index: usize, value: i32) {
-        let sym = self.program.global_by_name(name).expect("global exists");
-        let base = self.global_addr[sym.0 as usize] as usize + 4 * index;
-        self.mem[base..base + 4].copy_from_slice(&value.to_le_bytes());
+    /// Same as [`Machine::read_global_word`].
+    pub fn write_global_word(
+        &mut self,
+        name: &str,
+        index: usize,
+        value: i32,
+    ) -> Result<(), SimError> {
+        let (base, size) = self.global_span(name)?;
+        let off = 4 * index;
+        if off + 4 > size {
+            return Err(SimError::GlobalOutOfRange { name: name.to_owned(), index });
+        }
+        let a = base + off;
+        self.mem[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
     }
 
     /// Reads byte `index` of the named global (for `char` arrays).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the global does not exist or the access is out of range.
-    pub fn read_global_byte(&self, name: &str, index: usize) -> u8 {
-        let sym = self.program.global_by_name(name).expect("global exists");
-        self.mem[self.global_addr[sym.0 as usize] as usize + index]
+    /// Same as [`Machine::read_global_word`].
+    pub fn read_global_byte(&self, name: &str, index: usize) -> Result<u8, SimError> {
+        let (base, size) = self.global_span(name)?;
+        if index >= size {
+            return Err(SimError::GlobalOutOfRange { name: name.to_owned(), index });
+        }
+        Ok(self.mem[base + index])
     }
 
     /// Writes raw bytes into the named global.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the global does not exist or the data does not fit.
-    pub fn write_global_bytes(&mut self, name: &str, data: &[u8]) {
-        let sym = self.program.global_by_name(name).expect("global exists");
-        let base = self.global_addr[sym.0 as usize] as usize;
+    /// [`SimError::UnknownGlobal`] if no such global exists,
+    /// [`SimError::GlobalOutOfRange`] if `data` does not fit (the
+    /// reported index is `data.len()`).
+    pub fn write_global_bytes(&mut self, name: &str, data: &[u8]) -> Result<(), SimError> {
+        let (base, size) = self.global_span(name)?;
+        if data.len() > size {
+            return Err(SimError::GlobalOutOfRange { name: name.to_owned(), index: data.len() });
+        }
         self.mem[base..base + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Calls function `name` with `args`, returning its value (functions
@@ -253,8 +386,12 @@ impl<'p> Machine<'p> {
     /// point are left as they were (useful for debugging).
     pub fn call(&mut self, name: &str, args: &[i32]) -> Result<i32, SimError> {
         let stack_top = self.stack_top;
-        let r = self.call_inner(name, args, 0);
+        let r = match self.engine {
+            SimEngine::Interp => self.call_inner(name, args, 0),
+            SimEngine::Threaded => self.call_threaded(name, args, 0),
+        };
         self.stack_top = stack_top;
+        self.flush_sim_stats();
         r
     }
 
@@ -266,10 +403,70 @@ impl<'p> Machine<'p> {
     ///
     /// Same as [`Machine::call`].
     pub fn call_instance(&mut self, f: &Function, args: &[i32]) -> Result<i32, SimError> {
+        match self.engine {
+            SimEngine::Interp => {
+                let stack_top = self.stack_top;
+                let r = self.exec(f, args, 0);
+                self.stack_top = stack_top;
+                r
+            }
+            SimEngine::Threaded => {
+                let li = self.lower_instance(f);
+                self.call_lowered(&li, args)
+            }
+        }
+    }
+
+    /// Pre-lowers a function instance for the threaded engine. Lowering
+    /// goes through the machine's block cache, so near-identical
+    /// instances share almost all of their lowered blocks; the returned
+    /// handle amortizes even the per-block cache probes across a battery
+    /// of [`Machine::call_lowered`] runs.
+    pub fn lower_instance(&mut self, f: &Function) -> LoweredInstance {
+        let lf = threaded::lower_function(f, &self.fn_index, &mut self.lower_cache);
+        self.flush_sim_stats();
+        LoweredInstance(lf)
+    }
+
+    /// Calls a pre-lowered instance on the threaded engine (regardless of
+    /// the machine's configured default engine).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::call`].
+    pub fn call_lowered(&mut self, li: &LoweredInstance, args: &[i32]) -> Result<i32, SimError> {
         let stack_top = self.stack_top;
-        let r = self.exec(f, args, 0);
+        let r = self.exec_threaded(&li.0, args, 0);
         self.stack_top = stack_top;
+        self.flush_sim_stats();
         r
+    }
+
+    /// [`Machine::call_instance_counted`] for a pre-lowered instance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::call`].
+    pub fn call_lowered_counted(
+        &mut self,
+        li: &LoweredInstance,
+        args: &[i32],
+    ) -> Result<(i32, Vec<u64>), SimError> {
+        let stack_top = self.stack_top;
+        self.block_counts = Some(vec![0u64; li.0.blocks.len()]);
+        let r = self.exec_threaded(&li.0, args, 0);
+        let counts = self.block_counts.take().unwrap_or_default();
+        self.stack_top = stack_top;
+        self.flush_sim_stats();
+        Ok((r?, counts))
+    }
+
+    fn flush_sim_stats(&mut self) {
+        stats::flush(
+            std::mem::take(&mut self.lower_cache.pending_lowered),
+            std::mem::take(&mut self.lower_cache.pending_hits),
+            std::mem::take(&mut self.pending_retires),
+        );
     }
 
     /// Like [`Machine::call_instance`], but additionally returns how many
@@ -288,13 +485,20 @@ impl<'p> Machine<'p> {
         f: &Function,
         args: &[i32],
     ) -> Result<(i32, Vec<u64>), SimError> {
-        let stack_top = self.stack_top;
-        let mut counts = vec![0u64; f.blocks.len()];
-        self.block_counts = Some(std::mem::take(&mut counts));
-        let r = self.exec(f, args, 0);
-        let counts = self.block_counts.take().unwrap_or_default();
-        self.stack_top = stack_top;
-        Ok((r?, counts))
+        match self.engine {
+            SimEngine::Interp => {
+                let stack_top = self.stack_top;
+                self.block_counts = Some(vec![0u64; f.blocks.len()]);
+                let r = self.exec(f, args, 0);
+                let counts = self.block_counts.take().unwrap_or_default();
+                self.stack_top = stack_top;
+                Ok((r?, counts))
+            }
+            SimEngine::Threaded => {
+                let li = self.lower_instance(f);
+                self.call_lowered_counted(&li, args)
+            }
+        }
     }
 
     fn call_inner(&mut self, name: &str, args: &[i32], depth: usize) -> Result<i32, SimError> {
@@ -376,7 +580,7 @@ impl<'p> Machine<'p> {
                 Inst::Store { width, addr, src } => {
                     let a = self.eval(addr, &frame, f)? as u32;
                     let v = self.eval(src, &frame, f)?;
-                    self.write(a, v, *width, f)?;
+                    self.write(a, v, *width, &f.name)?;
                 }
                 Inst::Compare { lhs, rhs } => {
                     let a = self.eval(lhs, &frame, f)?;
@@ -451,30 +655,30 @@ impl<'p> Machine<'p> {
             }
             Expr::Load(width, a) => {
                 let addr = self.eval(a, frame, f)? as u32;
-                self.read(addr, *width, f)?
+                self.read(addr, *width, &f.name)?
             }
         })
     }
 
-    fn read(&self, addr: u32, width: Width, f: &Function) -> Result<i32, SimError> {
+    fn read(&self, addr: u32, width: Width, fname: &str) -> Result<i32, SimError> {
         let a = addr as usize;
         match width {
             Width::Byte => self
                 .mem
                 .get(a)
                 .map(|&b| b as i32)
-                .ok_or(SimError::BadAddress { addr, function: f.name.clone() }),
+                .ok_or_else(|| SimError::BadAddress { addr, function: fname.to_owned() }),
             Width::Word => {
                 if a + 4 <= self.mem.len() {
                     Ok(i32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()))
                 } else {
-                    Err(SimError::BadAddress { addr, function: f.name.clone() })
+                    Err(SimError::BadAddress { addr, function: fname.to_owned() })
                 }
             }
         }
     }
 
-    fn write(&mut self, addr: u32, v: i32, width: Width, f: &Function) -> Result<(), SimError> {
+    fn write(&mut self, addr: u32, v: i32, width: Width, fname: &str) -> Result<(), SimError> {
         let a = addr as usize;
         match width {
             Width::Byte => match self.mem.get_mut(a) {
@@ -482,14 +686,14 @@ impl<'p> Machine<'p> {
                     *b = v as u8;
                     Ok(())
                 }
-                None => Err(SimError::BadAddress { addr, function: f.name.clone() }),
+                None => Err(SimError::BadAddress { addr, function: fname.to_owned() }),
             },
             Width::Word => {
                 if a + 4 <= self.mem.len() {
                     self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes());
                     Ok(())
                 } else {
-                    Err(SimError::BadAddress { addr, function: f.name.clone() })
+                    Err(SimError::BadAddress { addr, function: fname.to_owned() })
                 }
             }
         }
@@ -611,7 +815,7 @@ mod tests {
         let mut m = Machine::new(&p);
         assert_eq!(m.call("bump", &[]).unwrap(), 1);
         assert_eq!(m.call("bump", &[]).unwrap(), 2);
-        assert_eq!(m.read_global_word("counter", 0), 2);
+        assert_eq!(m.read_global_word("counter", 0).unwrap(), 2);
         m.reset();
         assert_eq!(m.call("bump", &[]).unwrap(), 1);
     }
@@ -804,9 +1008,644 @@ mod tests {
             SimError::StackOverflow,
             SimError::OutOfStack,
             SimError::MissingReturn("k".into()),
+            SimError::UnknownGlobal("m".into()),
+            SimError::GlobalOutOfRange { name: "n".into(), index: 7 },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// Everything a run can observe from one call, for differential
+    /// engine comparison.
+    fn observe(m: &mut Machine, f: &Function, args: &[i32]) -> (Result<i32, SimError>, u64, u32) {
+        m.reset();
+        m.set_fuel(2_000_000);
+        let r = m.call_instance(f, args);
+        (r, m.dynamic_insts(), m.globals_crc())
+    }
+
+    fn assert_engines_agree(p: &vpo_rtl::Program, f: &Function, args: &[i32]) {
+        let mut mi = Machine::new(p);
+        mi.set_engine(SimEngine::Interp);
+        let mut mt = Machine::new(p);
+        mt.set_engine(SimEngine::Threaded);
+        assert_eq!(observe(&mut mi, f, args), observe(&mut mt, f, args), "{}({args:?})", f.name);
+    }
+
+    #[test]
+    fn engines_agree_on_a_mixed_corpus() {
+        let srcs = [
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+            "int f(int n) { int i; int s = 0; for (i = n; i > 0; i--) s = s * 2 + i; return s; }",
+            "int g(int a, int b) { if (b == 0) return a; return g(b, a % b); } int f(int a, int b) { return g(a, b); }",
+            "int a[8]; int f(int i) { a[i & 7] = i; return a[(i + 1) & 7]; }",
+            "int f(int a, int n) { return a << n; }",
+            "int f(int a, int b) { return a / b; }",
+            "int f(int n) { while (1) { n = n + 1; if (n > 1000) return n; } return 0; }",
+        ];
+        for src in srcs {
+            let p = compile(src).unwrap();
+            for args in [[0, 0], [5, 3], [100, -1], [i32::MIN, -1], [40, 1]] {
+                assert_engines_agree(&p, p.function("f").unwrap(), &args);
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_block_counts() {
+        let p =
+            compile("int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }")
+                .unwrap();
+        let f = &p.functions[0];
+        for n in [0, 1, 5, 1000] {
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            let a = mi.call_instance_counted(f, &[n]).unwrap();
+            let b = mt.call_instance_counted(f, &[n]).unwrap();
+            assert_eq!(a, b, "n={n}");
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fresh_and_reset_machines_are_indistinguishable() {
+        // The satellite regression for the `reset` audit: a battery that
+        // resets between runs must observe exactly what a battery of
+        // fresh machines would — same dynamic counts, same globals CRC —
+        // including after trapping calls, counted calls, and fuel-starved
+        // calls, on both engines.
+        let src = r#"
+            int log[4];
+            int f(int i, int v) { log[i & 3] = log[i & 3] + v; return log[i & 3] / (v - 1); }
+        "#;
+        let p = compile(src).unwrap();
+        let batteries: [&[i32]; 4] = [&[0, 5], &[1, 1], &[2, -7], &[3, 2]];
+        for engine in [SimEngine::Interp, SimEngine::Threaded] {
+            let mut reused = Machine::new(&p);
+            reused.set_engine(engine);
+            // Perturb the reused machine first: a counted call and a
+            // fuel-starved call, then restore the default fuel.
+            reused.set_fuel(3);
+            assert_eq!(reused.call_instance(&p.functions[0], &[0, 2]), Err(SimError::OutOfFuel));
+            reused.set_fuel(200_000_000);
+            let _ = reused.call_instance_counted(&p.functions[0], &[1, 3]).unwrap();
+            for args in batteries {
+                reused.reset();
+                let got = (reused.call("f", args), reused.dynamic_insts(), reused.globals_crc());
+                let mut fresh = Machine::new(&p);
+                fresh.set_engine(engine);
+                let want = (fresh.call("f", args), fresh.dynamic_insts(), fresh.globals_crc());
+                assert_eq!(got, want, "{engine:?} {args:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_accessors_error_at_the_boundary() {
+        let p = compile("int a[4]; char s[6]; int f() { return a[0]; }").unwrap();
+        let mut m = Machine::new(&p);
+        // Words: indices 0..4 are valid for a 16-byte global.
+        m.write_global_word("a", 3, 7).unwrap();
+        assert_eq!(m.read_global_word("a", 3).unwrap(), 7);
+        assert_eq!(
+            m.read_global_word("a", 4),
+            Err(SimError::GlobalOutOfRange { name: "a".into(), index: 4 })
+        );
+        assert_eq!(
+            m.write_global_word("a", 4, 1),
+            Err(SimError::GlobalOutOfRange { name: "a".into(), index: 4 })
+        );
+        // Bytes: the last in-range byte works, one past errors.
+        assert_eq!(m.read_global_byte("s", 5).unwrap(), 0);
+        assert_eq!(
+            m.read_global_byte("s", 6),
+            Err(SimError::GlobalOutOfRange { name: "s".into(), index: 6 })
+        );
+        // Bulk writes: exact fit works, one byte over errors.
+        m.write_global_bytes("s", b"abcdef").unwrap();
+        assert_eq!(m.read_global_byte("s", 0).unwrap(), b'a');
+        assert_eq!(
+            m.write_global_bytes("s", b"abcdefg"),
+            Err(SimError::GlobalOutOfRange { name: "s".into(), index: 7 })
+        );
+        // Unknown globals are their own error, for every accessor.
+        assert_eq!(m.read_global_word("nope", 0), Err(SimError::UnknownGlobal("nope".into())));
+        assert_eq!(m.write_global_word("nope", 0, 1), Err(SimError::UnknownGlobal("nope".into())));
+        assert_eq!(m.read_global_byte("nope", 0), Err(SimError::UnknownGlobal("nope".into())));
+        assert_eq!(m.write_global_bytes("nope", b"x"), Err(SimError::UnknownGlobal("nope".into())));
+    }
+
+    #[test]
+    fn fuel_boundary_is_exact_on_both_engines() {
+        // The satellite off-by-one gate: with fuel set to the exact
+        // dynamic count the call succeeds; one unit less must be
+        // OutOfFuel, at the same partial dynamic count, on both engines.
+        let srcs = [
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }",
+            "int g(int n) { return n * 2; } int f(int n) { return g(n) + g(n + 1); }",
+            "int f(int n) { return n + 1; }",
+        ];
+        for src in srcs {
+            let p = compile(src).unwrap();
+            let f = p.function("f").unwrap();
+            let mut exact = Machine::new(&p);
+            exact.call_instance(f, &[13]).unwrap();
+            let n = exact.dynamic_insts();
+            assert!(n > 0);
+            for engine in [SimEngine::Interp, SimEngine::Threaded] {
+                let mut m = Machine::new(&p);
+                m.set_engine(engine);
+                m.set_fuel(n);
+                assert!(m.call_instance(f, &[13]).is_ok(), "{engine:?}: exact fuel must pass");
+                assert_eq!(m.dynamic_insts(), n, "{engine:?}");
+                m.reset();
+                m.set_fuel(n - 1);
+                assert_eq!(
+                    m.call_instance(f, &[13]),
+                    Err(SimError::OutOfFuel),
+                    "{engine:?}: n-1 fuel must exhaust"
+                );
+                assert_eq!(m.dynamic_insts(), n - 1, "{engine:?}: all budgeted insts executed");
+            }
+        }
+    }
+
+    #[test]
+    fn rep_fast_path_is_exact() {
+        // Counting loops that hit the closed-form rep path must match the
+        // interpreter on result, dynamic count, and block counts — also
+        // for descending loops, empty trips, and bounds near i32 limits
+        // (where the fast path falls back rather than mis-wrap).
+        let cases = [
+            (
+                "int f(int n) { int i; int s = 0; for (i = 0; i < n; i++) s += 1; return s + i; }",
+                vec![0, 1, 7, 100000],
+            ),
+            (
+                "int f(int n) { int i; int s = 0; for (i = n; i > 0; i--) s += 1; return s - i; }",
+                vec![0, 1, 9, 50000],
+            ),
+            (
+                "int f(int n) { int i; for (i = 0; i <= n; i += 3) ; return i; }",
+                vec![0, 1, 2, 3, 1000],
+            ),
+            (
+                "int f(int n) { int i; for (i = n; i >= 10; i -= 7) ; return i; }",
+                vec![9, 10, 11, 80000],
+            ),
+            (
+                "int f(int n) { int i; for (i = 2147483600; i < 2147483640; i += n) ; return i; }",
+                vec![1, 3, 7, 39],
+            ),
+        ];
+        for (src, args) in cases {
+            let p = compile(src).unwrap();
+            let f = p.function("f").unwrap();
+            for a in args {
+                let mut mi = Machine::new(&p);
+                mi.set_engine(SimEngine::Interp);
+                let mut mt = Machine::new(&p);
+                mt.set_engine(SimEngine::Threaded);
+                let ri = mi.call_instance_counted(f, &[a]);
+                let rt = mt.call_instance_counted(f, &[a]);
+                assert_eq!(ri, rt, "{src} n={a}");
+                assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "{src} n={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn rep_fast_path_falls_back_when_the_loop_wraps() {
+        // Stepping past i32::MAX wraps; the closed-form path must detect
+        // the wrap and fall back to the generic (wrapping, fuel-gated)
+        // execution so both engines observe the identical spin.
+        let p = compile(
+            "int f(int n) { int i; for (i = 2147483600; i < 2147483640; i += n) ; return i; }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        let mut mi = Machine::new(&p);
+        mi.set_engine(SimEngine::Interp);
+        mi.set_fuel(10_000);
+        let mut mt = Machine::new(&p);
+        mt.set_engine(SimEngine::Threaded);
+        mt.set_fuel(10_000);
+        // Step 50 overshoots into wraparound: an effectively endless spin.
+        assert_eq!(mi.call_instance(f, &[50]), mt.call_instance(f, &[50]));
+        assert_eq!(mi.dynamic_insts(), mt.dynamic_insts());
+        assert_eq!(mi.call_instance(f, &[50]), Err(SimError::OutOfFuel));
+    }
+
+    #[test]
+    fn rep_fast_path_respects_fuel_mid_loop() {
+        // Exhausting fuel in the middle of a rep-eligible loop must fall
+        // back to exact per-instruction accounting.
+        let p = compile("int f(int n) { int i; for (i = 0; i < n; i++) ; return i; }").unwrap();
+        let f = p.function("f").unwrap();
+        let mut exact = Machine::new(&p);
+        exact.call_instance(f, &[1000]).unwrap();
+        let n = exact.dynamic_insts();
+        for cut in [n / 2, n - 2, n - 1] {
+            for engine in [SimEngine::Interp, SimEngine::Threaded] {
+                let mut m = Machine::new(&p);
+                m.set_engine(engine);
+                m.set_fuel(cut);
+                assert_eq!(m.call_instance(f, &[1000]), Err(SimError::OutOfFuel), "{engine:?}");
+                assert_eq!(m.dynamic_insts(), cut, "{engine:?} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn handbuilt_rep_loops_match_the_interpreter() {
+        // Build the exact three-instruction self-loop the rep detector
+        // recognizes — `r += step; IC = r ? bound; PC = IC cond, self` —
+        // directly, covering every monotone (cond, step) pairing plus the
+        // non-monotone shapes the detector must skip.
+        use vpo_rtl::builder::FunctionBuilder;
+        use vpo_rtl::Cond;
+        let build = |start: i64, step: i64, bound: i64, cond: Cond| {
+            let mut b = FunctionBuilder::new("f");
+            let r = b.reg();
+            b.assign(r, Expr::Const(start));
+            let l = b.new_label();
+            b.start_block(l);
+            b.assign(r, Expr::bin(BinOp::Add, Expr::Reg(r), Expr::Const(step)));
+            b.compare(Expr::Reg(r), Expr::Const(bound));
+            b.cond_branch(cond, l);
+            let done = b.new_label();
+            b.start_block(done);
+            b.ret(Some(Expr::Reg(r)));
+            b.finish()
+        };
+        let p = vpo_rtl::Program::default();
+        for (start, step, bound, cond) in [
+            (0, 1, 10, Cond::Lt),
+            (0, 3, 10, Cond::Le),
+            (0, 3, 0, Cond::Lt),
+            (100, -7, 3, Cond::Gt),
+            (50, -1, -20, Cond::Ge),
+            (2147483600, 7, 2147483646, Cond::Lt),
+            (-5, 1, 5, Cond::Ne),
+            (0, 0, 10, Cond::Lt),
+            (0, -1, 10, Cond::Lt),
+        ] {
+            let f = build(start, step, bound, cond);
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            mi.set_fuel(1_000_000);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            mt.set_fuel(1_000_000);
+            let a = mi.call_instance_counted(&f, &[]);
+            let b = mt.call_instance_counted(&f, &[]);
+            assert_eq!(a, b, "start={start} step={step} bound={bound} {cond:?}");
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "{cond:?}");
+        }
+        // A trip count far beyond what per-instruction execution could
+        // cover in test time: only the closed form reaches the exact
+        // count instantly.
+        let f = build(0, 1, 50_000_000, Cond::Lt);
+        let mut m = Machine::new(&p);
+        m.set_fuel(u64::MAX);
+        assert_eq!(m.call_instance(&f, &[]).unwrap(), 50_000_000);
+        assert_eq!(m.dynamic_insts(), 2 + 3 * 50_000_000);
+
+        // The register-bound form — the shape `for (i = 0; i < n; i++)`
+        // optimizes into, where the bound lives in a loop-invariant
+        // register rather than a literal.
+        let build_reg = |start: i64, step: i64, cond: Cond| {
+            let mut b = FunctionBuilder::new("f");
+            let n = b.param();
+            let r = b.reg();
+            b.assign(r, Expr::Const(start));
+            let l = b.new_label();
+            b.start_block(l);
+            b.assign(r, Expr::bin(BinOp::Add, Expr::Reg(r), Expr::Const(step)));
+            b.compare(Expr::Reg(r), Expr::Reg(n));
+            b.cond_branch(cond, l);
+            let done = b.new_label();
+            b.start_block(done);
+            b.ret(Some(Expr::Reg(r)));
+            b.finish()
+        };
+        for (start, step, cond, bound) in [
+            (0, 1, Cond::Lt, 10),
+            (0, 3, Cond::Le, 10),
+            (0, 3, Cond::Lt, 0),
+            (100, -7, Cond::Gt, 3),
+            (50, -1, Cond::Ge, -20),
+            (-5, 1, Cond::Ne, 5),
+        ] {
+            let f = build_reg(start, step, cond);
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            mi.set_fuel(1_000_000);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            mt.set_fuel(1_000_000);
+            let a = mi.call_instance_counted(&f, &[bound]);
+            let b = mt.call_instance_counted(&f, &[bound]);
+            assert_eq!(a, b, "start={start} step={step} bound={bound} {cond:?}");
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "{cond:?}");
+        }
+        let f = build_reg(0, 1, Cond::Lt);
+        let mut m = Machine::new(&p);
+        m.set_fuel(u64::MAX);
+        assert_eq!(m.call_instance(&f, &[50_000_000]).unwrap(), 50_000_000);
+        assert_eq!(m.dynamic_insts(), 2 + 3 * 50_000_000);
+    }
+
+    #[test]
+    fn handbuilt_rotated_pair_loops_match_the_interpreter() {
+        // The rotated / unrolled-by-two shape the batch compiler emits:
+        // two consecutive blocks each doing `r += step; IC = r ? n;
+        // branch`, the first exiting the cycle and the second looping
+        // back. Odd trip counts leave via the first half's branch, even
+        // ones fall through the second — both must match the
+        // interpreter's path, flags, and block counts exactly.
+        use vpo_rtl::builder::FunctionBuilder;
+        use vpo_rtl::Cond;
+        let build = |start: i64, step: i64, exit: Cond, cont: Cond| {
+            let mut b = FunctionBuilder::new("f");
+            let n = b.param();
+            let r = b.reg();
+            b.assign(r, Expr::Const(start));
+            let head = b.new_label();
+            let done = b.new_label();
+            b.start_block(head);
+            b.assign(r, Expr::bin(BinOp::Add, Expr::Reg(r), Expr::Const(step)));
+            b.compare(Expr::Reg(r), Expr::Reg(n));
+            b.cond_branch(exit, done);
+            let half = b.new_label();
+            b.start_block(half);
+            b.assign(r, Expr::bin(BinOp::Add, Expr::Reg(r), Expr::Const(step)));
+            b.compare(Expr::Reg(r), Expr::Reg(n));
+            b.cond_branch(cont, head);
+            b.start_block(done);
+            b.ret(Some(Expr::Reg(r)));
+            b.finish()
+        };
+        let p = vpo_rtl::Program::default();
+        for (start, step, exit, cont, bound) in [
+            (0, 1, Cond::Ge, Cond::Lt, 10), // even trips: fall-through exit
+            (0, 1, Cond::Ge, Cond::Lt, 11), // odd trips: branch exit
+            (0, 1, Cond::Ge, Cond::Lt, 0),  // t = 1 regardless of bound
+            (0, 2, Cond::Gt, Cond::Le, 10), // continues on equality
+            (100, -3, Cond::Le, Cond::Gt, 5),
+            (50, -1, Cond::Lt, Cond::Ge, -20),
+            (0, 1, Cond::Ge, Cond::Le, 10), // mismatched pair: no fast path
+        ] {
+            let f = build(start, step, exit, cont);
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            mi.set_fuel(1_000_000);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            mt.set_fuel(1_000_000);
+            let a = mi.call_instance_counted(&f, &[bound]);
+            let b = mt.call_instance_counted(&f, &[bound]);
+            assert_eq!(a, b, "start={start} step={step} bound={bound} {exit:?}/{cont:?}");
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "{exit:?}/{cont:?}");
+        }
+        // Closed-form proof: a trip count per-instruction execution
+        // could not cover in test time, at both parities.
+        for bound in [50_000_000, 50_000_001] {
+            let f = build(0, 1, Cond::Ge, Cond::Lt);
+            let mut m = Machine::new(&p);
+            m.set_fuel(u64::MAX);
+            assert_eq!(m.call_instance(&f, &[bound]).unwrap(), bound);
+            assert_eq!(m.dynamic_insts(), 2 + 3 * bound as u64);
+        }
+    }
+
+    #[test]
+    fn handbuilt_while_loops_match_the_interpreter() {
+        // The header/latch while-loop shape mid-sequence instances
+        // carry: `IC = r ? n; PC = IC exit, done` falling into
+        // `r += step; PC = header`. The exit test runs before each
+        // increment, so zero trips are possible.
+        use vpo_rtl::builder::FunctionBuilder;
+        use vpo_rtl::Cond;
+        let build = |start: i64, step: i64, exit: Cond| {
+            let mut b = FunctionBuilder::new("f");
+            let n = b.param();
+            let r = b.reg();
+            b.assign(r, Expr::Const(start));
+            let head = b.new_label();
+            let done = b.new_label();
+            b.start_block(head);
+            b.compare(Expr::Reg(r), Expr::Reg(n));
+            b.cond_branch(exit, done);
+            let latch = b.new_label();
+            b.start_block(latch);
+            b.assign(r, Expr::bin(BinOp::Add, Expr::Reg(r), Expr::Const(step)));
+            b.jump(head);
+            b.start_block(done);
+            b.ret(Some(Expr::Reg(r)));
+            b.finish()
+        };
+        let p = vpo_rtl::Program::default();
+        for (start, step, exit, bound) in [
+            (0, 1, Cond::Ge, 10),
+            (0, 1, Cond::Ge, 0),  // zero trips: exit before any increment
+            (0, 1, Cond::Ge, -5), // zero trips, already past the bound
+            (0, 3, Cond::Gt, 9),  // keeps looping on equality
+            (100, -7, Cond::Le, 5),
+            (50, -1, Cond::Lt, -20),
+            (0, 1, Cond::Eq, 10), // non-monotone exit: no fast path
+        ] {
+            let f = build(start, step, exit);
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            mi.set_fuel(1_000_000);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            mt.set_fuel(1_000_000);
+            let a = mi.call_instance_counted(&f, &[bound]);
+            let b = mt.call_instance_counted(&f, &[bound]);
+            assert_eq!(a, b, "start={start} step={step} bound={bound} {exit:?}");
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "{exit:?}");
+        }
+        let f = build(0, 1, Cond::Ge);
+        let mut m = Machine::new(&p);
+        m.set_fuel(u64::MAX);
+        assert_eq!(m.call_instance(&f, &[50_000_000]).unwrap(), 50_000_000);
+        assert_eq!(m.dynamic_insts(), 2 + 4 * 50_000_000 + 2);
+    }
+
+    #[test]
+    fn handbuilt_copy_laden_while_loops_match_the_interpreter() {
+        // The copy-laden while shapes mid-sequence instances carry:
+        // headers that copy the counter and bound into temporaries
+        // before comparing, latches that increment through a temporary,
+        // secondary linear counters, and constant rewrites. The
+        // symbolic detector folds the copies; every temporary's final
+        // must match the interpreter bit for bit, including at zero
+        // trips. The returned sum folds all of them in.
+        use vpo_rtl::builder::FunctionBuilder;
+        use vpo_rtl::Cond;
+        let build = |start: i64| {
+            let mut b = FunctionBuilder::new("f");
+            let n = b.param();
+            let i = b.reg();
+            let t1 = b.reg();
+            let t2 = b.reg();
+            let t3 = b.reg();
+            let s = b.reg();
+            let h = b.reg();
+            let k = b.reg();
+            b.assign(i, Expr::Const(start));
+            b.assign(t1, Expr::Const(-1));
+            b.assign(t2, Expr::Const(-2));
+            b.assign(t3, Expr::Const(-3));
+            b.assign(s, Expr::Const(7));
+            b.assign(h, Expr::Const(-4));
+            b.assign(k, Expr::Const(-5));
+            let head = b.new_label();
+            let done = b.new_label();
+            b.start_block(head);
+            // `sk`-style header: copies feed the compare (the bound is
+            // `n + 2`, exercising a folded bound offset); `h` shadows
+            // `i + 3` and must take its exit-pass value.
+            b.assign(t1, Expr::Reg(i));
+            b.assign(t2, Expr::bin(BinOp::Add, Expr::Reg(n), Expr::Const(2)));
+            b.assign(h, Expr::bin(BinOp::Add, Expr::Reg(t1), Expr::Const(3)));
+            b.compare(Expr::Reg(t1), Expr::Reg(t2));
+            b.cond_branch(Cond::Ge, done);
+            let latch = b.new_label();
+            b.start_block(latch);
+            // `skc`-style latch: increment through a temporary, plus a
+            // secondary counter stepped by 5 and a constant rewrite.
+            b.assign(t3, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+            b.assign(i, Expr::Reg(t3));
+            b.assign(s, Expr::bin(BinOp::Add, Expr::Reg(s), Expr::Const(5)));
+            b.assign(k, Expr::Const(42));
+            b.jump(head);
+            b.start_block(done);
+            let mul = |r, c| Expr::bin(BinOp::Mul, Expr::Reg(r), Expr::Const(c));
+            let sum = Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Add, Expr::Reg(t1), mul(t2, 3)),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Add, mul(t3, 5), mul(s, 7)),
+                    Expr::bin(BinOp::Add, mul(h, 11), mul(k, 13)),
+                ),
+            );
+            b.ret(Some(sum));
+            b.finish()
+        };
+        let p = vpo_rtl::Program::default();
+        for (start, n) in [(0, 10), (0, 0), (0, -2), (5, -30), (-3, 4), (7, 5)] {
+            let f = build(start);
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            mi.set_fuel(1_000_000);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            mt.set_fuel(1_000_000);
+            let a = mi.call_instance_counted(&f, &[n]);
+            let b = mt.call_instance_counted(&f, &[n]);
+            assert_eq!(a, b, "start={start} n={n}");
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "start={start} n={n}");
+        }
+        // Closed-form proof at a scale the generic path cannot reach in
+        // these counts cheaply: entry 7, trip 10 (header 5 + latch 5),
+        // exit pass 5, return 1.
+        let f = build(0);
+        let mut m = Machine::new(&p);
+        m.set_fuel(u64::MAX);
+        m.call_instance(&f, &[50_000_000]).unwrap();
+        let t = 50_000_002u64;
+        assert_eq!(m.dynamic_insts(), 7 + 10 * t + 5 + 1);
+
+        // A latch that reads a register the cycle writes *later* sees
+        // last trip's value — outside the linear model, so the fast
+        // path must decline and the generic path must still agree.
+        let build_stale = |start: i64| {
+            let mut b = FunctionBuilder::new("g");
+            let n = b.param();
+            let i = b.reg();
+            let a = b.reg();
+            let v = b.reg();
+            b.assign(i, Expr::Const(start));
+            b.assign(a, Expr::Const(100));
+            b.assign(v, Expr::Const(200));
+            let head = b.new_label();
+            let done = b.new_label();
+            b.start_block(head);
+            b.compare(Expr::Reg(i), Expr::Reg(n));
+            b.cond_branch(Cond::Ge, done);
+            let latch = b.new_label();
+            b.start_block(latch);
+            b.assign(a, Expr::bin(BinOp::Add, Expr::Reg(v), Expr::Const(1)));
+            b.assign(v, Expr::bin(BinOp::Add, Expr::Reg(a), Expr::Const(1)));
+            b.assign(i, Expr::bin(BinOp::Add, Expr::Reg(i), Expr::Const(1)));
+            b.jump(head);
+            b.start_block(done);
+            b.ret(Some(Expr::bin(BinOp::Add, Expr::Reg(a), Expr::Reg(v))));
+            b.finish()
+        };
+        for n in [0, 1, 3, 17] {
+            let f = build_stale(0);
+            let mut mi = Machine::new(&p);
+            mi.set_engine(SimEngine::Interp);
+            mi.set_fuel(1_000_000);
+            let mut mt = Machine::new(&p);
+            mt.set_engine(SimEngine::Threaded);
+            mt.set_fuel(1_000_000);
+            assert_eq!(mi.call_instance_counted(&f, &[n]), mt.call_instance_counted(&f, &[n]));
+            assert_eq!(mi.dynamic_insts(), mt.dynamic_insts(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lowering_cache_is_shared_across_instances() {
+        let p =
+            compile("int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }")
+                .unwrap();
+        let before = stats::snapshot();
+        let mut m = Machine::new(&p);
+        let f = &p.functions[0];
+        m.call_instance(f, &[5]).unwrap();
+        // A near-identical instance (a clone here) must hit the cache for
+        // every block.
+        let g = f.clone();
+        m.call_instance(&g, &[5]).unwrap();
+        let after = stats::snapshot();
+        assert!(
+            after.blocks_lowered >= before.blocks_lowered + f.blocks.len() as u64,
+            "first lowering misses"
+        );
+        assert!(
+            after.lower_cache_hits >= before.lower_cache_hits + f.blocks.len() as u64,
+            "second lowering must hit for every block"
+        );
+        assert!(after.batched_retires > before.batched_retires, "batched crediting never fired");
+    }
+
+    #[test]
+    fn threaded_engine_handles_deep_and_error_paths() {
+        // StackOverflow, OutOfStack, and unknown-callee behavior must
+        // classify identically on both engines.
+        let p = compile("int f(int n) { return f(n + 1); }").unwrap();
+        assert_engines_agree(&p, p.function("f").unwrap(), &[0]);
+
+        let p = compile(
+            "int f(int n) { int buf[4000]; buf[0] = n; if (n == 0) return buf[0]; return f(n - 1) + buf[0]; }",
+        )
+        .unwrap();
+        for engine in [SimEngine::Interp, SimEngine::Threaded] {
+            let mut m = Machine::with_mem_size(&p, 1 << 16);
+            m.set_engine(engine);
+            assert_eq!(m.call("f", &[64]), Err(SimError::OutOfStack), "{engine:?}");
+        }
+
+        let p = compile("int f() { return g(); }").unwrap();
+        assert_engines_agree(&p, p.function("f").unwrap(), &[]);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Process-global counters for the threaded engine.
+//!
+//! Machines accumulate these locally and flush them once per public call
+//! (one relaxed atomic add per simulation, not one per block), so heavily
+//! parallel oracle batteries do not contend on a shared cache line. The
+//! `phase-order` telemetry registry folds these totals into its snapshots
+//! as `sim.blocks_lowered`, `sim.lower_cache_hits`, and
+//! `sim.batched_retires`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BLOCKS_LOWERED: AtomicU64 = AtomicU64::new(0);
+static LOWER_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_RETIRES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time totals of the threaded engine's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Blocks lowered for the first time (lower-cache misses). Depends on
+    /// how work was split across machines, so not deterministic across
+    /// job counts.
+    pub blocks_lowered: u64,
+    /// Lowerings served from a per-machine block cache. Also
+    /// scheduling-dependent.
+    pub lower_cache_hits: u64,
+    /// Block executions whose dynamic-count crediting was applied as a
+    /// single batched add (including closed-form `rep` loops). A pure
+    /// function of the simulated instruction streams, so deterministic.
+    pub batched_retires: u64,
+}
+
+/// Reads the current totals.
+pub fn snapshot() -> SimStats {
+    SimStats {
+        blocks_lowered: BLOCKS_LOWERED.load(Ordering::Relaxed),
+        lower_cache_hits: LOWER_CACHE_HITS.load(Ordering::Relaxed),
+        batched_retires: BATCHED_RETIRES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all counters (used between perfsuite trials).
+pub fn reset() {
+    BLOCKS_LOWERED.store(0, Ordering::Relaxed);
+    LOWER_CACHE_HITS.store(0, Ordering::Relaxed);
+    BATCHED_RETIRES.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn flush(lowered: u64, hits: u64, retires: u64) {
+    if lowered > 0 {
+        BLOCKS_LOWERED.fetch_add(lowered, Ordering::Relaxed);
+    }
+    if hits > 0 {
+        LOWER_CACHE_HITS.fetch_add(hits, Ordering::Relaxed);
+    }
+    if retires > 0 {
+        BATCHED_RETIRES.fetch_add(retires, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,1266 @@
+//! The direct-threaded execution engine.
+//!
+//! The tree-walking interpreter in the crate root re-resolves everything
+//! on every step: registers through a per-frame `HashMap`, branch targets
+//! through a linear `block_index` scan, callees through a name map, and
+//! operands through recursive `Expr` walks. This module pre-lowers a
+//! [`Function`] once into a flat form where all of that is already done:
+//!
+//! * every register becomes a dense index into a per-frame `Vec<i32>`
+//!   (hard registers occupy slots `0..64`, pseudo register `i` occupies
+//!   slot `64 + i`, so the mapping is function-independent and lowered
+//!   blocks can be shared between functions);
+//! * every branch target becomes the target's positional block index;
+//! * every callee becomes the callee's index in the program function
+//!   table (unknown callees stay by-name so the error is still raised at
+//!   execution time, exactly like the interpreter);
+//! * every expression tree becomes a postfix [`EOp`] array evaluated over
+//!   one reusable stack — leaf and near-leaf shapes skip even that via
+//!   the [`LExpr`] fast variants.
+//!
+//! Lowered blocks are cached in the machine, keyed by the exact byte
+//! encoding of their instructions (with branch targets already resolved).
+//! The thousands of near-identical instances one enumeration produces
+//! mostly differ in a few blocks, so the oracle amortizes lowering across
+//! the whole DAG; the key is built in a warm scratch buffer and only
+//! cloned on a miss, the same trick the canonicalizer's warm table uses.
+//! Exact byte keys (not hashes of them) mean a collision is impossible,
+//! so the cache can never silently miscompile.
+//!
+//! Dynamic-count crediting is batched per block: when the remaining fuel
+//! covers the whole block and the block contains no call, the ops run
+//! with no per-instruction checks and a single `dynamic += k` at block
+//! exit. Blocks with calls, or executed near the fuel ceiling, take a
+//! careful path with the interpreter's exact per-instruction fuel check,
+//! so `OutOfFuel` fires on precisely the same instruction in both
+//! engines. A three-instruction monotone counting self-loop
+//! (`r += c; IC = r ? k; PC = IC cond, self`) additionally takes a
+//! `rep`-style closed-form fast path that retires all iterations at once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vpo_rtl::{BinOp, Cond, Expr, Function, Inst, Label, Reg, RegClass, UnOp, Width};
+
+use crate::{Machine, SimError, MAX_DEPTH};
+
+/// Sentinel block index for a branch whose label has no block. The
+/// interpreter panics when such a branch *executes*; the threaded engine
+/// preserves that by panicking only if the sentinel is ever taken.
+const DANGLING: u32 = u32::MAX;
+
+/// Hard registers occupy slots `0..HARD_SLOTS`; pseudo register `i` maps
+/// to slot `HARD_SLOTS + i`. Keeping the mapping function-independent is
+/// what lets lowered blocks be shared across functions and instances.
+const HARD_SLOTS: u32 = 64;
+
+/// Slot of hard register 13, the stack-pointer convention register that
+/// finalized code expects to hold the frame's upper bound on entry.
+pub(crate) const R13_SLOT: usize = 13;
+
+fn slot(r: Reg) -> u32 {
+    match r.class {
+        RegClass::Hard => {
+            assert!(
+                (r.index as u32) < HARD_SLOTS,
+                "hard register r[{}] out of range for the threaded engine",
+                r.index
+            );
+            r.index as u32
+        }
+        RegClass::Pseudo => HARD_SLOTS + r.index as u32,
+    }
+}
+
+/// One step of a postfix expression program.
+#[derive(Debug)]
+pub(crate) enum EOp {
+    /// Push a register slot's value.
+    Reg(u32),
+    /// Push a constant.
+    Const(i32),
+    /// Push `HI[sym]` of global `sym`.
+    Hi(u32),
+    /// Push `LO[sym]` of global `sym`.
+    Lo(u32),
+    /// Push the address of a local slot.
+    Local(u32),
+    /// Pop two, push the binary result (traps like the interpreter).
+    Bin(BinOp),
+    /// Pop one, push the unary result.
+    Un(UnOp),
+    /// Pop an address, push the loaded value.
+    Load(Width),
+}
+
+/// A lowered expression: leaf shapes inline, the dominant two-operand
+/// shapes (`M[reg]`, `reg ⊕ reg`, `reg ⊕ const`) as dedicated variants
+/// evaluated without touching the postfix stack, everything else
+/// postfix.
+#[derive(Debug)]
+pub(crate) enum LExpr {
+    Reg(u32),
+    Const(i32),
+    Hi(u32),
+    Lo(u32),
+    Local(u32),
+    LoadR(Width, u32),
+    LoadRC(Width, u32, i32),
+    BinRR(BinOp, u32, u32),
+    BinRC(BinOp, u32, i32),
+    Post(Box<[EOp]>),
+}
+
+/// A lowered instruction. Mirrors [`Inst`] with operands resolved to
+/// dense indices; see the module docs for the mapping.
+#[derive(Debug)]
+pub(crate) enum Op {
+    Assign { dst: u32, src: LExpr },
+    Store { width: Width, addr: LExpr, src: LExpr },
+    Compare { lhs: LExpr, rhs: LExpr },
+    CondBranch { cond: Cond, target: u32 },
+    Jump { target: u32 },
+    Call { callee: Option<u32>, name: Box<str>, args: Box<[LExpr]>, dst: Option<u32> },
+    Return { value: Option<LExpr> },
+}
+
+/// The loop bound of a [`Rep`]: a literal, or a register the block never
+/// writes (the self-loop's only assignment is the induction variable, so
+/// a register bound is loop-invariant and can be read once at entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RepBound {
+    Const(i32),
+    Reg(u32),
+}
+
+/// A monotone counting self-loop eligible for closed-form retirement:
+/// `dst += step; IC = dst ? bound; PC = IC cond, target` where the
+/// condition keeps looping while `dst` moves toward `bound`.
+#[derive(Debug)]
+pub(crate) struct Rep {
+    /// Block index the closing branch targets. The fast path applies only
+    /// when the block is entered *at* this index (a genuine self-loop) —
+    /// the same lowered block may sit at a different position in another
+    /// function, where the branch is an ordinary back edge.
+    target: u32,
+    dst: u32,
+    step: i32,
+    bound: RepBound,
+    /// Loop continues on equality (`<=` / mirrored `>=`) too.
+    le: bool,
+}
+
+/// The rotated / unrolled-by-two counting loop the batch compiler emits:
+/// two consecutive blocks, each `dst += step; IC = dst ? bound;
+/// CondBranch`, where the first block's branch *exits* the cycle and the
+/// second's loops back to the first. Detected per function (it spans two
+/// blocks, so it cannot live in the shared per-block cache) and retired
+/// in closed form like [`Rep`]. Both halves write only `dst`, so a
+/// register bound is loop-invariant.
+#[derive(Debug)]
+pub(crate) struct Rep2 {
+    dst: u32,
+    step: i32,
+    bound: RepBound,
+    /// Loop continues on equality too.
+    le: bool,
+    /// Continuation when the exit fires in the first half (odd trip
+    /// count): the first block's branch target. An even trip count falls
+    /// through past the pair instead.
+    exit_odd: u32,
+}
+
+/// Where a written register's final value comes from when a while-loop
+/// cycle is retired in closed form (see [`RepW`]). The paired offset is
+/// applied with wrapping arithmetic — exactly what the per-trip ops
+/// would have computed mod 2³².
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FinalBase {
+    /// The induction variable's value at that segment's last run.
+    Ind,
+    /// A loop-invariant register.
+    Inv(u32),
+    /// A literal; the offset IS the value.
+    Lit,
+    /// The register is itself a secondary linear counter stepped by the
+    /// offset once per latch run.
+    SelfLin,
+}
+
+/// The header/latch while-loop shape mid-sequence instances carry: a
+/// header of register copies ending in `IC = i ? bound; PC = IC cond,
+/// exit`, falling into a latch of register assignments that step `i` by
+/// a constant and jump back to the header. Detected by a linear
+/// symbolic walk of both blocks: every assignment must reduce to
+/// `V(r) + c` (the value of `r` at the current trip's header entry,
+/// plus a wrapping constant) or a literal, where `r` is the induction
+/// variable, a secondary self-stepped counter, or a register the cycle
+/// never writes. The exit test runs *before* each increment, so zero
+/// trips are possible.
+#[derive(Debug)]
+pub(crate) struct RepW {
+    dst: u32,
+    step: i32,
+    bound: RepBound,
+    /// Wrapping offset applied to a register bound (a copy chain may
+    /// fold constants into the compare operand).
+    bound_off: i32,
+    /// The exit fires on equality too (`>=` / mirrored `<=`) rather
+    /// than strictly past the bound.
+    ge: bool,
+    /// The header's branch target — the only way out of the cycle.
+    exit: u32,
+    /// Instructions per full trip (header + latch) and per exit pass
+    /// (header only).
+    trip_insts: u32,
+    exit_insts: u32,
+    /// Final values of the other written registers:
+    /// `(reg, written_in_header, base, wrapping offset)`. Header-written
+    /// regs update once more on the exit pass; latch-written ones keep
+    /// their last-trip value (and stay untouched when the trip count is
+    /// zero).
+    finals: Box<[(u32, bool, FinalBase, i32)]>,
+}
+
+/// A two-block counting cycle starting at some block index; see
+/// [`Rep2`] and [`RepW`].
+#[derive(Debug)]
+pub(crate) enum PairRep {
+    Rotated(Rep2),
+    While(RepW),
+}
+
+/// One basic block, lowered.
+#[derive(Debug)]
+pub(crate) struct LoweredBlock {
+    ops: Box<[Op]>,
+    /// Blocks containing calls always take the careful (per-instruction
+    /// fuel check) path: the callee shares the fuel budget.
+    has_call: bool,
+    /// Highest register slot any op touches; sizes the frame's register
+    /// file at function level.
+    max_slot: u32,
+    rep: Option<Rep>,
+}
+
+/// A function pre-lowered for the threaded engine.
+#[derive(Debug)]
+pub(crate) struct LoweredFunction {
+    pub(crate) name: Box<str>,
+    param_slots: Box<[u32]>,
+    reg_slots: u32,
+    /// Word-aligned sizes of the locals, in declaration order.
+    local_sizes: Box<[u32]>,
+    frame_size: u32,
+    pub(crate) blocks: Box<[Arc<LoweredBlock>]>,
+    /// `rep2[i]` is the two-block counting cycle starting at block `i`,
+    /// if any. Indexed in lockstep with `blocks` (always one entry per
+    /// block) so dispatch pays one slice load, no hashing.
+    rep2: Box<[Option<PairRep>]>,
+}
+
+/// A function pre-lowered for the threaded engine, reusable across calls
+/// and cheap to clone. Obtain one from [`Machine::lower_instance`] and
+/// execute it with [`Machine::call_lowered`] /
+/// [`Machine::call_lowered_counted`] to amortize lowering across a
+/// battery of runs.
+#[derive(Clone)]
+pub struct LoweredInstance(pub(crate) Arc<LoweredFunction>);
+
+/// The per-machine block cache. Keys are the exact byte encoding of a
+/// block's instructions with branch targets resolved to positional
+/// indices, built in the warm `key_buf` and cloned only on a miss.
+#[derive(Clone, Default)]
+pub(crate) struct LowerCache {
+    map: HashMap<Box<[u8]>, Arc<LoweredBlock>>,
+    key_buf: Vec<u8>,
+    /// Stats accumulated locally and flushed to [`crate::stats`] by the
+    /// machine's public entry points (one atomic add per call, not one
+    /// per block).
+    pub(crate) pending_lowered: u64,
+    pub(crate) pending_hits: u64,
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_reg(buf: &mut Vec<u8>, r: Reg) {
+    buf.push(match r.class {
+        RegClass::Hard => 0,
+        RegClass::Pseudo => 1,
+    });
+    buf.extend_from_slice(&r.index.to_le_bytes());
+}
+
+fn encode_expr(e: &Expr, buf: &mut Vec<u8>) {
+    match e {
+        Expr::Reg(r) => {
+            buf.push(0);
+            put_reg(buf, *r);
+        }
+        Expr::Const(c) => {
+            buf.push(1);
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        Expr::Hi(s) => {
+            buf.push(2);
+            put_u32(buf, s.0);
+        }
+        Expr::Lo(s) => {
+            buf.push(3);
+            put_u32(buf, s.0);
+        }
+        Expr::LocalAddr(l) => {
+            buf.push(4);
+            put_u32(buf, l.0);
+        }
+        Expr::Bin(op, a, b) => {
+            buf.push(5);
+            buf.push(*op as u8);
+            encode_expr(a, buf);
+            encode_expr(b, buf);
+        }
+        Expr::Un(op, a) => {
+            buf.push(6);
+            buf.push(*op as u8);
+            encode_expr(a, buf);
+        }
+        Expr::Load(w, a) => {
+            buf.push(7);
+            buf.push(*w as u8);
+            encode_expr(a, buf);
+        }
+    }
+}
+
+fn encode_inst(inst: &Inst, resolve: &impl Fn(Label) -> u32, buf: &mut Vec<u8>) {
+    match inst {
+        Inst::Assign { dst, src } => {
+            buf.push(0);
+            put_reg(buf, *dst);
+            encode_expr(src, buf);
+        }
+        Inst::Store { width, addr, src } => {
+            buf.push(1);
+            buf.push(*width as u8);
+            encode_expr(addr, buf);
+            encode_expr(src, buf);
+        }
+        Inst::Compare { lhs, rhs } => {
+            buf.push(2);
+            encode_expr(lhs, buf);
+            encode_expr(rhs, buf);
+        }
+        Inst::CondBranch { cond, target } => {
+            buf.push(3);
+            buf.push(*cond as u8);
+            put_u32(buf, resolve(*target));
+        }
+        Inst::Jump { target } => {
+            buf.push(4);
+            put_u32(buf, resolve(*target));
+        }
+        Inst::Call { callee, args, dst } => {
+            buf.push(5);
+            put_u32(buf, callee.len() as u32);
+            buf.extend_from_slice(callee.as_bytes());
+            put_u32(buf, args.len() as u32);
+            for a in args {
+                encode_expr(a, buf);
+            }
+            match dst {
+                Some(d) => {
+                    buf.push(1);
+                    put_reg(buf, *d);
+                }
+                None => buf.push(0),
+            }
+        }
+        Inst::Return { value } => {
+            buf.push(6);
+            match value {
+                Some(v) => {
+                    buf.push(1);
+                    encode_expr(v, buf);
+                }
+                None => buf.push(0),
+            }
+        }
+    }
+}
+
+fn flatten(e: &Expr, max_slot: &mut u32, out: &mut Vec<EOp>) {
+    match e {
+        Expr::Reg(r) => {
+            let s = slot(*r);
+            *max_slot = (*max_slot).max(s);
+            out.push(EOp::Reg(s));
+        }
+        Expr::Const(c) => out.push(EOp::Const(*c as i32)),
+        Expr::Hi(s) => out.push(EOp::Hi(s.0)),
+        Expr::Lo(s) => out.push(EOp::Lo(s.0)),
+        Expr::LocalAddr(l) => out.push(EOp::Local(l.0)),
+        Expr::Bin(op, a, b) => {
+            flatten(a, max_slot, out);
+            flatten(b, max_slot, out);
+            out.push(EOp::Bin(*op));
+        }
+        Expr::Un(op, a) => {
+            flatten(a, max_slot, out);
+            out.push(EOp::Un(*op));
+        }
+        Expr::Load(w, a) => {
+            flatten(a, max_slot, out);
+            out.push(EOp::Load(*w));
+        }
+    }
+}
+
+fn lower_expr(e: &Expr, max_slot: &mut u32) -> LExpr {
+    let mut reg = |r: &vpo_rtl::Reg| {
+        let s = slot(*r);
+        *max_slot = (*max_slot).max(s);
+        s
+    };
+    match e {
+        Expr::Reg(r) => LExpr::Reg(reg(r)),
+        Expr::Const(c) => LExpr::Const(*c as i32),
+        Expr::Hi(s) => LExpr::Hi(s.0),
+        Expr::Lo(s) => LExpr::Lo(s.0),
+        Expr::LocalAddr(l) => LExpr::Local(l.0),
+        Expr::Load(w, a) => match a.as_ref() {
+            Expr::Reg(r) => LExpr::LoadR(*w, reg(r)),
+            Expr::Bin(BinOp::Add, x, y) => match (x.as_ref(), y.as_ref()) {
+                (Expr::Reg(r), Expr::Const(c)) => LExpr::LoadRC(*w, reg(r), *c as i32),
+                _ => {
+                    let mut out = Vec::new();
+                    flatten(e, max_slot, &mut out);
+                    LExpr::Post(out.into())
+                }
+            },
+            _ => {
+                let mut out = Vec::new();
+                flatten(e, max_slot, &mut out);
+                LExpr::Post(out.into())
+            }
+        },
+        Expr::Bin(op, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Reg(x), Expr::Reg(y)) => LExpr::BinRR(*op, reg(x), reg(y)),
+            (Expr::Reg(x), Expr::Const(c)) => LExpr::BinRC(*op, reg(x), *c as i32),
+            _ => {
+                let mut out = Vec::new();
+                flatten(e, max_slot, &mut out);
+                LExpr::Post(out.into())
+            }
+        },
+        _ => {
+            let mut out = Vec::new();
+            flatten(e, max_slot, &mut out);
+            LExpr::Post(out.into())
+        }
+    }
+}
+
+/// Applies a binary operator with the engine-shared trap semantics:
+/// division by zero (incl. `INT_MIN / -1`) and out-of-range shifts
+/// surface as [`SimError`]s, matching the interpreter exactly.
+#[inline]
+fn bin_eval(op: BinOp, a: i32, b: i32, name: &str) -> Result<i32, SimError> {
+    match op.eval(a, b) {
+        Some(v) => Ok(v),
+        None => Err(match op {
+            BinOp::Div | BinOp::Rem => SimError::DivideByZero { function: name.to_owned() },
+            _ => SimError::BadShift { amount: b },
+        }),
+    }
+}
+
+/// Matches the `dst += step; IC = dst ? bound; PC = IC cond, target`
+/// op triple shared by both closed-form loop shapes, returning the
+/// induction register, the signed step, the bound, and the branch.
+fn counting_triple(ops: &[Op]) -> Option<(u32, i32, RepBound, Cond, u32)> {
+    let [Op::Assign { dst, src }, Op::Compare { lhs, rhs }, Op::CondBranch { cond, target }] = ops
+    else {
+        return None;
+    };
+    let step = match src {
+        LExpr::BinRC(BinOp::Add, r, c) if r == dst => *c,
+        LExpr::BinRC(BinOp::Sub, r, c) if r == dst => 0i32.wrapping_sub(*c),
+        _ => return None,
+    };
+    let bound = match (lhs, rhs) {
+        (LExpr::Reg(cr), LExpr::Const(b)) if cr == dst => RepBound::Const(*b),
+        // A register bound is sound because the block's only write is to
+        // `dst`: the bound register cannot change between iterations.
+        (LExpr::Reg(cr), LExpr::Reg(br)) if cr == dst && br != dst => RepBound::Reg(*br),
+        _ => return None,
+    };
+    Some((*dst, step, bound, *cond, *target))
+}
+
+/// Recognizes the three-op monotone counting self-loop on the *lowered*
+/// ops. `step == 0`, mixed directions, and `Eq`/`Ne` exits all fall
+/// through to the generic path (whose fuel budget still bounds them).
+fn detect_rep(ops: &[Op]) -> Option<Rep> {
+    let (dst, step, bound, cond, target) = counting_triple(ops)?;
+    if target == DANGLING {
+        return None;
+    }
+    let le = match (cond, step > 0, step < 0) {
+        (Cond::Lt, true, _) => false,
+        (Cond::Le, true, _) => true,
+        (Cond::Gt, _, true) => false,
+        (Cond::Ge, _, true) => true,
+        _ => return None,
+    };
+    Some(Rep { target, dst, step, bound, le })
+}
+
+/// Recognizes the rotated two-block counting cycle starting at block
+/// `a_idx` (see [`Rep2`]): both halves increment the same register by
+/// the same step and compare it against the same bound; the first
+/// half's branch exits on the complement of the second half's
+/// loop-back condition.
+fn detect_rep2(a_ops: &[Op], b_ops: &[Op], a_idx: u32) -> Option<Rep2> {
+    let (d1, s1, bound1, cond_exit, exit_odd) = counting_triple(a_ops)?;
+    let (d2, s2, bound2, cond_cont, back) = counting_triple(b_ops)?;
+    if d1 != d2 || s1 != s2 || bound1 != bound2 || back != a_idx || exit_odd == DANGLING {
+        return None;
+    }
+    let le = match (cond_exit, cond_cont, s1 > 0, s1 < 0) {
+        (Cond::Ge, Cond::Lt, true, _) => false,
+        (Cond::Gt, Cond::Le, true, _) => true,
+        (Cond::Le, Cond::Gt, _, true) => false,
+        (Cond::Lt, Cond::Ge, _, true) => true,
+        _ => return None,
+    };
+    Some(Rep2 { dst: d1, step: s1, bound: bound1, le, exit_odd })
+}
+
+/// A value in the linear symbolic walk of a candidate while-loop
+/// cycle: the value some register held at the current trip's header
+/// entry plus a wrapping constant, or a literal. Wrapping offsets
+/// compose associatively mod 2³², so chains of copies and `±const`
+/// steps stay exact without any overflow reasoning.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    Base(u32, i32),
+    Lit(i32),
+}
+
+impl Sym {
+    fn add(self, c: i32) -> Sym {
+        match self {
+            Sym::Base(r, o) => Sym::Base(r, o.wrapping_add(c)),
+            Sym::Lit(v) => Sym::Lit(v.wrapping_add(c)),
+        }
+    }
+}
+
+/// Latest binding wins; unwritten registers are their own base.
+fn sym_lookup(subst: &[(u32, Sym)], r: u32) -> Sym {
+    subst.iter().rev().find(|(k, _)| *k == r).map_or(Sym::Base(r, 0), |&(_, s)| s)
+}
+
+/// Reduces a lowered expression to `V(r) + c` or a literal; anything
+/// that loads memory, traps, or is non-linear disqualifies the cycle.
+fn sym_resolve(subst: &[(u32, Sym)], e: &LExpr) -> Option<Sym> {
+    Some(match e {
+        LExpr::Reg(r) => sym_lookup(subst, *r),
+        LExpr::Const(c) => Sym::Lit(*c),
+        LExpr::BinRC(BinOp::Add, r, c) => sym_lookup(subst, *r).add(*c),
+        LExpr::BinRC(BinOp::Sub, r, c) => sym_lookup(subst, *r).add(0i32.wrapping_sub(*c)),
+        _ => return None,
+    })
+}
+
+/// Recognizes the header/latch while-loop starting at block `h_idx`
+/// (see [`RepW`]) by symbolically executing one trip: a header of
+/// linear assignments ending `IC = i ? bound; PC = IC cond, exit`,
+/// falling into a latch of linear assignments that steps `i` by a
+/// constant and jumps back. Copy chains through temporaries are folded
+/// by the walk, so the copy-laden shapes mid-sequence instances carry
+/// (compare on a temp, increment through a temp) qualify too.
+fn detect_rep_while(h_ops: &[Op], l_ops: &[Op], h_idx: u32) -> Option<RepW> {
+    if h_ops.len() < 2 || l_ops.len() < 2 {
+        return None;
+    }
+    let (h_assigns, h_tail) = h_ops.split_at(h_ops.len() - 2);
+    let [Op::Compare { lhs, rhs }, Op::CondBranch { cond, target: exit }] = h_tail else {
+        return None;
+    };
+    let (l_assigns, l_tail) = l_ops.split_at(l_ops.len() - 1);
+    let [Op::Jump { target: back }] = l_tail else {
+        return None;
+    };
+    if *back != h_idx || *exit == DANGLING {
+        return None;
+    }
+
+    // One symbolic trip: header assigns, compare operands, latch assigns.
+    let mut subst: Vec<(u32, Sym)> = Vec::new();
+    let mut header_written: Vec<u32> = Vec::new();
+    for op in h_assigns {
+        let Op::Assign { dst, src } = op else { return None };
+        let v = sym_resolve(&subst, src)?;
+        subst.push((*dst, v));
+        header_written.push(*dst);
+    }
+    let lhs_sym = sym_resolve(&subst, lhs)?;
+    let rhs_sym = sym_resolve(&subst, rhs)?;
+    let header_end = subst.clone();
+    for op in l_assigns {
+        let Op::Assign { dst, src } = op else { return None };
+        let v = sym_resolve(&subst, src)?;
+        subst.push((*dst, v));
+    }
+
+    // The induction variable: the compare's left operand must be its
+    // unmodified header-entry value, stepped by a constant once per
+    // trip in the latch and untouched by the header (so the exit-pass
+    // compare sees exactly `r0 + t*step`).
+    let Sym::Base(ind, 0) = lhs_sym else { return None };
+    if header_written.contains(&ind) {
+        return None;
+    }
+    let step = match sym_lookup(&subst, ind) {
+        Sym::Base(r, s) if r == ind && s != 0 => s,
+        _ => return None,
+    };
+    let ge = match (cond, step > 0) {
+        (Cond::Ge, true) | (Cond::Le, false) => true,
+        (Cond::Gt, true) | (Cond::Lt, false) => false,
+        _ => return None,
+    };
+    let written = |r: u32| subst.iter().any(|&(k, _)| k == r);
+    let (bound, bound_off) = match rhs_sym {
+        Sym::Lit(v) => (RepBound::Const(v), 0),
+        Sym::Base(b, off) if !written(b) => (RepBound::Reg(b), off),
+        _ => return None,
+    };
+
+    // Every other written register must have a closed-form final:
+    // header-written regs take their end-of-header value on the exit
+    // pass (base strictly outside the written set, or the induction
+    // variable); latch-only regs keep their last-trip value, or are
+    // themselves secondary linear counters.
+    let mut finals: Vec<(u32, bool, FinalBase, i32)> = Vec::new();
+    for i in 0..subst.len() {
+        let w = subst[i].0;
+        if w == ind || subst[..i].iter().any(|&(k, _)| k == w) {
+            continue;
+        }
+        let in_header = header_written.contains(&w);
+        let sym = if in_header { sym_lookup(&header_end, w) } else { sym_lookup(&subst, w) };
+        let (base, off) = match sym {
+            Sym::Lit(v) => (FinalBase::Lit, v),
+            Sym::Base(r, o) if r == ind => (FinalBase::Ind, o),
+            Sym::Base(r, o) if !written(r) => (FinalBase::Inv(r), o),
+            Sym::Base(r, o) if r == w && !in_header => (FinalBase::SelfLin, o),
+            _ => return None,
+        };
+        finals.push((w, in_header, base, off));
+    }
+
+    Some(RepW {
+        dst: ind,
+        step,
+        bound,
+        bound_off,
+        ge,
+        exit: *exit,
+        trip_insts: (h_ops.len() + l_ops.len()) as u32,
+        exit_insts: h_ops.len() as u32,
+        finals: finals.into(),
+    })
+}
+
+fn lower_block(
+    insts: &[Inst],
+    resolve: &impl Fn(Label) -> u32,
+    fn_index: &HashMap<&str, u32>,
+) -> LoweredBlock {
+    let mut max_slot = 0u32;
+    let mut has_call = false;
+    let mut ops = Vec::with_capacity(insts.len());
+    for inst in insts {
+        let op = match inst {
+            Inst::Assign { dst, src } => {
+                let d = slot(*dst);
+                max_slot = max_slot.max(d);
+                Op::Assign { dst: d, src: lower_expr(src, &mut max_slot) }
+            }
+            Inst::Store { width, addr, src } => Op::Store {
+                width: *width,
+                addr: lower_expr(addr, &mut max_slot),
+                src: lower_expr(src, &mut max_slot),
+            },
+            Inst::Compare { lhs, rhs } => Op::Compare {
+                lhs: lower_expr(lhs, &mut max_slot),
+                rhs: lower_expr(rhs, &mut max_slot),
+            },
+            Inst::CondBranch { cond, target } => {
+                Op::CondBranch { cond: *cond, target: resolve(*target) }
+            }
+            Inst::Jump { target } => Op::Jump { target: resolve(*target) },
+            Inst::Call { callee, args, dst } => {
+                has_call = true;
+                Op::Call {
+                    callee: fn_index.get(callee.as_str()).copied(),
+                    name: callee.as_str().into(),
+                    args: args.iter().map(|a| lower_expr(a, &mut max_slot)).collect(),
+                    dst: dst.map(|d| {
+                        let s = slot(d);
+                        max_slot = max_slot.max(s);
+                        s
+                    }),
+                }
+            }
+            Inst::Return { value } => {
+                Op::Return { value: value.as_ref().map(|v| lower_expr(v, &mut max_slot)) }
+            }
+        };
+        ops.push(op);
+    }
+    let rep = detect_rep(&ops);
+    LoweredBlock { ops: ops.into(), has_call, max_slot, rep }
+}
+
+/// Lowers a whole function, sharing blocks through the machine's cache.
+pub(crate) fn lower_function(
+    f: &Function,
+    fn_index: &HashMap<&str, u32>,
+    cache: &mut LowerCache,
+) -> Arc<LoweredFunction> {
+    let mut label_to_idx: HashMap<u32, u32> = HashMap::with_capacity(f.blocks.len());
+    for (i, b) in f.blocks.iter().enumerate() {
+        label_to_idx.insert(b.label.0, i as u32);
+    }
+    let resolve = |l: Label| label_to_idx.get(&l.0).copied().unwrap_or(DANGLING);
+
+    let mut blocks = Vec::with_capacity(f.blocks.len());
+    let mut max_slot = R13_SLOT as u32;
+    for b in &f.blocks {
+        let mut key = std::mem::take(&mut cache.key_buf);
+        key.clear();
+        for inst in &b.insts {
+            encode_inst(inst, &resolve, &mut key);
+        }
+        let lb = match cache.map.get(key.as_slice()) {
+            Some(lb) => {
+                cache.pending_hits += 1;
+                lb.clone()
+            }
+            None => {
+                cache.pending_lowered += 1;
+                let lb = Arc::new(lower_block(&b.insts, &resolve, fn_index));
+                cache.map.insert(key.as_slice().into(), lb.clone());
+                lb
+            }
+        };
+        max_slot = max_slot.max(lb.max_slot);
+        blocks.push(lb);
+        cache.key_buf = key;
+    }
+    let param_slots: Box<[u32]> = f.params.iter().map(|&p| slot(p)).collect();
+    for &s in param_slots.iter() {
+        max_slot = max_slot.max(s);
+    }
+    let local_sizes: Box<[u32]> = f.locals.iter().map(|l| (l.size + 3) & !3).collect();
+    let frame_size = local_sizes.iter().sum();
+    let rep2: Box<[Option<PairRep>]> = (0..blocks.len())
+        .map(|a| {
+            let b = blocks.get(a + 1)?;
+            detect_rep2(&blocks[a].ops, &b.ops, a as u32)
+                .map(PairRep::Rotated)
+                .or_else(|| detect_rep_while(&blocks[a].ops, &b.ops, a as u32).map(PairRep::While))
+        })
+        .collect();
+    Arc::new(LoweredFunction {
+        name: f.name.as_str().into(),
+        param_slots,
+        reg_slots: max_slot + 1,
+        local_sizes,
+        frame_size,
+        blocks: blocks.into(),
+        rep2,
+    })
+}
+
+/// How a block's op stream handed control back to the dispatch loop.
+enum Exit {
+    /// Ran off the end of the block: fall through positionally.
+    Fall,
+    /// Taken branch or jump to a resolved block index.
+    Jump(u32),
+    /// Returned a value.
+    Ret(i32),
+}
+
+impl<'p> Machine<'p> {
+    /// Returns the lowered form of program function `idx`, lowering it on
+    /// first use (nested calls resolve here at execution time).
+    fn lowered_program_fn(&mut self, idx: u32) -> Arc<LoweredFunction> {
+        if let Some(lf) = &self.lowered_fns[idx as usize] {
+            return lf.clone();
+        }
+        let f: &'p Function = &self.program.functions[idx as usize];
+        let lf = lower_function(f, &self.fn_index, &mut self.lower_cache);
+        self.lowered_fns[idx as usize] = Some(lf.clone());
+        lf
+    }
+
+    /// Threaded-engine entry point by program-function name; mirrors the
+    /// interpreter's `call_inner` error behavior for unknown names.
+    pub(crate) fn call_threaded(
+        &mut self,
+        name: &str,
+        args: &[i32],
+        depth: usize,
+    ) -> Result<i32, SimError> {
+        let Some(idx) = self.fn_index.get(name).copied() else {
+            return Err(SimError::UnknownFunction(name.to_owned()));
+        };
+        let lf = self.lowered_program_fn(idx);
+        self.exec_threaded(&lf, args, depth)
+    }
+
+    /// The threaded dispatch loop. Bit-identical to `Machine::exec`: same
+    /// return values, memory effects, dynamic counts, block-entry counts,
+    /// error classification, and fuel-exhaustion point.
+    pub(crate) fn exec_threaded(
+        &mut self,
+        lf: &LoweredFunction,
+        args: &[i32],
+        depth: usize,
+    ) -> Result<i32, SimError> {
+        if depth > MAX_DEPTH {
+            return Err(SimError::StackOverflow);
+        }
+        if lf.frame_size + 64 > self.stack_top {
+            return Err(SimError::OutOfStack);
+        }
+        let frame_base = self.stack_top - lf.frame_size;
+        let saved_top = self.stack_top;
+        self.stack_top = frame_base;
+
+        let mut regs = self.regfile_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(lf.reg_slots as usize, 0);
+        regs[R13_SLOT] = saved_top as i32;
+        for (i, &s) in lf.param_slots.iter().enumerate() {
+            regs[s as usize] = args.get(i).copied().unwrap_or(0);
+        }
+        let mut local_addr = self.local_pool.pop().unwrap_or_default();
+        local_addr.clear();
+        {
+            let mut a = frame_base;
+            for &sz in lf.local_sizes.iter() {
+                local_addr.push(a);
+                a += sz;
+            }
+        }
+        let mut cc = (0i32, 0i32);
+        let counting = depth == 0 && self.block_counts.is_some();
+        if counting {
+            if let Some(c) = self.block_counts.as_mut() {
+                if let Some(s) = c.get_mut(0) {
+                    *s += 1;
+                }
+            }
+        }
+
+        let mut bi = 0usize;
+        let result = 'run: loop {
+            let Some(blk) = lf.blocks.get(bi) else {
+                break 'run Err(SimError::MissingReturn(lf.name.to_string()));
+            };
+            if let Some(rep) = &blk.rep {
+                if rep.target as usize == bi && self.try_rep(rep, bi, &mut regs, &mut cc, counting)
+                {
+                    bi += 1;
+                    if counting {
+                        if let Some(c) = self.block_counts.as_mut() {
+                            if let Some(s) = c.get_mut(bi) {
+                                *s += 1;
+                            }
+                        }
+                    }
+                    continue 'run;
+                }
+            }
+            if let Some(pair) = lf.rep2[bi].as_ref() {
+                let next = match pair {
+                    PairRep::Rotated(r2) => self.try_rep2(r2, bi, &mut regs, &mut cc, counting),
+                    PairRep::While(rw) => self.try_rep_while(rw, bi, &mut regs, &mut cc, counting),
+                };
+                if let Some(next) = next {
+                    bi = next;
+                    if counting {
+                        if let Some(c) = self.block_counts.as_mut() {
+                            if let Some(s) = c.get_mut(bi) {
+                                *s += 1;
+                            }
+                        }
+                    }
+                    continue 'run;
+                }
+            }
+            let len = blk.ops.len() as u64;
+            let careful = blk.has_call || self.fuel.saturating_sub(self.dynamic) < len;
+            let mut k: u64 = 0;
+            let mut exit = Exit::Fall;
+            let mut fault: Option<SimError> = None;
+            for op in blk.ops.iter() {
+                if careful && self.dynamic + k >= self.fuel {
+                    fault = Some(SimError::OutOfFuel);
+                    break;
+                }
+                k += 1;
+                match self.step_op(op, &mut regs, &local_addr, &mut cc, &lf.name, depth, &mut k) {
+                    Ok(None) => {}
+                    Ok(Some(e)) => {
+                        exit = e;
+                        break;
+                    }
+                    Err(e) => {
+                        fault = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.dynamic += k;
+            if let Some(e) = fault {
+                break 'run Err(e);
+            }
+            if !careful && len > 0 {
+                self.pending_retires += 1;
+            }
+            match exit {
+                Exit::Ret(v) => break 'run Ok(v),
+                Exit::Jump(t) => {
+                    if t == DANGLING {
+                        panic!("dangling branch target");
+                    }
+                    bi = t as usize;
+                    if counting {
+                        if let Some(c) = self.block_counts.as_mut() {
+                            c[bi] += 1;
+                        }
+                    }
+                }
+                Exit::Fall => {
+                    bi += 1;
+                    if counting {
+                        if let Some(c) = self.block_counts.as_mut() {
+                            if let Some(s) = c.get_mut(bi) {
+                                *s += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        self.regfile_pool.push(std::mem::take(&mut regs));
+        self.local_pool.push(std::mem::take(&mut local_addr));
+        self.stack_top = saved_top;
+        result
+    }
+
+    /// Executes one lowered op. `Ok(None)` falls through to the next op;
+    /// `Ok(Some(exit))` transfers control. `k` is the block's pending
+    /// dynamic credit — a call flushes it first because the callee shares
+    /// the fuel budget.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn step_op(
+        &mut self,
+        op: &Op,
+        regs: &mut [i32],
+        local_addr: &[u32],
+        cc: &mut (i32, i32),
+        name: &str,
+        depth: usize,
+        k: &mut u64,
+    ) -> Result<Option<Exit>, SimError> {
+        match op {
+            Op::Assign { dst, src } => {
+                let v = self.eval_lexpr(src, regs, local_addr, name)?;
+                regs[*dst as usize] = v;
+            }
+            Op::Store { width, addr, src } => {
+                let a = self.eval_lexpr(addr, regs, local_addr, name)? as u32;
+                let v = self.eval_lexpr(src, regs, local_addr, name)?;
+                self.write(a, v, *width, name)?;
+            }
+            Op::Compare { lhs, rhs } => {
+                let a = self.eval_lexpr(lhs, regs, local_addr, name)?;
+                let b = self.eval_lexpr(rhs, regs, local_addr, name)?;
+                *cc = (a, b);
+            }
+            Op::CondBranch { cond, target } => {
+                if cond.eval(cc.0, cc.1) {
+                    return Ok(Some(Exit::Jump(*target)));
+                }
+            }
+            Op::Jump { target } => return Ok(Some(Exit::Jump(*target))),
+            Op::Call { callee, name: cname, args, dst } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args.iter() {
+                    vals.push(self.eval_lexpr(a, regs, local_addr, name)?);
+                }
+                self.dynamic += *k;
+                *k = 0;
+                let Some(ci) = callee else {
+                    return Err(SimError::UnknownFunction(cname.to_string()));
+                };
+                let clf = self.lowered_program_fn(*ci);
+                let r = self.exec_threaded(&clf, &vals, depth + 1)?;
+                if let Some(d) = dst {
+                    regs[*d as usize] = r;
+                }
+            }
+            Op::Return { value } => {
+                let v = match value {
+                    Some(e) => self.eval_lexpr(e, regs, local_addr, name)?,
+                    None => 0,
+                };
+                return Ok(Some(Exit::Ret(v)));
+            }
+        }
+        Ok(None)
+    }
+
+    #[inline]
+    fn eval_lexpr(
+        &mut self,
+        e: &LExpr,
+        regs: &[i32],
+        local_addr: &[u32],
+        name: &str,
+    ) -> Result<i32, SimError> {
+        Ok(match e {
+            LExpr::Reg(s) => regs[*s as usize],
+            LExpr::Const(c) => *c,
+            LExpr::Hi(s) => (self.global_addr[*s as usize] & !0xFFF) as i32,
+            LExpr::Lo(s) => (self.global_addr[*s as usize] & 0xFFF) as i32,
+            LExpr::Local(l) => local_addr[*l as usize] as i32,
+            LExpr::LoadR(w, s) => self.read(regs[*s as usize] as u32, *w, name)?,
+            LExpr::LoadRC(w, s, c) => {
+                self.read(regs[*s as usize].wrapping_add(*c) as u32, *w, name)?
+            }
+            LExpr::BinRR(op, a, b) => bin_eval(*op, regs[*a as usize], regs[*b as usize], name)?,
+            LExpr::BinRC(op, a, c) => bin_eval(*op, regs[*a as usize], *c, name)?,
+            LExpr::Post(ops) => self.eval_post(ops, regs, local_addr, name)?,
+        })
+    }
+
+    fn eval_post(
+        &mut self,
+        ops: &[EOp],
+        regs: &[i32],
+        local_addr: &[u32],
+        name: &str,
+    ) -> Result<i32, SimError> {
+        self.eval_stack.clear();
+        for op in ops {
+            let v = match op {
+                EOp::Reg(s) => regs[*s as usize],
+                EOp::Const(c) => *c,
+                EOp::Hi(s) => (self.global_addr[*s as usize] & !0xFFF) as i32,
+                EOp::Lo(s) => (self.global_addr[*s as usize] & 0xFFF) as i32,
+                EOp::Local(l) => local_addr[*l as usize] as i32,
+                EOp::Un(op) => {
+                    let a = self.eval_stack.pop().expect("postfix underflow");
+                    op.eval(a)
+                }
+                EOp::Bin(op) => {
+                    let b = self.eval_stack.pop().expect("postfix underflow");
+                    let a = self.eval_stack.pop().expect("postfix underflow");
+                    bin_eval(*op, a, b, name)?
+                }
+                EOp::Load(w) => {
+                    let a = self.eval_stack.pop().expect("postfix underflow") as u32;
+                    self.read(a, *w, name)?
+                }
+            };
+            self.eval_stack.push(v);
+        }
+        Ok(self.eval_stack.pop().expect("postfix underflow"))
+    }
+
+    /// Retires a whole monotone counting loop in closed form. Returns
+    /// `false` when the fast path does not apply — the real loop would
+    /// wrap 32-bit arithmetic, or fuel runs out mid-loop — in which case
+    /// the caller executes the block the slow, exact way.
+    fn try_rep(
+        &mut self,
+        rep: &Rep,
+        bi: usize,
+        regs: &mut [i32],
+        cc: &mut (i32, i32),
+        counting: bool,
+    ) -> bool {
+        let r0 = regs[rep.dst as usize] as i64;
+        let step = rep.step as i64;
+        let bound_v = match rep.bound {
+            RepBound::Const(c) => c,
+            RepBound::Reg(r) => regs[r as usize],
+        };
+        let bound = bound_v as i64;
+        // Normalize the decreasing case onto the increasing one (i64 math,
+        // so negating i32::MIN is fine).
+        let (r0n, stepn, boundn) = if step > 0 { (r0, step, bound) } else { (-r0, -step, -bound) };
+        // Smallest t >= 1 with r0n + t*stepn >= boundn (strictly greater
+        // when the loop continues on equality).
+        let need = boundn - r0n + if rep.le { 1 } else { 0 };
+        let t = if need <= stepn { 1 } else { (need + stepn - 1) / stepn };
+        let finaln = r0n + t * stepn;
+        let final_v = if step > 0 { finaln } else { -finaln };
+        if final_v < i32::MIN as i64 || final_v > i32::MAX as i64 {
+            return false;
+        }
+        let insts = 3 * t as u64;
+        if self.fuel.saturating_sub(self.dynamic) < insts {
+            return false;
+        }
+        regs[rep.dst as usize] = final_v as i32;
+        *cc = (final_v as i32, bound_v);
+        self.dynamic += insts;
+        self.pending_retires += 1;
+        if counting && t > 1 {
+            if let Some(c) = self.block_counts.as_mut() {
+                c[bi] += (t - 1) as u64;
+            }
+        }
+        true
+    }
+
+    /// Retires a rotated two-block counting cycle (see [`Rep2`]) in
+    /// closed form, returning the continuation block index: the first
+    /// half's branch target when the exit fires on an odd trip, the
+    /// fall-through past the pair on an even one. `None` when the fast
+    /// path does not apply (32-bit wrap, or not enough fuel for the
+    /// whole loop) — the caller then runs the blocks the slow, exact
+    /// way. The trip count `t` counts increments; each costs exactly
+    /// three instructions whichever half it runs in.
+    fn try_rep2(
+        &mut self,
+        r2: &Rep2,
+        bi: usize,
+        regs: &mut [i32],
+        cc: &mut (i32, i32),
+        counting: bool,
+    ) -> Option<usize> {
+        let r0 = regs[r2.dst as usize] as i64;
+        let step = r2.step as i64;
+        let bound_v = match r2.bound {
+            RepBound::Const(c) => c,
+            RepBound::Reg(r) => regs[r as usize],
+        };
+        let bound = bound_v as i64;
+        let (r0n, stepn, boundn) = if step > 0 { (r0, step, bound) } else { (-r0, -step, -bound) };
+        let need = boundn - r0n + if r2.le { 1 } else { 0 };
+        let t = if need <= stepn { 1 } else { (need + stepn - 1) / stepn };
+        let finaln = r0n + t * stepn;
+        let final_v = if step > 0 { finaln } else { -finaln };
+        if final_v < i32::MIN as i64 || final_v > i32::MAX as i64 {
+            return None;
+        }
+        let insts = 3 * t as u64;
+        if self.fuel.saturating_sub(self.dynamic) < insts {
+            return None;
+        }
+        regs[r2.dst as usize] = final_v as i32;
+        *cc = (final_v as i32, bound_v);
+        self.dynamic += insts;
+        self.pending_retires += 1;
+        if counting {
+            if let Some(c) = self.block_counts.as_mut() {
+                // Odd trips run in the first half, even ones in the
+                // second; the dispatch loop already counted this entry
+                // to the first half.
+                c[bi] += (t as u64).div_ceil(2) - 1;
+                if t >= 2 {
+                    if let Some(s) = c.get_mut(bi + 1) {
+                        *s += t as u64 / 2;
+                    }
+                }
+            }
+        }
+        Some(if t % 2 == 1 { r2.exit_odd as usize } else { bi + 2 })
+    }
+
+    /// Retires a header/latch while-loop (see [`RepW`]) in closed form,
+    /// returning the header's exit target. Unlike the do-while shapes
+    /// the exit test precedes each increment, so the trip count `t` may
+    /// be zero; each trip costs `trip_insts` (header + latch) and the
+    /// final exit test another `exit_insts` (header only).
+    fn try_rep_while(
+        &mut self,
+        rw: &RepW,
+        bi: usize,
+        regs: &mut [i32],
+        cc: &mut (i32, i32),
+        counting: bool,
+    ) -> Option<usize> {
+        let r0 = regs[rw.dst as usize] as i64;
+        let step = rw.step as i64;
+        let bound_v = match rw.bound {
+            RepBound::Const(c) => c,
+            RepBound::Reg(r) => regs[r as usize].wrapping_add(rw.bound_off),
+        };
+        let bound = bound_v as i64;
+        let (r0n, stepn, boundn) = if step > 0 { (r0, step, bound) } else { (-r0, -step, -bound) };
+        // Smallest t >= 0 with r0n + t*stepn >= boundn (strictly greater
+        // when the exit spares equality).
+        let need = boundn - r0n + if rw.ge { 0 } else { 1 };
+        let t = if need <= 0 { 0 } else { (need + stepn - 1) / stepn };
+        let finaln = r0n + t * stepn;
+        let final_v = if step > 0 { finaln } else { -finaln };
+        if final_v < i32::MIN as i64 || final_v > i32::MAX as i64 {
+            return None;
+        }
+        let insts = t as u64 * rw.trip_insts as u64 + rw.exit_insts as u64;
+        if self.fuel.saturating_sub(self.dynamic) < insts {
+            return None;
+        }
+        // The induction trajectory is exact (checked in range above);
+        // every other final is a wrapping offset from an exact or
+        // invariant base — precisely what the per-trip wrapping adds
+        // would have produced mod 2³².
+        let i_final = final_v as i32;
+        // Induction value at the last full trip's header entry; only
+        // read when `t >= 1`, so the truncation is never observed.
+        let i_last = (final_v - step) as i32;
+        for &(w, in_header, base, off) in rw.finals.iter() {
+            if !in_header && t == 0 {
+                continue; // the latch never ran
+            }
+            regs[w as usize] = match base {
+                FinalBase::Ind => (if in_header { i_final } else { i_last }).wrapping_add(off),
+                FinalBase::Inv(r) => regs[r as usize].wrapping_add(off),
+                FinalBase::Lit => off,
+                FinalBase::SelfLin => regs[w as usize].wrapping_add((t as i32).wrapping_mul(off)),
+            };
+        }
+        regs[rw.dst as usize] = i_final;
+        *cc = (i_final, bound_v);
+        self.dynamic += insts;
+        self.pending_retires += 1;
+        if counting {
+            if let Some(c) = self.block_counts.as_mut() {
+                // The header runs t + 1 times (the dispatch loop already
+                // counted this entry), the latch t times.
+                c[bi] += t as u64;
+                if t >= 1 {
+                    if let Some(s) = c.get_mut(bi + 1) {
+                        *s += t as u64;
+                    }
+                }
+            }
+        }
+        Some(rw.exit as usize)
+    }
+}

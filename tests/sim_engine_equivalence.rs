@@ -1,0 +1,236 @@
+//! The direct-threaded simulator engine must be bit-identical to the
+//! tree-walking reference interpreter: same return values, same globals
+//! digests, same dynamic instruction counts, same block-entry counts,
+//! and the same error classification, on every input. These tests are
+//! the contract that lets `SimEngine::Threaded` be the default while
+//! `SimEngine::Interp` remains a living witness — the simulator twin of
+//! `engine_equivalence.rs`.
+
+mod common;
+
+use common::{apply_sequence, gen_seq};
+use epo::explore::enumerate::{enumerate, Config};
+use epo::explore::oracle::{self, OracleConfig};
+use epo::explore::rng::Rng;
+use epo::frontend::fuzz::{FuzzProgram, ENTRY};
+use epo::opt::Target;
+use epo::sim::{Machine, SimEngine, SimError};
+use exhaustive_phase_order as epo;
+
+/// Everything one simulation observes: outcome (value or error), globals
+/// digest, dynamic instruction count, and per-block entry counts.
+type Trace = (Result<i32, SimError>, u32, u64, Option<Vec<u64>>);
+
+/// Runs `f` on `args` under `engine` in a fresh machine.
+fn trace(
+    program: &epo::rtl::Program,
+    f: &epo::rtl::Function,
+    args: &[i32],
+    engine: SimEngine,
+    counted: bool,
+) -> Trace {
+    let mut m = Machine::new(program);
+    m.set_engine(engine);
+    m.set_fuel(2_000_000);
+    let (r, counts) = if counted {
+        match m.call_instance_counted(f, args) {
+            Ok((v, c)) => (Ok(v), Some(c)),
+            Err(e) => (Err(e), None),
+        }
+    } else {
+        (m.call_instance(f, args), None)
+    };
+    (r, m.globals_crc(), m.dynamic_insts(), counts)
+}
+
+/// Asserts both engines produce the same trace, returning it.
+fn assert_trace_identical(
+    name: &str,
+    program: &epo::rtl::Program,
+    f: &epo::rtl::Function,
+    args: &[i32],
+    counted: bool,
+) -> Trace {
+    let interp = trace(program, f, args, SimEngine::Interp, counted);
+    let threaded = trace(program, f, args, SimEngine::Threaded, counted);
+    assert_eq!(interp, threaded, "{name}: engines diverged on args {args:?}");
+    threaded
+}
+
+/// The nine pinned kernels spanning all six MiBench benchmarks: each
+/// one's full oracle battery must verify identically on both engines.
+const KERNELS: &[(&str, &str)] = &[
+    ("bitcount", "bit_count"),
+    ("bitcount", "bit_shifter"),
+    ("bitcount", "ntbl_bitcount"),
+    ("dijkstra", "dequeue"),
+    ("fft", "fix_mpy"),
+    ("fft", "reverse_bits"),
+    ("jpeg", "range_limit"),
+    ("sha", "rotl"),
+    ("stringsearch", "lower"),
+];
+
+/// Full oracle batteries over the nine kernels: enumerate each space
+/// once, verify it on each engine, and demand bit-identical reports —
+/// observations, findings, leaf dynamics, best-leaf choice, everything
+/// `OracleReport` carries.
+#[test]
+fn oracle_batteries_are_engine_invariant_on_the_kernel_suite() {
+    let target = Target::default();
+    let enum_config = Config { max_nodes: 5_000, ..Config::default() };
+    let oracle_config = OracleConfig { battery: 3, ..OracleConfig::default() };
+    for (bench_name, func) in KERNELS {
+        let bench = epo::benchmarks::find(bench_name).unwrap();
+        let program = bench.compile().unwrap();
+        let f = program.function(func).unwrap();
+        let e = enumerate(f, &target, &enum_config);
+        let interp = oracle::verify(
+            &program,
+            f,
+            &e,
+            &target,
+            &OracleConfig { engine: SimEngine::Interp, ..oracle_config.clone() },
+        );
+        let threaded = oracle::verify(
+            &program,
+            f,
+            &e,
+            &target,
+            &OracleConfig { engine: SimEngine::Threaded, ..oracle_config.clone() },
+        );
+        assert_eq!(interp, threaded, "{bench_name}::{func}: oracle reports diverged");
+        assert!(
+            threaded.is_clean(),
+            "{bench_name}::{func}: oracle findings: {:#?}",
+            threaded.findings
+        );
+        assert_eq!(threaded.instances, e.space.len(), "{bench_name}::{func}");
+    }
+}
+
+/// ≥200 fuzz programs, each compiled, optimized under a random phase
+/// order, and executed on both engines with identical traces — results,
+/// CRCs, dynamic counts, and (every few cases) block-entry counts.
+#[test]
+fn fuzz_corpus_traces_are_engine_invariant() {
+    let target = Target::default();
+    for seed in 0..220u64 {
+        let mut rng = Rng::seed_from_u64(0x51E_E9E ^ seed);
+        let fp = FuzzProgram::generate(&mut rng);
+        let program = fp.compile().unwrap_or_else(|e| {
+            panic!("seed {seed}: generated source failed to compile: {e}\n{}", fp.source)
+        });
+        let seq = gen_seq(&mut rng, 0..8);
+        let (optimized, _) = apply_sequence(program.function(ENTRY).unwrap(), &seq, &target);
+        for naive in [true, false] {
+            let f = if naive { program.function(ENTRY).unwrap() } else { &optimized };
+            let args = FuzzProgram::gen_args(&mut rng);
+            let counted = seed % 4 == 0;
+            let (r, _, _, _) = assert_trace_identical(
+                &format!("seed {seed} naive={naive}\n{}", fp.source),
+                &program,
+                f,
+                &args,
+                counted,
+            );
+            // Fuzz programs never trap on generated inputs; a trap here
+            // means the case lost its teeth, not that the engines agree.
+            let expected = fp.reference(args);
+            assert_eq!(r, Ok(expected), "seed {seed}, args {args:?}:\n{}", fp.source);
+        }
+    }
+}
+
+/// Error classification is engine-invariant: out-of-fuel, stack
+/// exhaustion (`OutOfStack`), deep recursion (`StackOverflow`),
+/// `INT_MIN / -1`, division by zero, bad shifts, and out-of-bounds
+/// loads/stores must be the *same* error with the *same* partial trace
+/// on both engines.
+#[test]
+fn error_classification_is_engine_invariant() {
+    let cases: &[(&str, &str, Vec<Vec<i32>>)] = &[
+        (
+            "div traps",
+            "int f(int a, int b) { return a / b; }",
+            vec![vec![7, 0], vec![i32::MIN, -1], vec![10, 3]],
+        ),
+        (
+            "rem traps",
+            "int f(int a, int b) { return a % b; }",
+            vec![vec![7, 0], vec![i32::MIN, -1]],
+        ),
+        (
+            "shift range",
+            "int f(int a, int b) { return a << b; }",
+            vec![vec![1, 40], vec![1, -1], vec![1, 31]],
+        ),
+        (
+            "oob store",
+            "int g[4]; int f(int i) { g[i] = 1; return g[0]; }",
+            vec![vec![100000000], vec![-1], vec![3]],
+        ),
+        ("oob load", "int g[4]; int f(int i) { return g[i]; }", vec![vec![90000000], vec![2]]),
+        (
+            "unbounded loop hits fuel",
+            "int f(int n) { int s; s = 0; while (n < 1) s += 1; return s; }",
+            vec![vec![0], vec![1]],
+        ),
+        ("infinite recursion overflows depth", "int f(int n) { return f(n + 1); }", vec![vec![0]]),
+    ];
+    for (name, src, batteries) in cases {
+        let program = epo::frontend::compile(src).unwrap();
+        let f = program.function("f").unwrap();
+        for args in batteries {
+            let (r, _, _, _) = assert_trace_identical(name, &program, f, args, true);
+            if name.contains("fuel") && args[0] < 1 {
+                assert_eq!(r, Err(SimError::OutOfFuel), "{name}");
+            }
+        }
+    }
+
+    // OutOfStack needs a frame that cannot fit: a huge local array on a
+    // tiny machine. Both engines must refuse identically before running
+    // any code.
+    let program =
+        epo::frontend::compile("int f(int n) { int big[6000]; big[0] = n; return big[0]; }")
+            .unwrap();
+    let f = program.function("f").unwrap();
+    let mut results = Vec::new();
+    for engine in [SimEngine::Interp, SimEngine::Threaded] {
+        let mut m = Machine::with_mem_size(&program, 1 << 14);
+        m.set_engine(engine);
+        results.push((m.call_instance(f, &[5]), m.dynamic_insts()));
+    }
+    assert_eq!(results[0], results[1], "OutOfStack diverged");
+    assert_eq!(results[0].0, Err(SimError::OutOfStack));
+}
+
+/// Dynamic-count crediting is exact under batching: for every kernel
+/// workload, `set_fuel(n)` with n = the exact dynamic count succeeds and
+/// n−1 fails with `OutOfFuel`, identically on both engines.
+#[test]
+fn fuel_boundaries_are_exact_on_kernel_workloads() {
+    for (bench_name, func, args) in common::quick_workloads() {
+        let bench = epo::benchmarks::find(bench_name).unwrap();
+        let program = bench.compile().unwrap();
+        let f = program.function(func).unwrap();
+        let mut m = Machine::new(&program);
+        m.call_instance(f, &args).unwrap_or_else(|e| panic!("{bench_name}::{func}: {e}"));
+        let n = m.dynamic_insts();
+        for engine in [SimEngine::Interp, SimEngine::Threaded] {
+            let mut m = Machine::new(&program);
+            m.set_engine(engine);
+            m.set_fuel(n);
+            assert!(m.call_instance(f, &args).is_ok(), "{bench_name}::{func} fuel={n} {engine:?}");
+            assert_eq!(m.dynamic_insts(), n, "{bench_name}::{func} {engine:?}");
+            if n > 0 {
+                m.reset();
+                m.set_fuel(n - 1);
+                let r = m.call_instance(f, &args);
+                assert_eq!(r, Err(SimError::OutOfFuel), "{bench_name}::{func} {engine:?}");
+                assert_eq!(m.dynamic_insts(), n - 1, "{bench_name}::{func} {engine:?}");
+            }
+        }
+    }
+}
