@@ -45,8 +45,9 @@ use std::time::Instant;
 
 use bench::perf::{compare, PerfReport, WorkloadReport};
 use phase_order::campaign::{self, CampaignConfig, FunctionTask, NullObserver};
-use phase_order::enumerate::{enumerate, Config, Engine};
+use phase_order::enumerate::{enumerate, enumerate_semantic, Config, Engine};
 use phase_order::oracle::{self, OracleConfig};
+use phase_order::semantic::SemanticConfig;
 use phase_order::telemetry;
 use vpo_opt::batch::batch_compile;
 use vpo_opt::Target;
@@ -242,6 +243,31 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
         }
     }
 
+    // Semantic merge tier: the same kernel annotated by behavioral
+    // signatures. Two jobs for this row: it prices the quotient against
+    // the fingerprint rows above, and it pins the `enumerate.sem_*`
+    // counters — nonzero here, *exactly zero* on every other workload,
+    // which is the counter-exact proof that the fingerprint-default
+    // path never pays a cycle of signature cost.
+    {
+        let program = mibench::find("bitcount")
+            .ok_or("no benchmark `bitcount`")?
+            .compile()
+            .map_err(|e| format!("bitcount: {e}"))?;
+        let f = program.function("bit_count").ok_or("bitcount: no function `bit_count`")?;
+        let config = Config { engine: opts.engine, ..Config::default() };
+        let sem = SemanticConfig::default();
+        workloads.push(run_workload(
+            "semantic/bitcount::bit_count/serial",
+            opts.trials,
+            4,
+            metrics_dir,
+            || {
+                std::hint::black_box(enumerate_semantic(&program, f, &target, &config, &sem));
+            },
+        )?);
+    }
+
     // Campaign: every function of bitcount over a two-worker pool,
     // checkpointing to a throwaway store (flush latency included).
     {
@@ -252,7 +278,11 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
         let tasks: Vec<FunctionTask> = program
             .functions
             .iter()
-            .map(|f| FunctionTask { name: format!("bitcount::{}", f.name), func: f.clone() })
+            .map(|f| FunctionTask {
+                name: format!("bitcount::{}", f.name),
+                func: f.clone(),
+                program: None,
+            })
             .collect();
         let config = CampaignConfig {
             jobs: 2,

@@ -49,11 +49,13 @@ mod args;
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use phase_order::campaign::{self, CampaignConfig, FunctionTask};
-use phase_order::enumerate::{enumerate, Config};
+use phase_order::enumerate::{enumerate, enumerate_semantic, Config};
 use phase_order::oracle::{self, OracleConfig};
 use phase_order::stats::FunctionRow;
+use phase_order::SemanticConfig;
 use vpo_opt::batch::batch_compile;
 use vpo_opt::{attempt, PhaseId, Target};
 use vpo_sim::{Machine, SimEngine};
@@ -68,18 +70,26 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  vpoc compile  <file.mc> [--seq LETTERS | --batch]");
             eprintln!("  vpoc run      <file.mc> <function> [int args...] [--sim-engine E]");
-            eprintln!("  vpoc explore  <file.mc> [function] [--jobs N] [--metrics PATH]");
+            eprintln!("  vpoc explore  <file.mc> [function] [--jobs N] [--max-nodes N]");
+            eprintln!("                [--merge-tier T] [--paranoid] [--metrics PATH]");
             eprintln!("  vpoc verify   <file.mc>|--bench NAME [function] [--jobs N]");
             eprintln!("                [--max-nodes N] [--battery N] [--seed S] [--metrics PATH]");
+            eprintln!("                [--merge-tier T] [--paranoid]");
             eprintln!("                [--sim-engine interp|threaded|both]");
             eprintln!("  vpoc campaign <file.mc>|--bench NAME|--all-benches [function]");
             eprintln!("                [--store PATH] [--resume] [--jobs N] [--max-nodes N]");
-            eprintln!("                [--max-functions N] [--metrics PATH]");
-            eprintln!("  vpoc dot      <file.mc> <function> [--jobs N]");
+            eprintln!("                [--max-functions N] [--merge-tier T] [--paranoid]");
+            eprintln!("                [--metrics PATH]");
+            eprintln!("  vpoc dot      <file.mc> <function> [--jobs N] [--merge-tier T]");
             eprintln!("  vpoc phases");
             eprintln!();
             eprintln!("  --jobs N       enumerate/verify with N worker threads (0 = one per");
             eprintln!("                 CPU); results are identical for any job count");
+            eprintln!("  --merge-tier T merge instances by `fingerprint` (default; §4.2.1's");
+            eprintln!("                 canonical-form identity) or by `semantic` (behavioral");
+            eprintln!("                 signature: seeded battery + dynamic counts + structure)");
+            eprintln!("  --paranoid     double-check every merge: byte-compare fingerprint");
+            eprintln!("                 hits, escalate signature hits to an extended battery");
             eprintln!("  --metrics PATH write a telemetry snapshot of the run as JSON");
             eprintln!("  --sim-engine E simulate with `threaded` (default), `interp` (the");
             eprintln!("                 reference), or `both` (differential gate: error");
@@ -158,6 +168,26 @@ fn metrics_end(path: Option<&str>) -> Result<(), String> {
 enum SimChoice {
     One(SimEngine),
     Both,
+}
+
+/// The `--merge-tier` choices: syntactic (canonical fingerprint) or
+/// behavioral (semantic signature) instance merging.
+#[derive(Clone, Copy, PartialEq)]
+enum MergeTier {
+    Fingerprint,
+    Semantic,
+}
+
+fn parse_merge_tier(rest: &mut Vec<String>) -> Result<MergeTier, String> {
+    Ok(match args::string(rest, "--merge-tier")?.as_deref() {
+        None | Some("fingerprint") => MergeTier::Fingerprint,
+        Some("semantic") => MergeTier::Semantic,
+        Some(other) => {
+            return Err(format!(
+                "--merge-tier: unknown tier `{other}` (expected fingerprint or semantic)"
+            ))
+        }
+    })
 }
 
 fn parse_sim_engine(rest: &mut Vec<String>) -> Result<SimChoice, String> {
@@ -282,6 +312,9 @@ fn run_cmd(argv: &[String]) -> Result<(), String> {
 fn explore_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
     let jobs = args::jobs(&mut rest)?;
+    let max_nodes = args::value::<usize>(&mut rest, "--max-nodes")?;
+    let tier = parse_merge_tier(&mut rest)?;
+    let paranoid = args::switch(&mut rest, "--paranoid");
     let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "explore")?;
     let path = rest.first().ok_or("explore: missing file")?;
@@ -291,7 +324,12 @@ fn explore_cmd(argv: &[String]) -> Result<(), String> {
     if let Some(name) = filter {
         require_function(&program, name, "explore")?;
     }
-    let config = Config { jobs: args::resolve_jobs(jobs), ..Config::default() };
+    let config = Config {
+        jobs: args::resolve_jobs(jobs),
+        max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
+        paranoid,
+        ..Config::default()
+    };
     println!("{}", FunctionRow::header());
     for f in &program.functions {
         if let Some(name) = filter {
@@ -299,8 +337,27 @@ fn explore_cmd(argv: &[String]) -> Result<(), String> {
                 continue;
             }
         }
-        let e = enumerate(f, &target, &config);
+        // The fingerprint-tier Table-3 row is always reported. Under
+        // `--merge-tier semantic` one enumeration produces both views —
+        // the semantic tier annotates the identical space — and the
+        // quotient line follows with both DAG sizes and the collapse
+        // factor.
+        let e = match tier {
+            MergeTier::Fingerprint => enumerate(f, &target, &config),
+            MergeTier::Semantic => {
+                enumerate_semantic(&program, f, &target, &config, &SemanticConfig::default())
+            }
+        };
         println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
+        if tier == MergeTier::Semantic {
+            let (fp_n, sem_n) = (e.space.len(), e.space.sem_class_count());
+            let collapse = fp_n as f64 / sem_n.max(1) as f64;
+            println!(
+                "  semantic: {sem_n} distinct instances (fingerprint {fp_n}, \
+                 collapse {collapse:.2}x, {} sem merges, {} collisions, {} escalations)",
+                e.stats.sem_merges, e.stats.sem_collisions, e.stats.sem_escalations,
+            );
+        }
     }
     metrics_end(metrics.as_deref())
 }
@@ -313,6 +370,8 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
     let seed = args::value::<u64>(&mut rest, "--seed")?;
     let bench = args::string(&mut rest, "--bench")?;
     let sim_engine = parse_sim_engine(&mut rest)?;
+    let tier = parse_merge_tier(&mut rest)?;
+    let paranoid = args::switch(&mut rest, "--paranoid");
     let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "verify")?;
 
@@ -328,14 +387,24 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
     }
 
     let target = Target::default();
-    let enum_config =
-        Config { max_nodes: max_nodes.unwrap_or(Config::default().max_nodes), ..Config::default() };
+    let enum_config = Config {
+        max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
+        paranoid,
+        ..Config::default()
+    };
     let oracle_config = OracleConfig {
         battery: battery.unwrap_or(OracleConfig::default().battery),
         seed: seed.unwrap_or(OracleConfig::default().seed),
         // The oracle's convention: `0` = one per CPU, `1` = serial.
         jobs: jobs.map(|n| if n == 0 { 0 } else { n }).unwrap_or(1),
         ..OracleConfig::default()
+    };
+    // The signature battery mirrors the verification battery, so a
+    // semantic merge is re-validated on the evidence it was accepted on.
+    let sem_config = SemanticConfig {
+        battery: oracle_config.battery,
+        seed: oracle_config.seed,
+        ..SemanticConfig::default()
     };
 
     let mut findings = 0usize;
@@ -345,25 +414,29 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
                 continue;
             }
         }
-        let (e, report) = match sim_engine {
-            SimChoice::One(engine) => oracle::verify_function(
+        // Translate the oracle's job convention (`0` = one per CPU,
+        // `1` = serial) into the enumeration's (`0` = serial).
+        let mut ec = enum_config.clone();
+        ec.jobs = match oracle_config.jobs {
+            0 => phase_order::jobs_per_cpu(),
+            1 => 0,
+            n => n,
+        };
+        let e = match tier {
+            MergeTier::Fingerprint => enumerate(f, &target, &ec),
+            MergeTier::Semantic => enumerate_semantic(&program, f, &target, &ec, &sem_config),
+        };
+        let report = match sim_engine {
+            SimChoice::One(engine) => oracle::verify(
                 &program,
                 f,
+                &e,
                 &target,
-                &enum_config,
                 &OracleConfig { engine, ..oracle_config.clone() },
             ),
             SimChoice::Both => {
-                // Enumerate once, verify the same space on each engine,
-                // and demand bit-identical reports — the sim differential
-                // gate.
-                let mut ec = enum_config.clone();
-                ec.jobs = match oracle_config.jobs {
-                    0 => phase_order::jobs_per_cpu(),
-                    1 => 0,
-                    n => n,
-                };
-                let e = enumerate(f, &target, &ec);
+                // Verify the same space on each engine and demand
+                // bit-identical reports — the sim differential gate.
                 let threaded = oracle::verify(
                     &program,
                     f,
@@ -386,7 +459,7 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
                     ));
                 }
                 println!("{}: engines agree (interp == threaded)", f.name);
-                (e, threaded)
+                threaded
             }
         };
         let tag = if e.outcome.is_complete() { "" } else { " [space truncated]" };
@@ -455,38 +528,41 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
     let bench = args::string(&mut rest, "--bench")?;
     let resume = args::switch(&mut rest, "--resume");
     let all_benches = args::switch(&mut rest, "--all-benches");
+    let tier = parse_merge_tier(&mut rest)?;
+    let paranoid = args::switch(&mut rest, "--paranoid");
     let metrics = metrics_begin(&mut rest)?;
     args::reject_unknown_flags(&rest, "campaign")?;
 
     // Task list: the whole suite, one benchmark, or every function of a
     // file. Suite tasks get benchmark-qualified names so the store can
-    // span programs without clashes.
+    // span programs without clashes. Every task carries its program so
+    // the semantic tier can simulate instances.
+    let program_tasks = |p: vpo_rtl::Program, qualify: Option<&str>| -> Vec<FunctionTask> {
+        let p = Arc::new(p);
+        p.functions
+            .iter()
+            .map(|f| FunctionTask {
+                name: match qualify {
+                    Some(q) => format!("{q}::{}", f.name),
+                    None => f.name.clone(),
+                },
+                func: f.clone(),
+                program: Some(Arc::clone(&p)),
+            })
+            .collect()
+    };
     let (mut tasks, filter) = if all_benches {
         let mut tasks = Vec::new();
         for b in mibench::all() {
             let p = b.compile().map_err(|e| format!("{}: {e}", b.name))?;
-            for f in p.functions {
-                tasks.push(FunctionTask { name: format!("{}::{}", b.name, f.name), func: f });
-            }
+            tasks.extend(program_tasks(p, Some(b.name)));
         }
         (tasks, rest.first().cloned())
     } else if let Some(name) = &bench {
-        let p = load_bench(name)?;
-        let tasks = p
-            .functions
-            .into_iter()
-            .map(|f| FunctionTask { name: format!("{name}::{}", f.name), func: f })
-            .collect();
-        (tasks, rest.first().cloned())
+        (program_tasks(load_bench(name)?, Some(name)), rest.first().cloned())
     } else {
         let path = rest.first().ok_or("campaign: missing file (or --bench NAME/--all-benches)")?;
-        let p = load(path)?;
-        let tasks = p
-            .functions
-            .into_iter()
-            .map(|f| FunctionTask { name: f.name.clone(), func: f })
-            .collect();
-        (tasks, rest.get(1).cloned())
+        (program_tasks(load(path)?, None), rest.get(1).cloned())
     };
 
     // A `[function]` filter matches a qualified name exactly or any
@@ -507,11 +583,13 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
     let config = CampaignConfig {
         enumerate: Config {
             max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
+            paranoid,
             ..Config::default()
         },
         jobs: args::resolve_jobs(jobs),
         resume,
         stop_after: max_functions,
+        semantic: (tier == MergeTier::Semantic).then(SemanticConfig::default),
     };
     let total = tasks.len();
     let target = Target::default();
@@ -568,14 +646,22 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
 fn dot_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
     let jobs = args::jobs(&mut rest)?;
+    let tier = parse_merge_tier(&mut rest)?;
+    let paranoid = args::switch(&mut rest, "--paranoid");
     args::reject_unknown_flags(&rest, "dot")?;
     let path = rest.first().ok_or("dot: missing file")?;
     let func = rest.get(1).ok_or("dot: missing function name")?;
     let program = load(path)?;
     require_function(&program, func, "dot")?;
     let f = program.function(func).expect("checked above");
-    let config = Config { jobs: args::resolve_jobs(jobs), ..Config::default() };
-    let e = enumerate(f, &Target::default(), &config);
+    let config = Config { jobs: args::resolve_jobs(jobs), paranoid, ..Config::default() };
+    let target = Target::default();
+    let e = match tier {
+        MergeTier::Fingerprint => enumerate(f, &target, &config),
+        MergeTier::Semantic => {
+            enumerate_semantic(&program, f, &target, &config, &SemanticConfig::default())
+        }
+    };
     println!("{}", e.space.to_dot());
     Ok(())
 }

@@ -36,13 +36,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vpo_opt::{PhaseId, Target};
-use vpo_rtl::Function;
+use vpo_rtl::canon::Fingerprint;
+use vpo_rtl::{FuncFlags, Function, Program};
 
 use crate::enumerate::{
     expand_parent, merge_parent, seed_root, AttemptRecord, Config, Enumeration, ExpandScratch,
     FrontierEntry, SearchOutcome, SearchStats,
 };
-use crate::space::{NodeId, SearchSpace};
+use crate::semantic::{SemanticConfig, SemanticContext};
+use crate::space::SearchSpace;
 use store::{FunctionRecord, ResultStore, StoreError};
 
 /// One unit of the campaign's task list: a function to explore, under a
@@ -54,6 +56,10 @@ pub struct FunctionTask {
     pub name: String,
     /// The unoptimized function.
     pub func: Function,
+    /// The program the function belongs to, for simulator execution.
+    /// Required when the campaign runs the semantic merge tier
+    /// ([`CampaignConfig::semantic`]); ignored otherwise.
+    pub program: Option<Arc<Program>>,
 }
 
 /// Campaign options.
@@ -71,6 +77,10 @@ pub struct CampaignConfig {
     /// deterministic stand-in for killing the process mid-run (the store
     /// is left exactly as a kill at a checkpoint boundary would).
     pub stop_after: Option<usize>,
+    /// Run the semantic merge tier (`--merge-tier semantic`) with these
+    /// battery options. `None` (the default) keeps the fingerprint tier.
+    /// Every task must then carry its [`FunctionTask::program`].
+    pub semantic: Option<SemanticConfig>,
 }
 
 /// Why a campaign could not run (store trouble or a malformed task
@@ -157,12 +167,16 @@ pub struct CampaignSummary {
 /// One in-flight function search: the per-function state of
 /// `enumerate`'s level loop, opened up so the shared pool can claim
 /// individual parent expansions.
-struct Search {
+struct Search<'p> {
     task: usize,
     root: Arc<Function>,
     space: SearchSpace,
     stats: SearchStats,
-    paranoid_bytes: HashMap<NodeId, Vec<u8>>,
+    paranoid_bytes: HashMap<(Fingerprint, FuncFlags), Vec<u8>>,
+    /// Semantic-tier state (signature classes + shared simulator), when
+    /// the campaign runs under `--merge-tier semantic`. Only touched at
+    /// merge time, which is serial per function.
+    sem: Option<SemanticContext<'p>>,
     start: Instant,
     /// Levels merged so far (children of the current frontier land on
     /// `level + 1`).
@@ -188,9 +202,9 @@ struct Job {
     skip: Option<PhaseId>,
 }
 
-struct DriverState {
+struct DriverState<'p> {
     next_pending: usize,
-    active: Vec<Search>,
+    active: Vec<Search<'p>>,
     completed: Vec<Option<FunctionRecord>>,
     fresh: usize,
     halt: bool,
@@ -200,11 +214,12 @@ struct DriverState {
 struct Ctx<'a> {
     names: &'a [String],
     funcs: &'a [Arc<Function>],
+    programs: &'a [Option<Arc<Program>>],
     target: &'a Target,
     config: &'a CampaignConfig,
     store_path: Option<&'a Path>,
     observer: &'a dyn Observer,
-    state: Mutex<DriverState>,
+    state: Mutex<DriverState<'a>>,
     cv: Condvar,
 }
 
@@ -239,7 +254,7 @@ pub fn run(
                 return Err(CampaignError::StoreExists(path.to_owned()));
             }
             let prior = ResultStore::load(path)?;
-            prior.check_config(&config.enumerate)?;
+            prior.check_config(&config.enumerate, config.semantic.as_ref())?;
             for rec in prior.records {
                 match tasks.iter().position(|t| t.name == rec.name) {
                     Some(i) => {
@@ -252,11 +267,18 @@ pub fn run(
         }
     }
 
-    let (names, funcs): (Vec<String>, Vec<Arc<Function>>) =
-        tasks.into_iter().map(|t| (t.name, Arc::new(t.func))).unzip();
+    let mut names = Vec::with_capacity(tasks.len());
+    let mut funcs = Vec::with_capacity(tasks.len());
+    let mut programs = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        names.push(t.name);
+        funcs.push(Arc::new(t.func));
+        programs.push(t.program);
+    }
     let ctx = Ctx {
         names: &names,
         funcs: &funcs,
+        programs: &programs,
         target,
         config,
         store_path,
@@ -352,7 +374,7 @@ fn worker(ctx: &Ctx<'_>) {
 /// Hands out the next unclaimed frontier entry, preferring the earliest
 /// activated search — later functions only soak up lanes the earlier
 /// ones cannot fill.
-fn claim(ctx: &Ctx<'_>, st: &mut DriverState) -> Option<Job> {
+fn claim(ctx: &Ctx<'_>, st: &mut DriverState<'_>) -> Option<Job> {
     let config = &ctx.config.enumerate;
     let tm = crate::telemetry::global();
     for (rank, s) in st.active.iter_mut().enumerate() {
@@ -385,13 +407,22 @@ fn claim(ctx: &Ctx<'_>, st: &mut DriverState) -> Option<Job> {
 }
 
 /// Seeds the next pending function and puts it in flight.
-fn activate(ctx: &Ctx<'_>, st: &mut DriverState) {
+fn activate<'a>(ctx: &Ctx<'a>, st: &mut DriverState<'a>) {
     let task = st.next_pending;
     st.next_pending += 1;
     let root = Arc::clone(&ctx.funcs[task]);
     let mut space = SearchSpace::new();
     let mut paranoid_bytes = HashMap::new();
     let root_id = seed_root(&mut space, &mut paranoid_bytes, &ctx.config.enumerate, &root);
+    let sem = ctx.config.semantic.as_ref().map(|sc| {
+        let program = ctx.programs[task]
+            .as_deref()
+            .expect("semantic campaign tasks must carry their program");
+        let mut sem = SemanticContext::new(program, &root, sc, ctx.config.enumerate.paranoid);
+        let sig = sem.signature(&root);
+        sem.register(sig, root_id, &root);
+        sem
+    });
     let frontier = vec![FrontierEntry { id: root_id, func: Arc::clone(&root), seq: Vec::new() }];
     st.active.push(Search {
         task,
@@ -399,6 +430,7 @@ fn activate(ctx: &Ctx<'_>, st: &mut DriverState) {
         space,
         stats: SearchStats::default(),
         paranoid_bytes,
+        sem,
         start: Instant::now(),
         level: 0,
         slots: frontier.iter().map(|_| None).collect(),
@@ -416,11 +448,18 @@ fn activate(ctx: &Ctx<'_>, st: &mut DriverState) {
 /// checkpoints the function.
 fn deposit(
     ctx: &Ctx<'_>,
-    st: &mut DriverState,
+    st: &mut DriverState<'_>,
     task: usize,
     parent: usize,
     records: Vec<AttemptRecord>,
 ) {
+    // A checkpoint that reached `stop_after` halts the campaign the
+    // moment it lands; expansions still in flight on other workers are
+    // discarded so the store stays exactly at the cut boundary instead
+    // of racing in one more record.
+    if st.halt || st.failure.is_some() {
+        return;
+    }
     let pos = st
         .active
         .iter()
@@ -454,6 +493,7 @@ fn deposit(
             entry,
             records,
             &mut next,
+            s.sem.as_mut(),
         ) {
             truncated = true;
             break;
@@ -490,7 +530,7 @@ fn deposit(
     st.fresh += 1;
     if let Some(path) = ctx.store_path {
         let snapshot = ResultStore {
-            config: store::ConfigEcho::of(config),
+            config: store::ConfigEcho::of(config, ctx.config.semantic.as_ref()),
             records: st.completed.iter().flatten().cloned().collect(),
         };
         let flush_start = std::time::Instant::now();
@@ -523,7 +563,7 @@ mod tests {
             .unwrap()
             .functions
             .into_iter()
-            .map(|f| FunctionTask { name: f.name.clone(), func: f })
+            .map(|f| FunctionTask { name: f.name.clone(), func: f, program: None })
             .collect()
     }
 

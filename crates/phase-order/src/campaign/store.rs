@@ -35,13 +35,20 @@ use vpo_rtl::crc;
 use vpo_rtl::Function;
 
 use crate::enumerate::{Config, Enumeration, ReplayMode};
+use crate::semantic::SemanticConfig;
 use crate::stats::FunctionRow;
 
 /// File magic: the first four bytes of every store.
 pub const MAGIC: [u8; 4] = *b"VPOC";
 
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 added the semantic merge tier:
+/// the config echo grew the tier flag and its battery parameters, and
+/// records grew the `sem_merges` / `sem_collisions` / `sem_escalations`
+/// counters. Version-1 stores still load ([`ResultStore::from_bytes`]
+/// reads both) — the new fields default to the fingerprint tier's
+/// values (off / zero), which is exactly what every v1 store was
+/// produced under.
+pub const VERSION: u32 = 2;
 
 /// Why a store could not be read or written.
 #[derive(Debug)]
@@ -87,11 +94,20 @@ pub struct ConfigEcho {
     pub skip_just_applied: bool,
     /// [`Config::paranoid`].
     pub paranoid: bool,
+    /// Whether the semantic merge tier was on (`--merge-tier semantic`).
+    pub semantic: bool,
+    /// [`SemanticConfig::battery`] (`0` when the tier is off).
+    pub sem_battery: u32,
+    /// [`SemanticConfig::seed`] (`0` when the tier is off).
+    pub sem_seed: u64,
+    /// [`SemanticConfig::fuel`] (`0` when the tier is off).
+    pub sem_fuel: u64,
 }
 
 impl ConfigEcho {
-    /// Projects a full enumeration config onto its echoed subset.
-    pub fn of(config: &Config) -> ConfigEcho {
+    /// Projects a full enumeration config (and the semantic tier's
+    /// options, when that tier is on) onto its echoed subset.
+    pub fn of(config: &Config, semantic: Option<&SemanticConfig>) -> ConfigEcho {
         ConfigEcho {
             max_nodes: config.max_nodes as u64,
             max_level_width: config.max_level_width as u64,
@@ -101,6 +117,10 @@ impl ConfigEcho {
             },
             skip_just_applied: config.skip_just_applied,
             paranoid: config.paranoid,
+            semantic: semantic.is_some(),
+            sem_battery: semantic.map_or(0, |s| s.battery as u32),
+            sem_seed: semantic.map_or(0, |s| s.seed),
+            sem_fuel: semantic.map_or(0, |s| s.fuel),
         }
     }
 }
@@ -148,6 +168,13 @@ pub struct FunctionRecord {
     pub phases_applied: u64,
     /// Fingerprint collisions (paranoid mode; expected 0).
     pub collisions: u64,
+    /// Fingerprint-fresh instances merged by the semantic tier (0 under
+    /// the fingerprint tier and in version-1 stores).
+    pub sem_merges: u64,
+    /// Signature hits rejected by paranoid escalation (expected 0).
+    pub sem_collisions: u64,
+    /// Signature hits escalated to the extended battery.
+    pub sem_escalations: u64,
     /// `active_counts[p]` = instances `PhaseId::from_index(p)` is active
     /// on.
     pub active_counts: [u64; PhaseId::COUNT],
@@ -192,6 +219,9 @@ impl FunctionRecord {
             active_attempts: e.stats.active_attempts,
             phases_applied: e.stats.phases_applied,
             collisions: e.stats.collisions,
+            sem_merges: e.stats.sem_merges,
+            sem_collisions: e.stats.sem_collisions,
+            sem_escalations: e.stats.sem_escalations,
             active_counts: e.space.phase_active_counts(),
             best_sequence,
             best_insts,
@@ -236,6 +266,9 @@ impl FunctionRecord {
         {
             put_u64(out, v);
         }
+        for v in [self.sem_merges, self.sem_collisions, self.sem_escalations] {
+            put_u64(out, v);
+        }
         out.push(PhaseId::COUNT as u8);
         for &c in &self.active_counts {
             put_u64(out, c);
@@ -244,7 +277,7 @@ impl FunctionRecord {
         put_u32(out, self.best_insts);
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<FunctionRecord, StoreError> {
+    fn decode(r: &mut Reader<'_>, version: u32) -> Result<FunctionRecord, StoreError> {
         let name = r.str()?;
         let complete = r.u8()? != 0;
         let truncated_level = r.u32()?;
@@ -255,6 +288,10 @@ impl FunctionRecord {
         let code_max = r.u32()?;
         let [attempted_phases, active_attempts, phases_applied, collisions] =
             [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        // Version-1 records predate the semantic tier; they were all
+        // produced with it off, so zero is the faithful value.
+        let [sem_merges, sem_collisions, sem_escalations] =
+            if version >= 2 { [r.u64()?, r.u64()?, r.u64()?] } else { [0, 0, 0] };
         let n = r.u8()? as usize;
         if n != PhaseId::COUNT {
             return Err(StoreError::Corrupt(format!(
@@ -286,6 +323,9 @@ impl FunctionRecord {
             active_attempts,
             phases_applied,
             collisions,
+            sem_merges,
+            sem_collisions,
+            sem_escalations,
             active_counts,
             best_sequence,
             best_insts,
@@ -304,9 +344,10 @@ pub struct ResultStore {
 }
 
 impl ResultStore {
-    /// An empty store for the given enumeration config.
-    pub fn new(config: &Config) -> ResultStore {
-        ResultStore { config: ConfigEcho::of(config), records: Vec::new() }
+    /// An empty store for the given enumeration config (and semantic
+    /// tier options, when that tier is on).
+    pub fn new(config: &Config, semantic: Option<&SemanticConfig>) -> ResultStore {
+        ResultStore { config: ConfigEcho::of(config, semantic), records: Vec::new() }
     }
 
     /// Serializes the store. The encoding is a pure function of the
@@ -320,6 +361,10 @@ impl ResultStore {
         out.push(self.config.replay);
         out.push(self.config.skip_just_applied as u8);
         out.push(self.config.paranoid as u8);
+        out.push(self.config.semantic as u8);
+        put_u32(&mut out, self.config.sem_battery);
+        put_u64(&mut out, self.config.sem_seed);
+        put_u64(&mut out, self.config.sem_fuel);
         put_u32(&mut out, self.records.len() as u32);
         for rec in &self.records {
             let mut payload = Vec::new();
@@ -340,18 +385,29 @@ impl ResultStore {
             return Err(StoreError::Corrupt("bad magic (not a campaign store)".into()));
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if version != 1 && version != VERSION {
             return Err(StoreError::Corrupt(format!(
-                "format version {version}, this build reads {VERSION}"
+                "format version {version}, this build reads 1..={VERSION}"
             )));
         }
-        let config = ConfigEcho {
+        let mut config = ConfigEcho {
             max_nodes: r.u64()?,
             max_level_width: r.u64()?,
             replay: r.u8()?,
             skip_just_applied: r.u8()? != 0,
             paranoid: r.u8()? != 0,
+            // Version-1 stores predate the semantic tier; it was off.
+            semantic: false,
+            sem_battery: 0,
+            sem_seed: 0,
+            sem_fuel: 0,
         };
+        if version >= 2 {
+            config.semantic = r.u8()? != 0;
+            config.sem_battery = r.u32()?;
+            config.sem_seed = r.u64()?;
+            config.sem_fuel = r.u64()?;
+        }
         let count = r.u32()? as usize;
         let mut records = Vec::with_capacity(count.min(1024));
         for i in 0..count {
@@ -362,7 +418,7 @@ impl ResultStore {
                 return Err(StoreError::Corrupt(format!("record {i}: CRC mismatch")));
             }
             let mut pr = Reader { bytes: payload, pos: 0 };
-            let rec = FunctionRecord::decode(&mut pr)?;
+            let rec = FunctionRecord::decode(&mut pr, version)?;
             if pr.pos != payload.len() {
                 return Err(StoreError::Corrupt(format!(
                     "record {i} (`{}`): {} unparsed payload bytes",
@@ -409,10 +465,14 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Checks that `config` matches the bounds this store was written
-    /// under (resume safety).
-    pub fn check_config(&self, config: &Config) -> Result<(), StoreError> {
-        let now = ConfigEcho::of(config);
+    /// Checks that `config` (and the semantic tier selection) matches
+    /// the bounds this store was written under (resume safety).
+    pub fn check_config(
+        &self,
+        config: &Config,
+        semantic: Option<&SemanticConfig>,
+    ) -> Result<(), StoreError> {
+        let now = ConfigEcho::of(config, semantic);
         if self.config != now {
             return Err(StoreError::ConfigMismatch(format!(
                 "store written under {:?}, campaign running with {:?}; \
@@ -513,6 +573,9 @@ mod tests {
             active_attempts: 4_321,
             phases_applied: 123_456 + seed,
             collisions: 0,
+            sem_merges: seed * 3,
+            sem_collisions: 0,
+            sem_escalations: seed * 3,
             active_counts,
             best_sequence: "skcshu".to_owned(),
             best_insts: 21,
@@ -520,7 +583,7 @@ mod tests {
     }
 
     fn sample_store() -> ResultStore {
-        let mut s = ResultStore::new(&Config::default());
+        let mut s = ResultStore::new(&Config::default(), None);
         s.records.push(sample_record("bitcount::bit_count", 2));
         s.records.push(sample_record("sha::sha_transform", 5));
         s
@@ -553,7 +616,7 @@ mod tests {
     fn bit_flips_fail_the_crc() {
         let good = sample_store().to_bytes();
         // Flip one byte inside each record's payload region.
-        let header = 4 + 4 + 8 + 8 + 3 + 4;
+        let header = 4 + 4 + 8 + 8 + 3 + 1 + 4 + 8 + 8 + 4;
         for offset in [header + 4 + 2, good.len() - 8] {
             let mut bad = good.clone();
             bad[offset] ^= 0x40;
@@ -587,9 +650,39 @@ mod tests {
     #[test]
     fn config_echo_gates_resume() {
         let s = sample_store();
-        s.check_config(&Config::default()).unwrap();
+        s.check_config(&Config::default(), None).unwrap();
         let other = Config { max_nodes: 7, ..Config::default() };
-        assert!(matches!(s.check_config(&other), Err(StoreError::ConfigMismatch(_))));
+        assert!(matches!(s.check_config(&other, None), Err(StoreError::ConfigMismatch(_))));
+        // Switching merge tiers between runs also refuses to resume.
+        let sem = SemanticConfig::default();
+        assert!(matches!(
+            s.check_config(&Config::default(), Some(&sem)),
+            Err(StoreError::ConfigMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn version_1_stores_still_load() {
+        // A store produced by the pre-semantic-tier build (format
+        // version 1), checked in as a fixture. The new fields must
+        // default to the fingerprint tier's values: tier off, all
+        // semantic counters zero.
+        let bytes: &[u8] = include_bytes!("../../../../tests/fixtures/campaign_store_v1.bin");
+        let s = ResultStore::from_bytes(bytes).expect("v1 store must load");
+        assert!(!s.config.semantic);
+        assert_eq!((s.config.sem_battery, s.config.sem_seed, s.config.sem_fuel), (0, 0, 0));
+        assert_eq!(s.records.len(), 9, "bitcount campaign explores 9 functions");
+        for rec in &s.records {
+            assert_eq!(
+                (rec.sem_merges, rec.sem_collisions, rec.sem_escalations),
+                (0, 0, 0),
+                "record `{}` predates the semantic tier",
+                rec.name
+            );
+        }
+        // A v1 store resumes under the matching v2 config (fingerprint
+        // tier), since the echoed subset is identical.
+        s.check_config(&Config::default(), None).unwrap();
     }
 
     #[test]

@@ -48,8 +48,9 @@ use vpo_opt::facts::Facts;
 use vpo_opt::{attempt, PhaseId, Target};
 use vpo_rtl::canon::{self, Canonicalizer, Fingerprint};
 use vpo_rtl::cfg::control_flow_signature;
-use vpo_rtl::{FuncFlags, Function};
+use vpo_rtl::{FuncFlags, Function, Program};
 
+use crate::semantic::{Resolution, SemanticConfig, SemanticContext};
 use crate::space::{Node, NodeId, SearchSpace};
 
 /// How child instances are produced from their parents.
@@ -167,6 +168,15 @@ pub struct SearchStats {
     pub elapsed: Duration,
     /// Fingerprint collisions detected in paranoid mode (expected 0).
     pub collisions: u64,
+    /// Fingerprint-fresh instances merged by the semantic tier (always 0
+    /// under the fingerprint tier).
+    pub sem_merges: u64,
+    /// Signature hits *rejected* by paranoid escalation: the battery
+    /// collided on behaviorally different code (expected 0).
+    pub sem_collisions: u64,
+    /// Signature hits escalated to extended-battery differential
+    /// re-execution (paranoid mode only).
+    pub sem_escalations: u64,
 }
 
 /// The result of enumerating one function's phase-order space.
@@ -351,46 +361,113 @@ pub(crate) fn expand_parent(
     records
 }
 
+/// How a fingerprint-fresh instance resolved against the semantic tier
+/// (trivially `Off` under the fingerprint tier).
+enum SemResolution {
+    /// Semantic tier disabled.
+    Off,
+    /// The signature founded a new class: register the node under it.
+    Founder(crate::semantic::Signature),
+    /// The signature matched an established class (surviving escalation
+    /// in paranoid mode): the node is inserted *and expanded* exactly as
+    /// under the fingerprint tier — signature equality is not a
+    /// congruence under phase application, so pruning the subtree would
+    /// lose classes — but it is annotated as behaviorally merged into
+    /// the representative via a `sem_children` edge on the parent.
+    Merged(NodeId),
+}
+
+/// How one active attempt resolves against the space — computed up front
+/// (it drives the `max_nodes` cap check) and consumed when the record is
+/// folded in.
+enum Disposition {
+    /// Fingerprint hit on a node of the space: a `children` edge.
+    Hit(NodeId),
+    /// A new node, with its semantic resolution.
+    Insert(SemResolution),
+}
+
 /// Folds one parent's attempt records into the space, in phase order —
 /// the single code path that assigns node ids and counts statistics for
-/// both the serial and the parallel engine.
+/// both the serial and the parallel engine, and (when `sem` is given)
+/// the only place the semantic merge tier runs: merge happens serially
+/// in frontier order even under parallel enumeration, so signature
+/// computation and class lookups inherit the bit-identical-for-any-job-
+/// count guarantee without any extra synchronization. The semantic tier
+/// never changes which nodes exist or how they connect — the space is
+/// bit-identical to the fingerprint tier's — it only *annotates* the
+/// quotient (sem edges, class counts) on top.
 ///
 /// Returns `false` if the `max_nodes` cap was hit: the search is
 /// truncated just *before* the offending attempt (its phase is neither
 /// counted nor recorded in the parent's mask), so `space.len()` never
-/// exceeds the cap.
+/// exceeds the cap — at the identical truncation point under either
+/// merge tier.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_parent(
     space: &mut SearchSpace,
     stats: &mut SearchStats,
-    paranoid_bytes: &mut HashMap<NodeId, Vec<u8>>,
+    paranoid_bytes: &mut HashMap<(Fingerprint, FuncFlags), Vec<u8>>,
     config: &Config,
     level: u32,
     parent: &FrontierEntry,
     records: Vec<AttemptRecord>,
     next: &mut Vec<FrontierEntry>,
+    mut sem: Option<&mut SemanticContext<'_>>,
 ) -> bool {
     let tm = crate::telemetry::global();
     let naive = config.replay == ReplayMode::NaiveReplay;
     let replay_cost = if naive { parent.seq.len() as u64 } else { 0 };
     let mut active_mask = 0u16;
     let mut children = Vec::new();
+    let mut sem_edges = Vec::new();
     let mut complete = true;
     // Telemetry is batched into locals and flushed once per parent so the
     // merge loop touches no shared cache line per record.
     let (mut tm_attempted, mut tm_active, mut tm_hits, mut tm_inserted, mut tm_prefiltered) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut tm_sem_hits, mut tm_sem_collisions, mut tm_sem_escalations) = (0u64, 0u64, 0u64);
     for record in records {
-        // Resolve the identity once per active record: the same lookup
-        // drives the cap check here and the child resolution below.
-        let existing = match &record {
-            AttemptRecord::Active { fp, flags, .. } => {
-                let existing = space.find(*fp, *flags);
-                if existing.is_none() && space.len() >= config.max_nodes {
+        // Resolve the identity once per active record: the same
+        // resolution drives the cap check here and the edge recording
+        // below. The semantic tier runs only on fingerprint misses — a
+        // fingerprint-fresh candidate's signature is computed and either
+        // matches an established class (merge: no insertion, a dashed
+        // edge, an alias) or founds a new one.
+        let disposition = match &record {
+            AttemptRecord::Active { fp, flags, func, .. } => {
+                let d = match space.find(*fp, *flags) {
+                    Some(id) => Disposition::Hit(id),
+                    None => match sem.as_deref_mut() {
+                        Some(sem) => {
+                            let cand = func
+                                .as_ref()
+                                .expect("first discovery of an instance carries its function");
+                            let sig = sem.signature(cand);
+                            let (res, escalated) = sem.resolve(&sig, cand);
+                            stats.sem_escalations += escalated;
+                            tm_sem_escalations += escalated;
+                            match res {
+                                Resolution::Merge(rep) => {
+                                    Disposition::Insert(SemResolution::Merged(rep))
+                                }
+                                Resolution::Fresh { collided } => {
+                                    if collided {
+                                        stats.sem_collisions += 1;
+                                        tm_sem_collisions += 1;
+                                    }
+                                    Disposition::Insert(SemResolution::Founder(sig))
+                                }
+                            }
+                        }
+                        None => Disposition::Insert(SemResolution::Off),
+                    },
+                };
+                if matches!(d, Disposition::Insert(_)) && space.len() >= config.max_nodes {
                     complete = false;
                     break;
                 }
-                existing
+                Some(d)
             }
             AttemptRecord::Dormant { .. } => None,
         };
@@ -416,20 +493,29 @@ pub(crate) fn merge_parent(
         stats.active_attempts += 1;
         tm_active += 1;
         active_mask |= 1 << phase.index();
-        let child_id = match existing {
-            Some(existing) => {
-                tm_hits += 1;
-                if config.paranoid {
-                    let recorded = paranoid_bytes.get(&existing).unwrap_or_else(|| {
-                        panic!("paranoid mode: no canonical bytes recorded for {existing}")
-                    });
-                    if *recorded != bytes.take().expect("paranoid attempt carries bytes") {
-                        stats.collisions += 1;
-                    }
+        // Paranoid byte comparison is keyed by *identity*, not node: an
+        // identity the semantic tier merged away still has its canonical
+        // bytes on record, so CRC-collision checking stays complete
+        // under both tiers.
+        let check_bytes = |paranoid_bytes: &mut HashMap<(Fingerprint, FuncFlags), Vec<u8>>,
+                           bytes: &mut Option<Vec<u8>>,
+                           stats: &mut SearchStats| {
+            if config.paranoid {
+                let recorded = paranoid_bytes.get(&(fp, flags)).unwrap_or_else(|| {
+                    panic!("paranoid mode: no canonical bytes recorded for fingerprint hit")
+                });
+                if *recorded != bytes.take().expect("paranoid attempt carries bytes") {
+                    stats.collisions += 1;
                 }
-                existing
             }
-            None => {
+        };
+        match disposition.expect("active record resolved above") {
+            Disposition::Hit(existing) => {
+                tm_hits += 1;
+                check_bytes(paranoid_bytes, &mut bytes, stats);
+                children.push((phase, existing));
+            }
+            Disposition::Insert(res) => {
                 tm_inserted += 1;
                 let id = space.insert(Node {
                     fp,
@@ -439,29 +525,46 @@ pub(crate) fn merge_parent(
                     cf_sig,
                     active_mask: 0,
                     children: Vec::new(),
+                    sem_children: Vec::new(),
                     discovered_from: Some((parent.id, phase)),
                     weight: 0,
                 });
                 if config.paranoid {
                     paranoid_bytes
-                        .insert(id, bytes.take().expect("paranoid attempt carries bytes"));
+                        .insert((fp, flags), bytes.take().expect("paranoid attempt carries bytes"));
                 }
                 let func = func.expect("first discovery of an instance carries its function");
+                let func = Arc::new(func);
+                match res {
+                    SemResolution::Off => {}
+                    SemResolution::Founder(sig) => {
+                        sem.as_deref_mut()
+                            .expect("signature implies the semantic tier is on")
+                            .register(sig, id, &func);
+                    }
+                    SemResolution::Merged(rep) => {
+                        // The node is behaviorally redundant: annotate
+                        // the quotient but keep exploring through it.
+                        sem_edges.push((phase, rep));
+                        stats.sem_merges += 1;
+                        tm_sem_hits += 1;
+                    }
+                }
                 let mut seq = Vec::new();
                 if naive {
                     seq = Vec::with_capacity(parent.seq.len() + 1);
                     seq.extend_from_slice(&parent.seq);
                     seq.push(phase);
                 }
-                next.push(FrontierEntry { id, func: Arc::new(func), seq });
-                id
+                next.push(FrontierEntry { id, func, seq });
+                children.push((phase, id));
             }
-        };
-        children.push((phase, child_id));
+        }
     }
     let n = space.node_mut(parent.id);
     n.active_mask = active_mask;
     n.children = children;
+    n.sem_children = sem_edges;
     tm.parents_expanded.inc();
     tm.phases_attempted.add(tm_attempted);
     tm.active_attempts.add(tm_active);
@@ -469,6 +572,9 @@ pub(crate) fn merge_parent(
     tm.prefilter_dormant.add(tm_prefiltered);
     tm.fingerprint_hits.add(tm_hits);
     tm.nodes_inserted.add(tm_inserted);
+    tm.sem_merge_hits.add(tm_sem_hits);
+    tm.sem_sig_collisions.add(tm_sem_collisions);
+    tm.sem_escalations.add(tm_sem_escalations);
     complete
 }
 
@@ -476,23 +582,25 @@ pub(crate) fn merge_parent(
 /// level-zero setup of the in-process engine and the campaign driver.
 pub(crate) fn seed_root(
     space: &mut SearchSpace,
-    paranoid_bytes: &mut HashMap<NodeId, Vec<u8>>,
+    paranoid_bytes: &mut HashMap<(Fingerprint, FuncFlags), Vec<u8>>,
     config: &Config,
     f: &Function,
 ) -> NodeId {
+    let fp = canon::fingerprint(f);
     let root = space.insert(Node {
-        fp: canon::fingerprint(f),
+        fp,
         flags: f.flags,
         level: 0,
         inst_count: f.inst_count() as u32,
         cf_sig: control_flow_signature(f),
         active_mask: 0,
         children: Vec::new(),
+        sem_children: Vec::new(),
         discovered_from: None,
         weight: 0,
     });
     if config.paranoid {
-        paranoid_bytes.insert(root, canon::canonical_bytes(f));
+        paranoid_bytes.insert((fp, f.flags), canon::canonical_bytes(f));
     }
     crate::telemetry::global().nodes_inserted.inc();
     root
@@ -540,17 +648,31 @@ impl<T> OnceSlots<T> {
 /// The level-order engine behind [`enumerate`]; `jobs <= 1` expands
 /// inline, `jobs > 1` fans each level out over `std::thread::scope`
 /// workers.
-fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumeration {
+fn run(
+    f: &Function,
+    target: &Target,
+    config: &Config,
+    jobs: usize,
+    mut sem: Option<&mut SemanticContext<'_>>,
+) -> Enumeration {
     let start = std::time::Instant::now();
     let tm = crate::telemetry::global();
     tm.searches.inc();
     let mut space = SearchSpace::new();
     let mut stats = SearchStats::default();
-    let mut paranoid_bytes: HashMap<NodeId, Vec<u8>> = HashMap::new();
+    let mut paranoid_bytes: HashMap<(Fingerprint, FuncFlags), Vec<u8>> = HashMap::new();
 
     let root = seed_root(&mut space, &mut paranoid_bytes, config, f);
 
-    let mut frontier = vec![FrontierEntry { id: root, func: Arc::new(f.clone()), seq: Vec::new() }];
+    let root_func = Arc::new(f.clone());
+    if let Some(sem) = sem.as_deref_mut() {
+        // The root founds the first signature class: instances
+        // behaviorally identical to the unoptimized function are
+        // annotated as merging into it.
+        let sig = sem.signature(f);
+        sem.register(sig, root, &root_func);
+    }
+    let mut frontier = vec![FrontierEntry { id: root, func: root_func, seq: Vec::new() }];
     let mut outcome = SearchOutcome::Complete;
     let mut level = 0u32;
     // The serial engine's scratch persists across levels, so its buffers
@@ -635,6 +757,7 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
                     entry,
                     records,
                     &mut next,
+                    sem.as_deref_mut(),
                 ) {
                     outcome = SearchOutcome::TooBig { level };
                     break 'search;
@@ -665,6 +788,7 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
                     entry,
                     records,
                     &mut next,
+                    sem.as_deref_mut(),
                 ) {
                     outcome = SearchOutcome::TooBig { level };
                     break 'search;
@@ -706,7 +830,42 @@ fn run(f: &Function, target: &Target, config: &Config, jobs: usize) -> Enumerati
 /// for any job count: each level is expanded in parallel but merged
 /// deterministically in frontier order at the level barrier.
 pub fn enumerate(f: &Function, target: &Target, config: &Config) -> Enumeration {
-    run(f, target, config, config.jobs.max(1))
+    run(f, target, config, config.jobs.max(1), None)
+}
+
+/// [`enumerate`] under the *semantic* merge tier (`--merge-tier
+/// semantic`): fingerprint-fresh instances are additionally keyed by
+/// their behavioral signature ([`crate::semantic`]) and merged into the
+/// first instance observed with that signature, recording the edge in
+/// [`crate::space::Node::sem_children`]. The node set, `children`
+/// edges, masks, weights and fingerprint-tier counters are
+/// bit-identical to [`enumerate`]'s — merged nodes are still inserted
+/// and expanded (signature equality is not a congruence under phase
+/// application, so pruning would lose classes) — which makes the
+/// semantic space an exact quotient annotation: the number of
+/// behaviorally distinct instances is
+/// [`SearchSpace::sem_class_count`] `=` [`SearchSpace::len`] `-`
+/// [`SearchStats::sem_merges`]. `program` provides callees and
+/// the globals layout for signature execution; `f` must be one of its
+/// functions (unoptimized, exactly as for [`enumerate`]).
+///
+/// With [`Config::paranoid`], every signature hit is escalated to a full
+/// differential re-execution over an extended input battery before the
+/// merge is accepted ([`SearchStats::sem_escalations`]); rejected hits
+/// stay distinct nodes and count [`SearchStats::sem_collisions`].
+///
+/// Like the fingerprint tier, the result is bit-identical for any
+/// [`Config::jobs`] value: signatures are computed at merge time, which
+/// is serial and in frontier order under every engine.
+pub fn enumerate_semantic(
+    program: &Program,
+    f: &Function,
+    target: &Target,
+    config: &Config,
+    sem_config: &SemanticConfig,
+) -> Enumeration {
+    let mut sem = SemanticContext::new(program, f, sem_config, config.paranoid);
+    run(f, target, config, config.jobs.max(1), Some(&mut sem))
 }
 
 /// One worker thread per available CPU — the historical meaning of
@@ -880,6 +1039,84 @@ mod tests {
         assert!(root_w >= 1);
         // Weight of the root cannot be smaller than the number of leaves.
         assert!(root_w >= e.space.leaf_count() as u64);
+    }
+
+    /// The adversarial base-battery collision driven through the *real*
+    /// merge path: a fingerprint-fresh candidate whose signature matches
+    /// an established class but whose extended-battery behavior differs.
+    /// Paranoid escalation must keep it a distinct node and tick both
+    /// `SearchStats::sem_collisions` and the `sem_sig_collisions`
+    /// telemetry counter; without escalation the same records merge.
+    #[test]
+    fn merge_path_escalation_rejects_adversarial_collision() {
+        let program = vpo_frontend::compile(
+            "int f(int a) { if (a > 3000000) return a + 7; return a + 1; }
+             int g(int a) { if (a > 3000000) return a + 9; return a + 1; }",
+        )
+        .unwrap();
+        let f = program.function("f").unwrap();
+        let g = program.function("g").unwrap();
+        let sem_config = SemanticConfig::default();
+        for paranoid in [true, false] {
+            let config = Config { paranoid, ..Config::default() };
+            let mut space = SearchSpace::new();
+            let mut stats = SearchStats::default();
+            let mut paranoid_bytes = HashMap::new();
+            let root = seed_root(&mut space, &mut paranoid_bytes, &config, f);
+            let root_func = Arc::new(f.clone());
+            let mut sem = SemanticContext::new(&program, f, &sem_config, paranoid);
+            let sig = sem.signature(f);
+            sem.register(sig, root, &root_func);
+            // Fabricate the attempt record a worker would have produced
+            // had some phase transformed `f` into `g`.
+            let record = AttemptRecord::Active {
+                phase: PhaseId::Cse,
+                fp: canon::fingerprint(g),
+                flags: g.flags,
+                inst_count: g.inst_count() as u32,
+                cf_sig: control_flow_signature(g),
+                func: Some(g.clone()),
+                bytes: config.paranoid.then(|| canon::canonical_bytes(g)),
+            };
+            let parent = FrontierEntry { id: root, func: root_func, seq: Vec::new() };
+            let mut next = Vec::new();
+            let tm = crate::telemetry::global();
+            let collisions_before = tm.sem_sig_collisions.get();
+            assert!(merge_parent(
+                &mut space,
+                &mut stats,
+                &mut paranoid_bytes,
+                &config,
+                1,
+                &parent,
+                vec![record],
+                &mut next,
+                Some(&mut sem),
+            ));
+            // Either way the candidate is inserted and would be expanded
+            // — the tiers never disagree on the space itself.
+            assert_eq!(space.len(), 2);
+            assert_eq!(next.len(), 1);
+            let inserted = NodeId(1);
+            if paranoid {
+                // Escalated, refuted: the collision founds its own class.
+                assert_eq!(stats.sem_collisions, 1);
+                assert_eq!(stats.sem_escalations, 1);
+                assert_eq!(stats.sem_merges, 0);
+                assert_eq!(space.sem_edge_count(), 0);
+                assert_eq!(space.sem_rep(inserted), inserted);
+                assert_eq!(space.sem_class_count(), 2);
+                assert!(tm.sem_sig_collisions.get() >= collisions_before + 1);
+            } else {
+                // The very merge paranoid mode just rejected: annotated
+                // as behaviorally equal to the root.
+                assert_eq!(stats.sem_collisions, 0);
+                assert_eq!(stats.sem_merges, 1);
+                assert_eq!(space.sem_edge_count(), 1);
+                assert_eq!(space.sem_rep(inserted), root);
+                assert_eq!(space.sem_class_count(), 1);
+            }
+        }
     }
 
     #[test]

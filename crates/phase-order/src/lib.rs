@@ -27,6 +27,13 @@
 //!   duplicate is rematerialized and checked for byte-identical behaviour,
 //!   and per-leaf dynamic instruction counts locate the best ordering
 //!   (Section 7's measure).
+//! * [`semantic`] — the second, *behavioral* merge tier
+//!   (`--merge-tier semantic`): fingerprint-fresh instances are keyed by
+//!   a behavioral signature (the oracle's seeded battery executed on the
+//!   threaded simulator — observation plus dynamic count per entry —
+//!   combined with a cheap structural key) and merged when signatures
+//!   match, with paranoid mode escalating every hit to a differential
+//!   re-execution over an extended battery before accepting it.
 //! * [`search`] — the non-exhaustive searches of the surrounding
 //!   literature (random, hill climbing, genetic), with the fingerprint
 //!   redundancy detection of the authors' companion work, evaluated here
@@ -67,13 +74,16 @@ pub mod interaction;
 pub mod oracle;
 pub mod prob;
 pub mod search;
+pub mod semantic;
 pub mod space;
 pub mod stats;
 pub mod telemetry;
 
 pub use enumerate::{
-    enumerate, jobs_per_cpu, Config, Engine, Enumeration, ReplayMode, SearchOutcome,
+    enumerate, enumerate_semantic, jobs_per_cpu, Config, Engine, Enumeration, ReplayMode,
+    SearchOutcome,
 };
+pub use semantic::{SemanticConfig, SemanticContext, Signature, StructuralKey};
 pub use space::{NodeId, SearchSpace};
 
 /// Seedable pseudo-random number generation (re-exported from `vpo-rtl`,

@@ -25,6 +25,12 @@
 //!   enumeration) is replayed too: `p` applied to `u`'s materialization
 //!   must both serialize to `v`'s exact canonical bytes and observe
 //!   byte-identically on the battery — assumption 2, end to end;
+//! * every *semantic merge* edge (a signature hit under
+//!   `--merge-tier semantic`) is replayed the same way, checking the
+//!   tier's weaker claim: the rematerialization must match its class
+//!   representative's structural key, per-input observations *and*
+//!   per-input dynamic instruction counts — behavior and cost, which is
+//!   exactly what the signature asserted at merge time;
 //! * every leaf's total dynamic instruction count over the battery is
 //!   recorded, so the dynamic-count-optimal ordering of Section 7 falls
 //!   out of a verification run for free.
@@ -138,6 +144,21 @@ pub enum Finding {
         /// The node that failed to rematerialize.
         node: NodeId,
     },
+    /// A semantic merge edge rematerialization disagreed with its class
+    /// representative — the behavioral signature equated two instances
+    /// that differ in behavior or cost on this battery (the semantic
+    /// tier's analogue of [`Finding::ClassMismatch`]).
+    SemanticMergeMismatch {
+        /// The representative node the enumeration merged into.
+        node: NodeId,
+        /// Parent of the semantic edge.
+        parent: NodeId,
+        /// Phase on the edge.
+        phase: PhaseId,
+        /// Index into the battery, or `None` when the structural keys
+        /// themselves disagree.
+        input: Option<usize>,
+    },
 }
 
 /// Dynamic behaviour of one leaf instance (a completed phase ordering).
@@ -163,6 +184,9 @@ pub struct OracleReport {
     /// Non-discovery edges rematerialized and checked (the fingerprint
     /// hits of Section 4.2 — each one a merge the oracle re-derives).
     pub merged_paths: usize,
+    /// Semantic merge edges rematerialized and checked (zero under the
+    /// fingerprint tier).
+    pub sem_paths: usize,
     /// Battery inputs used (baseline executes cleanly on each).
     pub inputs: Vec<Vec<i32>>,
     /// Dynamic instructions of the unoptimized baseline over the battery.
@@ -202,8 +226,13 @@ impl OracleReport {
             ),
             None => "no leaves".to_owned(),
         };
+        let sem = if self.sem_paths > 0 {
+            format!(" ({} semantic)", self.sem_paths)
+        } else {
+            String::new()
+        };
         format!(
-            "{}: {} instances, {} merged paths, {} inputs, {} sims: {verdict}; {best}",
+            "{}: {} instances, {} merged paths{sem}, {} inputs, {} sims: {verdict}; {best}",
             self.function,
             self.instances,
             self.merged_paths,
@@ -248,31 +277,26 @@ fn observe(m: &mut Machine<'_>, f: &Function, args: &[i32], fuel: u64) -> (Obser
     (obs, m.dynamic_insts())
 }
 
-/// Observes `f` on the whole battery. Returns per-input observations and
-/// the total dynamic count. Under the threaded engine the instance is
-/// lowered once and reused for every input, so the per-battery cost is
-/// one lowering (mostly block-cache hits across instances) plus the flat
-/// op-array executions.
+/// Observes `f` on the whole battery. Returns per-input observations,
+/// per-input dynamic counts, and the total dynamic count. Under the
+/// threaded engine the instance is lowered once and reused for every
+/// input, so the per-battery cost is one lowering (mostly block-cache
+/// hits across instances) plus the flat op-array executions.
 fn observe_battery(
     m: &mut Machine<'_>,
     f: &Function,
     inputs: &[Vec<i32>],
     fuel: u64,
-) -> (Vec<Observation>, u64) {
-    let lowered = (m.engine() == SimEngine::Threaded).then(|| m.lower_instance(f));
+) -> (Vec<Observation>, Vec<u64>, u64) {
     let mut obs = Vec::with_capacity(inputs.len());
+    let mut dyns = Vec::with_capacity(inputs.len());
     let mut dynamic = 0;
-    for args in inputs {
-        m.reset();
-        m.set_fuel(fuel);
-        let r = match &lowered {
-            Some(li) => m.call_lowered(li, args),
-            None => m.call_instance(f, args),
-        };
-        obs.push(r.map(|v| (v, m.globals_crc())));
-        dynamic += m.dynamic_insts();
+    for (o, d) in m.run_battery(f, inputs, fuel) {
+        obs.push(o);
+        dyns.push(d);
+        dynamic += d;
     }
-    (obs, dynamic)
+    (obs, dyns, dynamic)
 }
 
 /// Builds the input battery: deterministic edge-case tuples first, then
@@ -281,7 +305,7 @@ fn observe_battery(
 /// runs stop at the trap and observe less — clean inputs give every
 /// check full coverage). Functions of no parameters get the single empty
 /// input.
-fn build_battery(
+pub(crate) fn build_battery(
     program: &Program,
     f: &Function,
     config: &OracleConfig,
@@ -334,21 +358,29 @@ fn build_battery(
     (inputs, baseline, dynamic)
 }
 
-/// One unit of verification work: a node, or a non-discovery edge.
+/// One unit of verification work: a node, a non-discovery (fingerprint
+/// merge) edge, or a semantic merge edge.
 enum Item {
     Node(NodeId),
     Edge { parent: NodeId, phase: PhaseId, child: NodeId },
+    SemEdge { parent: NodeId, phase: PhaseId, rep: NodeId },
 }
 
 /// Per-item verification outcome, merged in item order.
 struct ItemResult {
     obs: Vec<Observation>,
+    /// Per-input dynamic counts (what the semantic signature asserts
+    /// beyond behavior: cost).
+    dyns: Vec<u64>,
     dynamic: u64,
-    /// `Some` for edges: whether the rematerialization's canonical bytes
-    /// equal the merged node's.
+    /// `Some` for fingerprint edges: whether the rematerialization's
+    /// canonical bytes equal the merged node's.
     bytes_match: Option<bool>,
     /// For nodes: whether the materialization's fingerprint matches.
     fp_match: bool,
+    /// `Some` for semantic edges: whether the rematerialization's
+    /// structural key equals the representative's.
+    structure_match: Option<bool>,
 }
 
 /// Verifies an enumerated space against the unoptimized function.
@@ -369,8 +401,8 @@ pub fn verify(
 
     let funcs = materialize_all(space, f, target);
 
-    // Work list: every node, then every non-discovery edge, in
-    // deterministic node order.
+    // Work list: every node, then every non-discovery edge, then every
+    // semantic merge edge, in deterministic node order.
     let mut items: Vec<Item> = space.iter().map(|(id, _)| Item::Node(id)).collect();
     for (id, node) in space.iter() {
         for &(phase, child) in &node.children {
@@ -380,6 +412,12 @@ pub fn verify(
         }
     }
     let merged_paths = items.len() - space.len();
+    for (id, node) in space.iter() {
+        for &(phase, rep) in &node.sem_children {
+            items.push(Item::SemEdge { parent: id, phase, rep });
+        }
+    }
+    let sem_paths = items.len() - space.len() - merged_paths;
 
     let jobs = match config.jobs {
         0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -390,17 +428,46 @@ pub fn verify(
         match item {
             Item::Node(id) => {
                 let func = &funcs[id.0 as usize];
-                let (obs, dynamic) = observe_battery(m, func, &inputs, config.fuel);
+                let (obs, dyns, dynamic) = observe_battery(m, func, &inputs, config.fuel);
                 let fp_match = canon::fingerprint(func) == space.node(*id).fp;
-                ItemResult { obs, dynamic, bytes_match: None, fp_match }
+                ItemResult {
+                    obs,
+                    dyns,
+                    dynamic,
+                    bytes_match: None,
+                    fp_match,
+                    structure_match: None,
+                }
             }
             Item::Edge { parent, phase, child } => {
                 let mut g = funcs[parent.0 as usize].clone();
                 attempt(&mut g, *phase, target);
-                let (obs, dynamic) = observe_battery(m, &g, &inputs, config.fuel);
+                let (obs, dyns, dynamic) = observe_battery(m, &g, &inputs, config.fuel);
                 let bytes_match =
                     canon::canonical_bytes(&g) == canon::canonical_bytes(&funcs[child.0 as usize]);
-                ItemResult { obs, dynamic, bytes_match: Some(bytes_match), fp_match: true }
+                ItemResult {
+                    obs,
+                    dyns,
+                    dynamic,
+                    bytes_match: Some(bytes_match),
+                    fp_match: true,
+                    structure_match: None,
+                }
+            }
+            Item::SemEdge { parent, phase, rep } => {
+                let mut g = funcs[parent.0 as usize].clone();
+                attempt(&mut g, *phase, target);
+                let (obs, dyns, dynamic) = observe_battery(m, &g, &inputs, config.fuel);
+                let structure_match = crate::semantic::StructuralKey::of(&g)
+                    == crate::semantic::StructuralKey::of(&funcs[rep.0 as usize]);
+                ItemResult {
+                    obs,
+                    dyns,
+                    dynamic,
+                    bytes_match: None,
+                    fp_match: true,
+                    structure_match: Some(structure_match),
+                }
             }
         }
     };
@@ -435,6 +502,7 @@ pub fn verify(
     let mut leaves = Vec::new();
     let mut simulations = 0u64;
     let mut node_obs: Vec<Option<&Vec<Observation>>> = vec![None; space.len()];
+    let mut node_dyns: Vec<Option<&Vec<u64>>> = vec![None; space.len()];
     for (item, res) in items.iter().zip(&results) {
         simulations += inputs.len() as u64;
         match item {
@@ -453,6 +521,7 @@ pub fn verify(
                     }
                 }
                 node_obs[id.0 as usize] = Some(&res.obs);
+                node_dyns[id.0 as usize] = Some(&res.dyns);
                 let node = space.node(*id);
                 if node.is_leaf() {
                     leaves.push(LeafDynamics {
@@ -486,6 +555,32 @@ pub fn verify(
                     }
                 }
             }
+            Item::SemEdge { parent, phase, rep } => {
+                if res.structure_match == Some(false) {
+                    findings.push(Finding::SemanticMergeMismatch {
+                        node: *rep,
+                        parent: *parent,
+                        phase: *phase,
+                        input: None,
+                    });
+                }
+                let exp_obs =
+                    node_obs[rep.0 as usize].expect("nodes precede edges in the work list");
+                let exp_dyns =
+                    node_dyns[rep.0 as usize].expect("nodes precede edges in the work list");
+                for (input, ((got, exp), (gd, ed))) in
+                    res.obs.iter().zip(exp_obs).zip(res.dyns.iter().zip(exp_dyns)).enumerate()
+                {
+                    if got != exp || gd != ed {
+                        findings.push(Finding::SemanticMergeMismatch {
+                            node: *rep,
+                            parent: *parent,
+                            phase: *phase,
+                            input: Some(input),
+                        });
+                    }
+                }
+            }
         }
     }
     // Item order interleaves node findings before edge findings only by
@@ -494,7 +589,7 @@ pub fn verify(
 
     let tm = crate::telemetry::global();
     tm.oracle_instances.add(space.len() as u64);
-    tm.oracle_merged_paths.add(merged_paths as u64);
+    tm.oracle_merged_paths.add((merged_paths + sem_paths) as u64);
     tm.oracle_simulations.add(simulations);
     tm.oracle_battery_inputs.add(inputs.len() as u64);
     tm.oracle_findings.add(findings.len() as u64);
@@ -503,6 +598,7 @@ pub fn verify(
         function: f.name.clone(),
         instances: space.len(),
         merged_paths,
+        sem_paths,
         inputs,
         baseline_dynamic,
         findings,

@@ -6,6 +6,23 @@
 //! that phase `p` was *active* on `u` and produced `v`. Dormant attempts
 //! leave no edge — they are recorded in the node's masks instead, which is
 //! what the interaction analyses consume.
+//!
+//! Under the semantic merge tier (`--merge-tier semantic`) a second edge
+//! kind appears: `u ··p··> v` in [`Node::sem_children`] records that the
+//! fingerprint-fresh instance phase `p` produced from `u` was
+//! *behaviorally* merged into `v` (its signature matched an established
+//! class). The produced instance is still inserted and expanded — the
+//! node set, `children` edges, masks and weights are bit-identical to
+//! the fingerprint tier — so the semantic tier is an exact *quotient
+//! annotation* over the fingerprint space: merged nodes point at their
+//! class representative ([`SearchSpace::sem_rep`]), and the number of
+//! behaviorally distinct instances is [`SearchSpace::sem_class_count`].
+//! Semantic edges are kept apart from fingerprint edges deliberately:
+//! signature equality says nothing about the *futures* of the two
+//! instances being equal (it is not a congruence under phase
+//! application), so a semantic edge may point at an ancestor — a cycle
+//! through `children` would break [`SearchSpace::compute_weights`] —
+//! and Table-3-style reports must be producible under either quotient.
 
 use std::collections::HashMap;
 
@@ -40,6 +57,13 @@ pub struct Node {
     pub active_mask: u16,
     /// Outgoing edges: `(phase, child)` for each active phase.
     pub children: Vec<(PhaseId, NodeId)>,
+    /// Semantic-merge edges: `(phase, representative)` for each active
+    /// phase whose fingerprint-fresh product was behaviorally merged
+    /// into an established class (always empty under the fingerprint
+    /// tier). The produced node itself is still recorded in `children`
+    /// under the same phase; the representative may be *any* node of
+    /// the space, including an ancestor.
+    pub sem_children: Vec<(PhaseId, NodeId)>,
     /// Discovery edge: the parent and phase that first produced this node
     /// (`None` for the root). Used to rematerialize instances on demand.
     pub discovered_from: Option<(NodeId, PhaseId)>,
@@ -112,6 +136,37 @@ impl SearchSpace {
     /// Looks up an instance by identity.
     pub fn find(&self, fp: Fingerprint, flags: FuncFlags) -> Option<NodeId> {
         self.index.get(&(fp, flags)).copied()
+    }
+
+    /// Total number of semantic-merge edges across the space — one per
+    /// node whose first discovery was behaviorally merged (0 under the
+    /// fingerprint tier).
+    pub fn sem_edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.sem_children.len()).sum()
+    }
+
+    /// The semantic class representative of `id`: the node its first
+    /// discovery was behaviorally merged into, or `id` itself when it
+    /// founded its own signature class (always `id` under the
+    /// fingerprint tier). Representatives are always founders, so this
+    /// never chains.
+    pub fn sem_rep(&self, id: NodeId) -> NodeId {
+        match self.node(id).discovered_from {
+            Some((parent, phase)) => self
+                .node(parent)
+                .sem_children
+                .iter()
+                .find(|&&(p, _)| p == phase)
+                .map_or(id, |&(_, rep)| rep),
+            None => id,
+        }
+    }
+
+    /// Number of behaviorally distinct instances: nodes that founded
+    /// their own signature class (equals [`SearchSpace::len`] under the
+    /// fingerprint tier).
+    pub fn sem_class_count(&self) -> usize {
+        self.iter().filter(|&(id, _)| self.sem_rep(id) == id).count()
     }
 
     /// Inserts a new node, returning its id.
@@ -287,6 +342,12 @@ impl SearchSpace {
             for (p, c) in &n.children {
                 out.push_str(&format!("  {id} -> {c} [label=\"{}\"];\n", p.letter()));
             }
+            for (p, c) in &n.sem_children {
+                out.push_str(&format!(
+                    "  {id} -> {c} [label=\"{}\" style=dashed color=gray50];\n",
+                    p.letter()
+                ));
+            }
         }
         out.push_str("}\n");
         out
@@ -306,6 +367,7 @@ mod tests {
             cf_sig: 0,
             active_mask: 0,
             children: Vec::new(),
+            sem_children: Vec::new(),
             discovered_from: None,
             weight: 0,
         }
@@ -385,6 +447,33 @@ mod tests {
         assert_eq!(counts[PhaseId::InsnSelect.index()], 1);
         assert_eq!(counts[PhaseId::Cse.index()], 1);
         assert_eq!(counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn semantic_classes_resolve_and_render_dashed() {
+        // root --Cse--> rep (founder), root --DeadAssign--> merged,
+        // where `merged`'s first discovery was behaviorally merged into
+        // `rep`: root carries the dashed sem edge under the same phase.
+        let mut s = SearchSpace::new();
+        let root = s.insert(mk_node(0));
+        let rep = s.insert(mk_node(1));
+        let mut m = mk_node(2);
+        m.discovered_from = Some((root, PhaseId::DeadAssign));
+        let merged = s.insert(m);
+        s.node_mut(root).children = vec![(PhaseId::Cse, rep), (PhaseId::DeadAssign, merged)];
+        s.node_mut(root).active_mask = 0b11;
+        s.node_mut(root).sem_children = vec![(PhaseId::DeadAssign, rep)];
+        // A semantic edge pointing *backwards* (merged ··> root) must
+        // not trip the cycle detector: weights walk `children` only.
+        s.node_mut(merged).sem_children = vec![(PhaseId::Cse, root)];
+        assert_eq!(s.sem_edge_count(), 2);
+        assert_eq!(s.sem_rep(merged), rep);
+        assert_eq!(s.sem_rep(rep), rep);
+        assert_eq!(s.sem_rep(root), root);
+        assert_eq!(s.sem_class_count(), 2);
+        s.compute_weights().unwrap();
+        let dot = s.to_dot();
+        assert!(dot.contains("style=dashed"));
     }
 
     #[test]

@@ -211,6 +211,16 @@ pub struct Telemetry {
     /// buffer (allocation-free fingerprints). Scheduling-dependent for
     /// the same reason as `scratch_reuse_hits`.
     pub canon_bytes_reused: Counter,
+    /// Fingerprint-fresh instances merged by the semantic tier
+    /// (`--merge-tier semantic`): their signature matched an established
+    /// class. Counted at merge time, deterministic for any job count.
+    pub sem_merge_hits: Counter,
+    /// Signature hits rejected by paranoid escalation — the battery
+    /// collided on behaviorally different code (expected 0).
+    pub sem_sig_collisions: Counter,
+    /// Signature hits escalated to extended-battery differential
+    /// re-execution (paranoid mode only).
+    pub sem_escalations: Counter,
     /// Peak frontier width seen by any level of any search.
     pub peak_frontier: Gauge,
     /// Wall time per merged level (`enumerate` engines only; campaign
@@ -274,6 +284,9 @@ impl Telemetry {
             nodes_inserted: Counter::new("enumerate.nodes_inserted", true),
             scratch_reuse_hits: Counter::new("enumerate.scratch_reuse_hits", false),
             canon_bytes_reused: Counter::new("enumerate.canon_bytes_reused", false),
+            sem_merge_hits: Counter::new("enumerate.sem_merge_hits", true),
+            sem_sig_collisions: Counter::new("enumerate.sem_sig_collisions", true),
+            sem_escalations: Counter::new("enumerate.sem_escalations", true),
             peak_frontier: Gauge::new("enumerate.peak_frontier", true),
             level_wall_ns: Histogram::new("enumerate.level_wall_ns"),
             campaign_functions_started: Counter::new("campaign.functions_started", true),
@@ -308,6 +321,9 @@ impl Telemetry {
             C(&self.nodes_inserted),
             C(&self.scratch_reuse_hits),
             C(&self.canon_bytes_reused),
+            C(&self.sem_merge_hits),
+            C(&self.sem_sig_collisions),
+            C(&self.sem_escalations),
             G(&self.peak_frontier),
             H(&self.level_wall_ns),
             C(&self.campaign_functions_started),

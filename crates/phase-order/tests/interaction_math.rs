@@ -21,6 +21,7 @@ fn node(seed: u32) -> Node {
         cf_sig: seed as u64,
         active_mask: 0,
         children: Vec::new(),
+        sem_children: Vec::new(),
         discovered_from: None,
         weight: 0,
     }

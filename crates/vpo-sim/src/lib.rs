@@ -50,7 +50,7 @@ mod threaded;
 pub use threaded::LoweredInstance;
 
 /// Simulator errors.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SimError {
     /// Integer division or remainder by zero (or `INT_MIN / -1`).
     DivideByZero {
@@ -92,6 +92,11 @@ pub enum SimError {
         index: usize,
     },
 }
+
+/// One [`Machine::run_battery`] entry: the observation — `(return
+/// value, globals CRC)` or the trap — plus the run's dynamic
+/// instruction count.
+pub type BatteryOutcome = (Result<(i32, u32), SimError>, u64);
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -440,6 +445,38 @@ impl<'p> Machine<'p> {
         self.stack_top = stack_top;
         self.flush_sim_stats();
         r
+    }
+
+    /// Runs a function instance over a whole battery of argument
+    /// vectors, returning for each entry the observation — `(return
+    /// value, globals CRC)` or the trap — plus that run's dynamic
+    /// instruction count. The machine is [`Machine::reset`] before each
+    /// entry and `fuel` caps every run independently. Under the
+    /// threaded engine the instance is lowered exactly once through the
+    /// shared block cache, so batteries over near-identical instances
+    /// (the enumeration signature workload) pay the lowering cost only
+    /// for blocks never seen before.
+    pub fn run_battery(
+        &mut self,
+        f: &Function,
+        inputs: &[Vec<i32>],
+        fuel: u64,
+    ) -> Vec<BatteryOutcome> {
+        self.set_fuel(fuel);
+        let lowered = match self.engine {
+            SimEngine::Threaded => Some(self.lower_instance(f)),
+            SimEngine::Interp => None,
+        };
+        let mut out = Vec::with_capacity(inputs.len());
+        for args in inputs {
+            self.reset();
+            let r = match &lowered {
+                Some(li) => self.call_lowered(li, args),
+                None => self.call_instance(f, args),
+            };
+            out.push((r.map(|v| (v, self.globals_crc())), self.dynamic_insts()));
+        }
+        out
     }
 
     /// [`Machine::call_instance_counted`] for a pre-lowered instance.

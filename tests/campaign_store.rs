@@ -4,11 +4,13 @@
 //! converges on bytes identical to an uninterrupted run's.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use exhaustive_phase_order as epo;
 
 use epo::explore::campaign::store::{ResultStore, StoreError};
 use epo::explore::campaign::{self, CampaignConfig, FunctionTask, NullObserver};
+use epo::explore::semantic::SemanticConfig;
 use epo::explore::Config;
 use epo::opt::Target;
 
@@ -20,7 +22,7 @@ fn bitcount_tasks() -> Vec<FunctionTask> {
         .unwrap()
         .functions
         .into_iter()
-        .map(|f| FunctionTask { name: format!("bitcount::{}", f.name), func: f })
+        .map(|f| FunctionTask { name: format!("bitcount::{}", f.name), func: f, program: None })
         .collect()
 }
 
@@ -80,6 +82,22 @@ fn damaged_stores_are_rejected() {
     );
 }
 
+/// Same tasks with the program attached, for semantic-tier campaigns.
+fn bitcount_semantic_tasks() -> Vec<FunctionTask> {
+    let program = Arc::new(
+        epo::benchmarks::find("bitcount").expect("bitcount is in the suite").compile().unwrap(),
+    );
+    program
+        .functions
+        .iter()
+        .map(|f| FunctionTask {
+            name: format!("bitcount::{}", f.name),
+            func: f.clone(),
+            program: Some(Arc::clone(&program)),
+        })
+        .collect()
+}
+
 #[test]
 fn interrupted_campaign_resumes_to_identical_bytes() {
     let target = Target::default();
@@ -117,5 +135,69 @@ fn interrupted_campaign_resumes_to_identical_bytes() {
             );
             std::fs::remove_file(&path).ok();
         }
+    }
+}
+
+/// The semantic merge tier through the campaign driver: the store is
+/// byte-identical for any worker count, the semantic counters survive
+/// the disk round trip, and killing the campaign at every checkpoint
+/// boundary then resuming converges on the uninterrupted bytes — the
+/// `--merge-tier semantic` analogue of the fingerprint resume test.
+#[test]
+fn semantic_campaign_resumes_to_identical_bytes_across_job_counts() {
+    let target = Target::default();
+    let tasks = bitcount_semantic_tasks();
+    let total = tasks.len();
+    let sem_config = || CampaignConfig {
+        semantic: Some(SemanticConfig { battery: 2, ..SemanticConfig::default() }),
+        ..config()
+    };
+
+    let reference = tmp("sem_reference");
+    std::fs::remove_file(&reference).ok();
+    campaign::run(tasks.clone(), &target, Some(&reference), &sem_config(), &NullObserver).unwrap();
+    let want = std::fs::read(&reference).unwrap();
+    std::fs::remove_file(&reference).ok();
+
+    // The tier actually merged something, and the counters round-trip.
+    let store = ResultStore::from_bytes(&want).unwrap();
+    let merges: u64 = store.records.iter().map(|r| r.sem_merges).sum();
+    assert!(merges > 0, "semantic campaign recorded no merges");
+    assert!(store.records.iter().all(|r| r.sem_collisions == 0));
+
+    // Any worker count produces the same bytes.
+    for jobs in [0usize, 2, 8] {
+        let path = tmp(&format!("sem_j{jobs}"));
+        std::fs::remove_file(&path).ok();
+        let c = CampaignConfig { jobs, ..sem_config() };
+        campaign::run(tasks.clone(), &target, Some(&path), &c, &NullObserver).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            want,
+            "jobs={jobs}: semantic store differs across worker counts"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Kill at every checkpoint boundary, then resume.
+    for cut in 1..total {
+        let path = tmp(&format!("sem_cut{cut}"));
+        std::fs::remove_file(&path).ok();
+        let interrupted = CampaignConfig { stop_after: Some(cut), ..sem_config() };
+        let s1 = campaign::run(tasks.clone(), &target, Some(&path), &interrupted, &NullObserver)
+            .unwrap();
+        assert!(s1.interrupted);
+
+        let resume = CampaignConfig { resume: true, ..sem_config() };
+        let s2 =
+            campaign::run(tasks.clone(), &target, Some(&path), &resume, &NullObserver).unwrap();
+        assert_eq!(s2.resumed, cut);
+        assert_eq!(s2.explored, total - cut);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            want,
+            "cut={cut}: resumed semantic store differs from uninterrupted reference"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }
