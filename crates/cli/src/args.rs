@@ -11,6 +11,9 @@
 
 use std::str::FromStr;
 
+use phase_order::request::{ExploreRequest, MergeTier, Selector};
+use phase_order::SemanticConfig;
+
 /// Strips the first match of any alias in `names` (spaced or `=` form)
 /// out of `args`, returning its raw value.
 fn take_raw(args: &mut Vec<String>, names: &[&str]) -> Result<Option<String>, String> {
@@ -69,6 +72,65 @@ pub fn resolve_jobs(jobs: Option<usize>) -> usize {
         Some(0) => phase_order::jobs_per_cpu(),
         Some(n) => n,
     }
+}
+
+/// Parses the unified exploration request shared by every exploring
+/// subcommand (`explore`, `verify`, `campaign`, `dot`, `serve`).
+///
+/// Consumes the remaining argument list entirely: the shared flags
+/// (`--jobs/-j`, `--max-nodes`, `--merge-tier`, `--paranoid`,
+/// `--battery`, `--seed`, `--budget`, `--bench`, `--all-benches`), then
+/// the selector and optional `[function]` positionals. Command-specific
+/// flags must be stripped *before* calling this — anything left over is
+/// rejected as an unknown flag, and extra positionals are errors too.
+pub fn explore_request(args: &mut Vec<String>, cmd: &str) -> Result<ExploreRequest, String> {
+    let jobs = jobs(args)?;
+    let max_nodes = value::<usize>(args, "--max-nodes")?;
+    let battery = value::<usize>(args, "--battery")?;
+    let seed = value::<u64>(args, "--seed")?;
+    let budget = value::<u64>(args, "--budget")?;
+    let bench = string(args, "--bench")?;
+    let all_benches = switch(args, "--all-benches");
+    let tier = match string(args, "--merge-tier")?.as_deref() {
+        None => MergeTier::default(),
+        Some(t) => MergeTier::parse(t).map_err(|e| format!("--merge-tier: {e}"))?,
+    };
+    let paranoid = switch(args, "--paranoid");
+    reject_unknown_flags(args, cmd)?;
+
+    let (selector, function, used) = if all_benches {
+        if bench.is_some() {
+            return Err(format!("{cmd}: --all-benches conflicts with --bench"));
+        }
+        (Selector::AllBenches, args.first().cloned(), 1)
+    } else if let Some(name) = bench {
+        (Selector::Bench(name), args.first().cloned(), 1)
+    } else {
+        let path =
+            args.first().ok_or(format!("{cmd}: missing file (or --bench NAME/--all-benches)"))?;
+        (Selector::File(path.into()), args.get(1).cloned(), 2)
+    };
+    if args.len() > used {
+        return Err(format!("{cmd}: unexpected argument `{}`", args[used]));
+    }
+
+    let mut request = ExploreRequest::new(selector);
+    request.function = function;
+    request.config.jobs = resolve_jobs(jobs);
+    if let Some(n) = max_nodes {
+        request.config.max_nodes = n;
+    }
+    request.config.paranoid = paranoid;
+    request.tier = tier;
+    let sem = SemanticConfig::default();
+    request.semantic = SemanticConfig {
+        battery: battery.unwrap_or(sem.battery),
+        seed: seed.unwrap_or(sem.seed),
+        ..sem
+    };
+    request.budget = budget;
+    request.validate().map_err(|e| format!("{cmd}: {e}"))?;
+    Ok(request)
 }
 
 /// Rejects leftover `--flags` after a subcommand extracted everything it

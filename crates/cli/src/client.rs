@@ -1,0 +1,108 @@
+//! `vpoc query` — client side of the memo daemon protocol.
+//!
+//! Connects to a `vpoc serve` socket, sends one [`Request`] frame,
+//! reads the [`Response`] frame, and renders it — memo answers through
+//! the same typed [`MemoEntry`] view the campaign report uses, so a
+//! daemon answer and a direct `vpoc explore` row read identically.
+
+use std::os::unix::net::UnixStream;
+
+use phase_order::campaign::store::{Completeness, MemoEntry};
+use phase_order::service::{Request, Response, Served};
+use phase_order::stats::FunctionRow;
+use phase_order::wire::{read_frame, write_frame};
+
+use crate::args;
+
+pub fn query_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let socket = args::string(&mut rest, "--socket")?.ok_or("query: --socket PATH is required")?;
+    let budget = args::value::<u64>(&mut rest, "--budget")?;
+    let list = args::switch(&mut rest, "--list");
+    let telemetry = args::switch(&mut rest, "--telemetry");
+    let shutdown = args::switch(&mut rest, "--shutdown");
+    args::reject_unknown_flags(&rest, "query")?;
+    if [list, telemetry, shutdown].iter().filter(|b| **b).count() > 1 {
+        return Err("query: --list, --telemetry and --shutdown are mutually exclusive".into());
+    }
+
+    let request = if list {
+        Request::List
+    } else if telemetry {
+        Request::Telemetry
+    } else if shutdown {
+        Request::Shutdown
+    } else {
+        let function =
+            rest.first().ok_or("query: missing function (or --list / --telemetry / --shutdown)")?;
+        if rest.len() > 1 {
+            return Err(format!("query: unexpected argument `{}`", rest[1]));
+        }
+        Request::Query { function: function.clone(), budget }
+    };
+
+    let response = roundtrip(&socket, &request)?;
+    render(&response)
+}
+
+/// One frame out, one frame back.
+fn roundtrip(socket: &str, request: &Request) -> Result<Response, String> {
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| format!("query: {socket}: {e} (is `vpoc serve` running?)"))?;
+    write_frame(&mut stream, &request.to_bytes()).map_err(|e| format!("query: {socket}: {e}"))?;
+    let payload = read_frame(&mut stream).map_err(|e| format!("query: {socket}: {e}"))?;
+    Response::from_bytes(&payload).map_err(|e| format!("query: {socket}: {e}"))
+}
+
+fn render(response: &Response) -> Result<(), String> {
+    match response {
+        Response::Memo { record, served } => {
+            let entry = MemoEntry::new(record);
+            match served {
+                Served::Warm => println!("warm: answered from the memo store"),
+                Served::Cold { expanded } => {
+                    println!("cold: expanded {expanded} parent instance(s) this request")
+                }
+            }
+            println!("{}", FunctionRow::header());
+            println!("{}", entry.table3_row().render());
+            match entry.completeness() {
+                Completeness::Complete => {
+                    if let (Some(seq), Some(insts)) = (entry.optimal_ordering(), entry.best_insts())
+                    {
+                        println!("optimal ordering: {seq} ({insts} instructions)");
+                    }
+                }
+                Completeness::Truncated { level } => {
+                    println!("truncated at level {level} (permanent under the daemon's bounds)")
+                }
+                Completeness::Frontier { level } => {
+                    println!("suspended at level {level} — best-so-far above; re-query to deepen")
+                }
+            }
+            Ok(())
+        }
+        Response::List { entries } => {
+            for e in entries {
+                let state = match &e.state {
+                    None => "unexplored".to_string(),
+                    Some(c) => c.to_string(),
+                };
+                println!("{:<40} {state}", e.name);
+            }
+            Ok(())
+        }
+        Response::Telemetry { json } => {
+            println!("{json}");
+            Ok(())
+        }
+        Response::Error { message } => Err(format!("query: daemon error: {message}")),
+        Response::Overloaded => {
+            Err("query: daemon overloaded (admission queue is full); retry later".into())
+        }
+        Response::ShuttingDown => {
+            println!("daemon is shutting down");
+            Ok(())
+        }
+    }
+}

@@ -46,16 +46,21 @@
 //! afterwards (see DESIGN.md §9).
 
 mod args;
+#[cfg(unix)]
+mod client;
+#[cfg(unix)]
+mod serve;
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use phase_order::campaign::store::{Completeness, MemoEntry};
 use phase_order::campaign::{self, CampaignConfig, FunctionTask};
 use phase_order::enumerate::{enumerate, enumerate_semantic, Config};
 use phase_order::oracle::{self, OracleConfig};
+use phase_order::request::{ExploreRequest, MergeTier, Selector};
 use phase_order::stats::FunctionRow;
-use phase_order::SemanticConfig;
 use vpo_opt::batch::batch_compile;
 use vpo_opt::{attempt, PhaseId, Target};
 use vpo_sim::{Machine, SimEngine};
@@ -78,8 +83,13 @@ fn main() -> ExitCode {
             eprintln!("                [--sim-engine interp|threaded|both]");
             eprintln!("  vpoc campaign <file.mc>|--bench NAME|--all-benches [function]");
             eprintln!("                [--store PATH] [--resume] [--jobs N] [--max-nodes N]");
-            eprintln!("                [--max-functions N] [--merge-tier T] [--paranoid]");
-            eprintln!("                [--metrics PATH]");
+            eprintln!("                [--max-functions N] [--budget N] [--merge-tier T]");
+            eprintln!("                [--paranoid] [--metrics PATH]");
+            eprintln!("  vpoc serve    <file.mc>|--bench NAME|--all-benches --store PATH");
+            eprintln!("                --socket PATH [--budget N] [--jobs N] [--max-active N]");
+            eprintln!("                [--max-queue N] [--merge-tier T] [--paranoid]");
+            eprintln!("  vpoc query    --socket PATH <function> [--budget N]");
+            eprintln!("  vpoc query    --socket PATH --list|--telemetry|--shutdown");
             eprintln!("  vpoc dot      <file.mc> <function> [--jobs N] [--merge-tier T]");
             eprintln!("  vpoc phases");
             eprintln!();
@@ -94,6 +104,9 @@ fn main() -> ExitCode {
             eprintln!("  --sim-engine E simulate with `threaded` (default), `interp` (the");
             eprintln!("                 reference), or `both` (differential gate: error");
             eprintln!("                 unless the engines agree bit-identically)");
+            eprintln!("  --budget N     suspend each function's search after N merged parent");
+            eprintln!("                 expansions (checkpointing its frontier for resume);");
+            eprintln!("                 for `query`, the per-request exploration budget");
             ExitCode::FAILURE
         }
     }
@@ -113,6 +126,12 @@ fn run(argv: &[String]) -> Result<(), String> {
         "explore" => explore_cmd(&argv[1..]),
         "verify" => verify_cmd(&argv[1..]),
         "campaign" => campaign_cmd(&argv[1..]),
+        #[cfg(unix)]
+        "serve" => serve::serve_cmd(&argv[1..]),
+        #[cfg(unix)]
+        "query" => client::query_cmd(&argv[1..]),
+        #[cfg(not(unix))]
+        "serve" | "query" => Err(format!("{cmd}: only available on unix platforms")),
         "dot" => dot_cmd(&argv[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -139,6 +158,82 @@ fn require_function(program: &vpo_rtl::Program, name: &str, cmd: &str) -> Result
     }
     let names: Vec<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
     Err(format!("{cmd}: no function `{name}` (available: {})", names.join(", ")))
+}
+
+/// Resolves a request's selector to the single program the
+/// one-program-at-a-time subcommands (`explore`, `verify`, `dot`) work
+/// on, checking the `[function]` filter names a real function.
+fn resolve_program(request: &ExploreRequest, cmd: &str) -> Result<vpo_rtl::Program, String> {
+    let program = match &request.selector {
+        Selector::File(path) => load(&path.to_string_lossy())?,
+        Selector::Bench(name) => load_bench(name)?,
+        Selector::AllBenches => {
+            return Err(format!("{cmd}: --all-benches only applies to campaign and serve"))
+        }
+    };
+    if let Some(name) = &request.function {
+        require_function(&program, name, cmd)?;
+    }
+    Ok(program)
+}
+
+/// Resolves a request's selector to the campaign/serve task list: the
+/// whole suite, one benchmark, or every function of a file. Suite and
+/// benchmark tasks get benchmark-qualified names so a store can span
+/// programs without clashes; every task carries its program so the
+/// semantic tier can simulate instances. A `[function]` filter matches
+/// a qualified name exactly or any task's bare function name; matching
+/// nothing is an error.
+fn resolve_tasks(request: &ExploreRequest, cmd: &str) -> Result<Vec<FunctionTask>, String> {
+    let program_tasks = |p: vpo_rtl::Program, qualify: Option<&str>| -> Vec<FunctionTask> {
+        let p = Arc::new(p);
+        p.functions
+            .iter()
+            .map(|f| FunctionTask {
+                name: match qualify {
+                    Some(q) => format!("{q}::{}", f.name),
+                    None => f.name.clone(),
+                },
+                func: f.clone(),
+                program: Some(Arc::clone(&p)),
+            })
+            .collect()
+    };
+    let mut tasks = match &request.selector {
+        Selector::AllBenches => {
+            let mut tasks = Vec::new();
+            for b in mibench::all() {
+                let p = b.compile().map_err(|e| format!("{}: {e}", b.name))?;
+                tasks.extend(program_tasks(p, Some(b.name)));
+            }
+            tasks
+        }
+        Selector::Bench(name) => program_tasks(load_bench(name)?, Some(name)),
+        Selector::File(path) => program_tasks(load(&path.to_string_lossy())?, None),
+    };
+    if let Some(name) = &request.function {
+        let matches =
+            |t: &FunctionTask| t.name == *name || t.name.rsplit("::").next() == Some(name.as_str());
+        if !tasks.iter().any(matches) {
+            let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+            return Err(format!("{cmd}: no function `{name}` (available: {})", names.join(", ")));
+        }
+        tasks.retain(matches);
+    }
+    Ok(tasks)
+}
+
+/// Maps a request onto the campaign driver's options (shared by
+/// `campaign` and the daemon; `resume`/`stop_after`/`cancel` stay at
+/// their defaults for the caller to fill in).
+fn campaign_config(request: &ExploreRequest) -> CampaignConfig {
+    CampaignConfig {
+        enumerate: Config { jobs: 0, ..request.config.clone() },
+        jobs: request.config.jobs,
+        semantic: request.semantic_config(),
+        budget: request.budget,
+        ..CampaignConfig::default()
+    }
 }
 
 /// Handles `--metrics PATH` for the exploring subcommands: resets the
@@ -168,26 +263,6 @@ fn metrics_end(path: Option<&str>) -> Result<(), String> {
 enum SimChoice {
     One(SimEngine),
     Both,
-}
-
-/// The `--merge-tier` choices: syntactic (canonical fingerprint) or
-/// behavioral (semantic signature) instance merging.
-#[derive(Clone, Copy, PartialEq)]
-enum MergeTier {
-    Fingerprint,
-    Semantic,
-}
-
-fn parse_merge_tier(rest: &mut Vec<String>) -> Result<MergeTier, String> {
-    Ok(match args::string(rest, "--merge-tier")?.as_deref() {
-        None | Some("fingerprint") => MergeTier::Fingerprint,
-        Some("semantic") => MergeTier::Semantic,
-        Some(other) => {
-            return Err(format!(
-                "--merge-tier: unknown tier `{other}` (expected fingerprint or semantic)"
-            ))
-        }
-    })
 }
 
 fn parse_sim_engine(rest: &mut Vec<String>) -> Result<SimChoice, String> {
@@ -311,28 +386,14 @@ fn run_cmd(argv: &[String]) -> Result<(), String> {
 
 fn explore_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
-    let jobs = args::jobs(&mut rest)?;
-    let max_nodes = args::value::<usize>(&mut rest, "--max-nodes")?;
-    let tier = parse_merge_tier(&mut rest)?;
-    let paranoid = args::switch(&mut rest, "--paranoid");
     let metrics = metrics_begin(&mut rest)?;
-    args::reject_unknown_flags(&rest, "explore")?;
-    let path = rest.first().ok_or("explore: missing file")?;
-    let program = load(path)?;
+    let request = args::explore_request(&mut rest, "explore")?;
+    let program = resolve_program(&request, "explore")?;
     let target = Target::default();
-    let filter = rest.get(1);
-    if let Some(name) = filter {
-        require_function(&program, name, "explore")?;
-    }
-    let config = Config {
-        jobs: args::resolve_jobs(jobs),
-        max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
-        paranoid,
-        ..Config::default()
-    };
+    let config = &request.config;
     println!("{}", FunctionRow::header());
     for f in &program.functions {
-        if let Some(name) = filter {
+        if let Some(name) = &request.function {
             if &f.name != name {
                 continue;
             }
@@ -342,14 +403,14 @@ fn explore_cmd(argv: &[String]) -> Result<(), String> {
         // the semantic tier annotates the identical space — and the
         // quotient line follows with both DAG sizes and the collapse
         // factor.
-        let e = match tier {
-            MergeTier::Fingerprint => enumerate(f, &target, &config),
+        let e = match request.tier {
+            MergeTier::Fingerprint => enumerate(f, &target, config),
             MergeTier::Semantic => {
-                enumerate_semantic(&program, f, &target, &config, &SemanticConfig::default())
+                enumerate_semantic(&program, f, &target, config, &request.semantic)
             }
         };
         println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
-        if tier == MergeTier::Semantic {
+        if request.tier == MergeTier::Semantic {
             let (fp_n, sem_n) = (e.space.len(), e.space.sem_class_count());
             let collapse = fp_n as f64 / sem_n.max(1) as f64;
             println!(
@@ -364,67 +425,36 @@ fn explore_cmd(argv: &[String]) -> Result<(), String> {
 
 fn verify_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
-    let jobs = args::jobs(&mut rest)?;
-    let max_nodes = args::value::<usize>(&mut rest, "--max-nodes")?;
-    let battery = args::value::<usize>(&mut rest, "--battery")?;
-    let seed = args::value::<u64>(&mut rest, "--seed")?;
-    let bench = args::string(&mut rest, "--bench")?;
     let sim_engine = parse_sim_engine(&mut rest)?;
-    let tier = parse_merge_tier(&mut rest)?;
-    let paranoid = args::switch(&mut rest, "--paranoid");
     let metrics = metrics_begin(&mut rest)?;
-    args::reject_unknown_flags(&rest, "verify")?;
-
-    let (program, filter) = match &bench {
-        Some(name) => (load_bench(name)?, rest.first()),
-        None => {
-            let path = rest.first().ok_or("verify: missing file (or --bench NAME)")?;
-            (load(path)?, rest.get(1))
-        }
-    };
-    if let Some(name) = filter {
-        require_function(&program, name, "verify")?;
-    }
+    let request = args::explore_request(&mut rest, "verify")?;
+    let program = resolve_program(&request, "verify")?;
 
     let target = Target::default();
-    let enum_config = Config {
-        max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
-        paranoid,
-        ..Config::default()
-    };
+    // The signature battery mirrors the verification battery (both come
+    // from the request's semantic options), so a semantic merge is
+    // re-validated on the evidence it was accepted on. The oracle's job
+    // convention differs from the enumeration's (`0` = one per CPU,
+    // `1` = serial vs `0` = serial), hence the translation.
     let oracle_config = OracleConfig {
-        battery: battery.unwrap_or(OracleConfig::default().battery),
-        seed: seed.unwrap_or(OracleConfig::default().seed),
-        // The oracle's convention: `0` = one per CPU, `1` = serial.
-        jobs: jobs.map(|n| if n == 0 { 0 } else { n }).unwrap_or(1),
+        battery: request.semantic.battery,
+        seed: request.semantic.seed,
+        jobs: if request.config.jobs == 0 { 1 } else { request.config.jobs },
         ..OracleConfig::default()
-    };
-    // The signature battery mirrors the verification battery, so a
-    // semantic merge is re-validated on the evidence it was accepted on.
-    let sem_config = SemanticConfig {
-        battery: oracle_config.battery,
-        seed: oracle_config.seed,
-        ..SemanticConfig::default()
     };
 
     let mut findings = 0usize;
     for f in &program.functions {
-        if let Some(name) = filter {
+        if let Some(name) = &request.function {
             if &f.name != name {
                 continue;
             }
         }
-        // Translate the oracle's job convention (`0` = one per CPU,
-        // `1` = serial) into the enumeration's (`0` = serial).
-        let mut ec = enum_config.clone();
-        ec.jobs = match oracle_config.jobs {
-            0 => phase_order::jobs_per_cpu(),
-            1 => 0,
-            n => n,
-        };
-        let e = match tier {
-            MergeTier::Fingerprint => enumerate(f, &target, &ec),
-            MergeTier::Semantic => enumerate_semantic(&program, f, &target, &ec, &sem_config),
+        let e = match request.tier {
+            MergeTier::Fingerprint => enumerate(f, &target, &request.config),
+            MergeTier::Semantic => {
+                enumerate_semantic(&program, f, &target, &request.config, &request.semantic)
+            }
         };
         let report = match sim_engine {
             SimChoice::One(engine) => oracle::verify(
@@ -507,90 +537,49 @@ impl campaign::Observer for Progress {
     }
 
     fn function_done(&self, index: usize, total: usize, record: &campaign::store::FunctionRecord) {
+        self.report(index, total, record);
+    }
+
+    fn function_suspended(
+        &self,
+        index: usize,
+        total: usize,
+        record: &campaign::store::FunctionRecord,
+    ) {
+        self.report(index, total, record);
+    }
+}
+
+impl Progress {
+    /// Completion/suspension line, rendered through the typed memo view
+    /// so the CLI and the daemon describe records identically.
+    fn report(&self, index: usize, total: usize, record: &campaign::store::FunctionRecord) {
         if self.live {
             eprint!("\r{:<78}\r", "");
         }
-        let status = if record.complete {
-            format!("{} instances, {} leaves", record.fn_instances, record.leaves)
-        } else {
-            format!("truncated at level {}", record.truncated_level)
+        let entry = MemoEntry::new(record);
+        let status = match entry.completeness() {
+            Completeness::Complete => {
+                format!("{} instances, {} leaves", record.fn_instances, record.leaves)
+            }
+            state => state.to_string(),
         };
-        eprintln!("[{}/{total}] {}: {status}", index + 1, record.name);
+        eprintln!("[{}/{total}] {}: {status}", index + 1, entry.name());
     }
 }
 
 fn campaign_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
-    let jobs = args::jobs(&mut rest)?;
-    let max_nodes = args::value::<usize>(&mut rest, "--max-nodes")?;
     let max_functions = args::value::<usize>(&mut rest, "--max-functions")?;
     let store = args::string(&mut rest, "--store")?;
-    let bench = args::string(&mut rest, "--bench")?;
     let resume = args::switch(&mut rest, "--resume");
-    let all_benches = args::switch(&mut rest, "--all-benches");
-    let tier = parse_merge_tier(&mut rest)?;
-    let paranoid = args::switch(&mut rest, "--paranoid");
     let metrics = metrics_begin(&mut rest)?;
-    args::reject_unknown_flags(&rest, "campaign")?;
+    let request = args::explore_request(&mut rest, "campaign")?;
+    let tasks = resolve_tasks(&request, "campaign")?;
 
-    // Task list: the whole suite, one benchmark, or every function of a
-    // file. Suite tasks get benchmark-qualified names so the store can
-    // span programs without clashes. Every task carries its program so
-    // the semantic tier can simulate instances.
-    let program_tasks = |p: vpo_rtl::Program, qualify: Option<&str>| -> Vec<FunctionTask> {
-        let p = Arc::new(p);
-        p.functions
-            .iter()
-            .map(|f| FunctionTask {
-                name: match qualify {
-                    Some(q) => format!("{q}::{}", f.name),
-                    None => f.name.clone(),
-                },
-                func: f.clone(),
-                program: Some(Arc::clone(&p)),
-            })
-            .collect()
-    };
-    let (mut tasks, filter) = if all_benches {
-        let mut tasks = Vec::new();
-        for b in mibench::all() {
-            let p = b.compile().map_err(|e| format!("{}: {e}", b.name))?;
-            tasks.extend(program_tasks(p, Some(b.name)));
-        }
-        (tasks, rest.first().cloned())
-    } else if let Some(name) = &bench {
-        (program_tasks(load_bench(name)?, Some(name)), rest.first().cloned())
-    } else {
-        let path = rest.first().ok_or("campaign: missing file (or --bench NAME/--all-benches)")?;
-        (program_tasks(load(path)?, None), rest.get(1).cloned())
-    };
-
-    // A `[function]` filter matches a qualified name exactly or any
-    // task's bare function name; matching nothing is an error.
-    if let Some(name) = &filter {
-        let matches =
-            |t: &FunctionTask| t.name == *name || t.name.rsplit("::").next() == Some(name.as_str());
-        if !tasks.iter().any(matches) {
-            let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
-            return Err(format!(
-                "campaign: no function `{name}` (available: {})",
-                names.join(", ")
-            ));
-        }
-        tasks.retain(matches);
-    }
-
-    let config = CampaignConfig {
-        enumerate: Config {
-            max_nodes: max_nodes.unwrap_or(Config::default().max_nodes),
-            paranoid,
-            ..Config::default()
-        },
-        jobs: args::resolve_jobs(jobs),
-        resume,
-        stop_after: max_functions,
-        semantic: (tier == MergeTier::Semantic).then(SemanticConfig::default),
-    };
+    let mut config = campaign_config(&request);
+    config.resume = resume;
+    config.stop_after = max_functions;
     let total = tasks.len();
     let target = Target::default();
     let progress = Progress::from_env();
@@ -624,6 +613,13 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
         summary.explored,
         summary.records.len() - complete,
     );
+    if summary.suspended > 0 || summary.deepened > 0 {
+        println!(
+            "{} suspended at a budget frontier, {} deepened from one \
+             ({} parent expansions this run); re-run with --resume to continue",
+            summary.suspended, summary.deepened, summary.expanded,
+        );
+    }
     println!(
         "totals over complete functions: {instances} distinct instances, \
          {attempted} attempted phases"
@@ -645,21 +641,15 @@ fn campaign_cmd(argv: &[String]) -> Result<(), String> {
 
 fn dot_cmd(argv: &[String]) -> Result<(), String> {
     let mut rest = argv.to_vec();
-    let jobs = args::jobs(&mut rest)?;
-    let tier = parse_merge_tier(&mut rest)?;
-    let paranoid = args::switch(&mut rest, "--paranoid");
-    args::reject_unknown_flags(&rest, "dot")?;
-    let path = rest.first().ok_or("dot: missing file")?;
-    let func = rest.get(1).ok_or("dot: missing function name")?;
-    let program = load(path)?;
-    require_function(&program, func, "dot")?;
-    let f = program.function(func).expect("checked above");
-    let config = Config { jobs: args::resolve_jobs(jobs), paranoid, ..Config::default() };
+    let request = args::explore_request(&mut rest, "dot")?;
+    let func = request.function.clone().ok_or("dot: missing function name")?;
+    let program = resolve_program(&request, "dot")?;
+    let f = program.function(&func).expect("checked above");
     let target = Target::default();
-    let e = match tier {
-        MergeTier::Fingerprint => enumerate(f, &target, &config),
+    let e = match request.tier {
+        MergeTier::Fingerprint => enumerate(f, &target, &request.config),
         MergeTier::Semantic => {
-            enumerate_semantic(&program, f, &target, &config, &SemanticConfig::default())
+            enumerate_semantic(&program, f, &target, &request.config, &request.semantic)
         }
     };
     println!("{}", e.space.to_dot());

@@ -1,0 +1,359 @@
+//! `vpoc serve` — the persistent phase-order memo daemon (vpod).
+//!
+//! The daemon owns a [`ResultStore`] and answers [`Request`] frames
+//! over a Unix domain socket (one request per connection, one response,
+//! close). A *warm* query — the store already holds a terminal record —
+//! is answered straight from the memo without spawning any enumeration
+//! worker. A *cold* or *partially-explored* query runs the campaign
+//! driver on that one function under a per-request expansion budget:
+//! the result is either a complete record or a suspended one whose
+//! frontier checkpoint is persisted in the store, so the next query
+//! resumes exactly where this one stopped. A finished store is
+//! byte-identical to what an uncapped `vpoc campaign` over the same
+//! tasks writes.
+//!
+//! Admission control caps concurrent enumerations (`--max-active`) and
+//! the number of cold requests waiting for a slot (`--max-queue`);
+//! requests beyond both get [`Response::Overloaded`]. Warm queries,
+//! `--list` and `--telemetry` bypass admission entirely.
+//!
+//! SIGTERM/SIGINT (or a [`Request::Shutdown`] frame) drain the daemon
+//! gracefully: the campaign cancel flag flips, every in-flight search
+//! suspends at its last merged level and checkpoints its frontier, the
+//! store is flushed, the socket file removed, and the process exits 0.
+
+use std::collections::HashSet;
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use phase_order::campaign::store::{FunctionRecord, MemoEntry, ResultStore};
+use phase_order::campaign::{self, CampaignConfig, FunctionTask};
+use phase_order::service::{ListEntry, Request, Response, Served};
+use phase_order::telemetry;
+use phase_order::wire::{read_frame, write_frame, FrameError};
+use vpo_opt::Target;
+
+use crate::args;
+
+/// Default per-request expansion budget for cold queries that do not
+/// carry their own (`vpoc serve --budget` overrides it daemon-wide).
+const DEFAULT_BUDGET: u64 = 10_000;
+/// Default cap on concurrently running enumerations.
+const DEFAULT_MAX_ACTIVE: usize = 2;
+/// Default cap on cold requests waiting for an enumeration slot.
+const DEFAULT_MAX_QUEUE: usize = 16;
+/// Accept-loop and admission-wait poll interval.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Process-wide shutdown request, set by the signal handler or a
+/// [`Request::Shutdown`] frame and polled by the accept loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that flip [`SHUTDOWN`]. Raw
+/// `signal(2)` through the libc std already links — storing to a static
+/// atomic is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Admission state: which functions are being enumerated right now and
+/// how many cold requests are waiting for a slot.
+#[derive(Default)]
+struct Admission {
+    running: HashSet<usize>,
+    queued: usize,
+}
+
+/// Shared daemon state, one instance per `serve` invocation.
+struct Daemon {
+    tasks: Vec<FunctionTask>,
+    /// Best-known record per task, in task order (`None` = unexplored).
+    records: Mutex<Vec<Option<FunctionRecord>>>,
+    admission: Mutex<Admission>,
+    max_active: usize,
+    max_queue: usize,
+    store_path: PathBuf,
+    /// Campaign options every request runs under; `budget` is replaced
+    /// per request, `cancel` is wired to [`Daemon::cancel`].
+    config: CampaignConfig,
+    default_budget: u64,
+    target: Target,
+    /// Cooperative cancel flag handed to every enumeration.
+    cancel: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Task index for a query name (qualified exactly, or a unique bare
+    /// function name).
+    fn find_task(&self, name: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.name == name).or_else(|| {
+            let mut hits = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.name.rsplit("::").next() == Some(name));
+            let first = hits.next()?;
+            hits.next().is_none().then_some(first.0)
+        })
+    }
+
+    /// Writes the whole store (records in task order) — the same bytes
+    /// an uncapped `vpoc campaign` over these tasks converges on.
+    fn flush(&self, records: &[Option<FunctionRecord>]) -> Result<(), String> {
+        let mut store = ResultStore::new(&self.config.enumerate, self.config.semantic.as_ref());
+        store.records = records.iter().flatten().cloned().collect();
+        store.save(&self.store_path).map_err(|e| e.to_string())
+    }
+}
+
+pub fn serve_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let store_path =
+        args::string(&mut rest, "--store")?.ok_or("serve: --store PATH is required")?;
+    let socket = args::string(&mut rest, "--socket")?.ok_or("serve: --socket PATH is required")?;
+    let max_active =
+        args::value::<usize>(&mut rest, "--max-active")?.unwrap_or(DEFAULT_MAX_ACTIVE).max(1);
+    let max_queue = args::value::<usize>(&mut rest, "--max-queue")?.unwrap_or(DEFAULT_MAX_QUEUE);
+    let request = args::explore_request(&mut rest, "serve")?;
+    let tasks = crate::resolve_tasks(&request, "serve")?;
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut config = crate::campaign_config(&request);
+    config.cancel = Some(Arc::clone(&cancel));
+    let store_path = PathBuf::from(store_path);
+
+    // Adopt an existing store: its records seed the warm memo, its
+    // config echo must match ours (a store explored under different
+    // bounds would not be comparable).
+    let mut records: Vec<Option<FunctionRecord>> = vec![None; tasks.len()];
+    if store_path.exists() {
+        let prior = ResultStore::load(&store_path).map_err(|e| format!("serve: {e}"))?;
+        prior
+            .check_config(&config.enumerate, config.semantic.as_ref())
+            .map_err(|e| format!("serve: {e}"))?;
+        for rec in prior.records {
+            match tasks.iter().position(|t| t.name == rec.name) {
+                Some(i) => records[i] = Some(rec),
+                None => {
+                    return Err(format!(
+                        "serve: store records `{}`, which none of the served tasks produce",
+                        rec.name
+                    ))
+                }
+            }
+        }
+    }
+
+    let daemon = Arc::new(Daemon {
+        tasks,
+        records: Mutex::new(records),
+        admission: Mutex::new(Admission::default()),
+        max_active,
+        max_queue,
+        store_path,
+        config,
+        default_budget: request.budget.unwrap_or(DEFAULT_BUDGET),
+        target: Target::default(),
+        cancel,
+    });
+    // Flush eagerly so the store exists (with its config echo) before
+    // the first query, and a bad path fails at startup, not mid-serve.
+    daemon.flush(&daemon.records.lock().unwrap()).map_err(|e| format!("serve: {e}"))?;
+
+    let sock = Path::new(&socket);
+    if sock.exists() {
+        if UnixStream::connect(sock).is_ok() {
+            return Err(format!("serve: {socket} is already served by a live daemon"));
+        }
+        // Stale socket from a killed daemon; reclaim it.
+        std::fs::remove_file(sock).map_err(|e| format!("serve: removing {socket}: {e}"))?;
+    }
+    let listener = UnixListener::bind(sock).map_err(|e| format!("serve: {socket}: {e}"))?;
+    listener.set_nonblocking(true).map_err(|e| format!("serve: {socket}: {e}"))?;
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    install_signal_handlers();
+    eprintln!(
+        "vpod: serving {} function(s) on {socket} (store {}, budget {}, {} active / {} queued max)",
+        daemon.tasks.len(),
+        daemon.store_path.display(),
+        daemon.default_budget,
+        daemon.max_active,
+        daemon.max_queue,
+    );
+
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let d = Arc::clone(&daemon);
+                handles.push(std::thread::spawn(move || handle(stream, &d)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("serve: accept on {socket}: {e}")),
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+
+    // Graceful drain: suspend in-flight searches at their last merged
+    // level (their handlers flush the checkpoints), then exit cleanly.
+    daemon.cancel.store(true, Ordering::SeqCst);
+    for h in handles {
+        let _ = h.join();
+    }
+    std::fs::remove_file(sock).ok();
+    eprintln!("vpod: checkpointed and shut down");
+    Ok(())
+}
+
+/// Serves one connection: read a request frame, answer, close. All
+/// failure modes — short frames, CRC damage, unknown versions — become
+/// a clean error response (or a silent close when nothing arrived).
+fn handle(mut stream: UnixStream, d: &Daemon) {
+    let response = match read_frame(&mut stream) {
+        Ok(payload) => match Request::from_bytes(&payload) {
+            Ok(req) => respond(d, req),
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Err(FrameError::Closed) => return,
+        Err(e) => Response::Error { message: e.to_string() },
+    };
+    let _ = write_frame(&mut stream, &response.to_bytes());
+}
+
+fn respond(d: &Daemon, req: Request) -> Response {
+    let tm = telemetry::global();
+    tm.serve_requests.inc();
+    match req {
+        Request::Query { function, budget } => query(d, &function, budget),
+        Request::List => {
+            let records = d.records.lock().unwrap();
+            Response::List {
+                entries: d
+                    .tasks
+                    .iter()
+                    .zip(records.iter())
+                    .map(|(t, rec)| ListEntry {
+                        name: t.name.clone(),
+                        state: rec.as_ref().map(|r| MemoEntry::new(r).completeness()),
+                    })
+                    .collect(),
+            }
+        }
+        Request::Telemetry => Response::Telemetry { json: tm.snapshot().to_json() },
+        Request::Shutdown => {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn query(d: &Daemon, function: &str, budget: Option<u64>) -> Response {
+    let tm = telemetry::global();
+    let Some(i) = d.find_task(function) else {
+        let names: Vec<&str> = d.tasks.iter().map(|t| t.name.as_str()).collect();
+        return Response::Error {
+            message: format!("no function `{function}` (available: {})", names.join(", ")),
+        };
+    };
+
+    // Warm path: a terminal record answers immediately, bypassing
+    // admission — no enumeration worker is spawned.
+    {
+        let records = d.records.lock().unwrap();
+        if let Some(rec) = &records[i] {
+            if !MemoEntry::new(rec).is_resumable() {
+                tm.serve_warm_hits.inc();
+                return Response::Memo { record: Box::new(rec.clone()), served: Served::Warm };
+            }
+        }
+    }
+
+    // Cold path: claim an enumeration slot (or queue for one).
+    let mut queued = false;
+    loop {
+        if d.cancel.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst) {
+            if queued {
+                d.admission.lock().unwrap().queued -= 1;
+            }
+            return Response::ShuttingDown;
+        }
+        let mut adm = d.admission.lock().unwrap();
+        if adm.running.len() < d.max_active && !adm.running.contains(&i) {
+            if queued {
+                adm.queued -= 1;
+            }
+            adm.running.insert(i);
+            break;
+        }
+        if !queued {
+            if adm.queued >= d.max_queue {
+                tm.serve_rejected.inc();
+                return Response::Overloaded;
+            }
+            adm.queued += 1;
+            queued = true;
+        }
+        drop(adm);
+        std::thread::sleep(POLL);
+    }
+
+    let response = run_cold(d, i, budget);
+    d.admission.lock().unwrap().running.remove(&i);
+    response
+}
+
+/// Runs (or deepens) one function's enumeration under the request's
+/// budget, persists the outcome, and renders the memo response. The
+/// caller holds the admission slot for task `i`.
+fn run_cold(d: &Daemon, i: usize, budget: Option<u64>) -> Response {
+    let tm = telemetry::global();
+    // Re-check warmth under the slot: a queued duplicate may find the
+    // answer already terminal.
+    let prior = d.records.lock().unwrap()[i].clone();
+    if let Some(rec) = &prior {
+        if !MemoEntry::new(rec).is_resumable() {
+            tm.serve_warm_hits.inc();
+            return Response::Memo { record: Box::new(rec.clone()), served: Served::Warm };
+        }
+    }
+
+    tm.serve_cold_runs.inc();
+    let mut config = d.config.clone();
+    config.budget = Some(budget.unwrap_or(d.default_budget));
+    match campaign::explore_function(d.tasks[i].clone(), &d.target, &config, prior) {
+        Ok(outcome) => match outcome.record {
+            Some(record) => {
+                let mut records = d.records.lock().unwrap();
+                records[i] = Some(record.clone());
+                if let Err(e) = d.flush(&records) {
+                    return Response::Error { message: e };
+                }
+                drop(records);
+                Response::Memo {
+                    record: Box::new(record),
+                    served: Served::Cold { expanded: outcome.expanded },
+                }
+            }
+            // Cancelled before the first checkpoint with no prior state.
+            None => Response::ShuttingDown,
+        },
+        Err(e) => Response::Error { message: e.to_string() },
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end daemon acceptance, against the real binary: start `vpoc
+//! serve`, drive a cold function to completion with small per-request
+//! budgets, check the finished store is byte-identical to a direct
+//! uncapped `vpoc campaign`, SIGKILL the daemon, restart it on the same
+//! socket and store, and confirm warm answers survive the crash.
+
+#![cfg(unix)]
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BENCH: &str = "bitcount";
+const MAX_NODES: &str = "400";
+
+fn vpoc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vpoc"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vpoc_serve_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_daemon(store: &Path, socket: &Path) -> Child {
+    let child = vpoc()
+        .args([
+            "serve",
+            "--bench",
+            BENCH,
+            &format!("--store={}", store.display()),
+            &format!("--socket={}", socket.display()),
+            &format!("--max-nodes={MAX_NODES}"),
+            "--budget=20",
+            "--jobs=2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_for_socket(socket);
+    child
+}
+
+fn wait_for_socket(socket: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if UnixStream::connect(socket).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("daemon did not open {} within 30s", socket.display());
+}
+
+fn query(socket: &Path, extra: &[&str]) -> (bool, String) {
+    let out = vpoc()
+        .args(["query", &format!("--socket={}", socket.display())])
+        .args(extra)
+        .output()
+        .unwrap();
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    (out.status.success(), text)
+}
+
+/// Names of the served functions, via `query --list`.
+fn list_names(socket: &Path) -> Vec<String> {
+    let (ok, text) = query(socket, &["--list"]);
+    assert!(ok, "--list failed:\n{text}");
+    text.lines().filter_map(|l| l.split_whitespace().next()).map(str::to_owned).collect()
+}
+
+/// Re-queries every function until none reports a resumable frontier.
+fn deplete(socket: &Path, names: &[String]) {
+    for name in names {
+        for round in 0..200 {
+            let (ok, text) = query(socket, &[name]);
+            assert!(ok, "query {name} failed:\n{text}");
+            if !text.contains("suspended at level") {
+                break;
+            }
+            assert!(round < 199, "{name} never completed under repeated queries");
+        }
+    }
+}
+
+#[test]
+fn daemon_depletes_cold_queries_matches_campaign_and_survives_sigkill() {
+    let dir = tmp_dir("smoke");
+    let store = dir.join("daemon.store");
+    let socket = dir.join("vpod.sock");
+    let reference = dir.join("reference.store");
+    for p in [&store, &socket, &reference] {
+        std::fs::remove_file(p).ok();
+    }
+
+    // The ground truth: one uncapped campaign over the same tasks.
+    let out = vpoc()
+        .args([
+            "campaign",
+            "--bench",
+            BENCH,
+            &format!("--store={}", reference.display()),
+            &format!("--max-nodes={MAX_NODES}"),
+            "--jobs=2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "campaign failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let campaign_stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let want = std::fs::read(&reference).unwrap();
+
+    let mut daemon = spawn_daemon(&store, &socket);
+    let names = list_names(&socket);
+    assert!(!names.is_empty(), "daemon serves no functions");
+    assert!(names.iter().all(|n| n.starts_with("bitcount::")), "{names:?}");
+
+    // A cold query under a tiny budget answers best-so-far + frontier.
+    let (ok, first) = query(&socket, &[&names[0], "--budget=1"]);
+    assert!(ok, "{first}");
+    assert!(first.contains("cold:"), "first query must be cold:\n{first}");
+
+    // Strictly deepen everything to terminal records.
+    deplete(&socket, &names);
+    assert_eq!(
+        std::fs::read(&store).unwrap(),
+        want,
+        "depleted daemon store differs from the uncapped campaign's"
+    );
+
+    // Warm re-query: answered from the memo, and the Table-3 row is the
+    // same line the campaign report printed for that function.
+    let (ok, warm) = query(&socket, &[&names[0]]);
+    assert!(ok, "{warm}");
+    assert!(warm.contains("warm:"), "re-query must be warm:\n{warm}");
+    let row = warm
+        .lines()
+        .find(|l| l.starts_with(&names[0]))
+        .expect("warm answer renders the Table-3 row");
+    assert!(
+        campaign_stdout.contains(row.trim_end()),
+        "daemon row not in campaign report:\nrow: {row}\nreport:\n{campaign_stdout}"
+    );
+
+    // SIGKILL the daemon mid-service; the socket file is left behind.
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+    assert!(socket.exists(), "SIGKILL must leave the stale socket behind");
+
+    // Restart on the same socket and store: warm answers survive, no
+    // enumeration re-runs, and the store bytes are untouched.
+    let mut daemon = spawn_daemon(&store, &socket);
+    let (ok, revived) = query(&socket, &[&names[0]]);
+    assert!(ok, "{revived}");
+    assert!(revived.contains("warm:"), "restarted daemon must answer warm:\n{revived}");
+    assert_eq!(std::fs::read(&store).unwrap(), want, "restart must not disturb the store");
+
+    // Graceful shutdown via the protocol: exit code 0, socket removed.
+    let (ok, bye) = query(&socket, &["--shutdown"]);
+    assert!(ok, "{bye}");
+    assert!(bye.contains("shutting down"), "{bye}");
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon must exit 0 on shutdown, got {status:?}");
+    assert!(!socket.exists(), "graceful shutdown must remove the socket file");
+}
+
+#[test]
+fn daemon_exits_cleanly_on_sigterm() {
+    let dir = tmp_dir("sigterm");
+    let store = dir.join("daemon.store");
+    let socket = dir.join("vpod.sock");
+    for p in [&store, &socket] {
+        std::fs::remove_file(p).ok();
+    }
+
+    let mut daemon = spawn_daemon(&store, &socket);
+    let term = Command::new("kill").args(["-TERM", &daemon.id().to_string()]).status().unwrap();
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = daemon.try_wait().unwrap() {
+            assert!(status.success(), "SIGTERM must exit 0, got {status:?}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(!socket.exists(), "SIGTERM drain must remove the socket file");
+    assert!(store.exists(), "the store must be flushed at startup");
+}
+
+#[test]
+fn query_without_a_daemon_is_a_clean_error() {
+    let dir = tmp_dir("noserver");
+    let socket = dir.join("absent.sock");
+    std::fs::remove_file(&socket).ok();
+    let (ok, text) = query(&socket, &["bitcount::main"]);
+    assert!(!ok, "query against no daemon must fail");
+    assert!(text.contains("is `vpoc serve` running?"), "{text}");
+}

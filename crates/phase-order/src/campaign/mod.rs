@@ -20,6 +20,20 @@
 //!   holding exactly the completed subset; resuming with
 //!   [`CampaignConfig::resume`] skips those functions and converges on a
 //!   store **byte-identical** to an uninterrupted run's.
+//! * **Partial exploration.** Under a [`CampaignConfig::budget`] a
+//!   function's search is *suspended* at the level boundary where the
+//!   budget ran out: its record checkpoints the partial space and the
+//!   unexpanded frontier ([`store::FrontierState`]), and a later run
+//!   (or the next memo-service request — see [`explore_function`])
+//!   restores the search and keeps deepening it from exactly that
+//!   state. Because the level-order search only mutates its space at
+//!   level barriers, the restored state is precisely what an
+//!   uninterrupted run passes through: no persisted prefix is ever
+//!   re-expanded, and once the search finally completes its record —
+//!   and the store — is byte-identical to an uncapped run's.
+//!   [`CampaignConfig::cancel`] suspends every in-flight search the
+//!   same way, which is how the daemon turns SIGTERM into flushed
+//!   checkpoints.
 //! * **Observability.** Progress streams through the [`Observer`] trait
 //!   (function started / level completed / function done / store
 //!   flushed); the CLI renders it as a live progress line, and later
@@ -32,20 +46,21 @@ pub mod store;
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vpo_opt::{PhaseId, Target};
-use vpo_rtl::canon::Fingerprint;
+use vpo_rtl::canon::{self, Fingerprint};
 use vpo_rtl::{FuncFlags, Function, Program};
 
 use crate::enumerate::{
-    expand_parent, merge_parent, seed_root, AttemptRecord, Config, Enumeration, ExpandScratch,
-    FrontierEntry, SearchOutcome, SearchStats,
+    expand_parent, merge_parent, rematerialize, seed_root, AttemptRecord, Config, Enumeration,
+    ExpandScratch, FrontierEntry, ReplayMode, SearchOutcome, SearchStats,
 };
 use crate::semantic::{SemanticConfig, SemanticContext};
-use crate::space::SearchSpace;
-use store::{FunctionRecord, ResultStore, StoreError};
+use crate::space::{NodeId, SearchSpace};
+use store::{FrontierState, FunctionRecord, PersistedNode, ResultStore, StoreError};
 
 /// One unit of the campaign's task list: a function to explore, under a
 /// campaign-unique qualified name (e.g. `sha::sha_transform`) that also
@@ -81,6 +96,21 @@ pub struct CampaignConfig {
     /// battery options. `None` (the default) keeps the fingerprint tier.
     /// Every task must then carry its [`FunctionTask::program`].
     pub semantic: Option<SemanticConfig>,
+    /// Per-function expansion budget for this run: once a search has
+    /// merged this many parent expansions *in this session*, it is
+    /// suspended at the next level boundary with its frontier persisted
+    /// in its record, instead of running to completion. `None` (the
+    /// default) explores without suspending. The budget is checked at
+    /// level barriers, where merging is deterministic, so the suspended
+    /// record — and the eventual completed one — is identical for any
+    /// job count.
+    pub budget: Option<u64>,
+    /// Cooperative cancellation: when this flag flips to `true`, every
+    /// in-flight search is suspended at its last merged level (frontier
+    /// persisted, store flushed) and the campaign returns with
+    /// [`CampaignSummary::interrupted`] set. The daemon's SIGTERM
+    /// handler sets it; `None` never cancels.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Why a campaign could not run (store trouble or a malformed task
@@ -138,6 +168,9 @@ pub trait Observer: Sync {
     fn level_completed(&self, name: &str, level: u32, frontier: usize, nodes: usize) {}
     /// A function's space is fully explored (or truncated) and recorded.
     fn function_done(&self, index: usize, total: usize, record: &FunctionRecord) {}
+    /// A function's search was suspended at a level boundary with its
+    /// frontier persisted (budget exhausted or campaign cancelled).
+    fn function_suspended(&self, index: usize, total: usize, record: &FunctionRecord) {}
     /// The store was rewritten on disk with `completed` of `total`
     /// records.
     fn store_flushed(&self, completed: usize, total: usize) {}
@@ -151,14 +184,26 @@ impl Observer for NullObserver {}
 /// What a finished (or interrupted) campaign produced.
 #[derive(Clone, Debug)]
 pub struct CampaignSummary {
-    /// Records of all completed functions in task order — resumed ones
-    /// included, so this is exactly the store contents.
+    /// Records of all recorded functions in task order — resumed and
+    /// suspended ones included, so this is exactly the store contents.
     pub records: Vec<FunctionRecord>,
-    /// Functions skipped because the store already held their record.
+    /// Functions skipped because the store already held their terminal
+    /// (complete or permanently truncated) record.
     pub resumed: usize,
-    /// Functions freshly explored by this run.
+    /// Functions this run carried to a terminal record.
     pub explored: usize,
-    /// Whether [`CampaignConfig::stop_after`] cut the run short.
+    /// Functions suspended at a persisted frontier by the budget or a
+    /// cancellation.
+    pub suspended: usize,
+    /// Functions restored from a persisted frontier and deepened.
+    pub deepened: usize,
+    /// Parent expansions merged by this run, across all functions — the
+    /// node counter that proves resumed runs never re-expand a stored
+    /// prefix (each distinct instance is expanded exactly once over a
+    /// function's lifetime, however many sessions that spans).
+    pub expanded: u64,
+    /// Whether [`CampaignConfig::stop_after`] or
+    /// [`CampaignConfig::cancel`] cut the run short.
     pub interrupted: bool,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
@@ -189,6 +234,10 @@ struct Search<'p> {
     claimed: usize,
     /// Slots deposited back.
     filled: usize,
+    /// Parent expansions merged *this session* — the quantity
+    /// [`CampaignConfig::budget`] caps. Restored searches start from
+    /// zero again: the budget is per request, not per lifetime.
+    session_expanded: u64,
 }
 
 /// A claimed parent expansion, self-contained so the worker needs no
@@ -205,10 +254,22 @@ struct Job {
 struct DriverState<'p> {
     next_pending: usize,
     active: Vec<Search<'p>>,
+    /// One slot per task; a `Some` holds either a terminal record or a
+    /// suspended checkpoint awaiting restoration.
     completed: Vec<Option<FunctionRecord>>,
     fresh: usize,
+    suspended: usize,
+    deepened: usize,
+    expanded: u64,
     halt: bool,
     failure: Option<CampaignError>,
+}
+
+/// Whether a record is a suspended checkpoint a later run can deepen
+/// (as opposed to a terminal record: complete, or permanently truncated
+/// by a bound).
+fn is_resumable(rec: &FunctionRecord) -> bool {
+    !rec.complete && rec.frontier.is_some()
 }
 
 struct Ctx<'a> {
@@ -221,6 +282,12 @@ struct Ctx<'a> {
     observer: &'a dyn Observer,
     state: Mutex<DriverState<'a>>,
     cv: Condvar,
+}
+
+impl Ctx<'_> {
+    fn cancelled(&self) -> bool {
+        self.config.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed))
+    }
 }
 
 /// Runs a campaign over `tasks`, checkpointing to `store_path` (no
@@ -258,15 +325,78 @@ pub fn run(
             for rec in prior.records {
                 match tasks.iter().position(|t| t.name == rec.name) {
                     Some(i) => {
+                        // A suspended checkpoint is not a finished
+                        // function: it stays in `completed` as the
+                        // restore source, but the task will be
+                        // activated (and deepened) again.
+                        if !is_resumable(&rec) {
+                            resumed += 1;
+                        }
                         completed[i] = Some(rec);
-                        resumed += 1;
                     }
                     None => return Err(CampaignError::UnknownRecord(rec.name)),
                 }
             }
         }
     }
+    drive(tasks, target, store_path, config, observer, completed, resumed, start)
+}
 
+/// What one memo-service request produced: the function's record after
+/// this request's work, plus how much expansion the request paid for.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// The record — terminal, or suspended with a fresh frontier
+    /// checkpoint. `None` only when the request was cancelled before
+    /// its search produced a single checkpoint (and no prior existed).
+    pub record: Option<FunctionRecord>,
+    /// Parent expansions merged by this request; `0` for a warm answer.
+    pub expanded: u64,
+}
+
+/// Serves one function — the daemon's per-query entry point.
+///
+/// A *warm* query (the prior record is terminal) returns it immediately
+/// without spawning any enumeration worker. A *cold* or *partial* query
+/// runs the campaign driver on just this task — restoring the persisted
+/// frontier if the prior record carries one — under
+/// [`CampaignConfig::budget`], and returns the resulting record:
+/// complete if the budget sufficed, suspended with a new frontier
+/// checkpoint otherwise. The caller owns persistence (the daemon flushes
+/// its whole store, in task order, after every request that ran).
+pub fn explore_function(
+    task: FunctionTask,
+    target: &Target,
+    config: &CampaignConfig,
+    prior: Option<FunctionRecord>,
+) -> Result<RequestOutcome, CampaignError> {
+    if let Some(rec) = &prior {
+        if rec.name != task.name {
+            return Err(CampaignError::UnknownRecord(rec.name.clone()));
+        }
+        if !is_resumable(rec) {
+            return Ok(RequestOutcome { record: prior, expanded: 0 });
+        }
+    }
+    let start = Instant::now();
+    let summary = drive(vec![task], target, None, config, &NullObserver, vec![prior], 0, start)?;
+    Ok(RequestOutcome { record: summary.records.into_iter().next(), expanded: summary.expanded })
+}
+
+/// The scheduler core shared by [`run`] and [`explore_function`]:
+/// drives `tasks` on the worker pool, with `completed` pre-seeded from
+/// whatever prior records the caller resumed.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    tasks: Vec<FunctionTask>,
+    target: &Target,
+    store_path: Option<&Path>,
+    config: &CampaignConfig,
+    observer: &dyn Observer,
+    completed: Vec<Option<FunctionRecord>>,
+    resumed: usize,
+    start: Instant,
+) -> Result<CampaignSummary, CampaignError> {
     let mut names = Vec::with_capacity(tasks.len());
     let mut funcs = Vec::with_capacity(tasks.len());
     let mut programs = Vec::with_capacity(tasks.len());
@@ -288,6 +418,9 @@ pub fn run(
             active: Vec::new(),
             completed,
             fresh: 0,
+            suspended: 0,
+            deepened: 0,
+            expanded: 0,
             halt: false,
             failure: None,
         }),
@@ -313,6 +446,9 @@ pub fn run(
         records: st.completed.into_iter().flatten().collect(),
         resumed,
         explored: st.fresh,
+        suspended: st.suspended,
+        deepened: st.deepened,
+        expanded: st.expanded,
         interrupted: st.halt,
         elapsed: start.elapsed(),
     })
@@ -334,10 +470,20 @@ fn worker(ctx: &Ctx<'_>) {
                 if st.halt || st.failure.is_some() {
                     return;
                 }
+                if ctx.cancelled() {
+                    suspend_all(ctx, &mut st);
+                    st.halt = true;
+                    ctx.cv.notify_all();
+                    return;
+                }
                 if let Some(job) = claim(ctx, &mut st) {
                     break job;
                 }
-                while st.next_pending < ctx.names.len() && st.completed[st.next_pending].is_some() {
+                // Skip tasks the store already answers; a suspended
+                // checkpoint is *not* an answer — it gets restored.
+                while st.next_pending < ctx.names.len()
+                    && st.completed[st.next_pending].as_ref().is_some_and(|r| !is_resumable(r))
+                {
                     st.next_pending += 1;
                 }
                 if st.next_pending < ctx.names.len() {
@@ -406,10 +552,27 @@ fn claim(ctx: &Ctx<'_>, st: &mut DriverState<'_>) -> Option<Job> {
     None
 }
 
-/// Seeds the next pending function and puts it in flight.
+/// Puts the next pending function in flight: seeds a fresh search, or —
+/// when its record holds a suspended checkpoint — restores the search
+/// from the persisted frontier and deepens it.
 fn activate<'a>(ctx: &Ctx<'a>, st: &mut DriverState<'a>) {
     let task = st.next_pending;
     st.next_pending += 1;
+    let search = match st.completed[task].as_ref().filter(|r| is_resumable(r)) {
+        Some(rec) => {
+            st.deepened += 1;
+            crate::telemetry::global().campaign_functions_deepened.inc();
+            restore_search(ctx, task, rec)
+        }
+        None => fresh_search(ctx, task),
+    };
+    st.active.push(search);
+    crate::telemetry::global().campaign_functions_started.inc();
+    ctx.observer.function_started(task, ctx.names.len(), &ctx.names[task]);
+}
+
+/// Seeds a search at the unoptimized root.
+fn fresh_search<'a>(ctx: &Ctx<'a>, task: usize) -> Search<'a> {
     let root = Arc::clone(&ctx.funcs[task]);
     let mut space = SearchSpace::new();
     let mut paranoid_bytes = HashMap::new();
@@ -424,7 +587,7 @@ fn activate<'a>(ctx: &Ctx<'a>, st: &mut DriverState<'a>) {
         sem
     });
     let frontier = vec![FrontierEntry { id: root_id, func: Arc::clone(&root), seq: Vec::new() }];
-    st.active.push(Search {
+    Search {
         task,
         root,
         space,
@@ -437,9 +600,93 @@ fn activate<'a>(ctx: &Ctx<'a>, st: &mut DriverState<'a>) {
         frontier,
         claimed: 0,
         filled: 0,
+        session_expanded: 0,
+    }
+}
+
+/// Rebuilds a suspended search from its checkpoint so expansion
+/// continues exactly where it left off.
+///
+/// The checkpoint persists only the space topology; everything derived
+/// from function *bodies* is regrown by replaying discovery sequences
+/// from the unoptimized root ([`rematerialize`]): the frontier
+/// instances themselves, the canonical byte table in paranoid mode, and
+/// — under the semantic tier — the signature classes, re-registered for
+/// every founder in id order (discovery order), reproducing the exact
+/// class table the original run had at this barrier. Search counters
+/// resume from the record's persisted values, so the completed record's
+/// statistics equal an uncapped run's.
+fn restore_search<'a>(ctx: &Ctx<'a>, task: usize, rec: &FunctionRecord) -> Search<'a> {
+    let fs = rec.frontier.as_ref().expect("restoring a search without a checkpoint");
+    let config = &ctx.config.enumerate;
+    let root = Arc::clone(&ctx.funcs[task]);
+    let mut space = SearchSpace::new();
+    for pn in &fs.nodes {
+        space.insert(pn.to_node());
+    }
+    let remat = |id: NodeId| -> Function {
+        // The root rematerializes trivially (empty discovery sequence),
+        // but cloning it directly skips the replay walk.
+        rematerialize(&root, ctx.target, &space, id)
+    };
+    let mut paranoid_bytes = HashMap::new();
+    if config.paranoid {
+        for (id, node) in space.iter() {
+            paranoid_bytes.insert((node.fp, node.flags), canon::canonical_bytes(&remat(id)));
+        }
+    }
+    let sem = ctx.config.semantic.as_ref().map(|sc| {
+        let program = ctx.programs[task]
+            .as_deref()
+            .expect("semantic campaign tasks must carry their program");
+        let mut sem = SemanticContext::new(program, &root, sc, config.paranoid);
+        for (id, _) in space.iter() {
+            if space.sem_rep(id) != id {
+                continue;
+            }
+            let func = if id == space.root() { Arc::clone(&root) } else { Arc::new(remat(id)) };
+            let sig = sem.signature(&func);
+            sem.register(sig, id, &func);
+        }
+        sem
     });
-    crate::telemetry::global().campaign_functions_started.inc();
-    ctx.observer.function_started(task, ctx.names.len(), &ctx.names[task]);
+    let naive = config.replay == ReplayMode::NaiveReplay;
+    let frontier: Vec<FrontierEntry> = fs
+        .frontier
+        .iter()
+        .map(|&id| {
+            let id = NodeId(id);
+            let func = if id == space.root() { Arc::clone(&root) } else { Arc::new(remat(id)) };
+            let seq = if naive { space.discovery_sequence(id) } else { Vec::new() };
+            FrontierEntry { id, func, seq }
+        })
+        .collect();
+    let stats = SearchStats {
+        attempted_phases: rec.attempted_phases,
+        active_attempts: rec.active_attempts,
+        phases_applied: rec.phases_applied,
+        // Wall time is not persisted (it never reaches store bytes).
+        elapsed: Duration::ZERO,
+        collisions: rec.collisions,
+        sem_merges: rec.sem_merges,
+        sem_collisions: rec.sem_collisions,
+        sem_escalations: rec.sem_escalations,
+    };
+    Search {
+        task,
+        root,
+        space,
+        stats,
+        paranoid_bytes,
+        sem,
+        start: Instant::now(),
+        level: fs.level,
+        slots: frontier.iter().map(|_| None).collect(),
+        frontier,
+        claimed: 0,
+        filled: 0,
+        session_expanded: 0,
+    }
 }
 
 /// Parks one parent's attempt records; when the level's last expansion
@@ -478,6 +725,8 @@ fn deposit(
     let config = &ctx.config.enumerate;
     s.level += 1;
     tm.peak_frontier.set_max(s.frontier.len() as u64);
+    let merged = s.frontier.len() as u64;
+    s.session_expanded += merged;
     let frontier = std::mem::take(&mut s.frontier);
     let slots = std::mem::take(&mut s.slots);
     let mut next = Vec::new();
@@ -505,14 +754,25 @@ fn deposit(
     }
     tm.levels.inc();
     ctx.observer.level_completed(&ctx.names[task], s.level, next.len(), s.space.len());
+    let over_budget = ctx.config.budget.is_some_and(|b| s.session_expanded >= b);
 
     if !truncated && !next.is_empty() {
-        s.slots = next.iter().map(|_| None).collect();
-        s.frontier = next;
-        s.claimed = 0;
-        s.filled = 0;
+        if over_budget {
+            // Budget exhausted with work left: checkpoint the frontier
+            // the next session will expand.
+            let ids = next.iter().map(|e| e.id.0).collect();
+            st.expanded += merged;
+            suspend(ctx, st, pos, ids);
+        } else {
+            s.slots = next.iter().map(|_| None).collect();
+            s.frontier = next;
+            s.claimed = 0;
+            s.filled = 0;
+            st.expanded += merged;
+        }
         return;
     }
+    st.expanded += merged;
 
     // Function complete (or truncated): build its record and checkpoint.
     let mut s = st.active.remove(pos);
@@ -528,24 +788,8 @@ fn deposit(
     let record = FunctionRecord::from_enumeration(ctx.names[task].clone(), &s.root, &e);
     st.completed[task] = Some(record.clone());
     st.fresh += 1;
-    if let Some(path) = ctx.store_path {
-        let snapshot = ResultStore {
-            config: store::ConfigEcho::of(config, ctx.config.semantic.as_ref()),
-            records: st.completed.iter().flatten().cloned().collect(),
-        };
-        let flush_start = std::time::Instant::now();
-        match snapshot.save(path) {
-            Ok(()) => {
-                tm.store_flush_wall_ns.observe(flush_start.elapsed());
-                tm.store_flushes.inc();
-                tm.store_bytes.set(std::fs::metadata(path).map(|m| m.len()).unwrap_or(0));
-                ctx.observer.store_flushed(snapshot.records.len(), ctx.names.len())
-            }
-            Err(err) => {
-                st.failure = Some(CampaignError::Store(err));
-                return;
-            }
-        }
+    if !flush_store(ctx, st) {
+        return;
     }
     ctx.observer.function_done(task, ctx.names.len(), &record);
     if ctx.config.stop_after == Some(st.fresh) {
@@ -553,8 +797,82 @@ fn deposit(
     }
 }
 
+/// Suspends the in-flight search at `pos` in `st.active`: its partial
+/// space and the given frontier ids become a [`FrontierState`]
+/// checkpoint inside an incomplete record, flushed like any other
+/// checkpoint. Used at a budget barrier (with the *next* level's
+/// frontier) and on cancellation (with the current, unmerged frontier —
+/// in-flight expansions are discarded, which is sound because the space
+/// only mutates at barriers).
+fn suspend(ctx: &Ctx<'_>, st: &mut DriverState<'_>, pos: usize, frontier_ids: Vec<u32>) {
+    let mut s = st.active.remove(pos);
+    let task = s.task;
+    s.stats.elapsed = s.start.elapsed();
+    let fs = FrontierState {
+        level: s.level,
+        nodes: s.space.iter().map(|(_, n)| PersistedNode::of(n)).collect(),
+        frontier: frontier_ids,
+    };
+    // Weights stay uncomputed: they are only defined on a finished
+    // space, and the record's statistics don't read them.
+    let e = Enumeration {
+        space: s.space,
+        outcome: SearchOutcome::TooBig { level: s.level },
+        stats: s.stats,
+    };
+    let mut record = FunctionRecord::from_enumeration(ctx.names[task].clone(), &s.root, &e);
+    record.frontier = Some(fs);
+    st.completed[task] = Some(record.clone());
+    st.suspended += 1;
+    crate::telemetry::global().campaign_functions_suspended.inc();
+    if !flush_store(ctx, st) {
+        return;
+    }
+    ctx.observer.function_suspended(task, ctx.names.len(), &record);
+}
+
+/// Suspends every in-flight search (cancellation path). Each search is
+/// checkpointed at its last merged level; claimed-but-unmerged
+/// expansions are dropped.
+fn suspend_all(ctx: &Ctx<'_>, st: &mut DriverState<'_>) {
+    while let Some(s) = st.active.first() {
+        let ids = s.frontier.iter().map(|e| e.id.0).collect();
+        suspend(ctx, st, 0, ids);
+        if st.failure.is_some() {
+            return;
+        }
+    }
+}
+
+/// Rewrites the store with the current record set (no-op without a
+/// store path). Returns `false` — with `st.failure` set — if the write
+/// failed.
+fn flush_store(ctx: &Ctx<'_>, st: &mut DriverState<'_>) -> bool {
+    let Some(path) = ctx.store_path else { return true };
+    let tm = crate::telemetry::global();
+    let snapshot = ResultStore {
+        config: store::ConfigEcho::of(&ctx.config.enumerate, ctx.config.semantic.as_ref()),
+        records: st.completed.iter().flatten().cloned().collect(),
+    };
+    let flush_start = Instant::now();
+    match snapshot.save(path) {
+        Ok(()) => {
+            tm.store_flush_wall_ns.observe(flush_start.elapsed());
+            tm.store_flushes.inc();
+            tm.store_bytes.set(std::fs::metadata(path).map(|m| m.len()).unwrap_or(0));
+            ctx.observer.store_flushed(snapshot.records.len(), ctx.names.len());
+            true
+        }
+        Err(err) => {
+            st.failure = Some(CampaignError::Store(err));
+            false
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::store::MemoEntry;
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -761,6 +1079,156 @@ mod tests {
             Err(CampaignError::UnknownRecord(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_capped_sessions_converge_on_uncapped_bytes() {
+        let target = Target::default();
+        let uncapped = tmp_store("uncapped");
+        std::fs::remove_file(&uncapped).ok();
+        let full = run(
+            three_functions(),
+            &target,
+            Some(&uncapped),
+            &CampaignConfig::default(),
+            &NullObserver,
+        )
+        .unwrap();
+        let want = std::fs::read(&uncapped).unwrap();
+        let total_nodes: u64 = full.records.iter().map(|r| r.fn_instances).sum();
+        assert_eq!(full.expanded, total_nodes, "each instance is expanded exactly once");
+
+        let path = tmp_store("budget");
+        std::fs::remove_file(&path).ok();
+        let mut expanded = 0u64;
+        let mut sessions = 0usize;
+        let mut deepened = 0usize;
+        loop {
+            let config = CampaignConfig {
+                budget: Some(1),
+                resume: path.exists(),
+                ..CampaignConfig::default()
+            };
+            let s = run(three_functions(), &target, Some(&path), &config, &NullObserver).unwrap();
+            expanded += s.expanded;
+            deepened += s.deepened;
+            sessions += 1;
+            assert!(sessions < 200, "budgeted sessions must converge");
+            if s.records.iter().all(|r| !MemoEntry::new(r).is_resumable()) {
+                break;
+            }
+            assert!(s.suspended > 0, "an unfinished budgeted session suspends something");
+        }
+        assert!(sessions > 1, "budget 1 cannot finish these spaces in one session");
+        assert!(deepened > 0, "later sessions restore persisted frontiers");
+        assert_eq!(expanded, total_nodes, "budgeted sessions must never re-expand a stored prefix");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            want,
+            "finished budgeted store differs from the uncapped store"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&uncapped).ok();
+    }
+
+    #[test]
+    fn cancellation_suspends_and_resume_converges() {
+        struct CancelAfterLevels(Arc<AtomicBool>, AtomicUsize);
+        impl Observer for CancelAfterLevels {
+            fn level_completed(&self, _n: &str, _l: u32, _f: usize, _s: usize) {
+                if self.1.fetch_add(1, Ordering::Relaxed) + 1 >= 2 {
+                    self.0.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let target = Target::default();
+        let uncapped = tmp_store("cancel_full");
+        std::fs::remove_file(&uncapped).ok();
+        run(three_functions(), &target, Some(&uncapped), &CampaignConfig::default(), &NullObserver)
+            .unwrap();
+        let want = std::fs::read(&uncapped).unwrap();
+
+        let path = tmp_store("cancel");
+        std::fs::remove_file(&path).ok();
+        let flag = Arc::new(AtomicBool::new(false));
+        let obs = CancelAfterLevels(Arc::clone(&flag), AtomicUsize::new(0));
+        let config =
+            CampaignConfig { cancel: Some(Arc::clone(&flag)), ..CampaignConfig::default() };
+        let s = run(three_functions(), &target, Some(&path), &config, &obs).unwrap();
+        assert!(s.interrupted, "cancellation must interrupt the campaign");
+        assert!(s.suspended > 0, "the in-flight search is checkpointed");
+
+        let resume = CampaignConfig { resume: true, ..CampaignConfig::default() };
+        let s = run(three_functions(), &target, Some(&path), &resume, &NullObserver).unwrap();
+        assert!(!s.interrupted);
+        assert!(s.deepened > 0, "the cancelled search resumes from its frontier");
+        assert_eq!(std::fs::read(&path).unwrap(), want);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&uncapped).ok();
+    }
+
+    #[test]
+    fn explore_function_serves_cold_partial_and_warm() {
+        let target = Target::default();
+        let tasks = three_functions();
+        let task = tasks[1].clone(); // `tri` has the deepest space here
+        let direct = crate::enumerate(&task.func, &target, &Config::default());
+        let want = FunctionRecord::from_enumeration(task.name.clone(), &task.func, &direct);
+
+        // Cold query under a tiny budget: best-so-far plus a frontier.
+        let config = CampaignConfig { budget: Some(1), ..CampaignConfig::default() };
+        let out = explore_function(task.clone(), &target, &config, None).unwrap();
+        let first = out.record.clone().unwrap();
+        assert!(out.expanded > 0);
+        assert!(MemoEntry::new(&first).is_resumable(), "budget 1 cannot finish this space");
+        assert!(first.fn_instances < want.fn_instances);
+
+        // Repeated queries strictly deepen until the record completes.
+        let mut rec = first;
+        let mut total = out.expanded;
+        let mut rounds = 0;
+        while MemoEntry::new(&rec).is_resumable() {
+            let out = explore_function(task.clone(), &target, &config, Some(rec)).unwrap();
+            assert!(out.expanded > 0, "a partial query must make progress");
+            rec = out.record.unwrap();
+            total += out.expanded;
+            rounds += 1;
+            assert!(rounds < 100, "partial queries must converge");
+        }
+        assert_eq!(rec, want, "converged record must equal direct enumeration");
+        assert_eq!(total, want.fn_instances, "no prefix may be re-expanded across queries");
+
+        // Warm query: answered from the memo, no expansion at all.
+        let out = explore_function(task.clone(), &target, &config, Some(rec.clone())).unwrap();
+        assert_eq!(out.expanded, 0);
+        assert_eq!(out.record.unwrap(), rec);
+
+        // A prior under the wrong name is rejected.
+        let mut wrong = rec;
+        wrong.name = "other::fn".into();
+        assert!(matches!(
+            explore_function(task, &target, &config, Some(wrong)),
+            Err(CampaignError::UnknownRecord(_))
+        ));
+    }
+
+    #[test]
+    fn suspended_records_flow_through_the_observer() {
+        struct Suspends(AtomicUsize);
+        impl Observer for Suspends {
+            fn function_suspended(&self, _i: usize, _t: usize, r: &FunctionRecord) {
+                assert!(r.frontier.is_some());
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let obs = Suspends(AtomicUsize::new(0));
+        let target = Target::default();
+        let config = CampaignConfig { budget: Some(1), ..CampaignConfig::default() };
+        let s = run(three_functions(), &target, None, &config, &obs).unwrap();
+        assert_eq!(s.suspended, obs.0.load(Ordering::Relaxed));
+        assert!(s.suspended > 0);
+        // Without a store, the summary still carries the checkpoints.
+        assert!(s.records.iter().any(|r| MemoEntry::new(r).is_resumable()));
     }
 
     #[test]

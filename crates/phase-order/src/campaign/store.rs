@@ -1,54 +1,66 @@
 //! The on-disk campaign result store.
 //!
-//! A store is a single binary file holding one record per fully explored
+//! A store is a single binary file holding one record per explored
 //! function. The format is in-tree (no serde) and versioned:
 //!
 //! ```text
 //! header:  magic "VPOC" | version u32 | config echo | record count u32
 //! record:  payload length u32 | payload | CRC-32(payload) u32
 //! payload: name | outcome | Table-3 statistics | search counters |
-//!          per-phase activity counts | optimal (code-size) sequence
+//!          per-phase activity counts | optimal (code-size) sequence |
+//!          optional frontier checkpoint (v3)
 //! ```
 //!
-//! All integers are little-endian. The *config echo* freezes every
-//! [`Config`] field that influences results (`max_nodes`,
-//! `max_level_width`, replay mode, the Figure 2 shortcut, paranoid
-//! mode — but not `jobs`, which never changes results): a resumed
-//! campaign refuses a store written under different bounds, because its
-//! records would not be byte-identical to an uninterrupted run under the
-//! new bounds.
+//! All integers are little-endian ([`crate::wire`] holds the shared
+//! helpers). The *config echo* freezes every [`Config`] field that
+//! influences results (`max_nodes`, `max_level_width`, replay mode, the
+//! Figure 2 shortcut, paranoid mode — but not `jobs`, which never
+//! changes results): a resumed campaign refuses a store written under
+//! different bounds, because its records would not be byte-identical to
+//! an uninterrupted run under the new bounds.
 //!
 //! Writers never append: [`ResultStore::save`] rewrites the whole file
 //! through a temporary sibling and an atomic rename, with records in
 //! campaign task order. A campaign checkpoints after every completed
-//! function, so the file on disk is always a valid store whose record
-//! set is exactly the completed subset — interrupting a campaign at any
-//! point (including `SIGKILL`) and resuming it therefore converges on a
-//! store byte-identical to an uninterrupted run's.
+//! (or suspended) function, so the file on disk is always a valid store
+//! whose record set is exactly the checkpointed subset — interrupting a
+//! campaign at any point (including `SIGKILL`) and resuming it
+//! therefore converges on a store byte-identical to an uninterrupted
+//! run's.
 
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
 
 use vpo_opt::PhaseId;
+use vpo_rtl::canon::Fingerprint;
 use vpo_rtl::crc;
-use vpo_rtl::Function;
+use vpo_rtl::{FuncFlags, Function};
 
 use crate::enumerate::{Config, Enumeration, ReplayMode};
 use crate::semantic::SemanticConfig;
+use crate::space::{Node, NodeId};
 use crate::stats::FunctionRow;
+use crate::wire::{self, Reader, WireError};
 
 /// File magic: the first four bytes of every store.
 pub const MAGIC: [u8; 4] = *b"VPOC";
 
-/// Current format version. Version 2 added the semantic merge tier:
-/// the config echo grew the tier flag and its battery parameters, and
-/// records grew the `sem_merges` / `sem_collisions` / `sem_escalations`
-/// counters. Version-1 stores still load ([`ResultStore::from_bytes`]
-/// reads both) — the new fields default to the fingerprint tier's
-/// values (off / zero), which is exactly what every v1 store was
-/// produced under.
-pub const VERSION: u32 = 2;
+/// Current format version.
+///
+/// * Version 2 added the semantic merge tier: the config echo grew the
+///   tier flag and its battery parameters, and records grew the
+///   `sem_merges` / `sem_collisions` / `sem_escalations` counters.
+/// * Version 3 added *frontier persistence* for partial exploration: a
+///   record may end with a checkpoint of an incomplete enumeration's
+///   level frontier ([`FrontierState`]), from which a later run resumes
+///   expansion exactly where it stopped.
+///
+/// Older stores still load ([`ResultStore::from_bytes`] reads
+/// `1..=VERSION`) — missing fields default to the values every older
+/// store was in fact produced under (semantic tier off, counters zero,
+/// no frontier).
+pub const VERSION: u32 = 3;
 
 /// Why a store could not be read or written.
 #[derive(Debug)]
@@ -60,6 +72,22 @@ pub enum StoreError {
     /// The store was written under different enumeration bounds than the
     /// campaign now runs with.
     ConfigMismatch(String),
+}
+
+impl StoreError {
+    /// Attaches the filesystem operation and offending path, so the
+    /// error a CLI user finally sees names the file that failed.
+    fn context(self, op: &str, path: &Path) -> StoreError {
+        let at = format!("{op} {}", path.display());
+        match self {
+            StoreError::Io(e) => {
+                let kind = e.kind();
+                StoreError::Io(std::io::Error::new(kind, format!("{at}: {e}")))
+            }
+            StoreError::Corrupt(msg) => StoreError::Corrupt(format!("{at}: {msg}")),
+            StoreError::ConfigMismatch(msg) => StoreError::ConfigMismatch(format!("{at}: {msg}")),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -77,6 +105,12 @@ impl std::error::Error for StoreError {}
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        StoreError::Corrupt(e.to_string())
     }
 }
 
@@ -125,20 +159,219 @@ impl ConfigEcho {
     }
 }
 
-/// One fully explored function: everything `vpoc campaign` needs to
-/// render its Table-3 row again without re-enumerating, plus the raw
-/// per-phase activity counts and the code-size-optimal sequence.
+/// One node of a checkpointed partial search space.
+///
+/// This is [`Node`] minus its `weight`: weights are only computed once
+/// an enumeration completes, so mid-search every weight is zero and
+/// persisting it would be noise. Re-inserting persisted nodes in id
+/// order rebuilds the space bit-identically (ids are assigned
+/// sequentially by [`crate::space::SearchSpace::insert`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PersistedNode {
+    /// Canonical fingerprint of the instance.
+    pub fp: Fingerprint,
+    /// Phase-legality milestone flags.
+    pub flags: FuncFlags,
+    /// Discovery level.
+    pub level: u32,
+    /// Static instruction count.
+    pub inst_count: u32,
+    /// Control-flow shape signature.
+    pub cf_sig: u64,
+    /// Active-phase mask.
+    pub active_mask: u16,
+    /// Fingerprint edges `(phase, child id)`.
+    pub children: Vec<(PhaseId, u32)>,
+    /// Semantic-merge edges `(phase, representative id)`.
+    pub sem_children: Vec<(PhaseId, u32)>,
+    /// Discovery edge `(parent id, phase)`; `None` for the root.
+    pub discovered_from: Option<(u32, PhaseId)>,
+}
+
+impl PersistedNode {
+    /// Projects a live node for persistence.
+    pub fn of(node: &Node) -> PersistedNode {
+        PersistedNode {
+            fp: node.fp,
+            flags: node.flags,
+            level: node.level,
+            inst_count: node.inst_count,
+            cf_sig: node.cf_sig,
+            active_mask: node.active_mask,
+            children: node.children.iter().map(|&(p, c)| (p, c.0)).collect(),
+            sem_children: node.sem_children.iter().map(|&(p, c)| (p, c.0)).collect(),
+            discovered_from: node.discovered_from.map(|(p, ph)| (p.0, ph)),
+        }
+    }
+
+    /// Rebuilds the live node (weight zero, as mid-search).
+    pub fn to_node(&self) -> Node {
+        Node {
+            fp: self.fp,
+            flags: self.flags,
+            level: self.level,
+            inst_count: self.inst_count,
+            cf_sig: self.cf_sig,
+            active_mask: self.active_mask,
+            children: self.children.iter().map(|&(p, c)| (p, NodeId(c))).collect(),
+            sem_children: self.sem_children.iter().map(|&(p, c)| (p, NodeId(c))).collect(),
+            discovered_from: self.discovered_from.map(|(p, ph)| (NodeId(p), ph)),
+            weight: 0,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u32(out, self.fp.inst_count);
+        wire::put_u64(out, self.fp.byte_sum);
+        wire::put_u32(out, self.fp.crc);
+        out.push(self.flags.regs_assigned as u8 | (self.flags.reg_allocated as u8) << 1);
+        wire::put_u32(out, self.level);
+        wire::put_u32(out, self.inst_count);
+        wire::put_u64(out, self.cf_sig);
+        wire::put_u16(out, self.active_mask);
+        for edges in [&self.children, &self.sem_children] {
+            out.push(edges.len() as u8);
+            for &(p, c) in edges {
+                out.push(p.index() as u8);
+                wire::put_u32(out, c);
+            }
+        }
+        match self.discovered_from {
+            Some((parent, phase)) => {
+                out.push(1);
+                wire::put_u32(out, parent);
+                out.push(phase.index() as u8);
+            }
+            None => out.push(0),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<PersistedNode, StoreError> {
+        fn phase(b: u8) -> Result<PhaseId, StoreError> {
+            if (b as usize) < PhaseId::COUNT {
+                Ok(PhaseId::from_index(b as usize))
+            } else {
+                Err(StoreError::Corrupt(format!("phase index {b} out of range")))
+            }
+        }
+        let fp = Fingerprint { inst_count: r.u32()?, byte_sum: r.u64()?, crc: r.u32()? };
+        let flag_bits = r.u8()?;
+        if flag_bits > 3 {
+            return Err(StoreError::Corrupt(format!("invalid flag bits {flag_bits:#04x}")));
+        }
+        let flags =
+            FuncFlags { regs_assigned: flag_bits & 1 != 0, reg_allocated: flag_bits & 2 != 0 };
+        let level = r.u32()?;
+        let inst_count = r.u32()?;
+        let cf_sig = r.u64()?;
+        let active_mask = r.u16()?;
+        let mut edge_lists = [Vec::new(), Vec::new()];
+        for edges in &mut edge_lists {
+            let n = r.u8()? as usize;
+            for _ in 0..n {
+                let p = phase(r.u8()?)?;
+                edges.push((p, r.u32()?));
+            }
+        }
+        let [children, sem_children] = edge_lists;
+        let discovered_from = match r.bool()? {
+            true => {
+                let parent = r.u32()?;
+                Some((parent, phase(r.u8()?)?))
+            }
+            false => None,
+        };
+        Ok(PersistedNode {
+            fp,
+            flags,
+            level,
+            inst_count,
+            cf_sig,
+            active_mask,
+            children,
+            sem_children,
+            discovered_from,
+        })
+    }
+}
+
+/// Checkpoint of an incomplete enumeration, taken at a level boundary.
+///
+/// The deterministic level-order search only merges new instances at
+/// level barriers, so a space snapshotted *between* barriers, together
+/// with the ids of the instances awaiting expansion, is exactly the
+/// state an uninterrupted run would pass through. Resuming from a
+/// frontier therefore re-expands nothing and converges on a record
+/// byte-identical to an uncapped run's. Function bodies are not
+/// persisted: each frontier instance is rematerialized by replaying its
+/// discovery sequence from the root.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FrontierState {
+    /// Levels fully merged so far; the frontier instances sit at this
+    /// level and their expansions will merge at `level + 1`.
+    pub level: u32,
+    /// Every node of the partial space, in id order.
+    pub nodes: Vec<PersistedNode>,
+    /// Ids of the instances awaiting expansion.
+    pub frontier: Vec<u32>,
+}
+
+impl FrontierState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u32(out, self.level);
+        wire::put_u32(out, self.nodes.len() as u32);
+        for n in &self.nodes {
+            n.encode(out);
+        }
+        wire::put_u32(out, self.frontier.len() as u32);
+        for &id in &self.frontier {
+            wire::put_u32(out, id);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<FrontierState, StoreError> {
+        let level = r.u32()?;
+        let count = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            nodes.push(PersistedNode::decode(r)?);
+        }
+        let flen = r.u32()? as usize;
+        let mut frontier = Vec::with_capacity(flen.min(1024));
+        for _ in 0..flen {
+            let id = r.u32()?;
+            if id as usize >= count {
+                return Err(StoreError::Corrupt(format!(
+                    "frontier id {id} out of range (space has {count} nodes)"
+                )));
+            }
+            frontier.push(id);
+        }
+        if frontier.is_empty() {
+            return Err(StoreError::Corrupt("frontier checkpoint with no frontier".into()));
+        }
+        Ok(FrontierState { level, nodes, frontier })
+    }
+}
+
+/// One explored function: everything `vpoc campaign` needs to render
+/// its Table-3 row again without re-enumerating, plus the raw per-phase
+/// activity counts and the code-size-optimal sequence.
 ///
 /// Statistics fields hold the values measured over the (possibly
 /// partial) space; [`FunctionRecord::to_row`] maps them to the paper's
-/// `N/A` convention when `complete` is false.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// `N/A` convention when `complete` is false. An incomplete record
+/// either carries a [`FrontierState`] (suspended under a budget —
+/// resumable) or does not (truncated by `max_nodes`/`max_level_width` —
+/// permanent under these bounds).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct FunctionRecord {
     /// Campaign-qualified function name (e.g. `sha::sha_transform`).
     pub name: String,
     /// Whether the enumeration ran to completion.
     pub complete: bool,
-    /// Level at which a bound truncated the search (`0` when complete).
+    /// Level at which a bound truncated the search or a budget suspended
+    /// it (`0` when complete).
     pub truncated_level: u32,
     /// Instructions in the unoptimized function.
     pub insts: u32,
@@ -183,6 +416,9 @@ pub struct FunctionRecord {
     pub best_sequence: String,
     /// Instruction count of that optimal leaf (`0` when none).
     pub best_insts: u32,
+    /// Suspended-search checkpoint (`None` when complete or permanently
+    /// truncated; absent in pre-v3 stores).
+    pub frontier: Option<FrontierState>,
 }
 
 impl FunctionRecord {
@@ -225,6 +461,7 @@ impl FunctionRecord {
             active_counts: e.space.phase_active_counts(),
             best_sequence,
             best_insts,
+            frontier: None,
         }
     }
 
@@ -249,35 +486,42 @@ impl FunctionRecord {
         }
     }
 
-    fn encode(&self, out: &mut Vec<u8>) {
-        put_str(out, &self.name);
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_str(out, &self.name);
         out.push(self.complete as u8);
-        put_u32(out, self.truncated_level);
+        wire::put_u32(out, self.truncated_level);
         for v in [self.insts, self.blocks, self.branches, self.loops] {
-            put_u32(out, v);
+            wire::put_u32(out, v);
         }
         for v in [self.fn_instances, self.leaves, self.control_flows] {
-            put_u64(out, v);
+            wire::put_u64(out, v);
         }
-        put_u32(out, self.max_seq_len);
-        put_u32(out, self.code_min);
-        put_u32(out, self.code_max);
+        wire::put_u32(out, self.max_seq_len);
+        wire::put_u32(out, self.code_min);
+        wire::put_u32(out, self.code_max);
         for v in [self.attempted_phases, self.active_attempts, self.phases_applied, self.collisions]
         {
-            put_u64(out, v);
+            wire::put_u64(out, v);
         }
         for v in [self.sem_merges, self.sem_collisions, self.sem_escalations] {
-            put_u64(out, v);
+            wire::put_u64(out, v);
         }
         out.push(PhaseId::COUNT as u8);
         for &c in &self.active_counts {
-            put_u64(out, c);
+            wire::put_u64(out, c);
         }
-        put_str(out, &self.best_sequence);
-        put_u32(out, self.best_insts);
+        wire::put_str(out, &self.best_sequence);
+        wire::put_u32(out, self.best_insts);
+        match &self.frontier {
+            Some(fs) => {
+                out.push(1);
+                fs.encode(out);
+            }
+            None => out.push(0),
+        }
     }
 
-    fn decode(r: &mut Reader<'_>, version: u32) -> Result<FunctionRecord, StoreError> {
+    pub(crate) fn decode(r: &mut Reader<'_>, version: u32) -> Result<FunctionRecord, StoreError> {
         let name = r.str()?;
         let complete = r.u8()? != 0;
         let truncated_level = r.u32()?;
@@ -305,6 +549,15 @@ impl FunctionRecord {
         }
         let best_sequence = r.str()?;
         let best_insts = r.u32()?;
+        // Pre-v3 records predate frontier persistence: every incomplete
+        // record was a permanent truncation, i.e. no checkpoint.
+        let frontier =
+            if version >= 3 && r.bool()? { Some(FrontierState::decode(r)?) } else { None };
+        if complete && frontier.is_some() {
+            return Err(StoreError::Corrupt(format!(
+                "record `{name}` is complete but carries a frontier checkpoint"
+            )));
+        }
         Ok(FunctionRecord {
             name,
             complete,
@@ -329,7 +582,96 @@ impl FunctionRecord {
             active_counts,
             best_sequence,
             best_insts,
+            frontier,
         })
+    }
+}
+
+/// How much of a function's phase-order space a memo record covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Completeness {
+    /// The space was exhaustively enumerated.
+    Complete,
+    /// A bound (`max_nodes` / `max_level_width`) truncated the search at
+    /// this level; under the same bounds re-running cannot get further.
+    Truncated {
+        /// Level the bound fired at.
+        level: u32,
+    },
+    /// The search was suspended at this level with its frontier
+    /// persisted; the next request deepens it from saved state.
+    Frontier {
+        /// Levels fully merged so far.
+        level: u32,
+    },
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completeness::Complete => write!(f, "complete"),
+            Completeness::Truncated { level } => write!(f, "truncated at level {level}"),
+            Completeness::Frontier { level } => write!(f, "frontier at level {level}"),
+        }
+    }
+}
+
+/// Typed read-only view over a [`FunctionRecord`]: the daemon and the
+/// CLI both render memo answers through these accessors instead of
+/// poking record fields directly.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoEntry<'a> {
+    record: &'a FunctionRecord,
+}
+
+impl<'a> MemoEntry<'a> {
+    /// Wraps a record.
+    pub fn new(record: &'a FunctionRecord) -> MemoEntry<'a> {
+        MemoEntry { record }
+    }
+
+    /// The underlying record.
+    pub fn record(&self) -> &'a FunctionRecord {
+        self.record
+    }
+
+    /// Campaign-qualified function name.
+    pub fn name(&self) -> &'a str {
+        &self.record.name
+    }
+
+    /// Whether the record is complete, permanently truncated, or
+    /// suspended at a persisted frontier.
+    pub fn completeness(&self) -> Completeness {
+        if self.record.complete {
+            Completeness::Complete
+        } else if let Some(fs) = &self.record.frontier {
+            Completeness::Frontier { level: fs.level }
+        } else {
+            Completeness::Truncated { level: self.record.truncated_level }
+        }
+    }
+
+    /// Whether a later run can deepen this record from saved state.
+    pub fn is_resumable(&self) -> bool {
+        matches!(self.completeness(), Completeness::Frontier { .. })
+    }
+
+    /// The code-size-optimal phase ordering in letter notation — for an
+    /// incomplete record, the best ordering found *so far*. `None` when
+    /// the partial space has no candidate yet.
+    pub fn optimal_ordering(&self) -> Option<&'a str> {
+        (self.record.leaves > 0).then_some(self.record.best_sequence.as_str())
+    }
+
+    /// Instruction count of that ordering's instance.
+    pub fn best_insts(&self) -> Option<u32> {
+        (self.record.leaves > 0).then_some(self.record.best_insts)
+    }
+
+    /// The record's Table-3 row (`N/A` columns for incomplete records).
+    pub fn table3_row(&self) -> FunctionRow {
+        self.record.to_row()
     }
 }
 
@@ -355,23 +697,23 @@ impl ResultStore {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
-        put_u32(&mut out, VERSION);
-        put_u64(&mut out, self.config.max_nodes);
-        put_u64(&mut out, self.config.max_level_width);
+        wire::put_u32(&mut out, VERSION);
+        wire::put_u64(&mut out, self.config.max_nodes);
+        wire::put_u64(&mut out, self.config.max_level_width);
         out.push(self.config.replay);
         out.push(self.config.skip_just_applied as u8);
         out.push(self.config.paranoid as u8);
         out.push(self.config.semantic as u8);
-        put_u32(&mut out, self.config.sem_battery);
-        put_u64(&mut out, self.config.sem_seed);
-        put_u64(&mut out, self.config.sem_fuel);
-        put_u32(&mut out, self.records.len() as u32);
+        wire::put_u32(&mut out, self.config.sem_battery);
+        wire::put_u64(&mut out, self.config.sem_seed);
+        wire::put_u64(&mut out, self.config.sem_fuel);
+        wire::put_u32(&mut out, self.records.len() as u32);
         for rec in &self.records {
             let mut payload = Vec::new();
             rec.encode(&mut payload);
-            put_u32(&mut out, payload.len() as u32);
+            wire::put_u32(&mut out, payload.len() as u32);
             out.extend_from_slice(&payload);
-            put_u32(&mut out, crc::crc32(&payload));
+            wire::put_u32(&mut out, crc::crc32(&payload));
         }
         out
     }
@@ -379,13 +721,13 @@ impl ResultStore {
     /// Parses a store, validating magic, version, per-record lengths and
     /// CRCs, and that no bytes trail the last record.
     pub fn from_bytes(bytes: &[u8]) -> Result<ResultStore, StoreError> {
-        let mut r = Reader { bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
         let magic = r.take(4)?;
         if magic != MAGIC {
             return Err(StoreError::Corrupt("bad magic (not a campaign store)".into()));
         }
         let version = r.u32()?;
-        if version != 1 && version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(StoreError::Corrupt(format!(
                 "format version {version}, this build reads 1..={VERSION}"
             )));
@@ -417,52 +759,58 @@ impl ResultStore {
             if crc::crc32(payload) != crc_stored {
                 return Err(StoreError::Corrupt(format!("record {i}: CRC mismatch")));
             }
-            let mut pr = Reader { bytes: payload, pos: 0 };
+            let mut pr = Reader::new(payload);
             let rec = FunctionRecord::decode(&mut pr, version)?;
-            if pr.pos != payload.len() {
+            if pr.pos() != payload.len() {
                 return Err(StoreError::Corrupt(format!(
                     "record {i} (`{}`): {} unparsed payload bytes",
                     rec.name,
-                    payload.len() - pr.pos
+                    payload.len() - pr.pos()
                 )));
             }
             records.push(rec);
         }
-        if r.pos != bytes.len() {
+        if r.pos() != bytes.len() {
             return Err(StoreError::Corrupt(format!(
                 "{} bytes trail the last record",
-                bytes.len() - r.pos
+                bytes.len() - r.pos()
             )));
         }
         Ok(ResultStore { config, records })
     }
 
-    /// Reads a store from disk.
+    /// Reads a store from disk. Errors name the path and operation.
     pub fn load(path: &Path) -> Result<ResultStore, StoreError> {
-        let bytes = std::fs::read(path)?;
-        ResultStore::from_bytes(&bytes)
+        let parse = || ResultStore::from_bytes(&std::fs::read(path)?);
+        parse().map_err(|e| e.context("reading store", path))
     }
 
     /// Writes the store atomically: the bytes go to a `.tmp` sibling
     /// first, then an atomic rename replaces the store, so a reader (or
-    /// a resumed campaign) never observes a half-written file.
+    /// a resumed campaign) never observes a half-written file. Errors
+    /// name the path and operation.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        let tmp = match path.file_name() {
-            Some(name) => {
-                let mut n = name.to_os_string();
-                n.push(".tmp");
-                path.with_file_name(n)
-            }
-            None => {
-                return Err(StoreError::Io(std::io::Error::other("store path has no file name")))
-            }
+        let write = || {
+            let tmp = match path.file_name() {
+                Some(name) => {
+                    let mut n = name.to_os_string();
+                    n.push(".tmp");
+                    path.with_file_name(n)
+                }
+                None => {
+                    return Err(StoreError::Io(std::io::Error::other(
+                        "store path has no file name",
+                    )))
+                }
+            };
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, path)?;
+            Ok(())
         };
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&self.to_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        write().map_err(|e| e.context("writing store", path))
     }
 
     /// Checks that `config` (and the semantic tier selection) matches
@@ -487,62 +835,10 @@ impl ResultStore {
     pub fn find(&self, name: &str) -> Option<&FunctionRecord> {
         self.records.iter().find(|r| r.name == name)
     }
-}
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    assert!(bytes.len() <= u16::MAX as usize, "name too long for store format");
-    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
-    out.extend_from_slice(bytes);
-}
-
-/// Bounds-checked little-endian cursor over a byte slice.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| StoreError::Corrupt("unexpected end of file".into()))?;
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn str(&mut self) -> Result<String, StoreError> {
-        let len = self.u16()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| StoreError::Corrupt("non-UTF-8 string".into()))
+    /// Looks up a record as a typed [`MemoEntry`] view.
+    pub fn entry(&self, name: &str) -> Option<MemoEntry<'_>> {
+        self.find(name).map(MemoEntry::new)
     }
 }
 
@@ -579,13 +875,49 @@ mod tests {
             active_counts,
             best_sequence: "skcshu".to_owned(),
             best_insts: 21,
+            frontier: None,
         }
+    }
+
+    fn sample_frontier() -> FrontierState {
+        let root = PersistedNode {
+            fp: Fingerprint { inst_count: 40, byte_sum: 777, crc: 0xABCD },
+            flags: FuncFlags::default(),
+            level: 0,
+            inst_count: 40,
+            cf_sig: 9,
+            active_mask: 0b101,
+            children: vec![(PhaseId::Cse, 1)],
+            sem_children: vec![(PhaseId::DeadAssign, 0)],
+            discovered_from: None,
+        };
+        let child = PersistedNode {
+            fp: Fingerprint { inst_count: 33, byte_sum: 555, crc: 0x1234 },
+            flags: FuncFlags { regs_assigned: true, reg_allocated: false },
+            level: 1,
+            inst_count: 33,
+            cf_sig: 9,
+            active_mask: 0,
+            children: vec![],
+            sem_children: vec![],
+            discovered_from: Some((0, PhaseId::Cse)),
+        };
+        FrontierState { level: 1, nodes: vec![root, child], frontier: vec![1] }
     }
 
     fn sample_store() -> ResultStore {
         let mut s = ResultStore::new(&Config::default(), None);
         s.records.push(sample_record("bitcount::bit_count", 2));
         s.records.push(sample_record("sha::sha_transform", 5));
+        s
+    }
+
+    fn store_with_frontier() -> ResultStore {
+        let mut s = sample_store();
+        let mut partial = sample_record("qsort::partition", 7);
+        assert!(!partial.complete);
+        partial.frontier = Some(sample_frontier());
+        s.records.push(partial);
         s
     }
 
@@ -602,8 +934,25 @@ mod tests {
     }
 
     #[test]
+    fn frontier_checkpoints_roundtrip() {
+        let s = store_with_frontier();
+        let bytes = s.to_bytes();
+        let back = ResultStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_bytes(), bytes);
+        let fs = back.find("qsort::partition").unwrap().frontier.as_ref().unwrap();
+        assert_eq!(fs.frontier, vec![1]);
+        // Persisted nodes rebuild live nodes losslessly (weight zero).
+        for pn in &fs.nodes {
+            let node = pn.to_node();
+            assert_eq!(PersistedNode::of(&node), *pn);
+            assert_eq!(node.weight, 0);
+        }
+    }
+
+    #[test]
     fn every_truncation_is_rejected() {
-        let bytes = sample_store().to_bytes();
+        let bytes = store_with_frontier().to_bytes();
         for cut in 0..bytes.len() {
             assert!(
                 matches!(ResultStore::from_bytes(&bytes[..cut]), Err(StoreError::Corrupt(_))),
@@ -679,10 +1028,48 @@ mod tests {
                 "record `{}` predates the semantic tier",
                 rec.name
             );
+            assert!(rec.frontier.is_none(), "record `{}` predates frontier persistence", rec.name);
         }
-        // A v1 store resumes under the matching v2 config (fingerprint
-        // tier), since the echoed subset is identical.
+        // A v1 store resumes under the matching current config
+        // (fingerprint tier), since the echoed subset is identical.
         s.check_config(&Config::default(), None).unwrap();
+    }
+
+    /// Rewrites v3 bytes as the version-2 format: same header fields,
+    /// version stamp 2, and each record payload minus its trailing
+    /// frontier flag. Only valid for stores whose records all have
+    /// `frontier: None` — which is every store a v2 build could write.
+    fn downgrade_to_v2(v3: &[u8]) -> Vec<u8> {
+        let mut out = v3[..4].to_vec();
+        wire::put_u32(&mut out, 2);
+        let mut r = Reader::new(&v3[8..]);
+        let echo = r.take(8 + 8 + 3 + 1 + 4 + 8 + 8).unwrap();
+        out.extend_from_slice(echo);
+        let count = r.u32().unwrap();
+        wire::put_u32(&mut out, count);
+        for _ in 0..count {
+            let len = r.u32().unwrap() as usize;
+            let payload = r.take(len).unwrap();
+            let _ = r.u32().unwrap();
+            assert_eq!(*payload.last().unwrap(), 0, "record must have no frontier");
+            let trimmed = &payload[..len - 1];
+            wire::put_u32(&mut out, trimmed.len() as u32);
+            out.extend_from_slice(trimmed);
+            wire::put_u32(&mut out, crc::crc32(trimmed));
+        }
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn version_2_stores_still_load() {
+        let s = sample_store();
+        let v2 = downgrade_to_v2(&s.to_bytes());
+        let back = ResultStore::from_bytes(&v2).expect("v2 store must load");
+        // Loading a v2 store loses nothing: the only v3 addition is the
+        // frontier checkpoint, which no v2 build could have produced.
+        assert_eq!(back, s);
+        back.check_config(&Config::default(), None).unwrap();
     }
 
     #[test]
@@ -690,10 +1077,32 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("vpoc_store_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("campaign.store");
-        let s = sample_store();
+        let s = store_with_frontier();
         s.save(&path).unwrap();
         assert!(!path.with_file_name("campaign.store.tmp").exists(), "tmp file left behind");
         assert_eq!(ResultStore::load(&path).unwrap(), s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_and_save_errors_name_the_path() {
+        let dir = std::env::temp_dir().join(format!("vpoc_store_err_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("no_such.store");
+        let err = ResultStore::load(&missing).unwrap_err().to_string();
+        assert!(err.contains("reading store"), "{err}");
+        assert!(err.contains("no_such.store"), "{err}");
+        let garbage = dir.join("garbage.store");
+        std::fs::write(&garbage, b"not a store").unwrap();
+        let err = ResultStore::load(&garbage).unwrap_err().to_string();
+        assert!(err.contains("reading store"), "{err}");
+        assert!(err.contains("garbage.store"), "{err}");
+        assert!(err.contains("magic"), "{err}");
+        // Saving into a directory that does not exist names the target.
+        let bad_target = dir.join("absent_dir").join("x.store");
+        let err = sample_store().save(&bad_target).unwrap_err().to_string();
+        assert!(err.contains("writing store"), "{err}");
+        assert!(err.contains("x.store"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -709,5 +1118,52 @@ mod tests {
         assert_eq!(row.fn_instances, None);
         assert_eq!(row.code_min, None);
         assert!(row.render().contains("N/A"));
+    }
+
+    #[test]
+    fn memo_entry_classifies_and_renders() {
+        // Complete record.
+        let complete = sample_record("f", 2);
+        let e = MemoEntry::new(&complete);
+        assert_eq!(e.completeness(), Completeness::Complete);
+        assert!(!e.is_resumable());
+        assert_eq!(e.optimal_ordering(), Some("skcshu"));
+        assert_eq!(e.best_insts(), Some(21));
+        assert_eq!(e.table3_row().code_min, Some(21));
+        // Permanently truncated: incomplete, no frontier.
+        let truncated = sample_record("g", 5);
+        let e = MemoEntry::new(&truncated);
+        assert_eq!(e.completeness(), Completeness::Truncated { level: truncated.truncated_level });
+        assert!(!e.is_resumable());
+        assert_eq!(e.table3_row().fn_instances, None);
+        // Suspended at a frontier: incomplete, checkpoint attached.
+        let mut partial = sample_record("h", 7);
+        partial.frontier = Some(sample_frontier());
+        let e = MemoEntry::new(&partial);
+        assert_eq!(e.completeness(), Completeness::Frontier { level: 1 });
+        assert!(e.is_resumable());
+        assert_eq!(e.optimal_ordering(), Some("skcshu"), "best-so-far still renders");
+        assert_eq!(format!("{}", e.completeness()), "frontier at level 1");
+        // No leaves yet: no candidate ordering.
+        let mut empty = sample_record("i", 7);
+        empty.leaves = 0;
+        let e = MemoEntry::new(&empty);
+        assert_eq!(e.optimal_ordering(), None);
+        assert_eq!(e.best_insts(), None);
+        // Store-level typed lookup.
+        let s = store_with_frontier();
+        assert!(s.entry("qsort::partition").unwrap().is_resumable());
+        assert!(s.entry("bitcount::bit_count").unwrap().optimal_ordering().is_some());
+        assert!(s.entry("nope").is_none());
+    }
+
+    #[test]
+    fn complete_record_with_frontier_is_rejected() {
+        let mut s = sample_store();
+        s.records[0].frontier = Some(sample_frontier());
+        assert!(s.records[0].complete);
+        let bytes = s.to_bytes();
+        let err = ResultStore::from_bytes(&bytes).unwrap_err().to_string();
+        assert!(err.contains("complete but carries a frontier"), "{err}");
     }
 }

@@ -73,11 +73,14 @@ pub mod enumerate;
 pub mod interaction;
 pub mod oracle;
 pub mod prob;
+pub mod request;
 pub mod search;
 pub mod semantic;
+pub mod service;
 pub mod space;
 pub mod stats;
 pub mod telemetry;
+pub mod wire;
 
 pub use enumerate::{
     enumerate, enumerate_semantic, jobs_per_cpu, Config, Engine, Enumeration, ReplayMode,

@@ -78,7 +78,7 @@ use crate::space::NodeId;
 /// enumeration is then re-validated by `vpoc verify` on exactly the
 /// evidence it was accepted on (plus the extended battery in paranoid
 /// mode).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SemanticConfig {
     /// Number of base-battery inputs (see [`OracleConfig::battery`]).
     pub battery: usize,

@@ -234,6 +234,12 @@ pub struct Telemetry {
     pub campaign_functions_completed: Counter,
     /// Recorded functions whose search was truncated by a bound.
     pub campaign_functions_truncated: Counter,
+    /// Searches suspended at a level boundary with their frontier
+    /// persisted (budget exhausted or campaign cancelled) — how many
+    /// depends on the per-request budget, so not gated.
+    pub campaign_functions_suspended: Counter,
+    /// Searches restored from a persisted frontier and deepened.
+    pub campaign_functions_deepened: Counter,
     /// Parent expansions claimed from the shared pool.
     pub campaign_claims: Counter,
     /// Claims served from a function other than the earliest in-flight
@@ -245,6 +251,16 @@ pub struct Telemetry {
     pub store_bytes: Gauge,
     /// Wall time per store flush (serialize + write + rename).
     pub store_flush_wall_ns: Histogram,
+
+    // -- memo service (`vpoc serve`) --
+    /// Requests accepted off the socket (any type).
+    pub serve_requests: Counter,
+    /// Queries answered from the memo without spawning workers.
+    pub serve_warm_hits: Counter,
+    /// Queries that ran (or deepened) an enumeration.
+    pub serve_cold_runs: Counter,
+    /// Queries rejected by admission control (queue full).
+    pub serve_rejected: Counter,
 
     // -- differential oracle --
     /// Distinct instances executed on the battery.
@@ -292,11 +308,17 @@ impl Telemetry {
             campaign_functions_started: Counter::new("campaign.functions_started", true),
             campaign_functions_completed: Counter::new("campaign.functions_completed", true),
             campaign_functions_truncated: Counter::new("campaign.functions_truncated", true),
+            campaign_functions_suspended: Counter::new("campaign.functions_suspended", false),
+            campaign_functions_deepened: Counter::new("campaign.functions_deepened", false),
             campaign_claims: Counter::new("campaign.claims", true),
             campaign_steals: Counter::new("campaign.steals", false),
             store_flushes: Counter::new("campaign.store_flushes", true),
             store_bytes: Gauge::new("campaign.store_bytes", true),
             store_flush_wall_ns: Histogram::new("campaign.store_flush_wall_ns"),
+            serve_requests: Counter::new("serve.requests", false),
+            serve_warm_hits: Counter::new("serve.warm_hits", false),
+            serve_cold_runs: Counter::new("serve.cold_runs", false),
+            serve_rejected: Counter::new("serve.rejected", false),
             oracle_instances: Counter::new("oracle.instances", true),
             oracle_merged_paths: Counter::new("oracle.merged_paths", true),
             oracle_simulations: Counter::new("oracle.simulations", true),
@@ -329,11 +351,17 @@ impl Telemetry {
             C(&self.campaign_functions_started),
             C(&self.campaign_functions_completed),
             C(&self.campaign_functions_truncated),
+            C(&self.campaign_functions_suspended),
+            C(&self.campaign_functions_deepened),
             C(&self.campaign_claims),
             C(&self.campaign_steals),
             C(&self.store_flushes),
             G(&self.store_bytes),
             H(&self.store_flush_wall_ns),
+            C(&self.serve_requests),
+            C(&self.serve_warm_hits),
+            C(&self.serve_cold_runs),
+            C(&self.serve_rejected),
             C(&self.oracle_instances),
             C(&self.oracle_merged_paths),
             C(&self.oracle_simulations),

@@ -1,0 +1,344 @@
+//! Shared little-endian byte helpers and the CRC frame codec.
+//!
+//! Two layers live here, both used by the campaign store
+//! ([`crate::campaign::store`]), the typed exploration request
+//! ([`crate::request`]) and the `vpod` wire protocol
+//! ([`crate::service`]):
+//!
+//! * **Byte helpers** — `put_*` writers and the bounds-checked
+//!   [`Reader`] cursor. All integers are little-endian; strings are a
+//!   `u16` length followed by UTF-8 bytes. Every read is validated and
+//!   returns a [`WireError`] on truncation or malformed data — decoders
+//!   built on [`Reader`] never panic on hostile input.
+//! * **Frame codec** — the length-prefixed, CRC-framed unit the store
+//!   uses per record and the daemon uses per message:
+//!
+//!   ```text
+//!   frame: payload length u32 | payload | CRC-32(payload) u32
+//!   ```
+//!
+//!   [`read_frame`] distinguishes a clean close (EOF before any byte of
+//!   a frame) from a truncated or corrupt frame, and bounds the length
+//!   prefix by [`MAX_FRAME`] so a hostile peer cannot make the reader
+//!   allocate arbitrarily.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use vpo_rtl::crc;
+
+/// Upper bound on a frame's payload length. Large enough for any store
+/// record, request or telemetry snapshot; small enough that a corrupt
+/// or hostile length prefix cannot drive an unbounded allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why a byte-level decode failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value being read.
+    Truncated,
+    /// The bytes were present but not a valid encoding.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "unexpected end of input"),
+            WireError::Malformed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a string as a `u16` length prefix plus UTF-8 bytes.
+///
+/// Panics if the string exceeds `u16::MAX` bytes; every string that
+/// crosses this layer (function names, phase sequences, error messages)
+/// is far shorter.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire format");
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WireError::Truncated)?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("non-UTF-8 string".into()))
+    }
+
+    /// Reads a one-byte boolean (`0` or `1`; anything else is malformed,
+    /// so re-encoding what was decoded is always byte-identical).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Malformed(format!("invalid boolean byte {b:#04x}"))),
+        }
+    }
+}
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly (EOF before any byte of a
+    /// new frame).
+    Closed,
+    /// The frame's declared length exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The frame was truncated mid-way or failed its CRC check.
+    Corrupt(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: `len u32 | payload | crc32(payload)`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::TooLarge(payload.len() as u32));
+    }
+    let mut head = Vec::with_capacity(4);
+    put_u32(&mut head, payload.len() as u32);
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    let mut tail = Vec::with_capacity(4);
+    put_u32(&mut tail, crc::crc32(payload));
+    w.write_all(&tail)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating the length bound and the CRC.
+///
+/// EOF before the first byte of the length prefix is a clean
+/// [`FrameError::Closed`]; EOF anywhere later is a truncation and
+/// reported as [`FrameError::Corrupt`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Corrupt(format!(
+                    "EOF after {got} of 4 length-prefix bytes"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize + 4];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Corrupt(format!("EOF inside a {len}-byte frame"))
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    let crc_stored = u32::from_le_bytes(body[len as usize..].try_into().unwrap());
+    body.truncate(len as usize);
+    if crc::crc32(&body) != crc_stored {
+        return Err(FrameError::Corrupt("CRC mismatch".into()));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_roundtrips_every_primitive() {
+        let mut out = Vec::new();
+        out.push(7u8);
+        put_u16(&mut out, 0xBEEF);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_str(&mut out, "sha::sha_transform");
+        out.push(1);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.str().unwrap(), "sha::sha_transform");
+        assert!(r.bool().unwrap());
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.pos(), out.len());
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_bad_bytes() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello");
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            assert!(r.str().is_err(), "prefix of {cut} bytes must fail");
+        }
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireError::Malformed("invalid boolean byte 0x02".into())));
+        let bad_utf8 = [2, 0, 0xFF, 0xFE];
+        let mut r = Reader::new(&bad_utf8);
+        assert!(matches!(r.str(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let payloads: [&[u8]; 3] = [b"", b"x", b"a longer payload with bytes \x00\xff"];
+        let mut stream = Vec::new();
+        for p in payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut cursor = &stream[..];
+        for p in payloads {
+            assert_eq!(read_frame(&mut cursor).unwrap(), p);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn every_frame_truncation_is_a_clean_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"payload under test").unwrap();
+        for cut in 1..stream.len() {
+            let mut cursor = &stream[..cut];
+            match read_frame(&mut cursor) {
+                Err(FrameError::Corrupt(_)) => {}
+                other => panic!("prefix of {cut} bytes: expected Corrupt, got {other:?}"),
+            }
+        }
+        // Zero bytes is a clean close, not corruption.
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught_or_harmless() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"bit flip battery").unwrap();
+        for byte in 0..stream.len() {
+            for bit in 0..8 {
+                let mut bad = stream.clone();
+                bad[byte] ^= 1 << bit;
+                let mut cursor = &bad[..];
+                match read_frame(&mut cursor) {
+                    // A flip in the length prefix usually truncates or
+                    // oversizes; a flip in payload or CRC must fail the
+                    // check. No flip may decode to the original bytes.
+                    Err(_) => {}
+                    Ok(p) => assert_ne!(p, b"bit flip battery", "byte {byte} bit {bit}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_bounded() {
+        let mut stream = Vec::new();
+        put_u32(&mut stream, u32::MAX);
+        stream.extend_from_slice(&[0; 32]);
+        let mut cursor = &stream[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge(_))));
+    }
+}
