@@ -5,6 +5,7 @@
 //! perfsuite [--label L] [--trials N] [--metrics-dir DIR]
 //!           [--engine scratch|reference] [--sim-engine interp|threaded]
 //!           [--check] [--threshold PCT] [--baseline PATH]
+//!           [--summary PATH]
 //! ```
 //!
 //! Runs the pinned workload set — three MiBench kernels enumerated
@@ -24,6 +25,9 @@
 //!
 //! `--metrics-dir DIR` additionally writes each workload's final
 //! telemetry snapshot (`phase-order-telemetry-v1` JSON) into `DIR`.
+//! `--summary PATH` appends the baseline-vs-current delta as a markdown
+//! table to `PATH` — pass `$GITHUB_STEP_SUMMARY` in CI to surface the
+//! comparison on the run page.
 //!
 //! `--engine` selects the expansion engine for every workload (default
 //! `scratch`); `--engine reference` re-times the suite on the
@@ -43,9 +47,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bench::perf::{compare, PerfReport, WorkloadReport};
+use bench::perf::{compare, delta_table, PerfReport, WorkloadReport};
 use phase_order::campaign::{self, CampaignConfig, FunctionTask, NullObserver};
-use phase_order::enumerate::{enumerate, enumerate_semantic, Config, Engine};
+use phase_order::enumerate::{
+    enumerate, enumerate_semantic, enumerate_semantic_pruned, Config, Engine,
+};
 use phase_order::oracle::{self, OracleConfig};
 use phase_order::semantic::SemanticConfig;
 use phase_order::telemetry;
@@ -69,6 +75,7 @@ struct Options {
     threshold: f64,
     baseline: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
+    summary: Option<PathBuf>,
     engine: Engine,
     sim_engine: SimEngine,
 }
@@ -81,6 +88,7 @@ fn parse_args() -> Result<Options, String> {
         threshold: 25.0,
         baseline: None,
         metrics_dir: None,
+        summary: None,
         engine: Engine::Scratch,
         sim_engine: SimEngine::Threaded,
     };
@@ -109,6 +117,8 @@ fn parse_args() -> Result<Options, String> {
             opts.baseline = Some(PathBuf::from(value("--baseline")?));
         } else if a.starts_with("--metrics-dir") {
             opts.metrics_dir = Some(PathBuf::from(value("--metrics-dir")?));
+        } else if a.starts_with("--summary") {
+            opts.summary = Some(PathBuf::from(value("--summary")?));
         } else if a.starts_with("--sim-engine") {
             let v = value("--sim-engine")?;
             opts.sim_engine = match v.as_str() {
@@ -264,6 +274,21 @@ fn run_suite(opts: &Options) -> Result<PerfReport, String> {
             metrics_dir,
             || {
                 std::hint::black_box(enumerate_semantic(&program, f, &target, &config, &sem));
+            },
+        )?);
+        // Pruned tier on the same kernel: prices the subsumption
+        // lookahead against the annotation row above and pins the
+        // `enumerate.sem_subsumption_prunes` / `sem_mask_fallbacks`
+        // counters — nonzero here, zero everywhere else.
+        workloads.push(run_workload(
+            "semantic-pruned/bitcount::bit_count/serial",
+            opts.trials,
+            4,
+            metrics_dir,
+            || {
+                std::hint::black_box(enumerate_semantic_pruned(
+                    &program, f, &target, &config, &sem,
+                ));
             },
         )?);
     }
@@ -451,6 +476,20 @@ fn try_main() -> Result<(), String> {
         // what the pinned baseline explored.
         let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let baseline = PerfReport::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(summary) = &opts.summary {
+            // Appended, not written: a step summary accumulates across
+            // steps, and a second perfsuite invocation must not clobber
+            // the first's table.
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(summary)
+                .map_err(|e| format!("--summary {}: {e}", summary.display()))?;
+            f.write_all(delta_table(&baseline, &report).as_bytes())
+                .map_err(|e| format!("--summary {}: {e}", summary.display()))?;
+            eprintln!("perfsuite: appended delta table to {}", summary.display());
+        }
         let failures = semantic_failures(&baseline, &report);
         if !failures.is_empty() {
             for f in &failures {

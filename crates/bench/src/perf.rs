@@ -209,6 +209,49 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, threshold_percent: f
     failures
 }
 
+/// Renders a baseline-vs-current delta as a GitHub-flavored markdown
+/// table — what the perf-gate job appends to its step summary, so a
+/// regression (or a healthy margin) is readable in the run page without
+/// downloading `BENCH_*.json`. One row per current workload: current
+/// median, calibration-scaled baseline median, the wall delta against
+/// that scaled figure, and whether the deterministic counters match.
+/// Workloads absent from the baseline render a `new` row (the gate
+/// ignores them until the baseline is re-pinned).
+pub fn delta_table(baseline: &PerfReport, current: &PerfReport) -> String {
+    let scale = current.calibration_ns as f64 / baseline.calibration_ns.max(1) as f64;
+    let mut out = String::with_capacity(2048);
+    out.push_str("### Perf gate: baseline vs current\n\n");
+    out.push_str(&format!(
+        "Baseline `{}` scaled by calibration ratio {scale:.2} \
+         ({} ns → {} ns busy-loop median).\n\n",
+        baseline.label, baseline.calibration_ns, current.calibration_ns
+    ));
+    out.push_str("| workload | baseline (scaled) | current | Δ wall | counters |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for c in &current.workloads {
+        let Some(b) = baseline.workloads.iter().find(|b| b.name == c.name) else {
+            out.push_str(&format!(
+                "| `{}` | — | {:.2}ms | new | — |\n",
+                c.name,
+                c.median_ns() as f64 / 1e6
+            ));
+            continue;
+        };
+        let scaled = b.median_ns() as f64 * scale;
+        let got = c.median_ns() as f64;
+        let delta = (got - scaled) / scaled.max(1.0) * 100.0;
+        let drifted = b.counters != c.counters;
+        out.push_str(&format!(
+            "| `{}` | {:.2}ms | {:.2}ms | {delta:+.1}% | {} |\n",
+            c.name,
+            scaled / 1e6,
+            got / 1e6,
+            if drifted { "**DRIFTED**" } else { "match" },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +322,25 @@ mod tests {
         let base = report("b", 1000, &[100], &[]);
         assert!(compare(&base, &report("c", 2000, &[240], &[]), 25.0).is_empty());
         assert_eq!(compare(&base, &report("c", 2000, &[300], &[]), 25.0).len(), 1);
+    }
+
+    #[test]
+    fn delta_table_scales_flags_drift_and_marks_new_workloads() {
+        // Current machine 2× slower: a 2× wall median is a 0% delta.
+        let base = report("pinned", 1000, &[100], &[("n", 5)]);
+        let mut cur = report("ci", 2000, &[200], &[("n", 6)]);
+        cur.workloads.push(WorkloadReport {
+            name: "extra".into(),
+            trials_ns: vec![50],
+            counters: vec![],
+        });
+        let t = delta_table(&base, &cur);
+        assert!(t.contains("| `w` |"), "{t}");
+        assert!(t.contains("+0.0%"), "{t}");
+        assert!(t.contains("**DRIFTED**"), "{t}");
+        assert!(t.contains("| `extra` | — |"), "{t}");
+        cur.workloads[0].counters = vec![("n".into(), 5)];
+        assert!(delta_table(&base, &cur).contains("| match |"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::os::unix::net::UnixStream;
 
 use phase_order::campaign::store::{Completeness, MemoEntry};
-use phase_order::service::{Request, Response, Served};
+use phase_order::service::{ProtocolError, Request, Response, Served, PROTOCOL_VERSION};
 use phase_order::stats::FunctionRow;
 use phase_order::wire::{read_frame, write_frame};
 
@@ -51,7 +51,16 @@ fn roundtrip(socket: &str, request: &Request) -> Result<Response, String> {
         .map_err(|e| format!("query: {socket}: {e} (is `vpoc serve` running?)"))?;
     write_frame(&mut stream, &request.to_bytes()).map_err(|e| format!("query: {socket}: {e}"))?;
     let payload = read_frame(&mut stream).map_err(|e| format!("query: {socket}: {e}"))?;
-    Response::from_bytes(&payload).map_err(|e| format!("query: {socket}: {e}"))
+    Response::from_bytes(&payload).map_err(|e| match e {
+        // A version skew is an operational situation (daemon from an
+        // older build still serving), not a corrupt frame — name both
+        // ends so the operator knows which process to upgrade.
+        ProtocolError::Version { got } => format!(
+            "query: {socket}: daemon speaks protocol version {got}, this client speaks \
+             {PROTOCOL_VERSION}; restart the daemon from the same build as the client"
+        ),
+        e => format!("query: {socket}: {e}"),
+    })
 }
 
 fn render(response: &Response) -> Result<(), String> {

@@ -7,6 +7,7 @@
 //! vpoc explore  <file.mc> [function] [--jobs N]       # enumerate the space(s)
 //! vpoc verify   <file.mc>|--bench NAME [function]     # differential oracle
 //! vpoc campaign <file.mc>|--bench NAME|--all-benches  # resumable multi-function run
+//! vpoc audit-quotient <file.mc>|--bench NAME          # pruned-vs-annotation loss audit
 //! vpoc dot      <file.mc> <function> [--jobs N]       # space as Graphviz
 //! vpoc phases                                         # list the 15 phases
 //! ```
@@ -55,9 +56,10 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use phase_order::audit;
 use phase_order::campaign::store::{Completeness, MemoEntry};
 use phase_order::campaign::{self, CampaignConfig, FunctionTask};
-use phase_order::enumerate::{enumerate, enumerate_semantic, Config};
+use phase_order::enumerate::{enumerate, enumerate_semantic, enumerate_semantic_pruned, Config};
 use phase_order::oracle::{self, OracleConfig};
 use phase_order::request::{ExploreRequest, MergeTier, Selector};
 use phase_order::stats::FunctionRow;
@@ -90,14 +92,19 @@ fn main() -> ExitCode {
             eprintln!("                [--max-queue N] [--merge-tier T] [--paranoid]");
             eprintln!("  vpoc query    --socket PATH <function> [--budget N]");
             eprintln!("  vpoc query    --socket PATH --list|--telemetry|--shutdown");
+            eprintln!("  vpoc audit-quotient <file.mc>|--bench NAME [function] [--jobs N]");
+            eprintln!("                [--max-nodes N] [--battery N] [--seed S] [--metrics PATH]");
             eprintln!("  vpoc dot      <file.mc> <function> [--jobs N] [--merge-tier T]");
             eprintln!("  vpoc phases");
             eprintln!();
             eprintln!("  --jobs N       enumerate/verify with N worker threads (0 = one per");
             eprintln!("                 CPU); results are identical for any job count");
             eprintln!("  --merge-tier T merge instances by `fingerprint` (default; §4.2.1's");
-            eprintln!("                 canonical-form identity) or by `semantic` (behavioral");
-            eprintln!("                 signature: seeded battery + dynamic counts + structure)");
+            eprintln!("                 canonical-form identity), by `semantic` (behavioral");
+            eprintln!("                 signature: seeded battery + dynamic counts + structure),");
+            eprintln!("                 or by `semantic-pruned` (skip expanding signature hits");
+            eprintln!("                 whose one-step successors are subsumed by their class");
+            eprintln!("                 representative's; audit the loss with audit-quotient)");
             eprintln!("  --paranoid     double-check every merge: byte-compare fingerprint");
             eprintln!("                 hits, escalate signature hits to an extended battery");
             eprintln!("  --metrics PATH write a telemetry snapshot of the run as JSON");
@@ -126,6 +133,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "explore" => explore_cmd(&argv[1..]),
         "verify" => verify_cmd(&argv[1..]),
         "campaign" => campaign_cmd(&argv[1..]),
+        "audit-quotient" => audit_quotient_cmd(&argv[1..]),
         #[cfg(unix)]
         "serve" => serve::serve_cmd(&argv[1..]),
         #[cfg(unix)]
@@ -231,6 +239,7 @@ fn campaign_config(request: &ExploreRequest) -> CampaignConfig {
         enumerate: Config { jobs: 0, ..request.config.clone() },
         jobs: request.config.jobs,
         semantic: request.semantic_config(),
+        sem_pruned: request.tier == MergeTier::SemanticPruned,
         budget: request.budget,
         ..CampaignConfig::default()
     }
@@ -408,15 +417,25 @@ fn explore_cmd(argv: &[String]) -> Result<(), String> {
             MergeTier::Semantic => {
                 enumerate_semantic(&program, f, &target, config, &request.semantic)
             }
+            MergeTier::SemanticPruned => {
+                enumerate_semantic_pruned(&program, f, &target, config, &request.semantic)
+            }
         };
         println!("{}", FunctionRow::new(f.name.clone(), f, &e).render());
-        if request.tier == MergeTier::Semantic {
+        if request.tier.is_semantic() {
             let (fp_n, sem_n) = (e.space.len(), e.space.sem_class_count());
             let collapse = fp_n as f64 / sem_n.max(1) as f64;
             println!(
                 "  semantic: {sem_n} distinct instances (fingerprint {fp_n}, \
                  collapse {collapse:.2}x, {} sem merges, {} collisions, {} escalations)",
                 e.stats.sem_merges, e.stats.sem_collisions, e.stats.sem_escalations,
+            );
+        }
+        if request.tier == MergeTier::SemanticPruned {
+            println!(
+                "  pruned: {} subtrees skipped by subsumption, {} mask fallbacks \
+                 (audit the loss with `vpoc audit-quotient`)",
+                e.stats.sem_prunes, e.stats.sem_mask_fallbacks,
             );
         }
     }
@@ -454,6 +473,9 @@ fn verify_cmd(argv: &[String]) -> Result<(), String> {
             MergeTier::Fingerprint => enumerate(f, &target, &request.config),
             MergeTier::Semantic => {
                 enumerate_semantic(&program, f, &target, &request.config, &request.semantic)
+            }
+            MergeTier::SemanticPruned => {
+                enumerate_semantic_pruned(&program, f, &target, &request.config, &request.semantic)
             }
         };
         let report = match sim_engine {
@@ -651,8 +673,86 @@ fn dot_cmd(argv: &[String]) -> Result<(), String> {
         MergeTier::Semantic => {
             enumerate_semantic(&program, f, &target, &request.config, &request.semantic)
         }
+        MergeTier::SemanticPruned => {
+            enumerate_semantic_pruned(&program, f, &target, &request.config, &request.semantic)
+        }
     };
     println!("{}", e.space.to_dot());
+    Ok(())
+}
+
+fn audit_quotient_cmd(argv: &[String]) -> Result<(), String> {
+    let mut rest = argv.to_vec();
+    let metrics = metrics_begin(&mut rest)?;
+    let request = args::explore_request(&mut rest, "audit-quotient")?;
+    let program = resolve_program(&request, "audit-quotient")?;
+    let target = Target::default();
+
+    println!(
+        "{:<16} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>6} {:>6}  verdict",
+        "function",
+        "ann_n",
+        "prun_n",
+        "saved",
+        "ann_c",
+        "lost",
+        "prune",
+        "fall",
+        "s_drft",
+        "d_drft",
+    );
+    let mut unsound = 0usize;
+    let mut audited = 0usize;
+    for f in &program.functions {
+        if let Some(name) = &request.function {
+            if &f.name != name {
+                continue;
+            }
+        }
+        let a = audit::audit_function(&program, f, &target, &request.config, &request.semantic);
+        // An annotation tier truncated by --max-nodes where the pruned
+        // tier completes is the mode paying off, not a soundness signal;
+        // the row says so instead of faking drift numbers.
+        let verdict = if !a.comparable() {
+            match (a.ann_complete, a.pruned_complete) {
+                (false, true) => "incomparable (annotation truncated; pruned completed)",
+                (true, false) => "incomparable (pruned truncated)",
+                _ => "incomparable (both truncated)",
+            }
+        } else if a.unsound() {
+            unsound += 1;
+            "UNSOUND"
+        } else {
+            "sound"
+        };
+        audited += 1;
+        println!(
+            "{:<16} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>6} {:>6}  {verdict}",
+            a.name,
+            a.ann_nodes,
+            a.pruned_nodes,
+            a.node_savings(),
+            a.ann_classes,
+            a.classes_lost(),
+            a.prunes,
+            a.mask_fallbacks,
+            if a.comparable() { a.static_drift().to_string() } else { "-".into() },
+            if a.comparable() { a.dynamic_drift().to_string() } else { "-".into() },
+        );
+    }
+    if audited == 0 {
+        return Err(match &request.function {
+            Some(name) => format!("audit-quotient: no function named `{name}`"),
+            None => "audit-quotient: no functions to audit".into(),
+        });
+    }
+    metrics_end(metrics.as_deref())?;
+    if unsound > 0 {
+        return Err(format!(
+            "audit-quotient: {unsound} function(s) with unsound prunes — a skipped \
+             subtree held a strictly better leaf"
+        ));
+    }
     Ok(())
 }
 
@@ -686,6 +786,13 @@ mod tests {
         run(&["explore".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
         run(&["explore".into(), path.clone(), "--jobs=0".into()]).unwrap();
         run(&["explore".into(), path.clone(), "triple".into()]).unwrap();
+        run(&["explore".into(), path.clone(), "--merge-tier".into(), "semantic-pruned".into()])
+            .unwrap();
+        run(&["verify".into(), path.clone(), "--merge-tier=semantic-pruned".into()]).unwrap();
+        run(&["audit-quotient".into(), path.clone()]).unwrap();
+        run(&["dot".into(), path.clone(), "triple".into(), "--merge-tier=semantic-pruned".into()])
+            .unwrap();
+        assert!(run(&["audit-quotient".into(), path.clone(), "nonesuch".into()]).is_err());
         run(&["verify".into(), path.clone()]).unwrap();
         run(&["verify".into(), path.clone(), "--jobs".into(), "2".into()]).unwrap();
         run(&[

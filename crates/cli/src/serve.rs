@@ -116,7 +116,11 @@ impl Daemon {
     /// Writes the whole store (records in task order) — the same bytes
     /// an uncapped `vpoc campaign` over these tasks converges on.
     fn flush(&self, records: &[Option<FunctionRecord>]) -> Result<(), String> {
-        let mut store = ResultStore::new(&self.config.enumerate, self.config.semantic.as_ref());
+        let mut store = ResultStore::new(
+            &self.config.enumerate,
+            self.config.semantic.as_ref(),
+            self.config.sem_pruned,
+        );
         store.records = records.iter().flatten().cloned().collect();
         store.save(&self.store_path).map_err(|e| e.to_string())
     }
@@ -145,7 +149,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<(), String> {
     if store_path.exists() {
         let prior = ResultStore::load(&store_path).map_err(|e| format!("serve: {e}"))?;
         prior
-            .check_config(&config.enumerate, config.semantic.as_ref())
+            .check_config(&config.enumerate, config.semantic.as_ref(), config.sem_pruned)
             .map_err(|e| format!("serve: {e}"))?;
         for rec in prior.records {
             match tasks.iter().position(|t| t.name == rec.name) {

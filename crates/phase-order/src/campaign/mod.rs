@@ -96,6 +96,11 @@ pub struct CampaignConfig {
     /// battery options. `None` (the default) keeps the fingerprint tier.
     /// Every task must then carry its [`FunctionTask::program`].
     pub semantic: Option<SemanticConfig>,
+    /// Subsumption-prune behaviorally merged subtrees (`--merge-tier
+    /// semantic-pruned`). Requires [`CampaignConfig::semantic`]. The
+    /// pruned tier produces a genuinely smaller space, so its stores are
+    /// distinct memo keys from annotation-tier ones ([`store::ConfigEcho`]).
+    pub sem_pruned: bool,
     /// Per-function expansion budget for this run: once a search has
     /// merged this many parent expansions *in this session*, it is
     /// suspended at the next level boundary with its frontier persisted
@@ -321,7 +326,7 @@ pub fn run(
                 return Err(CampaignError::StoreExists(path.to_owned()));
             }
             let prior = ResultStore::load(path)?;
-            prior.check_config(&config.enumerate, config.semantic.as_ref())?;
+            prior.check_config(&config.enumerate, config.semantic.as_ref(), config.sem_pruned)?;
             for rec in prior.records {
                 match tasks.iter().position(|t| t.name == rec.name) {
                     Some(i) => {
@@ -582,6 +587,9 @@ fn fresh_search<'a>(ctx: &Ctx<'a>, task: usize) -> Search<'a> {
             .as_deref()
             .expect("semantic campaign tasks must carry their program");
         let mut sem = SemanticContext::new(program, &root, sc, ctx.config.enumerate.paranoid);
+        if ctx.config.sem_pruned {
+            sem.enable_pruning();
+        }
         let sig = sem.signature(&root);
         sem.register(sig, root_id, &root);
         sem
@@ -640,8 +648,19 @@ fn restore_search<'a>(ctx: &Ctx<'a>, task: usize, rec: &FunctionRecord) -> Searc
             .as_deref()
             .expect("semantic campaign tasks must carry their program");
         let mut sem = SemanticContext::new(program, &root, sc, config.paranoid);
+        if ctx.config.sem_pruned {
+            sem.enable_pruning();
+        }
+        // Pruned nodes are never founders (their `sem_rep` resolves
+        // through the parent's pruned edge), so the founder walk below
+        // re-registers only representatives and re-records every merged
+        // node's class membership — rebuilding the exact class table
+        // *and* node→representative map (the pruned tier's lookahead
+        // consults it) the original run had at this barrier.
         for (id, _) in space.iter() {
-            if space.sem_rep(id) != id {
+            let rep = space.sem_rep(id);
+            if rep != id {
+                sem.record_merge(id, rep);
                 continue;
             }
             let func = if id == space.root() { Arc::clone(&root) } else { Arc::new(remat(id)) };
@@ -671,6 +690,8 @@ fn restore_search<'a>(ctx: &Ctx<'a>, task: usize, rec: &FunctionRecord) -> Searc
         sem_merges: rec.sem_merges,
         sem_collisions: rec.sem_collisions,
         sem_escalations: rec.sem_escalations,
+        sem_prunes: rec.sem_prunes,
+        sem_mask_fallbacks: rec.sem_mask_fallbacks,
     };
     Search {
         task,
@@ -738,6 +759,7 @@ fn deposit(
             &mut s.stats,
             &mut s.paranoid_bytes,
             config,
+            ctx.target,
             s.level,
             entry,
             records,
@@ -851,7 +873,11 @@ fn flush_store(ctx: &Ctx<'_>, st: &mut DriverState<'_>) -> bool {
     let Some(path) = ctx.store_path else { return true };
     let tm = crate::telemetry::global();
     let snapshot = ResultStore {
-        config: store::ConfigEcho::of(&ctx.config.enumerate, ctx.config.semantic.as_ref()),
+        config: store::ConfigEcho::of(
+            &ctx.config.enumerate,
+            ctx.config.semantic.as_ref(),
+            ctx.config.sem_pruned,
+        ),
         records: st.completed.iter().flatten().cloned().collect(),
     };
     let flush_start = Instant::now();
@@ -1229,6 +1255,108 @@ mod tests {
         assert!(s.suspended > 0);
         // Without a store, the summary still carries the checkpoints.
         assert!(s.records.iter().any(|r| MemoEntry::new(r).is_resumable()));
+    }
+
+    fn semantic_tasks() -> Vec<FunctionTask> {
+        let program = Arc::new(
+            vpo_frontend::compile(
+                r#"
+                int add(int a, int b) { return a + b + a; }
+                int tri(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }
+                int dbl(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i * 2; return s; }
+                "#,
+            )
+            .unwrap(),
+        );
+        program
+            .functions
+            .iter()
+            .map(|f| FunctionTask {
+                name: f.name.clone(),
+                func: f.clone(),
+                program: Some(Arc::clone(&program)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pruned_tier_store_bytes_identical_across_jobs_and_resume() {
+        let target = Target::default();
+        let pruned = |jobs: usize| CampaignConfig {
+            jobs,
+            semantic: Some(SemanticConfig::default()),
+            sem_pruned: true,
+            ..CampaignConfig::default()
+        };
+
+        // Jobs sweep: expansion order races, merge order does not.
+        let mut stores = Vec::new();
+        for jobs in [0usize, 2, 8] {
+            let path = tmp_store(&format!("pruned_jobs{jobs}"));
+            std::fs::remove_file(&path).ok();
+            run(semantic_tasks(), &target, Some(&path), &pruned(jobs), &NullObserver).unwrap();
+            stores.push(std::fs::read(&path).unwrap());
+            std::fs::remove_file(&path).ok();
+        }
+        for s in &stores[1..] {
+            assert_eq!(*s, stores[0], "pruned-tier store bytes differ across job counts");
+        }
+        let full = ResultStore::from_bytes(&stores[0]).unwrap();
+        assert!(full.config.sem_pruned);
+        let (merges, prunes, fallbacks) = full.records.iter().fold((0, 0, 0), |a, r| {
+            (a.0 + r.sem_merges, a.1 + r.sem_prunes, a.2 + r.sem_mask_fallbacks)
+        });
+        assert_eq!(merges, prunes + fallbacks, "every behavioral merge is pruned or falls back");
+
+        // Budgeted sessions (frontiers persisting pruned nodes) converge
+        // on the uncapped bytes, at every job count.
+        for jobs in [0usize, 2, 8] {
+            let path = tmp_store(&format!("pruned_budget_j{jobs}"));
+            std::fs::remove_file(&path).ok();
+            let mut sessions = 0;
+            loop {
+                let config =
+                    CampaignConfig { budget: Some(1), resume: path.exists(), ..pruned(jobs) };
+                let s =
+                    run(semantic_tasks(), &target, Some(&path), &config, &NullObserver).unwrap();
+                sessions += 1;
+                assert!(sessions < 200, "budgeted pruned sessions must converge");
+                if s.records.iter().all(|r| !MemoEntry::new(r).is_resumable()) {
+                    break;
+                }
+            }
+            assert!(sessions > 1, "budget 1 cannot finish these spaces in one session");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                stores[0],
+                "jobs {jobs}: resumed pruned store differs from uninterrupted"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn pruned_and_annotation_stores_never_interchange() {
+        let target = Target::default();
+        let path = tmp_store("tier_mismatch");
+        std::fs::remove_file(&path).ok();
+        let pruned = CampaignConfig {
+            semantic: Some(SemanticConfig::default()),
+            sem_pruned: true,
+            ..CampaignConfig::default()
+        };
+        run(semantic_tasks(), &target, Some(&path), &pruned, &NullObserver).unwrap();
+        // Resuming the pruned store under the annotation tier refuses.
+        let annotation = CampaignConfig {
+            semantic: Some(SemanticConfig::default()),
+            resume: true,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            run(semantic_tasks(), &target, Some(&path), &annotation, &NullObserver),
+            Err(CampaignError::Store(StoreError::ConfigMismatch(_)))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! header:  magic "VPOC" | version u32 | config echo | record count u32
 //! record:  payload length u32 | payload | CRC-32(payload) u32
 //! payload: name | outcome | Table-3 statistics | search counters |
-//!          per-phase activity counts | optimal (code-size) sequence |
+//!          pruned-tier counters (v4) | per-phase activity counts |
+//!          optimal (code-size) sequence |
 //!          optional frontier checkpoint (v3)
 //! ```
 //!
@@ -55,12 +56,18 @@ pub const MAGIC: [u8; 4] = *b"VPOC";
 ///   record may end with a checkpoint of an incomplete enumeration's
 ///   level frontier ([`FrontierState`]), from which a later run resumes
 ///   expansion exactly where it stopped.
+/// * Version 4 added the subsumption-pruned semantic tier
+///   (`--merge-tier semantic-pruned`): the config echo grew the
+///   `sem_pruned` flag (pruned-tier stores are distinct memo keys from
+///   annotation-tier ones), records grew the `sem_prunes` /
+///   `sem_mask_fallbacks` counters, and persisted nodes grew the
+///   `pruned` flag and the `pruned_children` edge list.
 ///
 /// Older stores still load ([`ResultStore::from_bytes`] reads
 /// `1..=VERSION`) — missing fields default to the values every older
 /// store was in fact produced under (semantic tier off, counters zero,
-/// no frontier).
-pub const VERSION: u32 = 3;
+/// no frontier, no pruning).
+pub const VERSION: u32 = 4;
 
 /// Why a store could not be read or written.
 #[derive(Debug)]
@@ -128,7 +135,8 @@ pub struct ConfigEcho {
     pub skip_just_applied: bool,
     /// [`Config::paranoid`].
     pub paranoid: bool,
-    /// Whether the semantic merge tier was on (`--merge-tier semantic`).
+    /// Whether the semantic merge tier was on (`--merge-tier semantic`
+    /// or `semantic-pruned`).
     pub semantic: bool,
     /// [`SemanticConfig::battery`] (`0` when the tier is off).
     pub sem_battery: u32,
@@ -136,12 +144,20 @@ pub struct ConfigEcho {
     pub sem_seed: u64,
     /// [`SemanticConfig::fuel`] (`0` when the tier is off).
     pub sem_fuel: u64,
+    /// Whether subsumption pruning was on (`--merge-tier
+    /// semantic-pruned`). Pruned-tier spaces are genuinely smaller than
+    /// annotation-tier ones, so the two tiers must never share a store
+    /// (or a memo answer); echoing the flag makes them distinct keys.
+    pub sem_pruned: bool,
 }
 
 impl ConfigEcho {
     /// Projects a full enumeration config (and the semantic tier's
     /// options, when that tier is on) onto its echoed subset.
-    pub fn of(config: &Config, semantic: Option<&SemanticConfig>) -> ConfigEcho {
+    /// `sem_pruned` selects the subsumption-pruned variant of the
+    /// semantic tier and must be `false` when `semantic` is `None`.
+    pub fn of(config: &Config, semantic: Option<&SemanticConfig>, sem_pruned: bool) -> ConfigEcho {
+        debug_assert!(semantic.is_some() || !sem_pruned, "pruning requires the semantic tier");
         ConfigEcho {
             max_nodes: config.max_nodes as u64,
             max_level_width: config.max_level_width as u64,
@@ -155,6 +171,7 @@ impl ConfigEcho {
             sem_battery: semantic.map_or(0, |s| s.battery as u32),
             sem_seed: semantic.map_or(0, |s| s.seed),
             sem_fuel: semantic.map_or(0, |s| s.fuel),
+            sem_pruned,
         }
     }
 }
@@ -184,8 +201,13 @@ pub struct PersistedNode {
     pub children: Vec<(PhaseId, u32)>,
     /// Semantic-merge edges `(phase, representative id)`.
     pub sem_children: Vec<(PhaseId, u32)>,
+    /// Subsumption-pruned edges `(phase, representative id)` — absent in
+    /// pre-v4 stores, which no pruned-tier build could have written.
+    pub pruned_children: Vec<(PhaseId, u32)>,
     /// Discovery edge `(parent id, phase)`; `None` for the root.
     pub discovered_from: Option<(u32, PhaseId)>,
+    /// Whether this node was pruned by subsumption (never expanded).
+    pub pruned: bool,
 }
 
 impl PersistedNode {
@@ -200,7 +222,9 @@ impl PersistedNode {
             active_mask: node.active_mask,
             children: node.children.iter().map(|&(p, c)| (p, c.0)).collect(),
             sem_children: node.sem_children.iter().map(|&(p, c)| (p, c.0)).collect(),
+            pruned_children: node.pruned_children.iter().map(|&(p, c)| (p, c.0)).collect(),
             discovered_from: node.discovered_from.map(|(p, ph)| (p.0, ph)),
+            pruned: node.pruned,
         }
     }
 
@@ -215,7 +239,9 @@ impl PersistedNode {
             active_mask: self.active_mask,
             children: self.children.iter().map(|&(p, c)| (p, NodeId(c))).collect(),
             sem_children: self.sem_children.iter().map(|&(p, c)| (p, NodeId(c))).collect(),
+            pruned_children: self.pruned_children.iter().map(|&(p, c)| (p, NodeId(c))).collect(),
             discovered_from: self.discovered_from.map(|(p, ph)| (NodeId(p), ph)),
+            pruned: self.pruned,
             weight: 0,
         }
     }
@@ -229,7 +255,7 @@ impl PersistedNode {
         wire::put_u32(out, self.inst_count);
         wire::put_u64(out, self.cf_sig);
         wire::put_u16(out, self.active_mask);
-        for edges in [&self.children, &self.sem_children] {
+        for edges in [&self.children, &self.sem_children, &self.pruned_children] {
             out.push(edges.len() as u8);
             for &(p, c) in edges {
                 out.push(p.index() as u8);
@@ -244,9 +270,10 @@ impl PersistedNode {
             }
             None => out.push(0),
         }
+        out.push(self.pruned as u8);
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<PersistedNode, StoreError> {
+    fn decode(r: &mut Reader<'_>, version: u32) -> Result<PersistedNode, StoreError> {
         fn phase(b: u8) -> Result<PhaseId, StoreError> {
             if (b as usize) < PhaseId::COUNT {
                 Ok(PhaseId::from_index(b as usize))
@@ -265,15 +292,17 @@ impl PersistedNode {
         let inst_count = r.u32()?;
         let cf_sig = r.u64()?;
         let active_mask = r.u16()?;
-        let mut edge_lists = [Vec::new(), Vec::new()];
-        for edges in &mut edge_lists {
+        // Pre-v4 nodes carry two edge lists; v4 added pruned edges.
+        let lists = if version >= 4 { 3 } else { 2 };
+        let mut edge_lists = [Vec::new(), Vec::new(), Vec::new()];
+        for edges in edge_lists.iter_mut().take(lists) {
             let n = r.u8()? as usize;
             for _ in 0..n {
                 let p = phase(r.u8()?)?;
                 edges.push((p, r.u32()?));
             }
         }
-        let [children, sem_children] = edge_lists;
+        let [children, sem_children, pruned_children] = edge_lists;
         let discovered_from = match r.bool()? {
             true => {
                 let parent = r.u32()?;
@@ -281,6 +310,8 @@ impl PersistedNode {
             }
             false => None,
         };
+        // No pre-v4 build pruned, so `false` is the faithful default.
+        let pruned = if version >= 4 { r.bool()? } else { false };
         Ok(PersistedNode {
             fp,
             flags,
@@ -290,7 +321,9 @@ impl PersistedNode {
             active_mask,
             children,
             sem_children,
+            pruned_children,
             discovered_from,
+            pruned,
         })
     }
 }
@@ -329,12 +362,12 @@ impl FrontierState {
         }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<FrontierState, StoreError> {
+    fn decode(r: &mut Reader<'_>, version: u32) -> Result<FrontierState, StoreError> {
         let level = r.u32()?;
         let count = r.u32()? as usize;
         let mut nodes = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            nodes.push(PersistedNode::decode(r)?);
+            nodes.push(PersistedNode::decode(r, version)?);
         }
         let flen = r.u32()? as usize;
         let mut frontier = Vec::with_capacity(flen.min(1024));
@@ -408,6 +441,13 @@ pub struct FunctionRecord {
     pub sem_collisions: u64,
     /// Signature hits escalated to the extended battery.
     pub sem_escalations: u64,
+    /// Behavioral merges whose subtree the pruned tier skipped entirely
+    /// (0 under other tiers and in pre-v4 stores).
+    pub sem_prunes: u64,
+    /// Behavioral merges the pruned tier still expanded because the
+    /// candidate's active-phase mask was not subsumed (0 under other
+    /// tiers and in pre-v4 stores).
+    pub sem_mask_fallbacks: u64,
     /// `active_counts[p]` = instances `PhaseId::from_index(p)` is active
     /// on.
     pub active_counts: [u64; PhaseId::COUNT],
@@ -458,6 +498,8 @@ impl FunctionRecord {
             sem_merges: e.stats.sem_merges,
             sem_collisions: e.stats.sem_collisions,
             sem_escalations: e.stats.sem_escalations,
+            sem_prunes: e.stats.sem_prunes,
+            sem_mask_fallbacks: e.stats.sem_mask_fallbacks,
             active_counts: e.space.phase_active_counts(),
             best_sequence,
             best_insts,
@@ -506,6 +548,9 @@ impl FunctionRecord {
         for v in [self.sem_merges, self.sem_collisions, self.sem_escalations] {
             wire::put_u64(out, v);
         }
+        for v in [self.sem_prunes, self.sem_mask_fallbacks] {
+            wire::put_u64(out, v);
+        }
         out.push(PhaseId::COUNT as u8);
         for &c in &self.active_counts {
             wire::put_u64(out, c);
@@ -536,6 +581,10 @@ impl FunctionRecord {
         // produced with it off, so zero is the faithful value.
         let [sem_merges, sem_collisions, sem_escalations] =
             if version >= 2 { [r.u64()?, r.u64()?, r.u64()?] } else { [0, 0, 0] };
+        // Pre-v4 records predate the subsumption-pruned tier; zero is
+        // the faithful value for both of its counters.
+        let [sem_prunes, sem_mask_fallbacks] =
+            if version >= 4 { [r.u64()?, r.u64()?] } else { [0, 0] };
         let n = r.u8()? as usize;
         if n != PhaseId::COUNT {
             return Err(StoreError::Corrupt(format!(
@@ -552,7 +601,7 @@ impl FunctionRecord {
         // Pre-v3 records predate frontier persistence: every incomplete
         // record was a permanent truncation, i.e. no checkpoint.
         let frontier =
-            if version >= 3 && r.bool()? { Some(FrontierState::decode(r)?) } else { None };
+            if version >= 3 && r.bool()? { Some(FrontierState::decode(r, version)?) } else { None };
         if complete && frontier.is_some() {
             return Err(StoreError::Corrupt(format!(
                 "record `{name}` is complete but carries a frontier checkpoint"
@@ -579,6 +628,8 @@ impl FunctionRecord {
             sem_merges,
             sem_collisions,
             sem_escalations,
+            sem_prunes,
+            sem_mask_fallbacks,
             active_counts,
             best_sequence,
             best_insts,
@@ -687,9 +738,14 @@ pub struct ResultStore {
 
 impl ResultStore {
     /// An empty store for the given enumeration config (and semantic
-    /// tier options, when that tier is on).
-    pub fn new(config: &Config, semantic: Option<&SemanticConfig>) -> ResultStore {
-        ResultStore { config: ConfigEcho::of(config, semantic), records: Vec::new() }
+    /// tier options, when that tier is on; `sem_pruned` selects the
+    /// subsumption-pruned variant).
+    pub fn new(
+        config: &Config,
+        semantic: Option<&SemanticConfig>,
+        sem_pruned: bool,
+    ) -> ResultStore {
+        ResultStore { config: ConfigEcho::of(config, semantic, sem_pruned), records: Vec::new() }
     }
 
     /// Serializes the store. The encoding is a pure function of the
@@ -707,6 +763,7 @@ impl ResultStore {
         wire::put_u32(&mut out, self.config.sem_battery);
         wire::put_u64(&mut out, self.config.sem_seed);
         wire::put_u64(&mut out, self.config.sem_fuel);
+        out.push(self.config.sem_pruned as u8);
         wire::put_u32(&mut out, self.records.len() as u32);
         for rec in &self.records {
             let mut payload = Vec::new();
@@ -743,12 +800,17 @@ impl ResultStore {
             sem_battery: 0,
             sem_seed: 0,
             sem_fuel: 0,
+            // Pre-v4 stores predate subsumption pruning; it was off.
+            sem_pruned: false,
         };
         if version >= 2 {
             config.semantic = r.u8()? != 0;
             config.sem_battery = r.u32()?;
             config.sem_seed = r.u64()?;
             config.sem_fuel = r.u64()?;
+        }
+        if version >= 4 {
+            config.sem_pruned = r.u8()? != 0;
         }
         let count = r.u32()? as usize;
         let mut records = Vec::with_capacity(count.min(1024));
@@ -813,14 +875,16 @@ impl ResultStore {
         write().map_err(|e| e.context("writing store", path))
     }
 
-    /// Checks that `config` (and the semantic tier selection) matches
-    /// the bounds this store was written under (resume safety).
+    /// Checks that `config` (and the merge-tier selection, including
+    /// subsumption pruning) matches the bounds this store was written
+    /// under (resume safety).
     pub fn check_config(
         &self,
         config: &Config,
         semantic: Option<&SemanticConfig>,
+        sem_pruned: bool,
     ) -> Result<(), StoreError> {
-        let now = ConfigEcho::of(config, semantic);
+        let now = ConfigEcho::of(config, semantic, sem_pruned);
         if self.config != now {
             return Err(StoreError::ConfigMismatch(format!(
                 "store written under {:?}, campaign running with {:?}; \
@@ -872,6 +936,8 @@ mod tests {
             sem_merges: seed * 3,
             sem_collisions: 0,
             sem_escalations: seed * 3,
+            sem_prunes: seed * 2,
+            sem_mask_fallbacks: seed,
             active_counts,
             best_sequence: "skcshu".to_owned(),
             best_insts: 21,
@@ -887,9 +953,11 @@ mod tests {
             inst_count: 40,
             cf_sig: 9,
             active_mask: 0b101,
-            children: vec![(PhaseId::Cse, 1)],
+            children: vec![(PhaseId::Cse, 1), (PhaseId::LoopUnroll, 2)],
             sem_children: vec![(PhaseId::DeadAssign, 0)],
+            pruned_children: vec![(PhaseId::LoopUnroll, 1)],
             discovered_from: None,
+            pruned: false,
         };
         let child = PersistedNode {
             fp: Fingerprint { inst_count: 33, byte_sum: 555, crc: 0x1234 },
@@ -900,13 +968,28 @@ mod tests {
             active_mask: 0,
             children: vec![],
             sem_children: vec![],
+            pruned_children: vec![],
             discovered_from: Some((0, PhaseId::Cse)),
+            pruned: false,
         };
-        FrontierState { level: 1, nodes: vec![root, child], frontier: vec![1] }
+        let pruned = PersistedNode {
+            fp: Fingerprint { inst_count: 33, byte_sum: 601, crc: 0x5678 },
+            flags: FuncFlags { regs_assigned: true, reg_allocated: false },
+            level: 1,
+            inst_count: 33,
+            cf_sig: 9,
+            active_mask: 0,
+            children: vec![],
+            sem_children: vec![],
+            pruned_children: vec![],
+            discovered_from: Some((0, PhaseId::LoopUnroll)),
+            pruned: true,
+        };
+        FrontierState { level: 1, nodes: vec![root, child, pruned], frontier: vec![1] }
     }
 
     fn sample_store() -> ResultStore {
-        let mut s = ResultStore::new(&Config::default(), None);
+        let mut s = ResultStore::new(&Config::default(), None, false);
         s.records.push(sample_record("bitcount::bit_count", 2));
         s.records.push(sample_record("sha::sha_transform", 5));
         s
@@ -965,7 +1048,7 @@ mod tests {
     fn bit_flips_fail_the_crc() {
         let good = sample_store().to_bytes();
         // Flip one byte inside each record's payload region.
-        let header = 4 + 4 + 8 + 8 + 3 + 1 + 4 + 8 + 8 + 4;
+        let header = 4 + 4 + 8 + 8 + 3 + 1 + 4 + 8 + 8 + 1 + 4;
         for offset in [header + 4 + 2, good.len() - 8] {
             let mut bad = good.clone();
             bad[offset] ^= 0x40;
@@ -999,13 +1082,27 @@ mod tests {
     #[test]
     fn config_echo_gates_resume() {
         let s = sample_store();
-        s.check_config(&Config::default(), None).unwrap();
+        s.check_config(&Config::default(), None, false).unwrap();
         let other = Config { max_nodes: 7, ..Config::default() };
-        assert!(matches!(s.check_config(&other, None), Err(StoreError::ConfigMismatch(_))));
+        assert!(matches!(s.check_config(&other, None, false), Err(StoreError::ConfigMismatch(_))));
         // Switching merge tiers between runs also refuses to resume.
         let sem = SemanticConfig::default();
         assert!(matches!(
-            s.check_config(&Config::default(), Some(&sem)),
+            s.check_config(&Config::default(), Some(&sem), false),
+            Err(StoreError::ConfigMismatch(_))
+        ));
+        // The pruned and annotation variants of the semantic tier are
+        // distinct memo keys: a pruned-tier store refuses an
+        // annotation-tier resume and vice versa.
+        let pruned = ResultStore::new(&Config::default(), Some(&sem), true);
+        pruned.check_config(&Config::default(), Some(&sem), true).unwrap();
+        assert!(matches!(
+            pruned.check_config(&Config::default(), Some(&sem), false),
+            Err(StoreError::ConfigMismatch(_))
+        ));
+        let annotated = ResultStore::new(&Config::default(), Some(&sem), false);
+        assert!(matches!(
+            annotated.check_config(&Config::default(), Some(&sem), true),
             Err(StoreError::ConfigMismatch(_))
         ));
     }
@@ -1019,6 +1116,7 @@ mod tests {
         let bytes: &[u8] = include_bytes!("../../../../tests/fixtures/campaign_store_v1.bin");
         let s = ResultStore::from_bytes(bytes).expect("v1 store must load");
         assert!(!s.config.semantic);
+        assert!(!s.config.sem_pruned);
         assert_eq!((s.config.sem_battery, s.config.sem_seed, s.config.sem_fuel), (0, 0, 0));
         assert_eq!(s.records.len(), 9, "bitcount campaign explores 9 functions");
         for rec in &s.records {
@@ -1028,48 +1126,167 @@ mod tests {
                 "record `{}` predates the semantic tier",
                 rec.name
             );
+            assert_eq!(
+                (rec.sem_prunes, rec.sem_mask_fallbacks),
+                (0, 0),
+                "record `{}` predates the pruned tier",
+                rec.name
+            );
             assert!(rec.frontier.is_none(), "record `{}` predates frontier persistence", rec.name);
         }
         // A v1 store resumes under the matching current config
         // (fingerprint tier), since the echoed subset is identical.
-        s.check_config(&Config::default(), None).unwrap();
+        s.check_config(&Config::default(), None, false).unwrap();
     }
 
-    /// Rewrites v3 bytes as the version-2 format: same header fields,
-    /// version stamp 2, and each record payload minus its trailing
-    /// frontier flag. Only valid for stores whose records all have
-    /// `frontier: None` — which is every store a v2 build could write.
-    fn downgrade_to_v2(v3: &[u8]) -> Vec<u8> {
-        let mut out = v3[..4].to_vec();
-        wire::put_u32(&mut out, 2);
-        let mut r = Reader::new(&v3[8..]);
-        let echo = r.take(8 + 8 + 3 + 1 + 4 + 8 + 8).unwrap();
-        out.extend_from_slice(echo);
-        let count = r.u32().unwrap();
-        wire::put_u32(&mut out, count);
-        for _ in 0..count {
-            let len = r.u32().unwrap() as usize;
-            let payload = r.take(len).unwrap();
-            let _ = r.u32().unwrap();
-            assert_eq!(*payload.last().unwrap(), 0, "record must have no frontier");
-            let trimmed = &payload[..len - 1];
-            wire::put_u32(&mut out, trimmed.len() as u32);
-            out.extend_from_slice(trimmed);
-            wire::put_u32(&mut out, crc::crc32(trimmed));
+    /// Encodes a node exactly as the v2/v3 builds did: two edge lists,
+    /// no pruned flag. Callers must pass pre-v4-shaped nodes.
+    fn encode_node_v3(n: &PersistedNode, out: &mut Vec<u8>) {
+        assert!(!n.pruned && n.pruned_children.is_empty(), "node carries v4 state");
+        wire::put_u32(out, n.fp.inst_count);
+        wire::put_u64(out, n.fp.byte_sum);
+        wire::put_u32(out, n.fp.crc);
+        out.push(n.flags.regs_assigned as u8 | (n.flags.reg_allocated as u8) << 1);
+        wire::put_u32(out, n.level);
+        wire::put_u32(out, n.inst_count);
+        wire::put_u64(out, n.cf_sig);
+        wire::put_u16(out, n.active_mask);
+        for edges in [&n.children, &n.sem_children] {
+            out.push(edges.len() as u8);
+            for &(p, c) in edges {
+                out.push(p.index() as u8);
+                wire::put_u32(out, c);
+            }
         }
-        assert_eq!(r.remaining(), 0);
+        match n.discovered_from {
+            Some((parent, phase)) => {
+                out.push(1);
+                wire::put_u32(out, parent);
+                out.push(phase.index() as u8);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// Encodes a store exactly as an older build (format `version` 2 or
+    /// 3) would have written it, for load-regression tests. Drops every
+    /// v4 field, so the store must carry none: `sem_pruned` off, pruned
+    /// counters zero on every record, no pruned nodes in any frontier —
+    /// which is every store those builds could write. A v3 frontier is
+    /// rejected at `version` 2 (no v2 build persisted frontiers).
+    fn encode_as_version(s: &ResultStore, version: u32) -> Vec<u8> {
+        assert!((2..=3).contains(&version));
+        assert!(!s.config.sem_pruned);
+        let mut out = MAGIC.to_vec();
+        wire::put_u32(&mut out, version);
+        wire::put_u64(&mut out, s.config.max_nodes);
+        wire::put_u64(&mut out, s.config.max_level_width);
+        out.push(s.config.replay);
+        out.push(s.config.skip_just_applied as u8);
+        out.push(s.config.paranoid as u8);
+        out.push(s.config.semantic as u8);
+        wire::put_u32(&mut out, s.config.sem_battery);
+        wire::put_u64(&mut out, s.config.sem_seed);
+        wire::put_u64(&mut out, s.config.sem_fuel);
+        wire::put_u32(&mut out, s.records.len() as u32);
+        for rec in &s.records {
+            assert_eq!((rec.sem_prunes, rec.sem_mask_fallbacks), (0, 0));
+            let mut p = Vec::new();
+            wire::put_str(&mut p, &rec.name);
+            p.push(rec.complete as u8);
+            wire::put_u32(&mut p, rec.truncated_level);
+            for v in [rec.insts, rec.blocks, rec.branches, rec.loops] {
+                wire::put_u32(&mut p, v);
+            }
+            for v in [rec.fn_instances, rec.leaves, rec.control_flows] {
+                wire::put_u64(&mut p, v);
+            }
+            wire::put_u32(&mut p, rec.max_seq_len);
+            wire::put_u32(&mut p, rec.code_min);
+            wire::put_u32(&mut p, rec.code_max);
+            for v in [
+                rec.attempted_phases,
+                rec.active_attempts,
+                rec.phases_applied,
+                rec.collisions,
+                rec.sem_merges,
+                rec.sem_collisions,
+                rec.sem_escalations,
+            ] {
+                wire::put_u64(&mut p, v);
+            }
+            p.push(PhaseId::COUNT as u8);
+            for &c in &rec.active_counts {
+                wire::put_u64(&mut p, c);
+            }
+            wire::put_str(&mut p, &rec.best_sequence);
+            wire::put_u32(&mut p, rec.best_insts);
+            match &rec.frontier {
+                Some(fs) => {
+                    assert!(version >= 3, "no v2 build persisted frontiers");
+                    p.push(1);
+                    wire::put_u32(&mut p, fs.level);
+                    wire::put_u32(&mut p, fs.nodes.len() as u32);
+                    for n in &fs.nodes {
+                        encode_node_v3(n, &mut p);
+                    }
+                    wire::put_u32(&mut p, fs.frontier.len() as u32);
+                    for &id in &fs.frontier {
+                        wire::put_u32(&mut p, id);
+                    }
+                }
+                None if version >= 3 => p.push(0),
+                None => {}
+            }
+            wire::put_u32(&mut out, p.len() as u32);
+            out.extend_from_slice(&p);
+            wire::put_u32(&mut out, crc::crc32(&p));
+        }
         out
+    }
+
+    /// Strips the v4-only state from a store built by the current test
+    /// helpers, leaving what an older build would have recorded.
+    fn without_v4_state(s: &ResultStore) -> ResultStore {
+        let mut old = s.clone();
+        for rec in &mut old.records {
+            rec.sem_prunes = 0;
+            rec.sem_mask_fallbacks = 0;
+            if let Some(fs) = &mut rec.frontier {
+                for n in &mut fs.nodes {
+                    n.pruned = false;
+                    n.pruned_children.clear();
+                }
+            }
+        }
+        old
     }
 
     #[test]
     fn version_2_stores_still_load() {
-        let s = sample_store();
-        let v2 = downgrade_to_v2(&s.to_bytes());
+        let s = without_v4_state(&sample_store());
+        let v2 = encode_as_version(&s, 2);
         let back = ResultStore::from_bytes(&v2).expect("v2 store must load");
-        // Loading a v2 store loses nothing: the only v3 addition is the
-        // frontier checkpoint, which no v2 build could have produced.
+        // Loading a v2 store loses nothing: the later additions (the
+        // frontier checkpoint, the pruned tier) are things no v2 build
+        // could have produced.
         assert_eq!(back, s);
-        back.check_config(&Config::default(), None).unwrap();
+        back.check_config(&Config::default(), None, false).unwrap();
+    }
+
+    #[test]
+    fn version_3_stores_still_load() {
+        // A frontier-carrying v3 store: checkpointed nodes predate the
+        // pruned flag and the third edge list, and must load with both
+        // defaulted off.
+        let s = without_v4_state(&store_with_frontier());
+        let v3 = encode_as_version(&s, 3);
+        let back = ResultStore::from_bytes(&v3).expect("v3 store must load");
+        assert_eq!(back, s);
+        assert!(!back.config.sem_pruned);
+        let fs = back.find("qsort::partition").unwrap().frontier.as_ref().unwrap();
+        assert!(fs.nodes.iter().all(|n| !n.pruned && n.pruned_children.is_empty()));
+        back.check_config(&Config::default(), None, false).unwrap();
     }
 
     #[test]

@@ -177,6 +177,21 @@ pub struct SearchStats {
     /// Signature hits escalated to extended-battery differential
     /// re-execution (paranoid mode only).
     pub sem_escalations: u64,
+    /// Merged instances whose expansion was *skipped* by the pruned tier
+    /// (signature matched and the one-step lookahead confirmed every
+    /// phase firing on the candidate lands in the same class as the
+    /// representative's corresponding child; always 0 outside
+    /// `--merge-tier semantic-pruned`). Every prune is also counted in
+    /// [`SearchStats::sem_merges`].
+    pub sem_prunes: u64,
+    /// Merged instances the pruned tier expanded anyway: the
+    /// representative was not yet expanded (same level) or had no child
+    /// for a phase the candidate fires, a successor landed in a
+    /// different class, or the candidate had no active phase at all — a
+    /// genuine leaf, kept visible rather than pruned (always 0 outside
+    /// `--merge-tier semantic-pruned`). Under the pruned tier,
+    /// `sem_merges == sem_prunes + sem_mask_fallbacks`.
+    pub sem_mask_fallbacks: u64,
 }
 
 /// The result of enumerating one function's phase-order space.
@@ -369,12 +384,17 @@ enum SemResolution {
     /// The signature founded a new class: register the node under it.
     Founder(crate::semantic::Signature),
     /// The signature matched an established class (surviving escalation
-    /// in paranoid mode): the node is inserted *and expanded* exactly as
-    /// under the fingerprint tier — signature equality is not a
-    /// congruence under phase application, so pruning the subtree would
-    /// lose classes — but it is annotated as behaviorally merged into
-    /// the representative via a `sem_children` edge on the parent.
-    Merged(NodeId),
+    /// in paranoid mode). Under the annotation tier (`pruned: false`)
+    /// the node is inserted *and expanded* exactly as under the
+    /// fingerprint tier — signature equality is not a congruence under
+    /// phase application, so blind pruning would lose classes — and
+    /// annotated via a `sem_children` edge on the parent. Under the
+    /// pruned tier, when the one-step lookahead also subsumes the
+    /// candidate's realized successors (`pruned: true`), the node is
+    /// inserted but its expansion is skipped: the edge goes to the
+    /// parent's `pruned_children` instead, and the node never reaches
+    /// the next frontier.
+    Merged { rep: NodeId, pruned: bool },
 }
 
 /// How one active attempt resolves against the space — computed up front
@@ -409,6 +429,7 @@ pub(crate) fn merge_parent(
     stats: &mut SearchStats,
     paranoid_bytes: &mut HashMap<(Fingerprint, FuncFlags), Vec<u8>>,
     config: &Config,
+    target: &Target,
     level: u32,
     parent: &FrontierEntry,
     records: Vec<AttemptRecord>,
@@ -421,12 +442,14 @@ pub(crate) fn merge_parent(
     let mut active_mask = 0u16;
     let mut children = Vec::new();
     let mut sem_edges = Vec::new();
+    let mut pruned_edges = Vec::new();
     let mut complete = true;
     // Telemetry is batched into locals and flushed once per parent so the
     // merge loop touches no shared cache line per record.
     let (mut tm_attempted, mut tm_active, mut tm_hits, mut tm_inserted, mut tm_prefiltered) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
     let (mut tm_sem_hits, mut tm_sem_collisions, mut tm_sem_escalations) = (0u64, 0u64, 0u64);
+    let (mut tm_sem_prunes, mut tm_sem_fallbacks) = (0u64, 0u64);
     for record in records {
         // Resolve the identity once per active record: the same
         // resolution drives the cap check here and the edge recording
@@ -449,7 +472,25 @@ pub(crate) fn merge_parent(
                             tm_sem_escalations += escalated;
                             match res {
                                 Resolution::Merge(rep) => {
-                                    Disposition::Insert(SemResolution::Merged(rep))
+                                    // Pruned tier: skip expansion only when
+                                    // the candidate's realized active-phase
+                                    // set is subsumed by the (already
+                                    // expanded) representative's — every
+                                    // phase that actually fires on the
+                                    // candidate has a child at the
+                                    // representative landing in the *same
+                                    // behavioral class* as the candidate's
+                                    // own result for that phase
+                                    // ([`SemanticContext::subsumes`]). The
+                                    // level barrier is what makes the
+                                    // representative's edge list exact here:
+                                    // merges run serially after every
+                                    // earlier-level node was expanded, so a
+                                    // same-level representative has no
+                                    // children yet and never subsumes.
+                                    let pruned = sem.pruning()
+                                        && sem.subsumes(cand, &space.node(rep).children, target);
+                                    Disposition::Insert(SemResolution::Merged { rep, pruned })
                                 }
                                 Resolution::Fresh { collided } => {
                                     if collided {
@@ -517,6 +558,7 @@ pub(crate) fn merge_parent(
             }
             Disposition::Insert(res) => {
                 tm_inserted += 1;
+                let skip_expansion = matches!(res, SemResolution::Merged { pruned: true, .. });
                 let id = space.insert(Node {
                     fp,
                     flags,
@@ -526,6 +568,8 @@ pub(crate) fn merge_parent(
                     active_mask: 0,
                     children: Vec::new(),
                     sem_children: Vec::new(),
+                    pruned_children: Vec::new(),
+                    pruned: skip_expansion,
                     discovered_from: Some((parent.id, phase)),
                     weight: 0,
                 });
@@ -542,21 +586,39 @@ pub(crate) fn merge_parent(
                             .expect("signature implies the semantic tier is on")
                             .register(sig, id, &func);
                     }
-                    SemResolution::Merged(rep) => {
-                        // The node is behaviorally redundant: annotate
-                        // the quotient but keep exploring through it.
-                        sem_edges.push((phase, rep));
+                    SemResolution::Merged { rep, pruned } => {
+                        sem.as_deref_mut()
+                            .expect("merge implies the semantic tier is on")
+                            .record_merge(id, rep);
                         stats.sem_merges += 1;
                         tm_sem_hits += 1;
+                        if pruned {
+                            // Subsumed: record the dotted edge and keep
+                            // the node off the next frontier.
+                            pruned_edges.push((phase, rep));
+                            stats.sem_prunes += 1;
+                            tm_sem_prunes += 1;
+                        } else {
+                            // The node is behaviorally redundant:
+                            // annotate the quotient but keep exploring
+                            // through it.
+                            sem_edges.push((phase, rep));
+                            if sem.as_deref().is_some_and(|s| s.pruning()) {
+                                stats.sem_mask_fallbacks += 1;
+                                tm_sem_fallbacks += 1;
+                            }
+                        }
                     }
                 }
-                let mut seq = Vec::new();
-                if naive {
-                    seq = Vec::with_capacity(parent.seq.len() + 1);
-                    seq.extend_from_slice(&parent.seq);
-                    seq.push(phase);
+                if !skip_expansion {
+                    let mut seq = Vec::new();
+                    if naive {
+                        seq = Vec::with_capacity(parent.seq.len() + 1);
+                        seq.extend_from_slice(&parent.seq);
+                        seq.push(phase);
+                    }
+                    next.push(FrontierEntry { id, func, seq });
                 }
-                next.push(FrontierEntry { id, func, seq });
                 children.push((phase, id));
             }
         }
@@ -565,6 +627,7 @@ pub(crate) fn merge_parent(
     n.active_mask = active_mask;
     n.children = children;
     n.sem_children = sem_edges;
+    n.pruned_children = pruned_edges;
     tm.parents_expanded.inc();
     tm.phases_attempted.add(tm_attempted);
     tm.active_attempts.add(tm_active);
@@ -575,6 +638,8 @@ pub(crate) fn merge_parent(
     tm.sem_merge_hits.add(tm_sem_hits);
     tm.sem_sig_collisions.add(tm_sem_collisions);
     tm.sem_escalations.add(tm_sem_escalations);
+    tm.sem_subsumption_prunes.add(tm_sem_prunes);
+    tm.sem_mask_fallbacks.add(tm_sem_fallbacks);
     complete
 }
 
@@ -596,6 +661,8 @@ pub(crate) fn seed_root(
         active_mask: 0,
         children: Vec::new(),
         sem_children: Vec::new(),
+        pruned_children: Vec::new(),
+        pruned: false,
         discovered_from: None,
         weight: 0,
     });
@@ -772,6 +839,7 @@ fn run(
                     &mut stats,
                     &mut paranoid_bytes,
                     config,
+                    target,
                     level,
                     entry,
                     records,
@@ -803,6 +871,7 @@ fn run(
                     &mut stats,
                     &mut paranoid_bytes,
                     config,
+                    target,
                     level,
                     entry,
                     records,
@@ -884,6 +953,37 @@ pub fn enumerate_semantic(
     sem_config: &SemanticConfig,
 ) -> Enumeration {
     let mut sem = SemanticContext::new(program, f, sem_config, config.paranoid);
+    run(f, target, config, config.jobs.max(1), Some(&mut sem))
+}
+
+/// [`enumerate_semantic`] under the *pruned* merge tier (`--merge-tier
+/// semantic-pruned`): a behaviorally merged instance is inserted but
+/// **not expanded** ([`SearchStats::sem_prunes`]) when its realized
+/// active-phase set is subsumed by its already-expanded class
+/// representative's — the one-step lookahead
+/// [`SemanticContext::subsumes`] confirms that every phase actually
+/// firing on the candidate has a child at the representative landing in
+/// the same behavioral class as the candidate's own result for that
+/// phase. Signature equality alone is not a congruence under phase
+/// application, so the check inspects where the successors really land
+/// rather than a static mask. Where the criterion fails — unexpanded
+/// representative, missing or class-divergent successor, or a candidate
+/// with no active phase (a genuine leaf, kept visible) — the tier falls
+/// back to full expansion and counts a
+/// [`SearchStats::sem_mask_fallbacks`] candidate. The resulting space
+/// is a sub-DAG of the annotation tier's; `vpoc audit-quotient`
+/// measures the exact class loss and checks optimum preservation (see
+/// DESIGN §4.2.2). Determinism is inherited unchanged: prune decisions
+/// happen at merge time, serially in frontier order, for any job count.
+pub fn enumerate_semantic_pruned(
+    program: &Program,
+    f: &Function,
+    target: &Target,
+    config: &Config,
+    sem_config: &SemanticConfig,
+) -> Enumeration {
+    let mut sem = SemanticContext::new(program, f, sem_config, config.paranoid);
+    sem.enable_pruning();
     run(f, target, config, config.jobs.max(1), Some(&mut sem))
 }
 
@@ -1106,6 +1206,7 @@ mod tests {
                 &mut stats,
                 &mut paranoid_bytes,
                 &config,
+                &Target::default(),
                 1,
                 &parent,
                 vec![record],
@@ -1134,6 +1235,78 @@ mod tests {
                 assert_eq!(space.sem_edge_count(), 1);
                 assert_eq!(space.sem_rep(inserted), root);
                 assert_eq!(space.sem_class_count(), 1);
+            }
+        }
+    }
+
+    /// The pruned tier against the annotation tier on a real function:
+    /// the space can only shrink, every prune is book-kept consistently,
+    /// and — the soundness claim the audit checks — the code-size
+    /// optimum is never lost, even though whole signature classes
+    /// reachable only through pruned subtrees legitimately disappear
+    /// (that loss is what `vpoc audit-quotient` quantifies).
+    #[test]
+    fn pruned_tier_shrinks_the_space_without_losing_the_optimum() {
+        let program = vpo_frontend::compile(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i * 2; return s; }",
+        )
+        .unwrap();
+        let f = program.function("f").unwrap();
+        let t = Target::default();
+        let config = Config::default();
+        let sem_config = SemanticConfig::default();
+        let ann = enumerate_semantic(&program, f, &t, &config, &sem_config);
+        let pruned = enumerate_semantic_pruned(&program, f, &t, &config, &sem_config);
+        assert!(ann.outcome.is_complete() && pruned.outcome.is_complete());
+        assert!(pruned.space.len() <= ann.space.len());
+        assert_eq!(pruned.space.pruned_count() as u64, pruned.stats.sem_prunes);
+        assert_eq!(
+            pruned.stats.sem_merges,
+            pruned.stats.sem_prunes + pruned.stats.sem_mask_fallbacks
+        );
+        assert_eq!(ann.stats.sem_prunes, 0, "annotation tier never prunes");
+        assert_eq!(ann.stats.sem_mask_fallbacks, 0);
+        assert!(pruned.stats.sem_prunes > 0, "this kernel must actually prune");
+        // The pruned run explores a subset of the same deterministic
+        // search, so it can only see a subset of the signature classes.
+        assert!(pruned.space.sem_class_count() <= ann.space.sem_class_count());
+        // The soundness property: the code-size optimum over all
+        // discovered instances survives (stopping early is a valid
+        // ordering, so the optimum ranges over every node; the pruned
+        // search explores a sub-DAG, so its minimum can only drift up).
+        let ab = ann.space.code_size_range().map(|(lo, _)| lo);
+        let pb = pruned.space.code_size_range().map(|(lo, _)| lo);
+        assert_eq!(ab, pb, "pruning must not lose the code-size optimum");
+    }
+
+    #[test]
+    fn pruned_tier_is_deterministic_across_job_counts() {
+        let program = vpo_frontend::compile(
+            "int f(int a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a * i; return s; }",
+        )
+        .unwrap();
+        let f = program.function("f").unwrap();
+        let t = Target::default();
+        let sem_config = SemanticConfig::default();
+        let serial = enumerate_semantic_pruned(&program, f, &t, &Config::default(), &sem_config);
+        for jobs in [2usize, 8] {
+            let par = enumerate_semantic_pruned(
+                &program,
+                f,
+                &t,
+                &Config { jobs, ..Config::default() },
+                &sem_config,
+            );
+            assert_eq!(par.space.len(), serial.space.len(), "jobs={jobs}");
+            assert_eq!(par.stats.sem_prunes, serial.stats.sem_prunes, "jobs={jobs}");
+            assert_eq!(par.stats.sem_mask_fallbacks, serial.stats.sem_mask_fallbacks);
+            assert_eq!(par.space.sem_class_count(), serial.space.sem_class_count());
+            for (id, n) in serial.space.iter() {
+                let m = par.space.node(id);
+                assert_eq!(m.fp, n.fp, "jobs={jobs} node {id}");
+                assert_eq!(m.pruned, n.pruned, "jobs={jobs} node {id}");
+                assert_eq!(m.children, n.children, "jobs={jobs} node {id}");
+                assert_eq!(m.pruned_children, n.pruned_children, "jobs={jobs} node {id}");
             }
         }
     }

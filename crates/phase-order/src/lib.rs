@@ -68,6 +68,7 @@
 //! assert!(e.space.len() > 1);
 //! ```
 
+pub mod audit;
 pub mod campaign;
 pub mod enumerate;
 pub mod interaction;
@@ -83,8 +84,8 @@ pub mod telemetry;
 pub mod wire;
 
 pub use enumerate::{
-    enumerate, enumerate_semantic, jobs_per_cpu, Config, Engine, Enumeration, ReplayMode,
-    SearchOutcome,
+    enumerate, enumerate_semantic, enumerate_semantic_pruned, jobs_per_cpu, Config, Engine,
+    Enumeration, ReplayMode, SearchOutcome,
 };
 pub use semantic::{SemanticConfig, SemanticContext, Signature, StructuralKey};
 pub use space::{NodeId, SearchSpace};

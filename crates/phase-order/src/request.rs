@@ -47,8 +47,14 @@ pub enum MergeTier {
     /// Canonical-form identity (the paper's tier, the default).
     #[default]
     Fingerprint,
-    /// Behavioral-signature quotient (`--merge-tier semantic`).
+    /// Behavioral-signature quotient (`--merge-tier semantic`): merged
+    /// instances are annotated but still expanded.
     Semantic,
+    /// Behavioral-signature quotient with subsumption pruning
+    /// (`--merge-tier semantic-pruned`): merged instances whose
+    /// active-phase mask is subsumed by their representative's are not
+    /// expanded.
+    SemanticPruned,
 }
 
 impl MergeTier {
@@ -57,7 +63,13 @@ impl MergeTier {
         match self {
             MergeTier::Fingerprint => "fingerprint",
             MergeTier::Semantic => "semantic",
+            MergeTier::SemanticPruned => "semantic-pruned",
         }
+    }
+
+    /// Whether the tier runs the behavioral-signature machinery.
+    pub fn is_semantic(self) -> bool {
+        matches!(self, MergeTier::Semantic | MergeTier::SemanticPruned)
     }
 
     /// Parses a CLI/wire tier name.
@@ -65,9 +77,10 @@ impl MergeTier {
         match s {
             "fingerprint" => Ok(MergeTier::Fingerprint),
             "semantic" => Ok(MergeTier::Semantic),
-            other => {
-                Err(format!("unknown merge tier `{other}` (expected fingerprint or semantic)"))
-            }
+            "semantic-pruned" => Ok(MergeTier::SemanticPruned),
+            other => Err(format!(
+                "unknown merge tier `{other}` (expected fingerprint, semantic, or semantic-pruned)"
+            )),
         }
     }
 }
@@ -176,7 +189,7 @@ impl ExploreRequest {
     pub fn semantic_config(&self) -> Option<SemanticConfig> {
         match self.tier {
             MergeTier::Fingerprint => None,
-            MergeTier::Semantic => Some(self.semantic.clone()),
+            MergeTier::Semantic | MergeTier::SemanticPruned => Some(self.semantic.clone()),
         }
     }
 
@@ -193,7 +206,7 @@ impl ExploreRequest {
         if self.config.max_level_width == 0 {
             return Err("max-level-width must be at least 1".into());
         }
-        if self.tier == MergeTier::Semantic && self.semantic.battery == 0 {
+        if self.tier.is_semantic() && self.semantic.battery == 0 {
             return Err("semantic tier needs a battery of at least 1 input".into());
         }
         if let Selector::Bench(name) = &self.selector {
@@ -243,6 +256,7 @@ impl ExploreRequest {
         out.push(match self.tier {
             MergeTier::Fingerprint => 0,
             MergeTier::Semantic => 1,
+            MergeTier::SemanticPruned => 2,
         });
         wire::put_u32(&mut out, self.semantic.battery as u32);
         wire::put_u64(&mut out, self.semantic.seed);
@@ -293,6 +307,7 @@ impl ExploreRequest {
         let tier = match r.u8()? {
             0 => MergeTier::Fingerprint,
             1 => MergeTier::Semantic,
+            2 => MergeTier::SemanticPruned,
             d => return Err(WireError::Malformed(format!("invalid tier discriminant {d}"))),
         };
         let semantic = SemanticConfig {
@@ -375,8 +390,9 @@ mod tests {
 
     #[test]
     fn tier_names_round_trip() {
-        for tier in [MergeTier::Fingerprint, MergeTier::Semantic] {
+        for tier in [MergeTier::Fingerprint, MergeTier::Semantic, MergeTier::SemanticPruned] {
             assert_eq!(MergeTier::parse(tier.name()).unwrap(), tier);
+            assert_eq!(tier.is_semantic(), tier != MergeTier::Fingerprint);
         }
         assert!(MergeTier::parse("quantum").is_err());
     }
@@ -388,6 +404,7 @@ mod tests {
             ExploreRequest::file("/tmp/x.mc"),
             ExploreRequest::all_benches().budget(1),
             ExploreRequest::bench("fft").jobs(0),
+            ExploreRequest::bench("bitcount").tier(MergeTier::SemanticPruned),
         ] {
             let bytes = r.to_bytes();
             assert_eq!(bytes, r.to_bytes(), "encoding must be deterministic");

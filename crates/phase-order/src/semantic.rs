@@ -27,16 +27,36 @@
 //!   per-entry dynamic count captures exactly that (it is also what
 //!   keeps the optimal-leaf report identical under either tier).
 //!
-//! A signature hit does **not** stop exploration: the merged instance is
-//! still inserted and expanded, because signature equality is *not* a
-//! congruence under phase application — two behaviorally identical
-//! instances are different code, and phases can take them to different
-//! classes, so pruning the subtree would silently lose instances (and
-//! potentially the optimal leaf). The tier is instead an exact
-//! *quotient annotation* over the fingerprint space: the node set and
-//! `children` edges are bit-identical under either tier, merged nodes
-//! carry a `sem_children` edge to their class representative, and the
-//! "distinct instances" a semantic Table 3 reports is the class count.
+//! Under the *annotation* tier (`--merge-tier semantic`) a signature hit
+//! does **not** stop exploration: the merged instance is still inserted
+//! and expanded, because signature equality is *not* a congruence under
+//! phase application — two behaviorally identical instances are
+//! different code, and phases can take them to different classes, so
+//! pruning the subtree would silently lose instances (and potentially
+//! the optimal leaf). The tier is instead an exact *quotient annotation*
+//! over the fingerprint space: the node set and `children` edges are
+//! bit-identical under either tier, merged nodes carry a `sem_children`
+//! edge to their class representative, and the "distinct instances" a
+//! semantic Table 3 reports is the class count.
+//!
+//! The *pruned* tier (`--merge-tier semantic-pruned`,
+//! [`SemanticContext::enable_pruning`]) strengthens the merge criterion
+//! enough to skip expansion: a signature hit is pruned only when the
+//! candidate's **realized active-phase set** is subsumed by its
+//! already-expanded representative's — every phase that actually fires
+//! on the candidate must have a child at the representative landing in
+//! the same behavioral class as the candidate's own result for that
+//! phase ([`SemanticContext::subsumes`], a one-step lookahead). The
+//! level barrier makes the representative's edge list exact: merges run
+//! serially after every earlier-level node has been expanded, so a
+//! same-level representative has no children yet and never subsumes;
+//! likewise a candidate with no active phase is a genuine leaf and is
+//! kept visible rather than pruned. A candidate that passes is recorded
+//! as a pruned node (inserted, never expanded) and its subtree is
+//! charged to the representative's; where only the signature matches,
+//! the candidate falls back to annotation-tier expansion and is counted
+//! as a mask fallback. `vpoc audit-quotient` measures the exact class
+//! loss of this criterion against the annotation tier as ground truth.
 //!
 //! Merging instances whose signatures match is sound for every report
 //! the quotient produces *if* equal signatures imply equal behavior and
@@ -63,6 +83,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use vpo_opt::facts::Facts;
+use vpo_opt::{attempt, PhaseId, Target};
 use vpo_rtl::rng::Rng;
 use vpo_rtl::{Expr, FuncFlags, Function, Program, Reg};
 use vpo_sim::{Machine, SimEngine, SimError};
@@ -207,6 +229,7 @@ pub struct SemanticContext<'p> {
     machine: Machine<'p>,
     fuel: u64,
     paranoid: bool,
+    prune: bool,
     /// Base battery: the oracle's baseline-clean seeded inputs.
     base: Vec<Vec<i32>>,
     /// Extended battery for paranoid escalation: overflow edges and
@@ -214,6 +237,10 @@ pub struct SemanticContext<'p> {
     /// comparison is candidate-vs-representative, so traps count too).
     ext: Vec<Vec<i32>>,
     classes: HashMap<Signature, Vec<ClassRep>>,
+    /// Every inserted node's class representative (founders map to
+    /// themselves) — the lookup behind the pruned tier's one-step
+    /// subsumption check ([`SemanticContext::subsumes`]).
+    node_rep: HashMap<NodeId, NodeId>,
 }
 
 impl<'p> SemanticContext<'p> {
@@ -236,12 +263,33 @@ impl<'p> SemanticContext<'p> {
         let ext = extended_battery(f.params.len(), config);
         let mut machine = Machine::with_mem_size(program, config.mem_size);
         machine.set_engine(SimEngine::Threaded);
-        SemanticContext { machine, fuel: config.fuel, paranoid, base, ext, classes: HashMap::new() }
+        SemanticContext {
+            machine,
+            fuel: config.fuel,
+            paranoid,
+            prune: false,
+            base,
+            ext,
+            classes: HashMap::new(),
+            node_rep: HashMap::new(),
+        }
     }
 
     /// Whether escalation is enabled.
     pub fn paranoid(&self) -> bool {
         self.paranoid
+    }
+
+    /// Switches the context into the *pruned* tier: signature hits whose
+    /// phase mask is subsumed by their representative's are not expanded
+    /// (see the module docs for the criterion and its audit).
+    pub fn enable_pruning(&mut self) {
+        self.prune = true;
+    }
+
+    /// Whether subsumption pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.prune
     }
 
     /// The base battery inputs (the signature's behavioral evidence).
@@ -306,7 +354,74 @@ impl<'p> SemanticContext<'p> {
     /// signature class. `func` is retained only in paranoid mode.
     pub fn register(&mut self, sig: Signature, node: NodeId, func: &Arc<Function>) {
         let func = self.paranoid.then(|| Arc::clone(func));
+        self.node_rep.insert(node, node);
         self.classes.entry(sig).or_default().push(ClassRep { node, func, ext: None });
+    }
+
+    /// Records that `node` was inserted as a merge into `rep`'s class —
+    /// the bookkeeping [`SemanticContext::subsumes`] needs to map a
+    /// representative's child back to that child's own class.
+    pub fn record_merge(&mut self, node: NodeId, rep: NodeId) {
+        self.node_rep.insert(node, rep);
+    }
+
+    /// The pruned tier's subsumption check, run at the merge site once a
+    /// candidate's signature has matched a representative's: a *one-step
+    /// lookahead* over the candidate's realized successors. Every phase
+    /// that actually fires on the candidate must have a child at the
+    /// representative (`rep_children`, its exact expanded edge list) that
+    /// lands in the **same behavioral class** as the candidate's own
+    /// result for that phase. Signature equality is not a congruence
+    /// under phase application — a phase both instances fire can take
+    /// them to different classes — so a static mask comparison is not
+    /// enough; the lookahead checks where the successors really land.
+    ///
+    /// A representative with no children (same level and not yet
+    /// expanded, or itself final) never subsumes, and a candidate with
+    /// no active phase is a genuine leaf, kept visible rather than
+    /// pruned (skipping it saves no work). The check runs serially at
+    /// the level-barrier merge, so it inherits the bit-identical-for-
+    /// any-job-count guarantee; its cost is one phase application per
+    /// potentially-active phase plus one battery run per *active* one —
+    /// the same work expanding the candidate would have spent, traded
+    /// for skipping the candidate's entire subtree.
+    pub fn subsumes(
+        &mut self,
+        cand: &Function,
+        rep_children: &[(PhaseId, NodeId)],
+        target: &Target,
+    ) -> bool {
+        if rep_children.is_empty() {
+            return false;
+        }
+        let facts = Facts::of(cand);
+        let mut any_active = false;
+        for phase in PhaseId::ALL {
+            if !phase.can_be_active(&facts) {
+                continue;
+            }
+            let mut step = cand.clone();
+            if !attempt(&mut step, phase, target).active {
+                continue;
+            }
+            any_active = true;
+            // The representative never fired this phase: its expansion
+            // has no successor to stand in for the candidate's.
+            let Some(&(_, child)) = rep_children.iter().find(|&&(p, _)| p == phase) else {
+                return false;
+            };
+            let Some(&rep_of_child) = self.node_rep.get(&child) else {
+                return false;
+            };
+            let sig = self.signature(&step);
+            let Some(reps) = self.classes.get(&sig) else {
+                return false;
+            };
+            if !reps.iter().any(|r| r.node == rep_of_child) {
+                return false;
+            }
+        }
+        any_active
     }
 
     /// Number of established classes (distinct signatures; paranoid
@@ -455,6 +570,16 @@ mod tests {
             // …and the extended battery separates it.
             assert!(!ctx.differential(&f, &g), "{name}: extended battery failed to separate");
         }
+    }
+
+    #[test]
+    fn pruning_flag_is_off_until_enabled() {
+        let program = vpo_frontend::compile("int f(int a) { return a + 1; }").unwrap();
+        let f = program.function("f").unwrap();
+        let mut ctx = SemanticContext::new(&program, f, &SemanticConfig::default(), false);
+        assert!(!ctx.pruning());
+        ctx.enable_pruning();
+        assert!(ctx.pruning());
     }
 
     #[test]

@@ -23,6 +23,19 @@
 //! application), so a semantic edge may point at an ancestor — a cycle
 //! through `children` would break [`SearchSpace::compute_weights`] —
 //! and Table-3-style reports must be producible under either quotient.
+//!
+//! The *pruned* tier (`--merge-tier semantic-pruned`) adds a third edge
+//! kind: `u ┄p┄> v` in [`Node::pruned_children`] records that the
+//! instance phase `p` produced from `u` was merged into `v` *and its
+//! expansion skipped* — its signature matched `v`'s class and its phase
+//! mask was subsumed by `v`'s. The produced node is still inserted
+//! (marked [`Node::pruned`]) and keeps its `children` discovery edge
+//! from `u`, but it has no subtree of its own: leaf statistics skip it
+//! ([`Node::is_leaf`]), its weight is a placeholder 1, and DOT renders
+//! the merge edge dotted. Unlike the annotation tier, the pruned space
+//! is *smaller* than the fingerprint space — everything reachable only
+//! through pruned subtrees is charged to the representative, a loss
+//! `vpoc audit-quotient` measures exactly.
 
 use std::collections::HashMap;
 
@@ -64,6 +77,19 @@ pub struct Node {
     /// under the same phase; the representative may be *any* node of
     /// the space, including an ancestor.
     pub sem_children: Vec<(PhaseId, NodeId)>,
+    /// Subsumption-prune edges: `(phase, representative)` for each
+    /// active phase whose fingerprint-fresh product was behaviorally
+    /// merged into an established class **and not expanded** because
+    /// its active-phase mask was subsumed by the representative's
+    /// (always empty outside the `semantic-pruned` tier). The produced
+    /// node is still recorded in `children` under the same phase, but
+    /// it is marked [`Node::pruned`] and has no subtree.
+    pub pruned_children: Vec<(PhaseId, NodeId)>,
+    /// Whether this node's expansion was skipped by the pruned tier:
+    /// its signature and mask were subsumed by its class
+    /// representative's at discovery time. Pruned nodes have
+    /// `active_mask == 0` (never attempted) but are *not* leaves.
+    pub pruned: bool,
     /// Discovery edge: the parent and phase that first produced this node
     /// (`None` for the root). Used to rematerialize instances on demand.
     pub discovered_from: Option<(NodeId, PhaseId)>,
@@ -74,8 +100,27 @@ pub struct Node {
 }
 
 impl Node {
-    /// Whether the node is a leaf: no phase is active on it.
+    /// Whether the node is a leaf: no phase is active on it. A pruned
+    /// node also has an empty mask (its attempts were skipped), but it
+    /// is *not* a leaf — its true frontier lives in the representative's
+    /// subtree — so [`SearchSpace::leaf_count`] excludes it.
+    /// [`SearchSpace::best_leaf`] and
+    /// [`SearchSpace::leaf_code_size_range`] treat it as a *terminal*
+    /// instead: see [`Node::is_terminal`].
     pub fn is_leaf(&self) -> bool {
+        self.active_mask == 0 && !self.pruned
+    }
+
+    /// Whether the node is a terminal of the exploration: a leaf, or a
+    /// pruned placeholder. A placeholder is a real discovered instance
+    /// reached by a real phase sequence — its expansion was skipped, not
+    /// its existence — so code-size optima and spreads must range over
+    /// it: the best instance a pruned search discovers is often merged
+    /// (and hence pruned) into an interior representative before its
+    /// leafhood could be proven by expansion. Identical to
+    /// [`Node::is_leaf`] outside `--merge-tier semantic-pruned`, where
+    /// no node is ever pruned.
+    pub fn is_terminal(&self) -> bool {
         self.active_mask == 0
     }
 
@@ -145,6 +190,12 @@ impl SearchSpace {
         self.nodes.iter().map(|n| n.sem_children.len()).sum()
     }
 
+    /// Number of pruned nodes: instances whose expansion the pruned
+    /// tier skipped (0 outside `semantic-pruned`).
+    pub fn pruned_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.pruned).count()
+    }
+
     /// The semantic class representative of `id`: the node its first
     /// discovery was behaviorally merged into, or `id` itself when it
     /// founded its own signature class (always `id` under the
@@ -152,12 +203,15 @@ impl SearchSpace {
     /// never chains.
     pub fn sem_rep(&self, id: NodeId) -> NodeId {
         match self.node(id).discovered_from {
-            Some((parent, phase)) => self
-                .node(parent)
-                .sem_children
-                .iter()
-                .find(|&&(p, _)| p == phase)
-                .map_or(id, |&(_, rep)| rep),
+            Some((parent, phase)) => {
+                let parent = self.node(parent);
+                parent
+                    .sem_children
+                    .iter()
+                    .chain(&parent.pruned_children)
+                    .find(|&&(p, _)| p == phase)
+                    .map_or(id, |&(_, rep)| rep)
+            }
             None => id,
         }
     }
@@ -188,11 +242,12 @@ impl SearchSpace {
         self.nodes.iter().filter(|n| n.is_leaf()).count()
     }
 
-    /// Minimum and maximum instruction counts over leaf instances (the
-    /// code-size spread of Table 3). Returns `None` if there are no
-    /// leaves.
+    /// Minimum and maximum instruction counts over terminal instances —
+    /// leaves plus, under the pruned tier, pruned placeholders
+    /// ([`Node::is_terminal`]) — the code-size spread of Table 3.
+    /// Returns `None` if there are no terminals.
     pub fn leaf_code_size_range(&self) -> Option<(u32, u32)> {
-        let mut it = self.nodes.iter().filter(|n| n.is_leaf()).map(|n| n.inst_count);
+        let mut it = self.nodes.iter().filter(|n| n.is_terminal()).map(|n| n.inst_count);
         let first = it.next()?;
         let (mut lo, mut hi) = (first, first);
         for v in it {
@@ -261,13 +316,19 @@ impl SearchSpace {
         counts
     }
 
-    /// The leaf with the smallest instruction count (ties broken by
-    /// lowest node id — the first ordering discovered): the code-size
-    /// optimal phase ordering of Table 3. `None` for a space with no
-    /// leaves (only possible under truncation).
+    /// The terminal ([`Node::is_terminal`]) with the smallest
+    /// instruction count (ties broken by lowest node id — the first
+    /// ordering discovered): the code-size optimal phase ordering of
+    /// Table 3. Under the pruned tier this ranges over pruned
+    /// placeholders too — the optimal instance is frequently merged
+    /// into an interior representative and pruned before expansion
+    /// would prove it a leaf, yet it was discovered and its ordering is
+    /// real; `vpoc audit-quotient` checks exactly this optimum against
+    /// the annotation tier's. `None` for a space with no terminals
+    /// (only possible under truncation).
     pub fn best_leaf(&self) -> Option<NodeId> {
         self.iter()
-            .filter(|(_, n)| n.is_leaf())
+            .filter(|(_, n)| n.is_terminal())
             .min_by_key(|&(id, n)| (n.inst_count, id))
             .map(|(id, _)| id)
     }
@@ -348,6 +409,12 @@ impl SearchSpace {
                     p.letter()
                 ));
             }
+            for (p, c) in &n.pruned_children {
+                out.push_str(&format!(
+                    "  {id} -> {c} [label=\"{}\" style=dotted color=gray30];\n",
+                    p.letter()
+                ));
+            }
         }
         out.push_str("}\n");
         out
@@ -368,6 +435,8 @@ mod tests {
             active_mask: 0,
             children: Vec::new(),
             sem_children: Vec::new(),
+            pruned_children: Vec::new(),
+            pruned: false,
             discovered_from: None,
             weight: 0,
         }
@@ -474,6 +543,38 @@ mod tests {
         s.compute_weights().unwrap();
         let dot = s.to_dot();
         assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn pruned_nodes_resolve_to_their_rep_and_are_not_leaves() {
+        // root --Cse--> rep (founder, a leaf), root --DeadAssign--> pruned,
+        // where `pruned`'s expansion was skipped: root carries the dotted
+        // prune edge under the same phase.
+        let mut s = SearchSpace::new();
+        let root = s.insert(mk_node(0));
+        let rep = s.insert(mk_node(1));
+        let mut p = mk_node(2);
+        p.discovered_from = Some((root, PhaseId::DeadAssign));
+        p.pruned = true;
+        let pruned = s.insert(p);
+        s.node_mut(root).children = vec![(PhaseId::Cse, rep), (PhaseId::DeadAssign, pruned)];
+        s.node_mut(root).active_mask = 0b11;
+        s.node_mut(root).pruned_children = vec![(PhaseId::DeadAssign, rep)];
+        assert_eq!(s.pruned_count(), 1);
+        assert_eq!(s.sem_rep(pruned), rep);
+        assert_eq!(s.sem_rep(rep), rep);
+        assert_eq!(s.sem_class_count(), 2);
+        // The pruned node's empty mask does not make it a leaf, but it
+        // *is* a terminal: leaf_count excludes it, while best_leaf
+        // ranges over it (rep wins here on size, 1 < 2).
+        assert_eq!(s.leaf_count(), 1);
+        assert!(!s.node(pruned).is_leaf() && s.node(pruned).is_terminal());
+        assert_eq!(s.best_leaf(), Some(rep));
+        assert_eq!(s.leaf_code_size_range(), Some((1, 2)));
+        s.compute_weights().unwrap();
+        assert_eq!(s.node(pruned).weight, 1, "pruned nodes keep placeholder weight 1");
+        assert_eq!(s.node(root).weight, 2);
+        assert!(s.to_dot().contains("style=dotted"));
     }
 
     #[test]

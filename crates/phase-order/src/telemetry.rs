@@ -221,6 +221,16 @@ pub struct Telemetry {
     /// Signature hits escalated to extended-battery differential
     /// re-execution (paranoid mode only).
     pub sem_escalations: Counter,
+    /// Merged instances whose expansion the pruned tier skipped
+    /// (signature matched *and* active-phase mask subsumed by the
+    /// representative's; always 0 outside `--merge-tier
+    /// semantic-pruned`). Counted at merge time, deterministic for any
+    /// job count.
+    pub sem_subsumption_prunes: Counter,
+    /// Merged instances the pruned tier expanded anyway because the
+    /// mask was not subsumed — the recorded `sem_pruned_unsound_skip`
+    /// candidates. Deterministic for any job count.
+    pub sem_mask_fallbacks: Counter,
     /// Peak frontier width seen by any level of any search.
     pub peak_frontier: Gauge,
     /// Wall time per merged level (`enumerate` engines only; campaign
@@ -273,6 +283,13 @@ pub struct Telemetry {
     pub oracle_battery_inputs: Counter,
     /// Verification failures reported.
     pub oracle_findings: Counter,
+
+    // -- quotient loss audit (`vpoc audit-quotient`) --
+    /// Functions audited (pruned and annotation tiers run side by side).
+    pub audit_functions: Counter,
+    /// Behavioral classes reachable only through pruned subtrees —
+    /// unsound prunes (expected 0).
+    pub audit_unsound_prunes: Counter,
 }
 
 /// A borrowed reference to any metric, for uniform iteration.
@@ -303,6 +320,8 @@ impl Telemetry {
             sem_merge_hits: Counter::new("enumerate.sem_merge_hits", true),
             sem_sig_collisions: Counter::new("enumerate.sem_sig_collisions", true),
             sem_escalations: Counter::new("enumerate.sem_escalations", true),
+            sem_subsumption_prunes: Counter::new("enumerate.sem_subsumption_prunes", true),
+            sem_mask_fallbacks: Counter::new("enumerate.sem_mask_fallbacks", true),
             peak_frontier: Gauge::new("enumerate.peak_frontier", true),
             level_wall_ns: Histogram::new("enumerate.level_wall_ns"),
             campaign_functions_started: Counter::new("campaign.functions_started", true),
@@ -324,6 +343,8 @@ impl Telemetry {
             oracle_simulations: Counter::new("oracle.simulations", true),
             oracle_battery_inputs: Counter::new("oracle.battery_inputs", true),
             oracle_findings: Counter::new("oracle.findings", true),
+            audit_functions: Counter::new("audit.functions", true),
+            audit_unsound_prunes: Counter::new("audit.unsound_prunes", true),
         }
     }
 
@@ -346,6 +367,8 @@ impl Telemetry {
             C(&self.sem_merge_hits),
             C(&self.sem_sig_collisions),
             C(&self.sem_escalations),
+            C(&self.sem_subsumption_prunes),
+            C(&self.sem_mask_fallbacks),
             G(&self.peak_frontier),
             H(&self.level_wall_ns),
             C(&self.campaign_functions_started),
@@ -367,6 +390,8 @@ impl Telemetry {
             C(&self.oracle_simulations),
             C(&self.oracle_battery_inputs),
             C(&self.oracle_findings),
+            C(&self.audit_functions),
+            C(&self.audit_unsound_prunes),
         ]
     }
 

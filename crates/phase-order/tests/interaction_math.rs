@@ -22,7 +22,9 @@ fn node(seed: u32) -> Node {
         active_mask: 0,
         children: Vec::new(),
         sem_children: Vec::new(),
+        pruned_children: Vec::new(),
         discovered_from: None,
+        pruned: false,
         weight: 0,
     }
 }

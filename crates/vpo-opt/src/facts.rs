@@ -115,6 +115,26 @@ impl Facts {
             has_scalar_local: f.locals.iter().any(|s| s.is_scalar()),
         }
     }
+
+    /// The potential-active-phase mask: bit `i` set iff
+    /// [`can_be_active`](crate::PhaseId::can_be_active) cannot rule
+    /// phase `PhaseId::from_index(i)` dormant on an instance with these
+    /// facts. Because every `can_be_active` rule is conservative, the
+    /// mask *over*-approximates the instance's true active set: a clear
+    /// bit is a proof of dormancy, a set bit only a possibility. The
+    /// semantic-pruned merge tier compares these masks for its
+    /// subsumption criterion (a candidate whose mask is a subset of its
+    /// class representative's has no phase future the representative
+    /// provably lacks).
+    pub fn active_phase_mask(&self) -> u16 {
+        let mut mask = 0u16;
+        for p in crate::PhaseId::ALL {
+            if p.can_be_active(self) {
+                mask |= 1 << p.index();
+            }
+        }
+        mask
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +175,27 @@ mod tests {
         assert!(facts.has_mul);
         assert!(facts.has_cond_branch);
         assert_eq!(facts.loop_count, 1);
+    }
+
+    #[test]
+    fn phase_mask_mirrors_can_be_active() {
+        let mut b = FunctionBuilder::new("m");
+        let r = b.reg();
+        b.assign(r, Expr::bin(BinOp::Mul, Expr::Reg(r), Expr::Const(3)));
+        b.ret(Some(Expr::Reg(r)));
+        let facts = Facts::of(&b.finish());
+        let mask = facts.active_phase_mask();
+        for p in crate::PhaseId::ALL {
+            assert_eq!(
+                mask >> p.index() & 1 == 1,
+                p.can_be_active(&facts),
+                "mask bit disagrees with can_be_active for {p:?}"
+            );
+        }
+        // Straight-line multiply-bearing code: strength reduction stays
+        // possible, loop phases are provably dormant.
+        assert!(mask >> crate::PhaseId::StrengthReduce.index() & 1 == 1);
+        assert!(mask >> crate::PhaseId::LoopUnroll.index() & 1 == 0);
     }
 
     #[test]
